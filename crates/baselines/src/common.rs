@@ -1,0 +1,81 @@
+//! Shared result types of the baseline solvers.
+
+use absolver_core::AbModel;
+use std::fmt;
+use std::time::Duration;
+
+/// Verdict of a baseline solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineVerdict {
+    /// Satisfiable with a model.
+    Sat(Box<AbModel>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided within resource limits.
+    Unknown,
+    /// The solver rejected the input — e.g. MathSAT and CVC Lite "rejected
+    /// the problems due to the nonlinear arithmetic inequalities contained"
+    /// (paper Sec. 5.1).
+    Rejected(String),
+    /// The solver aborted on its memory budget — CVC Lite's behaviour on
+    /// the Sudoku benchmarks (paper Table 3, the `–*` entries).
+    OutOfMemory,
+    /// The wall-clock limit expired.
+    Timeout,
+}
+
+impl BaselineVerdict {
+    /// Returns `true` for [`BaselineVerdict::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, BaselineVerdict::Sat(_))
+    }
+
+    /// Returns `true` for [`BaselineVerdict::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, BaselineVerdict::Unsat)
+    }
+}
+
+impl fmt::Display for BaselineVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineVerdict::Sat(_) => f.write_str("sat"),
+            BaselineVerdict::Unsat => f.write_str("unsat"),
+            BaselineVerdict::Unknown => f.write_str("unknown"),
+            BaselineVerdict::Rejected(why) => write!(f, "rejected ({why})"),
+            BaselineVerdict::OutOfMemory => f.write_str("out of memory"),
+            BaselineVerdict::Timeout => f.write_str("timeout"),
+        }
+    }
+}
+
+/// Outcome plus run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// The verdict.
+    pub verdict: BaselineVerdict,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Theory conflicts fed back into the Boolean search (DPLL(T) path).
+    pub theory_conflicts: u64,
+    /// Estimated bytes materialised by an eager preprocessing phase.
+    pub eager_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display_and_predicates() {
+        assert_eq!(BaselineVerdict::Unsat.to_string(), "unsat");
+        assert!(BaselineVerdict::Unsat.is_unsat());
+        assert!(!BaselineVerdict::Unknown.is_sat());
+        assert_eq!(BaselineVerdict::OutOfMemory.to_string(), "out of memory");
+        assert_eq!(
+            BaselineVerdict::Rejected("nonlinear".into()).to_string(),
+            "rejected (nonlinear)"
+        );
+        assert_eq!(BaselineVerdict::Timeout.to_string(), "timeout");
+    }
+}

@@ -1,0 +1,348 @@
+//! The eager validity-checker baseline (the CVC Lite role).
+//!
+//! CVC Lite offers "integrated specialised solvers, but in practice their
+//! limitations are not always obvious to the users of such systems"
+//! (paper Sec. 1.2) — in Table 3 it aborts on every Sudoku instance with
+//! out-of-memory (`–*`) while remaining competitive on the small FISCHER
+//! problems.
+//!
+//! [`CvcLike`] reproduces that profile mechanistically: before searching,
+//! it runs an *eager theory-lemma instantiation* phase that saturates the
+//! atom set under pairwise Fourier–Motzkin resolution (deriving the
+//! variable-free consequences a validity checker would precompute). The
+//! derived constraints are materialised, their memory is accounted, and
+//! the phase aborts with [`BaselineVerdict::OutOfMemory`] when the budget
+//! is exceeded — which is exactly what happens on the dense disequality
+//! systems of integer Sudoku encodings, and never on the sparse FISCHER
+//! timing constraints. If saturation fits in memory, a standard lazy
+//! search (with the tight simplex) finishes the job.
+
+use crate::common::{BaselineRun, BaselineVerdict};
+use crate::mathsat_like::{MathSatLike, MathSatLikeOptions};
+use absolver_core::AbProblem;
+use absolver_linear::{CmpOp, LinExpr, LinearConstraint};
+use absolver_num::Rational;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of the eager baseline.
+#[derive(Debug, Clone)]
+pub struct CvcLikeOptions {
+    /// Byte budget of the eager lemma store (estimated from materialised
+    /// constraint sizes).
+    pub memory_budget: usize,
+    /// Saturation rounds of the eager phase.
+    pub saturation_rounds: usize,
+    /// Wall-clock limit for the whole run.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for CvcLikeOptions {
+    fn default() -> Self {
+        CvcLikeOptions {
+            memory_budget: 128 << 20, // 128 MiB
+            saturation_rounds: 2,
+            time_limit: None,
+        }
+    }
+}
+
+/// An eager Boolean-linear solver with a hard memory budget.
+#[derive(Debug, Default)]
+pub struct CvcLike {
+    /// Options.
+    pub options: CvcLikeOptions,
+}
+
+/// Estimated heap size of a materialised lemma.
+fn constraint_bytes(c: &LinearConstraint) -> usize {
+    // A validity checker's term DAG spends one node per monomial (tag,
+    // child pointers, arbitrary-precision coefficient, hash-cons entry)
+    // plus the comparison node and its index entries.
+    256 + c.expr.terms().len() * 208
+}
+
+impl CvcLike {
+    /// Creates the baseline with default options.
+    pub fn new() -> CvcLike {
+        CvcLike::default()
+    }
+
+    /// Solves an AB-problem (Boolean + linear only).
+    pub fn solve(&mut self, problem: &AbProblem) -> BaselineRun {
+        let started = Instant::now();
+        if problem.num_nonlinear() > 0 {
+            return BaselineRun {
+                verdict: BaselineVerdict::Rejected(
+                    "nonlinear arithmetic is not supported".to_string(),
+                ),
+                elapsed: started.elapsed(),
+                theory_conflicts: 0,
+                eager_bytes: 0,
+            };
+        }
+
+        // ---- Eager phase: saturate the atom set under FM resolution ----
+        let (bytes, oom) = self.saturate(problem, started);
+        if oom {
+            return BaselineRun {
+                verdict: BaselineVerdict::OutOfMemory,
+                elapsed: started.elapsed(),
+                theory_conflicts: 0,
+                eager_bytes: bytes,
+            };
+        }
+        if let Some(limit) = self.options.time_limit {
+            if started.elapsed() >= limit {
+                return BaselineRun {
+                    verdict: BaselineVerdict::Timeout,
+                    elapsed: started.elapsed(),
+                    theory_conflicts: 0,
+                    eager_bytes: bytes,
+                };
+            }
+        }
+
+        // ---- Search phase ----------------------------------------------
+        let remaining = self
+            .options
+            .time_limit
+            .map(|limit| limit.saturating_sub(started.elapsed()));
+        let mut search = MathSatLike {
+            options: MathSatLikeOptions { time_limit: remaining, eager_fixpoint_checks: true },
+        };
+        let mut run = search.solve(problem);
+        run.elapsed = started.elapsed();
+        run.eager_bytes = bytes;
+        run
+    }
+
+    /// Materialises the FM saturation of the problem's atoms (both
+    /// polarities). Returns `(bytes, out_of_memory)`.
+    fn saturate(&self, problem: &AbProblem, started: Instant) -> (usize, bool) {
+        // Seed: every atom constraint and its negation(s), normalised to
+        // `expr ≤/< rhs` form.
+        let mut store: Vec<LinearConstraint> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut bytes = 0usize;
+        let add = |c: LinearConstraint, bytes: &mut usize, store: &mut Vec<LinearConstraint>, seen: &mut HashSet<String>| -> bool {
+            if c.expr.is_zero() {
+                return true;
+            }
+            let key = c.to_string();
+            if seen.insert(key) {
+                *bytes += constraint_bytes(&c);
+                store.push(c);
+            }
+            *bytes <= self.options.memory_budget
+        };
+
+        for (_, def) in problem.defs() {
+            for c in &def.constraints {
+                let Some((lin, k)) = c.expr.to_affine() else { continue };
+                let rhs = &c.rhs - &k;
+                for upper in normalise_to_upper(&lin, c.op, &rhs) {
+                    if !add(upper, &mut bytes, &mut store, &mut seen) {
+                        return (bytes, true);
+                    }
+                }
+                for neg in c.negate() {
+                    if let Some((nl, nk)) = neg.expr.to_affine() {
+                        let nrhs = &neg.rhs - &nk;
+                        for upper in normalise_to_upper(&nl, neg.op, &nrhs) {
+                            if !add(upper, &mut bytes, &mut store, &mut seen) {
+                                return (bytes, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Saturation rounds: resolve pairs on each shared variable. The
+        // budget is checked on every materialised resolvent, so the store
+        // never grows past `memory_budget` bytes before aborting.
+        for _round in 0..self.options.saturation_rounds {
+            let frontier: Vec<LinearConstraint> = store.clone();
+            for (i, a) in frontier.iter().enumerate() {
+                if let Some(limit) = self.options.time_limit {
+                    if started.elapsed() >= limit {
+                        // Ran out of time while instantiating: report the
+                        // phase as exhausted rather than continuing.
+                        return (bytes, bytes > self.options.memory_budget);
+                    }
+                }
+                for b in frontier[i + 1..].iter() {
+                    for resolvent in fm_resolvents(a, b) {
+                        if !add(resolvent, &mut bytes, &mut store, &mut seen) {
+                            return (bytes, true);
+                        }
+                    }
+                }
+            }
+            if store.len() == frontier.len() {
+                break;
+            }
+        }
+        (bytes, false)
+    }
+}
+
+/// Normalises `lin ⋈ rhs` to one or two upper-bound forms (`≤`/`<`).
+fn normalise_to_upper(lin: &LinExpr, op: CmpOp, rhs: &Rational) -> Vec<LinearConstraint> {
+    let neg = |l: &LinExpr| {
+        let mut n = l.clone();
+        n.scale(&-Rational::one());
+        n
+    };
+    match op {
+        CmpOp::Le | CmpOp::Lt => vec![LinearConstraint::new(lin.clone(), op, rhs.clone())],
+        CmpOp::Ge => vec![LinearConstraint::new(neg(lin), CmpOp::Le, -rhs.clone())],
+        CmpOp::Gt => vec![LinearConstraint::new(neg(lin), CmpOp::Lt, -rhs.clone())],
+        CmpOp::Eq => vec![
+            LinearConstraint::new(lin.clone(), CmpOp::Le, rhs.clone()),
+            LinearConstraint::new(neg(lin), CmpOp::Le, -rhs.clone()),
+        ],
+    }
+}
+
+/// Fourier–Motzkin resolvents of two upper-bound constraints: for every
+/// variable with opposite-sign coefficients, the positive combination that
+/// eliminates it.
+fn fm_resolvents(a: &LinearConstraint, b: &LinearConstraint) -> Vec<LinearConstraint> {
+    let mut out = Vec::new();
+    for (v, ca) in a.expr.terms() {
+        let cb = b.expr.coeff(*v);
+        if cb.is_zero() || ca.signum() == cb.signum() {
+            continue;
+        }
+        // a_scaled = a / |ca|, b_scaled = b / |cb|; sum eliminates v.
+        let mut lhs = a.expr.clone();
+        lhs.scale(&ca.abs().recip());
+        let mut rhs_expr = b.expr.clone();
+        rhs_expr.scale(&cb.abs().recip());
+        lhs.add_scaled(&rhs_expr, &Rational::one());
+        let bound = &a.rhs / &ca.abs() + &b.rhs / &cb.abs();
+        let op = if a.op == CmpOp::Lt || b.op == CmpOp::Lt { CmpOp::Lt } else { CmpOp::Le };
+        if !lhs.is_zero() {
+            out.push(LinearConstraint::new(lhs, op, bound));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nonlinear() {
+        let p: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x * x >= 1\n".parse().unwrap();
+        let run = CvcLike::new().solve(&p);
+        assert!(matches!(run.verdict, BaselineVerdict::Rejected(_)));
+    }
+
+    #[test]
+    fn solves_small_linear_problems() {
+        let sat: AbProblem =
+            "p cnf 2 2\n1 0\n2 0\nc def real 1 x + y <= 10\nc def real 2 x - y >= 2\n"
+                .parse()
+                .unwrap();
+        let run = CvcLike::new().solve(&sat);
+        match run.verdict {
+            BaselineVerdict::Sat(m) => assert!(m.satisfies(&sat, 1e-9)),
+            other => panic!("{other:?}"),
+        }
+        assert!(run.eager_bytes > 0, "eager phase materialises lemmas");
+
+        let unsat: AbProblem = "p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 5\nc def real 2 x <= 3\n"
+            .parse()
+            .unwrap();
+        assert_eq!(CvcLike::new().solve(&unsat).verdict, BaselineVerdict::Unsat);
+    }
+
+    #[test]
+    fn memory_budget_aborts_dense_systems() {
+        // A Sudoku-flavoured system in miniature: all-pairs disequalities
+        // plus overlapping multi-variable sum equalities. FM saturation of
+        // the wide sums against everything else explodes combinatorially,
+        // so a small budget must abort the eager phase.
+        let mut text = String::from("p cnf 64 0\n");
+        let mut defs = String::new();
+        let mut atom = 1;
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                defs.push_str(&format!("c def int {atom} c{i} - c{j} = 0\n"));
+                text.push_str(&format!("-{atom} 0\n"));
+                atom += 1;
+            }
+        }
+        // Overlapping group sums (like Sudoku's row/column/box sums).
+        for start in 0..6 {
+            let lhs: Vec<String> = (start..start + 3).map(|i| format!("c{i}")).collect();
+            defs.push_str(&format!("c def int {atom} {} = {}\n", lhs.join(" + "), 6 + start));
+            text.push_str(&format!("{atom} 0\n"));
+            atom += 1;
+        }
+        // Unit bounds with distinct values (clues).
+        for i in 0..8 {
+            defs.push_str(&format!("c def int {atom} c{i} >= {}\n", 1 + (i % 3)));
+            text.push_str(&format!("{atom} 0\n"));
+            atom += 1;
+            defs.push_str(&format!("c def int {atom} c{i} <= {}\n", 9 - (i % 4)));
+            text.push_str(&format!("{atom} 0\n"));
+            atom += 1;
+        }
+        let full = format!("{text}{defs}");
+        let p: AbProblem = full.parse().unwrap();
+        let mut solver = CvcLike {
+            options: CvcLikeOptions { memory_budget: 50_000, ..CvcLikeOptions::default() },
+        };
+        let run = solver.solve(&p);
+        assert_eq!(run.verdict, BaselineVerdict::OutOfMemory);
+        assert!(run.eager_bytes >= 50_000);
+    }
+
+    #[test]
+    fn fm_resolvents_are_implied() {
+        // x + y ≤ 5 and −x ≤ −2 resolve to y ≤ 3.
+        let a = LinearConstraint::new(
+            LinExpr::from_terms([(0, Rational::one()), (1, Rational::one())]),
+            CmpOp::Le,
+            Rational::from_int(5),
+        );
+        let b = LinearConstraint::new(
+            LinExpr::from_terms([(0, -Rational::one())]),
+            CmpOp::Le,
+            Rational::from_int(-2),
+        );
+        let rs = fm_resolvents(&a, &b);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].expr.coeff(1), Rational::one());
+        assert_eq!(rs[0].expr.coeff(0), Rational::zero());
+        assert_eq!(rs[0].rhs, Rational::from_int(3));
+        // Soundness: any point satisfying a ∧ b satisfies the resolvent.
+        for (x, y) in [(2i64, 3i64), (3, 1), (2, 2)] {
+            let point = vec![Rational::from_int(x), Rational::from_int(y)];
+            if a.eval(&point) && b.eval(&point) {
+                assert!(rs[0].eval(&point));
+            }
+        }
+    }
+
+    #[test]
+    fn normalisation_covers_all_ops() {
+        let lin = LinExpr::var(0);
+        let rhs = Rational::from_int(3);
+        assert_eq!(normalise_to_upper(&lin, CmpOp::Le, &rhs).len(), 1);
+        assert_eq!(normalise_to_upper(&lin, CmpOp::Lt, &rhs).len(), 1);
+        assert_eq!(normalise_to_upper(&lin, CmpOp::Ge, &rhs).len(), 1);
+        assert_eq!(normalise_to_upper(&lin, CmpOp::Gt, &rhs).len(), 1);
+        assert_eq!(normalise_to_upper(&lin, CmpOp::Eq, &rhs).len(), 2);
+        // Ge flips to an upper bound.
+        let ge = &normalise_to_upper(&lin, CmpOp::Ge, &rhs)[0];
+        assert_eq!(ge.op, CmpOp::Le);
+        assert_eq!(ge.rhs, Rational::from_int(-3));
+        assert_eq!(ge.expr.coeff(0), -Rational::one());
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline solvers for the ABsolver comparative benchmarks (paper Sec. 5).
+//!
+//! The paper compares ABsolver against two established Boolean-linear
+//! SMT solvers; this crate provides behaviour-faithful from-scratch
+//! stand-ins:
+//!
+//! * [`MathSatLike`] — a *tightly integrated* DPLL(T) solver (incremental
+//!   simplex inside the CDCL search). Fast on simple Boolean-linear
+//!   problems (Table 2), rejects nonlinear input (Table 1).
+//! * [`CvcLike`] — an *eager* validity-checker profile: Fourier–Motzkin
+//!   lemma saturation under a hard memory budget before searching. Also
+//!   rejects nonlinear input; aborts out-of-memory on dense integer
+//!   disequality systems such as Sudoku encodings (Table 3).
+//!
+//! ```
+//! use absolver_baselines::{BaselineVerdict, MathSatLike};
+//! use absolver_core::AbProblem;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p: AbProblem = "p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 5\nc def real 2 x <= 3\n".parse()?;
+//! let run = MathSatLike::new().solve(&p);
+//! assert_eq!(run.verdict, BaselineVerdict::Unsat);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod cvc_like;
+mod mathsat_like;
+
+pub use common::{BaselineRun, BaselineVerdict};
+pub use cvc_like::{CvcLike, CvcLikeOptions};
+pub use mathsat_like::{MathSatLike, MathSatLikeOptions};

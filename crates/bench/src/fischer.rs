@@ -1,0 +1,227 @@
+//! FISCHER benchmark generator (paper Table 2).
+//!
+//! The paper's Table 2 runs the SMT-LIB `FISCHERn-1-fair.smt` instances —
+//! Boolean + linear encodings of Fischer's real-time mutual-exclusion
+//! protocol for `n` processes. The original files are not redistributable
+//! here, so this module generates instances of the same family: an
+//! event-time encoding of one round of the protocol whose Boolean skeleton
+//! chooses an interleaving of the lock writes and whose linear part
+//! carries the real-time constraints.
+//!
+//! Protocol recap: every contending process `p` writes `lock := p` within
+//! `a` time units of starting (`0 ≤ set_p ≤ a`), then waits at least
+//! `b > a` (`check_p ≥ set_p + b`) before reading the lock; it enters the
+//! critical section only if the lock still holds its own id. Lock writes
+//! are serialised on the bus, so any two writes are at least one tick
+//! apart — encoded as the disjunctions `set_p ≤ set_q − 1 ∨ set_q ≤
+//! set_p − 1` whose orientations form the Boolean search space.
+//!
+//! Two queries are provided:
+//!
+//! * [`fischer`] — *can process 0 enter the critical section?* SAT, but
+//!   only for interleaving orientations that are acyclic and timing-
+//!   consistent; a lazy solver "examines many Boolean solutions first"
+//!   (the paper's own explanation of ABsolver's Table 2 slowdown), while
+//!   the tight DPLL(T) baselines prune partial orientations early.
+//! * [`fischer_mutex`] — *can processes 0 and 1 both enter?* UNSAT when
+//!   `b > a` (the protocol is safe).
+
+use absolver_core::{AbProblem, AbProblemBuilder, VarKind};
+use absolver_linear::CmpOp;
+use absolver_logic::Var;
+use absolver_nonlinear::Expr;
+use absolver_num::Rational;
+
+/// Parameters of a FISCHER instance.
+#[derive(Debug, Clone, Copy)]
+pub struct FischerConfig {
+    /// Number of processes (the paper sweeps 1..=11).
+    pub processes: usize,
+    /// Write deadline `a` (must admit `n` serialised writes: `a ≥ n`).
+    pub a: i64,
+    /// Wait time `b` (protocol safe iff `b > a`).
+    pub b: i64,
+}
+
+impl FischerConfig {
+    /// The standard parameters for `n` processes: `a = n + 1`, `b = a + 1`.
+    pub fn standard(n: usize) -> FischerConfig {
+        let a = n as i64 + 1;
+        FischerConfig { processes: n, a, b: a + 1 }
+    }
+}
+
+struct Skeleton {
+    set: Vec<usize>,
+    check: Vec<usize>,
+}
+
+/// Timing constraints + serialised-write disjunctions shared by both
+/// queries.
+fn skeleton(builder: &mut AbProblemBuilder, config: &FischerConfig) -> Skeleton {
+    let n = config.processes;
+    let set: Vec<usize> = (0..n)
+        .map(|p| builder.arith_var(&format!("set_{p}"), VarKind::Real))
+        .collect();
+    let check: Vec<usize> = (0..n)
+        .map(|p| builder.arith_var(&format!("check_{p}"), VarKind::Real))
+        .collect();
+    for p in 0..n {
+        builder.set_range(set[p], absolver_num::Interval::new(0.0, config.a as f64));
+        builder.set_range(
+            check[p],
+            absolver_num::Interval::new(0.0, (config.a + 2 * config.b) as f64),
+        );
+    }
+    // Per-process timing, as unit atoms.
+    for p in 0..n {
+        let nonneg = builder.atom(Expr::var(set[p]), CmpOp::Ge, Rational::zero());
+        builder.require(nonneg.positive());
+        let deadline = builder.atom(Expr::var(set[p]), CmpOp::Le, Rational::from_int(config.a));
+        builder.require(deadline.positive());
+        let wait = builder.atom(
+            Expr::var(check[p]) - Expr::var(set[p]),
+            CmpOp::Ge,
+            Rational::from_int(config.b),
+        );
+        builder.require(wait.positive());
+    }
+    // Serialised lock writes: |set_p − set_q| ≥ 1, as an orientation choice.
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let p_first = builder.atom(
+                Expr::var(set[p]) - Expr::var(set[q]),
+                CmpOp::Le,
+                Rational::from_int(-1),
+            );
+            let q_first = builder.atom(
+                Expr::var(set[q]) - Expr::var(set[p]),
+                CmpOp::Le,
+                Rational::from_int(-1),
+            );
+            builder.add_clause([p_first.positive(), q_first.positive()]);
+        }
+    }
+    Skeleton { set, check }
+}
+
+/// Adds the critical-section entry condition for process `p`: every other
+/// write either precedes `p`'s or happens only after `p` has read.
+fn entry_condition(builder: &mut AbProblemBuilder, sk: &Skeleton, p: usize) {
+    let n = sk.set.len();
+    for q in 0..n {
+        if q == p {
+            continue;
+        }
+        let earlier: Var = builder.atom(
+            Expr::var(sk.set[q]) - Expr::var(sk.set[p]),
+            CmpOp::Lt,
+            Rational::zero(),
+        );
+        let too_late: Var = builder.atom(
+            Expr::var(sk.set[q]) - Expr::var(sk.check[p]),
+            CmpOp::Gt,
+            Rational::zero(),
+        );
+        builder.add_clause([earlier.positive(), too_late.positive()]);
+    }
+}
+
+/// The Table 2 instance for `n` processes: *process 0 can enter the
+/// critical section* — satisfiable, with an exponential orientation space
+/// that only timing reasoning prunes.
+pub fn fischer(n: usize) -> AbProblem {
+    assert!(n > 0, "at least one process");
+    let config = FischerConfig::standard(n);
+    let mut builder = AbProblem::builder();
+    let sk = skeleton(&mut builder, &config);
+    entry_condition(&mut builder, &sk, 0);
+    builder.build()
+}
+
+/// The mutual-exclusion query: *processes 0 and 1 both enter*. UNSAT for
+/// the safe parameters (`b > a`), SAT when `b ≤ a`.
+///
+/// # Panics
+///
+/// Panics if `config.processes < 2`.
+pub fn fischer_mutex(config: FischerConfig) -> AbProblem {
+    assert!(config.processes >= 2, "mutex needs two processes");
+    let mut builder = AbProblem::builder();
+    let sk = skeleton(&mut builder, &config);
+    entry_condition(&mut builder, &sk, 0);
+    entry_condition(&mut builder, &sk, 1);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_baselines::{BaselineVerdict, MathSatLike};
+    use absolver_core::Orchestrator;
+
+    #[test]
+    fn instances_scale_with_processes() {
+        let small = fischer(2);
+        let large = fischer(6);
+        assert!(large.cnf().len() > small.cnf().len());
+        assert!(large.num_constraints() > small.num_constraints());
+        assert_eq!(large.num_nonlinear(), 0, "pure Boolean-linear family");
+    }
+
+    #[test]
+    fn reachability_is_sat_and_validates() {
+        for n in 1..=4 {
+            let p = fischer(n);
+            let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
+            let model = outcome.model().unwrap_or_else(|| panic!("n={n} must be SAT"));
+            assert!(model.satisfies(&p, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn witness_puts_process_zero_last() {
+        let p = fischer(3);
+        let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
+        let model = outcome.model().unwrap();
+        let set0 = model.arith.value_f64(p.arith_var("set_0").unwrap()).unwrap();
+        for q in 1..3 {
+            let setq = model
+                .arith
+                .value_f64(p.arith_var(&format!("set_{q}")).unwrap())
+                .unwrap();
+            assert!(setq < set0, "set_{q}={setq} must precede set_0={set0}");
+        }
+    }
+
+    #[test]
+    fn safe_mutex_is_unsat() {
+        for n in 2..=3 {
+            let p = fischer_mutex(FischerConfig::standard(n));
+            let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
+            assert!(outcome.is_unsat(), "n={n}: protocol with b > a is safe");
+        }
+    }
+
+    #[test]
+    fn unsafe_parameters_violate_mutex() {
+        // b ≤ a breaks the protocol: two processes in the CS are possible.
+        let p = fischer_mutex(FischerConfig { processes: 2, a: 5, b: 1 });
+        let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
+        let model = outcome.model().expect("unsafe parameters admit a violation");
+        assert!(model.satisfies(&p, 1e-9));
+    }
+
+    #[test]
+    fn tight_baseline_agrees() {
+        for n in 2..=3 {
+            let sat = fischer(n);
+            match MathSatLike::new().solve(&sat).verdict {
+                BaselineVerdict::Sat(m) => assert!(m.satisfies(&sat, 1e-9), "n={n}"),
+                other => panic!("n={n}: {other:?}"),
+            }
+            let unsat = fischer_mutex(FischerConfig::standard(n));
+            assert_eq!(MathSatLike::new().solve(&unsat).verdict, BaselineVerdict::Unsat);
+        }
+    }
+}

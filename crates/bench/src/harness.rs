@@ -1,0 +1,142 @@
+//! Shared measurement and table-formatting helpers for the `table*`
+//! binaries.
+
+use absolver_baselines::{BaselineVerdict, CvcLike, CvcLikeOptions, MathSatLike, MathSatLikeOptions};
+use absolver_core::{AbProblem, Orchestrator, OrchestratorOptions, Outcome};
+use std::time::Duration;
+
+/// Result of one solver on one instance.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Short verdict string (`sat`, `unsat`, `rejected`, `oom`, `timeout`…).
+    pub verdict: String,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Formats as the paper's `XmY.ZZZs` column entry, with the verdict
+    /// appended when it is not a plain sat/unsat.
+    pub fn cell(&self) -> String {
+        match self.verdict.as_str() {
+            "sat" | "unsat" => format_duration(self.elapsed),
+            other => format!("{other}"),
+        }
+    }
+}
+
+/// Formats a duration in the paper's `XmY.YYYs` style.
+pub fn format_duration(d: Duration) -> String {
+    let total = d.as_secs_f64();
+    let minutes = (total / 60.0).floor() as u64;
+    let seconds = total - minutes as f64 * 60.0;
+    format!("{minutes}m{seconds:.3}s")
+}
+
+/// Runs ABsolver (the default orchestrator stack) on a problem.
+pub fn run_absolver(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
+    let mut options = OrchestratorOptions::default();
+    options.time_limit = time_limit;
+    let mut orc = Orchestrator::with_defaults().with_options(options);
+    let outcome = orc.solve(problem);
+    let stats = orc.stats();
+    let verdict = match outcome {
+        Ok(Outcome::Sat(model)) => {
+            debug_assert!(model.satisfies(problem, 1e-5), "model must validate");
+            "sat".to_string()
+        }
+        Ok(Outcome::Unsat) => "unsat".to_string(),
+        Ok(Outcome::Unknown) if stats.timed_out => "timeout".to_string(),
+        Ok(Outcome::Unknown) => "unknown".to_string(),
+        Err(e) => format!("error: {e}"),
+    };
+    Measurement { verdict, elapsed: stats.elapsed }
+}
+
+/// Runs the tight DPLL(T) baseline.
+pub fn run_mathsat_like(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
+    let mut solver = MathSatLike {
+        options: MathSatLikeOptions { time_limit, ..MathSatLikeOptions::default() },
+    };
+    let run = solver.solve(problem);
+    Measurement { verdict: verdict_string(&run.verdict), elapsed: run.elapsed }
+}
+
+/// Runs the eager baseline.
+pub fn run_cvc_like(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
+    let mut solver = CvcLike {
+        options: CvcLikeOptions { time_limit, ..CvcLikeOptions::default() },
+    };
+    let run = solver.solve(problem);
+    Measurement { verdict: verdict_string(&run.verdict), elapsed: run.elapsed }
+}
+
+fn verdict_string(v: &BaselineVerdict) -> String {
+    match v {
+        BaselineVerdict::Sat(_) => "sat".to_string(),
+        BaselineVerdict::Unsat => "unsat".to_string(),
+        BaselineVerdict::Unknown => "unknown".to_string(),
+        BaselineVerdict::Rejected(_) => "rejected".to_string(),
+        BaselineVerdict::OutOfMemory => "–* (oom)".to_string(),
+        BaselineVerdict::Timeout => "timeout".to_string(),
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Reads a duration (seconds) from an environment variable.
+pub fn env_seconds(name: &str, default_secs: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(default_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(283)), "0m0.283s");
+        assert_eq!(format_duration(Duration::from_secs(58)), "0m58.000s");
+        assert_eq!(format_duration(Duration::from_secs(5047)), "84m7.000s");
+    }
+
+    #[test]
+    fn runners_produce_verdicts() {
+        let p: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
+        assert_eq!(run_absolver(&p, None).verdict, "sat");
+        assert_eq!(run_mathsat_like(&p, None).verdict, "sat");
+        assert_eq!(run_cvc_like(&p, None).verdict, "sat");
+        let nl: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x * x >= 0\n".parse().unwrap();
+        assert_eq!(run_mathsat_like(&nl, None).verdict, "rejected");
+        assert_eq!(run_cvc_like(&nl, None).verdict, "rejected");
+    }
+
+    #[test]
+    fn env_seconds_parses() {
+        assert_eq!(env_seconds("ABS_NO_SUCH_ENV_VAR", 7), Duration::from_secs(7));
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload generators and measurement harnesses regenerating every table
+//! of the ABsolver paper's evaluation (Sec. 5).
+//!
+//! * [`table1`] — the four nonlinear instances of Table 1 (car steering,
+//!   `esat_n11_m8_nonlinear`, `nonlinear_unsat`, `div_operator`).
+//! * [`fischer`] — the Boolean-linear FISCHER family of Table 2.
+//! * [`sudoku`] — the Sudoku suite of Table 3, in both the mixed encoding
+//!   (ABsolver) and the integer-free translation (baselines).
+//! * [`harness`] — timing, verdict and table-formatting helpers shared by
+//!   the `table1`/`table2`/`table3`/`ablations` binaries.
+//!
+//! Regenerate the paper's tables with:
+//!
+//! ```text
+//! cargo run --release -p absolver-bench --bin table1
+//! cargo run --release -p absolver-bench --bin table2
+//! cargo run --release -p absolver-bench --bin table3
+//! cargo run --release -p absolver-bench --bin ablations
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fischer;
+pub mod harness;
+pub mod sudoku;
+pub mod table1;

@@ -1,0 +1,172 @@
+//! The nonlinear benchmark instances of the paper's Table 1.
+//!
+//! Four instances: the car steering case study (from `absolver-model`),
+//! `esat_n11_m8_nonlinear`, `nonlinear_unsat`, and `div_operator`. The
+//! original downloads from `absolver.sf.net` are long gone; these
+//! reconstructions match the structural statistics the table reports
+//! (clauses, constraint-bearing variables, linear/nonlinear split) and the
+//! satisfiability status implied by the paper.
+
+use absolver_core::{AbProblem, VarKind};
+use absolver_linear::CmpOp;
+use absolver_nonlinear::{Expr, NlConstraint};
+use absolver_num::{Interval, Rational};
+
+fn q(s: &str) -> Rational {
+    s.parse().expect("rational literal")
+}
+
+/// `esat_n11_m8_nonlinear`: 11 clauses, 8 constraint-bearing Boolean
+/// variables, 9 linear + 2 nonlinear constraints. Satisfiable.
+pub fn esat_n11_m8_nonlinear() -> AbProblem {
+    let mut b = AbProblem::builder();
+    let a = b.arith_var("a", VarKind::Real);
+    let bb = b.arith_var("b", VarKind::Real);
+    let c = b.arith_var("c", VarKind::Real);
+    for v in [a, bb, c] {
+        b.set_range(v, Interval::new(-50.0, 50.0));
+    }
+
+    // v1 ⇔ (a ≥ 0 ∧ b ≥ 0): 2 linear.
+    let v1 = b.atom(Expr::var(a), CmpOp::Ge, q("0"));
+    b.define(v1, NlConstraint::new(Expr::var(bb), CmpOp::Ge, q("0")));
+    // v2..v6: 5 linear.
+    let v2 = b.atom(Expr::var(a) + Expr::var(bb), CmpOp::Le, q("10"));
+    let v3 = b.atom(Expr::var(a) - Expr::var(bb), CmpOp::Lt, q("4"));
+    let v4 = b.atom(Expr::int(2) * Expr::var(a) + Expr::int(3) * Expr::var(bb), CmpOp::Ge, q("1"));
+    let v5 = b.atom(Expr::var(bb), CmpOp::Le, q("8"));
+    let v6 = b.atom(Expr::var(a), CmpOp::Le, q("7"));
+    // v7 ⇔ (c ≥ −5 ∧ c ≤ 5): 2 linear.
+    let v7 = b.atom(Expr::var(c), CmpOp::Ge, q("-5"));
+    b.define(v7, NlConstraint::new(Expr::var(c), CmpOp::Le, q("5")));
+    // v8 ⇔ (a·b ≤ 6 ∧ c² ≤ 25): 2 nonlinear.
+    let v8 = b.atom(Expr::var(a) * Expr::var(bb), CmpOp::Le, q("6"));
+    b.define(v8, NlConstraint::new(Expr::var(c).pow(2), CmpOp::Le, q("25")));
+
+    // 11 clauses.
+    b.add_clause([v1.positive()]);
+    b.add_clause([v2.positive(), v3.positive()]);
+    b.add_clause([v3.negative(), v4.positive()]);
+    b.add_clause([v5.positive(), v6.positive()]);
+    b.add_clause([v7.positive()]);
+    b.add_clause([v8.positive()]);
+    b.add_clause([v2.positive(), v5.negative()]);
+    b.add_clause([v4.positive(), v6.positive()]);
+    b.add_clause([v6.negative(), v1.positive()]);
+    b.add_clause([v3.positive(), v5.positive(), v8.positive()]);
+    b.add_clause([v2.negative(), v7.positive()]);
+    b.build()
+}
+
+/// `nonlinear_unsat`: 1 clause, 1 variable, 2 nonlinear constraints whose
+/// conjunction is unsatisfiable (`x² ≥ 1 ∧ x² ≤ 1/4`).
+pub fn nonlinear_unsat() -> AbProblem {
+    let mut b = AbProblem::builder();
+    let x = b.arith_var("x", VarKind::Real);
+    b.set_range(x, Interval::new(-100.0, 100.0));
+    let v = b.atom(Expr::var(x).pow(2), CmpOp::Ge, q("1"));
+    b.define(v, NlConstraint::new(Expr::var(x).pow(2), CmpOp::Le, q("0.25")));
+    b.require(v.positive());
+    b.build()
+}
+
+/// `div_operator`: 1 clause, 1 variable, 4 linear + 1 nonlinear constraint
+/// exercising the division operator the paper highlights ("adding the
+/// division operator involved less than an hour of programming effort").
+/// Satisfiable.
+pub fn div_operator() -> AbProblem {
+    let mut b = AbProblem::builder();
+    let x = b.arith_var("x", VarKind::Real);
+    let y = b.arith_var("y", VarKind::Real);
+    b.set_range(x, Interval::new(-100.0, 100.0));
+    b.set_range(y, Interval::new(-100.0, 100.0));
+    let v = b.atom(Expr::var(y), CmpOp::Ge, q("0"));
+    b.define(v, NlConstraint::new(Expr::var(y), CmpOp::Le, q("3")));
+    b.define(v, NlConstraint::new(Expr::var(x), CmpOp::Ge, q("0")));
+    b.define(v, NlConstraint::new(Expr::var(x), CmpOp::Le, q("10")));
+    b.define(
+        v,
+        NlConstraint::new(
+            Expr::constant(q("3.5")) / (Expr::int(4) - Expr::var(y)),
+            CmpOp::Ge,
+            q("1"),
+        ),
+    );
+    b.require(v.positive());
+    b.build()
+}
+
+/// All four Table 1 rows, in the paper's order.
+pub fn table1_suite() -> Vec<(String, AbProblem)> {
+    vec![
+        ("Car steering".to_string(), absolver_model::steering_problem()),
+        ("esat_n11_m8_nonlinear".to_string(), esat_n11_m8_nonlinear()),
+        ("nonlinear_unsat".to_string(), nonlinear_unsat()),
+        ("div_operator".to_string(), div_operator()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_core::Orchestrator;
+
+    #[test]
+    fn esat_statistics_and_verdict() {
+        let p = esat_n11_m8_nonlinear();
+        assert_eq!(p.cnf().len(), 11, "paper: 11 clauses");
+        assert_eq!(p.num_defs(), 8, "paper: 8 variables");
+        assert_eq!(p.num_linear(), 9, "paper: 9 linear");
+        assert_eq!(p.num_nonlinear(), 2, "paper: 2 nonlinear");
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&p).unwrap();
+        let model = outcome.model().expect("satisfiable");
+        assert!(model.satisfies(&p, 1e-6));
+    }
+
+    #[test]
+    fn nonlinear_unsat_statistics_and_verdict() {
+        let p = nonlinear_unsat();
+        assert_eq!(p.cnf().len(), 1);
+        assert_eq!(p.num_defs(), 1);
+        assert_eq!(p.num_linear(), 0);
+        assert_eq!(p.num_nonlinear(), 2);
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&p).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn div_operator_statistics_and_verdict() {
+        let p = div_operator();
+        assert_eq!(p.cnf().len(), 1);
+        assert_eq!(p.num_defs(), 1);
+        assert_eq!(p.num_linear(), 4);
+        assert_eq!(p.num_nonlinear(), 1);
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&p).unwrap();
+        let model = outcome.model().expect("satisfiable");
+        assert!(model.satisfies(&p, 1e-6));
+        // The witness must respect the division constraint strictly.
+        let x = p.arith_var("x").unwrap();
+        let y = p.arith_var("y").unwrap();
+        let (xv, yv) = (
+            model.arith.value_f64(x).unwrap(),
+            model.arith.value_f64(y).unwrap(),
+        );
+        assert!(3.5 / (4.0 - yv) >= 1.0 - 1e-9, "x={xv} y={yv}");
+    }
+
+    #[test]
+    fn suite_matches_paper_rows() {
+        let suite = table1_suite();
+        assert_eq!(suite.len(), 4);
+        let stats: Vec<(usize, usize, usize, usize)> = suite
+            .iter()
+            .map(|(_, p)| (p.cnf().len(), p.num_defs(), p.num_linear(), p.num_nonlinear()))
+            .collect();
+        assert_eq!(stats[0], (976, 24, 4, 20));
+        assert_eq!(stats[1], (11, 8, 9, 2));
+        assert_eq!(stats[2], (1, 1, 0, 2));
+        assert_eq!(stats[3], (1, 1, 4, 1));
+    }
+}

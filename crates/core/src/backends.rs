@@ -1,0 +1,392 @@
+//! The solver interface layer (paper Sec. 4, Fig. 4).
+//!
+//! ABsolver's design goal is that "the most appropriate solver for a given
+//! task can be integrated and used": the orchestrator talks to *trait
+//! objects*, one list per domain, and tries each in order when the
+//! preceding ones "failed to provide a decent result". This module defines
+//! the three domain interfaces and the built-in implementations standing
+//! in for the paper's external tools:
+//!
+//! | paper        | here                                                   |
+//! |--------------|--------------------------------------------------------|
+//! | zChaff       | [`CdclBoolean`] (incremental CDCL)                     |
+//! | LSAT         | [`CdclBoolean`] — same engine, enumeration is native   |
+//! | external restarts | [`RestartingBoolean`] (rebuilds the solver per model) |
+//! | COIN LP      | [`SimplexLinear`] (exact-rational simplex)             |
+//! | IPOPT        | [`PenaltyNonlinear`] (multistart penalty search)       |
+//! | —            | [`IntervalNonlinear`] (rigorous branch-and-prune)      |
+//! | —            | [`CascadeNonlinear`] (branch-and-prune, then penalty)  |
+
+use absolver_linear::{check_conjunction, Feasibility, LinearConstraint};
+use absolver_logic::{Assignment, Cnf, Lit};
+use absolver_nonlinear::{branch_and_prune, local_search, NlOptions, NlProblem, NlVerdict};
+use absolver_sat::{SolveResult, Solver};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Boolean domain
+// ---------------------------------------------------------------------------
+
+/// A Boolean solver usable by the orchestrating control loop.
+pub trait BooleanSolver {
+    /// Human-readable backend name (for statistics and logs).
+    fn name(&self) -> &str;
+
+    /// Replaces the loaded formula.
+    fn load(&mut self, cnf: &Cnf);
+
+    /// Adds a clause (e.g. a theory conflict); returns `false` if the
+    /// formula became trivially unsatisfiable.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Produces a (total) model of the current formula, or `None` if
+    /// unsatisfiable. Called repeatedly; blocking clauses added between
+    /// calls steer the enumeration.
+    fn next_model(&mut self) -> Option<Assignment>;
+}
+
+impl fmt::Debug for dyn BooleanSolver + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BooleanSolver({})", self.name())
+    }
+}
+
+/// The default Boolean backend: an incremental CDCL solver (zChaff role).
+/// Because the clause database survives between `next_model` calls, it also
+/// covers the LSAT role (cheap all-models enumeration).
+#[derive(Debug, Default)]
+pub struct CdclBoolean {
+    solver: Solver,
+}
+
+impl CdclBoolean {
+    /// Creates an empty backend.
+    pub fn new() -> CdclBoolean {
+        CdclBoolean::default()
+    }
+
+    /// Access to the accumulated CDCL statistics.
+    pub fn stats(&self) -> absolver_sat::SolverStats {
+        self.solver.stats()
+    }
+}
+
+impl BooleanSolver for CdclBoolean {
+    fn name(&self) -> &str {
+        "cdcl"
+    }
+
+    fn load(&mut self, cnf: &Cnf) {
+        self.solver = Solver::from_cnf(cnf);
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.solver.add_clause(lits)
+    }
+
+    fn next_model(&mut self) -> Option<Assignment> {
+        match self.solver.solve() {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// The external-restart Boolean backend: rebuilds a fresh solver for every
+/// query, as ABsolver must when the plugged-in SAT solver cannot continue
+/// incrementally — "at the expense of the time required for restarting the
+/// entire solving process externally" (Sec. 4). Used by the ablation bench.
+#[derive(Debug, Default)]
+pub struct RestartingBoolean {
+    cnf: Cnf,
+    extra: Vec<Vec<Lit>>,
+}
+
+impl RestartingBoolean {
+    /// Creates an empty backend.
+    pub fn new() -> RestartingBoolean {
+        RestartingBoolean::default()
+    }
+}
+
+impl BooleanSolver for RestartingBoolean {
+    fn name(&self) -> &str {
+        "restarting"
+    }
+
+    fn load(&mut self, cnf: &Cnf) {
+        self.cnf = cnf.clone();
+        self.extra.clear();
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.extra.push(lits.to_vec());
+        true
+    }
+
+    fn next_model(&mut self) -> Option<Assignment> {
+        // The entire solving process restarts: fresh solver, re-add all.
+        let mut solver = Solver::from_cnf(&self.cnf);
+        for clause in &self.extra {
+            if !solver.add_clause(clause) {
+                return None;
+            }
+        }
+        match solver.solve() {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear domain
+// ---------------------------------------------------------------------------
+
+/// A linear-arithmetic solver usable by the theory layer (COIN role).
+pub trait LinearBackend {
+    /// Human-readable backend name.
+    fn name(&self) -> &str;
+
+    /// Decides feasibility of a conjunction, returning a witness or a
+    /// conflicting subset (indices into the input).
+    fn check(&mut self, constraints: &[LinearConstraint]) -> Feasibility;
+}
+
+impl fmt::Debug for dyn LinearBackend + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LinearBackend({})", self.name())
+    }
+}
+
+/// Exact-rational simplex backend, optionally minimising conflicts with
+/// the deletion filter (the paper's "smallest conflicting subset").
+#[derive(Debug, Clone)]
+pub struct SimplexLinear {
+    minimize_conflicts: bool,
+    checks: u64,
+}
+
+impl Default for SimplexLinear {
+    fn default() -> Self {
+        SimplexLinear::new()
+    }
+}
+
+impl SimplexLinear {
+    /// Creates the backend with conflict minimisation enabled.
+    pub fn new() -> SimplexLinear {
+        SimplexLinear { minimize_conflicts: true, checks: 0 }
+    }
+
+    /// Creates the backend without the deletion-filter pass (ablation).
+    pub fn without_minimization() -> SimplexLinear {
+        SimplexLinear { minimize_conflicts: false, checks: 0 }
+    }
+
+    /// Number of feasibility checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+impl LinearBackend for SimplexLinear {
+    fn name(&self) -> &str {
+        "simplex"
+    }
+
+    fn check(&mut self, constraints: &[LinearConstraint]) -> Feasibility {
+        self.checks += 1;
+        match check_conjunction(constraints) {
+            Feasibility::Infeasible(core) if self.minimize_conflicts => {
+                // Deletion filter over the already-small certificate.
+                let subset: Vec<LinearConstraint> =
+                    core.iter().map(|&i| constraints[i].clone()).collect();
+                match absolver_linear::minimal_infeasible_subset(&subset) {
+                    Some(mini) => {
+                        let mut mapped: Vec<usize> = mini.into_iter().map(|i| core[i]).collect();
+                        mapped.sort_unstable();
+                        Feasibility::Infeasible(mapped)
+                    }
+                    None => Feasibility::Infeasible(core),
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinear domain
+// ---------------------------------------------------------------------------
+
+/// A nonlinear solver usable by the theory layer (IPOPT role).
+pub trait NonlinearBackend {
+    /// Human-readable backend name.
+    fn name(&self) -> &str;
+
+    /// Attempts to decide feasibility of the problem.
+    fn solve(&mut self, problem: &NlProblem) -> NlVerdict;
+}
+
+impl fmt::Debug for dyn NonlinearBackend + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NonlinearBackend({})", self.name())
+    }
+}
+
+/// Rigorous interval branch-and-prune backend (can prove UNSAT).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalNonlinear {
+    /// Engine options.
+    pub options: NlOptions,
+}
+
+impl NonlinearBackend for IntervalNonlinear {
+    fn name(&self) -> &str {
+        "interval"
+    }
+
+    fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
+        branch_and_prune(problem, &self.options)
+    }
+}
+
+/// Multistart penalty local search backend — the IPOPT stand-in. Never
+/// returns UNSAT (a numerical solver cannot prove absence of solutions).
+#[derive(Debug, Clone, Default)]
+pub struct PenaltyNonlinear {
+    /// Engine options.
+    pub options: NlOptions,
+}
+
+impl NonlinearBackend for PenaltyNonlinear {
+    fn name(&self) -> &str {
+        "penalty"
+    }
+
+    fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
+        match local_search(problem, &self.options) {
+            Some(witness) => NlVerdict::Sat(witness),
+            None => NlVerdict::Unknown,
+        }
+    }
+}
+
+/// The default nonlinear backend: branch-and-prune first, penalty search
+/// as fallback.
+#[derive(Debug, Clone, Default)]
+pub struct CascadeNonlinear {
+    /// Engine options.
+    pub options: NlOptions,
+}
+
+impl NonlinearBackend for CascadeNonlinear {
+    fn name(&self) -> &str {
+        "interval+penalty"
+    }
+
+    fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
+        problem.solve_with(&self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_linear::{CmpOp, LinExpr};
+    use absolver_nonlinear::{Expr, NlConstraint};
+    use absolver_num::{Interval, Rational};
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn cdcl_backend_enumerates_with_blocking() {
+        let mut b = CdclBoolean::new();
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause(&[1, 2]);
+        b.load(&cnf);
+        let mut count = 0;
+        while let Some(m) = b.next_model() {
+            count += 1;
+            let blocking: Vec<Lit> = m
+                .iter()
+                .filter_map(|(v, t)| {
+                    t.to_bool().map(|bit| if bit { v.negative() } else { v.positive() })
+                })
+                .collect();
+            if !b.add_clause(&blocking) {
+                break;
+            }
+            assert!(count <= 3, "more models than exist");
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn restarting_backend_agrees_with_cdcl() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[-2, 3]);
+        let run = |b: &mut dyn BooleanSolver| {
+            b.load(&cnf);
+            let mut n = 0;
+            while let Some(m) = b.next_model() {
+                n += 1;
+                let blocking: Vec<Lit> = m
+                    .iter()
+                    .filter_map(|(v, t)| {
+                        t.to_bool().map(|bit| if bit { v.negative() } else { v.positive() })
+                    })
+                    .collect();
+                if blocking.is_empty() || !b.add_clause(&blocking) {
+                    break;
+                }
+                assert!(n < 20);
+            }
+            n
+        };
+        let a = run(&mut CdclBoolean::new());
+        let b = run(&mut RestartingBoolean::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simplex_backend_minimizes() {
+        let cs = vec![
+            LinearConstraint::new(LinExpr::var(1), CmpOp::Ge, q(0)), // irrelevant
+            LinearConstraint::new(LinExpr::var(0), CmpOp::Ge, q(5)),
+            LinearConstraint::new(LinExpr::var(0), CmpOp::Le, q(3)),
+        ];
+        let mut with = SimplexLinear::new();
+        match with.check(&cs) {
+            Feasibility::Infeasible(core) => assert_eq!(core, vec![1, 2]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(with.checks(), 1);
+        let mut without = SimplexLinear::without_minimization();
+        match without.check(&cs) {
+            Feasibility::Infeasible(core) => assert!(core.contains(&1) && core.contains(&2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_backends_division_of_labour() {
+        // Feasible circle: both find it.
+        let mut feasible = NlProblem::new(1);
+        feasible.add_constraint(NlConstraint::new(Expr::var(0).pow(2), CmpOp::Le, q(4)));
+        feasible.bound_var(0, Interval::new(-10.0, 10.0));
+        assert!(IntervalNonlinear::default().solve(&feasible).is_sat());
+        assert!(PenaltyNonlinear::default().solve(&feasible).is_sat());
+        // Infeasible: only the interval engine can *prove* it.
+        let mut infeasible = NlProblem::new(1);
+        infeasible.add_constraint(NlConstraint::new(Expr::var(0).pow(2), CmpOp::Le, q(-1)));
+        infeasible.bound_var(0, Interval::new(-10.0, 10.0));
+        assert_eq!(IntervalNonlinear::default().solve(&infeasible), NlVerdict::Unsat);
+        assert_eq!(PenaltyNonlinear::default().solve(&infeasible), NlVerdict::Unknown);
+        assert_eq!(CascadeNonlinear::default().solve(&infeasible), NlVerdict::Unsat);
+    }
+}

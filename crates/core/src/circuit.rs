@@ -1,0 +1,482 @@
+//! The logical circuit at ABsolver's core (paper Sec. 4, Figs. 4 and 5).
+//!
+//! "ABsolver's core comprises a data structure for modelling an integrated
+//! circuit where arithmetic and Boolean operations are represented as
+//! gates taking either a single (e.g., negation), a pair (e.g., arithmetic
+//! comparison), or an arbitrary number of inputs. The variables are then
+//! seen as the input pins of a circuit, and the single output pin provides
+//! the formula's truth value, which is either tt, ff, or ? indicating that
+//! further treatment is necessary."
+//!
+//! [`Circuit`] is that structure: gates over the 3-valued domain
+//! [`Tri`], with Boolean input pins and arithmetic *atom* pins whose truth
+//! is supplied (or left `?`) by the theory solvers. [`Circuit::to_cnf`]
+//! lowers a circuit to CNF by Tseitin transformation — the bridge the
+//! model-conversion tool-chain (`absolver-model`) uses to produce
+//! AB-problems from block diagrams.
+
+use absolver_logic::{Clause, Cnf, Lit, Tri, Var};
+
+/// Index of a gate within a [`Circuit`].
+pub type NodeId = usize;
+
+/// A gate of the circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// A constant truth value.
+    Const(Tri),
+    /// An external Boolean input pin (index into the input vector).
+    BoolInput(usize),
+    /// An arithmetic comparison atom (index into the atom vector); its
+    /// value is `?` until a theory solver determines it.
+    Atom(usize),
+    /// Negation.
+    Not(NodeId),
+    /// Conjunction of arbitrarily many inputs.
+    And(Vec<NodeId>),
+    /// Disjunction of arbitrarily many inputs.
+    Or(Vec<NodeId>),
+    /// Exclusive or.
+    Xor(NodeId, NodeId),
+    /// Implication `a → b`.
+    Implies(NodeId, NodeId),
+    /// Equivalence `a ↔ b`.
+    Iff(NodeId, NodeId),
+}
+
+/// A logical circuit over 3-valued gates with a single output pin.
+///
+/// ```
+/// use absolver_core::{Circuit, Gate};
+/// use absolver_logic::Tri;
+///
+/// // (in0 ∧ atom0) with the atom still undetermined.
+/// let mut c = Circuit::new();
+/// let i = c.bool_input(0);
+/// let a = c.atom(0);
+/// let and = c.and(vec![i, a]);
+/// c.set_output(and);
+/// assert_eq!(c.eval(&[Tri::True], &[Tri::Unknown]), Tri::Unknown);
+/// assert_eq!(c.eval(&[Tri::False], &[Tri::Unknown]), Tri::False);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    output: Option<NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates, in insertion order (children always precede parents).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The output pin, if set.
+    pub fn output(&self) -> Option<NodeId> {
+        self.output
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        // Validate child references so circuits are acyclic by construction.
+        let check = |n: &NodeId| assert!(*n < self.gates.len(), "gate references future node");
+        match &gate {
+            Gate::Not(a) => check(a),
+            Gate::And(xs) | Gate::Or(xs) => xs.iter().for_each(check),
+            Gate::Xor(a, b) | Gate::Implies(a, b) | Gate::Iff(a, b) => {
+                check(a);
+                check(b);
+            }
+            _ => {}
+        }
+        self.gates.push(gate);
+        self.gates.len() - 1
+    }
+
+    /// Adds a constant gate.
+    pub fn constant(&mut self, value: Tri) -> NodeId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds a Boolean input pin.
+    pub fn bool_input(&mut self, index: usize) -> NodeId {
+        self.push(Gate::BoolInput(index))
+    }
+
+    /// Adds an arithmetic atom pin.
+    pub fn atom(&mut self, index: usize) -> NodeId {
+        self.push(Gate::Atom(index))
+    }
+
+    /// Adds a negation gate.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(Gate::Not(a))
+    }
+
+    /// Adds an n-ary conjunction gate.
+    pub fn and(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        self.push(Gate::And(inputs))
+    }
+
+    /// Adds an n-ary disjunction gate.
+    pub fn or(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        self.push(Gate::Or(inputs))
+    }
+
+    /// Adds an exclusive-or gate.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds an implication gate.
+    pub fn implies(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Implies(a, b))
+    }
+
+    /// Adds an equivalence gate.
+    pub fn iff(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Iff(a, b))
+    }
+
+    /// Selects the output pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_output(&mut self, node: NodeId) {
+        assert!(node < self.gates.len(), "output node out of range");
+        self.output = Some(node);
+    }
+
+    /// Evaluates the circuit under Boolean input values and atom truth
+    /// values (missing entries read as `?`). Returns the output pin value;
+    /// `?` means "further treatment is necessary, internally".
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output pin is set.
+    pub fn eval(&self, inputs: &[Tri], atoms: &[Tri]) -> Tri {
+        let out = self.output.expect("circuit has no output pin");
+        let mut values: Vec<Tri> = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let v = match gate {
+                Gate::Const(t) => *t,
+                Gate::BoolInput(i) => inputs.get(*i).copied().unwrap_or(Tri::Unknown),
+                Gate::Atom(i) => atoms.get(*i).copied().unwrap_or(Tri::Unknown),
+                Gate::Not(a) => !values[*a],
+                Gate::And(xs) => xs.iter().fold(Tri::True, |acc, &x| acc & values[x]),
+                Gate::Or(xs) => xs.iter().fold(Tri::False, |acc, &x| acc | values[x]),
+                Gate::Xor(a, b) => values[*a].xor(values[*b]),
+                Gate::Implies(a, b) => values[*a].implies(values[*b]),
+                Gate::Iff(a, b) => values[*a].iff(values[*b]),
+            };
+            values.push(v);
+        }
+        values[out]
+    }
+
+    /// Tseitin-transforms the circuit into CNF, asserting the output pin.
+    ///
+    /// Returns the CNF plus the Boolean variables allocated for each input
+    /// pin and each atom pin — the latter are exactly the variables an
+    /// [`crate::AbProblem`] definition should bind to the corresponding
+    /// arithmetic constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output pin is set.
+    pub fn to_cnf(&self) -> TseitinCnf {
+        let out = self.output.expect("circuit has no output pin");
+        let mut cnf = Cnf::new(0);
+        let mut input_vars: Vec<(usize, Var)> = Vec::new();
+        let mut atom_vars: Vec<(usize, Var)> = Vec::new();
+        let mut node_lit: Vec<Lit> = Vec::with_capacity(self.gates.len());
+
+        for gate in &self.gates {
+            let lit = match gate {
+                Gate::Const(t) => {
+                    let v = cnf.fresh_var();
+                    match t {
+                        Tri::True => cnf.add_clause(Clause::new(vec![v.positive()])),
+                        Tri::False => cnf.add_clause(Clause::new(vec![v.negative()])),
+                        // An `?` constant is a free variable: both values
+                        // remain possible, matching its 3-valued semantics.
+                        Tri::Unknown => {}
+                    }
+                    v.positive()
+                }
+                Gate::BoolInput(i) => {
+                    if let Some(&(_, v)) = input_vars.iter().find(|&&(j, _)| j == *i) {
+                        v.positive()
+                    } else {
+                        let v = cnf.fresh_var();
+                        input_vars.push((*i, v));
+                        v.positive()
+                    }
+                }
+                Gate::Atom(i) => {
+                    if let Some(&(_, v)) = atom_vars.iter().find(|&&(j, _)| j == *i) {
+                        v.positive()
+                    } else {
+                        let v = cnf.fresh_var();
+                        atom_vars.push((*i, v));
+                        v.positive()
+                    }
+                }
+                Gate::Not(a) => !node_lit[*a],
+                Gate::And(xs) => {
+                    let y = cnf.fresh_var().positive();
+                    let mut long = vec![y];
+                    for &x in xs {
+                        let lx = node_lit[x];
+                        cnf.add_clause(Clause::new(vec![!y, lx]));
+                        long.push(!lx);
+                    }
+                    cnf.add_clause(Clause::new(long));
+                    y
+                }
+                Gate::Or(xs) => {
+                    let y = cnf.fresh_var().positive();
+                    let mut long = vec![!y];
+                    for &x in xs {
+                        let lx = node_lit[x];
+                        cnf.add_clause(Clause::new(vec![y, !lx]));
+                        long.push(lx);
+                    }
+                    cnf.add_clause(Clause::new(long));
+                    y
+                }
+                Gate::Xor(a, b) => {
+                    let y = cnf.fresh_var().positive();
+                    let (la, lb) = (node_lit[*a], node_lit[*b]);
+                    cnf.add_clause(Clause::new(vec![!y, la, lb]));
+                    cnf.add_clause(Clause::new(vec![!y, !la, !lb]));
+                    cnf.add_clause(Clause::new(vec![y, la, !lb]));
+                    cnf.add_clause(Clause::new(vec![y, !la, lb]));
+                    y
+                }
+                Gate::Implies(a, b) => {
+                    let y = cnf.fresh_var().positive();
+                    let (la, lb) = (node_lit[*a], node_lit[*b]);
+                    cnf.add_clause(Clause::new(vec![!y, !la, lb]));
+                    cnf.add_clause(Clause::new(vec![y, la]));
+                    cnf.add_clause(Clause::new(vec![y, !lb]));
+                    y
+                }
+                Gate::Iff(a, b) => {
+                    let y = cnf.fresh_var().positive();
+                    let (la, lb) = (node_lit[*a], node_lit[*b]);
+                    cnf.add_clause(Clause::new(vec![!y, !la, lb]));
+                    cnf.add_clause(Clause::new(vec![!y, la, !lb]));
+                    cnf.add_clause(Clause::new(vec![y, la, lb]));
+                    cnf.add_clause(Clause::new(vec![y, !la, !lb]));
+                    y
+                }
+            };
+            node_lit.push(lit);
+        }
+        // Assert the output pin.
+        cnf.add_clause(Clause::new(vec![node_lit[out]]));
+        input_vars.sort_unstable_by_key(|&(i, _)| i);
+        atom_vars.sort_unstable_by_key(|&(i, _)| i);
+        TseitinCnf { cnf, input_vars, atom_vars, output: node_lit[out] }
+    }
+}
+
+/// Result of [`Circuit::to_cnf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TseitinCnf {
+    /// The equisatisfiable CNF (with the output asserted).
+    pub cnf: Cnf,
+    /// `(input pin index, CNF variable)` pairs, sorted by pin index.
+    pub input_vars: Vec<(usize, Var)>,
+    /// `(atom pin index, CNF variable)` pairs, sorted by pin index.
+    pub atom_vars: Vec<(usize, Var)>,
+    /// The literal representing the output pin (asserted as a unit).
+    pub output: Lit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_sat::{SolveResult, Solver};
+
+    const TRIS: [Tri; 3] = [Tri::True, Tri::False, Tri::Unknown];
+
+    /// The subset of the paper's Fig. 1 example that Fig. 5 draws:
+    /// OR( AND(atom_ige0, atom_jge0), NOT(atom_2ij) ).
+    fn fig5_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a0 = c.atom(0);
+        let a1 = c.atom(1);
+        let a2 = c.atom(2);
+        let and = c.and(vec![a0, a1]);
+        let n = c.not(a2);
+        let or = c.or(vec![and, n]);
+        c.set_output(or);
+        c
+    }
+
+    #[test]
+    fn three_valued_evaluation() {
+        let c = fig5_circuit();
+        // All atoms unknown: output unknown ("further treatment").
+        assert_eq!(c.eval(&[], &[]), Tri::Unknown);
+        // atom2 false ⇒ NOT(atom2) true ⇒ OR short-circuits to tt.
+        assert_eq!(c.eval(&[], &[Tri::Unknown, Tri::Unknown, Tri::False]), Tri::True);
+        // Both AND inputs true ⇒ tt regardless of atom2.
+        assert_eq!(c.eval(&[], &[Tri::True, Tri::True, Tri::Unknown]), Tri::True);
+        // AND false and NOT false ⇒ ff.
+        assert_eq!(c.eval(&[], &[Tri::False, Tri::True, Tri::True]), Tri::False);
+    }
+
+    #[test]
+    fn gate_semantics_match_tri_ops() {
+        for a in TRIS {
+            for b in TRIS {
+                let mut c = Circuit::new();
+                let ia = c.bool_input(0);
+                let ib = c.bool_input(1);
+                let and = c.and(vec![ia, ib]);
+                let or = c.or(vec![ia, ib]);
+                let xor = c.xor(ia, ib);
+                let imp = c.implies(ia, ib);
+                let iff = c.iff(ia, ib);
+                let not = c.not(ia);
+                for (node, expect) in [
+                    (and, a & b),
+                    (or, a | b),
+                    (xor, a.xor(b)),
+                    (imp, a.implies(b)),
+                    (iff, a.iff(b)),
+                    (not, !a),
+                ] {
+                    let mut cc = c.clone();
+                    cc.set_output(node);
+                    assert_eq!(cc.eval(&[a, b], &[]), expect, "gate {node} on ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_missing_pins() {
+        let mut c = Circuit::new();
+        let t = c.constant(Tri::True);
+        let f = c.constant(Tri::False);
+        let or = c.or(vec![t, f]);
+        c.set_output(or);
+        assert_eq!(c.eval(&[], &[]), Tri::True);
+        // Missing input pins read as ?.
+        let mut c2 = Circuit::new();
+        let i9 = c2.bool_input(9);
+        c2.set_output(i9);
+        assert_eq!(c2.eval(&[], &[]), Tri::Unknown);
+    }
+
+    #[test]
+    #[should_panic(expected = "no output pin")]
+    fn eval_without_output_panics() {
+        Circuit::new().eval(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references future node")]
+    fn forward_reference_panics() {
+        let mut c = Circuit::new();
+        c.not(5);
+    }
+
+    /// Exhaustively checks Tseitin equisatisfiability: for every total
+    /// assignment of pins, circuit-eval true ⇔ CNF satisfiable with those
+    /// pin values.
+    fn check_tseitin_exhaustive(c: &Circuit, num_inputs: usize, num_atoms: usize) {
+        let t = c.to_cnf();
+        let pins = num_inputs + num_atoms;
+        for bits in 0u32..(1 << pins) {
+            let inputs: Vec<Tri> =
+                (0..num_inputs).map(|i| Tri::from(bits >> i & 1 == 1)).collect();
+            let atoms: Vec<Tri> = (0..num_atoms)
+                .map(|i| Tri::from(bits >> (num_inputs + i) & 1 == 1))
+                .collect();
+            let expect = c.eval(&inputs, &atoms);
+
+            let mut solver = Solver::from_cnf(&t.cnf);
+            for &(pin, var) in &t.input_vars {
+                let lit = if inputs[pin].is_true() { var.positive() } else { var.negative() };
+                solver.add_clause(&[lit]);
+            }
+            for &(pin, var) in &t.atom_vars {
+                let lit = if atoms[pin].is_true() { var.positive() } else { var.negative() };
+                solver.add_clause(&[lit]);
+            }
+            let got = solver.solve();
+            match expect {
+                Tri::True => assert!(got.is_sat(), "bits {bits:b}: eval tt but CNF unsat"),
+                Tri::False => {
+                    assert_eq!(got, SolveResult::Unsat, "bits {bits:b}: eval ff but CNF sat")
+                }
+                Tri::Unknown => unreachable!("total assignment cannot evaluate to ?"),
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable_fig5() {
+        check_tseitin_exhaustive(&fig5_circuit(), 0, 3);
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable_all_gates() {
+        let mut c = Circuit::new();
+        let i0 = c.bool_input(0);
+        let i1 = c.bool_input(1);
+        let i2 = c.bool_input(2);
+        let x = c.xor(i0, i1);
+        let im = c.implies(x, i2);
+        let f = c.iff(im, i0);
+        let n = c.not(f);
+        let o = c.or(vec![n, i2]);
+        let a = c.and(vec![o, i0]);
+        c.set_output(a);
+        check_tseitin_exhaustive(&c, 3, 0);
+    }
+
+    #[test]
+    fn tseitin_shares_pin_variables() {
+        // The same input pin used twice maps to one CNF variable.
+        let mut c = Circuit::new();
+        let p1 = c.bool_input(0);
+        let p2 = c.bool_input(0);
+        let x = c.xor(p1, p2); // always false
+        let n = c.not(x);
+        c.set_output(n);
+        let t = c.to_cnf();
+        assert_eq!(t.input_vars.len(), 1);
+        check_tseitin_exhaustive(&c, 1, 0);
+    }
+
+    #[test]
+    fn tseitin_constant_false_output_unsat() {
+        let mut c = Circuit::new();
+        let f = c.constant(Tri::False);
+        c.set_output(f);
+        let t = c.to_cnf();
+        let mut solver = Solver::from_cnf(&t.cnf);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+}

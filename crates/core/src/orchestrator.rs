@@ -1,0 +1,652 @@
+//! The ABsolver control loop (paper Sec. 1 and Sec. 4).
+//!
+//! The loop is the paper's lazy-SMT iteration: query the Boolean solver
+//! for a model of the CNF skeleton; induce the arithmetic constraint
+//! system from the model (true atoms assert their constraints, false atoms
+//! their negations, `¬(… = c)` splitting into `< c ∨ > c`); check it with
+//! the linear solver — and, "in case the output pin's value of the circuit
+//! is not yet known", the nonlinear solver; on theory conflict, feed the
+//! (minimised) conflicting subset back to the Boolean solver as a blocking
+//! clause and iterate, "until a solution is found, or all possible
+//! assignments have been shown infeasible".
+//!
+//! The orchestrator's internal bookkeeping also enumerates *all* models
+//! ([`Orchestrator::solve_all`]), regardless of whether the Boolean
+//! backend supports native enumeration (Sec. 4's LSAT discussion).
+
+use crate::backends::{
+    BooleanSolver, CascadeNonlinear, CdclBoolean, LinearBackend, NonlinearBackend, SimplexLinear,
+};
+use crate::problem::{AbModel, AbProblem, VarKind};
+use crate::theory::{check, TheoryBudget, TheoryContext, TheoryItem, TheoryVerdict};
+use absolver_logic::{Lit, Tri, Var};
+use absolver_nonlinear::NlConstraint;
+use absolver_num::Interval;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Outcome of solving an AB-problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Satisfiable, with a model.
+    Sat(Box<AbModel>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided within the configured budgets (the nonlinear engines are
+    /// incomplete in general).
+    Unknown,
+}
+
+impl Outcome {
+    /// Returns `true` for [`Outcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// Returns `true` for [`Outcome::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+
+    /// The model, if SAT.
+    pub fn model(&self) -> Option<&AbModel> {
+        match self {
+            Outcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by the control loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The per-call iteration limit was exceeded.
+    IterationLimit(u64),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::IterationLimit(n) => {
+                write!(f, "control loop exceeded {n} Boolean iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Statistics of a solving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OrchestratorStats {
+    /// Boolean models examined.
+    pub boolean_iterations: u64,
+    /// Theory checks performed.
+    pub theory_checks: u64,
+    /// Blocking clauses sent back to the Boolean solver.
+    pub conflicts_fed_back: u64,
+    /// Sum of literals across those blocking clauses.
+    pub conflict_literals: u64,
+    /// Theory checks that ended in `Unknown`.
+    pub unknown_checks: u64,
+    /// Whether the last call hit its wall-clock limit.
+    pub timed_out: bool,
+    /// Wall-clock time of the last `solve`/`solve_all` call.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for OrchestratorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} elapsed={:?}",
+            self.boolean_iterations,
+            self.theory_checks,
+            self.conflicts_fed_back,
+            if self.conflicts_fed_back == 0 {
+                0.0
+            } else {
+                self.conflict_literals as f64 / self.conflicts_fed_back as f64
+            },
+            self.unknown_checks,
+            self.elapsed,
+        )
+    }
+}
+
+/// Configuration of the control loop.
+#[derive(Debug, Clone)]
+pub struct OrchestratorOptions {
+    /// Hard cap on Boolean models examined per `solve` call.
+    pub max_iterations: u64,
+    /// Cap on branch combinations when false multi-constraint definitions
+    /// force disjunctive exploration.
+    pub max_def_branches: usize,
+    /// Theory budgets.
+    pub theory: TheoryBudget,
+    /// Wall-clock limit per `solve`/`solve_all` call; on expiry the call
+    /// returns [`Outcome::Unknown`] (and [`OrchestratorStats::timed_out`]
+    /// is set).
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for OrchestratorOptions {
+    fn default() -> Self {
+        OrchestratorOptions {
+            max_iterations: 2_000_000,
+            max_def_branches: 64,
+            theory: TheoryBudget::default(),
+            time_limit: None,
+        }
+    }
+}
+
+/// The ABsolver engine: a Boolean backend plus lists of linear and
+/// nonlinear backends, orchestrated by the lazy-SMT control loop.
+#[derive(Debug)]
+pub struct Orchestrator {
+    boolean: Box<dyn BooleanSolver>,
+    linear: Vec<Box<dyn LinearBackend>>,
+    nonlinear: Vec<Box<dyn NonlinearBackend>>,
+    options: OrchestratorOptions,
+    stats: OrchestratorStats,
+}
+
+impl Default for Orchestrator {
+    fn default() -> Self {
+        Orchestrator::with_defaults()
+    }
+}
+
+impl Orchestrator {
+    /// The default stack: CDCL Boolean, minimising simplex, interval +
+    /// penalty nonlinear cascade.
+    pub fn with_defaults() -> Orchestrator {
+        Orchestrator {
+            boolean: Box::new(CdclBoolean::new()),
+            linear: vec![Box::new(SimplexLinear::new())],
+            nonlinear: vec![Box::new(CascadeNonlinear::default())],
+            options: OrchestratorOptions::default(),
+            stats: OrchestratorStats::default(),
+        }
+    }
+
+    /// Starts from an empty solver stack; push backends with the
+    /// `with_*` methods.
+    pub fn custom(boolean: Box<dyn BooleanSolver>) -> Orchestrator {
+        Orchestrator {
+            boolean,
+            linear: Vec::new(),
+            nonlinear: Vec::new(),
+            options: OrchestratorOptions::default(),
+            stats: OrchestratorStats::default(),
+        }
+    }
+
+    /// Replaces the Boolean backend.
+    pub fn with_boolean(mut self, b: Box<dyn BooleanSolver>) -> Orchestrator {
+        self.boolean = b;
+        self
+    }
+
+    /// Appends a linear backend (tried after any existing ones).
+    pub fn with_linear(mut self, b: Box<dyn LinearBackend>) -> Orchestrator {
+        self.linear.push(b);
+        self
+    }
+
+    /// Appends a nonlinear backend (tried after any existing ones).
+    pub fn with_nonlinear(mut self, b: Box<dyn NonlinearBackend>) -> Orchestrator {
+        self.nonlinear.push(b);
+        self
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: OrchestratorOptions) -> Orchestrator {
+        self.options = options;
+        self
+    }
+
+    /// Statistics of the most recent call.
+    pub fn stats(&self) -> OrchestratorStats {
+        self.stats
+    }
+
+    /// Solves an AB-problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::IterationLimit`] if the Boolean loop exceeds
+    /// the configured iteration cap.
+    pub fn solve(&mut self, problem: &AbProblem) -> Result<Outcome, SolveError> {
+        let started = Instant::now();
+        self.stats = OrchestratorStats::default();
+        self.boolean.load(problem.cnf());
+        let outcome = self.run_loop(problem, started);
+        self.stats.elapsed = started.elapsed();
+        outcome
+    }
+
+    /// Enumerates models of an AB-problem, up to `max_models`. Models are
+    /// distinct in their *theory-literal projection* (the assignment to
+    /// defined Boolean variables); free Boolean variables and arithmetic
+    /// witnesses may repeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::IterationLimit`] if the Boolean loop exceeds
+    /// the configured iteration cap.
+    pub fn solve_all(
+        &mut self,
+        problem: &AbProblem,
+        max_models: usize,
+    ) -> Result<Vec<AbModel>, SolveError> {
+        let started = Instant::now();
+        self.stats = OrchestratorStats::default();
+        self.boolean.load(problem.cnf());
+        let mut models = Vec::new();
+        // Project on all Boolean variables so distinct Boolean models are
+        // enumerated (theory atoms and skeleton alike).
+        let all_vars: Vec<Var> = (0..problem.cnf().num_vars())
+            .map(|i| Var::new(i as u32))
+            .collect();
+        while models.len() < max_models {
+            match self.run_loop(problem, started)? {
+                Outcome::Sat(model) => {
+                    let blocking: Vec<Lit> = all_vars
+                        .iter()
+                        .filter_map(|&v| match model.boolean.value(v) {
+                            Tri::True => Some(v.negative()),
+                            Tri::False => Some(v.positive()),
+                            Tri::Unknown => None,
+                        })
+                        .collect();
+                    models.push(*model);
+                    if blocking.is_empty() || !self.boolean.add_clause(&blocking) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.stats.elapsed = started.elapsed();
+        Ok(models)
+    }
+
+    fn run_loop(&mut self, problem: &AbProblem, started: Instant) -> Result<Outcome, SolveError> {
+        let kinds: Vec<VarKind> = problem.arith_vars().iter().map(|v| v.kind).collect();
+        let ranges: Vec<Interval> = problem.arith_vars().iter().map(|v| v.range).collect();
+        let mut had_unknown = false;
+
+        loop {
+            if self.stats.boolean_iterations >= self.options.max_iterations {
+                return Err(SolveError::IterationLimit(self.options.max_iterations));
+            }
+            if let Some(limit) = self.options.time_limit {
+                if started.elapsed() >= limit {
+                    self.stats.timed_out = true;
+                    return Ok(Outcome::Unknown);
+                }
+            }
+            let Some(model) = self.boolean.next_model() else {
+                return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
+            };
+            self.stats.boolean_iterations += 1;
+
+            // Induce theory obligations from the Boolean model.
+            // `fixed` items hold in every branch; `choices` collects the
+            // disjunctive alternatives from false multi-constraint defs.
+            let mut fixed: Vec<TheoryItem> = Vec::new();
+            let mut choices: Vec<(Lit, Vec<NlConstraint>)> = Vec::new();
+            let mut involved: Vec<Lit> = Vec::new();
+            for (var, def) in problem.defs() {
+                match model.value(var) {
+                    Tri::True => {
+                        involved.push(var.positive());
+                        let tag = involved.len() - 1;
+                        for c in &def.constraints {
+                            fixed.push(TheoryItem { tag, constraint: c.clone(), positive: true });
+                        }
+                    }
+                    Tri::False => {
+                        involved.push(var.negative());
+                        let tag = involved.len() - 1;
+                        if def.constraints.len() == 1 {
+                            fixed.push(TheoryItem {
+                                tag,
+                                constraint: def.constraints[0].clone(),
+                                positive: false,
+                            });
+                        } else {
+                            // ¬(c₁ ∧ … ∧ cₖ): at least one must fail.
+                            choices.push((var.negative(), def.constraints.clone()));
+                        }
+                    }
+                    Tri::Unknown => {}
+                }
+            }
+
+            let verdict = self.check_with_choices(problem, &fixed, &choices, &involved, &kinds, &ranges);
+
+            match verdict {
+                TheoryVerdict::Sat(arith) => {
+                    return Ok(Outcome::Sat(Box::new(AbModel { boolean: model, arith })));
+                }
+                TheoryVerdict::Unsat(tags) => {
+                    // Blocking clause: ¬(conjunction of conflicting literals).
+                    let clause: Vec<Lit> = tags.iter().map(|&t| !involved[t]).collect();
+                    self.stats.conflicts_fed_back += 1;
+                    self.stats.conflict_literals += clause.len() as u64;
+                    if !self.boolean.add_clause(&clause) {
+                        return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
+                    }
+                }
+                TheoryVerdict::Unknown => {
+                    had_unknown = true;
+                    self.stats.unknown_checks += 1;
+                    // Cannot decide this Boolean model; block its full
+                    // theory projection and move on (final verdict can
+                    // then be at best Unknown).
+                    let clause: Vec<Lit> = involved.iter().map(|&l| !l).collect();
+                    if clause.is_empty() || !self.boolean.add_clause(&clause) {
+                        return Ok(Outcome::Unknown);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks the theory obligations, exploring the disjunctive choices
+    /// from false multi-constraint definitions.
+    fn check_with_choices(
+        &mut self,
+        problem: &AbProblem,
+        fixed: &[TheoryItem],
+        choices: &[(Lit, Vec<NlConstraint>)],
+        involved: &[Lit],
+        kinds: &[VarKind],
+        ranges: &[Interval],
+    ) -> TheoryVerdict {
+        // Branch count = Π |choiceᵢ|; refuse pathological blow-ups.
+        let mut combos: usize = 1;
+        for (_, alts) in choices {
+            combos = combos.saturating_mul(alts.len());
+            if combos > self.options.max_def_branches {
+                return TheoryVerdict::Unknown;
+            }
+        }
+
+        let mut conflict_union: Vec<usize> = Vec::new();
+        let mut any_unknown = false;
+        for combo in 0..combos.max(1) {
+            let mut items: Vec<TheoryItem> = fixed.to_vec();
+            let mut rest = combo;
+            for (lit, alts) in choices {
+                let pick = rest % alts.len();
+                rest /= alts.len();
+                let tag = involved
+                    .iter()
+                    .position(|l| l == lit)
+                    .expect("choice literal is involved");
+                items.push(TheoryItem {
+                    tag,
+                    constraint: alts[pick].clone(),
+                    positive: false,
+                });
+            }
+            self.stats.theory_checks += 1;
+            let mut ctx = TheoryContext {
+                num_vars: problem.arith_vars().len(),
+                kinds,
+                ranges,
+                linear: &mut self.linear,
+                nonlinear: &mut self.nonlinear,
+                budget: self.options.theory.clone(),
+            };
+            match check(&items, &mut ctx) {
+                TheoryVerdict::Sat(m) => return TheoryVerdict::Sat(m),
+                TheoryVerdict::Unknown => any_unknown = true,
+                TheoryVerdict::Unsat(tags) => conflict_union.extend(tags),
+            }
+        }
+        if any_unknown {
+            TheoryVerdict::Unknown
+        } else {
+            conflict_union.sort_unstable();
+            conflict_union.dedup();
+            TheoryVerdict::Unsat(conflict_union)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{PenaltyNonlinear, RestartingBoolean};
+    use absolver_linear::CmpOp;
+    use absolver_nonlinear::Expr;
+    use absolver_num::Rational;
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    const PAPER_EXAMPLE: &str = "\
+p cnf 4 3
+1 0
+-2 3 0
+4 0
+c def int 1 i >= 0
+c def int 1 j >= 0
+c def int 2 2*i + j < 10
+c def int 3 i + j < 5
+c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
+c range a -10 10
+c range x -10 10
+c range y -10 10
+";
+
+    #[test]
+    fn solves_paper_example() {
+        let problem: AbProblem = PAPER_EXAMPLE.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().expect("satisfiable");
+        assert!(model.satisfies(&problem, 1e-6), "model must check out");
+        assert!(orc.stats().boolean_iterations >= 1);
+    }
+
+    #[test]
+    fn pure_boolean_problem() {
+        // No definitions: behaves exactly like a SAT solver.
+        let problem: AbProblem = "p cnf 2 2\n1 2 0\n-1 -2 0\n".parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_sat());
+        let unsat: AbProblem = "p cnf 1 2\n1 0\n-1 0\n".parse().unwrap();
+        assert!(orc.solve(&unsat).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn theory_conflict_forces_unsat() {
+        // Both atoms asserted, but x ≥ 5 ∧ x ≤ 3 is linearly impossible.
+        let text = "p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 5\nc def real 2 x <= 3\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+        assert!(orc.stats().conflicts_fed_back >= 1);
+    }
+
+    #[test]
+    fn boolean_escape_hatch() {
+        // (a ∨ b) with a: x ≥ 5, b: x ≤ 3 — each alone is satisfiable; and
+        // even a ∧ ¬b works (x = 7 > 3). The solver must find some
+        // consistent combination.
+        let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 5\nc def real 2 x <= 3\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().expect("satisfiable");
+        assert!(model.satisfies(&problem, 1e-6));
+    }
+
+    #[test]
+    fn negated_equality_splits() {
+        // Unit ¬a with a: x = 2, plus b: 1 ≤ x ≤ 3 forced true.
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let a = b.atom(Expr::var(x), CmpOp::Eq, q(2));
+        let lo = b.atom(Expr::var(x), CmpOp::Ge, q(1));
+        let hi = b.atom(Expr::var(x), CmpOp::Le, q(3));
+        b.require(a.negative());
+        b.require(lo.positive());
+        b.require(hi.positive());
+        let problem = b.build();
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().expect("x ∈ [1,3] \\ {2} is nonempty");
+        assert!(model.satisfies(&problem, 1e-9));
+    }
+
+    #[test]
+    fn integer_vs_real_semantics() {
+        // 1 < x < 2 has a real solution but no integer one.
+        let real_text = "p cnf 2 2\n1 0\n2 0\nc def real 1 x > 1\nc def real 2 x < 2\n";
+        let int_text = "p cnf 2 2\n1 0\n2 0\nc def int 1 x > 1\nc def int 2 x < 2\n";
+        let mut orc = Orchestrator::with_defaults();
+        let real_problem: AbProblem = real_text.parse().unwrap();
+        assert!(orc.solve(&real_problem).unwrap().is_sat());
+        let int_problem: AbProblem = int_text.parse().unwrap();
+        assert!(orc.solve(&int_problem).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn nonlinear_unsat_is_proved() {
+        // x² ≤ -1 within a bounded range: interval engine proves UNSAT.
+        let text = "p cnf 1 1\n1 0\nc def real 1 x^2 <= -1\nc range x -50 50\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn false_conjunction_definition_branches() {
+        // v ⇔ (x ≥ 0 ∧ x ≤ 10), ¬v forced, x = 20 consistent via x > 10.
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let v = b.atom(Expr::var(x), CmpOp::Ge, q(0));
+        b.define(v, absolver_nonlinear::NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)));
+        let pin = b.atom(Expr::var(x), CmpOp::Ge, q(15));
+        b.require(v.negative());
+        b.require(pin.positive());
+        let problem = b.build();
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().expect("x ≥ 15 falsifies the conjunction");
+        assert!(model.satisfies(&problem, 1e-9));
+    }
+
+    #[test]
+    fn false_conjunction_definition_unsat() {
+        // v ⇔ (x ≥ 0 ∧ x ≤ 10), ¬v forced, but 3 ≤ x ≤ 4 forced too.
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let v = b.atom(Expr::var(x), CmpOp::Ge, q(0));
+        b.define(v, absolver_nonlinear::NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)));
+        let lo = b.atom(Expr::var(x), CmpOp::Ge, q(3));
+        let hi = b.atom(Expr::var(x), CmpOp::Le, q(4));
+        b.require(v.negative());
+        b.require(lo.positive());
+        b.require(hi.positive());
+        let problem = b.build();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn solve_all_enumerates_boolean_models() {
+        // Two free atoms over a generous range: x ≥ 0 and x ≤ 100 — of the
+        // 4 Boolean combinations, (¬(x≥0) ∧ ¬(x≤100)) is theory-impossible.
+        let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let models = orc.solve_all(&problem, usize::MAX).unwrap();
+        assert_eq!(models.len(), 3);
+        for m in &models {
+            assert!(m.satisfies(&problem, 1e-9));
+        }
+    }
+
+    #[test]
+    fn solve_all_respects_cap() {
+        let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert_eq!(orc.solve_all(&problem, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn restarting_backend_produces_same_verdicts() {
+        let problem: AbProblem = PAPER_EXAMPLE.parse().unwrap();
+        let mut orc =
+            Orchestrator::with_defaults().with_boolean(Box::new(RestartingBoolean::new()));
+        let outcome = orc.solve(&problem).unwrap();
+        assert!(outcome.model().unwrap().satisfies(&problem, 1e-6));
+    }
+
+    #[test]
+    fn penalty_only_cannot_prove_unsat() {
+        // With only the numerical IPOPT stand-in, an UNSAT nonlinear core
+        // yields Unknown, not Unsat — faithful to a local solver's limits.
+        let text = "p cnf 1 1\n1 0\nc def real 1 x^2 <= -1\nc range x -50 50\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::custom(Box::new(CdclBoolean::new()))
+            .with_linear(Box::new(SimplexLinear::new()))
+            .with_nonlinear(Box::new(PenaltyNonlinear::default()));
+        assert_eq!(orc.solve(&problem).unwrap(), Outcome::Unknown);
+    }
+
+    #[test]
+    fn iteration_limit_errors() {
+        let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut opts = OrchestratorOptions::default();
+        opts.max_iterations = 0;
+        let mut orc = Orchestrator::with_defaults().with_options(opts);
+        assert_eq!(orc.solve(&problem), Err(SolveError::IterationLimit(0)));
+    }
+
+    #[test]
+    fn stats_display() {
+        let problem: AbProblem = "p cnf 1 1\n1 0\n".parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        orc.solve(&problem).unwrap();
+        let s = format!("{}", orc.stats());
+        assert!(s.contains("iterations=1"));
+    }
+}
+
+#[cfg(test)]
+mod time_limit_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_time_limit_returns_unknown() {
+        let problem: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
+        let mut opts = OrchestratorOptions::default();
+        opts.time_limit = Some(Duration::ZERO);
+        let mut orc = Orchestrator::with_defaults().with_options(opts);
+        assert_eq!(orc.solve(&problem).unwrap(), Outcome::Unknown);
+        assert!(orc.stats().timed_out);
+    }
+
+    #[test]
+    fn generous_time_limit_does_not_interfere() {
+        let problem: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
+        let mut opts = OrchestratorOptions::default();
+        opts.time_limit = Some(Duration::from_secs(3600));
+        let mut orc = Orchestrator::with_defaults().with_options(opts);
+        assert!(orc.solve(&problem).unwrap().is_sat());
+        assert!(!orc.stats().timed_out);
+    }
+}

@@ -1,0 +1,833 @@
+//! ABsolver's extended DIMACS input language (paper Sec. 1.1, Fig. 2).
+//!
+//! The format is ordinary DIMACS CNF plus *definition* comment lines:
+//!
+//! ```text
+//! p cnf 4 3
+//! 1 0
+//! -2 3 0
+//! 4 0
+//! c def int 1 i >= 0
+//! c def int 2 2*i + j < 10
+//! c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
+//! ```
+//!
+//! `c def <int|real> <v> <lhs> <op> <rhs>` binds Boolean variable `v` to
+//! the arithmetic comparison; because definitions live in comment lines,
+//! "our format is still understood by any Boolean solver not aware of the
+//! extensions". A variable mentioned in any `int` definition is integer.
+//!
+//! Two reproduction extensions, both also comments:
+//! `c range <name> <lo> <hi>` supplies the initial search box used by the
+//! interval engine, and `c var <int|real> <name>` pre-declares a variable.
+
+use crate::problem::{AbProblem, ArithVar, AtomDef, VarKind};
+use absolver_linear::CmpOp;
+use absolver_logic::dimacs;
+use absolver_nonlinear::{Expr, NlConstraint, VarId};
+use absolver_num::{Interval, Rational};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error parsing the extended DIMACS format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAbError {
+    message: String,
+}
+
+impl ParseAbError {
+    fn new(message: impl Into<String>) -> ParseAbError {
+        ParseAbError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseAbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AB-problem parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseAbError {}
+
+impl From<dimacs::ParseDimacsError> for ParseAbError {
+    fn from(e: dimacs::ParseDimacsError) -> ParseAbError {
+        ParseAbError::new(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(Rational),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    Cmp(CmpOp),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseAbError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '^' => {
+                out.push(Token::Caret);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Cmp(CmpOp::Le));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(Token::Cmp(CmpOp::Eq));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: Rational = text
+                    .parse()
+                    .map_err(|_| ParseAbError::new(format!("bad numeric literal `{text}`")))?;
+                out.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(ParseAbError::new(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Expression parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+struct ExprParser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    vars: &'a mut VarInterner,
+    kind: VarKind,
+}
+
+/// Variable interning shared across definitions; tracks kind promotion
+/// (mention in any `int` definition makes a variable integer).
+#[derive(Debug, Default)]
+struct VarInterner {
+    names: Vec<String>,
+    kinds: Vec<VarKind>,
+    ranges: Vec<Interval>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarInterner {
+    fn intern(&mut self, name: &str, kind: VarKind) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            if kind == VarKind::Int {
+                self.kinds[id] = VarKind::Int;
+            }
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        self.ranges.push(Interval::ENTIRE);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+}
+
+const FUNCTIONS: &[&str] = &["sin", "cos", "exp", "ln", "sqrt", "abs"];
+
+impl ExprParser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseAbError> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            other => Err(ParseAbError::new(format!("expected {t:?}, found {other:?}"))),
+        }
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<Expr, ParseAbError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    acc = acc + self.term()?;
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    acc = acc - self.term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    /// term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Result<Expr, ParseAbError> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    acc = acc * self.factor()?;
+                }
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    acc = acc / self.factor()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    /// factor := '-'* power
+    fn factor(&mut self) -> Result<Expr, ParseAbError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            return Ok(-self.factor()?);
+        }
+        self.power()
+    }
+
+    /// power := primary ('^' integer)?
+    fn power(&mut self) -> Result<Expr, ParseAbError> {
+        let base = self.primary()?;
+        if self.peek() == Some(&Token::Caret) {
+            self.pos += 1;
+            let negative = if self.peek() == Some(&Token::Minus) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            };
+            match self.next() {
+                Some(Token::Number(n)) if n.is_integer() => {
+                    let exp = n
+                        .numer()
+                        .to_i64()
+                        .filter(|&e| e.unsigned_abs() <= i32::MAX as u64)
+                        .ok_or_else(|| ParseAbError::new("power exponent out of range"))?;
+                    let exp = if negative { -exp } else { exp };
+                    Ok(base.pow(exp as i32))
+                }
+                other => Err(ParseAbError::new(format!(
+                    "expected integer exponent, found {other:?}"
+                ))),
+            }
+        } else {
+            Ok(base)
+        }
+    }
+
+    /// primary := number | func primary | ident | '(' expr ')'
+    fn primary(&mut self) -> Result<Expr, ParseAbError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::constant(n)),
+            Some(Token::Ident(name)) => {
+                if FUNCTIONS.contains(&name.as_str()) {
+                    let arg = self.primary()?;
+                    Ok(match name.as_str() {
+                        "sin" => arg.sin(),
+                        "cos" => arg.cos(),
+                        "exp" => arg.exp(),
+                        "ln" => arg.ln(),
+                        "sqrt" => arg.sqrt(),
+                        "abs" => arg.abs(),
+                        _ => unreachable!("function list is fixed"),
+                    })
+                } else {
+                    Ok(Expr::var(self.vars.intern(&name, self.kind)))
+                }
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseAbError::new(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+
+    /// comparison := expr cmp expr
+    fn comparison(&mut self) -> Result<NlConstraint, ParseAbError> {
+        let lhs = self.expr()?;
+        let op = match self.next() {
+            Some(Token::Cmp(op)) => op,
+            other => {
+                return Err(ParseAbError::new(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let rhs = self.expr()?;
+        if self.pos != self.tokens.len() {
+            return Err(ParseAbError::new("trailing tokens after comparison"));
+        }
+        // Normalise: keep a constant RHS when possible, else move everything
+        // to the left-hand side.
+        Ok(match rhs {
+            Expr::Const(c) => NlConstraint::new(lhs.simplify(), op, c),
+            rhs => NlConstraint::new((lhs - rhs).simplify(), op, Rational::zero()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-level parsing
+// ---------------------------------------------------------------------------
+
+/// Parses the extended DIMACS format into an [`AbProblem`].
+///
+/// # Errors
+///
+/// Returns [`ParseAbError`] on malformed DIMACS structure, definition
+/// syntax errors, out-of-range Boolean variables, or duplicate definitions.
+pub fn parse(text: &str) -> Result<AbProblem, ParseAbError> {
+    let file = dimacs::parse(text)?;
+    let mut cnf = file.cnf;
+    let mut interner = VarInterner::default();
+    let mut defs: std::collections::BTreeMap<u32, AtomDef> = Default::default();
+
+    for comment in &file.comments {
+        let trimmed = comment.trim();
+        if let Some(rest) = trimmed.strip_prefix("def ") {
+            let mut words = rest.splitn(3, char::is_whitespace);
+            let kind = match words.next() {
+                Some("int") => VarKind::Int,
+                Some("real") => VarKind::Real,
+                other => {
+                    return Err(ParseAbError::new(format!(
+                        "expected `int` or `real` in definition, found {other:?}"
+                    )))
+                }
+            };
+            let var_num: u32 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .filter(|&v| v > 0)
+                .ok_or_else(|| {
+                    ParseAbError::new(format!("bad Boolean variable in definition `{rest}`"))
+                })?;
+            let body = words
+                .next()
+                .ok_or_else(|| ParseAbError::new(format!("missing constraint in `{rest}`")))?;
+            let tokens = tokenize(body)?;
+            let mut parser = ExprParser {
+                tokens: &tokens,
+                pos: 0,
+                vars: &mut interner,
+                kind,
+            };
+            let constraint = parser.comparison()?;
+            let var_index = var_num - 1;
+            if cnf.num_vars() <= var_index as usize {
+                // Definitions may mention variables beyond the clause set.
+                while cnf.num_vars() <= var_index as usize {
+                    cnf.fresh_var();
+                }
+            }
+            // Repeated `def` lines on the same variable conjoin, exactly
+            // like the two `def int 1 …` lines of the paper's Fig. 2.
+            defs.entry(var_index).or_default().constraints.push(constraint);
+        } else if let Some(rest) = trimmed.strip_prefix("range ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(ParseAbError::new(format!("bad range line `{rest}`")));
+            }
+            let id = interner
+                .by_name
+                .get(parts[0])
+                .copied()
+                .ok_or_else(|| {
+                    ParseAbError::new(format!(
+                        "range for unknown variable `{}` (ranges must follow definitions)",
+                        parts[0]
+                    ))
+                })?;
+            let lo: f64 = parts[1]
+                .parse()
+                .map_err(|_| ParseAbError::new(format!("bad range bound `{}`", parts[1])))?;
+            let hi: f64 = parts[2]
+                .parse()
+                .map_err(|_| ParseAbError::new(format!("bad range bound `{}`", parts[2])))?;
+            if lo > hi || lo.is_nan() || hi.is_nan() {
+                return Err(ParseAbError::new(format!("empty range `{rest}`")));
+            }
+            interner.ranges[id] = interner.ranges[id].intersect(Interval::new(lo, hi));
+        } else if let Some(rest) = trimmed.strip_prefix("var ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 2 {
+                return Err(ParseAbError::new(format!("bad var line `{rest}`")));
+            }
+            let kind = match parts[0] {
+                "int" => VarKind::Int,
+                "real" => VarKind::Real,
+                other => {
+                    return Err(ParseAbError::new(format!(
+                        "expected `int` or `real` in var line, found `{other}`"
+                    )))
+                }
+            };
+            interner.intern(parts[1], kind);
+        }
+        // Other comments are ignored, as any plain SAT solver would.
+    }
+
+    let vars: Vec<ArithVar> = interner
+        .names
+        .iter()
+        .zip(&interner.kinds)
+        .zip(&interner.ranges)
+        .map(|((name, &kind), &range)| ArithVar { name: name.clone(), kind, range })
+        .collect();
+
+    Ok(AbProblem {
+        cnf,
+        defs,
+        vars,
+        by_name: interner.by_name,
+    })
+}
+
+impl FromStr for AbProblem {
+    type Err = ParseAbError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Formats an expression using the problem's variable names (instead of the
+/// positional `v0, v1, …` of [`Expr`]'s `Display`).
+pub fn format_expr(expr: &Expr, names: &[String]) -> String {
+    fn go(e: &Expr, names: &[String], min_prec: u8, out: &mut String) {
+        let prec = match e {
+            Expr::Add(..) | Expr::Sub(..) => 1,
+            Expr::Mul(..) | Expr::Div(..) => 2,
+            // Negative constants print with a leading minus, so they bind
+            // like a negation (`-4 ^ 2` must not re-parse as `-(4^2)`).
+            Expr::Neg(_) => 3,
+            Expr::Const(c) if c.is_negative() => 3,
+            // `^` does not chain in the grammar, so a Pow base must sit
+            // strictly above it (atoms are 5).
+            Expr::Pow(..) => 4,
+            _ => 5,
+        };
+        let paren = prec < min_prec;
+        if paren {
+            out.push_str("( ");
+        }
+        match e {
+            Expr::Const(c) => {
+                if c.is_integer() {
+                    out.push_str(&c.to_string());
+                } else {
+                    // Prefer decimal when exact, else a/b.
+                    out.push_str(&rational_to_source(c));
+                }
+            }
+            Expr::Var(v) => out.push_str(
+                names
+                    .get(*v)
+                    .map(String::as_str)
+                    .unwrap_or("_unknown_"),
+            ),
+            Expr::Neg(a) => {
+                out.push('-');
+                go(a, names, 4, out);
+            }
+            Expr::Add(a, b) => {
+                go(a, names, 1, out);
+                out.push_str(" + ");
+                go(b, names, 2, out);
+            }
+            Expr::Sub(a, b) => {
+                go(a, names, 1, out);
+                out.push_str(" - ");
+                go(b, names, 2, out);
+            }
+            Expr::Mul(a, b) => {
+                go(a, names, 2, out);
+                out.push_str(" * ");
+                go(b, names, 3, out);
+            }
+            Expr::Div(a, b) => {
+                go(a, names, 2, out);
+                out.push_str(" / ");
+                go(b, names, 3, out);
+            }
+            Expr::Pow(a, n) => {
+                go(a, names, 5, out);
+                out.push_str(&format!(" ^ {n}"));
+            }
+            Expr::Sin(a) => fun("sin", a, names, out),
+            Expr::Cos(a) => fun("cos", a, names, out),
+            Expr::Exp(a) => fun("exp", a, names, out),
+            Expr::Ln(a) => fun("ln", a, names, out),
+            Expr::Sqrt(a) => fun("sqrt", a, names, out),
+            Expr::Abs(a) => fun("abs", a, names, out),
+        }
+        if paren {
+            out.push_str(" )");
+        }
+    }
+    fn fun(name: &str, arg: &Expr, names: &[String], out: &mut String) {
+        out.push_str(name);
+        out.push_str(" ( ");
+        go(arg, names, 0, out);
+        out.push_str(" )");
+    }
+    let mut s = String::new();
+    go(expr, names, 0, &mut s);
+    s
+}
+
+/// Renders a rational as source text: a decimal literal when the
+/// denominator is of the form `2ᵃ·5ᵇ` (finite decimal expansion), else the
+/// always-correct division form `a / b`.
+fn rational_to_source(q: &Rational) -> String {
+    use absolver_num::BigInt;
+    if q.is_integer() {
+        return q.to_string();
+    }
+    // Count factors of 2 and 5 in the denominator.
+    let mut rest = q.denom().clone();
+    let (two, five) = (BigInt::from(2u64), BigInt::from(5u64));
+    let mut a = 0u32;
+    let mut b = 0u32;
+    loop {
+        let (d, r) = rest.div_rem(&two);
+        if r.is_zero() {
+            rest = d;
+            a += 1;
+        } else {
+            break;
+        }
+    }
+    loop {
+        let (d, r) = rest.div_rem(&five);
+        if r.is_zero() {
+            rest = d;
+            b += 1;
+        } else {
+            break;
+        }
+    }
+    if rest.is_one() && a.max(b) <= 30 {
+        let digits = a.max(b);
+        let scale = BigInt::from(10u64).pow(digits);
+        let scaled = q.numer() * &scale / q.denom();
+        let neg = scaled.is_negative();
+        let s = scaled.abs().to_string();
+        let s = format!("{:0>width$}", s, width = digits as usize + 1);
+        let (int_part, frac_part) = s.split_at(s.len() - digits as usize);
+        format!("{}{}.{}", if neg { "-" } else { "" }, int_part, frac_part)
+    } else {
+        // Division form: parenthesised, because the text embeds a `/`
+        // operator that must not associate with surrounding factors.
+        format!("( {} / {} )", q.numer(), q.denom())
+    }
+}
+
+/// Serialises a problem in the extended DIMACS format. The output parses
+/// back to an equivalent problem (round-trip).
+pub fn write(problem: &AbProblem) -> String {
+    let names: Vec<String> = problem.arith_vars().iter().map(|v| v.name.clone()).collect();
+    let mut comments = Vec::new();
+    // Pre-declare variables so kinds and ranges survive even for variables
+    // whose first definition would infer differently.
+    for v in problem.arith_vars() {
+        comments.push(format!("var {} {}", v.kind, v.name));
+    }
+    for (var, def) in problem.defs() {
+        for constraint in &def.constraints {
+            let kind = constraint
+                .expr
+                .variables()
+                .iter()
+                .map(|&v| problem.arith_vars()[v].kind)
+                .fold(VarKind::Int, |acc, k| {
+                    if k == VarKind::Real {
+                        VarKind::Real
+                    } else {
+                        acc
+                    }
+                });
+            comments.push(format!(
+                "def {} {} {} {} {}",
+                kind,
+                var.index() + 1,
+                format_expr(&constraint.expr, &names),
+                constraint.op,
+                rational_to_source_rhs(&constraint.rhs),
+            ));
+        }
+    }
+    for v in problem.arith_vars() {
+        if v.range != Interval::ENTIRE {
+            comments.push(format!("range {} {} {}", v.name, v.range.lo(), v.range.hi()));
+        }
+    }
+    dimacs::write(problem.cnf(), &comments)
+}
+
+fn rational_to_source_rhs(q: &Rational) -> String {
+    if q.is_integer() {
+        q.to_string()
+    } else {
+        format!("( {} / {} )", q.numer(), q.denom())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::VarKind;
+    use absolver_linear::CmpOp;
+
+    const PAPER_EXAMPLE: &str = "\
+p cnf 4 3
+1 0
+-2 3 0
+4 0
+c def int 1 i >= 0
+c def int 1 j >= 0
+c def int 2 2*i + j < 10
+c def int 3 i + j < 5
+c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
+";
+
+    #[test]
+    fn parses_paper_example() {
+        // Fig. 2 verbatim: variable 1 carries a two-constraint conjunction.
+        let p: AbProblem = PAPER_EXAMPLE.parse().unwrap();
+        assert_eq!(p.cnf().num_vars(), 4);
+        assert_eq!(p.cnf().len(), 3);
+        assert_eq!(p.num_defs(), 4);
+        assert_eq!(p.num_constraints(), 5);
+        assert_eq!(p.num_linear(), 4);
+        assert_eq!(p.num_nonlinear(), 1);
+        assert_eq!(
+            p.def(absolver_logic::Var::new(0)).unwrap().constraints.len(),
+            2
+        );
+        // i, j are int; a, x, y real.
+        let vars = p.arith_vars();
+        let kind = |n: &str| vars[p.arith_var(n).unwrap()].kind;
+        assert_eq!(kind("i"), VarKind::Int);
+        assert_eq!(kind("j"), VarKind::Int);
+        assert_eq!(kind("a"), VarKind::Real);
+        assert_eq!(kind("x"), VarKind::Real);
+        assert_eq!(kind("y"), VarKind::Real);
+    }
+
+    #[test]
+    fn parses_constraint_shapes() {
+        let p: AbProblem = "p cnf 3 1\n1 2 3 0\nc def real 1 x^2 + y^2 <= 1\nc def real 2 sin ( x ) > 0.5\nc def real 3 x = y\n"
+            .parse()
+            .unwrap();
+        let defs: Vec<_> = p.defs().collect();
+        assert_eq!(defs.len(), 3);
+        assert_eq!(defs[0].1.constraints[0].op, CmpOp::Le);
+        assert_eq!(defs[1].1.constraints[0].op, CmpOp::Gt);
+        assert_eq!(defs[2].1.constraints[0].op, CmpOp::Eq);
+        assert!(!defs[0].1.constraints[0].expr.is_linear());
+    }
+
+    #[test]
+    fn nonconstant_rhs_is_normalised() {
+        let p: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x + 1 <= y\n".parse().unwrap();
+        let (_, def) = p.defs().next().unwrap();
+        let constraint = &def.constraints[0];
+        // x + 1 ≤ y becomes (x + 1 − y) ≤ 0.
+        assert_eq!(constraint.rhs, Rational::zero());
+        assert!(constraint.expr.is_linear());
+        let (lin, c) = constraint.expr.to_affine().unwrap();
+        assert_eq!(c, Rational::one());
+        assert_eq!(lin.coeff(p.arith_var("x").unwrap()), Rational::one());
+        assert_eq!(lin.coeff(p.arith_var("y").unwrap()), Rational::from_int(-1));
+    }
+
+    #[test]
+    fn ranges_and_var_declarations() {
+        let text = "p cnf 1 1\n1 0\nc var real speed\nc def real 1 speed ^ 2 <= 400\nc range speed -20 20\n";
+        let p: AbProblem = text.parse().unwrap();
+        let v = p.arith_var("speed").unwrap();
+        assert_eq!(p.arith_vars()[v].range, Interval::new(-20.0, 20.0));
+        assert_eq!(p.arith_vars()[v].kind, VarKind::Real);
+    }
+
+    #[test]
+    fn int_promotion() {
+        // x first appears in a real def, then in an int def → Int overall.
+        let text = "p cnf 2 1\n1 2 0\nc def real 1 x * x >= 1\nc def int 2 x <= 3\n";
+        let p: AbProblem = text.parse().unwrap();
+        assert_eq!(p.arith_vars()[p.arith_var("x").unwrap()].kind, VarKind::Int);
+    }
+
+    #[test]
+    fn def_can_extend_variable_count() {
+        let text = "p cnf 1 1\n1 0\nc def int 9 k >= 1\n";
+        let p: AbProblem = text.parse().unwrap();
+        assert_eq!(p.cnf().num_vars(), 9);
+        assert!(p.def(absolver_logic::Var::new(8)).is_some());
+    }
+
+    #[test]
+    fn parse_errors() {
+        // Bad keyword.
+        assert!("p cnf 1 1\n1 0\nc def bool 1 x >= 0\n".parse::<AbProblem>().is_err());
+        // Bad variable number.
+        assert!("p cnf 1 1\n1 0\nc def int 0 x >= 0\n".parse::<AbProblem>().is_err());
+        // Missing operator.
+        assert!("p cnf 1 1\n1 0\nc def int 1 x + 1\n".parse::<AbProblem>().is_err());
+        // Trailing garbage.
+        assert!("p cnf 1 1\n1 0\nc def int 1 x >= 0 0\n".parse::<AbProblem>().is_err());
+        // Unbalanced parenthesis.
+        assert!("p cnf 1 1\n1 0\nc def int 1 ( x >= 0\n".parse::<AbProblem>().is_err());
+        // Unknown character.
+        assert!("p cnf 1 1\n1 0\nc def int 1 x ? 0\n".parse::<AbProblem>().is_err());
+        // Range before definition of the variable.
+        assert!("p cnf 1 1\n1 0\nc range x 0 1\n".parse::<AbProblem>().is_err());
+        // Empty range.
+        assert!("p cnf 1 1\n1 0\nc var real x\nc range x 2 1\n".parse::<AbProblem>().is_err());
+    }
+
+    #[test]
+    fn power_and_unary_minus() {
+        let p: AbProblem = "p cnf 1 1\n1 0\nc def real 1 -x^2 + --y <= -1.5\n"
+            .parse()
+            .unwrap();
+        let (_, def) = p.defs().next().unwrap();
+        let constraint = &def.constraints[0];
+        let x = p.arith_var("x").unwrap();
+        let y = p.arith_var("y").unwrap();
+        let mut point = vec![0.0; 2];
+        point[x] = 2.0;
+        point[y] = 1.0;
+        // −(2²) + 1 = −3 ≤ −1.5 holds.
+        assert!(constraint.eval(&point));
+        point[y] = 3.0;
+        // −4 + 3 = −1 ≤ −1.5 fails.
+        assert!(!constraint.eval(&point));
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 3 2\n1 -2 0\n3 0\nc def int 1 i + 2 * j <= 7\nc def real 2 x * y > 1\nc def real 3 sin ( x ) >= 0.5\nc range x -10 10\n";
+        let p1: AbProblem = text.parse().unwrap();
+        let rendered = write(&p1);
+        let p2: AbProblem = rendered.parse().unwrap();
+        assert_eq!(p1.cnf(), p2.cnf());
+        assert_eq!(p1.num_defs(), p2.num_defs());
+        assert_eq!(p1.arith_vars().len(), p2.arith_vars().len());
+        // Semantics preserved: same evaluation on sample points.
+        let sample = vec![1.0, 2.0, 0.7];
+        for ((_, d1), (_, d2)) in p1.defs().zip(p2.defs()) {
+            for (c1, c2) in d1.constraints.iter().zip(&d2.constraints) {
+                assert_eq!(c1.eval(&sample), c2.eval(&sample));
+            }
+        }
+        // Ranges preserved.
+        let x1 = p1.arith_var("x").unwrap();
+        let x2 = p2.arith_var("x").unwrap();
+        assert_eq!(p1.arith_vars()[x1].range, p2.arith_vars()[x2].range);
+    }
+
+    #[test]
+    fn tokenizer_handles_dense_and_spaced_input() {
+        let dense: AbProblem = "p cnf 1 1\n1 0\nc def int 1 2*i+j<10\n".parse().unwrap();
+        let spaced: AbProblem = "p cnf 1 1\n1 0\nc def int 1 2 * i + j < 10\n".parse().unwrap();
+        let (_, d1) = dense.defs().next().unwrap();
+        let (_, d2) = spaced.defs().next().unwrap();
+        for p in [[0.0, 0.0], [4.0, 1.0], [5.0, 0.0], [4.5, 1.0]] {
+            assert_eq!(d1.constraints[0].eval(&p), d2.constraints[0].eval(&p));
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The AB-satisfiability problem (paper Sec. 2).
+//!
+//! An *AB-problem* is a Boolean CNF skeleton together with *definitions*
+//! binding Boolean variables to arithmetic constraints: asserting the
+//! Boolean variable asserts the constraint(s), falsifying it asserts the
+//! negation (with `¬(… = c)` splitting into `< c ∨ > c`). A single Boolean
+//! variable may be bound to a *conjunction* of constraints — the paper's
+//! running example binds variable 1 to `(i ≥ 0) ∧ (j ≥ 0)` via two `def`
+//! lines. Variables of the arithmetic layer are typed `int` or `real`,
+//! mirroring the `def int` / `def real` keywords of the input format.
+
+use absolver_logic::{Assignment, Clause, Cnf, Lit, Tri, Var};
+use absolver_nonlinear::{NlConstraint, VarId};
+use absolver_num::{Interval, Rational};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Type of an arithmetic variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Ranges over the integers.
+    Int,
+    /// Ranges over the reals.
+    Real,
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VarKind::Int => "int",
+            VarKind::Real => "real",
+        })
+    }
+}
+
+/// An arithmetic variable: a name, a kind, and an optional search range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArithVar {
+    /// Source-level name.
+    pub name: String,
+    /// Integer or real.
+    pub kind: VarKind,
+    /// Domain used as the initial box by interval methods (defaults to the
+    /// whole line). Not itself a constraint.
+    pub range: Interval,
+}
+
+/// A definition: Boolean variable ⇔ conjunction of arithmetic constraints.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AtomDef {
+    /// The constraints (conjunction), over arithmetic variable ids.
+    pub constraints: Vec<NlConstraint>,
+}
+
+/// An AB-problem: CNF skeleton + arithmetic definitions + variable table.
+///
+/// Construct programmatically via [`AbProblem::builder`] or parse the
+/// extended DIMACS format via [`str::parse`] (see [`crate::parser`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AbProblem {
+    pub(crate) cnf: Cnf,
+    pub(crate) defs: BTreeMap<u32, AtomDef>,
+    pub(crate) vars: Vec<ArithVar>,
+    pub(crate) by_name: HashMap<String, VarId>,
+}
+
+impl AbProblem {
+    /// Starts building a problem programmatically.
+    pub fn builder() -> AbProblemBuilder {
+        AbProblemBuilder::default()
+    }
+
+    /// The Boolean skeleton.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The definition attached to a Boolean variable, if any.
+    pub fn def(&self, var: Var) -> Option<&AtomDef> {
+        self.defs.get(&(var.index() as u32))
+    }
+
+    /// Iterates over `(Boolean var, definition)` pairs in variable order.
+    pub fn defs(&self) -> impl Iterator<Item = (Var, &AtomDef)> {
+        self.defs.iter().map(|(&v, d)| (Var::new(v), d))
+    }
+
+    /// Number of defined Boolean variables.
+    pub fn num_defs(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Total number of arithmetic constraints across all definitions (the
+    /// paper's "(non-)linear expressions" count).
+    pub fn num_constraints(&self) -> usize {
+        self.defs.values().map(|d| d.constraints.len()).sum()
+    }
+
+    /// The arithmetic variable table.
+    pub fn arith_vars(&self) -> &[ArithVar] {
+        &self.vars
+    }
+
+    /// Looks up an arithmetic variable id by name.
+    pub fn arith_var(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The Boolean variables that carry definitions (the theory atoms).
+    pub fn theory_vars(&self) -> Vec<Var> {
+        self.defs.keys().map(|&v| Var::new(v)).collect()
+    }
+
+    /// Returns a copy of the problem with an extra clause — used e.g. to
+    /// force a particular atom polarity when generating test cases.
+    pub fn with_clause(&self, lits: impl IntoIterator<Item = Lit>) -> AbProblem {
+        let mut copy = self.clone();
+        copy.cnf.add_clause(lits.into_iter().collect::<Clause>());
+        copy
+    }
+
+    /// Count of affine constraints (the paper's "#linear" column).
+    pub fn num_linear(&self) -> usize {
+        self.defs
+            .values()
+            .flat_map(|d| &d.constraints)
+            .filter(|c| c.expr.is_linear())
+            .count()
+    }
+
+    /// Count of genuinely nonlinear constraints (the paper's "#nonlin."
+    /// column).
+    pub fn num_nonlinear(&self) -> usize {
+        self.num_constraints() - self.num_linear()
+    }
+}
+
+/// A model of an AB-problem: a Boolean assignment plus arithmetic values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbModel {
+    /// Truth values of the Boolean variables.
+    pub boolean: Assignment,
+    /// Values of the arithmetic variables.
+    pub arith: ArithModel,
+}
+
+/// Arithmetic part of a model: exact when produced by the linear engine,
+/// numeric when produced by the nonlinear engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArithModel {
+    /// Exact rational values (linear/integer path).
+    Exact(Vec<Rational>),
+    /// `f64` values within solver tolerance (nonlinear path).
+    Numeric(Vec<f64>),
+}
+
+impl ArithModel {
+    /// The value of variable `v` as `f64`.
+    pub fn value_f64(&self, v: VarId) -> Option<f64> {
+        match self {
+            ArithModel::Exact(m) => m.get(v).map(Rational::to_f64),
+            ArithModel::Numeric(m) => m.get(v).copied(),
+        }
+    }
+
+    /// The exact value of variable `v`, when available.
+    pub fn value_exact(&self, v: VarId) -> Option<&Rational> {
+        match self {
+            ArithModel::Exact(m) => m.get(v),
+            ArithModel::Numeric(_) => None,
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        match self {
+            ArithModel::Exact(m) => m.len(),
+            ArithModel::Numeric(m) => m.len(),
+        }
+    }
+
+    /// Returns `true` if no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AbModel {
+    /// Validates the model against `problem`: the CNF must evaluate to
+    /// true, and every definition must be *consistent* — a true atom's
+    /// constraints all hold, a false atom has at least one failing
+    /// constraint (within `tol` on the numeric path).
+    pub fn satisfies(&self, problem: &AbProblem, tol: f64) -> bool {
+        if problem.cnf.eval(&self.boolean) != Tri::True {
+            return false;
+        }
+        let point: Vec<f64> = (0..problem.vars.len())
+            .map(|v| self.arith.value_f64(v).unwrap_or(f64::NAN))
+            .collect();
+        // True atoms may satisfy their constraints up to +tol; false atoms
+        // are accepted unless every constraint holds even by a −tol margin
+        // (numeric witnesses may sit arbitrarily close to a boundary).
+        let holds = |c: &NlConstraint, slack: f64| match &self.arith {
+            ArithModel::Exact(m) => {
+                eval_exact(c, m).unwrap_or_else(|| c.eval_with_tol(&point, slack))
+            }
+            ArithModel::Numeric(_) => c.eval_with_tol(&point, slack),
+        };
+        for (var, def) in problem.defs() {
+            match self.boolean.value(var) {
+                Tri::True => {
+                    if !def.constraints.iter().all(|c| holds(c, tol)) {
+                        return false;
+                    }
+                }
+                Tri::False => {
+                    if def.constraints.iter().all(|c| holds(c, -tol)) {
+                        return false;
+                    }
+                }
+                Tri::Unknown => {}
+            }
+        }
+        true
+    }
+}
+
+/// Exact evaluation of a constraint when its expression is affine.
+pub(crate) fn eval_exact(c: &NlConstraint, values: &[Rational]) -> Option<bool> {
+    let (lin, k) = c.expr.to_affine()?;
+    let lhs = lin.eval(values) + k;
+    Some(c.op.eval(&lhs, &c.rhs))
+}
+
+/// Incremental builder for [`AbProblem`].
+///
+/// ```
+/// use absolver_core::{AbProblem, VarKind};
+/// use absolver_linear::CmpOp;
+/// use absolver_nonlinear::Expr;
+/// use absolver_num::Rational;
+///
+/// let mut b = AbProblem::builder();
+/// let i = b.arith_var("i", VarKind::Int);
+/// let atom = b.atom(Expr::var(i), CmpOp::Ge, Rational::zero());
+/// b.add_clause([atom.positive()]);
+/// let problem = b.build();
+/// assert_eq!(problem.num_defs(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct AbProblemBuilder {
+    cnf: Cnf,
+    defs: BTreeMap<u32, AtomDef>,
+    vars: Vec<ArithVar>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl AbProblemBuilder {
+    /// Declares (or finds) an arithmetic variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exists with a different kind.
+    pub fn arith_var(&mut self, name: &str, kind: VarKind) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.vars[id].kind, kind,
+                "variable `{name}` redeclared with different kind"
+            );
+            return id;
+        }
+        let id = self.vars.len();
+        self.vars.push(ArithVar {
+            name: name.to_string(),
+            kind,
+            range: Interval::ENTIRE,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Restricts the search range of an arithmetic variable (used as the
+    /// initial box of interval methods; *not* itself a constraint).
+    pub fn set_range(&mut self, var: VarId, range: Interval) {
+        self.vars[var].range = self.vars[var].range.intersect(range);
+    }
+
+    /// Allocates a fresh plain Boolean variable (no definition).
+    pub fn bool_var(&mut self) -> Var {
+        self.cnf.fresh_var()
+    }
+
+    /// Number of Boolean variables allocated so far.
+    pub fn num_bool_vars(&self) -> usize {
+        self.cnf.num_vars()
+    }
+
+    /// Allocates a Boolean variable defined as `expr ⋈ rhs`.
+    pub fn atom(
+        &mut self,
+        expr: absolver_nonlinear::Expr,
+        op: absolver_linear::CmpOp,
+        rhs: Rational,
+    ) -> Var {
+        self.atom_constraint(NlConstraint::new(expr, op, rhs))
+    }
+
+    /// Allocates a Boolean variable defined by an existing constraint.
+    pub fn atom_constraint(&mut self, constraint: NlConstraint) -> Var {
+        let var = self.cnf.fresh_var();
+        self.define(var, constraint);
+        var
+    }
+
+    /// Attaches a constraint to a Boolean variable. Repeated calls on the
+    /// same variable build a *conjunction* — exactly like repeated
+    /// `c def … <v> …` lines in the input format (paper Fig. 2).
+    pub fn define(&mut self, var: Var, constraint: NlConstraint) {
+        if let Some(max) = constraint.max_var() {
+            assert!(
+                max < self.vars.len(),
+                "constraint mentions undeclared arithmetic variable {max}"
+            );
+        }
+        while self.cnf.num_vars() <= var.index() {
+            self.cnf.fresh_var();
+        }
+        self.defs
+            .entry(var.index() as u32)
+            .or_default()
+            .constraints
+            .push(constraint);
+    }
+
+    /// Adds a clause of literals.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.cnf.add_clause(lits.into_iter().collect::<Clause>());
+    }
+
+    /// Adds a unit clause asserting `lit`.
+    pub fn require(&mut self, lit: Lit) {
+        self.add_clause([lit]);
+    }
+
+    /// Finalises the problem.
+    pub fn build(self) -> AbProblem {
+        AbProblem {
+            cnf: self.cnf,
+            defs: self.defs,
+            vars: self.vars,
+            by_name: self.by_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_linear::CmpOp;
+    use absolver_nonlinear::Expr;
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn builder_basics() {
+        let mut b = AbProblem::builder();
+        let i = b.arith_var("i", VarKind::Int);
+        let j = b.arith_var("j", VarKind::Int);
+        assert_eq!(b.arith_var("i", VarKind::Int), i); // idempotent
+        let a1 = b.atom(Expr::var(i), CmpOp::Ge, q(0));
+        let a2 = b.atom(Expr::var(i) + Expr::var(j), CmpOp::Lt, q(5));
+        let free = b.bool_var();
+        b.add_clause([a1.positive()]);
+        b.add_clause([a2.negative(), free.positive()]);
+        let p = b.build();
+        assert_eq!(p.num_defs(), 2);
+        assert_eq!(p.num_constraints(), 2);
+        assert_eq!(p.cnf().num_vars(), 3);
+        assert_eq!(p.arith_vars().len(), 2);
+        assert_eq!(p.arith_var("j"), Some(j));
+        assert_eq!(p.arith_var("zzz"), None);
+        assert_eq!(p.num_linear(), 2);
+        assert_eq!(p.num_nonlinear(), 0);
+        assert!(p.def(a1).is_some());
+        assert!(p.def(free).is_none());
+        assert_eq!(p.theory_vars(), vec![a1, a2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn redeclaration_with_other_kind_panics() {
+        let mut b = AbProblem::builder();
+        b.arith_var("x", VarKind::Int);
+        b.arith_var("x", VarKind::Real);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared arithmetic variable")]
+    fn atom_with_undeclared_var_panics() {
+        let mut b = AbProblem::builder();
+        b.atom(Expr::var(3), CmpOp::Ge, q(0));
+    }
+
+    #[test]
+    fn conjunction_definitions() {
+        // Paper Fig. 2: variable 1 ⇔ (i ≥ 0) ∧ (j ≥ 0).
+        let mut b = AbProblem::builder();
+        let i = b.arith_var("i", VarKind::Int);
+        let j = b.arith_var("j", VarKind::Int);
+        let v = b.atom(Expr::var(i), CmpOp::Ge, q(0));
+        b.define(v, NlConstraint::new(Expr::var(j), CmpOp::Ge, q(0)));
+        let p = b.build();
+        assert_eq!(p.num_defs(), 1);
+        assert_eq!(p.num_constraints(), 2);
+        assert_eq!(p.def(v).unwrap().constraints.len(), 2);
+    }
+
+    #[test]
+    fn nonlinear_counting() {
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let y = b.arith_var("y", VarKind::Real);
+        b.atom(Expr::var(x) * Expr::var(y), CmpOp::Ge, q(1));
+        b.atom(Expr::var(x) + Expr::var(y), CmpOp::Ge, q(1));
+        let p = b.build();
+        assert_eq!(p.num_linear(), 1);
+        assert_eq!(p.num_nonlinear(), 1);
+    }
+
+    #[test]
+    fn model_validation() {
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let a = b.atom(Expr::var(x), CmpOp::Ge, q(0));
+        b.require(a.positive());
+        let p = b.build();
+
+        let good = AbModel {
+            boolean: Assignment::from_bools([true]),
+            arith: ArithModel::Exact(vec![q(3)]),
+        };
+        assert!(good.satisfies(&p, 1e-9));
+
+        // Boolean var true but constraint violated → inconsistent.
+        let bad = AbModel {
+            boolean: Assignment::from_bools([true]),
+            arith: ArithModel::Exact(vec![q(-1)]),
+        };
+        assert!(!bad.satisfies(&p, 1e-9));
+
+        // Boolean assignment falsifies the CNF.
+        let bad2 = AbModel {
+            boolean: Assignment::from_bools([false]),
+            arith: ArithModel::Exact(vec![q(3)]),
+        };
+        assert!(!bad2.satisfies(&p, 1e-9));
+    }
+
+    #[test]
+    fn model_validation_checks_false_atoms() {
+        // Clause (¬a ∨ b) with defs a: x ≥ 0, b: x ≥ 10.
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let a = b.atom(Expr::var(x), CmpOp::Ge, q(0));
+        let bb = b.atom(Expr::var(x), CmpOp::Ge, q(10));
+        b.add_clause([a.negative(), bb.positive()]);
+        let p = b.build();
+        // a=false requires x < 0; claiming x = 5 is inconsistent.
+        let m = AbModel {
+            boolean: Assignment::from_bools([false, false]),
+            arith: ArithModel::Exact(vec![q(5)]),
+        };
+        assert!(!m.satisfies(&p, 1e-9));
+        // x = -1 makes a=false, b=false consistent.
+        let m = AbModel {
+            boolean: Assignment::from_bools([false, false]),
+            arith: ArithModel::Exact(vec![q(-1)]),
+        };
+        assert!(m.satisfies(&p, 1e-9));
+    }
+
+    #[test]
+    fn false_conjunction_atom_needs_one_failure() {
+        // v ⇔ (x ≥ 0 ∧ x ≤ 10); v = false needs x < 0 or x > 10.
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let v = b.atom(Expr::var(x), CmpOp::Ge, q(0));
+        b.define(v, NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)));
+        b.require(v.negative());
+        let p = b.build();
+        let inside = AbModel {
+            boolean: Assignment::from_bools([false]),
+            arith: ArithModel::Exact(vec![q(5)]),
+        };
+        assert!(!inside.satisfies(&p, 1e-9));
+        let outside = AbModel {
+            boolean: Assignment::from_bools([false]),
+            arith: ArithModel::Exact(vec![q(42)]),
+        };
+        assert!(outside.satisfies(&p, 1e-9));
+    }
+
+    #[test]
+    fn numeric_model_tolerance() {
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let a = b.atom(Expr::var(x), CmpOp::Eq, q(1));
+        b.require(a.positive());
+        let p = b.build();
+        let m = AbModel {
+            boolean: Assignment::from_bools([true]),
+            arith: ArithModel::Numeric(vec![1.0 + 1e-9]),
+        };
+        assert!(m.satisfies(&p, 1e-6));
+        assert!(!m.satisfies(&p, 1e-12));
+    }
+}

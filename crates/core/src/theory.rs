@@ -1,0 +1,596 @@
+//! Theory checking for a candidate Boolean assignment.
+//!
+//! Given the arithmetic constraints implied by a Boolean model (Sec. 1's
+//! "linear constraint system", generalised to AB), this module decides
+//! their conjunction:
+//!
+//! 1. the affine subset goes to the pluggable linear backend (simplex),
+//!    extended here with branch-and-bound for `int`-typed variables and
+//!    lazy case splits for *disequalities* (`¬(Σaᵢxᵢ = c)` becomes
+//!    `< c ∨ > c` exactly as Sec. 1 prescribes, but split lazily instead
+//!    of eagerly to avoid exponential branch enumeration);
+//! 2. if genuinely nonlinear constraints are present, the full system is
+//!    handed to the nonlinear backend, whose verdict is final — mirroring
+//!    the paper's "if the output pin's value is not yet known, the
+//!    nonlinear solver is called".
+//!
+//! Conflicts are reported as sets of *tags* (indices chosen by the caller,
+//! in practice identifying the Boolean literals that induced each
+//! constraint), so the orchestrator can turn them into blocking clauses.
+
+use crate::backends::{LinearBackend, NonlinearBackend};
+use crate::problem::{ArithModel, VarKind};
+use absolver_linear::{CmpOp, Feasibility, LinExpr, LinearConstraint};
+use absolver_nonlinear::{NlConstraint, NlProblem, NlVerdict};
+use absolver_num::{Interval, Rational};
+
+/// One theory obligation: the constraint must hold (`Assert`) or must be
+/// violated (`Refute`, arising from a false atom whose negation is not a
+/// single comparison, i.e. equalities).
+#[derive(Debug, Clone)]
+pub struct TheoryItem {
+    /// Caller-chosen tag identifying the origin (a Boolean literal).
+    pub tag: usize,
+    /// The constraint.
+    pub constraint: NlConstraint,
+    /// `true` to assert the constraint, `false` to assert its negation.
+    pub positive: bool,
+}
+
+/// Verdict of a theory check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TheoryVerdict {
+    /// Satisfiable; carries values for all arithmetic variables.
+    Sat(ArithModel),
+    /// Unsatisfiable; the tags of a conflicting subset of the items.
+    Unsat(Vec<usize>),
+    /// Could not be decided within budget.
+    Unknown,
+}
+
+/// Budgets for the theory engines.
+#[derive(Debug, Clone)]
+pub struct TheoryBudget {
+    /// Maximum branch-and-bound / disequality-split nodes on the linear path.
+    pub max_nodes: usize,
+    /// Maximum disequality splits on the nonlinear path.
+    pub max_nl_splits: usize,
+}
+
+impl Default for TheoryBudget {
+    fn default() -> Self {
+        TheoryBudget { max_nodes: 50_000, max_nl_splits: 16 }
+    }
+}
+
+/// The context a theory check runs in.
+pub struct TheoryContext<'a> {
+    /// Number of arithmetic variables.
+    pub num_vars: usize,
+    /// Kind of each variable.
+    pub kinds: &'a [VarKind],
+    /// Initial search box of each variable.
+    pub ranges: &'a [Interval],
+    /// Linear backends, tried in order.
+    pub linear: &'a mut [Box<dyn LinearBackend>],
+    /// Nonlinear backends, tried in order.
+    pub nonlinear: &'a mut [Box<dyn NonlinearBackend>],
+    /// Budgets.
+    pub budget: TheoryBudget,
+}
+
+/// Normalised internal form of a query: asserted constraints plus affine
+/// disequalities (negated equalities that stay lazy).
+struct Normalised {
+    /// `(tag, constraint)` — must hold; affine ones are split out below.
+    nl_asserts: Vec<(usize, NlConstraint)>,
+    lin_asserts: Vec<(usize, LinearConstraint)>,
+    /// `(tag, affine lhs, rhs)` — `lhs ≠ rhs` must hold.
+    lin_diseqs: Vec<(usize, LinExpr, Rational)>,
+    /// `(tag, constraint)` with `op == Eq` — `≠` obligations whose LHS is
+    /// nonlinear.
+    nl_diseqs: Vec<(usize, NlConstraint)>,
+    /// Whether any genuinely nonlinear assert exists.
+    has_nonlinear: bool,
+}
+
+fn normalise(items: &[TheoryItem]) -> Normalised {
+    let mut out = Normalised {
+        nl_asserts: Vec::new(),
+        lin_asserts: Vec::new(),
+        lin_diseqs: Vec::new(),
+        nl_diseqs: Vec::new(),
+        has_nonlinear: false,
+    };
+    for item in items {
+        let c = &item.constraint;
+        if item.positive {
+            push_assert(&mut out, item.tag, c.clone());
+        } else {
+            match c.op.negate() {
+                Some(op) => {
+                    push_assert(
+                        &mut out,
+                        item.tag,
+                        NlConstraint::new(c.expr.clone(), op, c.rhs.clone()),
+                    );
+                }
+                None => {
+                    // ¬(lhs = rhs): a disequality, handled lazily.
+                    match c.expr.to_affine() {
+                        Some((lin, k)) => {
+                            out.lin_diseqs.push((item.tag, lin, &c.rhs - &k));
+                        }
+                        None => {
+                            out.nl_diseqs.push((item.tag, c.clone()));
+                            out.has_nonlinear = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_assert(out: &mut Normalised, tag: usize, c: NlConstraint) {
+    match c.expr.to_affine() {
+        Some((lin, k)) => {
+            let rhs = &c.rhs - &k;
+            out.lin_asserts
+                .push((tag, LinearConstraint::new(lin, c.op, rhs)));
+            out.nl_asserts.push((tag, c));
+        }
+        None => {
+            out.has_nonlinear = true;
+            out.nl_asserts.push((tag, c));
+        }
+    }
+}
+
+/// Decides the conjunction of theory items.
+pub fn check(items: &[TheoryItem], ctx: &mut TheoryContext<'_>) -> TheoryVerdict {
+    let norm = normalise(items);
+
+    // Phase 1: the affine subset (always, as a cheap filter — and as the
+    // complete decision procedure when nothing nonlinear is present).
+    let lin_verdict = solve_linear(&norm, ctx);
+    match (&lin_verdict, norm.has_nonlinear) {
+        (LinOutcome::Unsat(tags), _) => return TheoryVerdict::Unsat(tags.clone()),
+        (LinOutcome::Sat(model), false) => {
+            return TheoryVerdict::Sat(ArithModel::Exact(pad(model.clone(), ctx.num_vars)));
+        }
+        (LinOutcome::Unknown, false) => return TheoryVerdict::Unknown,
+        _ => {} // nonlinear present: fall through to phase 2
+    }
+
+    // Phase 2: full system to the nonlinear backend(s).
+    solve_nonlinear(&norm, ctx)
+}
+
+fn pad(mut v: Vec<Rational>, n: usize) -> Vec<Rational> {
+    v.resize(n, Rational::zero());
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Linear path: simplex + integer branch-and-bound + lazy disequalities
+// ---------------------------------------------------------------------------
+
+enum LinOutcome {
+    Sat(Vec<Rational>),
+    Unsat(Vec<usize>),
+    Unknown,
+}
+
+fn solve_linear(norm: &Normalised, ctx: &mut TheoryContext<'_>) -> LinOutcome {
+    let mut constraints: Vec<LinearConstraint> =
+        norm.lin_asserts.iter().map(|(_, c)| c.clone()).collect();
+    let base_len = constraints.len();
+    let tags: Vec<usize> = norm.lin_asserts.iter().map(|(t, _)| *t).collect();
+    let mut nodes = ctx.budget.max_nodes;
+    rec_linear(
+        &mut constraints,
+        base_len,
+        &tags,
+        &norm.lin_diseqs,
+        ctx,
+        &mut nodes,
+    )
+}
+
+fn rec_linear(
+    constraints: &mut Vec<LinearConstraint>,
+    base_len: usize,
+    tags: &[usize],
+    diseqs: &[(usize, LinExpr, Rational)],
+    ctx: &mut TheoryContext<'_>,
+    nodes: &mut usize,
+) -> LinOutcome {
+    if *nodes == 0 {
+        return LinOutcome::Unknown;
+    }
+    *nodes -= 1;
+
+    let feasibility = ctx
+        .linear
+        .first_mut()
+        .map(|b| b.check(constraints))
+        .unwrap_or_else(|| absolver_linear::check_conjunction(constraints));
+
+    let model = match feasibility {
+        Feasibility::Infeasible(core) => {
+            // Map core members back to literal tags; branch constraints
+            // (index ≥ base_len) widen the core to all base tags (sound:
+            // supersets of an unsat set stay unsat).
+            let precise = core.iter().all(|&i| i < base_len);
+            let out = if precise {
+                let mut t: Vec<usize> = core.iter().map(|&i| tags[i]).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            } else {
+                let mut t = tags.to_vec();
+                t.sort_unstable();
+                t.dedup();
+                t
+            };
+            return LinOutcome::Unsat(out);
+        }
+        Feasibility::Feasible(m) => pad(m, ctx.num_vars),
+    };
+
+    // Integrality: branch on the first int-typed variable with a
+    // fractional value.
+    for v in 0..ctx.num_vars {
+        if ctx.kinds[v] == VarKind::Int && !model[v].is_integer() {
+            let below = LinearConstraint::new(
+                LinExpr::var(v),
+                CmpOp::Le,
+                Rational::from(model[v].floor()),
+            );
+            let above = LinearConstraint::new(
+                LinExpr::var(v),
+                CmpOp::Ge,
+                Rational::from(model[v].ceil()),
+            );
+            return branch(constraints, [below, above], base_len, tags, diseqs, ctx, nodes, None);
+        }
+    }
+
+    // Disequalities: find one the model violates (lhs = rhs exactly).
+    for (tag, lin, rhs) in diseqs {
+        if &lin.eval(&model) == rhs {
+            let lt = LinearConstraint::new(lin.clone(), CmpOp::Lt, rhs.clone());
+            let gt = LinearConstraint::new(lin.clone(), CmpOp::Gt, rhs.clone());
+            return branch(constraints, [lt, gt], base_len, tags, diseqs, ctx, nodes, Some(*tag));
+        }
+    }
+
+    LinOutcome::Sat(model)
+}
+
+/// Tries both branch constraints; SAT wins, two UNSATs merge cores (plus
+/// the disequality's own tag when given), any Unknown propagates.
+#[allow(clippy::too_many_arguments)]
+fn branch(
+    constraints: &mut Vec<LinearConstraint>,
+    alternatives: [LinearConstraint; 2],
+    base_len: usize,
+    tags: &[usize],
+    diseqs: &[(usize, LinExpr, Rational)],
+    ctx: &mut TheoryContext<'_>,
+    nodes: &mut usize,
+    diseq_tag: Option<usize>,
+) -> LinOutcome {
+    let mut conflict: Vec<usize> = Vec::new();
+    for alt in alternatives {
+        constraints.push(alt);
+        let out = rec_linear(constraints, base_len, tags, diseqs, ctx, nodes);
+        constraints.pop();
+        match out {
+            LinOutcome::Sat(m) => return LinOutcome::Sat(m),
+            LinOutcome::Unknown => return LinOutcome::Unknown,
+            LinOutcome::Unsat(t) => conflict.extend(t),
+        }
+    }
+    conflict.extend(diseq_tag);
+    conflict.sort_unstable();
+    conflict.dedup();
+    LinOutcome::Unsat(conflict)
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinear path
+// ---------------------------------------------------------------------------
+
+fn solve_nonlinear(norm: &Normalised, ctx: &mut TheoryContext<'_>) -> TheoryVerdict {
+    // All asserted constraints (linear ones included — the joint system
+    // must be satisfied by one witness).
+    let constraints: Vec<NlConstraint> =
+        norm.nl_asserts.iter().map(|(_, c)| c.clone()).collect();
+    let all_tags: Vec<usize> = norm
+        .nl_asserts
+        .iter()
+        .map(|(t, _)| *t)
+        .chain(norm.lin_diseqs.iter().map(|(t, _, _)| *t))
+        .chain(norm.nl_diseqs.iter().map(|(t, _)| *t))
+        .collect();
+    let diseqs: Vec<(usize, NlConstraint)> = norm
+        .lin_diseqs
+        .iter()
+        .map(|(t, lin, rhs)| {
+            let expr = lin_to_expr(lin);
+            (*t, NlConstraint::new(expr, CmpOp::Eq, rhs.clone()))
+        })
+        .chain(norm.nl_diseqs.iter().cloned())
+        .collect();
+
+    let mut splits = ctx.budget.max_nl_splits;
+    rec_nonlinear(constraints, &diseqs, &all_tags, ctx, &mut splits)
+}
+
+fn lin_to_expr(lin: &LinExpr) -> absolver_nonlinear::Expr {
+    use absolver_nonlinear::Expr;
+    let mut acc = Expr::zero();
+    for (v, c) in lin.terms() {
+        acc = acc + Expr::constant(c.clone()) * Expr::var(*v);
+    }
+    acc.simplify()
+}
+
+fn rec_nonlinear(
+    constraints: Vec<NlConstraint>,
+    diseqs: &[(usize, NlConstraint)],
+    all_tags: &[usize],
+    ctx: &mut TheoryContext<'_>,
+    splits: &mut usize,
+) -> TheoryVerdict {
+    let mut problem = NlProblem::new(ctx.num_vars);
+    for c in &constraints {
+        problem.add_constraint(c.clone());
+    }
+    for v in 0..ctx.num_vars {
+        problem.bound_var(v, ctx.ranges[v]);
+    }
+
+    let mut verdict = NlVerdict::Unknown;
+    for backend in ctx.nonlinear.iter_mut() {
+        verdict = backend.solve(&problem);
+        if verdict != NlVerdict::Unknown {
+            break; // "the preceding solvers failed to provide a decent result"
+        }
+    }
+
+    match verdict {
+        NlVerdict::Unsat => {
+            let mut tags = all_tags.to_vec();
+            tags.sort_unstable();
+            tags.dedup();
+            TheoryVerdict::Unsat(tags)
+        }
+        NlVerdict::Unknown => TheoryVerdict::Unknown,
+        NlVerdict::Sat(witness) => {
+            // Integer variables must come out (near-)integral on this path.
+            for v in 0..ctx.num_vars {
+                if ctx.kinds[v] == VarKind::Int {
+                    let rounded = witness[v].round();
+                    if (witness[v] - rounded).abs() > 1e-6 {
+                        return TheoryVerdict::Unknown;
+                    }
+                }
+            }
+            // Check disequalities; split lazily on a violated one.
+            for (tag, d) in diseqs {
+                let lhs = d.expr.eval_f64(&witness);
+                let rhs = d.rhs.to_f64();
+                if (lhs - rhs).abs() <= 1e-9 {
+                    if *splits == 0 {
+                        return TheoryVerdict::Unknown;
+                    }
+                    *splits -= 1;
+                    let mut any_unknown = false;
+                    for op in [CmpOp::Lt, CmpOp::Gt] {
+                        let mut branched = constraints.clone();
+                        branched.push(NlConstraint::new(d.expr.clone(), op, d.rhs.clone()));
+                        match rec_nonlinear(branched, diseqs, all_tags, ctx, splits) {
+                            TheoryVerdict::Sat(m) => return TheoryVerdict::Sat(m),
+                            TheoryVerdict::Unknown => any_unknown = true,
+                            TheoryVerdict::Unsat(_) => {}
+                        }
+                    }
+                    return if any_unknown {
+                        TheoryVerdict::Unknown
+                    } else {
+                        let mut tags = all_tags.to_vec();
+                        tags.push(*tag);
+                        tags.sort_unstable();
+                        tags.dedup();
+                        TheoryVerdict::Unsat(tags)
+                    };
+                }
+            }
+            TheoryVerdict::Sat(ArithModel::Numeric(witness))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{CascadeNonlinear, SimplexLinear};
+    use absolver_nonlinear::Expr;
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn item(tag: usize, c: NlConstraint, positive: bool) -> TheoryItem {
+        TheoryItem { tag, constraint: c, positive }
+    }
+
+    fn run(items: &[TheoryItem], kinds: Vec<VarKind>, ranges: Vec<Interval>) -> TheoryVerdict {
+        let mut linear: Vec<Box<dyn LinearBackend>> = vec![Box::new(SimplexLinear::new())];
+        let mut nonlinear: Vec<Box<dyn NonlinearBackend>> =
+            vec![Box::new(CascadeNonlinear::default())];
+        let mut ctx = TheoryContext {
+            num_vars: kinds.len(),
+            kinds: &kinds,
+            ranges: &ranges,
+            linear: &mut linear,
+            nonlinear: &mut nonlinear,
+            budget: TheoryBudget::default(),
+        };
+        check(items, &mut ctx)
+    }
+
+    fn reals(n: usize) -> (Vec<VarKind>, Vec<Interval>) {
+        (vec![VarKind::Real; n], vec![Interval::new(-100.0, 100.0); n])
+    }
+
+    fn ints(n: usize) -> (Vec<VarKind>, Vec<Interval>) {
+        (vec![VarKind::Int; n], vec![Interval::new(-100.0, 100.0); n])
+    }
+
+    #[test]
+    fn pure_linear_sat_and_unsat() {
+        let (k, r) = reals(2);
+        let c1 = NlConstraint::new(Expr::var(0) + Expr::var(1), CmpOp::Le, q(5));
+        let c2 = NlConstraint::new(Expr::var(0), CmpOp::Ge, q(1));
+        let sat = run(&[item(0, c1.clone(), true), item(1, c2.clone(), true)], k.clone(), r.clone());
+        match sat {
+            TheoryVerdict::Sat(ArithModel::Exact(m)) => {
+                assert!(&m[0] + &m[1] <= q(5));
+                assert!(m[0] >= q(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        let c3 = NlConstraint::new(Expr::var(0), CmpOp::Lt, q(1));
+        let unsat = run(&[item(0, c2, true), item(2, c3, true)], k, r);
+        assert_eq!(unsat, TheoryVerdict::Unsat(vec![0, 2]));
+    }
+
+    #[test]
+    fn negation_of_inequality() {
+        // ¬(x ≥ 3) ≡ x < 3, combined with x ≥ 3 is unsat.
+        let (k, r) = reals(1);
+        let ge = NlConstraint::new(Expr::var(0), CmpOp::Ge, q(3));
+        let verdict = run(&[item(7, ge.clone(), true), item(9, ge, false)], k, r);
+        assert_eq!(verdict, TheoryVerdict::Unsat(vec![7, 9]));
+    }
+
+    #[test]
+    fn lazy_disequality_split() {
+        // 2 ≤ x ≤ 2 ∧ x ≠ 2 is unsat, and the conflict mentions the diseq.
+        let (k, r) = reals(1);
+        let le = NlConstraint::new(Expr::var(0), CmpOp::Le, q(2));
+        let ge = NlConstraint::new(Expr::var(0), CmpOp::Ge, q(2));
+        let eq = NlConstraint::new(Expr::var(0), CmpOp::Eq, q(2));
+        let verdict = run(
+            &[item(0, le, true), item(1, ge, true), item(2, eq, false)],
+            k.clone(),
+            r.clone(),
+        );
+        match verdict {
+            TheoryVerdict::Unsat(tags) => assert!(tags.contains(&2)),
+            other => panic!("{other:?}"),
+        }
+        // With slack (x ≤ 3) it is sat, and the witness avoids 2.
+        let le3 = NlConstraint::new(Expr::var(0), CmpOp::Le, q(3));
+        let ge2 = NlConstraint::new(Expr::var(0), CmpOp::Ge, q(2));
+        let eq2 = NlConstraint::new(Expr::var(0), CmpOp::Eq, q(2));
+        match run(&[item(0, le3, true), item(1, ge2, true), item(2, eq2, false)], k, r) {
+            TheoryVerdict::Sat(ArithModel::Exact(m)) => assert_ne!(m[0], q(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_branch_and_bound() {
+        // 2x = 3 has no integer solution (x = 3/2 over ℚ).
+        let (k, r) = ints(1);
+        let c = NlConstraint::new(Expr::int(2) * Expr::var(0), CmpOp::Eq, q(3));
+        assert_eq!(run(&[item(0, c, true)], k, r), TheoryVerdict::Unsat(vec![0]));
+        // 1 ≤ x ≤ 2 ∧ x ≠ 1 ∧ x ≠ 2 has no integer solution either.
+        let (k, r) = ints(1);
+        let items = vec![
+            item(0, NlConstraint::new(Expr::var(0), CmpOp::Ge, q(1)), true),
+            item(1, NlConstraint::new(Expr::var(0), CmpOp::Le, q(2)), true),
+            item(2, NlConstraint::new(Expr::var(0), CmpOp::Eq, q(1)), false),
+            item(3, NlConstraint::new(Expr::var(0), CmpOp::Eq, q(2)), false),
+        ];
+        match run(&items, k, r) {
+            TheoryVerdict::Unsat(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_sat_gets_integral_witness() {
+        // 2 ≤ 3x ≤ 7 → x = 1 or 2.
+        let (k, r) = ints(1);
+        let items = vec![
+            item(0, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Ge, q(2)), true),
+            item(1, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Le, q(7)), true),
+        ];
+        match run(&items, k, r) {
+            TheoryVerdict::Sat(ArithModel::Exact(m)) => {
+                assert!(m[0].is_integer());
+                assert!(m[0] == q(1) || m[0] == q(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_joint_with_linear() {
+        // x ≥ 2 (linear) ∧ x·y = 1 (nonlinear) ∧ y ≥ 1 (linear): unsat
+        // because y = 1/x ≤ 1/2 < 1.
+        let (k, r) = reals(2);
+        let items = vec![
+            item(0, NlConstraint::new(Expr::var(0), CmpOp::Ge, q(2)), true),
+            item(
+                1,
+                NlConstraint::new(Expr::var(0) * Expr::var(1), CmpOp::Eq, q(1)),
+                true,
+            ),
+            item(2, NlConstraint::new(Expr::var(1), CmpOp::Ge, q(1)), true),
+        ];
+        match run(&items, k.clone(), r.clone()) {
+            TheoryVerdict::Unsat(tags) => assert_eq!(tags, vec![0, 1, 2]),
+            other => panic!("{other:?}"),
+        }
+        // Dropping the y-bound makes it satisfiable.
+        match run(&items[..2], k, r) {
+            TheoryVerdict::Sat(ArithModel::Numeric(w)) => {
+                assert!((w[0] * w[1] - 1.0).abs() < 1e-5);
+                assert!(w[0] >= 2.0 - 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_negation() {
+        // ¬(x² ≤ 4) ≡ x² > 4 with −1 ≤ x ≤ 1: unsat.
+        let (k, r) = reals(1);
+        let items = vec![
+            item(0, NlConstraint::new(Expr::var(0), CmpOp::Ge, q(-1)), true),
+            item(1, NlConstraint::new(Expr::var(0), CmpOp::Le, q(1)), true),
+            item(2, NlConstraint::new(Expr::var(0).pow(2), CmpOp::Le, q(4)), false),
+        ];
+        match run(&items, k, r) {
+            TheoryVerdict::Unsat(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        let (k, r) = reals(1);
+        match run(&[], k, r) {
+            TheoryVerdict::Sat(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

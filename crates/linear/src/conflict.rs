@@ -1,0 +1,135 @@
+//! Minimal infeasible subset (IIS) extraction.
+//!
+//! The simplex certificate returned by [`check_conjunction`] is already a
+//! small conflicting subset, but not necessarily *minimal*. ABsolver's
+//! control loop feeds conflicts back to the SAT solver as blocking hints,
+//! and the smaller the hint, the more Boolean candidates it prunes — the
+//! paper calls this "the smallest conflicting subset" (Sec. 4). This module
+//! minimises the certificate with a standard deletion filter: drop each
+//! member in turn and keep the drop whenever the remainder is still
+//! infeasible.
+
+use crate::constraint::LinearConstraint;
+use crate::simplex::{check_conjunction, Feasibility};
+
+/// Returns a *minimal* infeasible subset of `constraints` (as indices into
+/// the input slice), or `None` if the conjunction is feasible.
+///
+/// Minimality is irredundancy: removing any single returned constraint
+/// makes the remaining ones satisfiable. The result is not necessarily a
+/// globally smallest core (that problem is NP-hard); it matches what
+/// practical IIS tools — and the paper's refinement loop — compute.
+///
+/// ```
+/// use absolver_linear::{minimal_infeasible_subset, CmpOp, LinExpr, LinearConstraint};
+/// use absolver_num::Rational;
+///
+/// let c = |v, op, rhs: i64| LinearConstraint::new(LinExpr::var(v), op, Rational::from_int(rhs));
+/// // y ≥ 0 is irrelevant; {x ≥ 5, x ≤ 3} is the minimal core.
+/// let cs = vec![c(1, CmpOp::Ge, 0), c(0, CmpOp::Ge, 5), c(0, CmpOp::Le, 3)];
+/// let core = minimal_infeasible_subset(&cs).unwrap();
+/// assert_eq!(core, vec![1, 2]);
+/// ```
+pub fn minimal_infeasible_subset(constraints: &[LinearConstraint]) -> Option<Vec<usize>> {
+    let mut core: Vec<usize> = match check_conjunction(constraints) {
+        Feasibility::Feasible(_) => return None,
+        Feasibility::Infeasible(core) => core,
+    };
+    // Deletion filter over the (already small) certificate.
+    let mut i = 0;
+    while i < core.len() {
+        let candidate: Vec<LinearConstraint> = core
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &idx)| constraints[idx].clone())
+            .collect();
+        match check_conjunction(&candidate) {
+            Feasibility::Infeasible(sub) => {
+                // Still infeasible without core[i]; shrink to the sub-core.
+                // Candidate position j maps back to core position j (+1 past i).
+                core = sub
+                    .into_iter()
+                    .map(|j| core[if j < i { j } else { j + 1 }])
+                    .collect();
+                i = 0;
+            }
+            Feasibility::Feasible(_) => i += 1,
+        }
+    }
+    core.sort_unstable();
+    Some(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{CmpOp, LinExpr};
+    use absolver_num::Rational;
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn c(terms: &[(usize, i64)], op: CmpOp, rhs: i64) -> LinearConstraint {
+        LinearConstraint::new(
+            LinExpr::from_terms(terms.iter().map(|&(v, k)| (v, q(k)))),
+            op,
+            q(rhs),
+        )
+    }
+
+    #[test]
+    fn feasible_returns_none() {
+        let cs = [c(&[(0, 1)], CmpOp::Ge, 0), c(&[(0, 1)], CmpOp::Le, 5)];
+        assert_eq!(minimal_infeasible_subset(&cs), None);
+    }
+
+    #[test]
+    fn filters_irrelevant_constraints() {
+        let cs = [
+            c(&[(1, 1)], CmpOp::Ge, 0),       // irrelevant
+            c(&[(0, 1)], CmpOp::Ge, 5),       // core
+            c(&[(1, 1)], CmpOp::Le, 100),     // irrelevant
+            c(&[(0, 1)], CmpOp::Le, 3),       // core
+        ];
+        assert_eq!(minimal_infeasible_subset(&cs), Some(vec![1, 3]));
+    }
+
+    #[test]
+    fn core_is_irredundant() {
+        let cs = [
+            c(&[(0, 1), (1, 1)], CmpOp::Le, 2),
+            c(&[(0, 1)], CmpOp::Ge, 2),
+            c(&[(1, 1)], CmpOp::Ge, 1),
+            c(&[(0, 1), (1, 1)], CmpOp::Le, 10), // dominated by the first
+        ];
+        let core = minimal_infeasible_subset(&cs).unwrap();
+        // Every proper subset must be feasible.
+        for skip in 0..core.len() {
+            let without: Vec<LinearConstraint> = core
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != skip)
+                .map(|(_, &i)| cs[i].clone())
+                .collect();
+            assert!(
+                crate::simplex::check_conjunction(&without).is_feasible(),
+                "core {core:?} not minimal: still infeasible without position {skip}"
+            );
+        }
+        // And the full core must be infeasible.
+        let full: Vec<LinearConstraint> = core.iter().map(|&i| cs[i].clone()).collect();
+        assert!(!crate::simplex::check_conjunction(&full).is_feasible());
+    }
+
+    #[test]
+    fn single_constraint_core() {
+        // 0 ≥ 1 is infeasible alone.
+        let cs = [
+            c(&[(0, 1)], CmpOp::Ge, 0),
+            LinearConstraint::new(LinExpr::zero(), CmpOp::Ge, q(1)),
+        ];
+        assert_eq!(minimal_infeasible_subset(&cs), Some(vec![1]));
+    }
+}

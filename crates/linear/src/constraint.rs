@@ -1,0 +1,338 @@
+//! Linear expressions and constraints over rational coefficients.
+
+use absolver_num::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a theory variable (dense 0-based index).
+pub type VarId = usize;
+
+/// A comparison operator `⋈ ∈ {<, ≤, >, ≥, =}` (the paper's Sec. 1 set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs ⋈ rhs`.
+    pub fn eval(self, lhs: &Rational, rhs: &Rational) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+        }
+    }
+
+    /// The operator for the *negated* comparison, when it is again a single
+    /// comparison. `¬(a = b)` is not expressible as one comparison — the
+    /// paper splits it into `< ∨ >` — so `Eq` returns `None`.
+    pub fn negate(self) -> Option<CmpOp> {
+        match self {
+            CmpOp::Lt => Some(CmpOp::Ge),
+            CmpOp::Le => Some(CmpOp::Gt),
+            CmpOp::Gt => Some(CmpOp::Le),
+            CmpOp::Ge => Some(CmpOp::Lt),
+            CmpOp::Eq => None,
+        }
+    }
+
+    /// The operator with operand sides swapped (`a ⋈ b` ⇔ `b ⋈' a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+        }
+    }
+
+    /// Returns `true` for `<` and `>`.
+    pub fn is_strict(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Gt)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        })
+    }
+}
+
+/// A sparse linear expression `Σ aᵢ·xᵢ` with rational coefficients.
+///
+/// Terms are kept sorted by variable with no zero coefficients, so equality
+/// of expressions is structural.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    terms: Vec<(VarId, Rational)>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// The expression `1·x`.
+    pub fn var(x: VarId) -> LinExpr {
+        LinExpr { terms: vec![(x, Rational::one())] }
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs, combining
+    /// duplicates and dropping zeros.
+    pub fn from_terms(terms: impl IntoIterator<Item = (VarId, Rational)>) -> LinExpr {
+        let mut map: BTreeMap<VarId, Rational> = BTreeMap::new();
+        for (v, c) in terms {
+            let entry = map.entry(v).or_default();
+            *entry += &c;
+        }
+        LinExpr {
+            terms: map.into_iter().filter(|(_, c)| !c.is_zero()).collect(),
+        }
+    }
+
+    /// The `(variable, coefficient)` pairs, sorted by variable.
+    pub fn terms(&self) -> &[(VarId, Rational)] {
+        &self.terms
+    }
+
+    /// Returns `true` if the expression has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The coefficient of `x` (zero if absent).
+    pub fn coeff(&self, x: VarId) -> Rational {
+        self.terms
+            .binary_search_by_key(&x, |&(v, _)| v)
+            .map(|i| self.terms[i].1.clone())
+            .unwrap_or_default()
+    }
+
+    /// Adds `k·x` to the expression.
+    pub fn add_term(&mut self, x: VarId, k: &Rational) {
+        match self.terms.binary_search_by_key(&x, |&(v, _)| v) {
+            Ok(i) => {
+                self.terms[i].1 += k;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => {
+                if !k.is_zero() {
+                    self.terms.insert(i, (x, k.clone()));
+                }
+            }
+        }
+    }
+
+    /// Adds `k · other` to the expression.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: &Rational) {
+        for (v, c) in &other.terms {
+            self.add_term(*v, &(c * k));
+        }
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scale(&mut self, k: &Rational) {
+        if k.is_zero() {
+            self.terms.clear();
+        } else {
+            for (_, c) in &mut self.terms {
+                *c *= k;
+            }
+        }
+    }
+
+    /// Evaluates under a dense assignment (missing variables read as 0).
+    pub fn eval(&self, values: &[Rational]) -> Rational {
+        let mut acc = Rational::zero();
+        for (v, c) in &self.terms {
+            if let Some(x) = values.get(*v) {
+                acc += &(c * x);
+            }
+        }
+        acc
+    }
+
+    /// Largest variable id mentioned, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.terms.last().map(|&(v, _)| v)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        for (i, (v, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{c}*v{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A linear constraint `Σ aᵢ·xᵢ ⋈ c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearConstraint {
+    /// Left-hand side linear expression.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side constant.
+    pub rhs: Rational,
+}
+
+impl LinearConstraint {
+    /// Creates `expr ⋈ rhs`.
+    pub fn new(expr: LinExpr, op: CmpOp, rhs: Rational) -> LinearConstraint {
+        LinearConstraint { expr, op, rhs }
+    }
+
+    /// Evaluates the constraint under a dense assignment.
+    pub fn eval(&self, values: &[Rational]) -> bool {
+        self.op.eval(&self.expr.eval(values), &self.rhs)
+    }
+
+    /// Returns `true` if the constraint mentions no variables (and is thus
+    /// decided by constant comparison).
+    pub fn is_trivial(&self) -> bool {
+        self.expr.is_zero()
+    }
+
+    /// The negated constraint as a disjunction of constraints (one element
+    /// for `<, ≤, >, ≥`, two — `< ∨ >` — for `=`, following Sec. 1).
+    pub fn negate(&self) -> Vec<LinearConstraint> {
+        match self.op.negate() {
+            Some(op) => vec![LinearConstraint::new(self.expr.clone(), op, self.rhs.clone())],
+            None => vec![
+                LinearConstraint::new(self.expr.clone(), CmpOp::Lt, self.rhs.clone()),
+                LinearConstraint::new(self.expr.clone(), CmpOp::Gt, self.rhs.clone()),
+            ],
+        }
+    }
+
+    /// Largest variable id mentioned, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.expr.max_var()
+    }
+}
+
+impl fmt::Display for LinearConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn expr_normalisation() {
+        let e = LinExpr::from_terms(vec![(1, q(2, 1)), (0, q(1, 1)), (1, q(-2, 1))]);
+        assert_eq!(e.terms().len(), 1);
+        assert_eq!(e.coeff(0), q(1, 1));
+        assert_eq!(e.coeff(1), q(0, 1));
+        assert_eq!(e.coeff(42), q(0, 1));
+    }
+
+    #[test]
+    fn expr_arithmetic() {
+        let mut e = LinExpr::var(0);
+        e.add_term(1, &q(3, 1));
+        e.add_scaled(&LinExpr::var(1), &q(-3, 1));
+        assert_eq!(e, LinExpr::var(0));
+        e.scale(&q(2, 1));
+        assert_eq!(e.coeff(0), q(2, 1));
+        e.scale(&q(0, 1));
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn expr_eval() {
+        let e = LinExpr::from_terms(vec![(0, q(2, 1)), (1, q(1, 1))]);
+        let vals = vec![q(3, 1), q(4, 1)];
+        assert_eq!(e.eval(&vals), q(10, 1));
+        // Out-of-range variables read as zero.
+        let e2 = LinExpr::var(5);
+        assert_eq!(e2.eval(&vals), q(0, 1));
+    }
+
+    #[test]
+    fn op_semantics() {
+        assert!(CmpOp::Lt.eval(&q(1, 2), &q(1, 1)));
+        assert!(!CmpOp::Lt.eval(&q(1, 1), &q(1, 1)));
+        assert!(CmpOp::Le.eval(&q(1, 1), &q(1, 1)));
+        assert!(CmpOp::Eq.eval(&q(2, 4), &q(1, 2)));
+        assert!(CmpOp::Ge.eval(&q(3, 1), &q(1, 1)));
+        assert!(CmpOp::Gt.eval(&q(3, 1), &q(1, 1)));
+    }
+
+    #[test]
+    fn op_negate_and_flip() {
+        assert_eq!(CmpOp::Lt.negate(), Some(CmpOp::Ge));
+        assert_eq!(CmpOp::Ge.negate(), Some(CmpOp::Lt));
+        assert_eq!(CmpOp::Eq.negate(), None);
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert!(CmpOp::Lt.is_strict() && CmpOp::Gt.is_strict());
+        assert!(!CmpOp::Le.is_strict() && !CmpOp::Eq.is_strict());
+    }
+
+    #[test]
+    fn constraint_negation_splits_equality() {
+        let c = LinearConstraint::new(LinExpr::var(0), CmpOp::Eq, q(5, 1));
+        let neg = c.negate();
+        assert_eq!(neg.len(), 2);
+        assert_eq!(neg[0].op, CmpOp::Lt);
+        assert_eq!(neg[1].op, CmpOp::Gt);
+        // For any value, exactly one of {c, neg[0], neg[1]} holds.
+        for v in [q(4, 1), q(5, 1), q(6, 1)] {
+            let vals = vec![v];
+            let holds =
+                [c.eval(&vals), neg[0].eval(&vals), neg[1].eval(&vals)];
+            assert_eq!(holds.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn constraint_eval_and_display() {
+        let c = LinearConstraint::new(
+            LinExpr::from_terms(vec![(0, q(2, 1)), (1, q(1, 1))]),
+            CmpOp::Lt,
+            q(10, 1),
+        );
+        assert!(c.eval(&[q(3, 1), q(3, 1)]));
+        assert!(!c.eval(&[q(5, 1), q(0, 1)]));
+        assert_eq!(c.to_string(), "2*v0 + 1*v1 < 10");
+        assert!(!c.is_trivial());
+        assert_eq!(c.max_var(), Some(1));
+    }
+}

@@ -1,0 +1,210 @@
+//! Exact linear-arithmetic solving for the ABsolver constraint-solving
+//! library.
+//!
+//! This crate is the reproduction's stand-in for the COIN LP solver the
+//! paper plugs into ABsolver's linear domain:
+//!
+//! * [`LinExpr`] / [`LinearConstraint`] — sparse rational linear forms and
+//!   comparisons (`<`, `≤`, `>`, `≥`, `=`).
+//! * [`Simplex`] — an incremental Dutertre–de-Moura general simplex over
+//!   the infinitesimal-extended rationals [`QDelta`], with
+//!   `push`/`pop` backtracking for tight DPLL(T) integration.
+//! * [`check_conjunction`] — one-shot feasibility with witness or conflict
+//!   certificate, the entry point of ABsolver's loose control loop.
+//! * [`minimal_infeasible_subset`] — deletion-filter IIS extraction, the
+//!   paper's "smallest conflicting subset" refinement hint.
+//!
+//! All arithmetic is exact ([`absolver_num::Rational`]); verdicts are never
+//! subject to floating-point error.
+//!
+//! ```
+//! use absolver_linear::{check_conjunction, CmpOp, Feasibility, LinExpr, LinearConstraint};
+//! use absolver_num::Rational;
+//!
+//! // i ≥ 0 ∧ j ≥ 0 ∧ i + j < 5 (from the paper's running example).
+//! let ge0 = |v| LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::zero());
+//! let sum = LinearConstraint::new(
+//!     LinExpr::from_terms([(0, Rational::one()), (1, Rational::one())]),
+//!     CmpOp::Lt,
+//!     Rational::from_int(5),
+//! );
+//! match check_conjunction(&[ge0(0), ge0(1), sum]) {
+//!     Feasibility::Feasible(model) => assert!(&model[0] + &model[1] < Rational::from_int(5)),
+//!     Feasibility::Infeasible(core) => panic!("unexpected conflict {core:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conflict;
+mod constraint;
+mod optimize;
+mod qdelta;
+mod simplex;
+
+pub use conflict::minimal_infeasible_subset;
+pub use constraint::{CmpOp, LinExpr, LinearConstraint, VarId};
+pub use optimize::OptOutcome;
+pub use qdelta::QDelta;
+pub use simplex::{check_conjunction, CheckResult, ConstraintId, Feasibility, Simplex};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use absolver_num::Rational;
+    use proptest::prelude::*;
+
+    fn constraint_strategy(num_vars: usize) -> impl Strategy<Value = LinearConstraint> {
+        let term = (0..num_vars, -4i64..=4).prop_map(|(v, k)| (v, Rational::from_int(k)));
+        (
+            proptest::collection::vec(term, 1..4),
+            prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Eq),
+            ],
+            -6i64..=6,
+        )
+            .prop_map(|(terms, op, rhs)| {
+                LinearConstraint::new(LinExpr::from_terms(terms), op, Rational::from_int(rhs))
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Feasible verdicts must come with a genuinely satisfying witness.
+        #[test]
+        fn witnesses_are_sound(cs in proptest::collection::vec(constraint_strategy(3), 1..8)) {
+            if let Feasibility::Feasible(model) = check_conjunction(&cs) {
+                for c in &cs {
+                    prop_assert!(c.eval(&model), "constraint {c} violated by witness {model:?}");
+                }
+            }
+        }
+
+        /// Conflict certificates must themselves be infeasible sets.
+        #[test]
+        fn conflicts_are_sound(cs in proptest::collection::vec(constraint_strategy(3), 1..8)) {
+            if let Feasibility::Infeasible(core) = check_conjunction(&cs) {
+                prop_assert!(!core.is_empty());
+                let subset: Vec<LinearConstraint> =
+                    core.iter().map(|&i| cs[i].clone()).collect();
+                prop_assert!(
+                    !check_conjunction(&subset).is_feasible(),
+                    "certificate {core:?} is feasible on its own"
+                );
+            }
+        }
+
+        /// The deletion filter agrees with the base check and is irredundant.
+        #[test]
+        fn minimal_cores_are_minimal(cs in proptest::collection::vec(constraint_strategy(2), 1..6)) {
+            match (check_conjunction(&cs).is_feasible(), minimal_infeasible_subset(&cs)) {
+                (true, found) => prop_assert_eq!(found, None),
+                (false, None) => prop_assert!(false, "verdicts disagree"),
+                (false, Some(core)) => {
+                    for skip in 0..core.len() {
+                        let without: Vec<LinearConstraint> = core
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, _)| k != skip)
+                            .map(|(_, &i)| cs[i].clone())
+                            .collect();
+                        prop_assert!(check_conjunction(&without).is_feasible());
+                    }
+                }
+            }
+        }
+
+
+        /// LP optimisation dominates every feasible grid point, and the
+        /// optimum is itself attained by a feasible witness.
+        #[test]
+        fn optimum_dominates_grid(
+            cs in proptest::collection::vec(constraint_strategy(2), 0..5),
+            c0 in -3i64..=3,
+            c1 in -3i64..=3,
+        ) {
+            // Box the variables so the LP is bounded.
+            let mut all = cs.clone();
+            for v in 0..2 {
+                all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::from_int(-8)));
+                all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Le, Rational::from_int(8)));
+            }
+            let objective = LinExpr::from_terms([
+                (0usize, Rational::from_int(c0)),
+                (1usize, Rational::from_int(c1)),
+            ]);
+            let mut s = Simplex::with_vars(2);
+            let mut feasible_input = true;
+            for c in &all {
+                if s.assert_constraint(c).is_err() {
+                    feasible_input = false;
+                    break;
+                }
+            }
+            prop_assume!(feasible_input);
+            match s.maximize(&objective) {
+                OptOutcome::Optimal { value, model } => {
+                    // The witness is feasible.
+                    for c in &all {
+                        prop_assert!(c.eval(&model), "witness violates {c}");
+                    }
+                    // The optimum (in Q_δ — a supremum may only be
+                    // approached when a strict bound binds) dominates every
+                    // feasible grid point.
+                    for x in -8..=8i64 {
+                        for y in -8..=8i64 {
+                            let point = vec![Rational::from_int(x), Rational::from_int(y)];
+                            if all.iter().all(|c| c.eval(&point)) {
+                                let at_point = QDelta::real(objective.eval(&point));
+                                prop_assert!(
+                                    at_point <= value,
+                                    "grid point ({x},{y}) beats the optimum: {at_point} > {value}"
+                                );
+                            }
+                        }
+                    }
+                }
+                OptOutcome::Infeasible(_) => {
+                    // Then no grid point may be feasible... only sound if the
+                    // region truly is empty; check a coarse grid.
+                    for x in -8..=8i64 {
+                        for y in -8..=8i64 {
+                            let point = vec![Rational::from_int(x), Rational::from_int(y)];
+                            prop_assert!(
+                                !all.iter().all(|c| c.eval(&point)),
+                                "infeasible verdict but ({x},{y}) is feasible"
+                            );
+                        }
+                    }
+                }
+                OptOutcome::Unbounded => prop_assert!(false, "boxed LP cannot be unbounded"),
+                OptOutcome::Budget => prop_assert!(false, "tiny LP cannot exhaust the budget"),
+            }
+        }
+
+        /// Rational-grid ground truth: brute-force a small grid; if any grid
+        /// point satisfies everything, the solver must say feasible.
+        #[test]
+        fn grid_completeness(cs in proptest::collection::vec(constraint_strategy(2), 1..6)) {
+            let mut grid_sat = false;
+            'outer: for x in -8..=8i64 {
+                for y in -8..=8i64 {
+                    let point = vec![Rational::from_int(x), Rational::from_int(y)];
+                    if cs.iter().all(|c| c.eval(&point)) {
+                        grid_sat = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if grid_sat {
+                prop_assert!(check_conjunction(&cs).is_feasible());
+            }
+        }
+    }
+}

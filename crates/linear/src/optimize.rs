@@ -1,0 +1,275 @@
+//! Linear optimisation over the simplex tableau.
+//!
+//! The paper plugs COIN — a full LP solver — into ABsolver's linear
+//! domain; feasibility checking is all the control loop needs, but the
+//! underlying engine should be able to *optimise* too (e.g. for the
+//! test-case generation use-case of Sec. 6, where extreme witnesses make
+//! better tests). This module adds a primal optimisation phase on top of
+//! [`Simplex`]: after a feasibility check, the objective is repeatedly
+//! improved by moving eligible nonbasic variables to their binding limits
+//! (Bland's smallest-index rule prevents cycling).
+
+use crate::constraint::{LinExpr, VarId};
+use crate::qdelta::QDelta;
+use crate::simplex::{CheckResult, ConstraintId, Simplex};
+use absolver_num::Rational;
+
+/// Outcome of [`Simplex::optimize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptOutcome {
+    /// An optimum was reached; the payload is the objective value (in the
+    /// infinitesimal-extended rationals — a `δ` component appears when the
+    /// optimum approaches a strict bound) and a witness for the problem
+    /// variables evaluated at a concrete small `δ`.
+    Optimal {
+        /// Objective value, exact in `Q_δ`.
+        value: QDelta,
+        /// Witness assignment for the problem variables.
+        model: Vec<Rational>,
+    },
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+    /// The constraints are infeasible; conflicting constraint ids.
+    Infeasible(Vec<ConstraintId>),
+    /// The pivot budget was exhausted (pathological instances only).
+    Budget,
+}
+
+impl OptOutcome {
+    /// Returns the optimal value, if any.
+    pub fn value(&self) -> Option<&QDelta> {
+        match self {
+            OptOutcome::Optimal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+impl Simplex {
+    /// Maximises `objective` subject to the asserted constraints.
+    pub fn maximize(&mut self, objective: &LinExpr) -> OptOutcome {
+        self.optimize(objective, true)
+    }
+
+    /// Minimises `objective` subject to the asserted constraints.
+    pub fn minimize(&mut self, objective: &LinExpr) -> OptOutcome {
+        self.optimize(objective, false)
+    }
+
+    /// Optimises the objective in the given direction.
+    pub fn optimize(&mut self, objective: &LinExpr, maximize: bool) -> OptOutcome {
+        match self.check() {
+            CheckResult::Unsat(core) => return OptOutcome::Infeasible(core),
+            CheckResult::Sat => {}
+        }
+        let mut budget = 100_000usize;
+        loop {
+            if budget == 0 {
+                return OptOutcome::Budget;
+            }
+            budget -= 1;
+
+            // The objective over nonbasic variables only.
+            let reduced = self.substitute_basics(objective);
+
+            // Bland: the eligible nonbasic variable with the smallest id.
+            let mut entering: Option<(VarId, bool)> = None; // (var, increase)
+            for (v, k) in reduced.terms() {
+                let want_increase = k.is_positive() == maximize;
+                let movable = if want_increase {
+                    self.upper_of(*v).map_or(true, |u| self.value_of(*v) < u)
+                } else {
+                    self.lower_of(*v).map_or(true, |l| self.value_of(*v) > l)
+                };
+                if !k.is_zero() && movable {
+                    entering = Some((*v, want_increase));
+                    break;
+                }
+            }
+            let Some((xj, increase)) = entering else {
+                // No improving direction: optimal.
+                let model = self.model();
+                let value = self.eval_qdelta(objective);
+                return OptOutcome::Optimal { value, model };
+            };
+
+            // Ratio test: how far xj can move before a bound binds.
+            match self.push_toward(xj, increase) {
+                PushResult::Unbounded => return OptOutcome::Unbounded,
+                PushResult::Moved => {}
+            }
+        }
+    }
+}
+
+pub(crate) enum PushResult {
+    Moved,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{CmpOp, LinearConstraint};
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn c(terms: &[(usize, i64)], op: CmpOp, rhs: i64) -> LinearConstraint {
+        LinearConstraint::new(
+            LinExpr::from_terms(terms.iter().map(|&(v, k)| (v, q(k)))),
+            op,
+            q(rhs),
+        )
+    }
+
+    fn expr(terms: &[(usize, i64)]) -> LinExpr {
+        LinExpr::from_terms(terms.iter().map(|&(v, k)| (v, q(k))))
+    }
+
+    #[test]
+    fn maximize_simple_box() {
+        // max x subject to 0 ≤ x ≤ 7.
+        let mut s = Simplex::with_vars(1);
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Le, 7)).unwrap();
+        match s.maximize(&expr(&[(0, 1)])) {
+            OptOutcome::Optimal { value, model } => {
+                assert_eq!(value, QDelta::real(q(7)));
+                assert_eq!(model[0], q(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_simple_box() {
+        let mut s = Simplex::with_vars(1);
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, -3)).unwrap();
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Le, 7)).unwrap();
+        match s.minimize(&expr(&[(0, 1)])) {
+            OptOutcome::Optimal { value, .. } => assert_eq!(value, QDelta::real(q(-3))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_textbook_vertex() {
+        // max x + y s.t. x + 2y ≤ 14, 3x − y ≥ 0, x − y ≤ 2 → optimum at
+        // (6, 4) with value 10.
+        let mut s = Simplex::with_vars(2);
+        s.assert_constraint(&c(&[(0, 1), (1, 2)], CmpOp::Le, 14)).unwrap();
+        s.assert_constraint(&c(&[(0, 3), (1, -1)], CmpOp::Ge, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, -1)], CmpOp::Le, 2)).unwrap();
+        match s.maximize(&expr(&[(0, 1), (1, 1)])) {
+            OptOutcome::Optimal { value, model } => {
+                assert_eq!(value, QDelta::real(q(10)));
+                assert_eq!(model[0], q(6));
+                assert_eq!(model[1], q(4));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        // max x s.t. x ≥ 0 is unbounded; min x is 0.
+        let mut s = Simplex::with_vars(1);
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, 0)).unwrap();
+        assert_eq!(s.maximize(&expr(&[(0, 1)])), OptOutcome::Unbounded);
+        match s.minimize(&expr(&[(0, 1)])) {
+            OptOutcome::Optimal { value, .. } => assert_eq!(value, QDelta::real(q(0))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_through_combination() {
+        // max x + y s.t. x − y = 0: the ray x = y → ∞ is feasible.
+        let mut s = Simplex::with_vars(2);
+        s.assert_constraint(&c(&[(0, 1), (1, -1)], CmpOp::Eq, 0)).unwrap();
+        assert_eq!(s.maximize(&expr(&[(0, 1), (1, 1)])), OptOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_reports_core() {
+        // The conflict is only discoverable by pivoting (distinct forms).
+        let mut s = Simplex::with_vars(2);
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, 2)).unwrap();
+        s.assert_constraint(&c(&[(1, 1)], CmpOp::Ge, 2)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 3)).unwrap();
+        match s.maximize(&expr(&[(0, 1)])) {
+            OptOutcome::Infeasible(core) => assert_eq!(core, vec![0, 1, 2]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_bound_supremum() {
+        // max x s.t. x < 5: supremum 5 is not attained; optimum is 5 − δ.
+        let mut s = Simplex::with_vars(1);
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Lt, 5)).unwrap();
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, 0)).unwrap();
+        match s.maximize(&expr(&[(0, 1)])) {
+            OptOutcome::Optimal { value, model } => {
+                assert_eq!(value, QDelta::just_below(q(5)));
+                assert!(model[0] < q(5) && model[0] >= q(0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_with_negative_coefficients() {
+        // min 2x − 3y s.t. 0 ≤ x ≤ 4, 0 ≤ y ≤ 4, x + y ≤ 6 → x=0, y=4.
+        let mut s = Simplex::with_vars(2);
+        for v in 0..2 {
+            s.assert_constraint(&c(&[(v, 1)], CmpOp::Ge, 0)).unwrap();
+            s.assert_constraint(&c(&[(v, 1)], CmpOp::Le, 4)).unwrap();
+        }
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 6)).unwrap();
+        match s.minimize(&expr(&[(0, 2), (1, -3)])) {
+            OptOutcome::Optimal { value, model } => {
+                assert_eq!(value, QDelta::real(q(-12)));
+                assert_eq!(model[0], q(0));
+                assert_eq!(model[1], q(4));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_after_push_pop() {
+        let mut s = Simplex::with_vars(1);
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Le, 10)).unwrap();
+        s.push();
+        s.assert_constraint(&c(&[(0, 1)], CmpOp::Le, 4)).unwrap();
+        match s.maximize(&expr(&[(0, 1)])) {
+            OptOutcome::Optimal { value, .. } => assert_eq!(value, QDelta::real(q(4))),
+            other => panic!("{other:?}"),
+        }
+        s.pop();
+        match s.maximize(&expr(&[(0, 1)])) {
+            OptOutcome::Optimal { value, .. } => assert_eq!(value, QDelta::real(q(10))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_vertices_terminate() {
+        // Highly degenerate: many constraints intersect at the origin.
+        let mut s = Simplex::with_vars(3);
+        for v in 0..3 {
+            s.assert_constraint(&c(&[(v, 1)], CmpOp::Ge, 0)).unwrap();
+        }
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 0)).unwrap();
+        s.assert_constraint(&c(&[(1, 1), (2, 1)], CmpOp::Le, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (2, 1)], CmpOp::Le, 0)).unwrap();
+        match s.maximize(&expr(&[(0, 1), (1, 1), (2, 1)])) {
+            OptOutcome::Optimal { value, .. } => assert_eq!(value, QDelta::real(q(0))),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Rationals extended with an infinitesimal: `Q_δ = { a + b·δ }`.
+//!
+//! Strict inequalities such as `x < 5` cannot be expressed as simplex
+//! bounds directly; following the standard DPLL(T) simplex construction
+//! they are rewritten as `x ≤ 5 − δ` for a symbolic infinitesimal `δ > 0`.
+//! [`QDelta`] implements that extended number field (ordering is
+//! lexicographic), and at model-extraction time a concrete positive value
+//! for `δ` is computed that satisfies every asserted strict bound.
+
+use absolver_num::Rational;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A value `real + delta·δ` in the infinitesimal extension of the rationals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QDelta {
+    /// Standard (real) part.
+    pub real: Rational,
+    /// Coefficient of the infinitesimal `δ`.
+    pub delta: Rational,
+}
+
+impl QDelta {
+    /// The value `0`.
+    pub fn zero() -> QDelta {
+        QDelta::default()
+    }
+
+    /// A purely real value.
+    pub fn real(r: Rational) -> QDelta {
+        QDelta { real: r, delta: Rational::zero() }
+    }
+
+    /// `r - δ` (used for strict upper bounds `x < r`).
+    pub fn just_below(r: Rational) -> QDelta {
+        QDelta { real: r, delta: -Rational::one() }
+    }
+
+    /// `r + δ` (used for strict lower bounds `x > r`).
+    pub fn just_above(r: Rational) -> QDelta {
+        QDelta { real: r, delta: Rational::one() }
+    }
+
+    /// Returns `true` if both parts are zero.
+    pub fn is_zero(&self) -> bool {
+        self.real.is_zero() && self.delta.is_zero()
+    }
+
+    /// Evaluates at a concrete `δ = eps`.
+    pub fn eval(&self, eps: &Rational) -> Rational {
+        &self.real + &self.delta * eps
+    }
+
+    /// Scales by a rational factor.
+    pub fn scale(&self, k: &Rational) -> QDelta {
+        QDelta { real: &self.real * k, delta: &self.delta * k }
+    }
+}
+
+impl From<Rational> for QDelta {
+    fn from(r: Rational) -> QDelta {
+        QDelta::real(r)
+    }
+}
+
+impl From<i64> for QDelta {
+    fn from(v: i64) -> QDelta {
+        QDelta::real(Rational::from_int(v))
+    }
+}
+
+impl PartialOrd for QDelta {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QDelta {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lexicographic: δ is positive but smaller than any positive rational.
+        self.real
+            .cmp(&other.real)
+            .then_with(|| self.delta.cmp(&other.delta))
+    }
+}
+
+impl Add for &QDelta {
+    type Output = QDelta;
+    fn add(self, rhs: &QDelta) -> QDelta {
+        QDelta { real: &self.real + &rhs.real, delta: &self.delta + &rhs.delta }
+    }
+}
+
+impl Sub for &QDelta {
+    type Output = QDelta;
+    fn sub(self, rhs: &QDelta) -> QDelta {
+        QDelta { real: &self.real - &rhs.real, delta: &self.delta - &rhs.delta }
+    }
+}
+
+impl Neg for &QDelta {
+    type Output = QDelta;
+    fn neg(self) -> QDelta {
+        QDelta { real: -&self.real, delta: -&self.delta }
+    }
+}
+
+impl Mul<&Rational> for &QDelta {
+    type Output = QDelta;
+    fn mul(self, rhs: &Rational) -> QDelta {
+        self.scale(rhs)
+    }
+}
+
+macro_rules! forward_binop {
+    ($($tr:ident :: $m:ident),*) => {$(
+        impl $tr for QDelta {
+            type Output = QDelta;
+            fn $m(self, rhs: QDelta) -> QDelta { (&self).$m(&rhs) }
+        }
+    )*};
+}
+forward_binop!(Add::add, Sub::sub);
+
+impl Neg for QDelta {
+    type Output = QDelta;
+    fn neg(self) -> QDelta {
+        -&self
+    }
+}
+
+impl fmt::Display for QDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta.is_zero() {
+            write!(f, "{}", self.real)
+        } else if self.delta.is_positive() {
+            write!(f, "{} + {}δ", self.real, self.delta)
+        } else {
+            write!(f, "{} - {}δ", self.real, self.delta.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn ordering_respects_infinitesimal() {
+        let five = QDelta::real(q(5, 1));
+        let below = QDelta::just_below(q(5, 1));
+        let above = QDelta::just_above(q(5, 1));
+        assert!(below < five);
+        assert!(five < above);
+        assert!(below < above);
+        // δ is smaller than any positive rational distance.
+        let four_nine = QDelta::real(q(49999, 10000));
+        assert!(four_nine < below);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = QDelta::just_above(q(1, 1)); // 1 + δ
+        let b = QDelta::just_below(q(2, 1)); // 2 - δ
+        let s = &a + &b;
+        assert_eq!(s, QDelta::real(q(3, 1))); // δs cancel
+        let d = &b - &a;
+        assert_eq!(d, QDelta { real: q(1, 1), delta: q(-2, 1) });
+        assert_eq!(-&a, QDelta { real: q(-1, 1), delta: q(-1, 1) });
+        assert_eq!(a.scale(&q(2, 1)), QDelta { real: q(2, 1), delta: q(2, 1) });
+    }
+
+    #[test]
+    fn eval_at_concrete_epsilon() {
+        let v = QDelta::just_below(q(5, 1));
+        assert_eq!(v.eval(&q(1, 100)), q(499, 100));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QDelta::real(q(3, 2)).to_string(), "3/2");
+        assert_eq!(QDelta::just_above(q(0, 1)).to_string(), "0 + 1δ");
+        assert_eq!(QDelta::just_below(q(1, 1)).to_string(), "1 - 1δ");
+    }
+}

@@ -1,0 +1,345 @@
+//! Clauses, CNF formulas, and (partial) assignments.
+
+use crate::{Lit, Tri, Var};
+use std::fmt;
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(lits: Vec<Lit>) -> Clause {
+        Clause { lits }
+    }
+
+    /// The literals of the clause.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` for the empty clause (which is unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` if the clause contains both a literal and its
+    /// negation and is thus trivially satisfied.
+    pub fn is_tautology(&self) -> bool {
+        let mut sorted = self.lits.clone();
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == !w[1] || w[1] == !w[0])
+    }
+
+    /// Removes duplicate literals in place (order not preserved).
+    pub fn dedup(&mut self) {
+        self.lits.sort_unstable();
+        self.lits.dedup();
+    }
+
+    /// Evaluates the clause under a partial assignment.
+    pub fn eval(&self, assignment: &Assignment) -> Tri {
+        let mut acc = Tri::False;
+        for &l in &self.lits {
+            acc = acc | assignment.lit_value(l);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Clause {
+        Clause { lits: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return f.write_str("⊥");
+        }
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A CNF formula: a conjunction of [`Clause`]s over a fixed variable count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns `true` if the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Appends a clause, growing the variable count if the clause mentions a
+    /// new variable.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for l in &clause {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Convenience: appends a clause given as DIMACS-style signed integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal is `0`.
+    pub fn add_dimacs_clause(&mut self, lits: &[i32]) {
+        self.add_clause(lits.iter().map(|&v| Lit::from_dimacs(v)).collect());
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Evaluates the formula under a partial assignment.
+    pub fn eval(&self, assignment: &Assignment) -> Tri {
+        let mut acc = Tri::True;
+        for c in &self.clauses {
+            acc = acc & c.eval(assignment);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+impl Extend<Clause> for Cnf {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.add_clause(c);
+        }
+    }
+}
+
+impl FromIterator<Clause> for Cnf {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Cnf {
+        let mut cnf = Cnf::new(0);
+        cnf.extend(iter);
+        cnf
+    }
+}
+
+/// A (partial) truth assignment to Boolean variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    values: Vec<Tri>,
+}
+
+impl Assignment {
+    /// Creates an all-unknown assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Assignment {
+        Assignment { values: vec![Tri::Unknown; num_vars] }
+    }
+
+    /// Creates a total assignment from booleans (index = variable index).
+    pub fn from_bools(values: impl IntoIterator<Item = bool>) -> Assignment {
+        Assignment { values: values.into_iter().map(Tri::from).collect() }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of a variable (`Unknown` for out-of-range variables).
+    pub fn value(&self, var: Var) -> Tri {
+        self.values.get(var.index()).copied().unwrap_or(Tri::Unknown)
+    }
+
+    /// Value of a literal under this assignment.
+    pub fn lit_value(&self, lit: Lit) -> Tri {
+        let v = self.value(lit.var());
+        if lit.is_negated() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Sets a variable, growing the assignment if necessary.
+    pub fn set(&mut self, var: Var, value: Tri) {
+        if var.index() >= self.values.len() {
+            self.values.resize(var.index() + 1, Tri::Unknown);
+        }
+        self.values[var.index()] = value;
+    }
+
+    /// Sets a literal to true (i.e. its variable to the matching polarity).
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.set(lit.var(), Tri::from(lit.is_positive()));
+    }
+
+    /// Returns `true` if every covered variable has a known value.
+    pub fn is_total(&self) -> bool {
+        self.values.iter().all(|v| !v.is_unknown())
+    }
+
+    /// Iterates over `(Var, Tri)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Tri)> + '_ {
+        self.values.iter().enumerate().map(|(i, &t)| (Var::new(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        Lit::from_dimacs(v)
+    }
+
+    #[test]
+    fn clause_eval_three_valued() {
+        let c = Clause::new(vec![lit(1), lit(-2)]);
+        let mut a = Assignment::new(2);
+        assert_eq!(c.eval(&a), Tri::Unknown);
+        a.set(Var::new(1), Tri::True); // x2 = true, so ¬x2 = false
+        assert_eq!(c.eval(&a), Tri::Unknown);
+        a.set(Var::new(0), Tri::False);
+        assert_eq!(c.eval(&a), Tri::False);
+        a.set(Var::new(0), Tri::True);
+        assert_eq!(c.eval(&a), Tri::True);
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let c = Clause::default();
+        assert!(c.is_empty());
+        assert_eq!(c.eval(&Assignment::new(0)), Tri::False);
+        assert_eq!(c.to_string(), "⊥");
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::new(vec![lit(1), lit(-1)]).is_tautology());
+        assert!(!Clause::new(vec![lit(1), lit(2)]).is_tautology());
+        assert!(Clause::new(vec![lit(2), lit(1), lit(-2)]).is_tautology());
+    }
+
+    #[test]
+    fn dedup() {
+        let mut c = Clause::new(vec![lit(1), lit(2), lit(1)]);
+        c.dedup();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cnf_eval_and_growth() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[2, 3]);
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.len(), 2);
+        let a = Assignment::from_bools([true, true, false]);
+        assert_eq!(cnf.eval(&a), Tri::True);
+        let a = Assignment::from_bools([false, true, false]);
+        assert_eq!(cnf.eval(&a), Tri::False);
+        let mut partial = Assignment::new(3);
+        partial.set(Var::new(0), Tri::True);
+        assert_eq!(cnf.eval(&partial), Tri::Unknown);
+    }
+
+    #[test]
+    fn fresh_var() {
+        let mut cnf = Cnf::new(2);
+        let v = cnf.fresh_var();
+        assert_eq!(v.index(), 2);
+        assert_eq!(cnf.num_vars(), 3);
+    }
+
+    #[test]
+    fn assignment_basics() {
+        let mut a = Assignment::new(1);
+        assert!(!a.is_total());
+        a.assert_lit(lit(-3)); // grows to 3 vars, x3 = false
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.value(Var::new(2)), Tri::False);
+        assert_eq!(a.lit_value(lit(-3)), Tri::True);
+        assert_eq!(a.value(Var::new(99)), Tri::Unknown);
+        let total = Assignment::from_bools([true, false]);
+        assert!(total.is_total());
+        let pairs: Vec<_> = total.iter().collect();
+        assert_eq!(pairs, vec![(Var::new(0), Tri::True), (Var::new(1), Tri::False)]);
+    }
+
+    #[test]
+    fn cnf_from_iterator() {
+        let cnf: Cnf = vec![Clause::new(vec![lit(1)]), Clause::new(vec![lit(-2)])]
+            .into_iter()
+            .collect();
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.len(), 2);
+    }
+}

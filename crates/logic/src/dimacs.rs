@@ -1,0 +1,241 @@
+//! Plain DIMACS CNF reading and writing.
+//!
+//! This handles the *Boolean* layer of the paper's input format: a standard
+//! `p cnf <vars> <clauses>` header followed by zero-terminated clauses.
+//! Comment lines (`c …`) are preserved for the caller, because ABsolver's
+//! extended format (`absolver-core`) encodes arithmetic constraint
+//! definitions in them — a plain SAT solver simply ignores them, which is
+//! exactly the backwards-compatibility trick of Sec. 1.1.
+
+use crate::{Clause, Cnf, Lit};
+use std::fmt;
+
+/// The result of parsing a DIMACS file: the CNF plus all comment lines (with
+/// the leading `c ` stripped), in order of appearance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DimacsFile {
+    /// The Boolean formula.
+    pub cnf: Cnf,
+    /// Comment lines, `c ` prefix removed, original order.
+    pub comments: Vec<String>,
+}
+
+/// Error produced when parsing malformed DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    kind: String,
+}
+
+impl ParseDimacsError {
+    fn new(line: usize, kind: impl Into<String>) -> ParseDimacsError {
+        ParseDimacsError { line, kind: kind.into() }
+    }
+
+    /// 1-based line number of the offending input line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS parse error at line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Tolerates clauses spanning multiple lines, missing headers (the formula
+/// size is then inferred), and variables beyond the declared count (the
+/// count is grown). Comment lines are collected verbatim (minus the `c`
+/// marker) for higher layers to interpret.
+///
+/// # Errors
+///
+/// Returns an error for malformed headers or non-integer clause tokens.
+///
+/// ```
+/// use absolver_logic::dimacs;
+///
+/// let file = dimacs::parse("p cnf 2 2\nc hello\n1 -2 0\n2 0\n")?;
+/// assert_eq!(file.cnf.num_vars(), 2);
+/// assert_eq!(file.cnf.len(), 2);
+/// assert_eq!(file.comments, vec!["hello"]);
+/// # Ok::<(), dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse(text: &str) -> Result<DimacsFile, ParseDimacsError> {
+    let mut cnf = Cnf::new(0);
+    let mut comments = Vec::new();
+    let mut declared_vars = 0usize;
+    let mut current: Vec<Lit> = Vec::new();
+    let mut seen_header = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('c') {
+            // `c` alone, or `c <comment>`; anything else ("cxyz") is a comment too
+            // per common DIMACS practice.
+            comments.push(rest.strip_prefix(' ').unwrap_or(rest).to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if seen_header {
+                return Err(ParseDimacsError::new(lineno, "duplicate problem line"));
+            }
+            seen_header = true;
+            let mut it = rest.split_whitespace();
+            match it.next() {
+                Some("cnf") => {}
+                other => {
+                    return Err(ParseDimacsError::new(
+                        lineno,
+                        format!("expected `p cnf`, found `p {}`", other.unwrap_or("")),
+                    ))
+                }
+            }
+            declared_vars = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::new(lineno, "bad variable count"))?;
+            let _declared_clauses: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::new(lineno, "bad clause count"))?;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i32 = tok.parse().map_err(|_| {
+                ParseDimacsError::new(lineno, format!("invalid literal `{tok}`"))
+            })?;
+            if v == 0 {
+                cnf.add_clause(Clause::new(std::mem::take(&mut current)));
+            } else {
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(Clause::new(current));
+    }
+    if cnf.num_vars() < declared_vars {
+        // Honour declared count even if trailing variables are unused.
+        let missing = declared_vars - cnf.num_vars();
+        for _ in 0..missing {
+            cnf.fresh_var();
+        }
+    }
+    Ok(DimacsFile { cnf, comments })
+}
+
+/// Renders a CNF in DIMACS format, with optional comment lines placed after
+/// the header (as ABsolver's extended format expects).
+///
+/// ```
+/// use absolver_logic::{dimacs, Cnf};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_dimacs_clause(&[1, -2]);
+/// let text = dimacs::write(&cnf, &["a comment".to_string()]);
+/// assert_eq!(text, "p cnf 2 1\n1 -2 0\nc a comment\n");
+/// ```
+pub fn write(cnf: &Cnf, comments: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars(), cnf.len()));
+    for clause in cnf.clauses() {
+        for lit in clause {
+            out.push_str(&lit.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    for c in comments {
+        if c.is_empty() {
+            out.push_str("c\n");
+        } else {
+            out.push_str("c ");
+            out.push_str(c);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let f = parse("p cnf 3 2\n1 2 -3 0\n-1 0\n").unwrap();
+        assert_eq!(f.cnf.num_vars(), 3);
+        assert_eq!(f.cnf.len(), 2);
+        assert_eq!(f.cnf.clauses()[0].len(), 3);
+        assert_eq!(f.cnf.clauses()[1].lits()[0], Lit::from_dimacs(-1));
+    }
+
+    #[test]
+    fn parse_multiline_clause_and_missing_header() {
+        let f = parse("1 2\n3 0 -1 0").unwrap();
+        assert_eq!(f.cnf.len(), 2);
+        assert_eq!(f.cnf.num_vars(), 3);
+    }
+
+    #[test]
+    fn parse_collects_comments() {
+        let f = parse("c first\np cnf 1 1\nc def int 1 i >= 0\n1 0\nc\n").unwrap();
+        assert_eq!(f.comments, vec!["first", "def int 1 i >= 0", ""]);
+    }
+
+    #[test]
+    fn parse_grows_beyond_declared() {
+        let f = parse("p cnf 1 1\n5 0\n").unwrap();
+        assert_eq!(f.cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn parse_honours_declared_when_unused() {
+        let f = parse("p cnf 7 1\n1 0\n").unwrap();
+        assert_eq!(f.cnf.num_vars(), 7);
+    }
+
+    #[test]
+    fn parse_trailing_clause_without_zero() {
+        let f = parse("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(f.cnf.len(), 1);
+        assert_eq!(f.cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("p dnf 1 1\n").is_err());
+        assert!(parse("p cnf x 1\n").is_err());
+        assert!(parse("p cnf 1\n").is_err());
+        assert!(parse("p cnf 1 1\n1 a 0\n").is_err());
+        let err = parse("p cnf 1 1\np cnf 1 1\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let original = "p cnf 4 3\n1 0\n-2 3 0\n4 0\nc def int 1 i >= 0\n";
+        let f = parse(original).unwrap();
+        let rendered = write(&f.cnf, &f.comments);
+        assert_eq!(rendered, original);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed, f);
+    }
+
+    #[test]
+    fn write_empty_formula() {
+        let cnf = Cnf::new(0);
+        assert_eq!(write(&cnf, &[]), "p cnf 0 0\n");
+    }
+}

@@ -1,0 +1,30 @@
+//! Propositional building blocks for the ABsolver constraint-solving
+//! library: 3-valued truth values, literals, clauses, CNF formulas, partial
+//! assignments, and DIMACS I/O.
+//!
+//! The 3-valued domain [`Tri`] mirrors the paper's `B = 𝔹 ∪ {?}` (Sec. 2):
+//! `?` marks atoms whose truth a theory solver has not yet determined. The
+//! DIMACS layer ([`dimacs`]) keeps comment lines intact so that
+//! `absolver-core` can store arithmetic constraint definitions in them
+//! while any off-the-shelf SAT solver still accepts the file.
+//!
+//! ```
+//! use absolver_logic::{dimacs, Assignment, Tri};
+//!
+//! let file = dimacs::parse("p cnf 2 2\n1 -2 0\n2 0\n")?;
+//! let model = Assignment::from_bools([true, true]);
+//! assert_eq!(file.cnf.eval(&model), Tri::True);
+//! # Ok::<(), dimacs::ParseDimacsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+pub mod dimacs;
+mod lit;
+mod tri;
+
+pub use cnf::{Assignment, Clause, Cnf};
+pub use lit::{Lit, Var};
+pub use tri::Tri;

@@ -1,0 +1,174 @@
+//! Boolean variables and literals.
+//!
+//! [`Var`] is a 0-based variable index; [`Lit`] packs a variable and a sign
+//! into a single `u32` (the usual MiniSat encoding `var << 1 | negated`),
+//! which keeps the SAT solver's watch lists flat and cache-friendly.
+
+use std::fmt;
+
+/// A Boolean variable, identified by a 0-based index.
+///
+/// In the DIMACS external format variables are 1-based; use
+/// [`Lit::from_dimacs`] / [`Lit::to_dimacs`] at the I/O boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its 0-based index.
+    pub fn new(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// The 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, true)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`, negated if `negated` is true.
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is negated.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        !self.is_negated()
+    }
+
+    /// The packed code (`var << 1 | negated`); useful as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its packed code.
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Parses a non-zero DIMACS literal (`3` → var 2 positive, `-3` → var 2
+    /// negated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0` (DIMACS reserves 0 as the clause terminator).
+    pub fn from_dimacs(value: i32) -> Lit {
+        assert!(value != 0, "DIMACS literal must be non-zero");
+        let var = Var(value.unsigned_abs() - 1);
+        Lit::new(var, value < 0)
+    }
+
+    /// The signed 1-based DIMACS form of this literal.
+    pub fn to_dimacs(self) -> i32 {
+        let v = (self.var().0 + 1) as i32;
+        if self.is_negated() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Evaluates the literal under a polarity of its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value ^ self.is_negated()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trip() {
+        for idx in [0u32, 1, 2, 1000] {
+            let v = Var::new(idx);
+            let p = v.positive();
+            let n = v.negative();
+            assert_eq!(p.var(), v);
+            assert_eq!(n.var(), v);
+            assert!(p.is_positive() && !p.is_negated());
+            assert!(n.is_negated() && !n.is_positive());
+            assert_eq!(!p, n);
+            assert_eq!(!n, p);
+            assert_eq!(Lit::from_code(p.code()), p);
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for v in [1, -1, 5, -42, i32::MAX] {
+            assert_eq!(Lit::from_dimacs(v).to_dimacs(), v);
+        }
+        assert_eq!(Lit::from_dimacs(3).var().index(), 2);
+        assert!(Lit::from_dimacs(-3).is_negated());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn eval() {
+        let x = Var::new(0);
+        assert!(x.positive().eval(true));
+        assert!(!x.positive().eval(false));
+        assert!(!x.negative().eval(true));
+        assert!(x.negative().eval(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Var::new(0).to_string(), "x1");
+        assert_eq!(Var::new(2).positive().to_string(), "x3");
+        assert_eq!(Var::new(2).negative().to_string(), "¬x3");
+    }
+}

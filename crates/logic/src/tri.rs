@@ -1,0 +1,220 @@
+//! The 3-valued logic domain `B = 𝔹 ∪ {?}`.
+//!
+//! The paper's circuit core evaluates gates over `{tt, ff, ?}`, where `?`
+//! means "a theory solver still has to determine this value" (Sec. 2 and
+//! Fig. 5). [`Tri`] is that domain with strong-Kleene connectives: a gate
+//! output is only `?` when the known inputs do not already force it.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A truth value in 3-valued (strong Kleene) logic.
+///
+/// ```
+/// use absolver_logic::Tri;
+///
+/// assert_eq!(Tri::True & Tri::Unknown, Tri::Unknown);
+/// assert_eq!(Tri::False & Tri::Unknown, Tri::False);
+/// assert_eq!(Tri::True | Tri::Unknown, Tri::True);
+/// assert_eq!(!Tri::Unknown, Tri::Unknown);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tri {
+    /// Definitely true (`tt`).
+    True,
+    /// Definitely false (`ff`).
+    False,
+    /// Not yet determined (`?`).
+    #[default]
+    Unknown,
+}
+
+impl Tri {
+    /// Returns `true` iff the value is [`Tri::True`].
+    pub fn is_true(self) -> bool {
+        self == Tri::True
+    }
+
+    /// Returns `true` iff the value is [`Tri::False`].
+    pub fn is_false(self) -> bool {
+        self == Tri::False
+    }
+
+    /// Returns `true` iff the value is [`Tri::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        self == Tri::Unknown
+    }
+
+    /// Converts to `Option<bool>`, mapping `?` to `None`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tri::True => Some(true),
+            Tri::False => Some(false),
+            Tri::Unknown => None,
+        }
+    }
+
+    /// Strong-Kleene implication `self → rhs`.
+    pub fn implies(self, rhs: Tri) -> Tri {
+        !self | rhs
+    }
+
+    /// Strong-Kleene exclusive or.
+    pub fn xor(self, rhs: Tri) -> Tri {
+        match (self, rhs) {
+            (Tri::Unknown, _) | (_, Tri::Unknown) => Tri::Unknown,
+            (a, b) if a == b => Tri::False,
+            _ => Tri::True,
+        }
+    }
+
+    /// Equivalence `self ↔ rhs`.
+    pub fn iff(self, rhs: Tri) -> Tri {
+        !self.xor(rhs)
+    }
+}
+
+impl From<bool> for Tri {
+    fn from(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+}
+
+impl From<Option<bool>> for Tri {
+    fn from(b: Option<bool>) -> Tri {
+        match b {
+            Some(true) => Tri::True,
+            Some(false) => Tri::False,
+            None => Tri::Unknown,
+        }
+    }
+}
+
+impl Not for Tri {
+    type Output = Tri;
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+impl BitAnd for Tri {
+    type Output = Tri;
+    fn bitand(self, rhs: Tri) -> Tri {
+        match (self, rhs) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+impl BitOr for Tri {
+    type Output = Tri;
+    fn bitor(self, rhs: Tri) -> Tri {
+        match (self, rhs) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tri::True => "tt",
+            Tri::False => "ff",
+            Tri::Unknown => "?",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tri; 3] = [Tri::True, Tri::False, Tri::Unknown];
+
+    #[test]
+    fn kleene_truth_tables() {
+        assert_eq!(Tri::True & Tri::True, Tri::True);
+        assert_eq!(Tri::True & Tri::False, Tri::False);
+        assert_eq!(Tri::Unknown & Tri::False, Tri::False);
+        assert_eq!(Tri::Unknown & Tri::True, Tri::Unknown);
+        assert_eq!(Tri::Unknown & Tri::Unknown, Tri::Unknown);
+        assert_eq!(Tri::False | Tri::False, Tri::False);
+        assert_eq!(Tri::Unknown | Tri::True, Tri::True);
+        assert_eq!(Tri::Unknown | Tri::False, Tri::Unknown);
+    }
+
+    #[test]
+    fn negation_involution() {
+        for t in ALL {
+            assert_eq!(!!t, t);
+        }
+    }
+
+    #[test]
+    fn de_morgan() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn implication_and_iff() {
+        assert_eq!(Tri::False.implies(Tri::Unknown), Tri::True);
+        assert_eq!(Tri::True.implies(Tri::Unknown), Tri::Unknown);
+        assert_eq!(Tri::Unknown.implies(Tri::True), Tri::True);
+        assert_eq!(Tri::True.iff(Tri::True), Tri::True);
+        assert_eq!(Tri::True.iff(Tri::False), Tri::False);
+        assert_eq!(Tri::True.iff(Tri::Unknown), Tri::Unknown);
+    }
+
+    #[test]
+    fn xor_table() {
+        assert_eq!(Tri::True.xor(Tri::False), Tri::True);
+        assert_eq!(Tri::True.xor(Tri::True), Tri::False);
+        assert_eq!(Tri::False.xor(Tri::False), Tri::False);
+        assert_eq!(Tri::Unknown.xor(Tri::True), Tri::Unknown);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Tri::from(true), Tri::True);
+        assert_eq!(Tri::from(Some(false)), Tri::False);
+        assert_eq!(Tri::from(None), Tri::Unknown);
+        assert_eq!(Tri::True.to_bool(), Some(true));
+        assert_eq!(Tri::Unknown.to_bool(), None);
+        assert_eq!(Tri::default(), Tri::Unknown);
+    }
+
+    #[test]
+    fn consistent_with_bool_on_known_values() {
+        for a in [true, false] {
+            for b in [true, false] {
+                assert_eq!(Tri::from(a) & Tri::from(b), Tri::from(a && b));
+                assert_eq!(Tri::from(a) | Tri::from(b), Tri::from(a || b));
+                assert_eq!(Tri::from(a).xor(Tri::from(b)), Tri::from(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tri::True.to_string(), "tt");
+        assert_eq!(Tri::False.to_string(), "ff");
+        assert_eq!(Tri::Unknown.to_string(), "?");
+    }
+}

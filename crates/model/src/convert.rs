@@ -1,0 +1,629 @@
+//! The automated conversion work-flow (paper Fig. 3):
+//! block diagram → LUSTRE node → AB-problem.
+//!
+//! Given a combinational [`Diagram`], [`diagram_to_lustre`] produces the
+//! textual intermediate representation (the SCADE/LUSTRE step of the
+//! paper), and [`lustre_to_ab`] extracts the multi-domain constraint
+//! satisfaction problem: the Boolean structure becomes a 3-valued
+//! [`Circuit`] lowered to CNF by Tseitin transformation, and every
+//! relational block becomes an arithmetic constraint definition bound to
+//! its Tseitin variable.
+
+use crate::diagram::{Block, Diagram, Factor, LogicOp, Sign, UnaryFn};
+use crate::lustre::{BinOp, LustreExpr, LustreNode, LustreType, UnOp};
+use absolver_core::{AbProblem, Circuit, NodeId, VarKind};
+use absolver_linear::CmpOp;
+use absolver_nonlinear::{Expr, NlConstraint};
+use absolver_num::{Interval, Rational};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What to ask of the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Is there an input valuation making the named output **true**?
+    Reachable(String),
+    /// Is there an input valuation making the named output **false**
+    /// (i.e. can the property be violated)? UNSAT then means the property
+    /// holds for all inputs in range.
+    Falsifiable(String),
+}
+
+/// Options of the LUSTRE → AB extraction.
+#[derive(Debug, Clone)]
+pub struct ConvertOptions {
+    /// The query to encode.
+    pub query: Query,
+    /// Assert each numeric input's physical range as constraints (forced
+    /// true), in addition to using it as the interval search box.
+    pub assume_ranges: bool,
+}
+
+impl ConvertOptions {
+    /// Reachability query for `output` with range assumptions on.
+    pub fn reachable(output: &str) -> ConvertOptions {
+        ConvertOptions { query: Query::Reachable(output.to_string()), assume_ranges: true }
+    }
+
+    /// Falsification query for `output` with range assumptions on.
+    pub fn falsifiable(output: &str) -> ConvertOptions {
+        ConvertOptions { query: Query::Falsifiable(output.to_string()), assume_ranges: true }
+    }
+}
+
+/// Error of the conversion pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertError {
+    message: String,
+}
+
+impl ConvertError {
+    fn new(m: impl Into<String>) -> ConvertError {
+        ConvertError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conversion error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+// ---------------------------------------------------------------------------
+// Diagram → LUSTRE
+// ---------------------------------------------------------------------------
+
+/// Converts a diagram to a LUSTRE node plus the physical ranges of its
+/// numeric inputs (which LUSTRE itself cannot carry).
+pub fn diagram_to_lustre(diagram: &Diagram) -> (LustreNode, HashMap<String, Interval>) {
+    let mut node = LustreNode { name: "model".to_string(), ..LustreNode::default() };
+    let mut ranges = HashMap::new();
+    let mut flow: Vec<String> = Vec::with_capacity(diagram.len());
+
+    for (id, block) in diagram.iter() {
+        let srcs: Vec<LustreExpr> = diagram
+            .inputs(id)
+            .iter()
+            .map(|&s| LustreExpr::ident(&flow[s.0]))
+            .collect();
+        let name = format!("t{}", id.0);
+        match block {
+            Block::Inport { name: n, kind, range } => {
+                let t = match kind {
+                    VarKind::Int => LustreType::Int,
+                    VarKind::Real => LustreType::Real,
+                };
+                node.inputs.push((n.clone(), t));
+                ranges.insert(n.clone(), *range);
+                flow.push(n.clone());
+                continue;
+            }
+            Block::Outport { name: n } => {
+                node.outputs.push((n.clone(), LustreType::Bool));
+                node.equations.push((n.clone(), srcs.into_iter().next().unwrap()));
+                flow.push(n.clone());
+                continue;
+            }
+            _ => {}
+        }
+        let (ty, expr) = match block {
+            Block::Constant(c) => (LustreType::Real, LustreExpr::Num(c.clone())),
+            Block::Sum(signs) => {
+                let mut it = signs.iter().zip(srcs);
+                let (s0, e0) = it.next().expect("sum has inputs");
+                let first = match s0 {
+                    Sign::Plus => e0,
+                    Sign::Minus => LustreExpr::unary(UnOp::Neg, e0),
+                };
+                let e = it.fold(first, |acc, (s, e)| match s {
+                    Sign::Plus => LustreExpr::binary(BinOp::Add, acc, e),
+                    Sign::Minus => LustreExpr::binary(BinOp::Sub, acc, e),
+                });
+                (LustreType::Real, e)
+            }
+            Block::Product(factors) => {
+                let mut it = factors.iter().zip(srcs);
+                let (f0, e0) = it.next().expect("product has inputs");
+                let first = match f0 {
+                    Factor::Mul => e0,
+                    Factor::Div => LustreExpr::binary(
+                        BinOp::Div,
+                        LustreExpr::Num(Rational::one()),
+                        e0,
+                    ),
+                };
+                let e = it.fold(first, |acc, (f, e)| match f {
+                    Factor::Mul => LustreExpr::binary(BinOp::Mul, acc, e),
+                    Factor::Div => LustreExpr::binary(BinOp::Div, acc, e),
+                });
+                (LustreType::Real, e)
+            }
+            Block::Gain(g) => (
+                LustreType::Real,
+                LustreExpr::binary(
+                    BinOp::Mul,
+                    LustreExpr::Num(g.clone()),
+                    srcs.into_iter().next().unwrap(),
+                ),
+            ),
+            Block::Unary(f) => {
+                let a = srcs.into_iter().next().unwrap();
+                let e = match f {
+                    UnaryFn::Abs => LustreExpr::unary(UnOp::Abs, a),
+                    UnaryFn::Sqrt => LustreExpr::unary(UnOp::Sqrt, a),
+                    UnaryFn::Sin => LustreExpr::unary(UnOp::Sin, a),
+                    UnaryFn::Cos => LustreExpr::unary(UnOp::Cos, a),
+                    UnaryFn::Exp => LustreExpr::unary(UnOp::Exp, a),
+                    UnaryFn::Square => LustreExpr::binary(BinOp::Mul, a.clone(), a),
+                };
+                (LustreType::Real, e)
+            }
+            Block::RelOp(op) => {
+                let mut it = srcs.into_iter();
+                let (a, b) = (it.next().unwrap(), it.next().unwrap());
+                let bop = match op {
+                    CmpOp::Lt => BinOp::Lt,
+                    CmpOp::Le => BinOp::Le,
+                    CmpOp::Gt => BinOp::Gt,
+                    CmpOp::Ge => BinOp::Ge,
+                    CmpOp::Eq => BinOp::Eq,
+                };
+                (LustreType::Bool, LustreExpr::binary(bop, a, b))
+            }
+            Block::Logic(op) => {
+                let mut it = srcs.into_iter();
+                let e = match op {
+                    LogicOp::Not => LustreExpr::unary(UnOp::Not, it.next().unwrap()),
+                    LogicOp::Xor => {
+                        let a = it.next().unwrap();
+                        let b = it.next().unwrap();
+                        LustreExpr::binary(BinOp::Xor, a, b)
+                    }
+                    // Balanced folding keeps expression depth logarithmic
+                    // for wide gates (associative operators only).
+                    LogicOp::And => balanced_fold(BinOp::And, it.collect()),
+                    LogicOp::Or => balanced_fold(BinOp::Or, it.collect()),
+                };
+                (LustreType::Bool, e)
+            }
+            Block::Inport { .. } | Block::Outport { .. } => unreachable!("handled above"),
+        };
+        node.locals.push((name.clone(), ty));
+        node.equations.push((name.clone(), expr));
+        flow.push(name);
+    }
+    (node, ranges)
+}
+
+/// Folds an associative binary operator over the items as a balanced tree.
+fn balanced_fold(op: BinOp, mut items: Vec<LustreExpr>) -> LustreExpr {
+    debug_assert!(!items.is_empty());
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(LustreExpr::binary(op, a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop().expect("nonempty")
+}
+
+// ---------------------------------------------------------------------------
+// LUSTRE → AB-problem
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Inlined {
+    Arith(Expr),
+    Boolean(NodeId),
+}
+
+struct Extractor<'a> {
+    node: &'a LustreNode,
+    circuit: Circuit,
+    /// numeric input name → arithmetic variable id
+    arith_inputs: HashMap<String, usize>,
+    /// Boolean input name → circuit input pin
+    bool_inputs: HashMap<String, usize>,
+    /// memoised flows
+    memo: HashMap<String, Inlined>,
+    /// constraints, one per atom pin
+    atoms: Vec<NlConstraint>,
+    /// structural atom sharing
+    atom_index: HashMap<String, usize>,
+}
+
+impl Extractor<'_> {
+    fn flow(&mut self, name: &str) -> Result<Inlined, ConvertError> {
+        if let Some(v) = self.memo.get(name) {
+            return Ok(v.clone());
+        }
+        let out = if let Some(&v) = self.arith_inputs.get(name) {
+            Inlined::Arith(Expr::var(v))
+        } else if let Some(&pin) = self.bool_inputs.get(name) {
+            Inlined::Boolean(self.circuit.bool_input(pin))
+        } else {
+            let e = self
+                .node
+                .equation(name)
+                .ok_or_else(|| ConvertError::new(format!("flow `{name}` has no equation")))?
+                .clone();
+            self.convert(&e)?
+        };
+        self.memo.insert(name.to_string(), out.clone());
+        Ok(out)
+    }
+
+    fn arith(&mut self, e: &LustreExpr) -> Result<Expr, ConvertError> {
+        match self.convert(e)? {
+            Inlined::Arith(x) => Ok(x),
+            Inlined::Boolean(_) => {
+                Err(ConvertError::new(format!("expected numeric expression, got boolean `{e}`")))
+            }
+        }
+    }
+
+    fn boolean(&mut self, e: &LustreExpr) -> Result<NodeId, ConvertError> {
+        match self.convert(e)? {
+            Inlined::Boolean(n) => Ok(n),
+            Inlined::Arith(_) => {
+                Err(ConvertError::new(format!("expected boolean expression, got numeric `{e}`")))
+            }
+        }
+    }
+
+    fn atom(&mut self, lhs: Expr, op: CmpOp, rhs: Expr) -> NodeId {
+        // Keep a constant RHS when available, else normalise to `… ⋈ 0`.
+        let constraint = match rhs {
+            Expr::Const(c) => NlConstraint::new(lhs.simplify(), op, c),
+            rhs => NlConstraint::new((lhs - rhs).simplify(), op, Rational::zero()),
+        };
+        let key = constraint.to_string();
+        let index = *self.atom_index.entry(key).or_insert_with(|| {
+            self.atoms.push(constraint);
+            self.atoms.len() - 1
+        });
+        self.circuit.atom(index)
+    }
+
+    fn convert(&mut self, e: &LustreExpr) -> Result<Inlined, ConvertError> {
+        Ok(match e {
+            LustreExpr::Num(q) => Inlined::Arith(Expr::constant(q.clone())),
+            LustreExpr::Bool(b) => {
+                let t = if *b { absolver_logic::Tri::True } else { absolver_logic::Tri::False };
+                Inlined::Boolean(self.circuit.constant(t))
+            }
+            LustreExpr::Ident(n) => self.flow(n)?,
+            LustreExpr::Unary(op, a) => match op {
+                UnOp::Not => {
+                    let n = self.boolean(a)?;
+                    Inlined::Boolean(self.circuit.not(n))
+                }
+                UnOp::Neg => Inlined::Arith(-self.arith(a)?),
+                UnOp::Abs => Inlined::Arith(self.arith(a)?.abs()),
+                UnOp::Sqrt => Inlined::Arith(self.arith(a)?.sqrt()),
+                UnOp::Sin => Inlined::Arith(self.arith(a)?.sin()),
+                UnOp::Cos => Inlined::Arith(self.arith(a)?.cos()),
+                UnOp::Exp => Inlined::Arith(self.arith(a)?.exp()),
+            },
+            LustreExpr::Binary(op, a, b) => match op {
+                BinOp::Add => Inlined::Arith(self.arith(a)? + self.arith(b)?),
+                BinOp::Sub => Inlined::Arith(self.arith(a)? - self.arith(b)?),
+                BinOp::Mul => Inlined::Arith(self.arith(a)? * self.arith(b)?),
+                BinOp::Div => Inlined::Arith(self.arith(a)? / self.arith(b)?),
+                BinOp::And => {
+                    let (x, y) = (self.boolean(a)?, self.boolean(b)?);
+                    Inlined::Boolean(self.circuit.and(vec![x, y]))
+                }
+                BinOp::Or => {
+                    let (x, y) = (self.boolean(a)?, self.boolean(b)?);
+                    Inlined::Boolean(self.circuit.or(vec![x, y]))
+                }
+                BinOp::Xor => {
+                    let (x, y) = (self.boolean(a)?, self.boolean(b)?);
+                    Inlined::Boolean(self.circuit.xor(x, y))
+                }
+                BinOp::Implies => {
+                    let (x, y) = (self.boolean(a)?, self.boolean(b)?);
+                    Inlined::Boolean(self.circuit.implies(x, y))
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let (x, y) = (self.arith(a)?, self.arith(b)?);
+                    let op = match op {
+                        BinOp::Lt => CmpOp::Lt,
+                        BinOp::Le => CmpOp::Le,
+                        BinOp::Gt => CmpOp::Gt,
+                        _ => CmpOp::Ge,
+                    };
+                    Inlined::Boolean(self.atom(x, op, y))
+                }
+                BinOp::Eq => {
+                    // Equality is equivalence on bool flows, an arithmetic
+                    // atom on numeric flows.
+                    match self.convert(a)? {
+                        Inlined::Boolean(x) => {
+                            let y = self.boolean(b)?;
+                            Inlined::Boolean(self.circuit.iff(x, y))
+                        }
+                        Inlined::Arith(x) => {
+                            let y = self.arith(b)?;
+                            Inlined::Boolean(self.atom(x, CmpOp::Eq, y))
+                        }
+                    }
+                }
+            },
+        })
+    }
+}
+
+/// Extracts an AB-problem from a LUSTRE node: the paper's "extract the
+/// multi-domain constraint satisfaction problems" step.
+///
+/// `ranges` supplies physical input ranges (used as interval search boxes
+/// and, with [`ConvertOptions::assume_ranges`], as asserted constraints).
+///
+/// # Errors
+///
+/// Returns [`ConvertError`] for unknown outputs, type mismatches, or
+/// invalid nodes.
+pub fn lustre_to_ab(
+    node: &LustreNode,
+    ranges: &HashMap<String, Interval>,
+    options: &ConvertOptions,
+) -> Result<AbProblem, ConvertError> {
+    node.validate().map_err(ConvertError::new)?;
+    let output_name = match &options.query {
+        Query::Reachable(n) | Query::Falsifiable(n) => n.clone(),
+    };
+    if !node.outputs.iter().any(|(n, t)| n == &output_name && *t == LustreType::Bool) {
+        return Err(ConvertError::new(format!(
+            "`{output_name}` is not a boolean output of node `{}`",
+            node.name
+        )));
+    }
+
+    // Allocate arithmetic variables for numeric inputs, circuit pins for
+    // boolean inputs.
+    let mut extractor = Extractor {
+        node,
+        circuit: Circuit::new(),
+        arith_inputs: HashMap::new(),
+        bool_inputs: HashMap::new(),
+        memo: HashMap::new(),
+        atoms: Vec::new(),
+        atom_index: HashMap::new(),
+    };
+    let mut arith_order: Vec<(String, VarKind)> = Vec::new();
+    for (name, ty) in &node.inputs {
+        match ty {
+            LustreType::Bool => {
+                let pin = extractor.bool_inputs.len();
+                extractor.bool_inputs.insert(name.clone(), pin);
+            }
+            LustreType::Int | LustreType::Real => {
+                let id = arith_order.len();
+                extractor.arith_inputs.insert(name.clone(), id);
+                arith_order.push((
+                    name.clone(),
+                    if *ty == LustreType::Int { VarKind::Int } else { VarKind::Real },
+                ));
+            }
+        }
+    }
+
+    // Build the circuit for the queried output.
+    let out_node = match extractor.flow(&output_name)? {
+        Inlined::Boolean(n) => n,
+        Inlined::Arith(_) => {
+            return Err(ConvertError::new(format!("output `{output_name}` is numeric")))
+        }
+    };
+    let final_node = match options.query {
+        Query::Reachable(_) => out_node,
+        Query::Falsifiable(_) => extractor.circuit.not(out_node),
+    };
+    extractor.circuit.set_output(final_node);
+    let tseitin = extractor.circuit.to_cnf();
+
+    // Assemble the AB-problem.
+    let mut builder = AbProblem::builder();
+    for (name, kind) in &arith_order {
+        let v = builder.arith_var(name, *kind);
+        if let Some(r) = ranges.get(name) {
+            builder.set_range(v, *r);
+        }
+    }
+    for clause in tseitin.cnf.clauses() {
+        builder.add_clause(clause.iter().copied());
+    }
+    // Make sure the builder knows about every Tseitin variable.
+    let total_vars = tseitin.cnf.num_vars();
+    while builder.num_bool_vars() < total_vars {
+        builder.bool_var();
+    }
+    for &(atom_idx, var) in &tseitin.atom_vars {
+        builder.define(var, extractor.atoms[atom_idx].clone());
+    }
+    if options.assume_ranges {
+        for (name, kind) in &arith_order {
+            if let Some(r) = ranges.get(name) {
+                if r.lo().is_finite() && r.hi().is_finite() {
+                    let v = builder.arith_var(name, *kind);
+                    let lo = Rational::from_f64(r.lo()).expect("finite");
+                    let hi = Rational::from_f64(r.hi()).expect("finite");
+                    let atom = builder.atom(Expr::var(v), CmpOp::Ge, lo);
+                    builder.define(
+                        atom,
+                        NlConstraint::new(Expr::var(v), CmpOp::Le, hi),
+                    );
+                    builder.require(atom.positive());
+                }
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Runs the full pipeline: diagram → LUSTRE → AB-problem.
+///
+/// # Errors
+///
+/// Propagates [`ConvertError`] from the extraction step.
+pub fn diagram_to_ab(diagram: &Diagram, options: &ConvertOptions) -> Result<AbProblem, ConvertError> {
+    let (node, ranges) = diagram_to_lustre(diagram);
+    lustre_to_ab(&node, &ranges, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::{Block, Diagram};
+    use absolver_core::{ArithModel, Orchestrator};
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// x ∈ [0, 10] real; out := (x ≥ 5) ∧ (x·x ≤ 50).
+    fn small_diagram() -> Diagram {
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 10.0)).unwrap();
+        let five = d.constant(q(5)).unwrap();
+        let fifty = d.constant(q(50)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, five]).unwrap();
+        let sq = d.mul(x, x).unwrap();
+        let le = d.add(Block::RelOp(CmpOp::Le), vec![sq, fifty]).unwrap();
+        let and = d.add(Block::Logic(crate::diagram::LogicOp::And), vec![ge, le]).unwrap();
+        d.outport("ok", and).unwrap();
+        d
+    }
+
+    #[test]
+    fn diagram_to_lustre_structure() {
+        let (node, ranges) = diagram_to_lustre(&small_diagram());
+        assert_eq!(node.inputs, vec![("x".to_string(), LustreType::Real)]);
+        assert_eq!(node.outputs, vec![("ok".to_string(), LustreType::Bool)]);
+        assert!(node.validate().is_ok());
+        assert_eq!(ranges["x"], Interval::new(0.0, 10.0));
+        // The printed node re-parses.
+        let reparsed = crate::lustre::parse(&node.to_string()).unwrap();
+        assert_eq!(reparsed.inputs, node.inputs);
+        assert_eq!(reparsed.equations.len(), node.equations.len());
+    }
+
+    #[test]
+    fn reachable_query_finds_witness() {
+        let problem = diagram_to_ab(&small_diagram(), &ConvertOptions::reachable("ok")).unwrap();
+        assert!(problem.num_nonlinear() >= 1, "x·x should be nonlinear");
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().expect("x ∈ [5, √50] is a witness");
+        let x = problem.arith_var("x").unwrap();
+        let xv = model.arith.value_f64(x).unwrap();
+        assert!((5.0..=50.0f64.sqrt() + 1e-6).contains(&xv), "witness {xv}");
+        // The diagram itself agrees with the witness.
+        assert_eq!(small_diagram().simulate(&[xv]), vec![true]);
+    }
+
+    #[test]
+    fn falsifiable_query() {
+        // "ok" is violated e.g. at x = 0 → SAT with a counterexample.
+        let problem = diagram_to_ab(&small_diagram(), &ConvertOptions::falsifiable("ok")).unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().expect("property is violable");
+        let x = problem.arith_var("x").unwrap();
+        let xv = model.arith.value_f64(x).unwrap();
+        assert_eq!(small_diagram().simulate(&[xv]), vec![false]);
+    }
+
+    #[test]
+    fn unreachable_output_is_unsat() {
+        // out := (x ≥ 5) ∧ (x ≤ 3) can never fire.
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::new(-100.0, 100.0)).unwrap();
+        let five = d.constant(q(5)).unwrap();
+        let three = d.constant(q(3)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, five]).unwrap();
+        let le = d.add(Block::RelOp(CmpOp::Le), vec![x, three]).unwrap();
+        let and = d.add(Block::Logic(crate::diagram::LogicOp::And), vec![ge, le]).unwrap();
+        d.outport("bad", and).unwrap();
+        let problem = diagram_to_ab(&d, &ConvertOptions::reachable("bad")).unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn property_that_always_holds() {
+        // ok := x² ≥ 0 — falsification must be UNSAT (property proved).
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::new(-50.0, 50.0)).unwrap();
+        let sq = d.mul(x, x).unwrap();
+        let zero = d.constant(q(0)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![sq, zero]).unwrap();
+        d.outport("ok", ge).unwrap();
+        let problem = diagram_to_ab(&d, &ConvertOptions::falsifiable("ok")).unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_unsat(), "x² ≥ 0 is valid");
+    }
+
+    #[test]
+    fn range_assumptions_constrain_witnesses() {
+        // out := x ≥ 5 with x ∈ [0, 3] asserted: reachability is UNSAT.
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 3.0)).unwrap();
+        let five = d.constant(q(5)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, five]).unwrap();
+        d.outport("out", ge).unwrap();
+        let with = diagram_to_ab(&d, &ConvertOptions::reachable("out")).unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&with).unwrap().is_unsat());
+        // Without range assumptions it is satisfiable (x = 5 allowed).
+        let mut opts = ConvertOptions::reachable("out");
+        opts.assume_ranges = false;
+        let without = diagram_to_ab(&d, &opts).unwrap();
+        assert!(orc.solve(&without).unwrap().is_sat());
+    }
+
+    #[test]
+    fn unknown_output_errors() {
+        let d = small_diagram();
+        let err = diagram_to_ab(&d, &ConvertOptions::reachable("nope"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn boolean_inputs_become_free_cnf_vars() {
+        let node = crate::lustre::parse(
+            "node f(p: bool; x: real) returns (o: bool);\nlet o = p and x >= 1; tel",
+        )
+        .unwrap();
+        let problem =
+            lustre_to_ab(&node, &HashMap::new(), &ConvertOptions::reachable("o")).unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let outcome = orc.solve(&problem).unwrap();
+        let model = outcome.model().unwrap();
+        match &model.arith {
+            ArithModel::Exact(m) => assert!(m[0] >= q(1)),
+            ArithModel::Numeric(m) => assert!(m[0] >= 1.0 - 1e-6),
+        }
+    }
+
+    #[test]
+    fn shared_atoms_are_not_duplicated() {
+        // The same comparison used twice yields one definition.
+        let node = crate::lustre::parse(
+            "node f(x: real) returns (o: bool);\nvar a, b: bool;\nlet a = x >= 1; b = x >= 1; o = a and b; tel",
+        )
+        .unwrap();
+        let problem =
+            lustre_to_ab(&node, &HashMap::new(), &ConvertOptions::reachable("o")).unwrap();
+        assert_eq!(problem.num_defs(), 1);
+    }
+}

@@ -1,0 +1,547 @@
+//! Simulink-like block diagrams.
+//!
+//! The paper's input models are MATLAB/Simulink designs (Fig. 1): data-flow
+//! diagrams mixing arithmetic blocks (sums, products, gains, nonlinear
+//! functions), relational blocks producing Boolean signals, and logic
+//! blocks combining them. [`Diagram`] reproduces the *combinational* subset
+//! relevant to the paper's analysis work-flow — the snapshot semantics the
+//! case study's constraint extraction uses.
+//!
+//! Diagrams are acyclic by construction: a block's inputs must reference
+//! previously added blocks.
+
+use absolver_core::VarKind;
+use absolver_linear::CmpOp;
+use absolver_num::{Interval, Rational};
+use std::fmt;
+
+/// Identifier of a block within a diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) usize);
+
+/// Signal type flowing on a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalType {
+    /// Numeric (int or real) signal.
+    Arith,
+    /// Boolean signal.
+    Bool,
+}
+
+/// Sign of a summand in a [`Block::Sum`] block (Simulink's `++-` strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Added.
+    Plus,
+    /// Subtracted.
+    Minus,
+}
+
+/// Factor role in a [`Block::Product`] block (Simulink's `**/` strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Factor {
+    /// Multiplied.
+    Mul,
+    /// Divided by.
+    Div,
+}
+
+/// Logic operator of a [`Block::Logic`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// n-ary conjunction.
+    And,
+    /// n-ary disjunction.
+    Or,
+    /// Unary negation.
+    Not,
+    /// Binary exclusive or.
+    Xor,
+}
+
+/// Unary arithmetic function blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryFn {
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Natural exponential.
+    Exp,
+    /// Square (`u²`; Simulink's `Math Function: square`).
+    Square,
+}
+
+/// A diagram block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// External numeric input with a declared kind and physical range.
+    Inport {
+        /// Signal name.
+        name: String,
+        /// Integer or real.
+        kind: VarKind,
+        /// Physical range of the sensor/signal.
+        range: Interval,
+    },
+    /// Numeric constant source.
+    Constant(Rational),
+    /// n-ary signed sum (inputs must match `signs.len()`).
+    Sum(Vec<Sign>),
+    /// n-ary product/quotient (inputs must match `factors.len()`).
+    Product(Vec<Factor>),
+    /// Multiplication by a constant.
+    Gain(Rational),
+    /// Unary arithmetic function.
+    Unary(UnaryFn),
+    /// Relational operator: two numeric inputs, Boolean output.
+    RelOp(CmpOp),
+    /// Logic block: Boolean inputs, Boolean output.
+    Logic(LogicOp),
+    /// Named Boolean output of the diagram.
+    Outport {
+        /// Port name.
+        name: String,
+    },
+}
+
+impl Block {
+    /// The output signal type of the block.
+    pub fn output_type(&self) -> SignalType {
+        match self {
+            Block::Inport { .. }
+            | Block::Constant(_)
+            | Block::Sum(_)
+            | Block::Product(_)
+            | Block::Gain(_)
+            | Block::Unary(_) => SignalType::Arith,
+            Block::RelOp(_) | Block::Logic(_) | Block::Outport { .. } => SignalType::Bool,
+        }
+    }
+
+    /// Expected number of inputs, or `None` when variadic bounds apply.
+    fn arity(&self) -> Option<usize> {
+        match self {
+            Block::Inport { .. } | Block::Constant(_) => Some(0),
+            Block::Sum(signs) => Some(signs.len()),
+            Block::Product(factors) => Some(factors.len()),
+            Block::Gain(_) | Block::Unary(_) => Some(1),
+            Block::RelOp(_) => Some(2),
+            Block::Logic(LogicOp::Not) => Some(1),
+            Block::Logic(LogicOp::Xor) => Some(2),
+            Block::Logic(_) => None, // n-ary, ≥ 1
+            Block::Outport { .. } => Some(1),
+        }
+    }
+
+    fn input_type(&self) -> SignalType {
+        match self {
+            Block::Logic(_) | Block::Outport { .. } => SignalType::Bool,
+            _ => SignalType::Arith,
+        }
+    }
+}
+
+/// Error raised while constructing or validating a diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagramError {
+    message: String,
+}
+
+impl DiagramError {
+    fn new(message: impl Into<String>) -> DiagramError {
+        DiagramError { message: message.into() }
+    }
+}
+
+impl fmt::Display for DiagramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "diagram error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DiagramError {}
+
+/// A combinational block diagram.
+///
+/// ```
+/// use absolver_core::VarKind;
+/// use absolver_linear::CmpOp;
+/// use absolver_model::{Block, Diagram};
+/// use absolver_num::{Interval, Rational};
+///
+/// # fn main() -> Result<(), absolver_model::DiagramError> {
+/// let mut d = Diagram::new();
+/// let x = d.inport("x", VarKind::Real, Interval::new(-10.0, 10.0))?;
+/// let zero = d.constant(Rational::zero())?;
+/// let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, zero])?;
+/// d.outport("nonneg", ge)?;
+/// assert_eq!(d.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Diagram {
+    blocks: Vec<Block>,
+    inputs: Vec<Vec<BlockId>>,
+}
+
+impl Diagram {
+    /// Creates an empty diagram.
+    pub fn new() -> Diagram {
+        Diagram::default()
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if the diagram has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block behind an id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0]
+    }
+
+    /// The input wires of a block.
+    pub fn inputs(&self, id: BlockId) -> &[BlockId] {
+        &self.inputs[id.0]
+    }
+
+    /// Iterates over `(id, block)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i), b))
+    }
+
+    /// Adds a block wired to `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong arity, forward references, and signal-type mismatches.
+    pub fn add(&mut self, block: Block, inputs: Vec<BlockId>) -> Result<BlockId, DiagramError> {
+        if let Some(expected) = block.arity() {
+            if inputs.len() != expected {
+                return Err(DiagramError::new(format!(
+                    "{block:?} expects {expected} inputs, got {}",
+                    inputs.len()
+                )));
+            }
+        } else if inputs.is_empty() {
+            return Err(DiagramError::new(format!("{block:?} needs at least one input")));
+        }
+        for &src in &inputs {
+            if src.0 >= self.blocks.len() {
+                return Err(DiagramError::new(format!(
+                    "input {src:?} does not exist yet (diagrams are acyclic by construction)"
+                )));
+            }
+            let got = self.blocks[src.0].output_type();
+            let want = block.input_type();
+            if got != want {
+                return Err(DiagramError::new(format!(
+                    "type mismatch: {block:?} expects {want:?} input, {src:?} produces {got:?}"
+                )));
+            }
+        }
+        if let Block::Inport { name, .. } = &block {
+            if self.iter().any(
+                |(_, b)| matches!(b, Block::Inport { name: n, .. } if n == name),
+            ) {
+                return Err(DiagramError::new(format!("duplicate inport `{name}`")));
+            }
+        }
+        if let Block::Outport { name } = &block {
+            if self.iter().any(
+                |(_, b)| matches!(b, Block::Outport { name: n } if n == name),
+            ) {
+                return Err(DiagramError::new(format!("duplicate outport `{name}`")));
+            }
+        }
+        self.blocks.push(block);
+        self.inputs.push(inputs);
+        Ok(BlockId(self.blocks.len() - 1))
+    }
+
+    /// Convenience: adds an [`Block::Inport`].
+    pub fn inport(
+        &mut self,
+        name: &str,
+        kind: VarKind,
+        range: Interval,
+    ) -> Result<BlockId, DiagramError> {
+        self.add(
+            Block::Inport { name: name.to_string(), kind, range },
+            Vec::new(),
+        )
+    }
+
+    /// Convenience: adds a [`Block::Constant`].
+    pub fn constant(&mut self, value: Rational) -> Result<BlockId, DiagramError> {
+        self.add(Block::Constant(value), Vec::new())
+    }
+
+    /// Convenience: adds `a - b`.
+    pub fn sub(&mut self, a: BlockId, b: BlockId) -> Result<BlockId, DiagramError> {
+        self.add(Block::Sum(vec![Sign::Plus, Sign::Minus]), vec![a, b])
+    }
+
+    /// Convenience: adds `a + b`.
+    pub fn sum2(&mut self, a: BlockId, b: BlockId) -> Result<BlockId, DiagramError> {
+        self.add(Block::Sum(vec![Sign::Plus, Sign::Plus]), vec![a, b])
+    }
+
+    /// Convenience: adds `a * b`.
+    pub fn mul(&mut self, a: BlockId, b: BlockId) -> Result<BlockId, DiagramError> {
+        self.add(Block::Product(vec![Factor::Mul, Factor::Mul]), vec![a, b])
+    }
+
+    /// Convenience: adds `a / b`.
+    pub fn div(&mut self, a: BlockId, b: BlockId) -> Result<BlockId, DiagramError> {
+        self.add(Block::Product(vec![Factor::Mul, Factor::Div]), vec![a, b])
+    }
+
+    /// Convenience: adds an [`Block::Outport`] watching `src`.
+    pub fn outport(&mut self, name: &str, src: BlockId) -> Result<BlockId, DiagramError> {
+        self.add(Block::Outport { name: name.to_string() }, vec![src])
+    }
+
+    /// The inports, in declaration order.
+    pub fn inports(&self) -> Vec<(BlockId, &str, VarKind, Interval)> {
+        self.iter()
+            .filter_map(|(id, b)| match b {
+                Block::Inport { name, kind, range } => Some((id, name.as_str(), *kind, *range)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The outports, in declaration order.
+    pub fn outports(&self) -> Vec<(BlockId, &str)> {
+        self.iter()
+            .filter_map(|(id, b)| match b {
+                Block::Outport { name } => Some((id, name.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Simulates the diagram on concrete input values (by inport order).
+    /// Returns each outport's Boolean value, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not cover all inports.
+    pub fn simulate(&self, values: &[f64]) -> Vec<bool> {
+        #[derive(Clone, Copy)]
+        enum V {
+            A(f64),
+            B(bool),
+        }
+        let mut out: Vec<V> = Vec::with_capacity(self.blocks.len());
+        let mut next_input = 0usize;
+        let mut ports = Vec::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            let arg = |k: usize| out[self.inputs[i][k].0];
+            let num = |k: usize| match arg(k) {
+                V::A(v) => v,
+                V::B(_) => unreachable!("type-checked"),
+            };
+            let boolean = |k: usize| match arg(k) {
+                V::B(v) => v,
+                V::A(_) => unreachable!("type-checked"),
+            };
+            let v = match block {
+                Block::Inport { .. } => {
+                    let v = values[next_input];
+                    next_input += 1;
+                    V::A(v)
+                }
+                Block::Constant(c) => V::A(c.to_f64()),
+                Block::Sum(signs) => V::A(
+                    signs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, s)| match s {
+                            Sign::Plus => num(k),
+                            Sign::Minus => -num(k),
+                        })
+                        .sum(),
+                ),
+                Block::Product(factors) => V::A(factors.iter().enumerate().fold(
+                    1.0,
+                    |acc, (k, f)| match f {
+                        Factor::Mul => acc * num(k),
+                        Factor::Div => acc / num(k),
+                    },
+                )),
+                Block::Gain(g) => V::A(g.to_f64() * num(0)),
+                Block::Unary(f) => V::A(match f {
+                    UnaryFn::Abs => num(0).abs(),
+                    UnaryFn::Sqrt => num(0).sqrt(),
+                    UnaryFn::Sin => num(0).sin(),
+                    UnaryFn::Cos => num(0).cos(),
+                    UnaryFn::Exp => num(0).exp(),
+                    UnaryFn::Square => num(0) * num(0),
+                }),
+                Block::RelOp(op) => V::B(match op {
+                    CmpOp::Lt => num(0) < num(1),
+                    CmpOp::Le => num(0) <= num(1),
+                    CmpOp::Gt => num(0) > num(1),
+                    CmpOp::Ge => num(0) >= num(1),
+                    CmpOp::Eq => num(0) == num(1),
+                }),
+                Block::Logic(op) => V::B(match op {
+                    LogicOp::And => (0..self.inputs[i].len()).all(boolean),
+                    LogicOp::Or => (0..self.inputs[i].len()).any(boolean),
+                    LogicOp::Not => !boolean(0),
+                    LogicOp::Xor => boolean(0) ^ boolean(1),
+                }),
+                Block::Outport { .. } => {
+                    let v = boolean(0);
+                    ports.push(v);
+                    V::B(v)
+                }
+            };
+            out.push(v);
+        }
+        ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// The paper's Fig. 1 model: Out1 = AND( OR( AND(i≥0, j≥0),
+    /// NOT(2i+j<10) ), i+j<5 handled via OR, a·x + 3.5/(4−y) + 2y ≥ 7.1 ).
+    fn fig1() -> Diagram {
+        let mut d = Diagram::new();
+        let a = d.inport("a", VarKind::Real, Interval::ENTIRE).unwrap();
+        let x = d.inport("x", VarKind::Real, Interval::ENTIRE).unwrap();
+        let y = d.inport("y", VarKind::Real, Interval::ENTIRE).unwrap();
+        let i = d.inport("i", VarKind::Int, Interval::ENTIRE).unwrap();
+        let j = d.inport("j", VarKind::Int, Interval::ENTIRE).unwrap();
+        let zero = d.constant(q(0)).unwrap();
+        let five = d.constant(q(5)).unwrap();
+        let ten = d.constant(q(10)).unwrap();
+        let c35 = d.constant("3.5".parse().unwrap()).unwrap();
+        let four = d.constant(q(4)).unwrap();
+        let c71 = d.constant("7.1".parse().unwrap()).unwrap();
+
+        let i_ge0 = d.add(Block::RelOp(CmpOp::Ge), vec![i, zero]).unwrap();
+        let j_ge0 = d.add(Block::RelOp(CmpOp::Ge), vec![j, zero]).unwrap();
+        let both = d.add(Block::Logic(LogicOp::And), vec![i_ge0, j_ge0]).unwrap();
+
+        let two_i = d.add(Block::Gain(q(2)), vec![i]).unwrap();
+        let lhs2 = d.sum2(two_i, j).unwrap();
+        let lt10 = d.add(Block::RelOp(CmpOp::Lt), vec![lhs2, ten]).unwrap();
+        let not10 = d.add(Block::Logic(LogicOp::Not), vec![lt10]).unwrap();
+
+        let ij = d.sum2(i, j).unwrap();
+        let lt5 = d.add(Block::RelOp(CmpOp::Lt), vec![ij, five]).unwrap();
+        let or = d.add(Block::Logic(LogicOp::Or), vec![not10, lt5]).unwrap();
+
+        let ax = d.mul(a, x).unwrap();
+        let denom = d.sub(four, y).unwrap();
+        let frac = d.div(c35, denom).unwrap();
+        let two_y = d.add(Block::Gain(q(2)), vec![y]).unwrap();
+        let s1 = d.sum2(ax, frac).unwrap();
+        let lhs = d.sum2(s1, two_y).unwrap();
+        let ge71 = d.add(Block::RelOp(CmpOp::Ge), vec![lhs, c71]).unwrap();
+
+        let and = d.add(Block::Logic(LogicOp::And), vec![both, or, ge71]).unwrap();
+        d.outport("Out1", and).unwrap();
+        d
+    }
+
+    #[test]
+    fn fig1_structure() {
+        let d = fig1();
+        assert_eq!(d.inports().len(), 5);
+        assert_eq!(d.outports().len(), 1);
+        assert!(d.len() > 20);
+    }
+
+    #[test]
+    fn fig1_simulation() {
+        let d = fig1();
+        // a=10, x=1, y=0, i=1, j=1: i,j ≥ 0 ✓; 2i+j=3<10 so NOT fails, but
+        // i+j=2<5 ✓ → OR ✓; 10·1 + 3.5/4 + 0 = 10.875 ≥ 7.1 ✓ → Out1 true.
+        assert_eq!(d.simulate(&[10.0, 1.0, 0.0, 1.0, 1.0]), vec![true]);
+        // a=0, x=0, y=0: 0 + 0.875 + 0 < 7.1 → Out1 false.
+        assert_eq!(d.simulate(&[0.0, 0.0, 0.0, 1.0, 1.0]), vec![false]);
+        // i negative → first AND false → Out1 false.
+        assert_eq!(d.simulate(&[10.0, 1.0, 0.0, -1.0, 1.0]), vec![false]);
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::ENTIRE).unwrap();
+        // Gain needs exactly one input.
+        assert!(d.add(Block::Gain(q(2)), vec![x, x]).is_err());
+        // RelOp needs numeric inputs.
+        let zero = d.constant(q(0)).unwrap();
+        let b = d.add(Block::RelOp(CmpOp::Ge), vec![x, zero]).unwrap();
+        assert!(d.add(Block::Gain(q(2)), vec![b]).is_err());
+        // Logic needs Boolean inputs.
+        assert!(d.add(Block::Logic(LogicOp::And), vec![x]).is_err());
+        // Logic And needs ≥ 1 input.
+        assert!(d.add(Block::Logic(LogicOp::And), vec![]).is_err());
+        // Dangling reference.
+        assert!(d.add(Block::Gain(q(2)), vec![BlockId(999)]).is_err());
+        // Outport takes a Boolean.
+        assert!(d.outport("bad", x).is_err());
+        // Duplicate names.
+        assert!(d.inport("x", VarKind::Real, Interval::ENTIRE).is_err());
+        d.outport("o", b).unwrap();
+        let b2 = d.add(Block::RelOp(CmpOp::Le), vec![x, zero]).unwrap();
+        assert!(d.outport("o", b2).is_err());
+    }
+
+    #[test]
+    fn simulate_all_blocks() {
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::ENTIRE).unwrap();
+        let sq = d.add(Block::Unary(UnaryFn::Square), vec![x]).unwrap();
+        let ab = d.add(Block::Unary(UnaryFn::Abs), vec![x]).unwrap();
+        let diff = d.sub(sq, ab).unwrap();
+        let zero = d.constant(q(0)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![diff, zero]).unwrap();
+        d.outport("sq_dominates", ge).unwrap();
+        // x² ≥ |x| ⇔ |x| ≥ 1 or x = 0.
+        assert_eq!(d.simulate(&[2.0]), vec![true]);
+        assert_eq!(d.simulate(&[0.5]), vec![false]);
+        assert_eq!(d.simulate(&[0.0]), vec![true]);
+        assert_eq!(d.simulate(&[-3.0]), vec![true]);
+    }
+
+    #[test]
+    fn xor_and_division() {
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::ENTIRE).unwrap();
+        let one = d.constant(q(1)).unwrap();
+        let inv = d.div(one, x).unwrap();
+        let half = d.constant("0.5".parse().unwrap()).unwrap();
+        let small = d.add(Block::RelOp(CmpOp::Lt), vec![inv, half]).unwrap();
+        let pos = d.add(Block::RelOp(CmpOp::Gt), vec![x, one]).unwrap();
+        let xor = d.add(Block::Logic(LogicOp::Xor), vec![small, pos]).unwrap();
+        d.outport("o", xor).unwrap();
+        // x = 3: 1/3 < 0.5 ✓, 3 > 1 ✓ → xor false.
+        assert_eq!(d.simulate(&[3.0]), vec![false]);
+        // x = 1.5: 1/1.5 ≈ 0.67 ≥ 0.5 ✗, 1.5 > 1 ✓ → xor true.
+        assert_eq!(d.simulate(&[1.5]), vec![true]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Model-level front end of the ABsolver reproduction: Simulink-like block
+//! diagrams, a LUSTRE-like intermediate representation, and the automated
+//! conversion work-flow of the paper's Fig. 3
+//! (Simulink → SCADE/LUSTRE → AB-problem).
+//!
+//! * [`Diagram`] — combinational block diagrams with simulation.
+//! * [`lustre`] — the textual IR with printer and parser.
+//! * [`convert`] — [`diagram_to_lustre`], [`lustre_to_ab`],
+//!   [`diagram_to_ab`], and the [`Query`]/[`ConvertOptions`] types.
+//! * [`steering`] — the synthetic stand-in for the paper's industrial car
+//!   steering case study (Sec. 3), matching its published statistics.
+//!
+//! ```
+//! use absolver_core::{Orchestrator, VarKind};
+//! use absolver_linear::CmpOp;
+//! use absolver_model::{diagram_to_ab, Block, ConvertOptions, Diagram};
+//! use absolver_num::{Interval, Rational};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // out := x² ≤ 2, x ∈ [-3, 3]: reachable (take x = 1).
+//! let mut d = Diagram::new();
+//! let x = d.inport("x", VarKind::Real, Interval::new(-3.0, 3.0))?;
+//! let sq = d.mul(x, x)?;
+//! let two = d.constant(Rational::from_int(2))?;
+//! let le = d.add(Block::RelOp(CmpOp::Le), vec![sq, two])?;
+//! d.outport("out", le)?;
+//! let problem = diagram_to_ab(&d, &ConvertOptions::reachable("out"))?;
+//! assert!(Orchestrator::with_defaults().solve(&problem)?.is_sat());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+mod diagram;
+pub mod lustre;
+pub mod steering;
+pub mod testgen;
+
+pub use convert::{
+    diagram_to_ab, diagram_to_lustre, lustre_to_ab, ConvertError, ConvertOptions, Query,
+};
+pub use diagram::{
+    Block, BlockId, Diagram, DiagramError, Factor, LogicOp, Sign, SignalType, UnaryFn,
+};
+pub use lustre::{LustreExpr, LustreNode, LustreType, ParseLustreError};
+pub use steering::{steering_diagram, steering_options, steering_problem};
+pub use testgen::{generate_tests, CoverageTarget, TestSuite, TestVector};

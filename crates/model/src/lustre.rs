@@ -1,0 +1,803 @@
+//! A LUSTRE-like textual intermediate representation.
+//!
+//! The paper's conversion work-flow (Fig. 3) goes MATLAB/Simulink →
+//! SCADE — "internally, SCADE uses a textual representation of the model
+//! in terms of the programming language LUSTRE, from which we could then
+//! extract the multi-domain constraint satisfaction problems". This module
+//! provides that middle layer: a single-node, combinational LUSTRE dialect
+//! with a printer and parser, so the pipeline can be driven from either a
+//! [`crate::Diagram`] or a textual `.lus` file.
+
+use absolver_num::Rational;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A LUSTRE flow type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LustreType {
+    /// Boolean flow.
+    Bool,
+    /// Integer flow.
+    Int,
+    /// Real flow.
+    Real,
+}
+
+impl fmt::Display for LustreType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LustreType::Bool => "bool",
+            LustreType::Int => "int",
+            LustreType::Real => "real",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// Absolute value (SCADE's `abs`).
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Natural exponential.
+    Exp,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+    /// `=>`
+    Implies,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` (on numeric flows: arithmetic atom; on bool flows: equivalence)
+    Eq,
+}
+
+/// A LUSTRE expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LustreExpr {
+    /// Numeric literal.
+    Num(Rational),
+    /// Boolean literal.
+    Bool(bool),
+    /// Flow reference.
+    Ident(String),
+    /// Unary application.
+    Unary(UnOp, Box<LustreExpr>),
+    /// Binary application.
+    Binary(BinOp, Box<LustreExpr>, Box<LustreExpr>),
+}
+
+impl LustreExpr {
+    /// Builds `op(self)`.
+    pub fn unary(op: UnOp, a: LustreExpr) -> LustreExpr {
+        LustreExpr::Unary(op, Box::new(a))
+    }
+
+    /// Builds `a op b`.
+    pub fn binary(op: BinOp, a: LustreExpr, b: LustreExpr) -> LustreExpr {
+        LustreExpr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Builds an identifier reference.
+    pub fn ident(name: &str) -> LustreExpr {
+        LustreExpr::Ident(name.to_string())
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            LustreExpr::Binary(BinOp::Implies, ..) => 1,
+            LustreExpr::Binary(BinOp::Or | BinOp::Xor, ..) => 2,
+            LustreExpr::Binary(BinOp::And, ..) => 3,
+            LustreExpr::Binary(
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq,
+                ..,
+            ) => 4,
+            LustreExpr::Binary(BinOp::Add | BinOp::Sub, ..) => 5,
+            LustreExpr::Binary(BinOp::Mul | BinOp::Div, ..) => 6,
+            LustreExpr::Unary(..) => 7,
+            _ => 8,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+        let p = self.precedence();
+        let paren = p < min;
+        if paren {
+            f.write_str("(")?;
+        }
+        match self {
+            LustreExpr::Num(q) => {
+                if q.is_integer() {
+                    write!(f, "{q}")?;
+                } else {
+                    // LUSTRE reals: print as division of integers, always
+                    // re-parseable.
+                    write!(f, "({} / {})", q.numer(), q.denom())?;
+                }
+            }
+            LustreExpr::Bool(b) => f.write_str(if *b { "true" } else { "false" })?,
+            LustreExpr::Ident(n) => f.write_str(n)?,
+            LustreExpr::Unary(op, a) => {
+                match op {
+                    UnOp::Neg => {
+                        f.write_str("-")?;
+                        a.fmt_prec(f, 8)?;
+                    }
+                    UnOp::Not => {
+                        f.write_str("not ")?;
+                        a.fmt_prec(f, 8)?;
+                    }
+                    UnOp::Abs | UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp => {
+                        let name = match op {
+                            UnOp::Abs => "abs",
+                            UnOp::Sqrt => "sqrt",
+                            UnOp::Sin => "sin",
+                            UnOp::Cos => "cos",
+                            UnOp::Exp => "exp",
+                            _ => unreachable!(),
+                        };
+                        write!(f, "{name}(")?;
+                        a.fmt_prec(f, 0)?;
+                        f.write_str(")")?;
+                    }
+                }
+            }
+            LustreExpr::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::And => "and",
+                    BinOp::Or => "or",
+                    BinOp::Xor => "xor",
+                    BinOp::Implies => "=>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Eq => "=",
+                };
+                a.fmt_prec(f, p)?;
+                write!(f, " {sym} ")?;
+                b.fmt_prec(f, p + 1)?;
+            }
+        }
+        if paren {
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LustreExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// A single combinational LUSTRE node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LustreNode {
+    /// Node name.
+    pub name: String,
+    /// Input flows.
+    pub inputs: Vec<(String, LustreType)>,
+    /// Output flows.
+    pub outputs: Vec<(String, LustreType)>,
+    /// Local flows.
+    pub locals: Vec<(String, LustreType)>,
+    /// Equations `flow = expr`, in dependency order.
+    pub equations: Vec<(String, LustreExpr)>,
+}
+
+impl LustreNode {
+    /// Looks up the type of a flow (input, output or local).
+    pub fn flow_type(&self, name: &str) -> Option<LustreType> {
+        self.inputs
+            .iter()
+            .chain(&self.outputs)
+            .chain(&self.locals)
+            .find(|(n, _)| n == name)
+            .map(|&(_, t)| t)
+    }
+
+    /// The defining equation of a flow, if any.
+    pub fn equation(&self, name: &str) -> Option<&LustreExpr> {
+        self.equations.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    }
+
+    /// Basic sanity checks: every output and local has exactly one
+    /// equation, inputs have none, and every identifier is declared.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut defined: HashMap<&str, usize> = HashMap::new();
+        for (n, _) in &self.equations {
+            *defined.entry(n.as_str()).or_insert(0) += 1;
+        }
+        for (n, _) in self.outputs.iter().chain(&self.locals) {
+            match defined.get(n.as_str()) {
+                Some(1) => {}
+                Some(_) => return Err(format!("flow `{n}` defined more than once")),
+                None => return Err(format!("flow `{n}` has no defining equation")),
+            }
+        }
+        for (n, _) in &self.inputs {
+            if defined.contains_key(n.as_str()) {
+                return Err(format!("input `{n}` must not be defined"));
+            }
+        }
+        for (_, e) in &self.equations {
+            self.check_idents(e)?;
+        }
+        Ok(())
+    }
+
+    fn check_idents(&self, e: &LustreExpr) -> Result<(), String> {
+        match e {
+            LustreExpr::Ident(n) => {
+                if self.flow_type(n).is_none() {
+                    return Err(format!("undeclared flow `{n}`"));
+                }
+                Ok(())
+            }
+            LustreExpr::Unary(_, a) => self.check_idents(a),
+            LustreExpr::Binary(_, a, b) => {
+                self.check_idents(a)?;
+                self.check_idents(b)
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for LustreNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let decl = |list: &[(String, LustreType)]| {
+            list.iter()
+                .map(|(n, t)| format!("{n}: {t}"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        writeln!(
+            f,
+            "node {}({}) returns ({});",
+            self.name,
+            decl(&self.inputs),
+            decl(&self.outputs)
+        )?;
+        if !self.locals.is_empty() {
+            writeln!(f, "var {};", decl(&self.locals))?;
+        }
+        writeln!(f, "let")?;
+        for (n, e) in &self.equations {
+            writeln!(f, "  {n} = {e};")?;
+        }
+        write!(f, "tel")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Error parsing LUSTRE text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLustreError {
+    message: String,
+}
+
+impl ParseLustreError {
+    fn new(m: impl Into<String>) -> ParseLustreError {
+        ParseLustreError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ParseLustreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LUSTRE parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseLustreError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(Rational),
+    Sym(&'static str),
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ParseLustreError> {
+    let mut out = Vec::new();
+    let b = text.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if b.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ';' | ':' | ',' | '+' | '*' | '/' => {
+                out.push(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ';' => ";",
+                    ':' => ":",
+                    ',' => ",",
+                    '+' => "+",
+                    '*' => "*",
+                    _ => "/",
+                }));
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Sym("-"));
+                i += 1;
+            }
+            '=' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Sym("=>"));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("="));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Sym("<="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let t = &text[start..i];
+                out.push(Tok::Num(t.parse().map_err(|_| {
+                    ParseLustreError::new(format!("bad number `{t}`"))
+                })?));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(text[start..i].to_string()));
+            }
+            other => return Err(ParseLustreError::new(format!("unexpected `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn sym(&mut self, s: &str) -> Result<(), ParseLustreError> {
+        match self.bump() {
+            Some(Tok::Sym(got)) if got == s => Ok(()),
+            other => Err(ParseLustreError::new(format!("expected `{s}`, got {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, k: &str) -> Result<(), ParseLustreError> {
+        match self.bump() {
+            Some(Tok::Ident(got)) if got == k => Ok(()),
+            other => Err(ParseLustreError::new(format!("expected `{k}`, got {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseLustreError> {
+        match self.bump() {
+            Some(Tok::Ident(n)) => Ok(n),
+            other => Err(ParseLustreError::new(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<LustreType, ParseLustreError> {
+        match self.ident()?.as_str() {
+            "bool" => Ok(LustreType::Bool),
+            "int" => Ok(LustreType::Int),
+            "real" => Ok(LustreType::Real),
+            other => Err(ParseLustreError::new(format!("unknown type `{other}`"))),
+        }
+    }
+
+    /// `name1, name2: type; name3: type` until `)` — LUSTRE declaration list.
+    fn decls(&mut self) -> Result<Vec<(String, LustreType)>, ParseLustreError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(&Tok::Sym(")")) {
+            return Ok(out);
+        }
+        loop {
+            let mut group = vec![self.ident()?];
+            while self.peek() == Some(&Tok::Sym(",")) {
+                self.bump();
+                group.push(self.ident()?);
+            }
+            self.sym(":")?;
+            let t = self.ty()?;
+            for n in group {
+                out.push((n, t));
+            }
+            match self.peek() {
+                Some(Tok::Sym(";")) => {
+                    self.bump();
+                    if self.peek() == Some(&Tok::Sym(")")) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    // Expression grammar, lowest to highest precedence:
+    // implies → or/xor → and → not → comparison → additive → multiplicative
+    // → unary → primary
+    fn expr(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        let lhs = self.or_level()?;
+        if self.peek() == Some(&Tok::Sym("=>")) {
+            self.bump();
+            let rhs = self.expr()?; // right-assoc
+            Ok(LustreExpr::binary(BinOp::Implies, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_level(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        let mut acc = self.and_level()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(k)) if k == "or" => {
+                    self.bump();
+                    acc = LustreExpr::binary(BinOp::Or, acc, self.and_level()?);
+                }
+                Some(Tok::Ident(k)) if k == "xor" => {
+                    self.bump();
+                    acc = LustreExpr::binary(BinOp::Xor, acc, self.and_level()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn and_level(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        let mut acc = self.cmp_level()?;
+        while matches!(self.peek(), Some(Tok::Ident(k)) if k == "and") {
+            self.bump();
+            acc = LustreExpr::binary(BinOp::And, acc, self.cmp_level()?);
+        }
+        Ok(acc)
+    }
+
+    fn cmp_level(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        let lhs = self.add_level()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym("<=")) => Some(BinOp::Le),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            Some(Tok::Sym(">=")) => Some(BinOp::Ge),
+            Some(Tok::Sym("=")) => Some(BinOp::Eq),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_level()?;
+                Ok(LustreExpr::binary(op, lhs, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_level(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        let mut acc = self.mul_level()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("+")) => {
+                    self.bump();
+                    acc = LustreExpr::binary(BinOp::Add, acc, self.mul_level()?);
+                }
+                Some(Tok::Sym("-")) => {
+                    self.bump();
+                    acc = LustreExpr::binary(BinOp::Sub, acc, self.mul_level()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn mul_level(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        let mut acc = self.unary_level()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("*")) => {
+                    self.bump();
+                    acc = LustreExpr::binary(BinOp::Mul, acc, self.unary_level()?);
+                }
+                Some(Tok::Sym("/")) => {
+                    self.bump();
+                    acc = LustreExpr::binary(BinOp::Div, acc, self.unary_level()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn unary_level(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        match self.peek() {
+            Some(Tok::Sym("-")) => {
+                self.bump();
+                Ok(LustreExpr::unary(UnOp::Neg, self.unary_level()?))
+            }
+            Some(Tok::Ident(k)) if k == "not" => {
+                self.bump();
+                Ok(LustreExpr::unary(UnOp::Not, self.unary_level()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<LustreExpr, ParseLustreError> {
+        match self.bump() {
+            Some(Tok::Num(q)) => Ok(LustreExpr::Num(q)),
+            Some(Tok::Sym("(")) => {
+                let e = self.expr()?;
+                self.sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(n)) => match n.as_str() {
+                "true" => Ok(LustreExpr::Bool(true)),
+                "false" => Ok(LustreExpr::Bool(false)),
+                "abs" | "sqrt" | "sin" | "cos" | "exp" => {
+                    self.sym("(")?;
+                    let a = self.expr()?;
+                    self.sym(")")?;
+                    let op = match n.as_str() {
+                        "abs" => UnOp::Abs,
+                        "sqrt" => UnOp::Sqrt,
+                        "sin" => UnOp::Sin,
+                        "cos" => UnOp::Cos,
+                        _ => UnOp::Exp,
+                    };
+                    Ok(LustreExpr::unary(op, a))
+                }
+                _ => Ok(LustreExpr::Ident(n)),
+            },
+            other => Err(ParseLustreError::new(format!("expected expression, got {other:?}"))),
+        }
+    }
+}
+
+/// Parses a single combinational LUSTRE node.
+///
+/// # Errors
+///
+/// Returns [`ParseLustreError`] on lexical or syntactic problems, or when
+/// [`LustreNode::validate`] rejects the parsed node.
+pub fn parse(text: &str) -> Result<LustreNode, ParseLustreError> {
+    let toks = lex(text)?;
+    let mut p = P { toks, pos: 0 };
+    p.keyword("node")?;
+    let name = p.ident()?;
+    p.sym("(")?;
+    let inputs = p.decls()?;
+    p.sym(")")?;
+    p.keyword("returns")?;
+    p.sym("(")?;
+    let outputs = p.decls()?;
+    p.sym(")")?;
+    p.sym(";")?;
+    let mut locals = Vec::new();
+    if matches!(p.peek(), Some(Tok::Ident(k)) if k == "var") {
+        p.bump();
+        // declarations terminated by `;` before `let`
+        loop {
+            let mut group = vec![p.ident()?];
+            while p.peek() == Some(&Tok::Sym(",")) {
+                p.bump();
+                group.push(p.ident()?);
+            }
+            p.sym(":")?;
+            let t = p.ty()?;
+            for n in group {
+                locals.push((n, t));
+            }
+            p.sym(";")?;
+            if matches!(p.peek(), Some(Tok::Ident(k)) if k == "let") {
+                break;
+            }
+        }
+    }
+    p.keyword("let")?;
+    let mut equations = Vec::new();
+    loop {
+        if matches!(p.peek(), Some(Tok::Ident(k)) if k == "tel") {
+            p.bump();
+            break;
+        }
+        let n = p.ident()?;
+        p.sym("=")?;
+        let e = p.expr()?;
+        p.sym(";")?;
+        equations.push((n, e));
+    }
+    let node = LustreNode { name, inputs, outputs, locals, equations };
+    node.validate().map_err(ParseLustreError::new)?;
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+node monitor(speed: real; angle: real; enable: bool) returns (ok: bool);
+var expected: real; dev: real;
+let
+  -- expected yaw from the bicycle model
+  expected = speed * angle / (1 + speed * speed / 400);
+  dev = abs(expected - angle);
+  ok = enable => dev <= (1 / 2);
+tel";
+
+    #[test]
+    fn parses_sample() {
+        let n = parse(SAMPLE).unwrap();
+        assert_eq!(n.name, "monitor");
+        assert_eq!(n.inputs.len(), 3);
+        assert_eq!(n.outputs, vec![("ok".to_string(), LustreType::Bool)]);
+        assert_eq!(n.locals.len(), 2);
+        assert_eq!(n.equations.len(), 3);
+        assert_eq!(n.flow_type("speed"), Some(LustreType::Real));
+        assert_eq!(n.flow_type("ok"), Some(LustreType::Bool));
+        assert_eq!(n.flow_type("nope"), None);
+        assert!(n.equation("dev").is_some());
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let n1 = parse(SAMPLE).unwrap();
+        let text = n1.to_string();
+        let n2 = parse(&text).unwrap();
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn grouped_declarations() {
+        let n = parse("node f(a, b: real; c: bool) returns (o: bool);\nlet o = c; tel").unwrap();
+        assert_eq!(n.inputs.len(), 3);
+        assert_eq!(n.inputs[0].1, LustreType::Real);
+        assert_eq!(n.inputs[1].1, LustreType::Real);
+        assert_eq!(n.inputs[2].1, LustreType::Bool);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let n = parse(
+            "node f(a: real; p, q: bool) returns (o: bool);\nlet o = p and a + 1 * 2 >= 3 or q; tel",
+        )
+        .unwrap();
+        // ((p and ((a + (1*2)) >= 3)) or q)
+        let e = n.equation("o").unwrap();
+        match e {
+            LustreExpr::Binary(BinOp::Or, lhs, _) => match &**lhs {
+                LustreExpr::Binary(BinOp::And, _, cmp) => {
+                    assert!(matches!(&**cmp, LustreExpr::Binary(BinOp::Ge, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let n = parse("node f(p, q, r: bool) returns (o: bool);\nlet o = p => q => r; tel").unwrap();
+        match n.equation("o").unwrap() {
+            LustreExpr::Binary(BinOp::Implies, _, rhs) => {
+                assert!(matches!(&**rhs, LustreExpr::Binary(BinOp::Implies, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        // Output without an equation.
+        assert!(parse("node f(a: real) returns (o: bool);\nlet tel").is_err());
+        // Undeclared identifier.
+        assert!(parse("node f(a: real) returns (o: bool);\nlet o = zz > 1; tel").is_err());
+        // Double definition.
+        assert!(
+            parse("node f(a: real) returns (o: bool);\nlet o = a > 1; o = a < 1; tel").is_err()
+        );
+        // Input defined.
+        assert!(parse("node f(a: bool) returns (o: bool);\nlet o = a; a = o; tel").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let n = parse("node f(a: bool) returns (o: bool); -- hi\nlet -- there\no = a;\ntel").unwrap();
+        assert_eq!(n.equations.len(), 1);
+    }
+
+    #[test]
+    fn display_expressions() {
+        let e = LustreExpr::binary(
+            BinOp::Mul,
+            LustreExpr::binary(BinOp::Add, LustreExpr::ident("a"), LustreExpr::ident("b")),
+            LustreExpr::Num(Rational::from_int(2)),
+        );
+        assert_eq!(e.to_string(), "(a + b) * 2");
+        let half = LustreExpr::Num(Rational::new(1, 2));
+        assert_eq!(half.to_string(), "(1 / 2)");
+    }
+}

@@ -1,0 +1,310 @@
+//! The car steering-control case study (paper Sec. 3).
+//!
+//! The original industrial MATLAB/Simulink model is withheld by the paper
+//! "due to obvious issues with the protection of intellectual property";
+//! what the paper documents is its interface and statistics: a yaw sensor
+//! (±7), a lateral-acceleration sensor (±20), four wheel-speed sensors
+//! (±400), a steering-angle sensor (±1), a nonlinear environment model,
+//! and a conversion result of **976 CNF clauses** with **24 constraints
+//! (4 linear + 20 nonlinear)**.
+//!
+//! [`steering_diagram`] synthesises a model with exactly that interface
+//! and — after conversion — exactly those statistics: a single-track
+//! ("bicycle") vehicle model supplies the nonlinear environment
+//! (`yaw_expected = v·δ / (L·(1 + (v/v_ch)²))`, `lat_expected = v·yaw`,
+//! slip ratios, side forces), and a stability monitor encodes the safety
+//! property checked in the case study. The Boolean skeleton is padded with
+//! tautological monitor redundancy to reach the published clause count;
+//! the constraint mix (which is what drives the solvers) is structural.
+
+use crate::convert::{diagram_to_ab, ConvertOptions};
+use crate::diagram::{Block, Diagram, LogicOp, UnaryFn};
+use absolver_core::{AbProblem, VarKind};
+use absolver_linear::CmpOp;
+use absolver_num::{Interval, Rational};
+
+fn q(s: &str) -> Rational {
+    s.parse().expect("literal rational")
+}
+
+/// Builds the synthetic steering-control diagram.
+///
+/// The returned diagram has one Boolean outport, `safe`; the case-study
+/// query is its falsification (see [`steering_problem`]).
+pub fn steering_diagram() -> Diagram {
+    let mut d = Diagram::new();
+    let ok = |r: Result<crate::diagram::BlockId, crate::diagram::DiagramError>| r.expect("static model construction");
+
+    // --- Sensors, with the paper's physical ranges --------------------
+    let yaw = ok(d.inport("yaw", VarKind::Real, Interval::new(-7.0, 7.0)));
+    let lat = ok(d.inport("lat_acc", VarKind::Real, Interval::new(-20.0, 20.0)));
+    let ws_fl = ok(d.inport("ws_fl", VarKind::Real, Interval::new(-400.0, 400.0)));
+    let ws_fr = ok(d.inport("ws_fr", VarKind::Real, Interval::new(-400.0, 400.0)));
+    let ws_rl = ok(d.inport("ws_rl", VarKind::Real, Interval::new(-400.0, 400.0)));
+    let ws_rr = ok(d.inport("ws_rr", VarKind::Real, Interval::new(-400.0, 400.0)));
+    let steer = ok(d.inport("steer_angle", VarKind::Real, Interval::new(-1.0, 1.0)));
+
+    // --- Derived speeds (linear forms) --------------------------------
+    let front_sum = ok(d.sum2(ws_fl, ws_fr));
+    let rear_sum = ok(d.sum2(ws_rl, ws_rr));
+    let all_sum = ok(d.sum2(front_sum, rear_sum));
+    let v = ok(d.add(Block::Gain(q("0.25")), vec![all_sum])); // mean wheel speed
+    let v_front = ok(d.add(Block::Gain(q("0.5")), vec![front_sum]));
+    let v_rear = ok(d.add(Block::Gain(q("0.5")), vec![rear_sum]));
+
+    // --- Environment: single-track vehicle model (nonlinear) ----------
+    // yaw_expected = v * steer / (L * (1 + (v / v_ch)^2)), L = 2.7, v_ch = 20.
+    let v_scaled = ok(d.add(Block::Gain(q("0.05")), vec![v])); // v / 20
+    let v_scaled_sq = ok(d.add(Block::Unary(UnaryFn::Square), vec![v_scaled]));
+    let one = ok(d.constant(q("1")));
+    let denom_core = ok(d.sum2(one, v_scaled_sq));
+    let denom = ok(d.add(Block::Gain(q("2.7")), vec![denom_core]));
+    let v_steer = ok(d.mul(v, steer));
+    let yaw_exp = ok(d.div(v_steer, denom));
+
+    // lat_expected = v * yaw.
+    let lat_exp = ok(d.mul(v, yaw));
+
+    // slip = (v_front - v_rear) / (v_rear + 1).
+    let diff_axles = ok(d.sub(v_front, v_rear));
+    let rear_plus1 = ok(d.sum2(v_rear, one));
+    let slip = ok(d.div(diff_axles, rear_plus1));
+
+    // Deviations and the correction law.
+    let yaw_err = ok(d.sub(yaw_exp, yaw));
+    let lat_err = ok(d.sub(lat_exp, lat));
+    let corr_yaw = ok(d.add(Block::Gain(q("0.8")), vec![yaw_err]));
+    let corr_lat = ok(d.add(Block::Gain(q("0.05")), vec![lat_err]));
+    let corr = ok(d.sum2(corr_yaw, corr_lat));
+    let corr_sq = ok(d.add(Block::Unary(UnaryFn::Square), vec![corr]));
+    let corr_steer = ok(d.mul(corr, steer));
+
+    // Side force balance: lat·cos(steer) − v·yaw·sin(steer).
+    let cos_steer = ok(d.add(Block::Unary(UnaryFn::Cos), vec![steer]));
+    let sin_steer = ok(d.add(Block::Unary(UnaryFn::Sin), vec![steer]));
+    let lat_cos = ok(d.mul(lat, cos_steer));
+    let vyaw = ok(d.mul(v, yaw));
+    let vyaw_sin = ok(d.mul(vyaw, sin_steer));
+    let side_force = ok(d.sub(lat_cos, vyaw_sin));
+
+    // Operating envelope and kinetic terms.
+    let yaw_sq = ok(d.add(Block::Unary(UnaryFn::Square), vec![yaw]));
+    let lat_scaled = ok(d.add(Block::Gain(q("0.4")), vec![lat]));
+    let lat_scaled_sq = ok(d.add(Block::Unary(UnaryFn::Square), vec![lat_scaled]));
+    let envelope = ok(d.sum2(yaw_sq, lat_scaled_sq));
+    let e_kin = ok(d.add(Block::Unary(UnaryFn::Square), vec![v]));
+    let v_sq_steer = ok(d.mul(e_kin, steer));
+    let yaw_lat = ok(d.mul(yaw, lat));
+
+    // --- The 24 constraint atoms ---------------------------------------
+    let c = |d: &mut Diagram, v: &str| d.constant(q(v)).expect("const");
+    let rel = |d: &mut Diagram, a, op, b| d.add(Block::RelOp(op), vec![a, b]).expect("relop");
+
+    // 4 linear atoms.
+    let k0 = c(&mut d, "0");
+    let k110 = c(&mut d, "110");
+    let k60 = c(&mut d, "60");
+    let moving_fwd = rel(&mut d, v, CmpOp::Ge, k0); // v ≥ 0
+    let speed_ok = rel(&mut d, v, CmpOp::Le, k110); // v ≤ 110
+    let fl_fr_diff = ok(d.sub(ws_fl, ws_fr));
+    let wheels_close1 = rel(&mut d, fl_fr_diff, CmpOp::Le, k60); // fl − fr ≤ 60
+    let fr_fl_diff = ok(d.sub(ws_fr, ws_fl));
+    let wheels_close2 = rel(&mut d, fr_fl_diff, CmpOp::Le, k60); // fr − fl ≤ 60
+
+    // 20 nonlinear atoms.
+    let k04 = c(&mut d, "0.4");
+    let km04 = c(&mut d, "-0.4");
+    let k2 = c(&mut d, "2");
+    let km2 = c(&mut d, "-2");
+    let k9 = c(&mut d, "9");
+    let km9 = c(&mut d, "-9");
+    let k012 = c(&mut d, "0.12");
+    let km012 = c(&mut d, "-0.12");
+    let k03 = c(&mut d, "0.3");
+    let km03 = c(&mut d, "-0.3");
+    let k025 = c(&mut d, "0.25");
+    let k4 = c(&mut d, "4");
+    let km4 = c(&mut d, "-4");
+    let k64 = c(&mut d, "64");
+    let k100 = c(&mut d, "100");
+    let k90000 = c(&mut d, "90000");
+    let k2500 = c(&mut d, "2500");
+    let km2500 = c(&mut d, "-2500");
+
+    let oversteer = rel(&mut d, yaw_err, CmpOp::Le, km04); // yaw ahead of model
+    let understeer = rel(&mut d, yaw_err, CmpOp::Ge, k04); // yaw behind model
+    let lat_over = rel(&mut d, lat_err, CmpOp::Ge, k2);
+    let lat_under = rel(&mut d, lat_err, CmpOp::Le, km2);
+    let lat_exp_hi = rel(&mut d, lat_exp, CmpOp::Le, k9);
+    let lat_exp_lo = rel(&mut d, lat_exp, CmpOp::Ge, km9);
+    let slip_pos = rel(&mut d, slip, CmpOp::Ge, k012);
+    let slip_neg = rel(&mut d, slip, CmpOp::Le, km012);
+    let corr_pos = rel(&mut d, corr, CmpOp::Ge, k03);
+    let corr_neg = rel(&mut d, corr, CmpOp::Le, km03);
+    let corr_aligned = rel(&mut d, corr_steer, CmpOp::Ge, k0);
+    let corr_bounded = rel(&mut d, corr_sq, CmpOp::Le, k025);
+    let side_hi = rel(&mut d, side_force, CmpOp::Ge, k4);
+    let side_lo = rel(&mut d, side_force, CmpOp::Le, km4);
+    let env_ok = rel(&mut d, envelope, CmpOp::Le, k64);
+    let fast = rel(&mut d, e_kin, CmpOp::Ge, k100);
+    let kin_ok = rel(&mut d, e_kin, CmpOp::Le, k90000);
+    let steer_pow_hi = rel(&mut d, v_sq_steer, CmpOp::Le, k2500);
+    let steer_pow_lo = rel(&mut d, v_sq_steer, CmpOp::Ge, km2500);
+    let signs_agree = rel(&mut d, yaw_lat, CmpOp::Ge, k0);
+
+    // --- Monitor logic ---------------------------------------------------
+    let logic = |d: &mut Diagram, op, ins: Vec<_>| d.add(Block::Logic(op), ins).expect("logic");
+    let plausible = logic(
+        &mut d,
+        LogicOp::And,
+        vec![
+            moving_fwd,
+            speed_ok,
+            wheels_close1,
+            wheels_close2,
+            lat_exp_hi,
+            lat_exp_lo,
+            env_ok,
+            kin_ok,
+            steer_pow_hi,
+            steer_pow_lo,
+        ],
+    );
+    let unstable = logic(
+        &mut d,
+        LogicOp::Or,
+        vec![oversteer, understeer, lat_over, lat_under, slip_pos, slip_neg],
+    );
+    let intervention = logic(&mut d, LogicOp::Or, vec![corr_pos, corr_neg]);
+    let side_extreme = logic(&mut d, LogicOp::And, vec![side_hi, side_lo]);
+    let no_side_contradiction = logic(&mut d, LogicOp::Not, vec![side_extreme]);
+    let reacts = d.add(Block::Logic(LogicOp::Not), vec![unstable]).expect("not");
+    let reacts_or_intervenes = logic(&mut d, LogicOp::Or, vec![reacts, intervention]);
+    let intervention_justified = {
+        let no_int = logic(&mut d, LogicOp::Not, vec![intervention]);
+        let just = logic(&mut d, LogicOp::And, vec![unstable, corr_aligned, corr_bounded]);
+        logic(&mut d, LogicOp::Or, vec![no_int, just])
+    };
+    let fast_consistency = {
+        let slow = logic(&mut d, LogicOp::Not, vec![fast]);
+        logic(&mut d, LogicOp::Or, vec![slow, signs_agree])
+    };
+    let duties = logic(
+        &mut d,
+        LogicOp::And,
+        vec![
+            reacts_or_intervenes,
+            intervention_justified,
+            no_side_contradiction,
+            fast_consistency,
+        ],
+    );
+    let not_plausible = logic(&mut d, LogicOp::Not, vec![plausible]);
+    let safe_core = logic(&mut d, LogicOp::Or, vec![not_plausible, duties]);
+
+    // --- Pad the Boolean skeleton to the published 976 clauses ----------
+    // Redundant monitor stages (tautological OR of a signal and its
+    // negation) enlarge the CNF without changing the property.
+    let mut safety_terms = vec![safe_core];
+    let probe = {
+        // Count the clauses the conversion would currently produce.
+        let mut trial = d.clone();
+        let and = trial.add(Block::Logic(LogicOp::And), safety_terms.clone()).expect("and");
+        trial.outport("safe", and).expect("outport");
+        diagram_to_ab(&trial, &steering_options()).expect("convertible").cnf().len()
+    };
+    let target = 976usize;
+    assert!(probe + 3 <= target, "base model too large: {probe} clauses");
+    // Pad units (clause contribution includes the top-level AND growing by
+    // one input): OR-arity-1 buffer = 3, OR-arity-2 = 4, OR-arity-3 = 5.
+    // Keeping each unit tiny avoids deep expression recursion downstream.
+    let mut remaining = target - probe;
+    let not_core = d.add(Block::Logic(LogicOp::Not), vec![safe_core]).expect("not");
+    while remaining > 5 {
+        let pad = d.add(Block::Logic(LogicOp::Or), vec![safe_core]).expect("pad");
+        safety_terms.push(pad);
+        remaining -= 3;
+    }
+    let mut last_inputs = vec![safe_core];
+    if remaining >= 4 {
+        last_inputs.push(not_core);
+    }
+    if remaining >= 5 {
+        last_inputs.push(safe_core);
+    }
+    let pad = d.add(Block::Logic(LogicOp::Or), last_inputs).expect("pad");
+    safety_terms.push(pad);
+
+    let safe = d.add(Block::Logic(LogicOp::And), safety_terms).expect("and");
+    d.outport("safe", safe).expect("outport");
+    d
+}
+
+/// The conversion options of the case study: search for a *violation* of
+/// the `safe` monitor. The sensor ranges bound the interval search but are
+/// not asserted as constraints (the paper's 4 linear constraints are the
+/// explicit plausibility checks of the monitor, not the sensor ranges).
+pub fn steering_options() -> ConvertOptions {
+    let mut o = ConvertOptions::falsifiable("safe");
+    o.assume_ranges = false;
+    o
+}
+
+/// Builds the complete case-study AB-problem (976 clauses, 24 constraints:
+/// 4 linear + 20 nonlinear, like the paper's Table 1 row).
+pub fn steering_problem() -> AbProblem {
+    diagram_to_ab(&steering_diagram(), &steering_options()).expect("steering model converts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_statistics() {
+        let p = steering_problem();
+        assert_eq!(p.cnf().len(), 976, "paper: 976 CNF clauses");
+        assert_eq!(p.num_constraints(), 24, "paper: 24 constraints");
+        assert_eq!(p.num_linear(), 4, "paper: 4 linear");
+        assert_eq!(p.num_nonlinear(), 20, "paper: 20 nonlinear");
+        assert_eq!(p.arith_vars().len(), 7, "seven sensors");
+    }
+
+    #[test]
+    fn sensor_ranges_recorded() {
+        let p = steering_problem();
+        let range = |n: &str| p.arith_vars()[p.arith_var(n).unwrap()].range;
+        assert_eq!(range("yaw"), absolver_num::Interval::new(-7.0, 7.0));
+        assert_eq!(range("lat_acc"), absolver_num::Interval::new(-20.0, 20.0));
+        assert_eq!(range("ws_fl"), absolver_num::Interval::new(-400.0, 400.0));
+        assert_eq!(range("steer_angle"), absolver_num::Interval::new(-1.0, 1.0));
+    }
+
+    #[test]
+    fn diagram_simulates() {
+        let d = steering_diagram();
+        // A calm straight-line drive: everything stable, monitor safe.
+        // Inputs: yaw, lat, fl, fr, rl, rr, steer.
+        let calm = d.simulate(&[0.0, 0.0, 30.0, 30.0, 30.0, 30.0, 0.0]);
+        assert_eq!(calm, vec![true]);
+    }
+
+    #[test]
+    fn unsafe_scenario_exists_in_simulation() {
+        // Understeer beyond the threshold while the correction law cancels
+        // itself out: the controller "should react but does not".
+        let d = steering_diagram();
+        // v = 10, steer chosen so yaw_exp = 0.5 exactly; yaw = 0.05 gives
+        // yaw_err = 0.45 ≥ 0.4 (understeer). lat = lat_exp + 3.2 makes
+        // corr = 0.8·0.45 − 0.05·3.2 = 0.2, inside the dead zone (±0.3),
+        // so no intervention fires — yet the situation is plausible.
+        let v = 10.0;
+        let steer = 0.16875;
+        let yaw_exp = v * steer / (2.7 * (1.0 + (v / 20.0f64).powi(2)));
+        assert!((yaw_exp - 0.5).abs() < 1e-12);
+        let yaw = 0.05;
+        let lat = v * yaw + 3.2;
+        let out = d.simulate(&[yaw, lat, v, v, v, v, steer]);
+        assert_eq!(out, vec![false], "monitor must flag this scenario unsafe");
+    }
+}

@@ -1,0 +1,282 @@
+//! Automatic test-case generation with decision coverage (paper Sec. 6).
+//!
+//! "Further possible use-cases of ABsolver include the automatic
+//! generation of test cases. Since ABsolver, internally, determines the
+//! solutions by computing all possible assignments, common coverage
+//! metrics like path coverage can be obtained for free in this setting."
+//!
+//! [`generate_tests`] implements that use-case: every relational decision
+//! of a model (each arithmetic atom of the extracted AB-problem) and the
+//! queried output are *coverage targets* in both polarities; for each
+//! target the solver is asked for an input vector driving the model to
+//! that decision outcome. Targets no input can reach are reported as
+//! unreachable rather than silently skipped. Expected outputs come from
+//! simulating the original diagram, so every test vector is a complete
+//! `(inputs, expected outputs)` pair ready for a test bench.
+
+use crate::convert::{diagram_to_ab, ConvertError, ConvertOptions, Query};
+use crate::diagram::Diagram;
+use absolver_core::{AbProblem, Orchestrator, Outcome};
+use absolver_logic::Lit;
+use std::fmt;
+
+/// One generated test: concrete inputs plus expected outport values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestVector {
+    /// Input values, in inport declaration order.
+    pub inputs: Vec<f64>,
+    /// Expected Boolean outport values, in outport declaration order
+    /// (obtained by simulating the diagram).
+    pub outputs: Vec<bool>,
+}
+
+/// A coverage target: a decision (arithmetic atom) or the queried output,
+/// at a required polarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageTarget {
+    /// Human-readable description of the decision.
+    pub description: String,
+    /// The required outcome of the decision.
+    pub polarity: bool,
+    /// Index into [`TestSuite::vectors`] of the covering test, if any.
+    pub covered_by: Option<usize>,
+}
+
+/// The generated suite plus its coverage accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TestSuite {
+    /// Deduplicated test vectors.
+    pub vectors: Vec<TestVector>,
+    /// All targets with their coverage status.
+    pub targets: Vec<CoverageTarget>,
+}
+
+impl TestSuite {
+    /// Number of covered targets.
+    pub fn covered(&self) -> usize {
+        self.targets.iter().filter(|t| t.covered_by.is_some()).count()
+    }
+
+    /// Number of targets proven unreachable (no input can produce them).
+    pub fn unreachable(&self) -> usize {
+        self.targets.len() - self.covered()
+    }
+
+    /// Coverage ratio over *reachable* targets (1.0 when every reachable
+    /// decision outcome is exercised).
+    pub fn coverage(&self) -> f64 {
+        if self.targets.is_empty() {
+            1.0
+        } else {
+            self.covered() as f64 / self.targets.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for TestSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} test vectors, {}/{} targets covered ({} unreachable)",
+            self.vectors.len(),
+            self.covered(),
+            self.targets.len(),
+            self.unreachable()
+        )
+    }
+}
+
+/// Generates a decision-coverage test suite for `output` of `diagram`.
+///
+/// # Errors
+///
+/// Propagates conversion errors (unknown output, type mismatch).
+pub fn generate_tests(diagram: &Diagram, output: &str) -> Result<TestSuite, ConvertError> {
+    // Convert twice, once per output polarity: the resulting problems
+    // share the atom structure, only the asserted output literal differs.
+    let mut options = ConvertOptions::reachable(output);
+    options.assume_ranges = true;
+    let reach = diagram_to_ab(diagram, &options)?;
+    options.query = Query::Falsifiable(output.to_string());
+    let falsify = diagram_to_ab(diagram, &options)?;
+
+    let mut suite = TestSuite::default();
+    let mut orc = Orchestrator::with_defaults();
+
+    // Output coverage: one vector per output polarity.
+    for (problem, polarity) in [(&reach, true), (&falsify, false)] {
+        let target = CoverageTarget {
+            description: format!("output `{output}`"),
+            polarity,
+            covered_by: None,
+        };
+        let covered_by = solve_to_vector(&mut orc, problem, None, diagram, &mut suite.vectors);
+        suite.targets.push(CoverageTarget { covered_by, ..target });
+    }
+
+    // Decision coverage: each atom, both polarities, under the weaker
+    // query (output reachable) — atoms identical in both conversions, so
+    // cover them against the disjunction by trying each problem.
+    // Atoms forced by unit clauses (e.g. asserted input-range assumptions)
+    // are axioms of the analysis, not decisions — skip them.
+    let forced: Vec<u32> = reach
+        .cnf()
+        .clauses()
+        .iter()
+        .filter(|c| c.len() == 1)
+        .map(|c| c.lits()[0].var().index() as u32)
+        .collect();
+    for (var, def) in reach.defs() {
+        if forced.contains(&(var.index() as u32)) {
+            continue;
+        }
+        let description = def
+            .constraints
+            .first()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| format!("atom {var}"));
+        for polarity in [true, false] {
+            let lit = if polarity { var.positive() } else { var.negative() };
+            let mut covered_by =
+                solve_to_vector(&mut orc, &reach, Some(lit), diagram, &mut suite.vectors);
+            if covered_by.is_none() {
+                covered_by =
+                    solve_to_vector(&mut orc, &falsify, Some(lit), diagram, &mut suite.vectors);
+            }
+            suite.targets.push(CoverageTarget {
+                description: format!("decision [{description}]"),
+                polarity,
+                covered_by,
+            });
+        }
+    }
+    Ok(suite)
+}
+
+/// Solves `problem` (+ an optional forced literal); on SAT, decodes the
+/// arithmetic witness into an input vector, simulates the diagram for the
+/// expected outputs, dedups, and returns the vector index.
+fn solve_to_vector(
+    orc: &mut Orchestrator,
+    problem: &AbProblem,
+    forced: Option<Lit>,
+    diagram: &Diagram,
+    vectors: &mut Vec<TestVector>,
+) -> Option<usize> {
+    let constrained;
+    let problem = match forced {
+        Some(lit) => {
+            constrained = problem.with_clause([lit]);
+            &constrained
+        }
+        None => problem,
+    };
+    match orc.solve(problem) {
+        Ok(Outcome::Sat(model)) => {
+            let inputs: Vec<f64> = (0..problem.arith_vars().len())
+                .map(|v| model.arith.value_f64(v).unwrap_or(0.0))
+                .collect();
+            let outputs = diagram.simulate(&inputs);
+            let vector = TestVector { inputs, outputs };
+            let index = vectors.iter().position(|v| v == &vector).unwrap_or_else(|| {
+                vectors.push(vector);
+                vectors.len() - 1
+            });
+            Some(index)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::{Block, LogicOp};
+    use absolver_core::VarKind;
+    use absolver_linear::CmpOp;
+    use absolver_num::{Interval, Rational};
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// ok := (x ≥ 2) ∧ (x² ≤ 50), x ∈ [0, 10].
+    fn small_monitor() -> Diagram {
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 10.0)).unwrap();
+        let two = d.constant(q(2)).unwrap();
+        let fifty = d.constant(q(50)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, two]).unwrap();
+        let sq = d.mul(x, x).unwrap();
+        let le = d.add(Block::RelOp(CmpOp::Le), vec![sq, fifty]).unwrap();
+        let and = d.add(Block::Logic(LogicOp::And), vec![ge, le]).unwrap();
+        d.outport("ok", and).unwrap();
+        d
+    }
+
+    #[test]
+    fn full_coverage_on_coverable_model() {
+        let d = small_monitor();
+        let suite = generate_tests(&d, "ok").unwrap();
+        // Every decision outcome of this model is reachable.
+        assert_eq!(suite.unreachable(), 0, "{suite}");
+        assert!(suite.coverage() >= 1.0 - 1e-12);
+        assert!(!suite.vectors.is_empty());
+        // Expected outputs must agree with a fresh simulation.
+        for v in &suite.vectors {
+            assert_eq!(d.simulate(&v.inputs), v.outputs);
+        }
+        // Both output polarities exercised.
+        let outs: Vec<bool> = suite.vectors.iter().map(|v| v.outputs[0]).collect();
+        assert!(outs.contains(&true) && outs.contains(&false));
+    }
+
+    #[test]
+    fn unreachable_targets_are_reported() {
+        // trap := (x ≥ 2) ∧ (x ≤ 1) can never be true; its atoms are each
+        // coverable but the output's true-polarity is unreachable.
+        let mut d = Diagram::new();
+        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 10.0)).unwrap();
+        let two = d.constant(q(2)).unwrap();
+        let one = d.constant(q(1)).unwrap();
+        let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, two]).unwrap();
+        let le = d.add(Block::RelOp(CmpOp::Le), vec![x, one]).unwrap();
+        let and = d.add(Block::Logic(LogicOp::And), vec![ge, le]).unwrap();
+        d.outport("trap", and).unwrap();
+        let suite = generate_tests(&d, "trap").unwrap();
+        let output_true = suite
+            .targets
+            .iter()
+            .find(|t| t.description.contains("output") && t.polarity)
+            .unwrap();
+        assert!(output_true.covered_by.is_none(), "trap=true is unreachable");
+        let output_false = suite
+            .targets
+            .iter()
+            .find(|t| t.description.contains("output") && !t.polarity)
+            .unwrap();
+        assert!(output_false.covered_by.is_some());
+        assert_eq!(suite.unreachable(), 1);
+    }
+
+    #[test]
+    fn vectors_are_deduplicated() {
+        let d = small_monitor();
+        let suite = generate_tests(&d, "ok").unwrap();
+        for i in 0..suite.vectors.len() {
+            for j in (i + 1)..suite.vectors.len() {
+                assert_ne!(suite.vectors[i], suite.vectors[j]);
+            }
+        }
+        // Fewer vectors than targets (sharing happens).
+        assert!(suite.vectors.len() <= suite.targets.len());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let suite = generate_tests(&small_monitor(), "ok").unwrap();
+        let text = suite.to_string();
+        assert!(text.contains("test vectors"));
+        assert!(text.contains("targets covered"));
+    }
+}

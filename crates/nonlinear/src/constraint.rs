@@ -1,0 +1,311 @@
+//! Nonlinear constraints `expr ⋈ rhs` and their three-valued evaluation.
+
+use crate::expr::{Expr, VarId};
+use absolver_linear::CmpOp;
+use absolver_num::{Interval, Rational};
+use std::fmt;
+
+/// A nonlinear constraint `expr ⋈ rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NlConstraint {
+    /// Left-hand side expression.
+    pub expr: Expr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side constant.
+    pub rhs: Rational,
+}
+
+/// Three-valued verdict of an interval check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalVerdict {
+    /// Every point of the box satisfies the constraint.
+    CertainlyTrue,
+    /// No point of the box satisfies the constraint.
+    CertainlyFalse,
+    /// The box contains both kinds of points (or precision was lost).
+    Unknown,
+}
+
+impl NlConstraint {
+    /// Creates `expr ⋈ rhs`.
+    pub fn new(expr: Expr, op: CmpOp, rhs: Rational) -> NlConstraint {
+        NlConstraint { expr, op, rhs }
+    }
+
+    /// Point evaluation in `f64` arithmetic (exact comparison, no
+    /// tolerance). NaN evaluates to `false`.
+    pub fn eval(&self, point: &[f64]) -> bool {
+        let lhs = self.expr.eval_f64(point);
+        let rhs = self.rhs.to_f64();
+        match self.op {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+        }
+    }
+
+    /// Witness-quality evaluation: inequalities are checked *exactly* in
+    /// `f64`, only equalities get a tolerance (exact float equality being
+    /// unattainable for a numerical solver). This is the acceptance test
+    /// for nonlinear witnesses, so that downstream exact re-evaluation
+    /// (e.g. simulating the original model) agrees with the solver.
+    pub fn eval_robust(&self, point: &[f64], eq_tol: f64) -> bool {
+        let lhs = self.expr.eval_f64(point);
+        let rhs = self.rhs.to_f64();
+        match self.op {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => (lhs - rhs).abs() <= eq_tol,
+        }
+    }
+
+    /// Point evaluation with a tolerance on non-strict and equality
+    /// comparisons — the satisfaction notion of numerical solvers like
+    /// IPOPT, which the local search targets.
+    pub fn eval_with_tol(&self, point: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.eval_f64(point);
+        let rhs = self.rhs.to_f64();
+        match self.op {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs + tol,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs - tol,
+            CmpOp::Eq => (lhs - rhs).abs() <= tol,
+        }
+    }
+
+    /// How far the point is from satisfying the constraint (`0` when
+    /// satisfied); the penalty the local search minimises. `margin` nudges
+    /// every inequality into the strict interior, so that accepted
+    /// witnesses satisfy the exact `f64` comparison and do not hug
+    /// boundaries.
+    pub fn violation(&self, point: &[f64], margin: f64) -> f64 {
+        let lhs = self.expr.eval_f64(point);
+        let rhs = self.rhs.to_f64();
+        let v = match self.op {
+            CmpOp::Lt | CmpOp::Le => lhs - rhs + margin,
+            CmpOp::Gt | CmpOp::Ge => rhs - lhs + margin,
+            CmpOp::Eq => return (lhs - rhs).abs(),
+        };
+        v.max(0.0)
+    }
+
+    /// The RHS as a sound enclosing interval: a point when the rational is
+    /// exactly representable as a double, one ulp of widening otherwise.
+    fn rhs_interval(&self) -> Interval {
+        let v = self.rhs.to_f64();
+        if Rational::from_f64(v).as_ref() == Some(&self.rhs) {
+            Interval::point(v)
+        } else {
+            Interval::checked(v.next_down(), v.next_up())
+        }
+    }
+
+    /// Sound three-valued check over a box.
+    ///
+    /// `CertainlyTrue`/`CertainlyFalse` are rigorous (interval arithmetic
+    /// with outward rounding); `Unknown` carries no information.
+    pub fn check_box(&self, boxes: &[Interval]) -> IntervalVerdict {
+        let lhs = self.expr.eval_interval(boxes);
+        if lhs.is_empty() {
+            // The expression is undefined everywhere in the box (e.g. sqrt
+            // of a negative range): no point satisfies the constraint.
+            return IntervalVerdict::CertainlyFalse;
+        }
+        let rhs = self.rhs_interval();
+        match self.op {
+            CmpOp::Lt => {
+                if lhs.hi() < rhs.lo() {
+                    IntervalVerdict::CertainlyTrue
+                } else if lhs.lo() >= rhs.hi() {
+                    IntervalVerdict::CertainlyFalse
+                } else {
+                    IntervalVerdict::Unknown
+                }
+            }
+            CmpOp::Le => {
+                if lhs.hi() <= rhs.lo() {
+                    IntervalVerdict::CertainlyTrue
+                } else if lhs.lo() > rhs.hi() {
+                    IntervalVerdict::CertainlyFalse
+                } else {
+                    IntervalVerdict::Unknown
+                }
+            }
+            CmpOp::Gt => {
+                if lhs.lo() > rhs.hi() {
+                    IntervalVerdict::CertainlyTrue
+                } else if lhs.hi() <= rhs.lo() {
+                    IntervalVerdict::CertainlyFalse
+                } else {
+                    IntervalVerdict::Unknown
+                }
+            }
+            CmpOp::Ge => {
+                if lhs.lo() >= rhs.hi() {
+                    IntervalVerdict::CertainlyTrue
+                } else if lhs.hi() < rhs.lo() {
+                    IntervalVerdict::CertainlyFalse
+                } else {
+                    IntervalVerdict::Unknown
+                }
+            }
+            CmpOp::Eq => {
+                if lhs.is_point() && rhs.is_point() && lhs == rhs {
+                    IntervalVerdict::CertainlyTrue
+                } else if lhs.intersect(rhs).is_empty() {
+                    IntervalVerdict::CertainlyFalse
+                } else {
+                    IntervalVerdict::Unknown
+                }
+            }
+        }
+    }
+
+    /// The interval the LHS must fall into for the constraint to hold
+    /// (closing strict bounds — a sound over-approximation used by the HC4
+    /// contractor).
+    pub fn target_interval(&self) -> Interval {
+        let rhs = self.rhs_interval();
+        match self.op {
+            CmpOp::Lt | CmpOp::Le => Interval::new(f64::NEG_INFINITY, rhs.hi()),
+            CmpOp::Gt | CmpOp::Ge => Interval::new(rhs.lo(), f64::INFINITY),
+            CmpOp::Eq => rhs,
+        }
+    }
+
+    /// Largest variable id mentioned, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.expr.max_var()
+    }
+
+    /// The negated constraint as a disjunction (Sec. 1: `¬(= c)` splits
+    /// into `< c ∨ > c`).
+    pub fn negate(&self) -> Vec<NlConstraint> {
+        match self.op.negate() {
+            Some(op) => vec![NlConstraint::new(self.expr.clone(), op, self.rhs.clone())],
+            None => vec![
+                NlConstraint::new(self.expr.clone(), CmpOp::Lt, self.rhs.clone()),
+                NlConstraint::new(self.expr.clone(), CmpOp::Gt, self.rhs.clone()),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for NlConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn point_eval() {
+        let c = NlConstraint::new(x() * x(), CmpOp::Le, q(4));
+        assert!(c.eval(&[2.0]));
+        assert!(c.eval(&[-2.0]));
+        assert!(!c.eval(&[2.1]));
+        let s = NlConstraint::new(x(), CmpOp::Lt, q(0));
+        assert!(!s.eval(&[0.0]));
+        assert!(s.eval(&[-1e-300]));
+    }
+
+    #[test]
+    fn eval_with_tolerance() {
+        let c = NlConstraint::new(x(), CmpOp::Eq, q(1));
+        assert!(!c.eval(&[1.0 + 1e-9]));
+        assert!(c.eval_with_tol(&[1.0 + 1e-9], 1e-6));
+        assert!(!c.eval_with_tol(&[1.1], 1e-6));
+    }
+
+    #[test]
+    fn violations() {
+        let c = NlConstraint::new(x(), CmpOp::Le, q(2));
+        assert_eq!(c.violation(&[1.0], 0.0), 0.0);
+        assert_eq!(c.violation(&[3.0], 0.0), 1.0);
+        let e = NlConstraint::new(x(), CmpOp::Eq, q(2));
+        assert_eq!(e.violation(&[5.0], 0.0), 3.0);
+        let g = NlConstraint::new(x(), CmpOp::Gt, q(0));
+        assert!(g.violation(&[0.0], 1e-3) > 0.0);
+        assert_eq!(g.violation(&[1.0], 1e-3), 0.0);
+    }
+
+    #[test]
+    fn interval_checks() {
+        let c = NlConstraint::new(x() * x(), CmpOp::Le, q(4));
+        assert_eq!(
+            c.check_box(&[Interval::new(-1.0, 1.0)]),
+            IntervalVerdict::CertainlyTrue
+        );
+        assert_eq!(
+            c.check_box(&[Interval::new(3.0, 5.0)]),
+            IntervalVerdict::CertainlyFalse
+        );
+        assert_eq!(
+            c.check_box(&[Interval::new(1.0, 3.0)]),
+            IntervalVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn interval_check_undefined_expression() {
+        // sqrt(x) with x entirely negative: constraint unsatisfiable there.
+        let c = NlConstraint::new(x().sqrt(), CmpOp::Ge, q(0));
+        assert_eq!(
+            c.check_box(&[Interval::new(-5.0, -1.0)]),
+            IntervalVerdict::CertainlyFalse
+        );
+    }
+
+    #[test]
+    fn equality_certainty() {
+        let c = NlConstraint::new(x(), CmpOp::Eq, q(2));
+        assert_eq!(
+            c.check_box(&[Interval::new(3.0, 4.0)]),
+            IntervalVerdict::CertainlyFalse
+        );
+        assert_eq!(
+            c.check_box(&[Interval::new(1.0, 3.0)]),
+            IntervalVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn negation_splits_equality() {
+        let c = NlConstraint::new(x().sin(), CmpOp::Eq, q(0));
+        let neg = c.negate();
+        assert_eq!(neg.len(), 2);
+        assert_eq!(neg[0].op, CmpOp::Lt);
+        assert_eq!(neg[1].op, CmpOp::Gt);
+        let le = NlConstraint::new(x(), CmpOp::Le, q(0)).negate();
+        assert_eq!(le.len(), 1);
+        assert_eq!(le[0].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn target_intervals() {
+        let le = NlConstraint::new(x(), CmpOp::Le, q(3));
+        assert!(le.target_interval().contains(3.0));
+        assert!(le.target_interval().contains(-1e300));
+        assert!(!le.target_interval().contains(4.0));
+        let eq = NlConstraint::new(x(), CmpOp::Eq, q(3));
+        assert!(eq.target_interval().contains(3.0));
+        assert!(eq.target_interval().width() < 1e-9);
+    }
+}

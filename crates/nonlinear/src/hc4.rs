@@ -1,0 +1,383 @@
+//! The HC4 interval contractor.
+//!
+//! `HC4-revise` is the classic forward–backward constraint-propagation
+//! operator on expression trees: a forward pass computes a sound interval
+//! for every subexpression, and a backward pass pushes the constraint's
+//! target interval down the tree, narrowing variable domains. Applied to a
+//! fixpoint over a conjunction of constraints it prunes boxes without
+//! losing any solution, which is the engine behind the branch-and-prune
+//! prover in [`crate::solve`].
+
+use crate::constraint::NlConstraint;
+use crate::expr::Expr;
+use absolver_num::Interval;
+
+/// Result of contracting a box against one or more constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contraction {
+    /// The box is proven to contain no solution.
+    Empty,
+    /// The box was narrowed.
+    Changed,
+    /// Nothing was learnt.
+    Unchanged,
+}
+
+/// Forward-evaluated expression tree (one interval per node).
+#[derive(Debug)]
+struct EvalTree {
+    iv: Interval,
+    kids: Vec<EvalTree>,
+}
+
+fn forward(e: &Expr, boxes: &[Interval]) -> EvalTree {
+    let (iv, kids) = match e {
+        Expr::Const(_) | Expr::Var(_) => (e.eval_interval(boxes), Vec::new()),
+        Expr::Neg(a) => {
+            let t = forward(a, boxes);
+            (t.iv.neg(), vec![t])
+        }
+        Expr::Add(a, b) => {
+            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
+            (ta.iv.add(tb.iv), vec![ta, tb])
+        }
+        Expr::Sub(a, b) => {
+            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
+            (ta.iv.sub(tb.iv), vec![ta, tb])
+        }
+        Expr::Mul(a, b) => {
+            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
+            (ta.iv.mul(tb.iv), vec![ta, tb])
+        }
+        Expr::Div(a, b) => {
+            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
+            (ta.iv.div(tb.iv), vec![ta, tb])
+        }
+        Expr::Pow(a, n) => {
+            let t = forward(a, boxes);
+            (t.iv.powi(*n), vec![t])
+        }
+        Expr::Sin(a) => {
+            let t = forward(a, boxes);
+            (t.iv.sin(), vec![t])
+        }
+        Expr::Cos(a) => {
+            let t = forward(a, boxes);
+            (t.iv.cos(), vec![t])
+        }
+        Expr::Exp(a) => {
+            let t = forward(a, boxes);
+            (t.iv.exp(), vec![t])
+        }
+        Expr::Ln(a) => {
+            let t = forward(a, boxes);
+            (t.iv.ln(), vec![t])
+        }
+        Expr::Sqrt(a) => {
+            let t = forward(a, boxes);
+            (t.iv.sqrt(), vec![t])
+        }
+        Expr::Abs(a) => {
+            let t = forward(a, boxes);
+            (t.iv.abs(), vec![t])
+        }
+    };
+    EvalTree { iv, kids }
+}
+
+/// Interval cube root with outward widening (safe for backward passes).
+fn cbrt_outward(iv: Interval) -> Interval {
+    if iv.is_empty() {
+        return Interval::EMPTY;
+    }
+    let lo = iv.lo().cbrt();
+    let hi = iv.hi().cbrt();
+    let lo = if lo.is_finite() { lo.next_down().next_down() } else { lo };
+    let hi = if hi.is_finite() { hi.next_up().next_up() } else { hi };
+    Interval::checked(lo, hi)
+}
+
+/// Backward propagation: narrows variable domains so the subtree can still
+/// produce a value in `target`. Returns `false` when a domain becomes
+/// empty (the constraint is infeasible in the box).
+fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) -> bool {
+    let target = target.intersect(t.iv);
+    if target.is_empty() {
+        return false;
+    }
+    match e {
+        Expr::Const(_) => true,
+        Expr::Var(v) => {
+            let narrowed = boxes[*v].intersect(target);
+            if narrowed.is_empty() {
+                return false;
+            }
+            boxes[*v] = narrowed;
+            true
+        }
+        Expr::Neg(a) => backward(a, &t.kids[0], target.neg(), boxes),
+        Expr::Add(a, b) => {
+            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
+            backward(a, &t.kids[0], target.sub(ib), boxes)
+                && backward(b, &t.kids[1], target.sub(ia), boxes)
+        }
+        Expr::Sub(a, b) => {
+            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
+            backward(a, &t.kids[0], target.add(ib), boxes)
+                && backward(b, &t.kids[1], ia.sub(target), boxes)
+        }
+        Expr::Mul(a, b) => {
+            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
+            // a = target / b (conservative when b straddles zero).
+            let ta = if ib.contains(0.0) && target.contains(0.0) {
+                ia // no information
+            } else {
+                target.div(ib)
+            };
+            let tb = if ia.contains(0.0) && target.contains(0.0) {
+                ib
+            } else {
+                target.div(ia)
+            };
+            backward(a, &t.kids[0], ta, boxes) && backward(b, &t.kids[1], tb, boxes)
+        }
+        Expr::Div(a, b) => {
+            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
+            // a = target · b; b = a / target.
+            let ta = target.mul(ib);
+            let tb = if target.contains(0.0) {
+                ib // a/b ∋ 0 gives no bound on b
+            } else {
+                ia.div(target)
+            };
+            backward(a, &t.kids[0], ta, boxes) && backward(b, &t.kids[1], tb, boxes)
+        }
+        Expr::Pow(a, n) => {
+            let child_target = match *n {
+                0 => t.kids[0].iv, // no information
+                1 => target,
+                2 => {
+                    let root = target.sqrt();
+                    if root.is_empty() {
+                        return false;
+                    }
+                    root.hull(root.neg())
+                }
+                3 => cbrt_outward(target),
+                _ => t.kids[0].iv, // higher powers: skip backward step (sound)
+            };
+            backward(a, &t.kids[0], child_target, boxes)
+        }
+        Expr::Exp(a) => {
+            let child_target = target.ln();
+            if child_target.is_empty() {
+                // exp(x) can only be positive; a non-positive target is
+                // already ruled out by the initial intersection unless the
+                // target clipped to exactly {0⁻ boundary}; treat as empty.
+                return false;
+            }
+            backward(a, &t.kids[0], child_target, boxes)
+        }
+        Expr::Ln(a) => backward(a, &t.kids[0], target.exp(), boxes),
+        Expr::Sqrt(a) => {
+            let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
+            if nonneg.is_empty() {
+                return false;
+            }
+            backward(a, &t.kids[0], nonneg.powi(2), boxes)
+        }
+        Expr::Abs(a) => {
+            let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
+            if nonneg.is_empty() {
+                return false;
+            }
+            backward(a, &t.kids[0], nonneg.hull(nonneg.neg()), boxes)
+        }
+        // Periodic functions: keep the forward check, skip backward
+        // narrowing (always sound).
+        Expr::Sin(a) | Expr::Cos(a) => backward_noop(a, &t.kids[0], boxes),
+    }
+}
+
+fn backward_noop(e: &Expr, t: &EvalTree, boxes: &mut [Interval]) -> bool {
+    // Still recurse with the child's own interval so deeper nodes get their
+    // consistency check, but learn nothing new.
+    backward(e, t, t.iv, boxes)
+}
+
+/// Applies HC4-revise for a single constraint, narrowing `boxes` in place.
+pub fn hc4_revise(constraint: &NlConstraint, boxes: &mut [Interval]) -> Contraction {
+    let before = boxes.to_vec();
+    let tree = forward(&constraint.expr, boxes);
+    if tree.iv.is_empty() {
+        return Contraction::Empty;
+    }
+    if !backward(&constraint.expr, &tree, constraint.target_interval(), boxes) {
+        return Contraction::Empty;
+    }
+    if boxes.iter().zip(&before).any(|(a, b)| a != b) {
+        Contraction::Changed
+    } else {
+        Contraction::Unchanged
+    }
+}
+
+/// Propagates a conjunction of constraints to a fixpoint (bounded by
+/// `max_rounds` sweeps), narrowing `boxes` in place.
+pub fn propagate(
+    constraints: &[NlConstraint],
+    boxes: &mut [Interval],
+    max_rounds: usize,
+) -> Contraction {
+    let mut any_change = false;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for c in constraints {
+            match hc4_revise(c, boxes) {
+                Contraction::Empty => return Contraction::Empty,
+                Contraction::Changed => changed = true,
+                Contraction::Unchanged => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+        any_change = true;
+    }
+    if any_change {
+        Contraction::Changed
+    } else {
+        Contraction::Unchanged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_linear::CmpOp;
+    use absolver_num::Rational;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn contracts_simple_bound() {
+        // x + 1 ≤ 3 over x ∈ [0, 10] → x ∈ [0, 2].
+        let c = NlConstraint::new(x() + Expr::int(1), CmpOp::Le, q(3));
+        let mut bx = vec![Interval::new(0.0, 10.0)];
+        assert_eq!(hc4_revise(&c, &mut bx), Contraction::Changed);
+        assert!(bx[0].hi() <= 2.0 + 1e-9);
+        assert!(bx[0].lo() == 0.0);
+    }
+
+    #[test]
+    fn contracts_square() {
+        // x² ≤ 4 over x ∈ [-10, 10] → x ∈ [-2, 2].
+        let c = NlConstraint::new(x().pow(2), CmpOp::Le, q(4));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        assert_eq!(hc4_revise(&c, &mut bx), Contraction::Changed);
+        assert!(bx[0].lo() >= -2.0 - 1e-9 && bx[0].hi() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn detects_empty() {
+        // x² < -1 is impossible.
+        let c = NlConstraint::new(x().pow(2), CmpOp::Lt, q(-1));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        assert_eq!(hc4_revise(&c, &mut bx), Contraction::Empty);
+    }
+
+    #[test]
+    fn never_loses_solutions() {
+        // x·y = 6 ∧ box [1,10]×[1,10]; the point (2,3) must survive any
+        // amount of propagation.
+        let c = NlConstraint::new(x() * y(), CmpOp::Eq, q(6));
+        let mut bx = vec![Interval::new(1.0, 10.0), Interval::new(1.0, 10.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].contains(2.0));
+        assert!(bx[1].contains(3.0));
+        // And the contraction is real: y = 6/x ≤ 6 for x ≥ 1.
+        assert!(bx[1].hi() <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn propagates_through_division() {
+        // 10 / x ≥ 5 over x ∈ [0.1, 100] → x ≤ 2.
+        let c = NlConstraint::new(Expr::int(10) / x(), CmpOp::Ge, q(5));
+        let mut bx = vec![Interval::new(0.1, 100.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].hi() <= 2.0 + 1e-6, "{}", bx[0]);
+        assert!(bx[0].contains(1.0));
+    }
+
+    #[test]
+    fn conjunction_fixpoint() {
+        // x + y = 10 ∧ x − y = 2. HC4 alone cannot intersect coupled
+        // equations down to the solution point (that is what branching is
+        // for), but it must contract, keep the solution (6, 4), and report
+        // a fixpoint rather than looping forever.
+        let c1 = NlConstraint::new(x() + y(), CmpOp::Eq, q(10));
+        let c2 = NlConstraint::new(x() - y(), CmpOp::Eq, q(2));
+        let mut bx = vec![Interval::new(-100.0, 100.0), Interval::new(-100.0, 100.0)];
+        let out = propagate(&[c1, c2], &mut bx, 200);
+        assert_ne!(out, Contraction::Empty);
+        assert!(bx[0].contains(6.0));
+        assert!(bx[1].contains(4.0));
+        assert!(bx[0].width() < 200.0, "x narrowed to {}", bx[0]);
+        assert!(bx[1].width() < 200.0, "y narrowed to {}", bx[1]);
+    }
+
+    #[test]
+    fn exp_and_ln_backward() {
+        // exp(x) ≤ 1 → x ≤ 0.
+        let c = NlConstraint::new(x().exp(), CmpOp::Le, q(1));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].hi() <= 1e-9);
+        // ln(x) ≥ 0 → x ≥ 1.
+        let c = NlConstraint::new(x().ln(), CmpOp::Ge, q(0));
+        let mut bx = vec![Interval::new(0.01, 10.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].lo() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn abs_backward() {
+        // |x| ≤ 3 → x ∈ [-3, 3].
+        let c = NlConstraint::new(x().abs(), CmpOp::Le, q(3));
+        let mut bx = vec![Interval::new(-100.0, 100.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].lo() >= -3.0 - 1e-9 && bx[0].hi() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn sin_forward_check_only() {
+        // sin(x) ≥ 2 is impossible.
+        let c = NlConstraint::new(x().sin(), CmpOp::Ge, q(2));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        assert_eq!(hc4_revise(&c, &mut bx), Contraction::Empty);
+        // sin(x) ≤ 1 teaches nothing but must not lose solutions.
+        let c = NlConstraint::new(x().sin(), CmpOp::Le, q(1));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        assert_ne!(hc4_revise(&c, &mut bx), Contraction::Empty);
+        assert!(bx[0].contains(0.0));
+    }
+
+    #[test]
+    fn cube_backward() {
+        // x³ ≥ 8 → x ≥ 2.
+        let c = NlConstraint::new(x().pow(3), CmpOp::Ge, q(8));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].lo() >= 2.0 - 1e-6, "{}", bx[0]);
+    }
+}

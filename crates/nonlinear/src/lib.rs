@@ -1,0 +1,168 @@
+//! Nonlinear arithmetic solving for the ABsolver constraint-solving
+//! library — the reproduction's stand-in for IPOPT.
+//!
+//! The crate provides:
+//!
+//! * [`Expr`] — nonlinear expression trees over `+ − * /` plus the paper's
+//!   "straightforward extensions" (`sin`, `cos`, `exp`, `ln`, `sqrt`,
+//!   `abs`, integer powers), with `f64` evaluation, sound interval
+//!   evaluation, symbolic differentiation, and affine-form extraction.
+//! * [`NlConstraint`] — comparisons `expr ⋈ c` with point, tolerance and
+//!   box (three-valued) evaluation.
+//! * [`hc4`] — the HC4 forward–backward interval contractor.
+//! * [`NlProblem`] — feasibility of constraint conjunctions via rigorous
+//!   [`branch_and_prune`] (which can *prove* UNSAT over a box) cascaded
+//!   with an IPOPT-style multistart [`local_search`].
+//!
+//! ```
+//! use absolver_linear::CmpOp;
+//! use absolver_nonlinear::{Expr, NlConstraint, NlProblem};
+//! use absolver_num::{Interval, Rational};
+//!
+//! // x² + y² ≤ 1 ∧ x + y ≥ 1: feasible (e.g. on the chord).
+//! let x = Expr::var(0);
+//! let y = Expr::var(1);
+//! let mut p = NlProblem::new(2);
+//! p.add_constraint(NlConstraint::new(
+//!     x.clone().pow(2) + y.clone().pow(2),
+//!     CmpOp::Le,
+//!     Rational::one(),
+//! ));
+//! p.add_constraint(NlConstraint::new(x + y, CmpOp::Ge, Rational::one()));
+//! p.bound_var(0, Interval::new(-2.0, 2.0));
+//! p.bound_var(1, Interval::new(-2.0, 2.0));
+//! assert!(p.solve().is_sat());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod expr;
+pub mod hc4;
+mod solve;
+
+pub use constraint::{IntervalVerdict, NlConstraint};
+pub use expr::{Expr, VarId};
+pub use solve::{branch_and_prune, local_search, NlOptions, NlProblem, NlVerdict};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use absolver_linear::CmpOp;
+    use absolver_num::{Interval, Rational};
+    use proptest::prelude::*;
+
+    /// Random polynomial-ish expressions over 2 variables.
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-5i64..=5).prop_map(Expr::int),
+            (0usize..2).prop_map(Expr::var),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
+                inner.clone().prop_map(|a| -a),
+                (inner.clone(), 0i32..4).prop_map(|(a, n)| a.pow(n)),
+                inner.clone().prop_map(Expr::sin),
+                inner.clone().prop_map(Expr::cos),
+                inner.clone().prop_map(Expr::abs),
+            ]
+        })
+    }
+
+    /// Real-definedness: every subexpression evaluates to a finite value
+    /// (IEEE `f64` can "recover" from an undefined subterm, e.g.
+    /// `0 / (1/0) = 0`, where real arithmetic — and hence interval
+    /// arithmetic — says undefined).
+    fn real_defined(e: &Expr, point: &[f64]) -> bool {
+        let own = e.eval_f64(point).is_finite();
+        own && match e {
+            Expr::Const(_) | Expr::Var(_) => true,
+            Expr::Neg(a)
+            | Expr::Pow(a, _)
+            | Expr::Sin(a)
+            | Expr::Cos(a)
+            | Expr::Exp(a)
+            | Expr::Ln(a)
+            | Expr::Sqrt(a)
+            | Expr::Abs(a) => real_defined(a, point),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                real_defined(a, point) && real_defined(b, point)
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Interval evaluation must enclose point evaluation everywhere the
+        /// expression is real-defined.
+        #[test]
+        fn interval_encloses_points(e in expr_strategy(), tx in 0.0f64..1.0, ty in 0.0f64..1.0) {
+            let bx = [Interval::new(-3.0, 2.0), Interval::new(0.5, 4.0)];
+            let px = -3.0 + tx * 5.0;
+            let py = 0.5 + ty * 3.5;
+            if real_defined(&e, &[px, py]) {
+                let v = e.eval_f64(&[px, py]);
+                let iv = e.eval_interval(&bx);
+                prop_assert!(iv.contains(v), "{v} escaped {iv} for {e}");
+            }
+        }
+
+        /// Simplification must preserve point semantics.
+        #[test]
+        fn simplify_preserves_value(e in expr_strategy(), tx in 0.0f64..1.0, ty in 0.0f64..1.0) {
+            let px = -2.0 + tx * 4.0;
+            let py = -2.0 + ty * 4.0;
+            let v1 = e.eval_f64(&[px, py]);
+            let v2 = e.simplify().eval_f64(&[px, py]);
+            if v1.is_finite() && v2.is_finite() {
+                let scale = v1.abs().max(1.0);
+                prop_assert!((v1 - v2).abs() / scale < 1e-9, "{e}: {v1} vs {v2}");
+            }
+        }
+
+        /// Derivatives must match numeric differentiation on smooth points.
+        #[test]
+        fn derivative_matches_finite_difference(e in expr_strategy(), tx in 0.1f64..0.9, ty in 0.1f64..0.9) {
+            let px = -1.0 + tx * 2.0;
+            let py = -1.0 + ty * 2.0;
+            let h = 1e-6;
+            let d = e.derivative(0);
+            let sym = d.eval_f64(&[px, py]);
+            let f1 = e.eval_f64(&[px + h, py]);
+            let f0 = e.eval_f64(&[px - h, py]);
+            let num = (f1 - f0) / (2.0 * h);
+            // Only check smooth, well-conditioned samples.
+            if sym.is_finite() && num.is_finite() && f1.abs() < 1e6 && f0.abs() < 1e6 {
+                let scale = sym.abs().max(num.abs()).max(1.0);
+                prop_assert!(
+                    (sym - num).abs() / scale < 1e-3,
+                    "{e}: symbolic {sym} vs numeric {num} at ({px},{py})"
+                );
+            }
+        }
+
+        /// HC4 propagation never removes a known solution.
+        #[test]
+        fn hc4_keeps_known_solutions(e in expr_strategy(), tx in 0.0f64..1.0, ty in 0.0f64..1.0) {
+            let px = -2.0 + tx * 4.0;
+            let py = -2.0 + ty * 4.0;
+            prop_assume!(real_defined(&e, &[px, py]));
+            let v = e.eval_f64(&[px, py]);
+            prop_assume!(v.abs() < 1e9);
+            // Build a constraint this point definitely satisfies: e ≤ ⌈v⌉ + 1.
+            let rhs = Rational::from_f64(v.ceil() + 1.0).unwrap();
+            let c = NlConstraint::new(e, CmpOp::Le, rhs);
+            let mut bx = vec![Interval::new(-2.0, 2.0), Interval::new(-2.0, 2.0)];
+            let out = hc4::propagate(&[c], &mut bx, 10);
+            prop_assert_ne!(out, hc4::Contraction::Empty);
+            prop_assert!(bx[0].contains(px), "x={px} pruned from {}", bx[0]);
+            prop_assert!(bx[1].contains(py), "y={py} pruned from {}", bx[1]);
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Nonlinear feasibility solving: interval branch-and-prune plus a
+//! multistart local search.
+//!
+//! ABsolver delegates nonlinear conjunctions to IPOPT, a numerical
+//! interior-point solver that either finds a feasible point or gives up.
+//! This reproduction pairs two complementary engines behind one facade:
+//!
+//! * [`branch_and_prune`] — a rigorous interval method (HC4 propagation +
+//!   bisection). It can *prove* infeasibility on a bounded box, which a
+//!   numerical solver never can, and certifies satisfiability when a whole
+//!   sub-box is feasible.
+//! * [`local_search`] — multistart projected gradient descent on a penalty
+//!   function, the IPOPT-like workhorse that quickly digs out a feasible
+//!   point of satisfiable instances.
+//!
+//! [`NlProblem::solve`] runs them in sequence and merges the verdicts.
+
+use crate::constraint::{IntervalVerdict, NlConstraint};
+use crate::hc4::{propagate, Contraction};
+use absolver_num::Interval;
+
+/// Verdict of a nonlinear feasibility query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlVerdict {
+    /// A feasible point was found (satisfaction per [`NlConstraint::eval_with_tol`]).
+    Sat(Vec<f64>),
+    /// Proven infeasible over the given variable bounds (rigorous).
+    Unsat,
+    /// Neither a witness nor a proof within budget.
+    Unknown,
+}
+
+impl NlVerdict {
+    /// Returns `true` for [`NlVerdict::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, NlVerdict::Sat(_))
+    }
+
+    /// The witness, if SAT.
+    pub fn witness(&self) -> Option<&[f64]> {
+        match self {
+            NlVerdict::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for the nonlinear engines.
+#[derive(Debug, Clone)]
+pub struct NlOptions {
+    /// Maximum number of boxes the branch-and-prune search may explore.
+    pub max_boxes: usize,
+    /// Box-width threshold below which branch-and-prune stops splitting.
+    pub min_width: f64,
+    /// Number of multistart attempts of the local search.
+    pub restarts: usize,
+    /// Gradient-descent iterations per restart.
+    pub iterations: usize,
+    /// Satisfaction tolerance for witnesses (see [`NlConstraint::eval_with_tol`]).
+    pub tolerance: f64,
+    /// Interior margin used to steer strict inequalities off their boundary.
+    pub strict_margin: f64,
+    /// Seed for the deterministic multistart sampler.
+    pub seed: u64,
+}
+
+impl Default for NlOptions {
+    fn default() -> Self {
+        NlOptions {
+            max_boxes: 20_000,
+            min_width: 1e-6,
+            restarts: 40,
+            iterations: 400,
+            tolerance: 1e-6,
+            strict_margin: 1e-7,
+            seed: 0x5EED_AB50,
+        }
+    }
+}
+
+/// A conjunction of nonlinear constraints over box-bounded variables.
+#[derive(Debug, Clone, Default)]
+pub struct NlProblem {
+    /// The constraints (conjunction).
+    pub constraints: Vec<NlConstraint>,
+    /// Per-variable domains. Defaults to [`Interval::ENTIRE`] for variables
+    /// not covered.
+    pub bounds: Vec<Interval>,
+}
+
+impl NlProblem {
+    /// Creates a problem over `num_vars` unbounded variables.
+    pub fn new(num_vars: usize) -> NlProblem {
+        NlProblem {
+            constraints: Vec::new(),
+            bounds: vec![Interval::ENTIRE; num_vars],
+        }
+    }
+
+    /// Adds a constraint, growing the variable count as needed.
+    pub fn add_constraint(&mut self, c: NlConstraint) {
+        if let Some(max) = c.max_var() {
+            while self.bounds.len() <= max {
+                self.bounds.push(Interval::ENTIRE);
+            }
+        }
+        self.constraints.push(c);
+    }
+
+    /// Restricts variable `v`'s domain (intersecting any existing bound).
+    pub fn bound_var(&mut self, v: usize, bounds: Interval) {
+        while self.bounds.len() <= v {
+            self.bounds.push(Interval::ENTIRE);
+        }
+        self.bounds[v] = self.bounds[v].intersect(bounds);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Returns `true` if `point` satisfies every constraint: inequalities
+    /// exactly (in `f64`), equalities within `eq_tol` (see
+    /// [`NlConstraint::eval_robust`]).
+    pub fn is_satisfied(&self, point: &[f64], eq_tol: f64) -> bool {
+        self.constraints.iter().all(|c| c.eval_robust(point, eq_tol))
+    }
+
+    /// Solves the feasibility problem with the default engine cascade:
+    /// branch-and-prune first (possibly proving UNSAT), then the local
+    /// search for stubborn SAT instances.
+    pub fn solve(&self) -> NlVerdict {
+        self.solve_with(&NlOptions::default())
+    }
+
+    /// Solves with explicit options.
+    pub fn solve_with(&self, opts: &NlOptions) -> NlVerdict {
+        match branch_and_prune(self, opts) {
+            NlVerdict::Unknown => match local_search(self, opts) {
+                Some(point) => NlVerdict::Sat(point),
+                None => NlVerdict::Unknown,
+            },
+            verdict => verdict,
+        }
+    }
+}
+
+/// Clamps a (possibly unbounded) domain to a finite sampling range.
+fn sampling_interval(iv: Interval) -> (f64, f64) {
+    const BIG: f64 = 1.0e4;
+    let lo = if iv.lo().is_finite() { iv.lo() } else { -BIG };
+    let hi = if iv.hi().is_finite() { iv.hi() } else { BIG };
+    if lo <= hi {
+        (lo, hi)
+    } else {
+        (hi, lo)
+    }
+}
+
+/// Rigorous interval branch-and-prune.
+///
+/// Returns [`NlVerdict::Unsat`] only with a proof (every leaf box refuted
+/// by interval arithmetic); [`NlVerdict::Sat`] when a point check or a
+/// certainly-true box yields a witness; [`NlVerdict::Unknown`] when the
+/// box budget or width threshold is hit first.
+pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
+    let n = problem.num_vars();
+    if n == 0 {
+        // Ground problem: constraints are constant comparisons.
+        return if problem.is_satisfied(&[], 0.0) {
+            NlVerdict::Sat(Vec::new())
+        } else {
+            NlVerdict::Unsat
+        };
+    }
+    let root: Vec<Interval> = problem.bounds.clone();
+    let mut stack = vec![root];
+    let mut explored = 0usize;
+    let mut inconclusive = false;
+
+    while let Some(mut bx) = stack.pop() {
+        explored += 1;
+        if explored > opts.max_boxes {
+            return NlVerdict::Unknown;
+        }
+        if propagate(&problem.constraints, &mut bx, 20) == Contraction::Empty {
+            continue; // refuted
+        }
+        if bx.iter().any(|iv| iv.is_empty()) {
+            continue;
+        }
+        // Candidate point: the box midpoint.
+        let mid: Vec<f64> = bx.iter().map(Interval::midpoint).collect();
+        if problem.is_satisfied(&mid, opts.tolerance) {
+            return NlVerdict::Sat(mid);
+        }
+        // Certainly-true everywhere? Then the midpoint must have satisfied —
+        // but check anyway in case of strictness at boundaries.
+        let verdicts: Vec<IntervalVerdict> = problem
+            .constraints
+            .iter()
+            .map(|c| c.check_box(&bx))
+            .collect();
+        if verdicts.iter().all(|v| *v == IntervalVerdict::CertainlyTrue) {
+            return NlVerdict::Sat(mid);
+        }
+        if verdicts.iter().any(|v| *v == IntervalVerdict::CertainlyFalse) {
+            continue; // refuted
+        }
+        // Split the widest (finite) dimension.
+        let split = (0..n)
+            .filter(|&i| bx[i].width() > opts.min_width)
+            .max_by(|&a, &b| {
+                bx[a]
+                    .width()
+                    .partial_cmp(&bx[b].width())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        match split {
+            None => {
+                // Tiny box we can neither verify nor refute.
+                inconclusive = true;
+            }
+            Some(dim) => {
+                let m = bx[dim].midpoint();
+                let mut left = bx.clone();
+                let mut right = bx;
+                left[dim] = Interval::checked(left[dim].lo(), m);
+                right[dim] = Interval::checked(m, right[dim].hi());
+                if !left[dim].is_empty() {
+                    stack.push(left);
+                }
+                if !right[dim].is_empty() {
+                    stack.push(right);
+                }
+            }
+        }
+    }
+    if inconclusive {
+        NlVerdict::Unknown
+    } else {
+        NlVerdict::Unsat
+    }
+}
+
+/// Minimal deterministic xorshift64* generator for multistart sampling
+/// (keeps this crate dependency-free).
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Multistart projected gradient descent on the quadratic penalty
+/// `P(x) = Σ violation(cᵢ, x)²` — the IPOPT-role numerical engine.
+///
+/// Returns a feasible point (within `opts.tolerance`) or `None`.
+pub fn local_search(problem: &NlProblem, opts: &NlOptions) -> Option<Vec<f64>> {
+    let n = problem.num_vars();
+    if n == 0 {
+        return problem.is_satisfied(&[], 0.0).then(Vec::new);
+    }
+    let mut rng = XorShift::new(opts.seed);
+    // Pre-compute simplified gradients of each constraint's LHS.
+    let grads: Vec<Vec<crate::expr::Expr>> = problem
+        .constraints
+        .iter()
+        .map(|c| (0..n).map(|v| c.expr.derivative(v).simplify()).collect())
+        .collect();
+    let ranges: Vec<(f64, f64)> = problem.bounds.iter().map(|&b| sampling_interval(b)).collect();
+
+    let penalty = |x: &[f64]| -> f64 {
+        problem
+            .constraints
+            .iter()
+            .map(|c| {
+                let v = c.violation(x, opts.strict_margin);
+                v * v
+            })
+            .sum()
+    };
+
+    for _ in 0..opts.restarts {
+        let mut x: Vec<f64> = ranges
+            .iter()
+            .map(|&(lo, hi)| lo + rng.next_f64() * (hi - lo))
+            .collect();
+        let mut lr = 0.1;
+        let mut p = penalty(&x);
+        for _ in 0..opts.iterations {
+            if problem.is_satisfied(&x, opts.tolerance) {
+                return Some(x);
+            }
+            if !p.is_finite() {
+                break; // restart from elsewhere
+            }
+            // ∇P = Σ 2·violation·(±∇lhs) over active constraints.
+            let mut grad = vec![0.0f64; n];
+            for (ci, c) in problem.constraints.iter().enumerate() {
+                let viol = c.violation(&x, opts.strict_margin);
+                if viol == 0.0 {
+                    continue;
+                }
+                let lhs = c.expr.eval_f64(&x);
+                let rhs = c.rhs.to_f64();
+                // Direction of increasing violation w.r.t. lhs.
+                let sign = match c.op {
+                    absolver_linear::CmpOp::Lt | absolver_linear::CmpOp::Le => 1.0,
+                    absolver_linear::CmpOp::Gt | absolver_linear::CmpOp::Ge => -1.0,
+                    absolver_linear::CmpOp::Eq => {
+                        if lhs >= rhs {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                };
+                for (v, g) in grad.iter_mut().enumerate() {
+                    let d = grads[ci][v].eval_f64(&x);
+                    if d.is_finite() {
+                        *g += 2.0 * viol * sign * d;
+                    }
+                }
+            }
+            let norm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if norm < 1e-14 {
+                break; // flat (likely a non-feasible local minimum)
+            }
+            // Tentative step with simple backtracking.
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(&grad)
+                .zip(&ranges)
+                .map(|((&xi, &gi), &(lo, hi))| (xi - lr * gi / norm).clamp(lo, hi))
+                .collect();
+            let p_trial = penalty(&trial);
+            if p_trial < p {
+                x = trial;
+                p = p_trial;
+                lr = (lr * 1.3).min(1.0e3);
+            } else {
+                lr *= 0.5;
+                if lr < 1e-15 {
+                    break;
+                }
+            }
+        }
+        if problem.is_satisfied(&x, opts.tolerance) {
+            return Some(x);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use absolver_linear::CmpOp;
+    use absolver_num::Rational;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn qd(s: &str) -> Rational {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn trivially_sat_circle() {
+        // x² + y² ≤ 1.
+        let mut p = NlProblem::new(2);
+        p.add_constraint(NlConstraint::new(x().pow(2) + y().pow(2), CmpOp::Le, q(1)));
+        p.bound_var(0, Interval::new(-2.0, 2.0));
+        p.bound_var(1, Interval::new(-2.0, 2.0));
+        match p.solve() {
+            NlVerdict::Sat(w) => assert!(w[0] * w[0] + w[1] * w[1] <= 1.0 + 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn proven_unsat_circle_vs_halfplane() {
+        // x² + y² ≤ 1 ∧ x ≥ 3 over a bounded box: rigorous UNSAT.
+        let mut p = NlProblem::new(2);
+        p.add_constraint(NlConstraint::new(x().pow(2) + y().pow(2), CmpOp::Le, q(1)));
+        p.add_constraint(NlConstraint::new(x(), CmpOp::Ge, q(3)));
+        p.bound_var(0, Interval::new(-10.0, 10.0));
+        p.bound_var(1, Interval::new(-10.0, 10.0));
+        assert_eq!(p.solve(), NlVerdict::Unsat);
+    }
+
+    #[test]
+    fn paper_nonlinear_unsat_style() {
+        // Mirror of the paper's `nonlinear_unsat` flavour:
+        // x² ≥ 1 ∧ x² ≤ 1/4 on a box.
+        let mut p = NlProblem::new(1);
+        p.add_constraint(NlConstraint::new(x().pow(2), CmpOp::Ge, q(1)));
+        p.add_constraint(NlConstraint::new(x().pow(2), CmpOp::Le, qd("0.25")));
+        p.bound_var(0, Interval::new(-100.0, 100.0));
+        assert_eq!(p.solve(), NlVerdict::Unsat);
+    }
+
+    #[test]
+    fn division_constraint() {
+        // The paper's running example constraint:
+        // a·x + 3.5/(4 − y) + 2y ≥ 7.1 (vars: 0 = a, 1 = x, 2 = y).
+        let a = Expr::var(0);
+        let xx = Expr::var(1);
+        let yy = Expr::var(2);
+        let lhs = a * xx + Expr::constant(qd("3.5")) / (Expr::int(4) - yy.clone())
+            + Expr::int(2) * yy;
+        let mut p = NlProblem::new(3);
+        p.add_constraint(NlConstraint::new(lhs, CmpOp::Ge, qd("7.1")));
+        for v in 0..3 {
+            p.bound_var(v, Interval::new(-20.0, 20.0));
+        }
+        match p.solve() {
+            NlVerdict::Sat(w) => {
+                let val = w[0] * w[1] + 3.5 / (4.0 - w[2]) + 2.0 * w[2];
+                assert!(val >= 7.1 - 1e-5, "witness value {val}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_on_parabola() {
+        // y = x² ∧ y = x + 1 has solutions (golden-ratio-ish x).
+        let mut p = NlProblem::new(2);
+        p.add_constraint(NlConstraint::new(y() - x().pow(2), CmpOp::Eq, q(0)));
+        p.add_constraint(NlConstraint::new(y() - x() - Expr::int(1), CmpOp::Eq, q(0)));
+        p.bound_var(0, Interval::new(-10.0, 10.0));
+        p.bound_var(1, Interval::new(-10.0, 10.0));
+        match p.solve() {
+            NlVerdict::Sat(w) => {
+                assert!((w[1] - w[0] * w[0]).abs() < 1e-4);
+                assert!((w[1] - w[0] - 1.0).abs() < 1e-4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transcendental_sat() {
+        // sin(x) ≥ 1/2 over [0, π].
+        let mut p = NlProblem::new(1);
+        p.add_constraint(NlConstraint::new(x().sin(), CmpOp::Ge, qd("0.5")));
+        p.bound_var(0, Interval::new(0.0, std::f64::consts::PI));
+        match p.solve() {
+            NlVerdict::Sat(w) => assert!(w[0].sin() >= 0.5 - 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transcendental_unsat() {
+        // exp(x) ≤ 0 is impossible.
+        let mut p = NlProblem::new(1);
+        p.add_constraint(NlConstraint::new(x().exp(), CmpOp::Le, q(0)));
+        p.bound_var(0, Interval::new(-50.0, 50.0));
+        assert_eq!(p.solve(), NlVerdict::Unsat);
+    }
+
+    #[test]
+    fn strict_inequalities_get_interior_points() {
+        // x·y > 1 ∧ x < 0 → y < 0 region; witness must be strictly inside.
+        let mut p = NlProblem::new(2);
+        p.add_constraint(NlConstraint::new(x() * y(), CmpOp::Gt, q(1)));
+        p.add_constraint(NlConstraint::new(x(), CmpOp::Lt, q(0)));
+        p.bound_var(0, Interval::new(-10.0, 10.0));
+        p.bound_var(1, Interval::new(-10.0, 10.0));
+        match p.solve() {
+            NlVerdict::Sat(w) => {
+                assert!(w[0] * w[1] > 1.0);
+                assert!(w[0] < 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_search_only_handles_unbounded() {
+        // x³ = 27 with unbounded domain (branch-and-prune gets ENTIRE box;
+        // the cascade must still find x = 3).
+        let mut p = NlProblem::new(1);
+        p.add_constraint(NlConstraint::new(x().pow(3), CmpOp::Eq, q(27)));
+        let opts = NlOptions { max_boxes: 500, ..NlOptions::default() };
+        match p.solve_with(&opts) {
+            NlVerdict::Sat(w) => assert!((w[0] - 3.0).abs() < 1e-3),
+            NlVerdict::Unknown => panic!("should find x=3"),
+            NlVerdict::Unsat => panic!("x^3=27 is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn ground_problems() {
+        let mut sat = NlProblem::new(0);
+        sat.add_constraint(NlConstraint::new(Expr::int(1), CmpOp::Le, q(2)));
+        assert!(sat.solve().is_sat());
+        let mut unsat = NlProblem::new(0);
+        unsat.add_constraint(NlConstraint::new(Expr::int(3), CmpOp::Le, q(2)));
+        assert_eq!(unsat.solve(), NlVerdict::Unsat);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let v = NlVerdict::Sat(vec![1.0]);
+        assert!(v.is_sat());
+        assert_eq!(v.witness(), Some(&[1.0][..]));
+        assert!(!NlVerdict::Unsat.is_sat());
+        assert_eq!(NlVerdict::Unknown.witness(), None);
+    }
+}

@@ -1,0 +1,808 @@
+//! Arbitrary-precision signed integers.
+//!
+//! [`BigInt`] is a compact sign-and-magnitude big integer over 64-bit limbs
+//! (least-significant limb first). It implements exactly the operations the
+//! exact-rational simplex in `absolver-linear` needs — ring arithmetic,
+//! Euclidean division, gcd, comparisons and decimal I/O — with no external
+//! dependencies.
+//!
+//! ```
+//! use absolver_num::BigInt;
+//!
+//! let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+//! let b = BigInt::from(-42);
+//! assert_eq!((&a * &b) / &b, a);
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`]. Zero is always represented with [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sign {
+    Plus,
+    Minus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants: the magnitude has no trailing zero limbs, and zero is
+/// represented by an empty magnitude with positive sign.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Magnitude, least-significant limb first, no trailing zeros.
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The integer `0`.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Plus, mag: Vec::new() }
+    }
+
+    /// The integer `1`.
+    pub fn one() -> BigInt {
+        BigInt::from(1u64)
+    }
+
+    /// Returns `true` if `self` is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Returns `true` if `self` is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` if `self` is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus && !self.is_zero()
+    }
+
+    /// Returns `true` if `self` is `1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.len() == 1 && self.mag[0] == 1
+    }
+
+    /// Sign as `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.sign == Sign::Plus {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let m = self.mag[0];
+                match self.sign {
+                    Sign::Plus if m <= i64::MAX as u64 => Some(m as i64),
+                    Sign::Minus if m <= i64::MAX as u64 + 1 => Some((m as i128).wrapping_neg() as i64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64`, rounding to nearest; very large values saturate to
+    /// `±inf`.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            v = v * 1.8446744073709552e19 + limb as f64;
+        }
+        if self.sign == Sign::Minus {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u64>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        let sign = if mag.is_empty() { Sign::Plus } else { sign };
+        BigInt { sign, mag }
+    }
+
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// `a - b` assuming `a >= b` by magnitude.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let (d1, b1) = a[i].overflowing_sub(*b.get(i).unwrap_or(&0));
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 || b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Divides magnitude by a single limb, returning (quotient, remainder).
+    fn divrem_mag_limb(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u64; a.len()];
+        let mut rem = 0u128;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | a[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem as u64)
+    }
+
+    fn shl_mag(a: &[u64], bits: u32) -> Vec<u64> {
+        debug_assert!(bits < 64);
+        if bits == 0 || a.is_empty() {
+            return a.to_vec();
+        }
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u64;
+        for &x in a {
+            out.push((x << bits) | carry);
+            carry = x >> (64 - bits);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    fn shr_mag(a: &[u64], bits: u32) -> Vec<u64> {
+        debug_assert!(bits < 64);
+        if bits == 0 {
+            return a.to_vec();
+        }
+        let mut out = vec![0u64; a.len()];
+        let mut carry = 0u64;
+        for i in (0..a.len()).rev() {
+            out[i] = (a[i] >> bits) | carry;
+            carry = a[i] << (64 - bits);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Knuth algorithm D on magnitudes; returns `(quotient, remainder)`.
+    fn divrem_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            let (q, r) = Self::divrem_mag_limb(a, b[0]);
+            return (q, if r == 0 { Vec::new() } else { vec![r] });
+        }
+        // Normalize so the top limb of the divisor has its high bit set.
+        let shift = b.last().unwrap().leading_zeros();
+        let mut u = Self::shl_mag(a, shift);
+        let v = Self::shl_mag(b, shift);
+        let n = v.len();
+        let m = u.len() - n;
+        u.push(0);
+        let mut q = vec![0u64; m + 1];
+        let v_top = v[n - 1];
+        let v_next = v[n - 2];
+        for j in (0..=m).rev() {
+            // Estimate the quotient limb from the top two/three limbs.
+            let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = num / v_top as u128;
+            let mut rhat = num % v_top as u128;
+            while qhat > u64::MAX as u128
+                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top as u128;
+                if rhat > u64::MAX as u128 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+            // Add back if we overshot (at most once).
+            if borrow < 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        let rem = Self::shr_mag(&u[..n], shift);
+        (q, rem)
+    }
+
+    /// Truncated division with remainder: `self = q * other + r`, `|r| < |other|`,
+    /// and `r` has the sign of `self` (C semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (q_mag, r_mag) = Self::divrem_mag(&self.mag, &other.mag);
+        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        (
+            BigInt::from_mag(q_sign, q_mag),
+            BigInt::from_mag(self.sign, r_mag),
+        )
+    }
+
+    /// Greatest common divisor of the magnitudes; always non-negative.
+    ///
+    /// `gcd(0, 0) == 0`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// `self * 2^k`.
+    pub fn shl(&self, k: u64) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let limbs = (k / 64) as usize;
+        let bits = (k % 64) as u32;
+        let mut mag = vec![0u64; limbs];
+        mag.extend(Self::shl_mag(&self.mag, bits));
+        BigInt::from_mag(self.sign, mag)
+    }
+
+    /// Raises `self` to the power `exp`.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                if v == 0 {
+                    BigInt::zero()
+                } else {
+                    BigInt { sign: Sign::Plus, mag: vec![v as u64] }
+                }
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+                let mag = (v as i128).unsigned_abs() as u64;
+                if mag == 0 {
+                    BigInt::zero()
+                } else {
+                    BigInt { sign, mag: vec![mag] }
+                }
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let m = v.unsigned_abs();
+        let lo = m as u64;
+        let hi = (m >> 64) as u64;
+        BigInt::from_mag(sign, vec![lo, hi])
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> BigInt {
+        BigInt::from_mag(Sign::Plus, vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => Self::cmp_mag(&self.mag, &other.mag),
+            (Sign::Minus, Sign::Minus) => Self::cmp_mag(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        if !self.is_zero() {
+            self.sign = self.sign.flip();
+        }
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            BigInt::from_mag(self.sign, BigInt::add_mag(&self.mag, &rhs.mag))
+        } else {
+            match BigInt::cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_mag(self.sign, BigInt::sub_mag(&self.mag, &rhs.mag))
+                }
+                Ordering::Less => BigInt::from_mag(rhs.sign, BigInt::sub_mag(&rhs.mag, &self.mag)),
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_mag(sign, BigInt::mul_mag(&self.mag, &rhs.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($($tr:ident :: $m:ident),*) => {$(
+        impl $tr for BigInt {
+            type Output = BigInt;
+            fn $m(self, rhs: BigInt) -> BigInt { (&self).$m(&rhs) }
+        }
+        impl $tr<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $m(self, rhs: &BigInt) -> BigInt { (&self).$m(rhs) }
+        }
+        impl $tr<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $m(self, rhs: BigInt) -> BigInt { self.$m(&rhs) }
+        }
+    )*};
+}
+forward_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut mag = self.mag.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divrem_mag_limb(&mag, CHUNK);
+            parts.push(r);
+            mag = q;
+        }
+        let mut s = String::new();
+        if self.sign == Sign::Minus {
+            s.push('-');
+        }
+        s.push_str(&parts.last().unwrap().to_string());
+        for p in parts.iter().rev().skip(1) {
+            s.push_str(&format!("{p:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.as_bytes().first() {
+            Some(b'-') => (Sign::Minus, &s[1..]),
+            Some(b'+') => (Sign::Plus, &s[1..]),
+            _ => (Sign::Plus, s),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { kind: "empty" });
+        }
+        if !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError { kind: "non-digit character" });
+        }
+        let mut acc = BigInt::zero();
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 19).min(bytes.len());
+            let chunk = &digits[i..end];
+            let v: u64 = chunk
+                .parse()
+                .map_err(|_| ParseBigIntError { kind: "non-digit character" })?;
+            let scale = BigInt::from(10u64).pow((end - i) as u32);
+            acc = &acc * &scale + BigInt::from(v);
+            i = end;
+        }
+        if sign == Sign::Minus {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_properties() {
+        let z = BigInt::zero();
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+        assert!(!z.is_positive());
+        assert_eq!(z.signum(), 0);
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(-z.clone(), z);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(bi(2) + bi(3), bi(5));
+        assert_eq!(bi(2) - bi(3), bi(-1));
+        assert_eq!(bi(-2) * bi(3), bi(-6));
+        assert_eq!(bi(7) / bi(2), bi(3));
+        assert_eq!(bi(7) % bi(2), bi(1));
+        assert_eq!(bi(-7) / bi(2), bi(-3));
+        assert_eq!(bi(-7) % bi(2), bi(-1));
+        assert_eq!(bi(7) / bi(-2), bi(-3));
+        assert_eq!(bi(7) % bi(-2), bi(1));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999",
+        ] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a3".parse::<BigInt>().is_err());
+        assert!("1 2".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn multi_limb_multiplication() {
+        let a: BigInt = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        assert_eq!(a, BigInt::one().shl(128));
+        let sq = &a * &a;
+        assert_eq!(sq, BigInt::one().shl(256));
+    }
+
+    #[test]
+    fn knuth_division_edge_cases() {
+        // Case that exercises the qhat correction loop.
+        let a = BigInt::one().shl(192) - BigInt::one();
+        let b = BigInt::one().shl(128) - BigInt::one();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(0).gcd(&bi(0)), bi(0));
+    }
+
+    #[test]
+    fn pow_and_bits() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(10).pow(0), bi(1));
+        assert_eq!(bi(0).bits(), 0);
+        assert_eq!(bi(1).bits(), 1);
+        assert_eq!(bi(255).bits(), 8);
+        assert_eq!(BigInt::one().shl(64).bits(), 65);
+    }
+
+    #[test]
+    fn to_i64_boundaries() {
+        assert_eq!(bi(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(bi(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(bi(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(bi(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(bi(0).to_f64(), 0.0);
+        assert_eq!(bi(-3).to_f64(), -3.0);
+        let big = BigInt::one().shl(100);
+        assert_eq!(big.to_f64(), 2f64.powi(100));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a as i128) * bi(b as i128), bi(a as i128 * b as i128));
+        }
+
+        #[test]
+        fn div_rem_invariant(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |v| *v != 0)) {
+            let (q, r) = bi(a).div_rem(&bi(b));
+            prop_assert_eq!(&q * &bi(b) + &r, bi(a));
+            prop_assert!(r.abs() < bi(b).abs());
+        }
+
+        #[test]
+        fn ord_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn string_round_trip(a in any::<i128>()) {
+            let v = bi(a);
+            let s = v.to_string();
+            prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
+            prop_assert_eq!(s, a.to_string());
+        }
+
+        #[test]
+        fn big_div_rem_invariant(
+            a in proptest::collection::vec(any::<u64>(), 1..6),
+            b in proptest::collection::vec(any::<u64>(), 1..4),
+            neg_a in any::<bool>(),
+            neg_b in any::<bool>(),
+        ) {
+            let a = BigInt::from_mag(if neg_a { Sign::Minus } else { Sign::Plus }, a);
+            let b = BigInt::from_mag(if neg_b { Sign::Minus } else { Sign::Plus }, b);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&q * &b + &r, a);
+            prop_assert!(r.abs() < b.abs());
+        }
+
+        #[test]
+        fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+            let g = bi(a as i128).gcd(&bi(b as i128));
+            if !g.is_zero() {
+                prop_assert!((bi(a as i128) % &g).is_zero());
+                prop_assert!((bi(b as i128) % &g).is_zero());
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+    }
+}

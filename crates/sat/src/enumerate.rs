@@ -1,0 +1,191 @@
+//! All-models enumeration (the "LSAT mode").
+//!
+//! The paper highlights two routes to obtaining *all* satisfying
+//! assignments (Sec. 4): using a dedicated all-solutions solver such as
+//! LSAT, or — with any single-solution SAT backend — ABsolver's internal
+//! bookkeeping, which repeatedly re-invokes the solver with blocking
+//! clauses "at the expense of the time required for restarting the entire
+//! solving process externally".
+//!
+//! [`ModelIter`] implements the efficient in-process variant: the learnt
+//! clause database and heuristic state survive between successive models,
+//! which is what makes the Sudoku benchmarks fast. The restart-based
+//! variant is provided as [`enumerate_with_restarts`] so the cost
+//! difference can be measured (see the ablation bench in `absolver-bench`).
+
+use crate::{SolveResult, Solver};
+use absolver_logic::{Assignment, Cnf, Var};
+
+/// Iterator over all models of a solver's formula, projected onto a set of
+/// variables.
+///
+/// Each yielded model is blocked before the next search, so every projected
+/// assignment is produced exactly once. Projection matters: blocking on all
+/// variables would enumerate irrelevant don't-care combinations.
+///
+/// ```
+/// use absolver_logic::Var;
+/// use absolver_sat::{ModelIter, Solver};
+///
+/// let mut solver = Solver::new();
+/// solver.add_dimacs_clause(&[1, 2]);
+/// let vars = vec![Var::new(0), Var::new(1)];
+/// let models: Vec<_> = ModelIter::new(&mut solver, vars).collect();
+/// assert_eq!(models.len(), 3); // TT, TF, FT
+/// ```
+#[derive(Debug)]
+pub struct ModelIter<'a> {
+    solver: &'a mut Solver,
+    projection: Vec<Var>,
+    exhausted: bool,
+}
+
+impl<'a> ModelIter<'a> {
+    /// Creates an enumerator over `solver`'s models projected onto
+    /// `projection`.
+    pub fn new(solver: &'a mut Solver, projection: Vec<Var>) -> ModelIter<'a> {
+        ModelIter { solver, projection, exhausted: false }
+    }
+
+    /// Creates an enumerator projecting onto all of the solver's variables.
+    pub fn over_all_vars(solver: &'a mut Solver) -> ModelIter<'a> {
+        let projection = (0..solver.num_vars()).map(|i| Var::new(i as u32)).collect();
+        ModelIter::new(solver, projection)
+    }
+}
+
+impl Iterator for ModelIter<'_> {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        if self.exhausted {
+            return None;
+        }
+        match self.solver.solve() {
+            SolveResult::Sat(model) => {
+                if !self.solver.block_assignment(&model, &self.projection) {
+                    self.exhausted = true;
+                }
+                Some(model)
+            }
+            _ => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+}
+
+/// Enumerates all models of `cnf` projected onto `projection` by restarting
+/// a *fresh* solver for every model — the external-restart strategy the
+/// paper describes for backends that cannot enumerate natively.
+///
+/// Functionally equivalent to [`ModelIter`] but discards all learnt clauses
+/// between models; `max_models` bounds the enumeration.
+pub fn enumerate_with_restarts(
+    cnf: &Cnf,
+    projection: &[Var],
+    max_models: usize,
+) -> Vec<Assignment> {
+    let mut blocked: Vec<Vec<i32>> = Vec::new();
+    let mut models = Vec::new();
+    while models.len() < max_models {
+        // Restart: rebuild the entire solver from scratch.
+        let mut solver = Solver::from_cnf(cnf);
+        for b in &blocked {
+            solver.add_dimacs_clause(b);
+        }
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                let clause: Vec<i32> = projection
+                    .iter()
+                    .filter_map(|&v| {
+                        model.value(v).to_bool().map(|b| {
+                            let d = (v.index() + 1) as i32;
+                            if b {
+                                -d
+                            } else {
+                                d
+                            }
+                        })
+                    })
+                    .collect();
+                if clause.is_empty() {
+                    models.push(model);
+                    break;
+                }
+                blocked.push(clause);
+                models.push(model);
+            }
+            _ => break,
+        }
+    }
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_exactly_projected_models() {
+        // x1 ∨ x2, free x3 — projected onto {x1, x2} there are 3 models.
+        let mut solver = Solver::new();
+        solver.add_dimacs_clause(&[1, 2]);
+        solver.reserve_vars(3);
+        let models: Vec<_> =
+            ModelIter::new(&mut solver, vec![Var::new(0), Var::new(1)]).collect();
+        assert_eq!(models.len(), 3);
+        // All projected models distinct.
+        let mut keys: Vec<(bool, bool)> = models
+            .iter()
+            .map(|m| {
+                (
+                    m.value(Var::new(0)).to_bool().unwrap(),
+                    m.value(Var::new(1)).to_bool().unwrap(),
+                )
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 3);
+        assert!(!keys.contains(&(false, false)));
+    }
+
+    #[test]
+    fn unsat_formula_yields_no_models() {
+        let mut solver = Solver::new();
+        solver.add_dimacs_clause(&[1]);
+        solver.add_dimacs_clause(&[-1]);
+        assert_eq!(ModelIter::over_all_vars(&mut solver).count(), 0);
+    }
+
+    #[test]
+    fn full_projection_counts_all_assignments() {
+        // (x1 ∨ x2 ∨ x3) has 7 models over 3 vars.
+        let mut solver = Solver::new();
+        solver.add_dimacs_clause(&[1, 2, 3]);
+        assert_eq!(ModelIter::over_all_vars(&mut solver).count(), 7);
+    }
+
+    #[test]
+    fn restart_variant_agrees_with_incremental() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[-3, 4]);
+        let projection: Vec<Var> = (0..4).map(Var::new).collect();
+        let restarted = enumerate_with_restarts(&cnf, &projection, usize::MAX);
+        let mut solver = Solver::from_cnf(&cnf);
+        let incremental: Vec<_> = ModelIter::new(&mut solver, projection).collect();
+        assert_eq!(restarted.len(), incremental.len());
+        assert_eq!(restarted.len(), 3 * 3); // (x1∨x2: 3) × (x3→x4: 3)
+    }
+
+    #[test]
+    fn max_models_caps_restart_enumeration() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause(&[1, 2, 3]);
+        let projection: Vec<Var> = (0..3).map(Var::new).collect();
+        assert_eq!(enumerate_with_restarts(&cnf, &projection, 2).len(), 2);
+    }
+}

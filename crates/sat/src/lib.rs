@@ -1,0 +1,372 @@
+//! A CDCL SAT solver with all-models enumeration, the Boolean engine of the
+//! ABsolver constraint-solving library.
+//!
+//! In the paper's architecture, ABsolver delegates the Boolean part of an
+//! AB-problem to a pluggable SAT solver — zChaff for one-model queries, or
+//! LSAT when *all* satisfying assignments are needed (e.g. for the Sudoku
+//! benchmarks and consistency-based diagnosis). This crate provides both
+//! capabilities:
+//!
+//! * [`Solver`] — incremental CDCL search (two-watched literals, first-UIP
+//!   learning, VSIDS, phase saving, Luby restarts, clause-DB reduction).
+//! * [`ModelIter`] / [`enumerate_with_restarts`] — all-models enumeration,
+//!   in-process or via external restarts.
+//! * [`TheoryHook`] — a DPLL(T) attachment point used by the tightly
+//!   integrated baseline solvers.
+//!
+//! ```
+//! use absolver_sat::{SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! solver.add_dimacs_clause(&[1, -2]);
+//! solver.add_dimacs_clause(&[2]);
+//! assert!(solver.solve().is_sat());
+//! solver.add_dimacs_clause(&[-1]);
+//! assert_eq!(solver.solve(), SolveResult::Unsat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enumerate;
+mod solver;
+mod theory;
+
+pub use enumerate::{enumerate_with_restarts, ModelIter};
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use theory::{TheoryHook, TheoryResponse};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_logic::{dimacs, Assignment, Tri, Var};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force satisfiability for cross-checking (≤ 20 variables).
+    fn brute_force_sat(cnf: &absolver_logic::Cnf) -> Option<Assignment> {
+        let n = cnf.num_vars();
+        assert!(n <= 20);
+        for bits in 0..(1u32 << n) {
+            let a = Assignment::from_bools((0..n).map(|i| bits >> i & 1 == 1));
+            if cnf.eval(&a) == Tri::True {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    fn brute_force_count(cnf: &absolver_logic::Cnf) -> usize {
+        let n = cnf.num_vars();
+        (0..(1u32 << n))
+            .filter(|bits| {
+                let a = Assignment::from_bools((0..n).map(|i| bits >> i & 1 == 1));
+                cnf.eval(&a) == Tri::True
+            })
+            .count()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1]);
+        s.add_dimacs_clause(&[-1, 2]);
+        s.add_dimacs_clause(&[-2, 3]);
+        s.add_dimacs_clause(&[-3, 4]);
+        let m = s.solve();
+        let model = m.model().unwrap();
+        for i in 0..4 {
+            assert!(model.value(Var::new(i)).is_true());
+        }
+        assert_eq!(s.stats().decisions, 0);
+    }
+
+    #[test]
+    fn simple_unsat_via_resolution() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2]);
+        s.add_dimacs_clause(&[1, -2]);
+        s.add_dimacs_clause(&[-1, 2]);
+        s.add_dimacs_clause(&[-1, -2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. Vars 1..=6 (i ∈ 0..3, j ∈ 0..2).
+        let v = |i: i32, j: i32| i * 2 + j + 1;
+        let mut s = Solver::new();
+        for i in 0..3 {
+            s.add_dimacs_clause(&[v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_dimacs_clause(&[-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn incremental_strengthening() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2, 3]);
+        assert!(s.solve().is_sat());
+        s.add_dimacs_clause(&[-1]);
+        assert!(s.solve().is_sat());
+        s.add_dimacs_clause(&[-2]);
+        assert!(s.solve().is_sat());
+        s.add_dimacs_clause(&[-3]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once UNSAT, always UNSAT.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.add_dimacs_clause(&[1]));
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard pigeonhole instance with a budget of 1 conflict.
+        let v = |i: i32, j: i32| i * 5 + j + 1;
+        let mut s = Solver::new();
+        for i in 0..6 {
+            let holes: Vec<i32> = (0..5).map(|j| v(i, j)).collect();
+            s.add_dimacs_clause(&holes);
+        }
+        for j in 0..5 {
+            for i1 in 0..6 {
+                for i2 in (i1 + 1)..6 {
+                    s.add_dimacs_clause(&[-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(1);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(u64::MAX);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_original_cnf() {
+        let text = "p cnf 6 7\n1 2 0\n-1 3 0\n-2 4 0\n-3 -4 5 0\n-5 6 0\n1 -6 0\n2 5 0\n";
+        let file = dimacs::parse(text).unwrap();
+        let mut s = Solver::from_cnf(&file.cnf);
+        let result = s.solve();
+        let model = result.model().expect("satisfiable");
+        assert_eq!(file.cnf.eval(model), Tri::True);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0xAB50_1BE5);
+        for round in 0..60 {
+            let n = rng.gen_range(3..10usize);
+            let m = rng.gen_range(1..(4 * n));
+            let mut cnf = absolver_logic::Cnf::new(n);
+            for _ in 0..m {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(1..=n as i32);
+                    lits.push(if rng.gen_bool(0.5) { v } else { -v });
+                }
+                cnf.add_dimacs_clause(&lits);
+            }
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve();
+            let expected = brute_force_sat(&cnf);
+            match (&got, &expected) {
+                (SolveResult::Sat(model), Some(_)) => {
+                    assert_eq!(cnf.eval(model), Tri::True, "round {round}: bogus model");
+                }
+                (SolveResult::Unsat, None) => {}
+                other => panic!("round {round}: solver/brute-force disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn model_counts_agree_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0xC0FF_EE00);
+        for _ in 0..25 {
+            let n = rng.gen_range(2..8usize);
+            let m = rng.gen_range(1..(3 * n));
+            let mut cnf = absolver_logic::Cnf::new(n);
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3usize);
+                let mut lits = Vec::new();
+                for _ in 0..len {
+                    let v = rng.gen_range(1..=n as i32);
+                    lits.push(if rng.gen_bool(0.5) { v } else { -v });
+                }
+                cnf.add_dimacs_clause(&lits);
+            }
+            let expected = brute_force_count(&cnf);
+            let mut s = Solver::from_cnf(&cnf);
+            let got = ModelIter::over_all_vars(&mut s).count();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn theory_hook_vetoes_models() {
+        // Theory: "x1 and x2 must not both be true", expressed only through
+        // the hook. Formula alone: x1 ∨ x2 with x1, x2 free.
+        struct NotBoth;
+        impl TheoryHook for NotBoth {
+            fn on_model(&mut self, a: &Assignment) -> TheoryResponse {
+                if a.value(Var::new(0)).is_true() && a.value(Var::new(1)).is_true() {
+                    TheoryResponse::Conflict(vec![Var::new(0).negative(), Var::new(1).negative()])
+                } else {
+                    TheoryResponse::Ok
+                }
+            }
+        }
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2]);
+        let result = s.solve_with_theory(&mut NotBoth);
+        let model = result.model().unwrap();
+        assert!(
+            !(model.value(Var::new(0)).is_true() && model.value(Var::new(1)).is_true()),
+            "theory constraint violated"
+        );
+    }
+
+    #[test]
+    fn theory_hook_can_force_unsat() {
+        struct RejectAll;
+        impl TheoryHook for RejectAll {
+            fn on_model(&mut self, a: &Assignment) -> TheoryResponse {
+                // Block every model by its full assignment.
+                let clause = a
+                    .iter()
+                    .filter_map(|(v, t)| t.to_bool().map(|b| if b { v.negative() } else { v.positive() }))
+                    .collect();
+                TheoryResponse::Conflict(clause)
+            }
+        }
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2]);
+        s.reserve_vars(2);
+        assert_eq!(s.solve_with_theory(&mut RejectAll), SolveResult::Unsat);
+        assert_eq!(s.stats().theory_conflicts, 3);
+    }
+
+
+    #[test]
+    fn assumptions_basic() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2]);
+        s.add_dimacs_clause(&[-1, 3]);
+        // Assume x1: model must have x1 and x3.
+        let a1 = Var::new(0).positive();
+        match s.solve_under(&[a1]) {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::new(0)).is_true());
+                assert!(m.value(Var::new(2)).is_true());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Assume ¬x1 ∧ ¬x2: contradicts (x1 ∨ x2).
+        let result = s.solve_under(&[Var::new(0).negative(), Var::new(1).negative()]);
+        assert_eq!(result, SolveResult::Unsat);
+        let failed = s.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        assert!(failed.iter().all(|l| l.var().index() <= 1));
+        // The solver itself is still satisfiable afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn failed_assumptions_are_a_real_core() {
+        // x1 → x2, x2 → x3; assume x1 and ¬x3 (conflict), plus an
+        // irrelevant assumption on x4.
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[-1, 2]);
+        s.add_dimacs_clause(&[-2, 3]);
+        s.reserve_vars(4);
+        let assumptions = [
+            Var::new(3).positive(), // irrelevant
+            Var::new(0).positive(),
+            Var::new(2).negative(),
+        ];
+        assert_eq!(s.solve_under(&assumptions), SolveResult::Unsat);
+        let failed = s.failed_assumptions().to_vec();
+        // The core must contain the two genuinely conflicting assumptions;
+        // the irrelevant one may or may not appear (we only guarantee a
+        // subset of the assumptions that is itself unsat).
+        assert!(failed.contains(&Var::new(0).positive()) || failed.contains(&Var::new(2).negative()));
+        // Check the core is unsat as claimed: assert each core literal as
+        // a unit in a fresh solver.
+        let mut fresh = Solver::new();
+        fresh.add_dimacs_clause(&[-1, 2]);
+        fresh.add_dimacs_clause(&[-2, 3]);
+        fresh.reserve_vars(4);
+        for l in &failed {
+            fresh.add_clause(&[*l]);
+        }
+        assert_eq!(fresh.solve(), SolveResult::Unsat, "core {failed:?} must be unsat");
+    }
+
+    #[test]
+    fn assumptions_respect_unsat_formula() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1]);
+        s.add_dimacs_clause(&[-1]);
+        assert_eq!(s.solve_under(&[Var::new(0).positive()]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn repeated_assumption_queries_are_independent() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2, 3]);
+        for i in 0..3u32 {
+            let lit = Var::new(i).positive();
+            match s.solve_under(&[lit]) {
+                SolveResult::Sat(m) => assert!(m.value(Var::new(i)).is_true()),
+                other => panic!("{other:?}"),
+            }
+        }
+        // All-negative assumptions contradict the clause.
+        let all_neg: Vec<_> = (0..3).map(|i| Var::new(i).negative()).collect();
+        assert_eq!(s.solve_under(&all_neg), SolveResult::Unsat);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn never_returns_wrong_model(
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((1i32..=8, any::<bool>()), 1..4),
+                1..30,
+            )
+        ) {
+            let mut cnf = absolver_logic::Cnf::new(8);
+            for c in &clauses {
+                let lits: Vec<i32> = c.iter().map(|&(v, neg)| if neg { -v } else { v }).collect();
+                cnf.add_dimacs_clause(&lits);
+            }
+            let mut s = Solver::from_cnf(&cnf);
+            match s.solve() {
+                SolveResult::Sat(model) => prop_assert_eq!(cnf.eval(&model), Tri::True),
+                SolveResult::Unsat => prop_assert!(brute_force_sat(&cnf).is_none()),
+                SolveResult::Unknown => prop_assert!(false, "no budget set"),
+            }
+        }
+    }
+}

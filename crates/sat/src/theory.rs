@@ -1,0 +1,48 @@
+//! DPLL(T)-style theory hook.
+//!
+//! ABsolver itself couples SAT and theory solvers *loosely*, through its
+//! orchestrating control loop. The baselines it is compared against
+//! (MathSAT, CVC Lite) couple them *tightly*: the theory checker runs inside
+//! the Boolean search. [`TheoryHook`] is the small interface that enables
+//! the latter style on top of [`crate::Solver`], so the reproduction can
+//! measure both architectures (Tables 2 and 3 of the paper).
+
+use absolver_logic::{Assignment, Lit};
+
+/// Response of a theory check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TheoryResponse {
+    /// The assignment is theory-consistent (so far).
+    Ok,
+    /// The assignment is theory-inconsistent; the clause must be added to
+    /// the Boolean formula. It should be falsified by the current
+    /// assignment, and typically encodes the negation of an inconsistent
+    /// subset of theory atoms.
+    Conflict(Vec<Lit>),
+}
+
+/// A theory checker attached to the CDCL search.
+pub trait TheoryHook {
+    /// Whether [`TheoryHook::on_fixpoint`] should be called at every unit
+    /// propagation fixpoint (early pruning). When `false`, only total models
+    /// are checked.
+    fn wants_fixpoint_checks(&self) -> bool {
+        false
+    }
+
+    /// Called at a unit-propagation fixpoint with the current (typically
+    /// partial) assignment.
+    fn on_fixpoint(&mut self, _assignment: &Assignment) -> TheoryResponse {
+        TheoryResponse::Ok
+    }
+
+    /// Called with a total Boolean model before the solver declares SAT.
+    fn on_model(&mut self, assignment: &Assignment) -> TheoryResponse;
+}
+
+/// The trivial theory: accepts everything (plain SAT solving).
+impl TheoryHook for () {
+    fn on_model(&mut self, _assignment: &Assignment) -> TheoryResponse {
+        TheoryResponse::Ok
+    }
+}

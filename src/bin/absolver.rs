@@ -1,0 +1,223 @@
+//! The stand-alone ABsolver executable (paper Sec. 4/6).
+//!
+//! "ABsolver can be used as a stand-alone tool with its intuitive-to-use
+//! input language for specifying multi-domain constraint problems" — this
+//! binary reads the extended DIMACS format from a file (or stdin), runs
+//! the control loop, and prints the verdict plus a model. "The various
+//! constituents of our solver are customisable via command line
+//! parameters":
+//!
+//! ```text
+//! absolver [OPTIONS] [FILE]
+//!
+//!   FILE                     input in extended DIMACS (default: stdin)
+//!   --boolean cdcl|restart   Boolean backend        (default: cdcl)
+//!   --nonlinear cascade|interval|penalty
+//!                            nonlinear backend      (default: cascade)
+//!   --no-minimize            disable conflict-core minimisation
+//!   --all-models N           enumerate up to N models
+//!   --time-limit SECS        wall-clock budget
+//!   --stats                  print solver statistics
+//!   --quiet                  verdict only (exit code 10 = sat, 20 = unsat)
+//! ```
+
+use absolver::core::{
+    AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear, Orchestrator,
+    OrchestratorOptions, Outcome, PenaltyNonlinear, RestartingBoolean, SimplexLinear,
+};
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Config {
+    file: Option<String>,
+    boolean: String,
+    nonlinear: String,
+    minimize: bool,
+    all_models: Option<usize>,
+    time_limit: Option<Duration>,
+    stats: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: absolver [--boolean cdcl|restart] [--nonlinear cascade|interval|penalty]\n\
+         \x20               [--no-minimize] [--all-models N] [--time-limit SECS]\n\
+         \x20               [--stats] [--quiet] [FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        file: None,
+        boolean: "cdcl".to_string(),
+        nonlinear: "cascade".to_string(),
+        minimize: true,
+        all_models: None,
+        time_limit: None,
+        stats: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--boolean" => config.boolean = args.next().unwrap_or_else(|| usage()),
+            "--nonlinear" => config.nonlinear = args.next().unwrap_or_else(|| usage()),
+            "--no-minimize" => config.minimize = false,
+            "--all-models" => {
+                let n = args.next().and_then(|v| v.parse().ok());
+                config.all_models = Some(n.unwrap_or_else(|| usage()));
+            }
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                config.time_limit = Some(Duration::from_secs(secs));
+            }
+            "--stats" => config.stats = true,
+            "--quiet" => config.quiet = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            file => {
+                if config.file.replace(file.to_string()).is_some() {
+                    eprintln!("multiple input files");
+                    usage();
+                }
+            }
+        }
+    }
+    config
+}
+
+fn build_orchestrator(config: &Config) -> Orchestrator {
+    let boolean: Box<dyn absolver::core::BooleanSolver> = match config.boolean.as_str() {
+        "cdcl" => Box::new(CdclBoolean::new()),
+        "restart" => Box::new(RestartingBoolean::new()),
+        other => {
+            eprintln!("unknown Boolean backend `{other}`");
+            usage();
+        }
+    };
+    let linear = if config.minimize {
+        SimplexLinear::new()
+    } else {
+        SimplexLinear::without_minimization()
+    };
+    let mut orc = Orchestrator::custom(boolean).with_linear(Box::new(linear));
+    orc = match config.nonlinear.as_str() {
+        "cascade" => orc.with_nonlinear(Box::new(CascadeNonlinear::default())),
+        "interval" => orc.with_nonlinear(Box::new(IntervalNonlinear::default())),
+        "penalty" => orc.with_nonlinear(Box::new(PenaltyNonlinear::default())),
+        other => {
+            eprintln!("unknown nonlinear backend `{other}`");
+            usage();
+        }
+    };
+    let mut options = OrchestratorOptions::default();
+    options.time_limit = config.time_limit;
+    orc.with_options(options)
+}
+
+fn print_model(problem: &AbProblem, model: &absolver::core::AbModel) {
+    for (id, var) in problem.arith_vars().iter().enumerate() {
+        match model.arith.value_exact(id) {
+            Some(exact) => println!("v {} = {}", var.name, exact),
+            None => println!(
+                "v {} = {}",
+                var.name,
+                model.arith.value_f64(id).unwrap_or(f64::NAN)
+            ),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let mut text = String::new();
+    match &config.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => text = t,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            if std::io::stdin().read_to_string(&mut text).is_err() {
+                eprintln!("cannot read stdin");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let problem: AbProblem = match text.parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut orc = build_orchestrator(&config);
+
+    if let Some(max) = config.all_models {
+        match orc.solve_all(&problem, max) {
+            Ok(models) => {
+                if !config.quiet {
+                    println!("c {} model(s)", models.len());
+                    for (i, m) in models.iter().enumerate() {
+                        println!("c model {}", i + 1);
+                        print_model(&problem, m);
+                    }
+                }
+                if config.stats {
+                    eprintln!("c stats: {}", orc.stats());
+                }
+                return if models.is_empty() {
+                    println!("s UNSATISFIABLE");
+                    ExitCode::from(20)
+                } else {
+                    println!("s SATISFIABLE");
+                    ExitCode::from(10)
+                };
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcome = match orc.solve(&problem) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if config.stats {
+        eprintln!("c stats: {}", orc.stats());
+    }
+    match outcome {
+        Outcome::Sat(model) => {
+            println!("s SATISFIABLE");
+            if !config.quiet {
+                print_model(&problem, &model);
+            }
+            ExitCode::from(10)
+        }
+        Outcome::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        Outcome::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::SUCCESS
+        }
+    }
+}

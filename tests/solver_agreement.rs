@@ -1,0 +1,151 @@
+//! Differential testing: ABsolver's loose control loop, the tight DPLL(T)
+//! baseline, the eager baseline, and a brute-force grid oracle must agree
+//! on random Boolean-linear problems.
+
+use absolver::baselines::{BaselineVerdict, CvcLike, MathSatLike};
+use absolver::core::{AbProblem, Orchestrator, VarKind};
+use absolver::linear::CmpOp;
+use absolver::logic::{Assignment, Tri};
+use absolver::nonlinear::Expr;
+use absolver::num::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random Boolean-linear AB-problem over `n_arith` integer
+/// variables (integers so a finite grid oracle is complete on bounded
+/// ranges).
+fn random_problem(rng: &mut StdRng) -> AbProblem {
+    let mut b = AbProblem::builder();
+    let n_arith = rng.gen_range(1..=2usize);
+    let vars: Vec<usize> = (0..n_arith)
+        .map(|i| b.arith_var(&format!("v{i}"), VarKind::Int))
+        .collect();
+    // Hard range so the grid oracle is complete.
+    let atoms: Vec<_> = {
+        let mut atoms = Vec::new();
+        for &v in &vars {
+            let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3));
+            b.require(lo.positive());
+            let hi = b.atom(Expr::var(v), CmpOp::Le, Rational::from_int(3));
+            b.require(hi.positive());
+        }
+        for _ in 0..rng.gen_range(1..5usize) {
+            let v1 = vars[rng.gen_range(0..vars.len())];
+            let v2 = vars[rng.gen_range(0..vars.len())];
+            let k1 = rng.gen_range(-2i64..=2);
+            let k2 = rng.gen_range(-2i64..=2);
+            let rhs = rng.gen_range(-4i64..=4);
+            let op = match rng.gen_range(0..5) {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Le,
+                2 => CmpOp::Gt,
+                3 => CmpOp::Ge,
+                _ => CmpOp::Eq,
+            };
+            atoms.push(b.atom(
+                Expr::int(k1) * Expr::var(v1) + Expr::int(k2) * Expr::var(v2),
+                op,
+                Rational::from_int(rhs),
+            ));
+        }
+        atoms
+    };
+    for _ in 0..rng.gen_range(1..4usize) {
+        let len = rng.gen_range(1..=2usize);
+        let lits: Vec<_> = (0..len)
+            .map(|_| {
+                let a = atoms[rng.gen_range(0..atoms.len())];
+                if rng.gen_bool(0.5) {
+                    a.positive()
+                } else {
+                    a.negative()
+                }
+            })
+            .collect();
+        b.add_clause(lits);
+    }
+    b.build()
+}
+
+/// Complete oracle: tries every integer grid point in [-3, 3]^n against
+/// every Boolean assignment consistency requirement.
+fn grid_oracle(problem: &AbProblem) -> bool {
+    let n = problem.arith_vars().len();
+    let num_bool = problem.cnf().num_vars();
+    assert!(n <= 2 && num_bool <= 16, "oracle limits");
+    let points: Vec<Vec<f64>> = if n == 1 {
+        (-3..=3).map(|x| vec![x as f64]).collect()
+    } else {
+        (-3..=3)
+            .flat_map(|x| (-3..=3).map(move |y| vec![x as f64, y as f64]))
+            .collect()
+    };
+    for point in &points {
+        'bools: for bits in 0u32..(1 << num_bool) {
+            let assignment = Assignment::from_bools((0..num_bool).map(|i| bits >> i & 1 == 1));
+            if problem.cnf().eval(&assignment) != Tri::True {
+                continue;
+            }
+            for (var, def) in problem.defs() {
+                let want = assignment.value(var) == Tri::True;
+                let all_hold = def.constraints.iter().all(|c| c.eval(point));
+                if all_hold != want {
+                    continue 'bools;
+                }
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn four_way_agreement_on_random_problems() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_7E57);
+    for round in 0..40 {
+        let problem = random_problem(&mut rng);
+        let expected = grid_oracle(&problem);
+
+        let mut orc = Orchestrator::with_defaults();
+        let loose = orc.solve(&problem).unwrap();
+        match (expected, &loose) {
+            (true, o) => {
+                assert!(o.is_sat(), "round {round}: oracle sat, ABsolver {o:?}");
+                assert!(
+                    o.model().unwrap().satisfies(&problem, 1e-9),
+                    "round {round}: invalid model"
+                );
+            }
+            (false, o) => assert!(o.is_unsat(), "round {round}: oracle unsat, ABsolver {o:?}"),
+        }
+
+        let tight = MathSatLike::new().solve(&problem);
+        match (expected, &tight.verdict) {
+            (true, BaselineVerdict::Sat(m)) => {
+                assert!(m.satisfies(&problem, 1e-9), "round {round}: tight model invalid")
+            }
+            (false, BaselineVerdict::Unsat) => {}
+            other => panic!("round {round}: tight disagrees: {other:?}"),
+        }
+
+        let eager = CvcLike::new().solve(&problem);
+        match (expected, &eager.verdict) {
+            (true, BaselineVerdict::Sat(_)) | (false, BaselineVerdict::Unsat) => {}
+            other => panic!("round {round}: eager disagrees: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn integer_semantics_cross_check() {
+    // 2x = 1 over ints: everyone says UNSAT; over reals: everyone SAT.
+    let int_text = "p cnf 1 1\n1 0\nc def int 1 2 * x = 1\n";
+    let real_text = "p cnf 1 1\n1 0\nc def real 1 2 * x = 1\n";
+    let int_p: AbProblem = int_text.parse().unwrap();
+    let real_p: AbProblem = real_text.parse().unwrap();
+    let mut orc = Orchestrator::with_defaults();
+    assert!(orc.solve(&int_p).unwrap().is_unsat());
+    assert!(orc.solve(&real_p).unwrap().is_sat());
+    assert_eq!(MathSatLike::new().solve(&int_p).verdict, BaselineVerdict::Unsat);
+    assert!(MathSatLike::new().solve(&real_p).verdict.is_sat());
+}
