@@ -383,9 +383,8 @@ mod tests {
 
     #[test]
     fn agrees_with_orchestrator_on_random_linear_problems() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x7167_B00C);
+        use absolver_testkit::{Rng, TestRng};
+        let mut rng = TestRng::seed_from_u64(0x7167_B00C);
         for round in 0..30 {
             let mut b = AbProblem::builder();
             let n_vars = rng.gen_range(1..3usize);

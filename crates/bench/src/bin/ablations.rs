@@ -21,9 +21,7 @@ use absolver_core::{
 use std::time::{Duration, Instant};
 
 fn options(timeout: Duration) -> OrchestratorOptions {
-    let mut o = OrchestratorOptions::default();
-    o.time_limit = Some(timeout);
-    o
+    OrchestratorOptions { time_limit: Some(timeout), ..Default::default() }
 }
 
 fn main() {
@@ -36,10 +34,8 @@ fn main() {
     let fischer_instance = fischer(6);
     let (mut puzzle, _) = generate(2006, Difficulty::Easy);
     // Blank a full band to give the puzzle many solutions.
-    for r in 0..3 {
-        for c in 0..9 {
-            puzzle[r][c] = 0;
-        }
+    for row in puzzle.iter_mut().take(3) {
+        row.fill(0);
     }
     let sudoku_instance = encode_mixed(&puzzle);
     let mut rows = Vec::new();

@@ -20,7 +20,7 @@ impl Measurement {
     pub fn cell(&self) -> String {
         match self.verdict.as_str() {
             "sat" | "unsat" => format_duration(self.elapsed),
-            other => format!("{other}"),
+            other => other.to_string(),
         }
     }
 }
@@ -35,8 +35,7 @@ pub fn format_duration(d: Duration) -> String {
 
 /// Runs ABsolver (the default orchestrator stack) on a problem.
 pub fn run_absolver(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
-    let mut options = OrchestratorOptions::default();
-    options.time_limit = time_limit;
+    let options = OrchestratorOptions { time_limit, ..Default::default() };
     let mut orc = Orchestrator::with_defaults().with_options(options);
     let outcome = orc.solve(problem);
     let stats = orc.stats();

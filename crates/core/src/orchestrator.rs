@@ -609,8 +609,7 @@ c range y -10 10
     fn iteration_limit_errors() {
         let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
         let problem: AbProblem = text.parse().unwrap();
-        let mut opts = OrchestratorOptions::default();
-        opts.max_iterations = 0;
+        let opts = OrchestratorOptions { max_iterations: 0, ..Default::default() };
         let mut orc = Orchestrator::with_defaults().with_options(opts);
         assert_eq!(orc.solve(&problem), Err(SolveError::IterationLimit(0)));
     }
@@ -633,8 +632,7 @@ mod time_limit_tests {
     #[test]
     fn zero_time_limit_returns_unknown() {
         let problem: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
-        let mut opts = OrchestratorOptions::default();
-        opts.time_limit = Some(Duration::ZERO);
+        let opts = OrchestratorOptions { time_limit: Some(Duration::ZERO), ..Default::default() };
         let mut orc = Orchestrator::with_defaults().with_options(opts);
         assert_eq!(orc.solve(&problem).unwrap(), Outcome::Unknown);
         assert!(orc.stats().timed_out);
@@ -643,8 +641,8 @@ mod time_limit_tests {
     #[test]
     fn generous_time_limit_does_not_interfere() {
         let problem: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
-        let mut opts = OrchestratorOptions::default();
-        opts.time_limit = Some(Duration::from_secs(3600));
+        let opts =
+            OrchestratorOptions { time_limit: Some(Duration::from_secs(3600)), ..Default::default() };
         let mut orc = Orchestrator::with_defaults().with_options(opts);
         assert!(orc.solve(&problem).unwrap().is_sat());
         assert!(!orc.stats().timed_out);

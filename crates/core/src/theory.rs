@@ -242,8 +242,8 @@ fn rec_linear(
 
     // Integrality: branch on the first int-typed variable with a
     // fractional value.
-    for v in 0..ctx.num_vars {
-        if ctx.kinds[v] == VarKind::Int && !model[v].is_integer() {
+    for (v, kind) in ctx.kinds.iter().enumerate() {
+        if *kind == VarKind::Int && !model[v].is_integer() {
             let below = LinearConstraint::new(
                 LinExpr::var(v),
                 CmpOp::Le,
@@ -372,8 +372,8 @@ fn rec_nonlinear(
         NlVerdict::Unknown => TheoryVerdict::Unknown,
         NlVerdict::Sat(witness) => {
             // Integer variables must come out (near-)integral on this path.
-            for v in 0..ctx.num_vars {
-                if ctx.kinds[v] == VarKind::Int {
+            for (v, kind) in ctx.kinds.iter().enumerate() {
+                if *kind == VarKind::Int {
                     let rounded = witness[v].round();
                     if (witness[v] - rounded).abs() > 1e-6 {
                         return TheoryVerdict::Unknown;

@@ -53,47 +53,118 @@ pub use simplex::{check_conjunction, CheckResult, ConstraintId, Feasibility, Sim
 mod proptests {
     use super::*;
     use absolver_num::Rational;
-    use proptest::prelude::*;
+    use absolver_testkit::{gen, property, Gen};
 
-    fn constraint_strategy(num_vars: usize) -> impl Strategy<Value = LinearConstraint> {
-        let term = (0..num_vars, -4i64..=4).prop_map(|(v, k)| (v, Rational::from_int(k)));
-        (
-            proptest::collection::vec(term, 1..4),
-            prop_oneof![
-                Just(CmpOp::Lt),
-                Just(CmpOp::Le),
-                Just(CmpOp::Gt),
-                Just(CmpOp::Ge),
-                Just(CmpOp::Eq),
-            ],
-            -6i64..=6,
-        )
-            .prop_map(|(terms, op, rhs)| {
-                LinearConstraint::new(LinExpr::from_terms(terms), op, Rational::from_int(rhs))
-            })
+    fn constraint_gen(num_vars: usize) -> Gen<LinearConstraint> {
+        let var = gen::ints(0..num_vars);
+        let coeff = gen::ints(-4i64..=4);
+        let term = Gen::new(move |src| (var.generate(src), Rational::from_int(coeff.generate(src))));
+        let terms = gen::vec_of(term, 1..4);
+        let op = gen::from_slice(&[CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt, CmpOp::Eq]);
+        let rhs = gen::ints(-6i64..=6);
+        Gen::new(move |src| {
+            LinearConstraint::new(
+                LinExpr::from_terms(terms.generate(src)),
+                op.generate(src),
+                Rational::from_int(rhs.generate(src)),
+            )
+        })
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+    /// Historical counterexample (from the proptest era): a single
+    /// strict constraint `-2*x0 < -1` whose supremum of the objective
+    /// `-x0` is approached but never attained; the Q_delta optimum must
+    /// still dominate every feasible grid point.
+    #[test]
+    fn regression_strict_bound_supremum() {
+        let cs = vec![LinearConstraint::new(
+            LinExpr::from_terms([(0usize, Rational::from_int(-2))]),
+            CmpOp::Lt,
+            Rational::from_int(-1),
+        )];
+        check_optimum_dominates_grid(&cs, -1, 0);
+    }
+
+    /// Body of `optimum_dominates_grid`, shared with its regression test.
+    fn check_optimum_dominates_grid(cs: &[LinearConstraint], c0: i64, c1: i64) {
+        // Box the variables so the LP is bounded.
+        let mut all = cs.to_vec();
+        for v in 0..2 {
+            all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::from_int(-8)));
+            all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Le, Rational::from_int(8)));
+        }
+        let objective = LinExpr::from_terms([
+            (0usize, Rational::from_int(c0)),
+            (1usize, Rational::from_int(c1)),
+        ]);
+        let mut s = Simplex::with_vars(2);
+        let mut feasible_input = true;
+        for c in &all {
+            if s.assert_constraint(c).is_err() {
+                feasible_input = false;
+                break;
+            }
+        }
+        absolver_testkit::assume!(feasible_input);
+        match s.maximize(&objective) {
+            OptOutcome::Optimal { value, model } => {
+                // The witness is feasible.
+                for c in &all {
+                    assert!(c.eval(&model), "witness violates {c}");
+                }
+                // The optimum (in Q_δ — a supremum may only be
+                // approached when a strict bound binds) dominates every
+                // feasible grid point.
+                for x in -8..=8i64 {
+                    for y in -8..=8i64 {
+                        let point = vec![Rational::from_int(x), Rational::from_int(y)];
+                        if all.iter().all(|c| c.eval(&point)) {
+                            let at_point = QDelta::real(objective.eval(&point));
+                            assert!(
+                                at_point <= value,
+                                "grid point ({x},{y}) beats the optimum: {at_point} > {value}"
+                            );
+                        }
+                    }
+                }
+            }
+            OptOutcome::Infeasible(_) => {
+                // Then no grid point may be feasible... only sound if the
+                // region truly is empty; check a coarse grid.
+                for x in -8..=8i64 {
+                    for y in -8..=8i64 {
+                        let point = vec![Rational::from_int(x), Rational::from_int(y)];
+                        assert!(
+                            !all.iter().all(|c| c.eval(&point)),
+                            "infeasible verdict but ({x},{y}) is feasible"
+                        );
+                    }
+                }
+            }
+            OptOutcome::Unbounded => panic!("boxed LP cannot be unbounded"),
+            OptOutcome::Budget => panic!("tiny LP cannot exhaust the budget"),
+        }
+    }
+
+    property! {
+        #![cases = 128]
 
         /// Feasible verdicts must come with a genuinely satisfying witness.
-        #[test]
-        fn witnesses_are_sound(cs in proptest::collection::vec(constraint_strategy(3), 1..8)) {
+        fn witnesses_are_sound(cs in gen::vec_of(constraint_gen(3), 1..8)) {
             if let Feasibility::Feasible(model) = check_conjunction(&cs) {
                 for c in &cs {
-                    prop_assert!(c.eval(&model), "constraint {c} violated by witness {model:?}");
+                    assert!(c.eval(&model), "constraint {c} violated by witness {model:?}");
                 }
             }
         }
 
         /// Conflict certificates must themselves be infeasible sets.
-        #[test]
-        fn conflicts_are_sound(cs in proptest::collection::vec(constraint_strategy(3), 1..8)) {
+        fn conflicts_are_sound(cs in gen::vec_of(constraint_gen(3), 1..8)) {
             if let Feasibility::Infeasible(core) = check_conjunction(&cs) {
-                prop_assert!(!core.is_empty());
+                assert!(!core.is_empty());
                 let subset: Vec<LinearConstraint> =
                     core.iter().map(|&i| cs[i].clone()).collect();
-                prop_assert!(
+                assert!(
                     !check_conjunction(&subset).is_feasible(),
                     "certificate {core:?} is feasible on its own"
                 );
@@ -101,11 +172,10 @@ mod proptests {
         }
 
         /// The deletion filter agrees with the base check and is irredundant.
-        #[test]
-        fn minimal_cores_are_minimal(cs in proptest::collection::vec(constraint_strategy(2), 1..6)) {
+        fn minimal_cores_are_minimal(cs in gen::vec_of(constraint_gen(2), 1..6)) {
             match (check_conjunction(&cs).is_feasible(), minimal_infeasible_subset(&cs)) {
-                (true, found) => prop_assert_eq!(found, None),
-                (false, None) => prop_assert!(false, "verdicts disagree"),
+                (true, found) => assert_eq!(found, None),
+                (false, None) => panic!("verdicts disagree"),
                 (false, Some(core)) => {
                     for skip in 0..core.len() {
                         let without: Vec<LinearConstraint> = core
@@ -114,7 +184,7 @@ mod proptests {
                             .filter(|&(k, _)| k != skip)
                             .map(|(_, &i)| cs[i].clone())
                             .collect();
-                        prop_assert!(check_conjunction(&without).is_feasible());
+                        assert!(check_conjunction(&without).is_feasible());
                     }
                 }
             }
@@ -123,75 +193,17 @@ mod proptests {
 
         /// LP optimisation dominates every feasible grid point, and the
         /// optimum is itself attained by a feasible witness.
-        #[test]
         fn optimum_dominates_grid(
-            cs in proptest::collection::vec(constraint_strategy(2), 0..5),
-            c0 in -3i64..=3,
-            c1 in -3i64..=3,
+            cs in gen::vec_of(constraint_gen(2), 0..5),
+            c0 in gen::ints(-3i64..=3),
+            c1 in gen::ints(-3i64..=3),
         ) {
-            // Box the variables so the LP is bounded.
-            let mut all = cs.clone();
-            for v in 0..2 {
-                all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::from_int(-8)));
-                all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Le, Rational::from_int(8)));
-            }
-            let objective = LinExpr::from_terms([
-                (0usize, Rational::from_int(c0)),
-                (1usize, Rational::from_int(c1)),
-            ]);
-            let mut s = Simplex::with_vars(2);
-            let mut feasible_input = true;
-            for c in &all {
-                if s.assert_constraint(c).is_err() {
-                    feasible_input = false;
-                    break;
-                }
-            }
-            prop_assume!(feasible_input);
-            match s.maximize(&objective) {
-                OptOutcome::Optimal { value, model } => {
-                    // The witness is feasible.
-                    for c in &all {
-                        prop_assert!(c.eval(&model), "witness violates {c}");
-                    }
-                    // The optimum (in Q_δ — a supremum may only be
-                    // approached when a strict bound binds) dominates every
-                    // feasible grid point.
-                    for x in -8..=8i64 {
-                        for y in -8..=8i64 {
-                            let point = vec![Rational::from_int(x), Rational::from_int(y)];
-                            if all.iter().all(|c| c.eval(&point)) {
-                                let at_point = QDelta::real(objective.eval(&point));
-                                prop_assert!(
-                                    at_point <= value,
-                                    "grid point ({x},{y}) beats the optimum: {at_point} > {value}"
-                                );
-                            }
-                        }
-                    }
-                }
-                OptOutcome::Infeasible(_) => {
-                    // Then no grid point may be feasible... only sound if the
-                    // region truly is empty; check a coarse grid.
-                    for x in -8..=8i64 {
-                        for y in -8..=8i64 {
-                            let point = vec![Rational::from_int(x), Rational::from_int(y)];
-                            prop_assert!(
-                                !all.iter().all(|c| c.eval(&point)),
-                                "infeasible verdict but ({x},{y}) is feasible"
-                            );
-                        }
-                    }
-                }
-                OptOutcome::Unbounded => prop_assert!(false, "boxed LP cannot be unbounded"),
-                OptOutcome::Budget => prop_assert!(false, "tiny LP cannot exhaust the budget"),
-            }
+            check_optimum_dominates_grid(&cs, c0, c1);
         }
 
         /// Rational-grid ground truth: brute-force a small grid; if any grid
         /// point satisfies everything, the solver must say feasible.
-        #[test]
-        fn grid_completeness(cs in proptest::collection::vec(constraint_strategy(2), 1..6)) {
+        fn grid_completeness(cs in gen::vec_of(constraint_gen(2), 1..6)) {
             let mut grid_sat = false;
             'outer: for x in -8..=8i64 {
                 for y in -8..=8i64 {
@@ -203,7 +215,7 @@ mod proptests {
                 }
             }
             if grid_sat {
-                prop_assert!(check_conjunction(&cs).is_feasible());
+                assert!(check_conjunction(&cs).is_feasible());
             }
         }
     }

@@ -77,9 +77,9 @@ impl Simplex {
             for (v, k) in reduced.terms() {
                 let want_increase = k.is_positive() == maximize;
                 let movable = if want_increase {
-                    self.upper_of(*v).map_or(true, |u| self.value_of(*v) < u)
+                    self.upper_of(*v).is_none_or(|u| self.value_of(*v) < u)
                 } else {
-                    self.lower_of(*v).map_or(true, |l| self.value_of(*v) > l)
+                    self.lower_of(*v).is_none_or(|l| self.value_of(*v) > l)
                 };
                 if !k.is_zero() && movable {
                     entering = Some((*v, want_increase));

@@ -325,18 +325,17 @@ impl Simplex {
                 let x = row.basic;
                 if let Some(l) = &self.lower[x] {
                     if self.value[x] < l.value {
-                        if violating.map_or(true, |(v, _)| x < v) {
+                        if violating.is_none_or(|(v, _)| x < v) {
                             violating = Some((x, true));
                         }
                         continue;
                     }
                 }
                 if let Some(u) = &self.upper[x] {
-                    if self.value[x] > u.value {
-                        if violating.map_or(true, |(v, _)| x < v) {
+                    if self.value[x] > u.value
+                        && violating.is_none_or(|(v, _)| x < v) {
                             violating = Some((x, false));
                         }
-                    }
                 }
             }
             let Some((xi, below)) = violating else {
@@ -350,10 +349,10 @@ impl Simplex {
             for (xj, a) in row_expr.terms() {
                 let can_increase = self.upper[*xj]
                     .as_ref()
-                    .map_or(true, |u| self.value[*xj] < u.value);
+                    .is_none_or(|u| self.value[*xj] < u.value);
                 let can_decrease = self.lower[*xj]
                     .as_ref()
-                    .map_or(true, |l| self.value[*xj] > l.value);
+                    .is_none_or(|l| self.value[*xj] > l.value);
                 // To raise xi (below lower): need a>0 and xj can increase, or
                 // a<0 and xj can decrease. Mirror-image to lower xi.
                 let ok = if below {
@@ -510,7 +509,7 @@ impl Simplex {
             Basic(VarId, Rational),
         }
         let mut best: Option<(QDelta, Blocker)> = None;
-        let mut consider = |delta: QDelta, blocker: Blocker, best: &mut Option<(QDelta, Blocker)>| {
+        let consider = |delta: QDelta, blocker: Blocker, best: &mut Option<(QDelta, Blocker)>| {
             let replace = match best {
                 None => true,
                 Some((cur, cur_blocker)) => {
@@ -790,7 +789,7 @@ mod tests {
         // 0 ≤ 1 holds; 0 ≥ 1 conflicts alone.
         let ok = LinearConstraint::new(LinExpr::zero(), CmpOp::Le, q(1));
         let bad = LinearConstraint::new(LinExpr::zero(), CmpOp::Ge, q(1));
-        assert!(check_conjunction(&[ok.clone()]).is_feasible());
+        assert!(check_conjunction(std::slice::from_ref(&ok)).is_feasible());
         assert_eq!(
             check_conjunction(&[ok, bad]),
             Feasibility::Infeasible(vec![1])

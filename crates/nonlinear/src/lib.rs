@@ -51,27 +51,44 @@ mod proptests {
     use super::*;
     use absolver_linear::CmpOp;
     use absolver_num::{Interval, Rational};
-    use proptest::prelude::*;
+    use absolver_testkit::{gen, property, Gen};
 
-    /// Random polynomial-ish expressions over 2 variables.
-    fn expr_strategy() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            (-5i64..=5).prop_map(Expr::int),
-            (0usize..2).prop_map(Expr::var),
-        ];
-        leaf.prop_recursive(3, 24, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
-                inner.clone().prop_map(|a| -a),
-                (inner.clone(), 0i32..4).prop_map(|(a, n)| a.pow(n)),
-                inner.clone().prop_map(Expr::sin),
-                inner.clone().prop_map(Expr::cos),
-                inner.clone().prop_map(Expr::abs),
-            ]
-        })
+    /// Random polynomial-ish expressions over 2 variables, at most
+    /// `depth` operator levels deep.
+    fn expr_gen(depth: u32) -> Gen<Expr> {
+        let leaf = gen::one_of(vec![
+            gen::ints(-5i64..=5).map(Expr::int),
+            gen::ints(0usize..2).map(Expr::var),
+        ]);
+        if depth == 0 {
+            return leaf;
+        }
+        let inner = expr_gen(depth - 1);
+        let binop = |f: fn(Expr, Expr) -> Expr| {
+            let inner = inner.clone();
+            Gen::new(move |src| f(inner.generate(src), inner.generate(src)))
+        };
+        let pow = {
+            let inner = inner.clone();
+            let n = gen::ints(0i32..4);
+            Gen::new(move |src| inner.generate(src).pow(n.generate(src)))
+        };
+        gen::one_of(vec![
+            leaf,
+            binop(|a, b| a + b),
+            binop(|a, b| a - b),
+            binop(|a, b| a * b),
+            binop(|a, b| a / b),
+            inner.clone().map(|a| -a),
+            pow,
+            inner.clone().map(Expr::sin),
+            inner.clone().map(Expr::cos),
+            inner.map(Expr::abs),
+        ])
+    }
+
+    fn expr_strategy() -> Gen<Expr> {
+        expr_gen(3)
     }
 
     /// Real-definedness: every subexpression evaluates to a finite value
@@ -96,39 +113,63 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
+    /// Body of `interval_encloses_points`, shared with the regression
+    /// tests below.
+    fn check_interval_encloses_point(e: &Expr, tx: f64, ty: f64) {
+        let bx = [Interval::new(-3.0, 2.0), Interval::new(0.5, 4.0)];
+        let px = -3.0 + tx * 5.0;
+        let py = 0.5 + ty * 3.5;
+        if real_defined(e, &[px, py]) {
+            let v = e.eval_f64(&[px, py]);
+            let iv = e.eval_interval(&bx);
+            assert!(iv.contains(v), "{v} escaped {iv} for {e}");
+        }
+    }
+
+    /// Historical counterexample (from the proptest era): cos of a
+    /// division used to lose enclosure tightness near the period
+    /// boundary.
+    #[test]
+    fn regression_cos_of_division_enclosure() {
+        let e = Expr::cos(Expr::var(0) / Expr::int(-2));
+        check_interval_encloses_point(&e, 0.7366688729558212, 0.0);
+    }
+
+    /// Historical counterexample (from the proptest era): IEEE floats
+    /// "recover" from the undefined subterm in `0 / (1/0)`, evaluating
+    /// to 0, while real (and interval) arithmetic says undefined —
+    /// `real_defined` must reject the point rather than comparing the
+    /// two semantics.
+    #[test]
+    fn regression_division_by_infinite_subterm() {
+        let e = Expr::int(0) / (Expr::int(1) / Expr::int(0));
+        assert!(!real_defined(&e, &[-3.0, 0.5]));
+        check_interval_encloses_point(&e, 0.0, 0.0);
+    }
+
+    property! {
+        #![cases = 96]
 
         /// Interval evaluation must enclose point evaluation everywhere the
         /// expression is real-defined.
-        #[test]
-        fn interval_encloses_points(e in expr_strategy(), tx in 0.0f64..1.0, ty in 0.0f64..1.0) {
-            let bx = [Interval::new(-3.0, 2.0), Interval::new(0.5, 4.0)];
-            let px = -3.0 + tx * 5.0;
-            let py = 0.5 + ty * 3.5;
-            if real_defined(&e, &[px, py]) {
-                let v = e.eval_f64(&[px, py]);
-                let iv = e.eval_interval(&bx);
-                prop_assert!(iv.contains(v), "{v} escaped {iv} for {e}");
-            }
+        fn interval_encloses_points(e in expr_strategy(), tx in gen::f64_unit(), ty in gen::f64_unit()) {
+            check_interval_encloses_point(&e, tx, ty);
         }
 
         /// Simplification must preserve point semantics.
-        #[test]
-        fn simplify_preserves_value(e in expr_strategy(), tx in 0.0f64..1.0, ty in 0.0f64..1.0) {
+        fn simplify_preserves_value(e in expr_strategy(), tx in gen::f64_unit(), ty in gen::f64_unit()) {
             let px = -2.0 + tx * 4.0;
             let py = -2.0 + ty * 4.0;
             let v1 = e.eval_f64(&[px, py]);
             let v2 = e.simplify().eval_f64(&[px, py]);
             if v1.is_finite() && v2.is_finite() {
                 let scale = v1.abs().max(1.0);
-                prop_assert!((v1 - v2).abs() / scale < 1e-9, "{e}: {v1} vs {v2}");
+                assert!((v1 - v2).abs() / scale < 1e-9, "{e}: {v1} vs {v2}");
             }
         }
 
         /// Derivatives must match numeric differentiation on smooth points.
-        #[test]
-        fn derivative_matches_finite_difference(e in expr_strategy(), tx in 0.1f64..0.9, ty in 0.1f64..0.9) {
+        fn derivative_matches_finite_difference(e in expr_strategy(), tx in gen::f64_in(0.1, 0.9), ty in gen::f64_in(0.1, 0.9)) {
             let px = -1.0 + tx * 2.0;
             let py = -1.0 + ty * 2.0;
             let h = 1e-6;
@@ -140,7 +181,7 @@ mod proptests {
             // Only check smooth, well-conditioned samples.
             if sym.is_finite() && num.is_finite() && f1.abs() < 1e6 && f0.abs() < 1e6 {
                 let scale = sym.abs().max(num.abs()).max(1.0);
-                prop_assert!(
+                assert!(
                     (sym - num).abs() / scale < 1e-3,
                     "{e}: symbolic {sym} vs numeric {num} at ({px},{py})"
                 );
@@ -148,21 +189,20 @@ mod proptests {
         }
 
         /// HC4 propagation never removes a known solution.
-        #[test]
-        fn hc4_keeps_known_solutions(e in expr_strategy(), tx in 0.0f64..1.0, ty in 0.0f64..1.0) {
+        fn hc4_keeps_known_solutions(e in expr_strategy(), tx in gen::f64_unit(), ty in gen::f64_unit()) {
             let px = -2.0 + tx * 4.0;
             let py = -2.0 + ty * 4.0;
-            prop_assume!(real_defined(&e, &[px, py]));
+            absolver_testkit::assume!(real_defined(&e, &[px, py]));
             let v = e.eval_f64(&[px, py]);
-            prop_assume!(v.abs() < 1e9);
+            absolver_testkit::assume!(v.abs() < 1e9);
             // Build a constraint this point definitely satisfies: e ≤ ⌈v⌉ + 1.
             let rhs = Rational::from_f64(v.ceil() + 1.0).unwrap();
             let c = NlConstraint::new(e, CmpOp::Le, rhs);
             let mut bx = vec![Interval::new(-2.0, 2.0), Interval::new(-2.0, 2.0)];
             let out = hc4::propagate(&[c], &mut bx, 10);
-            prop_assert_ne!(out, hc4::Contraction::Empty);
-            prop_assert!(bx[0].contains(px), "x={px} pruned from {}", bx[0]);
-            prop_assert!(bx[1].contains(py), "y={py} pruned from {}", bx[1]);
+            assert_ne!(out, hc4::Contraction::Empty);
+            assert!(bx[0].contains(px), "x={px} pruned from {}", bx[0]);
+            assert!(bx[1].contains(py), "y={py} pruned from {}", bx[1]);
         }
     }
 }

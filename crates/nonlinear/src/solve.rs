@@ -205,7 +205,7 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
         if verdicts.iter().all(|v| *v == IntervalVerdict::CertainlyTrue) {
             return NlVerdict::Sat(mid);
         }
-        if verdicts.iter().any(|v| *v == IntervalVerdict::CertainlyFalse) {
+        if verdicts.contains(&IntervalVerdict::CertainlyFalse) {
             continue; // refuted
         }
         // Split the widest (finite) dimension.

@@ -156,8 +156,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry as u128;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u128 + *short.get(i).unwrap_or(&0) as u128 + carry as u128;
             out.push(s as u64);
             carry = (s >> 64) as u64;
         }
@@ -172,8 +172,8 @@ impl BigInt {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..a.len() {
-            let (d1, b1) = a[i].overflowing_sub(*b.get(i).unwrap_or(&0));
+        for (i, &limb) in a.iter().enumerate() {
+            let (d1, b1) = limb.overflowing_sub(*b.get(i).unwrap_or(&0));
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
             borrow = (b1 || b2) as u64;
@@ -641,7 +641,7 @@ impl FromStr for BigInt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use absolver_testkit::{gen, property};
 
     fn bi(v: i128) -> BigInt {
         BigInt::from(v)
@@ -747,61 +747,54 @@ mod tests {
         assert_eq!(big.to_f64(), 2f64.powi(100));
     }
 
-    proptest! {
-        #[test]
-        fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
-            prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
+    property! {
+        fn add_matches_i128(a in gen::i64_any(), b in gen::i64_any()) {
+            assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
         }
 
-        #[test]
-        fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
-            prop_assert_eq!(bi(a as i128) * bi(b as i128), bi(a as i128 * b as i128));
+        fn mul_matches_i128(a in gen::i64_any(), b in gen::i64_any()) {
+            assert_eq!(bi(a as i128) * bi(b as i128), bi(a as i128 * b as i128));
         }
 
-        #[test]
-        fn div_rem_invariant(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |v| *v != 0)) {
+        fn div_rem_invariant(a in gen::i128_any(), b in gen::i128_any().filter(|v| *v != 0)) {
             let (q, r) = bi(a).div_rem(&bi(b));
-            prop_assert_eq!(&q * &bi(b) + &r, bi(a));
-            prop_assert!(r.abs() < bi(b).abs());
+            assert_eq!(&q * &bi(b) + &r, bi(a));
+            assert!(r.abs() < bi(b).abs());
         }
 
-        #[test]
-        fn ord_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+        fn ord_matches_i128(a in gen::i128_any(), b in gen::i128_any()) {
+            assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
         }
 
-        #[test]
-        fn string_round_trip(a in any::<i128>()) {
+        fn string_round_trip(a in gen::i128_any()) {
             let v = bi(a);
             let s = v.to_string();
-            prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
-            prop_assert_eq!(s, a.to_string());
+            assert_eq!(s.parse::<BigInt>().unwrap(), v);
+            assert_eq!(s, a.to_string());
         }
 
-        #[test]
         fn big_div_rem_invariant(
-            a in proptest::collection::vec(any::<u64>(), 1..6),
-            b in proptest::collection::vec(any::<u64>(), 1..4),
-            neg_a in any::<bool>(),
-            neg_b in any::<bool>(),
+            a in gen::vec_of(gen::u64_any(), 1..6),
+            b in gen::vec_of(gen::u64_any(), 1..4),
+            neg_a in gen::bool_any(),
+            neg_b in gen::bool_any(),
         ) {
             let a = BigInt::from_mag(if neg_a { Sign::Minus } else { Sign::Plus }, a);
             let b = BigInt::from_mag(if neg_b { Sign::Minus } else { Sign::Plus }, b);
-            prop_assume!(!b.is_zero());
+            absolver_testkit::assume!(!b.is_zero());
             let (q, r) = a.div_rem(&b);
-            prop_assert_eq!(&q * &b + &r, a);
-            prop_assert!(r.abs() < b.abs());
+            assert_eq!(&q * &b + &r, a);
+            assert!(r.abs() < b.abs());
         }
 
-        #[test]
-        fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+        fn gcd_divides_both(a in gen::i64_any(), b in gen::i64_any()) {
             let g = bi(a as i128).gcd(&bi(b as i128));
             if !g.is_zero() {
-                prop_assert!((bi(a as i128) % &g).is_zero());
-                prop_assert!((bi(b as i128) % &g).is_zero());
+                assert!((bi(a as i128) % &g).is_zero());
+                assert!((bi(b as i128) % &g).is_zero());
             } else {
-                prop_assert_eq!(a, 0);
-                prop_assert_eq!(b, 0);
+                assert_eq!(a, 0);
+                assert_eq!(b, 0);
             }
         }
     }

@@ -420,7 +420,7 @@ impl Neg for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use absolver_testkit::{gen, property, Gen};
 
     #[test]
     fn construction_and_queries() {
@@ -533,65 +533,62 @@ mod tests {
         assert_eq!(Interval::new(-2.0, 1.0).abs(), Interval::new(0.0, 2.0));
     }
 
-    fn finite() -> impl Strategy<Value = f64> {
-        -1.0e6f64..1.0e6
+    fn iv() -> Gen<Interval> {
+        let lo = gen::f64_in(-1.0e6, 1.0e6);
+        let hi = gen::f64_in(-1.0e6, 1.0e6);
+        Gen::new(move |src| {
+            let (a, b) = (lo.generate(src), hi.generate(src));
+            Interval::new(a.min(b), a.max(b))
+        })
     }
 
-    fn iv() -> impl Strategy<Value = Interval> {
-        (finite(), finite()).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
-    }
-
-    proptest! {
+    property! {
         /// Soundness: for points x ∈ X, y ∈ Y, x∘y ∈ X∘Y.
-        #[test]
-        fn ops_contain_pointwise(a in iv(), b in iv(), ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+        fn ops_contain_pointwise(a in iv(), b in iv(), ta in gen::f64_unit(), tb in gen::f64_unit()) {
             let x = a.lo() + ta * (a.hi() - a.lo());
             let y = b.lo() + tb * (b.hi() - b.lo());
-            prop_assert!(a.add(b).contains(x + y));
-            prop_assert!(a.sub(b).contains(x - y));
-            prop_assert!(a.mul(b).contains(x * y));
+            assert!(a.add(b).contains(x + y));
+            assert!(a.sub(b).contains(x - y));
+            assert!(a.mul(b).contains(x * y));
             if !b.contains(0.0) {
-                prop_assert!(a.div(b).contains(x / y));
+                assert!(a.div(b).contains(x / y));
             }
         }
 
-        #[test]
-        fn unary_contain_pointwise(a in iv(), t in 0.0f64..1.0) {
+        fn unary_contain_pointwise(a in iv(), t in gen::f64_unit()) {
             let x = a.lo() + t * (a.hi() - a.lo());
-            prop_assert!(a.powi(2).contains(x * x));
-            prop_assert!(a.powi(3).contains(x * x * x));
-            prop_assert!(a.sin().contains(x.sin()));
-            prop_assert!(a.cos().contains(x.cos()));
-            prop_assert!(a.abs().contains(x.abs()));
+            assert!(a.powi(2).contains(x * x));
+            assert!(a.powi(3).contains(x * x * x));
+            assert!(a.sin().contains(x.sin()));
+            assert!(a.cos().contains(x.cos()));
+            assert!(a.abs().contains(x.abs()));
             if x >= 0.0 {
-                prop_assert!(a.sqrt().contains(x.sqrt()));
+                assert!(a.sqrt().contains(x.sqrt()));
             }
             if x.abs() < 500.0 {
-                prop_assert!(a.exp().contains(x.exp()));
+                assert!(a.exp().contains(x.exp()));
             }
             if x > 0.0 {
-                prop_assert!(a.ln().contains(x.ln()));
+                assert!(a.ln().contains(x.ln()));
             }
         }
 
-        #[test]
         fn intersect_is_subset(a in iv(), b in iv()) {
             let i = a.intersect(b);
-            prop_assert!(a.encloses(i));
-            prop_assert!(b.encloses(i));
-            prop_assert!(a.hull(b).encloses(a));
-            prop_assert!(a.hull(b).encloses(b));
+            assert!(a.encloses(i));
+            assert!(b.encloses(i));
+            assert!(a.hull(b).encloses(a));
+            assert!(a.hull(b).encloses(b));
         }
 
-        #[test]
-        fn div_ext_covers_division(a in iv(), b in iv(), ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+        fn div_ext_covers_division(a in iv(), b in iv(), ta in gen::f64_unit(), tb in gen::f64_unit()) {
             let x = a.lo() + ta * (a.hi() - a.lo());
             let y = b.lo() + tb * (b.hi() - b.lo());
-            prop_assume!(y != 0.0);
+            absolver_testkit::assume!(y != 0.0);
             let (n, p) = a.div_ext(b);
             let q = x / y;
-            let inside = n.map_or(false, |i| i.contains(q)) || p.map_or(false, |i| i.contains(q));
-            prop_assert!(inside, "{q} escaped div_ext({a}, {b})");
+            let inside = n.is_some_and(|i| i.contains(q)) || p.is_some_and(|i| i.contains(q));
+            assert!(inside, "{q} escaped div_ext({a}, {b})");
         }
     }
 }

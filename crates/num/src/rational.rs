@@ -407,7 +407,7 @@ impl FromStr for Rational {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use absolver_testkit::{gen, property};
 
     fn r(n: i64, d: i64) -> Rational {
         Rational::new(n, d)
@@ -495,48 +495,47 @@ mod tests {
         assert_eq!(r(-1, 3).to_string(), "-1/3");
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn field_axioms(
-            an in -1000i64..1000, ad in 1i64..100,
-            bn in -1000i64..1000, bd in 1i64..100,
-            cn in -1000i64..1000, cd in 1i64..100,
+            an in gen::ints(-1000i64..1000), ad in gen::ints(1i64..100),
+            bn in gen::ints(-1000i64..1000), bd in gen::ints(1i64..100),
+            cn in gen::ints(-1000i64..1000), cd in gen::ints(1i64..100),
         ) {
             let a = r(an, ad);
             let b = r(bn, bd);
             let c = r(cn, cd);
-            prop_assert_eq!(&a + &b, &b + &a);
-            prop_assert_eq!((&a + &b) + &c, &a + &(&b + &c));
-            prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+            assert_eq!(&a + &b, &b + &a);
+            assert_eq!((&a + &b) + &c, &a + &(&b + &c));
+            assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
             if !a.is_zero() {
-                prop_assert_eq!(&a * &a.recip(), Rational::one());
+                assert_eq!(&a * &a.recip(), Rational::one());
             }
         }
 
-        #[test]
-        fn from_f64_round_trips(v in -1.0e12f64..1.0e12) {
+        fn from_f64_round_trips(v in gen::f64_in(-1.0e12, 1.0e12)) {
             let q = Rational::from_f64(v).unwrap();
-            prop_assert_eq!(q.to_f64(), v);
+            assert_eq!(q.to_f64(), v);
         }
 
-        #[test]
-        fn cmp_matches_f64(an in -10_000i64..10_000, ad in 1i64..1000, bn in -10_000i64..10_000, bd in 1i64..1000) {
+        fn cmp_matches_f64(
+            an in gen::ints(-10_000i64..10_000), ad in gen::ints(1i64..1000),
+            bn in gen::ints(-10_000i64..10_000), bd in gen::ints(1i64..1000),
+        ) {
             let a = r(an, ad);
             let b = r(bn, bd);
             let fa = an as f64 / ad as f64;
             let fb = bn as f64 / bd as f64;
             if fa != fb {
-                prop_assert_eq!(a < b, fa < fb);
+                assert_eq!(a < b, fa < fb);
             }
         }
 
-        #[test]
-        fn floor_ceil_bracket(n in -10_000i64..10_000, d in 1i64..1000) {
+        fn floor_ceil_bracket(n in gen::ints(-10_000i64..10_000), d in gen::ints(1i64..1000)) {
             let q = r(n, d);
             let fl = Rational::from(q.floor());
             let ce = Rational::from(q.ceil());
-            prop_assert!(fl <= q && q <= ce);
-            prop_assert!(&ce - &fl <= Rational::one());
+            assert!(fl <= q && q <= ce);
+            assert!(&ce - &fl <= Rational::one());
         }
     }
 }

@@ -40,9 +40,7 @@ pub use theory::{TheoryHook, TheoryResponse};
 mod tests {
     use super::*;
     use absolver_logic::{dimacs, Assignment, Tri, Var};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use absolver_testkit::{gen, property, Rng, TestRng};
 
     /// Brute-force satisfiability for cross-checking (≤ 20 variables).
     fn brute_force_sat(cnf: &absolver_logic::Cnf) -> Option<Assignment> {
@@ -174,7 +172,7 @@ mod tests {
 
     #[test]
     fn random_3sat_agrees_with_brute_force() {
-        let mut rng = StdRng::seed_from_u64(0xAB50_1BE5);
+        let mut rng = TestRng::seed_from_u64(0xAB50_1BE5);
         for round in 0..60 {
             let n = rng.gen_range(3..10usize);
             let m = rng.gen_range(1..(4 * n));
@@ -202,7 +200,7 @@ mod tests {
 
     #[test]
     fn model_counts_agree_with_brute_force() {
-        let mut rng = StdRng::seed_from_u64(0xC0FF_EE00);
+        let mut rng = TestRng::seed_from_u64(0xC0FF_EE00);
         for _ in 0..25 {
             let n = rng.gen_range(2..8usize);
             let m = rng.gen_range(1..(3 * n));
@@ -347,25 +345,34 @@ mod tests {
         assert_eq!(s.solve_under(&all_neg), SolveResult::Unsat);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn never_returns_wrong_model(
-            clauses in proptest::collection::vec(
-                proptest::collection::vec((1i32..=8, any::<bool>()), 1..4),
-                1..30,
-            )
-        ) {
+    fn dimacs_clauses() -> absolver_testkit::Gen<Vec<Vec<i32>>> {
+        let lit = {
+            let var = gen::ints(1i32..=8);
+            let neg = gen::bool_any();
+            absolver_testkit::Gen::new(move |src| {
+                let v = var.generate(src);
+                if neg.generate(src) {
+                    -v
+                } else {
+                    v
+                }
+            })
+        };
+        gen::vec_of(gen::vec_of(lit, 1..4), 1..30)
+    }
+
+    property! {
+        #![cases = 64]
+        fn never_returns_wrong_model(clauses in dimacs_clauses()) {
             let mut cnf = absolver_logic::Cnf::new(8);
-            for c in &clauses {
-                let lits: Vec<i32> = c.iter().map(|&(v, neg)| if neg { -v } else { v }).collect();
-                cnf.add_dimacs_clause(&lits);
+            for lits in &clauses {
+                cnf.add_dimacs_clause(lits);
             }
             let mut s = Solver::from_cnf(&cnf);
             match s.solve() {
-                SolveResult::Sat(model) => prop_assert_eq!(cnf.eval(&model), Tri::True),
-                SolveResult::Unsat => prop_assert!(brute_force_sat(&cnf).is_none()),
-                SolveResult::Unknown => prop_assert!(false, "no budget set"),
+                SolveResult::Sat(model) => assert_eq!(cnf.eval(&model), Tri::True),
+                SolveResult::Unsat => assert!(brute_force_sat(&cnf).is_none()),
+                SolveResult::Unknown => panic!("no budget set"),
             }
         }
     }

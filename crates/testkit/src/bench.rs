@@ -1,0 +1,251 @@
+//! A small wall-clock micro-benchmark timer replacing the external
+//! `criterion` dependency.
+//!
+//! Each benchmark is auto-calibrated so a sample takes roughly the
+//! target sample time, warmed up, then timed over N samples; the
+//! report shows median, p95, and minimum per-iteration times.
+//!
+//! ```no_run
+//! use absolver_testkit::bench::{black_box, Bench};
+//!
+//! let mut b = Bench::new();
+//! b.group("num");
+//! b.bench("add", || black_box(2u64) + black_box(3u64));
+//! b.report();
+//! ```
+//!
+//! Environment knobs: `TESTKIT_BENCH_SAMPLES`, `TESTKIT_BENCH_QUICK=1`
+//! (tiny budgets, for smoke-testing the harness itself).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing results of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Wall-clock time of each sample, divided by iterations per sample.
+    pub per_iter: Vec<Duration>,
+    /// Iterations per sample chosen by calibration.
+    pub iters: u64,
+}
+
+impl BenchStats {
+    fn sorted_ns(&self) -> Vec<f64> {
+        let mut ns: Vec<f64> = self.per_iter.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ns
+    }
+
+    /// Median per-iteration time.
+    pub fn median(&self) -> Duration {
+        let ns = self.sorted_ns();
+        let mid = ns.len() / 2;
+        let v = if ns.len().is_multiple_of(2) { (ns[mid - 1] + ns[mid]) / 2.0 } else { ns[mid] };
+        Duration::from_secs_f64(v / 1e9)
+    }
+
+    /// 95th-percentile per-iteration time.
+    pub fn p95(&self) -> Duration {
+        let ns = self.sorted_ns();
+        let idx = ((ns.len() as f64 * 0.95).ceil() as usize).clamp(1, ns.len()) - 1;
+        Duration::from_secs_f64(ns[idx] / 1e9)
+    }
+
+    /// Fastest per-iteration time.
+    pub fn min(&self) -> Duration {
+        Duration::from_secs_f64(self.sorted_ns()[0] / 1e9)
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A benchmark suite: runs closures under a consistent timing protocol
+/// and prints a report.
+pub struct Bench {
+    samples: u32,
+    warmup: Duration,
+    target_sample_time: Duration,
+    group: String,
+    results: Vec<(String, BenchStats)>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// A suite with default settings (30 samples, ~2 ms per sample),
+    /// honouring the `TESTKIT_BENCH_*` environment variables.
+    pub fn new() -> Bench {
+        let quick = std::env::var("TESTKIT_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        let samples = std::env::var("TESTKIT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 5 } else { 30 });
+        Bench {
+            samples,
+            warmup: if quick { Duration::from_millis(5) } else { Duration::from_millis(100) },
+            target_sample_time: if quick {
+                Duration::from_micros(200)
+            } else {
+                Duration::from_millis(2)
+            },
+            group: String::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count for subsequent benchmarks (useful for
+    /// slow end-to-end cases).
+    pub fn set_samples(&mut self, samples: u32) {
+        self.samples = samples.max(2);
+    }
+
+    /// Starts a named group; subsequent results are prefixed `group/`.
+    pub fn group(&mut self, name: &str) {
+        self.group = name.to_string();
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        if self.group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.group, name)
+        }
+    }
+
+    /// Benchmarks `f`, auto-calibrating iterations per sample.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: time one call, pick iterations to fill the target.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample_time.as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 10_000_000) as u64;
+
+        // Warmup.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+        }
+
+        let mut per_iter = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed() / iters as u32);
+        }
+        self.push_result(name, BenchStats { per_iter, iters });
+    }
+
+    /// Benchmarks `routine` with a fresh, untimed `setup` product per
+    /// sample (for routines that consume their input, e.g. a solver
+    /// that is mutated by solving).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            let s = setup();
+            black_box(routine(s));
+        }
+        let mut per_iter = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let s = setup();
+            let t = Instant::now();
+            black_box(routine(s));
+            per_iter.push(t.elapsed());
+        }
+        self.push_result(name, BenchStats { per_iter, iters: 1 });
+    }
+
+    fn push_result(&mut self, name: &str, stats: BenchStats) {
+        let full = self.full_name(name);
+        println!(
+            "bench {full:<40} median {:>10}   p95 {:>10}   min {:>10}   ({} samples x {} iters)",
+            human(stats.median()),
+            human(stats.p95()),
+            human(stats.min()),
+            stats.per_iter.len(),
+            stats.iters,
+        );
+        self.results.push((full, stats));
+    }
+
+    /// All collected results.
+    pub fn results(&self) -> &[(String, BenchStats)] {
+        &self.results
+    }
+
+    /// Prints the final summary table.
+    pub fn report(&self) {
+        println!("\n== benchmark summary ({} benchmarks) ==", self.results.len());
+        for (name, stats) in &self.results {
+            println!(
+                "{name:<44} median {:>10}   p95 {:>10}",
+                human(stats.median()),
+                human(stats.p95()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_percentiles() {
+        let stats = BenchStats {
+            per_iter: (1..=100).map(Duration::from_nanos).collect(),
+            iters: 1,
+        };
+        assert_eq!(stats.min(), Duration::from_nanos(1));
+        let med = stats.median().as_nanos();
+        assert!((50..=51).contains(&med), "{med}");
+        let p95 = stats.p95().as_nanos();
+        assert!((94..=96).contains(&p95), "{p95}");
+    }
+
+    #[test]
+    fn bench_runs_and_records() {
+        std::env::set_var("TESTKIT_BENCH_QUICK", "1");
+        let mut b = Bench::new();
+        b.group("selftest");
+        let mut counter = 0u64;
+        b.bench("count", || {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(b.results().len(), 1);
+        let (name, stats) = &b.results()[0];
+        assert_eq!(name, "selftest/count");
+        assert!(!stats.per_iter.is_empty());
+        assert!(stats.median() >= stats.min());
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(human(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(human(Duration::from_millis(3)), "3.00 ms");
+    }
+}

@@ -1,0 +1,289 @@
+//! Generators for ABsolver domain values: rationals, literals, DIMACS
+//! clauses, CNFs, linear constraints, and nonlinear expression trees.
+//!
+//! These compose the primitives in [`crate::gen`] with the workspace's
+//! own types. Note for crate authors: a crate's *unit* tests (inside
+//! `#[cfg(test)]` modules) compile that crate a second time, so types
+//! produced here would not unify with the crate-under-test's own —
+//! use these generators from integration tests (`tests/` directories)
+//! or from downstream crates, and build same-crate values from
+//! primitive generators instead.
+
+use crate::gen::{self, Gen};
+use absolver_linear::{CmpOp, LinExpr, LinearConstraint};
+use absolver_logic::{Cnf, Lit, Var};
+use absolver_nonlinear::Expr;
+use absolver_num::Rational;
+use std::ops::RangeBounds;
+
+/// Rationals `n/d` with numerator and denominator drawn from the given
+/// ranges (the denominator range must be positive).
+pub fn rational(
+    num: impl RangeBounds<i64> + 'static,
+    den: impl RangeBounds<i64> + 'static,
+) -> Gen<Rational> {
+    let n = gen::ints(num);
+    let d = gen::ints(den);
+    Gen::new(move |src| {
+        let d = d.generate(src);
+        assert!(d > 0, "rational() denominator range must be positive");
+        Rational::new(n.generate(src), d)
+    })
+}
+
+/// Integer-valued rationals.
+pub fn rational_int(range: impl RangeBounds<i64> + 'static) -> Gen<Rational> {
+    gen::ints(range).map(Rational::from_int)
+}
+
+/// Comparison operators, simplest-first (`Le` is the zero-tape value).
+pub fn cmp_op() -> Gen<CmpOp> {
+    gen::from_slice(&[CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt, CmpOp::Eq])
+}
+
+/// Literals over variables `0..num_vars`.
+pub fn lit(num_vars: usize) -> Gen<Lit> {
+    assert!(num_vars > 0);
+    let var = gen::ints(0..num_vars);
+    let neg = gen::bool_any();
+    Gen::new(move |src| {
+        let v = Var::new(var.generate(src) as u32);
+        if neg.generate(src) {
+            v.negative()
+        } else {
+            v.positive()
+        }
+    })
+}
+
+/// Signed DIMACS literals over variables `1..=max_var`.
+pub fn dimacs_lit(max_var: i32) -> Gen<i32> {
+    assert!(max_var >= 1);
+    let var = gen::ints(1..=max_var);
+    let neg = gen::bool_any();
+    Gen::new(move |src| {
+        let v = var.generate(src);
+        if neg.generate(src) { -v } else { v }
+    })
+}
+
+/// A DIMACS clause: literals over `1..=max_var`, length from `len`.
+pub fn dimacs_clause(max_var: i32, len: impl RangeBounds<usize> + 'static) -> Gen<Vec<i32>> {
+    gen::vec_of(dimacs_lit(max_var), len)
+}
+
+/// A CNF over `num_vars` variables with a clause count from `clauses`
+/// and clause lengths from `clause_len`.
+pub fn cnf(
+    num_vars: usize,
+    clauses: impl RangeBounds<usize> + 'static,
+    clause_len: impl RangeBounds<usize> + 'static,
+) -> Gen<Cnf> {
+    let clause_gen = dimacs_clause(num_vars as i32, clause_len);
+    let all = gen::vec_of(clause_gen, clauses);
+    Gen::new(move |src| {
+        let mut cnf = Cnf::new(num_vars);
+        for clause in all.generate(src) {
+            cnf.add_dimacs_clause(&clause);
+        }
+        cnf
+    })
+}
+
+/// Sparse linear constraints over `num_vars` variables: 1–3 terms with
+/// integer coefficients from `coeff`, an operator, and an integer
+/// right-hand side from `rhs`.
+pub fn lin_constraint(
+    num_vars: usize,
+    coeff: impl RangeBounds<i64> + 'static,
+    rhs: impl RangeBounds<i64> + 'static,
+) -> Gen<LinearConstraint> {
+    let term = {
+        let var = gen::ints(0..num_vars);
+        let k = gen::ints(coeff);
+        Gen::new(move |src| (var.generate(src), Rational::from_int(k.generate(src))))
+    };
+    let terms = gen::vec_of(term, 1..4);
+    let op = cmp_op();
+    let rhs = rational_int(rhs);
+    Gen::new(move |src| {
+        LinearConstraint::new(
+            LinExpr::from_terms(terms.generate(src)),
+            op.generate(src),
+            rhs.generate(src),
+        )
+    })
+}
+
+/// Which node kinds [`expr`] may produce.
+#[derive(Debug, Clone, Copy)]
+pub struct ExprProfile {
+    /// Allow rational (non-integer) constants in leaves.
+    pub rational_consts: bool,
+    /// Allow `sin`.
+    pub sin: bool,
+    /// Allow `cos`.
+    pub cos: bool,
+    /// Allow `abs`.
+    pub abs: bool,
+    /// Allow `sqrt`.
+    pub sqrt: bool,
+    /// Allow division.
+    pub div: bool,
+    /// Maximum exponent for `pow` (0 disables `pow`).
+    pub max_pow: i32,
+}
+
+impl ExprProfile {
+    /// Everything on — the profile of the format round-trip tests.
+    pub fn rich() -> ExprProfile {
+        ExprProfile {
+            rational_consts: true,
+            sin: true,
+            cos: false,
+            abs: true,
+            sqrt: true,
+            div: true,
+            max_pow: 3,
+        }
+    }
+
+    /// Polynomial-ish expressions with trig but no sqrt, matching the
+    /// nonlinear solver's property suite.
+    pub fn polyish() -> ExprProfile {
+        ExprProfile {
+            rational_consts: false,
+            sin: true,
+            cos: true,
+            abs: true,
+            sqrt: false,
+            div: true,
+            max_pow: 3,
+        }
+    }
+}
+
+/// Random expression trees over variables `0..num_vars`, at most
+/// `depth` operator levels deep, drawing node kinds from `profile`.
+pub fn expr(num_vars: usize, depth: u32, profile: ExprProfile) -> Gen<Expr> {
+    let mut leaves: Vec<Gen<Expr>> = vec![gen::ints(-9i64..=9).map(Expr::int)];
+    if num_vars > 0 {
+        leaves.push(gen::ints(0..num_vars).map(Expr::var));
+    }
+    if profile.rational_consts {
+        leaves.push(rational(1..=20, 1..=10).map(Expr::constant));
+    }
+    let leaf = gen::one_of(leaves);
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = expr(num_vars, depth - 1, profile);
+    let mut branches: Vec<Gen<Expr>> = vec![leaf];
+    let binop = |f: fn(Expr, Expr) -> Expr| {
+        let inner = inner.clone();
+        Gen::new(move |src| f(inner.generate(src), inner.generate(src)))
+    };
+    branches.push(binop(|a, b| a + b));
+    branches.push(binop(|a, b| a - b));
+    branches.push(binop(|a, b| a * b));
+    if profile.div {
+        branches.push(binop(|a, b| a / b));
+    }
+    branches.push(inner.clone().map(|a| -a));
+    if profile.max_pow > 0 {
+        let pow_inner = inner.clone();
+        let exp = gen::ints(1..=profile.max_pow);
+        branches.push(Gen::new(move |src| {
+            pow_inner.generate(src).pow(exp.generate(src))
+        }));
+    }
+    if profile.sin {
+        branches.push(inner.clone().map(Expr::sin));
+    }
+    if profile.cos {
+        branches.push(inner.clone().map(Expr::cos));
+    }
+    if profile.abs {
+        branches.push(inner.clone().map(Expr::abs));
+    }
+    if profile.sqrt {
+        branches.push(inner.clone().map(Expr::sqrt));
+    }
+    gen::one_of(branches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Source;
+
+    #[test]
+    fn rationals_are_in_range_and_normalised() {
+        let g = rational(-20..=20, 1..=10);
+        let mut src = Source::record(1);
+        for _ in 0..200 {
+            let q = g.generate(&mut src);
+            assert!(q.to_f64().abs() <= 20.0);
+        }
+    }
+
+    #[test]
+    fn dimacs_clauses_are_well_formed() {
+        let g = dimacs_clause(8, 1..4);
+        let mut src = Source::record(2);
+        for _ in 0..200 {
+            let c = g.generate(&mut src);
+            assert!(!c.is_empty() && c.len() <= 3);
+            assert!(c.iter().all(|&l| l != 0 && l.abs() <= 8));
+        }
+    }
+
+    #[test]
+    fn cnf_generation_matches_parameters() {
+        let g = cnf(6, 1..=10, 1..=3);
+        let mut src = Source::record(3);
+        for _ in 0..50 {
+            let f = g.generate(&mut src);
+            assert_eq!(f.num_vars(), 6);
+            assert!((1..=10).contains(&f.len()));
+        }
+    }
+
+    #[test]
+    fn exprs_respect_depth_and_evaluate() {
+        fn depth_of(e: &Expr) -> u32 {
+            match e {
+                Expr::Const(_) | Expr::Var(_) => 0,
+                Expr::Neg(a)
+                | Expr::Pow(a, _)
+                | Expr::Sin(a)
+                | Expr::Cos(a)
+                | Expr::Exp(a)
+                | Expr::Ln(a)
+                | Expr::Sqrt(a)
+                | Expr::Abs(a) => 1 + depth_of(a),
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                    1 + depth_of(a).max(depth_of(b))
+                }
+            }
+        }
+        let g = expr(2, 3, ExprProfile::rich());
+        let mut src = Source::record(4);
+        for _ in 0..100 {
+            let e = g.generate(&mut src);
+            assert!(depth_of(&e) <= 3);
+            let _ = e.eval_f64(&[0.5, -0.5]);
+        }
+    }
+
+    #[test]
+    fn lin_constraints_evaluate() {
+        let g = lin_constraint(3, -4..=4, -6..=6);
+        let mut src = Source::record(5);
+        let point = vec![Rational::one(), Rational::zero(), Rational::from_int(-1)];
+        for _ in 0..100 {
+            let c = g.generate(&mut src);
+            let _ = c.eval(&point);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Random-value generators with tape-based shrinking.
+//!
+//! A [`Gen<T>`] is a function from a [`Source`] of raw `u64` choices to
+//! a value. In *record* mode the source draws fresh choices from a
+//! seeded [`Xoshiro256pp`](crate::rng::Xoshiro256pp) and logs them; in
+//! *replay* mode it reads a stored tape (padding with zeros once
+//! exhausted). Because a generator is a total function of its tape, the
+//! runner can shrink a failing case by simplifying the *tape* — delete
+//! chunks, zero spans, minimize entries — and replaying: every
+//! candidate is automatically a valid generator output, and shrinking
+//! works through [`Gen::map`], recursion, and filtering for free.
+//!
+//! All primitive generators decode `0` to their simplest value (zero,
+//! the range's closest-to-origin point, the empty vector, `false`), so
+//! tapes of zeros are minimal counterexamples.
+
+use crate::rng::{RngCore, Xoshiro256pp};
+use std::ops::{Bound, RangeBounds};
+use std::rc::Rc;
+
+/// A stream of raw `u64` choices backing generator execution.
+#[derive(Debug)]
+pub struct Source {
+    tape: Vec<u64>,
+    pos: usize,
+    rng: Option<Xoshiro256pp>,
+}
+
+impl Source {
+    /// A recording source: choices come from a PRNG seeded with `seed`
+    /// and are logged to the tape.
+    pub fn record(seed: u64) -> Source {
+        Source {
+            tape: Vec::new(),
+            pos: 0,
+            rng: Some(Xoshiro256pp::seed_from_u64(seed)),
+        }
+    }
+
+    /// A replaying source: choices come from `tape`; draws past the end
+    /// return `0`.
+    pub fn replay(tape: Vec<u64>) -> Source {
+        Source {
+            tape,
+            pos: 0,
+            rng: None,
+        }
+    }
+
+    /// The next raw choice.
+    pub fn draw(&mut self) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => {
+                let v = rng.next_u64();
+                self.tape.push(v);
+                v
+            }
+            None => self.tape.get(self.pos).copied().unwrap_or(0),
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// How many choices have been drawn so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// The recorded (or supplied) tape.
+    pub fn tape(&self) -> &[u64] {
+        &self.tape
+    }
+}
+
+/// A composable random-value generator.
+///
+/// Cheaply cloneable (the underlying closure is reference-counted).
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a raw generation function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Gen<T> {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Produces one value from the source.
+    pub fn generate(&self, src: &mut Source) -> T {
+        (self.f)(src)
+    }
+
+    /// Applies `f` to every generated value.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |src| f(self.generate(src)))
+    }
+
+    /// Retains only values satisfying `pred`, retrying with fresh
+    /// choices. After 100 straight rejections the whole test case is
+    /// discarded (counted as a skip by the runner).
+    pub fn filter(self, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        Gen::new(move |src| {
+            for _ in 0..100 {
+                let v = self.generate(src);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            crate::runner::reject_case()
+        })
+    }
+}
+
+/// Converts any `RangeBounds` over integers to inclusive `(lo, hi)`.
+fn int_bounds(range: impl RangeBounds<i128>, min: i128, max: i128) -> (i128, i128) {
+    let lo = match range.start_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v + 1,
+        Bound::Unbounded => min,
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v - 1,
+        Bound::Unbounded => max,
+    };
+    assert!(lo <= hi, "empty generator range {lo}..={hi}");
+    (lo, hi)
+}
+
+/// Integer types usable with [`ints`].
+pub trait GenInt: Copy + 'static {
+    /// Widening conversion.
+    fn to_i128(self) -> i128;
+    /// Narrowing conversion; the value is guaranteed in range.
+    fn from_i128(v: i128) -> Self;
+    /// Type minimum.
+    const MIN_VALUE: i128;
+    /// Type maximum.
+    const MAX_VALUE: i128;
+}
+
+macro_rules! impl_gen_int {
+    ($($t:ty),*) => {$(
+        impl GenInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+            const MIN_VALUE: i128 = <$t>::MIN as i128;
+            const MAX_VALUE: i128 = <$t>::MAX as i128;
+        }
+    )*};
+}
+
+impl_gen_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Maps a raw index into `[lo, hi]` in "simplicity order": index 0 is
+/// the in-range value closest to zero, then values alternate outward
+/// (`0, 1, -1, 2, -2, …`). Zeroed tapes therefore decode to the
+/// simplest in-range value.
+fn decode_simple(lo: i128, hi: i128, idx: i128) -> i128 {
+    let origin = 0i128.clamp(lo, hi);
+    let up = hi - origin;
+    let down = origin - lo;
+    let sym = up.min(down);
+    if idx <= 2 * sym {
+        if idx == 0 {
+            origin
+        } else if idx % 2 == 1 {
+            origin + (idx + 1) / 2
+        } else {
+            origin - idx / 2
+        }
+    } else {
+        let rest = idx - 2 * sym;
+        if up > down {
+            origin + sym + rest
+        } else {
+            origin - sym - rest
+        }
+    }
+}
+
+/// Uniform integers from a range (`ints(-4i64..=4)`, `ints(0usize..n)`).
+pub fn ints<T: GenInt>(range: impl RangeBounds<T> + 'static) -> Gen<T> {
+    let lo = match range.start_bound() {
+        Bound::Included(&v) => Bound::Included(v.to_i128()),
+        Bound::Excluded(&v) => Bound::Excluded(v.to_i128()),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(&v) => Bound::Included(v.to_i128()),
+        Bound::Excluded(&v) => Bound::Excluded(v.to_i128()),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    let (lo, hi) = int_bounds((lo, hi), T::MIN_VALUE, T::MAX_VALUE);
+    let width = (hi - lo + 1) as u128;
+    Gen::new(move |src| {
+        let idx = if width > u64::MAX as u128 {
+            src.draw() as u128
+        } else {
+            src.draw() as u128 % width
+        };
+        T::from_i128(decode_simple(lo, hi, idx as i128))
+    })
+}
+
+/// Any `i64`.
+pub fn i64_any() -> Gen<i64> {
+    ints(..)
+}
+
+/// Any `u64`.
+pub fn u64_any() -> Gen<u64> {
+    ints(..)
+}
+
+/// Any `i128`, built from two raw choices; zero tape decodes to 0.
+pub fn i128_any() -> Gen<i128> {
+    Gen::new(|src| {
+        let hi = src.draw() as u128;
+        let lo = src.draw() as u128;
+        ((hi << 64) | lo) as i128
+    })
+}
+
+/// Booleans; zero tape decodes to `false`.
+pub fn bool_any() -> Gen<bool> {
+    Gen::new(|src| src.draw() & 1 == 1)
+}
+
+/// A uniform `f64` in `[0, 1)`; zero tape decodes to `0.0`.
+pub fn f64_unit() -> Gen<f64> {
+    Gen::new(|src| (src.draw() >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// A uniform `f64` in `[lo, hi)`; zero tape decodes to `lo`.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo <= hi, "empty f64 range");
+    f64_unit().map(move |t| lo + t * (hi - lo))
+}
+
+/// A vector whose length is drawn from `len` and whose elements come
+/// from `elem`. Zero tape decodes to the shortest allowed vector of
+/// simplest elements.
+pub fn vec_of<T: 'static>(elem: Gen<T>, len: impl RangeBounds<usize> + 'static) -> Gen<Vec<T>> {
+    let len_gen = ints::<usize>((
+        match len.start_bound() {
+            Bound::Included(&v) => Bound::Included(v),
+            Bound::Excluded(&v) => Bound::Excluded(v),
+            Bound::Unbounded => Bound::Included(0),
+        },
+        match len.end_bound() {
+            Bound::Included(&v) => Bound::Included(v),
+            Bound::Excluded(&v) => Bound::Excluded(v),
+            Bound::Unbounded => Bound::Included(64),
+        },
+    ));
+    Gen::new(move |src| {
+        let n = len_gen.generate(src);
+        (0..n).map(|_| elem.generate(src)).collect()
+    })
+}
+
+/// Chooses one of the given generators uniformly. Put the simplest
+/// case first: index 0 (the zero tape) selects it.
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of requires at least one generator");
+    let idx = ints(0..gens.len());
+    Gen::new(move |src| {
+        let i = idx.generate(src);
+        gens[i].generate(src)
+    })
+}
+
+/// A uniformly chosen element of the slice (cloned). Put simple values
+/// first: index 0 is what zero tapes decode to.
+pub fn from_slice<T: Clone + 'static>(items: &[T]) -> Gen<T> {
+    let items = items.to_vec();
+    let idx = ints(0..items.len());
+    Gen::new(move |src| items[idx.generate(src)].clone())
+}
+
+/// A string of characters drawn from `charset`, with length from `len`.
+pub fn string_from_charset(
+    charset: &str,
+    len: impl RangeBounds<usize> + 'static,
+) -> Gen<String> {
+    let chars: Vec<char> = charset.chars().collect();
+    assert!(!chars.is_empty(), "empty charset");
+    vec_of(from_slice(&chars), len).map(|v| v.into_iter().collect())
+}
+
+/// All printable ASCII (space through `~`) plus the extra characters.
+pub fn ascii_string(extra: &str, len: impl RangeBounds<usize> + 'static) -> Gen<String> {
+    let charset: String = (' '..='~').chain(extra.chars()).collect();
+    string_from_charset(&charset, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tape_is_simplest() {
+        let mut src = Source::replay(vec![]);
+        assert_eq!(ints(-9i64..=9).generate(&mut src), 0);
+        assert_eq!(ints(3i64..=9).generate(&mut src), 3);
+        assert_eq!(ints(-9i64..=-4).generate(&mut src), -4);
+        assert!(!bool_any().generate(&mut src));
+        assert_eq!(f64_in(2.0, 5.0).generate(&mut src), 2.0);
+        assert_eq!(vec_of(i64_any(), 0..10).generate(&mut src), Vec::<i64>::new());
+        assert_eq!(i128_any().generate(&mut src), 0);
+    }
+
+    #[test]
+    fn simplicity_order_alternates() {
+        let vals: Vec<i128> = (0..7).map(|i| decode_simple(-3, 3, i)).collect();
+        assert_eq!(vals, vec![0, 1, -1, 2, -2, 3, -3]);
+        let vals: Vec<i128> = (0..5).map(|i| decode_simple(-1, 3, i)).collect();
+        assert_eq!(vals, vec![0, 1, -1, 2, 3]);
+    }
+
+    #[test]
+    fn record_and_replay_agree() {
+        let g = vec_of(ints(-100i64..=100), 0..=12);
+        let mut rec = Source::record(0xFEED);
+        let v1 = g.generate(&mut rec);
+        let tape = rec.tape().to_vec();
+        let mut rep = Source::replay(tape);
+        let v2 = g.generate(&mut rep);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let g = ints(1i32..=8);
+        let mut src = Source::record(5);
+        for _ in 0..500 {
+            let v = g.generate(&mut src);
+            assert!((1..=8).contains(&v));
+        }
+        let g = ints(0usize..7);
+        for _ in 0..500 {
+            assert!(g.generate(&mut src) < 7);
+        }
+    }
+
+    #[test]
+    fn full_width_ranges_cover_extremes() {
+        let g = i64_any();
+        let mut src = Source::record(11);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..200 {
+            let v = g.generate(&mut src);
+            neg |= v < -(1 << 40);
+            pos |= v > 1 << 40;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn string_charsets() {
+        let g = string_from_charset("abc", 0..=20);
+        let mut src = Source::record(17);
+        for _ in 0..100 {
+            let s = g.generate(&mut src);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| "abc".contains(c)));
+        }
+    }
+}

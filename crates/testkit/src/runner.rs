@@ -1,0 +1,557 @@
+//! The property-test runner: case generation, failure shrinking, and
+//! regression-seed persistence.
+//!
+//! Use through the [`property!`](crate::property) macro:
+//!
+//! ```
+//! use absolver_testkit::{gen, property};
+//!
+//! property! {
+//!     #![cases = 64]
+//!     fn addition_commutes(a in gen::ints(-1000i64..=1000), b in gen::ints(-1000i64..=1000)) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `TESTKIT_SEED` — base seed (decimal or `0x…` hex), or `random`
+//!   for a time-derived seed. Unset: a stable per-test default, so
+//!   runs are bit-for-bit deterministic.
+//! * `TESTKIT_CASES` — overrides every test's case count.
+//! * `TESTKIT_PERSIST=0` — don't write regression tapes on failure.
+//!
+//! On failure the runner shrinks the recorded choice tape (chunk
+//! deletion, zeroing, per-entry minimization — see [`crate::gen`]),
+//! reports the minimal counterexample, and appends the shrunk tape to
+//! `testkit-regressions/<module>.txt` in the failing crate so the case
+//! is replayed first on every future run.
+
+use crate::gen::{Gen, Source};
+use crate::rng::{RngCore, SplitMix64};
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Once;
+
+/// Panic payload used by [`assume!`](crate::assume) / [`reject_case`]
+/// to discard a test case without failing it.
+pub struct AssumeRejected;
+
+/// Discards the current test case: the runner counts it as a skip and
+/// generates a replacement.
+pub fn reject_case() -> ! {
+    panic::panic_any(AssumeRejected)
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent while a
+/// testkit case is being evaluated, so expected failures during search
+/// and shrinking don't spam the test output.
+fn install_panic_filter() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn catch_silent<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    result
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Configuration for one property test.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Base seed; `None` derives a stable seed from the test name.
+    pub seed: Option<u64>,
+    /// Replay budget for shrinking.
+    pub max_shrink_iters: u32,
+    /// Regression file, if persistence is enabled.
+    pub regression_file: Option<PathBuf>,
+    /// Fully qualified test name (module path + function).
+    pub test_name: String,
+}
+
+impl Config {
+    /// Builds the config for one `property!` test. `cases == 0` means
+    /// "use the default" (256, like proptest's).
+    pub fn for_test(manifest_dir: &str, module: &str, name: &str, cases: u32) -> Config {
+        let cases = match std::env::var("TESTKIT_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None if cases == 0 => 256,
+            None => cases,
+        };
+        let seed = match std::env::var("TESTKIT_SEED") {
+            Ok(v) if v == "random" => Some(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0x5EED),
+            ),
+            Ok(v) => parse_seed(&v),
+            Err(_) => None,
+        };
+        let persist = std::env::var("TESTKIT_PERSIST").map(|v| v != "0").unwrap_or(true);
+        let module_file: String = module.replace("::", "-");
+        let regression_file = persist.then(|| {
+            PathBuf::from(manifest_dir)
+                .join("testkit-regressions")
+                .join(format!("{module_file}.txt"))
+        });
+        Config {
+            cases,
+            seed,
+            max_shrink_iters: 2048,
+            regression_file,
+            test_name: format!("{module}::{name}"),
+        }
+    }
+
+    fn local_name(&self) -> &str {
+        self.test_name.rsplit("::").next().unwrap_or(&self.test_name)
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// FNV-1a over the test name: the stable default base seed.
+fn default_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+enum CaseOutcome {
+    Pass,
+    Skip,
+    Fail(String),
+}
+
+fn run_case<T: 'static>(gen: &Gen<T>, prop: &impl Fn(T), src: &mut Source) -> CaseOutcome {
+    match catch_silent(|| prop(gen.generate(src))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<AssumeRejected>().is_some() {
+                CaseOutcome::Skip
+            } else {
+                CaseOutcome::Fail(payload_message(payload.as_ref()))
+            }
+        }
+    }
+}
+
+/// Replays `tape`; on failure returns the consumed tape prefix and the
+/// failure message.
+fn replay_fails<T: 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(T),
+    tape: &[u64],
+) -> Option<(Vec<u64>, String)> {
+    let mut src = Source::replay(tape.to_vec());
+    match run_case(gen, prop, &mut src) {
+        CaseOutcome::Fail(msg) => {
+            let consumed = src.consumed().min(tape.len());
+            Some((tape[..consumed].to_vec(), msg))
+        }
+        _ => None,
+    }
+}
+
+/// Greedy tape shrinking: chunk deletion, chunk zeroing, and
+/// per-element minimization, iterated to a fixpoint or the budget.
+fn shrink_tape<T: 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(T),
+    mut tape: Vec<u64>,
+    mut msg: String,
+    budget: u32,
+) -> (Vec<u64>, String) {
+    let mut spent = 0u32;
+    let attempt = |cand: &[u64], spent: &mut u32| -> Option<(Vec<u64>, String)> {
+        if *spent >= budget {
+            return None;
+        }
+        *spent += 1;
+        replay_fails(gen, prop, cand)
+    };
+    loop {
+        let mut improved = false;
+
+        // Delete chunks, largest first.
+        for size in [32usize, 8, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= tape.len() {
+                let mut cand = tape.clone();
+                cand.drain(i..i + size);
+                if let Some((t, m)) = attempt(&cand, &mut spent) {
+                    if t.len() < tape.len() || (t.len() == tape.len() && t < tape) {
+                        tape = t;
+                        msg = m;
+                        improved = true;
+                        continue; // same i, shorter tape
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        // Zero non-zero chunks.
+        for size in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= tape.len() {
+                if tape[i..i + size].iter().any(|&v| v != 0) {
+                    let mut cand = tape.clone();
+                    cand[i..i + size].iter_mut().for_each(|v| *v = 0);
+                    if let Some((t, m)) = attempt(&cand, &mut spent) {
+                        if t < tape {
+                            tape = t;
+                            msg = m;
+                            improved = true;
+                        }
+                    }
+                }
+                i += size;
+            }
+        }
+
+        // Minimize entries individually: zero, halve, decrement.
+        for i in 0..tape.len() {
+            while tape.get(i).copied().unwrap_or(0) != 0 {
+                let v = tape[i];
+                let mut done = true;
+                for smaller in [0, v / 2, v - 1] {
+                    if smaller >= v {
+                        continue;
+                    }
+                    let mut cand = tape.clone();
+                    cand[i] = smaller;
+                    if let Some((t, m)) = attempt(&cand, &mut spent) {
+                        if t < tape {
+                            tape = t;
+                            msg = m;
+                            improved = true;
+                            done = false;
+                            break;
+                        }
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+
+        if !improved || spent >= budget {
+            return (tape, msg);
+        }
+    }
+}
+
+fn debug_value<T: Debug + 'static>(gen: &Gen<T>, tape: &[u64]) -> String {
+    let mut src = Source::replay(tape.to_vec());
+    match catch_silent(|| format!("{:?}", gen.generate(&mut src))) {
+        Ok(s) => s,
+        Err(_) => "<value construction panicked>".to_string(),
+    }
+}
+
+fn format_tape(tape: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, v) in tape.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{v:x}");
+    }
+    out
+}
+
+fn load_regression_tapes(cfg: &Config) -> Vec<Vec<u64>> {
+    let Some(path) = &cfg.regression_file else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut tapes = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let body = line.split('#').next().unwrap_or("");
+        let mut parts = body.split_whitespace();
+        if parts.next() != Some(cfg.local_name()) {
+            continue;
+        }
+        let tape: Option<Vec<u64>> = parts.map(|t| u64::from_str_radix(t, 16).ok()).collect();
+        if let Some(tape) = tape {
+            tapes.push(tape);
+        }
+    }
+    tapes
+}
+
+fn persist_regression(cfg: &Config, tape: &[u64], value: &str) {
+    let Some(path) = &cfg.regression_file else {
+        return;
+    };
+    // Don't duplicate an already-recorded tape.
+    if load_regression_tapes(cfg).iter().any(|t| t == tape) {
+        return;
+    }
+    let header = "\
+# Testkit regression tapes. Each non-comment line is:
+#   <test-fn-name> <hex choice tape...>  # shrunk counterexample
+# These cases are replayed before any new random cases are generated.
+# Check this file in to source control.
+";
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| header.to_string());
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    let one_line = value.replace('\n', " ");
+    let short: String = one_line.chars().take(160).collect();
+    let _ = writeln!(text, "{} {}  # shrinks to {}", cfg.local_name(), format_tape(tape), short);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, text);
+}
+
+/// Runs a property against `cfg.cases` generated inputs, replaying any
+/// persisted regression tapes first. Panics with a report (minimal
+/// counterexample, seed, tape) on failure.
+pub fn check<T: Debug + 'static>(cfg: &Config, gen: &Gen<T>, prop: impl Fn(T)) {
+    install_panic_filter();
+
+    for tape in load_regression_tapes(cfg) {
+        if let Some((tape, msg)) = replay_fails(gen, &prop, &tape) {
+            let value = debug_value(gen, &tape);
+            panic!(
+                "[testkit] persisted regression case for '{}' still fails\n  \
+                 input: {}\n  tape: {}\n  failure: {}",
+                cfg.test_name,
+                value,
+                format_tape(&tape),
+                msg,
+            );
+        }
+    }
+
+    let base_seed = cfg.seed.unwrap_or_else(|| default_seed(&cfg.test_name));
+    let mut passed = 0u32;
+    let mut skipped = 0u32;
+    let mut case_index = 0u64;
+    while passed < cfg.cases {
+        if skipped > 10 * cfg.cases + 100 {
+            panic!(
+                "[testkit] property '{}' rejected too many cases ({} skips for {} passes); \
+                 loosen its generators or assumptions",
+                cfg.test_name, skipped, passed,
+            );
+        }
+        let case_seed = SplitMix64::new(base_seed.wrapping_add(case_index)).next_u64();
+        case_index += 1;
+        let mut src = Source::record(case_seed);
+        match run_case(gen, &prop, &mut src) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Skip => skipped += 1,
+            CaseOutcome::Fail(msg) => {
+                let tape = src.tape()[..src.consumed().min(src.tape().len())].to_vec();
+                let (tape, msg) = shrink_tape(gen, &prop, tape, msg, cfg.max_shrink_iters);
+                let value = debug_value(gen, &tape);
+                persist_regression(cfg, &tape, &value);
+                panic!(
+                    "[testkit] property '{}' failed after {} passing case(s)\n  \
+                     minimal input: {}\n  failure: {}\n  seed: {:#x} (case {})\n  tape: {}\n  \
+                     rerun just this case via its testkit-regressions entry, or the whole \
+                     sequence with TESTKIT_SEED={:#x}",
+                    cfg.test_name,
+                    passed,
+                    value,
+                    msg,
+                    base_seed,
+                    case_index - 1,
+                    format_tape(&tape),
+                    base_seed,
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Each function body runs against many
+/// generated inputs; bindings use `name in generator` syntax. An
+/// optional leading `#![cases = N]` sets the per-test case count for
+/// the whole block.
+#[macro_export]
+macro_rules! property {
+    ( #![cases = $n:expr] $($rest:tt)* ) => {
+        $crate::__property_impl! { ($n) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__property_impl! { (0u32) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`property!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __property_impl {
+    ( ($n:expr) ) => {};
+    ( ($n:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg = $crate::runner::Config::for_test(
+                env!("CARGO_MANIFEST_DIR"),
+                module_path!(),
+                stringify!($name),
+                $n,
+            );
+            let __gen = {
+                $(let $arg = $gen;)+
+                $crate::gen::Gen::new(move |__src| ( $($arg.generate(__src),)+ ))
+            };
+            $crate::runner::check(&__cfg, &__gen, |__value| {
+                let ( $($arg,)+ ) = __value;
+                $body
+            });
+        }
+        $crate::__property_impl! { ($n) $($rest)* }
+    };
+}
+
+/// Discards the current case unless the condition holds — the
+/// equivalent of proptest's `prop_assume!`.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !$cond {
+            $crate::runner::reject_case();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn cfg(name: &str, cases: u32) -> Config {
+        Config {
+            cases,
+            seed: Some(0x7E57_4B17),
+            max_shrink_iters: 2048,
+            regression_file: None,
+            test_name: format!("testkit::selftest::{name}"),
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        let g = gen::ints(-50i64..=50);
+        check(&cfg("pass", 200), &g, |v| assert!(v.abs() <= 50));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // Fails for v >= 10; minimal counterexample is exactly 10.
+        let g = gen::ints(0i64..=1000);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check(&cfg("shrink_int", 500), &g, |v| assert!(v < 10, "got {v}"));
+        }));
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("minimal input: 10"), "{msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_in_length_and_magnitude() {
+        // Fails when the sum exceeds 100; minimal case is one element
+        // of exactly 101.
+        let g = gen::vec_of(gen::ints(0i64..=1000), 0..=20);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check(&cfg("shrink_vec", 500), &g, |v| {
+                let s: i64 = v.iter().sum();
+                assert!(s <= 100, "sum {s}");
+            });
+        }));
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("minimal input: [101]"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_is_bit_for_bit_deterministic() {
+        let collect = |seed: u64| {
+            let mut values = Vec::new();
+            let g = gen::vec_of(gen::ints(-1000i64..=1000), 0..=8);
+            let mut config = cfg("determinism", 50);
+            config.seed = Some(seed);
+            let values_cell = std::cell::RefCell::new(&mut values);
+            check(&config, &g, |v| {
+                values_cell.borrow_mut().push(v);
+            });
+            values
+        };
+        assert_eq!(collect(777), collect(777));
+        assert_ne!(collect(777), collect(778));
+    }
+
+    #[test]
+    fn assume_skips_but_eventually_errors_when_too_strict() {
+        // A property that rejects everything must report, not hang.
+        let g = gen::ints(0i64..=10);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check(&cfg("reject_all", 20), &g, |_| reject_case());
+        }));
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("rejected too many cases"), "{msg}");
+    }
+
+    #[test]
+    fn filter_values_respect_predicate() {
+        let g = gen::ints(-100i64..=100).filter(|v| v % 2 == 0);
+        check(&cfg("filter", 200), &g, |v| assert_eq!(v % 2, 0));
+    }
+}

@@ -33,7 +33,7 @@ fn print_grid(grid: &[[u8; 9]; 9]) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (puzzle, _) = generate(2006_05_23, Difficulty::Hard);
+    let (puzzle, _) = generate(20060523, Difficulty::Hard);
     println!("puzzle ({} clues):", puzzle.iter().flatten().filter(|&&v| v != 0).count());
     print_grid(&puzzle);
 

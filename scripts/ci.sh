@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Offline CI gate for the ABsolver workspace.
+#
+# The workspace has no external dependencies (randomness, property
+# testing, and bench timing come from the in-repo absolver-testkit
+# crate), so everything here runs with --offline from a clean checkout.
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all targets incl. benches) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== test =="
+cargo test -q --offline --workspace
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed in this toolchain; skipping lint step"
+fi
+
+echo "== CI gate passed =="

@@ -119,8 +119,7 @@ fn build_orchestrator(config: &Config) -> Orchestrator {
             usage();
         }
     };
-    let mut options = OrchestratorOptions::default();
-    options.time_limit = config.time_limit;
+    let options = OrchestratorOptions { time_limit: config.time_limit, ..Default::default() };
     orc.with_options(options)
 }
 

@@ -2,125 +2,146 @@
 //! randomly generated AB-problems.
 
 use absolver::core::{parser, AbProblem, VarKind};
-use absolver::linear::CmpOp;
 use absolver::nonlinear::Expr;
 use absolver::num::Rational;
-use proptest::prelude::*;
+use absolver_testkit::domain::{self, ExprProfile};
+use absolver_testkit::{gen, property, Gen};
 
-/// A small random expression over up to 3 variables.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-9i64..=9).prop_map(Expr::int),
-        (0usize..3).prop_map(Expr::var),
-        (1i64..=20, 1i64..=10).prop_map(|(n, d)| Expr::constant(Rational::new(n, d))),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
-            inner.clone().prop_map(|a| -a),
-            (inner.clone(), 1i32..4).prop_map(|(a, n)| a.pow(n)),
-            inner.clone().prop_map(Expr::sin),
-            inner.clone().prop_map(Expr::abs),
-            inner.clone().prop_map(Expr::sqrt),
-        ]
+fn problem_gen() -> Gen<AbProblem> {
+    let atoms = gen::vec_of(
+        {
+            let e = domain::expr(3, 3, ExprProfile::rich());
+            let op = domain::cmp_op();
+            let rhs = gen::ints(-20i64..=20);
+            Gen::new(move |src| (e.generate(src), op.generate(src), rhs.generate(src)))
+        },
+        1..6,
+    );
+    let clauses = gen::vec_of(
+        gen::vec_of(
+            {
+                let i = gen::ints(0usize..6);
+                let neg = gen::bool_any();
+                Gen::new(move |src| (i.generate(src), neg.generate(src)))
+            },
+            1..4,
+        ),
+        0..6,
+    );
+    let int_kind = gen::bool_any();
+    Gen::new(move |src| {
+        let (atoms, clauses, int_kind) =
+            (atoms.generate(src), clauses.generate(src), int_kind.generate(src));
+        let mut b = AbProblem::builder();
+        for v in 0..3 {
+            b.arith_var(
+                &format!("v{v}"),
+                if int_kind { VarKind::Int } else { VarKind::Real },
+            );
+        }
+        let vars: Vec<_> = atoms
+            .into_iter()
+            .map(|(e, op, rhs)| b.atom(e, op, Rational::from_int(rhs)))
+            .collect();
+        for clause in clauses {
+            let lits: Vec<_> = clause
+                .into_iter()
+                .map(|(i, neg)| {
+                    let v = vars[i % vars.len()];
+                    if neg {
+                        v.negative()
+                    } else {
+                        v.positive()
+                    }
+                })
+                .collect();
+            b.add_clause(lits);
+        }
+        b.build()
     })
 }
 
-fn op_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-    ]
+/// write → parse must preserve structure and pointwise semantics.
+fn check_round_trip(p1: &AbProblem) {
+    let text = parser::write(p1);
+    let p2: AbProblem = text.parse().expect("own output must parse");
+    assert_eq!(p1.cnf(), p2.cnf());
+    assert_eq!(p1.num_defs(), p2.num_defs());
+    assert_eq!(p1.num_constraints(), p2.num_constraints());
+    assert_eq!(p1.arith_vars().len(), p2.arith_vars().len());
+    // Variable names and kinds survive.
+    for (a, b) in p1.arith_vars().iter().zip(p2.arith_vars()) {
+        assert_eq!(&a.name, &b.name);
+        assert_eq!(a.kind, b.kind);
+    }
+    // Constraints evaluate identically on sample points.
+    let samples = [
+        vec![0.0, 0.0, 0.0],
+        vec![1.0, -2.0, 3.0],
+        vec![0.5, 0.25, -0.75],
+        vec![10.0, 7.0, -9.0],
+    ];
+    for ((_, d1), (_, d2)) in p1.defs().zip(p2.defs()) {
+        assert_eq!(d1.constraints.len(), d2.constraints.len());
+        for (c1, c2) in d1.constraints.iter().zip(&d2.constraints) {
+            for s in &samples {
+                let r1 = c1.eval(s);
+                let r2 = c2.eval(s);
+                assert_eq!(r1, r2, "{} vs {}", c1, c2);
+            }
+        }
+    }
 }
 
-fn problem_strategy() -> impl Strategy<Value = AbProblem> {
-    (
-        proptest::collection::vec((expr_strategy(), op_strategy(), -20i64..=20), 1..6),
-        proptest::collection::vec(
-            proptest::collection::vec((0usize..6, any::<bool>()), 1..4),
-            0..6,
-        ),
-        any::<bool>(),
-    )
-        .prop_map(|(atoms, clauses, int_kind)| {
-            let mut b = AbProblem::builder();
-            for v in 0..3 {
-                b.arith_var(
-                    &format!("v{v}"),
-                    if int_kind { VarKind::Int } else { VarKind::Real },
-                );
-            }
-            let vars: Vec<_> = atoms
-                .into_iter()
-                .map(|(e, op, rhs)| b.atom(e, op, Rational::from_int(rhs)))
-                .collect();
-            for clause in clauses {
-                let lits: Vec<_> = clause
-                    .into_iter()
-                    .map(|(i, neg)| {
-                        let v = vars[i % vars.len()];
-                        if neg {
-                            v.negative()
-                        } else {
-                            v.positive()
-                        }
-                    })
-                    .collect();
-                b.add_clause(lits);
-            }
-            b.build()
-        })
+/// A single-atom problem over three real variables with no clauses,
+/// the shape of both historical counterexamples below.
+fn one_atom_problem(e: Expr, rhs: Rational) -> AbProblem {
+    let mut b = AbProblem::builder();
+    for v in 0..3 {
+        b.arith_var(&format!("v{v}"), VarKind::Real);
+    }
+    b.atom(e, absolver::linear::CmpOp::Lt, rhs);
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Historical counterexample (from the proptest era): the writer used
+/// to drop the parenthesisation of a negative base under `pow`, so
+/// `0 + (-4)^2` re-parsed with different semantics.
+#[test]
+fn regression_negative_base_pow() {
+    let p = one_atom_problem(
+        Expr::int(0) + Expr::int(-4).pow(2),
+        Rational::from_int(0),
+    );
+    check_round_trip(&p);
+}
+
+/// Historical counterexample (from the proptest era): a non-integer
+/// rational constant (`1/6`) inside a nested division/power chain has
+/// to survive the textual format exactly.
+#[test]
+fn regression_rational_constant_in_pow_chain() {
+    let p = one_atom_problem(
+        ((Expr::int(-1) * Expr::int(1)) / Expr::constant(Rational::new(1, 6))).pow(3),
+        Rational::from_int(-1),
+    );
+    check_round_trip(&p);
+}
+
+property! {
+    #![cases = 64]
 
     /// write → parse preserves structure and pointwise semantics.
-    #[test]
-    fn round_trip_preserves_semantics(p1 in problem_strategy()) {
-        let text = parser::write(&p1);
-        let p2: AbProblem = text.parse().expect("own output must parse");
-        prop_assert_eq!(p1.cnf(), p2.cnf());
-        prop_assert_eq!(p1.num_defs(), p2.num_defs());
-        prop_assert_eq!(p1.num_constraints(), p2.num_constraints());
-        prop_assert_eq!(p1.arith_vars().len(), p2.arith_vars().len());
-        // Variable names and kinds survive.
-        for (a, b) in p1.arith_vars().iter().zip(p2.arith_vars()) {
-            prop_assert_eq!(&a.name, &b.name);
-            prop_assert_eq!(a.kind, b.kind);
-        }
-        // Constraints evaluate identically on sample points.
-        let samples = [
-            vec![0.0, 0.0, 0.0],
-            vec![1.0, -2.0, 3.0],
-            vec![0.5, 0.25, -0.75],
-            vec![10.0, 7.0, -9.0],
-        ];
-        for ((_, d1), (_, d2)) in p1.defs().zip(p2.defs()) {
-            prop_assert_eq!(d1.constraints.len(), d2.constraints.len());
-            for (c1, c2) in d1.constraints.iter().zip(&d2.constraints) {
-                for s in &samples {
-                    let r1 = c1.eval(s);
-                    let r2 = c2.eval(s);
-                    prop_assert_eq!(r1, r2, "{} vs {}", c1, c2);
-                }
-            }
-        }
+    fn round_trip_preserves_semantics(p1 in problem_gen()) {
+        check_round_trip(&p1);
     }
 
     /// The writer's output is always plain-DIMACS-compatible: a SAT solver
     /// ignoring comments can load the Boolean part.
-    #[test]
-    fn output_is_plain_dimacs_compatible(p in problem_strategy()) {
+    fn output_is_plain_dimacs_compatible(p in problem_gen()) {
         let text = parser::write(&p);
         let plain = absolver::logic::dimacs::parse(&text).expect("plain DIMACS layer");
-        prop_assert_eq!(plain.cnf.num_vars(), p.cnf().num_vars());
-        prop_assert_eq!(plain.cnf.len(), p.cnf().len());
+        assert_eq!(plain.cnf.num_vars(), p.cnf().num_vars());
+        assert_eq!(plain.cnf.len(), p.cnf().len());
     }
 }

@@ -1,49 +1,45 @@
 //! Robustness fuzzing: none of the textual front ends may panic on
 //! arbitrary input — malformed text must come back as a parse error.
 
-use proptest::prelude::*;
+use absolver_testkit::{gen, property};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+property! {
+    #![cases = 256]
 
     /// The extended DIMACS parser returns `Err`, never panics.
-    #[test]
-    fn ab_parser_never_panics(input in "[ -~\n\t]{0,300}") {
+    fn ab_parser_never_panics(input in gen::ascii_string("\n\t", 0..=300)) {
         let _ = input.parse::<absolver::core::AbProblem>();
     }
 
     /// Structured-looking but corrupted definition lines.
-    #[test]
     fn ab_parser_survives_mangled_defs(
-        var in 0u32..20,
-        body in "[a-z0-9+*/<>=. ()^-]{0,60}",
+        var in gen::ints(0u32..20),
+        body in gen::string_from_charset("abcdefghijklmnopqrstuvwxyz0123456789+*/<>=. ()^-", 0..=60),
     ) {
         let text = format!("p cnf 3 1\n1 2 0\nc def int {var} {body}\n");
         let _ = text.parse::<absolver::core::AbProblem>();
     }
 
     /// The plain DIMACS layer never panics.
-    #[test]
-    fn dimacs_parser_never_panics(input in "[ -~\n]{0,300}") {
+    fn dimacs_parser_never_panics(input in gen::ascii_string("\n", 0..=300)) {
         let _ = absolver::logic::dimacs::parse(&input);
     }
 
     /// The LUSTRE parser never panics.
-    #[test]
-    fn lustre_parser_never_panics(input in "[ -~\n]{0,300}") {
+    fn lustre_parser_never_panics(input in gen::ascii_string("\n", 0..=300)) {
         let _ = absolver::model::lustre::parse(&input);
     }
 
     /// LUSTRE with a plausible skeleton and a fuzzed equation body.
-    #[test]
-    fn lustre_parser_survives_mangled_equations(body in "[a-z0-9+*/<>= ()-]{0,60}") {
+    fn lustre_parser_survives_mangled_equations(
+        body in gen::string_from_charset("abcdefghijklmnopqrstuvwxyz0123456789+*/<>= ()-", 0..=60),
+    ) {
         let text = format!("node f(a: real) returns (o: bool);\nlet o = {body}; tel");
         let _ = absolver::model::lustre::parse(&text);
     }
 
     /// Rational and BigInt parsers never panic.
-    #[test]
-    fn number_parsers_never_panic(input in "[0-9./+-]{0,40}") {
+    fn number_parsers_never_panic(input in gen::string_from_charset("0123456789./+-", 0..=40)) {
         let _ = input.parse::<absolver::num::Rational>();
         let _ = input.parse::<absolver::num::BigInt>();
     }

@@ -8,13 +8,12 @@ use absolver::linear::CmpOp;
 use absolver::logic::{Assignment, Tri};
 use absolver::nonlinear::Expr;
 use absolver::num::Rational;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use absolver_testkit::{domain, gen, property, Gen, Rng, TestRng};
 
 /// Generates a random Boolean-linear AB-problem over `n_arith` integer
 /// variables (integers so a finite grid oracle is complete on bounded
 /// ranges).
-fn random_problem(rng: &mut StdRng) -> AbProblem {
+fn random_problem(rng: &mut TestRng) -> AbProblem {
     let mut b = AbProblem::builder();
     let n_arith = rng.gen_range(1..=2usize);
     let vars: Vec<usize> = (0..n_arith)
@@ -101,7 +100,7 @@ fn grid_oracle(problem: &AbProblem) -> bool {
 
 #[test]
 fn four_way_agreement_on_random_problems() {
-    let mut rng = StdRng::seed_from_u64(0xD1FF_7E57);
+    let mut rng = TestRng::seed_from_u64(0xD1FF_7E57);
     for round in 0..40 {
         let problem = random_problem(&mut rng);
         let expected = grid_oracle(&problem);
@@ -132,6 +131,124 @@ fn four_way_agreement_on_random_problems() {
         match (expected, &eager.verdict) {
             (true, BaselineVerdict::Sat(_)) | (false, BaselineVerdict::Unsat) => {}
             other => panic!("round {round}: eager disagrees: {other:?}"),
+        }
+    }
+}
+
+/// A testkit generator for small linear AB-problems — richer than
+/// [`random_problem`]: real or integer variables, up to three of them,
+/// and sparse constraints from the shared domain generators. There is
+/// no complete oracle at this size, so the property below checks mutual
+/// agreement plus model validity instead.
+fn linear_problem_gen() -> Gen<AbProblem> {
+    let n_vars = gen::ints(1usize..=3);
+    let int_kind = gen::bool_any();
+    let atoms = gen::vec_of(
+        {
+            let var = gen::ints(0usize..3);
+            let k = gen::ints(-3i64..=3);
+            let rhs = gen::ints(-5i64..=5);
+            let op = domain::cmp_op();
+            Gen::new(move |src| {
+                (var.generate(src), k.generate(src), op.generate(src), rhs.generate(src))
+            })
+        },
+        1..5,
+    );
+    let clauses = gen::vec_of(
+        gen::vec_of(
+            {
+                let idx = gen::ints(0usize..8);
+                let neg = gen::bool_any();
+                Gen::new(move |src| (idx.generate(src), neg.generate(src)))
+            },
+            1..3,
+        ),
+        1..4,
+    );
+    Gen::new(move |src| {
+        let n = n_vars.generate(src);
+        let kind = if int_kind.generate(src) { VarKind::Int } else { VarKind::Real };
+        let mut b = AbProblem::builder();
+        let vars: Vec<usize> = (0..n).map(|i| b.arith_var(&format!("v{i}"), kind)).collect();
+        // Box every variable so verdicts don't hinge on unbounded rays.
+        for &v in &vars {
+            let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-6));
+            b.require(lo.positive());
+            let hi = b.atom(Expr::var(v), CmpOp::Le, Rational::from_int(6));
+            b.require(hi.positive());
+        }
+        let atom_vars: Vec<_> = atoms
+            .generate(src)
+            .into_iter()
+            .map(|(v, k, op, rhs)| {
+                b.atom(
+                    Expr::int(k) * Expr::var(vars[v % vars.len()]),
+                    op,
+                    Rational::from_int(rhs),
+                )
+            })
+            .collect();
+        for clause in clauses.generate(src) {
+            let lits: Vec<_> = clause
+                .into_iter()
+                .map(|(i, neg)| {
+                    let a = atom_vars[i % atom_vars.len()];
+                    if neg {
+                        a.negative()
+                    } else {
+                        a.positive()
+                    }
+                })
+                .collect();
+            b.add_clause(lits);
+        }
+        b.build()
+    })
+}
+
+property! {
+    #![cases = 100]
+
+    /// Differential agreement on testkit-generated problems: the
+    /// orchestrator and both baselines must return the same SAT/UNSAT
+    /// verdict, and every returned model must satisfy the problem —
+    /// including its Boolean circuit under three-valued semantics.
+    fn orchestrator_and_baselines_agree(problem in linear_problem_gen()) {
+        let mut orc = Orchestrator::with_defaults();
+        let loose = orc.solve(&problem).unwrap();
+        let tight = MathSatLike::new().solve(&problem);
+        let eager = CvcLike::new().solve(&problem);
+
+        assert_eq!(
+            loose.is_sat(),
+            tight.verdict.is_sat(),
+            "orchestrator {loose:?} vs tight {:?}",
+            tight.verdict
+        );
+        assert_eq!(
+            loose.is_sat(),
+            eager.verdict.is_sat(),
+            "orchestrator {loose:?} vs eager {:?}",
+            eager.verdict
+        );
+
+        if loose.is_sat() {
+            let m = loose.model().expect("sat verdict carries a model");
+            assert_eq!(
+                problem.cnf().eval(&m.boolean),
+                Tri::True,
+                "orchestrator model does not satisfy the Boolean circuit"
+            );
+            assert!(m.satisfies(&problem, 1e-9), "orchestrator model invalid");
+            if let BaselineVerdict::Sat(bm) = &tight.verdict {
+                assert_eq!(problem.cnf().eval(&bm.boolean), Tri::True);
+                assert!(bm.satisfies(&problem, 1e-9), "tight model invalid");
+            }
+            if let BaselineVerdict::Sat(bm) = &eager.verdict {
+                assert_eq!(problem.cnf().eval(&bm.boolean), Tri::True);
+                assert!(bm.satisfies(&problem, 1e-9), "eager model invalid");
+            }
         }
     }
 }
