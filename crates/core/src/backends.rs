@@ -22,6 +22,9 @@ use absolver_logic::{Assignment, Cnf, Lit};
 use absolver_nonlinear::{branch_and_prune, local_search, NlOptions, NlProblem, NlVerdict};
 use absolver_sat::{SolveResult, Solver};
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Boolean domain
@@ -43,6 +46,16 @@ pub trait BooleanSolver {
     /// unsatisfiable. Called repeatedly; blocking clauses added between
     /// calls steer the enumeration.
     fn next_model(&mut self) -> Option<Assignment>;
+
+    /// Installs assumption literals applied to every subsequent
+    /// [`BooleanSolver::next_model`] call (cube-and-conquer shards solve
+    /// their cube this way). Returns `false` if the backend does not
+    /// support assumptions; the caller then falls back to adding the
+    /// assumptions as unit clauses.
+    fn set_assumptions(&mut self, lits: &[Lit]) -> bool {
+        let _ = lits;
+        false
+    }
 }
 
 impl fmt::Debug for dyn BooleanSolver + '_ {
@@ -57,12 +70,20 @@ impl fmt::Debug for dyn BooleanSolver + '_ {
 #[derive(Debug, Default)]
 pub struct CdclBoolean {
     solver: Solver,
+    phase_seed: Option<u64>,
+    assumptions: Vec<Lit>,
 }
 
 impl CdclBoolean {
     /// Creates an empty backend.
     pub fn new() -> CdclBoolean {
         CdclBoolean::default()
+    }
+
+    /// Creates a backend whose decision phases are scrambled from `seed`
+    /// on every `load` — the portfolio diversification knob.
+    pub fn with_phase_seed(seed: u64) -> CdclBoolean {
+        CdclBoolean { phase_seed: Some(seed), ..CdclBoolean::default() }
     }
 
     /// Access to the accumulated CDCL statistics.
@@ -78,6 +99,9 @@ impl BooleanSolver for CdclBoolean {
 
     fn load(&mut self, cnf: &Cnf) {
         self.solver = Solver::from_cnf(cnf);
+        if let Some(seed) = self.phase_seed {
+            self.solver.scramble_phases(seed);
+        }
     }
 
     fn add_clause(&mut self, lits: &[Lit]) -> bool {
@@ -85,10 +109,20 @@ impl BooleanSolver for CdclBoolean {
     }
 
     fn next_model(&mut self) -> Option<Assignment> {
-        match self.solver.solve() {
+        let result = if self.assumptions.is_empty() {
+            self.solver.solve()
+        } else {
+            self.solver.solve_under(&self.assumptions)
+        };
+        match result {
             SolveResult::Sat(m) => Some(m),
             _ => None,
         }
+    }
+
+    fn set_assumptions(&mut self, lits: &[Lit]) -> bool {
+        self.assumptions = lits.to_vec();
+        true
     }
 }
 
@@ -100,6 +134,7 @@ impl BooleanSolver for CdclBoolean {
 pub struct RestartingBoolean {
     cnf: Cnf,
     extra: Vec<Vec<Lit>>,
+    assumptions: Vec<Lit>,
 }
 
 impl RestartingBoolean {
@@ -132,10 +167,20 @@ impl BooleanSolver for RestartingBoolean {
                 return None;
             }
         }
-        match solver.solve() {
+        let result = if self.assumptions.is_empty() {
+            solver.solve()
+        } else {
+            solver.solve_under(&self.assumptions)
+        };
+        match result {
             SolveResult::Sat(m) => Some(m),
             _ => None,
         }
+    }
+
+    fn set_assumptions(&mut self, lits: &[Lit]) -> bool {
+        self.assumptions = lits.to_vec();
+        true
     }
 }
 
@@ -227,6 +272,14 @@ pub trait NonlinearBackend {
 
     /// Attempts to decide feasibility of the problem.
     fn solve(&mut self, problem: &NlProblem) -> NlVerdict;
+
+    /// Installs a cooperative cancellation token and wall-clock deadline
+    /// the engine should poll mid-search. Backends that cannot interrupt
+    /// themselves may ignore this (the default); interruption then only
+    /// happens between engine calls.
+    fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
+        let _ = (cancel, deadline);
+    }
 }
 
 impl fmt::Debug for dyn NonlinearBackend + '_ {
@@ -250,6 +303,11 @@ impl NonlinearBackend for IntervalNonlinear {
     fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
         branch_and_prune(problem, &self.options)
     }
+
+    fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
+        self.options.cancel = cancel;
+        self.options.deadline = deadline;
+    }
 }
 
 /// Multistart penalty local search backend — the IPOPT stand-in. Never
@@ -271,6 +329,11 @@ impl NonlinearBackend for PenaltyNonlinear {
             None => NlVerdict::Unknown,
         }
     }
+
+    fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
+        self.options.cancel = cancel;
+        self.options.deadline = deadline;
+    }
 }
 
 /// The default nonlinear backend: branch-and-prune first, penalty search
@@ -288,6 +351,11 @@ impl NonlinearBackend for CascadeNonlinear {
 
     fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
         problem.solve_with(&self.options)
+    }
+
+    fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
+        self.options.cancel = cancel;
+        self.options.deadline = deadline;
     }
 }
 

@@ -55,6 +55,7 @@
 pub mod backends;
 mod circuit;
 mod orchestrator;
+pub mod parallel;
 pub mod parser;
 mod problem;
 pub mod theory;
@@ -65,5 +66,6 @@ pub use backends::{
 };
 pub use circuit::{Circuit, Gate, NodeId, TseitinCnf};
 pub use orchestrator::{Orchestrator, OrchestratorOptions, OrchestratorStats, Outcome, SolveError};
+pub use parallel::{ParallelOptions, ParallelStats, ParallelStrategy, ShardStats};
 pub use parser::ParseAbError;
 pub use problem::{AbModel, AbProblem, AbProblemBuilder, ArithModel, ArithVar, AtomDef, VarKind};

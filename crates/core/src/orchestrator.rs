@@ -23,6 +23,8 @@ use absolver_logic::{Lit, Tri, Var};
 use absolver_nonlinear::NlConstraint;
 use absolver_num::Interval;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Outcome of solving an AB-problem.
@@ -91,6 +93,12 @@ pub struct OrchestratorStats {
     pub unknown_checks: u64,
     /// Whether the last call hit its wall-clock limit.
     pub timed_out: bool,
+    /// Whether the last call was stopped by a cancellation token.
+    pub cancelled: bool,
+    /// Theory-conflict clauses exported to sibling shards (parallel solving).
+    pub clauses_shared: u64,
+    /// Clauses imported from sibling shards (parallel solving).
+    pub clauses_imported: u64,
     /// Wall-clock time of the last `solve`/`solve_all` call.
     pub elapsed: Duration,
 }
@@ -141,6 +149,22 @@ impl Default for OrchestratorOptions {
     }
 }
 
+/// Clause-sharing endpoints of one parallel shard: theory-conflict
+/// clauses flow out through `outbox` (one sender per sibling) and in
+/// through `inbox`. Imported clauses are kept in `pool` so they survive
+/// the reload at the start of each `solve_under` call.
+pub(crate) struct ClauseSharing {
+    pub(crate) outbox: Vec<mpsc::Sender<Vec<Lit>>>,
+    pub(crate) inbox: mpsc::Receiver<Vec<Lit>>,
+    pub(crate) pool: Vec<Vec<Lit>>,
+}
+
+impl fmt::Debug for ClauseSharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClauseSharing(peers={}, pool={})", self.outbox.len(), self.pool.len())
+    }
+}
+
 /// The ABsolver engine: a Boolean backend plus lists of linear and
 /// nonlinear backends, orchestrated by the lazy-SMT control loop.
 #[derive(Debug)]
@@ -150,6 +174,9 @@ pub struct Orchestrator {
     nonlinear: Vec<Box<dyn NonlinearBackend>>,
     options: OrchestratorOptions,
     stats: OrchestratorStats,
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+    sharing: Option<ClauseSharing>,
 }
 
 impl Default for Orchestrator {
@@ -168,6 +195,9 @@ impl Orchestrator {
             nonlinear: vec![Box::new(CascadeNonlinear::default())],
             options: OrchestratorOptions::default(),
             stats: OrchestratorStats::default(),
+            cancel: None,
+            deadline: None,
+            sharing: None,
         }
     }
 
@@ -180,6 +210,9 @@ impl Orchestrator {
             nonlinear: Vec::new(),
             options: OrchestratorOptions::default(),
             stats: OrchestratorStats::default(),
+            cancel: None,
+            deadline: None,
+            sharing: None,
         }
     }
 
@@ -207,6 +240,41 @@ impl Orchestrator {
         self
     }
 
+    /// Installs a cooperative cancellation token. When another party sets
+    /// it to `true`, the control loop (and the theory engines inside it)
+    /// stop at their next check point and the call returns
+    /// [`Outcome::Unknown`] with [`OrchestratorStats::cancelled`] set.
+    pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Orchestrator {
+        self.set_cancel_token(Some(token));
+        self
+    }
+
+    /// Installs or clears the cancellation token (see
+    /// [`Orchestrator::with_cancel_token`]).
+    pub fn set_cancel_token(&mut self, token: Option<Arc<AtomicBool>>) {
+        self.cancel = token;
+    }
+
+    /// Installs an absolute wall-clock deadline shared across subsequent
+    /// calls (parallel shards use this so a per-call `time_limit` cannot
+    /// restart the clock on every cube). `None` clears it; the per-call
+    /// [`OrchestratorOptions::time_limit`] still applies independently.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Wires this orchestrator into a clause-sharing fabric: every theory
+    /// conflict clause it derives is broadcast through `outbox`, and
+    /// clauses arriving on `inbox` are imported at the top of each loop
+    /// iteration (and re-applied after any reload).
+    pub(crate) fn set_clause_sharing(
+        &mut self,
+        outbox: Vec<mpsc::Sender<Vec<Lit>>>,
+        inbox: mpsc::Receiver<Vec<Lit>>,
+    ) {
+        self.sharing = Some(ClauseSharing { outbox, inbox, pool: Vec::new() });
+    }
+
     /// Statistics of the most recent call.
     pub fn stats(&self) -> OrchestratorStats {
         self.stats
@@ -219,12 +287,56 @@ impl Orchestrator {
     /// Returns [`SolveError::IterationLimit`] if the Boolean loop exceeds
     /// the configured iteration cap.
     pub fn solve(&mut self, problem: &AbProblem) -> Result<Outcome, SolveError> {
+        self.solve_under(problem, &[])
+    }
+
+    /// Solves an AB-problem under assumption literals (a *cube*): the
+    /// problem is decided together with the assumptions, without adding
+    /// them as clauses. [`Outcome::Unsat`] then means *unsatisfiable under
+    /// the cube*. Cube-and-conquer shards drive their search space
+    /// partition through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::IterationLimit`] if the Boolean loop exceeds
+    /// the configured iteration cap.
+    pub fn solve_under(
+        &mut self,
+        problem: &AbProblem,
+        assumptions: &[Lit],
+    ) -> Result<Outcome, SolveError> {
         let started = Instant::now();
         self.stats = OrchestratorStats::default();
         self.boolean.load(problem.cnf());
+        self.replay_imported_pool();
+        if !self.boolean.set_assumptions(assumptions) {
+            // Backend without assumption support: a cube is equivalently
+            // the conjunction of its literals as unit clauses (the clause
+            // database is rebuilt by the next `load` anyway).
+            for &lit in assumptions {
+                if !self.boolean.add_clause(&[lit]) {
+                    self.stats.elapsed = started.elapsed();
+                    return Ok(Outcome::Unsat);
+                }
+            }
+        }
         let outcome = self.run_loop(problem, started);
         self.stats.elapsed = started.elapsed();
         outcome
+    }
+
+    /// Re-adds every previously imported shared clause after a reload.
+    /// Imported clauses are theory lemmas, valid for the problem itself —
+    /// dropping them on reload would silently lose pruning other shards
+    /// already paid for.
+    fn replay_imported_pool(&mut self) {
+        if let Some(sharing) = &mut self.sharing {
+            for clause in &sharing.pool {
+                if !self.boolean.add_clause(clause) {
+                    break;
+                }
+            }
+        }
     }
 
     /// Enumerates models of an AB-problem, up to `max_models`. Models are
@@ -244,6 +356,8 @@ impl Orchestrator {
         let started = Instant::now();
         self.stats = OrchestratorStats::default();
         self.boolean.load(problem.cnf());
+        self.boolean.set_assumptions(&[]);
+        self.replay_imported_pool();
         let mut models = Vec::new();
         // Project on all Boolean variables so distinct Boolean models are
         // enumerated (theory atoms and skeleton alike).
@@ -273,20 +387,79 @@ impl Orchestrator {
         Ok(models)
     }
 
+    /// The wall-clock deadline of a call that started at `started`: the
+    /// earlier of the per-call `time_limit` and any installed absolute
+    /// deadline.
+    fn effective_deadline(&self, started: Instant) -> Option<Instant> {
+        let per_call = self.options.time_limit.map(|limit| started + limit);
+        match (per_call, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True once the cancellation token has been set by another party.
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|token| token.load(Ordering::Relaxed))
+    }
+
+    /// Imports clauses shared by sibling shards. Returns `false` if an
+    /// import made the Boolean formula trivially unsatisfiable.
+    fn drain_imports(&mut self) -> bool {
+        let Some(sharing) = &mut self.sharing else { return true };
+        while let Ok(clause) = sharing.inbox.try_recv() {
+            self.stats.clauses_imported += 1;
+            let ok = self.boolean.add_clause(&clause);
+            sharing.pool.push(clause);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Broadcasts a theory-conflict clause to sibling shards. Only clauses
+    /// backed by a theory UNSAT proof are shared — they are lemmas of the
+    /// problem itself, so they prune every shard soundly. (Unknown-model
+    /// blocking clauses are *not* lemmas and must stay local.)
+    fn share_clause(&mut self, clause: &[Lit]) {
+        if let Some(sharing) = &mut self.sharing {
+            self.stats.clauses_shared += 1;
+            for tx in &sharing.outbox {
+                let _ = tx.send(clause.to_vec());
+            }
+        }
+    }
+
     fn run_loop(&mut self, problem: &AbProblem, started: Instant) -> Result<Outcome, SolveError> {
         let kinds: Vec<VarKind> = problem.arith_vars().iter().map(|v| v.kind).collect();
         let ranges: Vec<Interval> = problem.arith_vars().iter().map(|v| v.range).collect();
         let mut had_unknown = false;
+        let deadline = self.effective_deadline(started);
+        // Let the nonlinear engines poll the token/deadline mid-search —
+        // a 10-million-box branch-and-prune must not outlive the wall clock.
+        for backend in self.nonlinear.iter_mut() {
+            backend.set_interrupt(self.cancel.clone(), deadline);
+        }
 
         loop {
             if self.stats.boolean_iterations >= self.options.max_iterations {
                 return Err(SolveError::IterationLimit(self.options.max_iterations));
             }
-            if let Some(limit) = self.options.time_limit {
-                if started.elapsed() >= limit {
+            if self.is_cancelled() {
+                self.stats.cancelled = true;
+                return Ok(Outcome::Unknown);
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
                     self.stats.timed_out = true;
                     return Ok(Outcome::Unknown);
                 }
+            }
+            if !self.drain_imports() {
+                return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
             }
             let Some(model) = self.boolean.next_model() else {
                 return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
@@ -326,7 +499,8 @@ impl Orchestrator {
                 }
             }
 
-            let verdict = self.check_with_choices(problem, &fixed, &choices, &involved, &kinds, &ranges);
+            let verdict =
+                self.check_with_choices(problem, &fixed, &choices, &involved, &kinds, &ranges, deadline);
 
             match verdict {
                 TheoryVerdict::Sat(arith) => {
@@ -337,6 +511,7 @@ impl Orchestrator {
                     let clause: Vec<Lit> = tags.iter().map(|&t| !involved[t]).collect();
                     self.stats.conflicts_fed_back += 1;
                     self.stats.conflict_literals += clause.len() as u64;
+                    self.share_clause(&clause);
                     if !self.boolean.add_clause(&clause) {
                         return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
                     }
@@ -344,6 +519,17 @@ impl Orchestrator {
                 TheoryVerdict::Unknown => {
                     had_unknown = true;
                     self.stats.unknown_checks += 1;
+                    // An Unknown caused by interruption is not a solver
+                    // limitation: stop here and attribute it, rather than
+                    // blocking the model and looping on a dead clock.
+                    if self.is_cancelled() {
+                        self.stats.cancelled = true;
+                        return Ok(Outcome::Unknown);
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        self.stats.timed_out = true;
+                        return Ok(Outcome::Unknown);
+                    }
                     // Cannot decide this Boolean model; block its full
                     // theory projection and move on (final verdict can
                     // then be at best Unknown).
@@ -358,6 +544,7 @@ impl Orchestrator {
 
     /// Checks the theory obligations, exploring the disjunctive choices
     /// from false multi-constraint definitions.
+    #[allow(clippy::too_many_arguments)]
     fn check_with_choices(
         &mut self,
         problem: &AbProblem,
@@ -366,6 +553,7 @@ impl Orchestrator {
         involved: &[Lit],
         kinds: &[VarKind],
         ranges: &[Interval],
+        deadline: Option<Instant>,
     ) -> TheoryVerdict {
         // Branch count = Π |choiceᵢ|; refuse pathological blow-ups.
         let mut combos: usize = 1;
@@ -395,13 +583,16 @@ impl Orchestrator {
                 });
             }
             self.stats.theory_checks += 1;
+            let mut budget = self.options.theory.clone();
+            budget.deadline = deadline;
+            budget.cancel = self.cancel.clone();
             let mut ctx = TheoryContext {
                 num_vars: problem.arith_vars().len(),
                 kinds,
                 ranges,
                 linear: &mut self.linear,
                 nonlinear: &mut self.nonlinear,
-                budget: self.options.theory.clone(),
+                budget,
             };
             match check(&items, &mut ctx) {
                 TheoryVerdict::Sat(m) => return TheoryVerdict::Sat(m),

@@ -23,6 +23,9 @@ use crate::problem::{ArithModel, VarKind};
 use absolver_linear::{CmpOp, Feasibility, LinExpr, LinearConstraint};
 use absolver_nonlinear::{NlConstraint, NlProblem, NlVerdict};
 use absolver_num::{Interval, Rational};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One theory obligation: the constraint must hold (`Assert`) or must be
 /// violated (`Refute`, arising from a false atom whose negation is not a
@@ -55,11 +58,37 @@ pub struct TheoryBudget {
     pub max_nodes: usize,
     /// Maximum disequality splits on the nonlinear path.
     pub max_nl_splits: usize,
+    /// Wall-clock deadline: past it, the theory engines abandon the check
+    /// at their next node and report `Unknown`. This is what makes a
+    /// `time_limit` a real deadline instead of a between-iterations hint —
+    /// a single long branch-and-bound tree cannot blow past the wall clock.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation token (parallel solving): once it reads
+    /// `true`, the check is abandoned at the next node with `Unknown`.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for TheoryBudget {
     fn default() -> Self {
-        TheoryBudget { max_nodes: 50_000, max_nl_splits: 16 }
+        TheoryBudget { max_nodes: 50_000, max_nl_splits: 16, deadline: None, cancel: None }
+    }
+}
+
+impl TheoryBudget {
+    /// Returns `true` when the cancel token is set or the deadline has
+    /// passed. Checked at every linear node and nonlinear split.
+    pub fn interrupted(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -207,7 +236,7 @@ fn rec_linear(
     ctx: &mut TheoryContext<'_>,
     nodes: &mut usize,
 ) -> LinOutcome {
-    if *nodes == 0 {
+    if *nodes == 0 || ctx.budget.interrupted() {
         return LinOutcome::Unknown;
     }
     *nodes -= 1;
@@ -346,6 +375,9 @@ fn rec_nonlinear(
     ctx: &mut TheoryContext<'_>,
     splits: &mut usize,
 ) -> TheoryVerdict {
+    if ctx.budget.interrupted() {
+        return TheoryVerdict::Unknown;
+    }
     let mut problem = NlProblem::new(ctx.num_vars);
     for c in &constraints {
         problem.add_constraint(c.clone());

@@ -62,6 +62,31 @@ pub struct NlOptions {
     pub strict_margin: f64,
     /// Seed for the deterministic multistart sampler.
     pub seed: u64,
+    /// Cooperative cancellation token: once it reads `true`, the engines
+    /// abandon the search at their next check point and report `Unknown`.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Wall-clock deadline: past it, the engines abandon the search at
+    /// their next check point and report `Unknown`.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl NlOptions {
+    /// Returns `true` when the cancel token is set or the deadline has
+    /// passed. Polled periodically inside the engine loops so that a
+    /// single large budget cannot block a caller past its wall clock.
+    pub fn interrupted(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl Default for NlOptions {
@@ -74,6 +99,8 @@ impl Default for NlOptions {
             tolerance: 1e-6,
             strict_margin: 1e-7,
             seed: 0x5EED_AB50,
+            cancel: None,
+            deadline: None,
         }
     }
 }
@@ -182,6 +209,9 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
     while let Some(mut bx) = stack.pop() {
         explored += 1;
         if explored > opts.max_boxes {
+            return NlVerdict::Unknown;
+        }
+        if explored.is_multiple_of(64) && opts.interrupted() {
             return NlVerdict::Unknown;
         }
         if propagate(&problem.constraints, &mut bx, 20) == Contraction::Empty {
@@ -299,15 +329,21 @@ pub fn local_search(problem: &NlProblem, opts: &NlOptions) -> Option<Vec<f64>> {
     };
 
     for _ in 0..opts.restarts {
+        if opts.interrupted() {
+            return None;
+        }
         let mut x: Vec<f64> = ranges
             .iter()
             .map(|&(lo, hi)| lo + rng.next_f64() * (hi - lo))
             .collect();
         let mut lr = 0.1;
         let mut p = penalty(&x);
-        for _ in 0..opts.iterations {
+        for step in 0..opts.iterations {
             if problem.is_satisfied(&x, opts.tolerance) {
                 return Some(x);
+            }
+            if step % 64 == 63 && opts.interrupted() {
+                return None;
             }
             if !p.is_finite() {
                 break; // restart from elsewhere

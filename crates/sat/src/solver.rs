@@ -206,6 +206,28 @@ impl Solver {
         self.conflict_budget = budget;
     }
 
+    /// The VSIDS activity of every variable, indexed by variable number.
+    /// Cube-and-conquer splitting reads this after a bounded probe run to
+    /// pick high-activity branch variables.
+    pub fn activities(&self) -> &[f64] {
+        &self.activity
+    }
+
+    /// Deterministically reseeds the saved decision phases (SplitMix64 on
+    /// `seed` and the variable index). Portfolio solving uses this to
+    /// diversify otherwise-identical CDCL instances: different initial
+    /// phases explore the search space in a different order without
+    /// affecting soundness or completeness.
+    pub fn scramble_phases(&mut self, seed: u64) {
+        for (i, p) in self.phase.iter_mut().enumerate() {
+            let mut z = seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *p = (z ^ (z >> 31)) & 1 == 1;
+        }
+    }
+
     /// Ensures variables `0..n` exist.
     pub fn reserve_vars(&mut self, n: usize) {
         while self.vars.len() < n {

@@ -16,6 +16,15 @@ cargo build --release --offline --workspace --all-targets
 echo "== test =="
 cargo test -q --offline --workspace
 
+echo "== parallel differential suite (portfolio + cubes at jobs 1/2/4) =="
+cargo test -q --offline --test parallel_agreement
+
+echo "== seeded re-run of the randomized suites (pinned TESTKIT_SEED) =="
+# A second pass under a fixed non-default seed: catches properties that
+# only pass on the name-derived default seed path.
+TESTKIT_SEED=0xAB501BE5 cargo test -q --offline \
+    --test parallel_agreement --test solver_agreement --test fuzz_inputs
+
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --workspace --all-targets -- -D warnings

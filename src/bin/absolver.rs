@@ -17,13 +17,18 @@
 //!   --no-minimize            disable conflict-core minimisation
 //!   --all-models N           enumerate up to N models
 //!   --time-limit SECS        wall-clock budget
+//!   --jobs N                 solve with N parallel shards
+//!   --strategy portfolio|cubes
+//!                            parallel strategy      (default: portfolio)
+//!   --deterministic          reproducible cube-to-shard assignment
 //!   --stats                  print solver statistics
 //!   --quiet                  verdict only (exit code 10 = sat, 20 = unsat)
 //! ```
 
 use absolver::core::{
     AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear, Orchestrator,
-    OrchestratorOptions, Outcome, PenaltyNonlinear, RestartingBoolean, SimplexLinear,
+    OrchestratorOptions, Outcome, ParallelOptions, ParallelStrategy, PenaltyNonlinear,
+    RestartingBoolean, SimplexLinear,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -36,6 +41,9 @@ struct Config {
     minimize: bool,
     all_models: Option<usize>,
     time_limit: Option<Duration>,
+    jobs: Option<usize>,
+    strategy: ParallelStrategy,
+    deterministic: bool,
     stats: bool,
     quiet: bool,
 }
@@ -44,6 +52,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: absolver [--boolean cdcl|restart] [--nonlinear cascade|interval|penalty]\n\
          \x20               [--no-minimize] [--all-models N] [--time-limit SECS]\n\
+         \x20               [--jobs N] [--strategy portfolio|cubes] [--deterministic]\n\
          \x20               [--stats] [--quiet] [FILE]"
     );
     std::process::exit(2);
@@ -57,6 +66,9 @@ fn parse_args() -> Config {
         minimize: true,
         all_models: None,
         time_limit: None,
+        jobs: None,
+        strategy: ParallelStrategy::Portfolio,
+        deterministic: false,
         stats: false,
         quiet: false,
     };
@@ -77,6 +89,18 @@ fn parse_args() -> Config {
                     .unwrap_or_else(|| usage());
                 config.time_limit = Some(Duration::from_secs(secs));
             }
+            "--jobs" => {
+                let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                config.jobs = Some(n.max(1));
+            }
+            "--strategy" => {
+                let s = args.next().unwrap_or_else(|| usage());
+                config.strategy = s.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                });
+            }
+            "--deterministic" => config.deterministic = true,
             "--stats" => config.stats = true,
             "--quiet" => config.quiet = true,
             "--help" | "-h" => usage(),
@@ -192,14 +216,47 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = match orc.solve(&problem) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
+    let outcome = if let Some(jobs) = config.jobs {
+        let popts = ParallelOptions {
+            jobs,
+            strategy: config.strategy,
+            deterministic: config.deterministic,
+            base: OrchestratorOptions { time_limit: config.time_limit, ..Default::default() },
+            ..Default::default()
+        };
+        match orc.solve_parallel(&problem, &popts) {
+            Ok((o, pstats)) => {
+                if config.stats {
+                    eprintln!("c parallel[{}]: {}", config.strategy, pstats);
+                    for (i, s) in pstats.shards.iter().enumerate() {
+                        eprintln!(
+                            "c shard {i}: cubes={} iterations={} shared={} imported={}{}{}",
+                            s.cubes_solved,
+                            s.boolean_iterations,
+                            s.clauses_shared,
+                            s.clauses_imported,
+                            if s.cancelled { " cancelled" } else { "" },
+                            if s.timed_out { " timed-out" } else { "" },
+                        );
+                    }
+                }
+                o
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match orc.solve(&problem) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
         }
     };
-    if config.stats {
+    if config.stats && config.jobs.is_none() {
         eprintln!("c stats: {}", orc.stats());
     }
     match outcome {

@@ -146,3 +146,51 @@ fn nonlinear_rejection_by_baselines() {
         assert!(matches!(c.verdict, BaselineVerdict::Rejected(_)));
     }
 }
+
+#[test]
+fn solve_all_surfaces_iteration_limit_error() {
+    use absolver::core::{OrchestratorOptions, SolveError};
+    let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
+    let problem: AbProblem = text.parse().unwrap();
+    let opts = OrchestratorOptions { max_iterations: 1, ..Default::default() };
+    let mut orc = Orchestrator::with_defaults().with_options(opts);
+    // Enumerating three models needs more than one Boolean iteration, so
+    // the cap trips mid-enumeration and must surface as an error, not as
+    // a silently short model list.
+    assert_eq!(orc.solve_all(&problem, usize::MAX), Err(SolveError::IterationLimit(1)));
+}
+
+#[test]
+fn solve_all_stops_at_unknown_without_fabricating_models() {
+    use absolver::core::{CdclBoolean, PenaltyNonlinear, SimplexLinear};
+    // Penalty-only stack on an UNSAT nonlinear core: every theory check is
+    // Unknown, so enumeration finds nothing — and stats record why.
+    let text = "p cnf 1 1\n1 0\nc def real 1 x^2 <= -1\nc range x -50 50\n";
+    let problem: AbProblem = text.parse().unwrap();
+    let mut orc = Orchestrator::custom(Box::new(CdclBoolean::new()))
+        .with_linear(Box::new(SimplexLinear::new()))
+        .with_nonlinear(Box::new(PenaltyNonlinear::default()));
+    let models = orc.solve_all(&problem, usize::MAX).unwrap();
+    assert!(models.is_empty());
+    assert!(orc.stats().unknown_checks >= 1, "{}", orc.stats());
+    assert_eq!(orc.solve(&problem).unwrap(), Outcome::Unknown);
+}
+
+#[test]
+fn solve_all_mixes_decided_and_unknown_models() {
+    use absolver::core::{CdclBoolean, PenaltyNonlinear, SimplexLinear};
+    // One linearly-decidable atom and one hopeless nonlinear atom: the
+    // enumeration returns exactly the models where the hopeless atom is
+    // false, skipping (not inventing) the undecidable ones.
+    let text = "p cnf 2 1\n1 -2 0\nc def real 1 x >= 0\nc def real 2 y^2 <= -1\nc range y -10 10\n";
+    let problem: AbProblem = text.parse().unwrap();
+    let mut orc = Orchestrator::custom(Box::new(CdclBoolean::new()))
+        .with_linear(Box::new(SimplexLinear::new()))
+        .with_nonlinear(Box::new(PenaltyNonlinear::default()));
+    let models = orc.solve_all(&problem, usize::MAX).unwrap();
+    assert!(!models.is_empty());
+    for m in &models {
+        assert!(m.satisfies(&problem, 1e-9));
+    }
+    assert!(orc.stats().unknown_checks >= 1, "{}", orc.stats());
+}

@@ -45,6 +45,69 @@ property! {
     }
 }
 
+property! {
+    #![cases = 64]
+
+    /// The cube splitter never panics on degenerate pure-Boolean CNFs —
+    /// including zero-variable, zero-clause, unit-conflicting, and
+    /// trivially-UNSAT inputs — and its verdict matches sequential solve.
+    fn cube_splitter_survives_degenerate_cnfs(
+        num_vars in gen::ints(0usize..=4),
+        raw_clauses in gen::vec_of(gen::vec_of(gen::ints(-4i64..=4), 0..4), 0..6),
+        jobs in gen::ints(1usize..=4),
+    ) {
+        use absolver::core::{Orchestrator, ParallelOptions, ParallelStrategy};
+        let mut text = String::new();
+        let clauses: Vec<Vec<i64>> = raw_clauses
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .filter(|&l| l != 0 && l.unsigned_abs() as usize <= num_vars)
+                    .collect()
+            })
+            .collect();
+        text.push_str(&format!("p cnf {num_vars} {}\n", clauses.len()));
+        for c in &clauses {
+            for l in c {
+                text.push_str(&format!("{l} "));
+            }
+            // Zero-length clauses survive the filter: an empty clause line
+            // is a legal trivially-UNSAT input.
+            text.push_str("0\n");
+        }
+        let problem: absolver::core::AbProblem = text.parse().unwrap();
+        let sequential = Orchestrator::with_defaults().solve(&problem).unwrap();
+        let opts = ParallelOptions {
+            jobs,
+            strategy: ParallelStrategy::Cubes,
+            deterministic: true,
+            ..Default::default()
+        };
+        let (outcome, _) =
+            Orchestrator::with_defaults().solve_parallel(&problem, &opts).unwrap();
+        assert_eq!(sequential.is_sat(), outcome.is_sat(), "jobs={jobs}: {text}");
+        assert_eq!(sequential.is_unsat(), outcome.is_unsat(), "jobs={jobs}: {text}");
+    }
+
+    /// The cube splitter also survives problems with theory atoms whose
+    /// CNF skeleton is already unsatisfiable (every cube is refuted
+    /// before any theory check happens).
+    fn cube_splitter_survives_bool_unsat_with_atoms(jobs in gen::ints(1usize..=4)) {
+        use absolver::core::{Orchestrator, ParallelOptions, ParallelStrategy};
+        let text = "p cnf 2 3\n1 0\n-1 0\n2 0\nc def real 2 x >= 0\n";
+        let problem: absolver::core::AbProblem = text.parse().unwrap();
+        let opts = ParallelOptions {
+            jobs,
+            strategy: ParallelStrategy::Cubes,
+            deterministic: true,
+            ..Default::default()
+        };
+        let (outcome, _) =
+            Orchestrator::with_defaults().solve_parallel(&problem, &opts).unwrap();
+        assert!(outcome.is_unsat());
+    }
+}
+
 /// Error messages of the main front end are informative (mention what went
 /// wrong), not just a generic failure.
 #[test]
