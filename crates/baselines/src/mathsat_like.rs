@@ -287,6 +287,8 @@ impl<'a> TightHook<'a> {
             linear: &mut linear,
             nonlinear: &mut nonlinear,
             budget: TheoryBudget::default(),
+            timing: Default::default(),
+            sink: None,
         };
         match check(&items, &mut ctx) {
             TheoryVerdict::Sat(model) => {

@@ -1,0 +1,53 @@
+//! Emits the machine-readable `BENCH_<workload>.json` observability
+//! reports: one file per workload, each a single JSON object with the
+//! verdict, structural statistics, and the full per-phase solver stats
+//! (see `OrchestratorStats::to_json`).
+//!
+//! ```text
+//! cargo run --release -p absolver-bench --bin bench_json [workload ...]
+//! ```
+//!
+//! Without arguments every workload of
+//! [`absolver_bench::workloads::bench_suite`] runs (steering,
+//! threshold-reach, sudoku, fischer); with arguments only the named
+//! subset. `ABS_TIMEOUT_SECS` (default 120) bounds each run;
+//! `ABS_BENCH_DIR` (default `.`) selects the output directory.
+
+use absolver_bench::harness::{env_seconds, format_duration, run_absolver_report};
+use absolver_bench::workloads::bench_suite;
+use std::path::PathBuf;
+
+fn main() {
+    let timeout = env_seconds("ABS_TIMEOUT_SECS", 120);
+    let out_dir = PathBuf::from(std::env::var("ABS_BENCH_DIR").unwrap_or_else(|_| ".".into()));
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+
+    let suite = bench_suite();
+    if let Some(unknown) = selected
+        .iter()
+        .find(|name| !suite.iter().any(|(key, _)| key == name))
+    {
+        let known: Vec<&str> = suite.iter().map(|(key, _)| *key).collect();
+        eprintln!("unknown workload `{unknown}` (known: {})", known.join(", "));
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for (key, problem) in suite {
+        if !selected.is_empty() && !selected.iter().any(|name| name == key) {
+            continue;
+        }
+        eprintln!("running {key} ...");
+        let (m, report) = run_absolver_report(key, &problem, Some(timeout));
+        let path = out_dir.join(format!("BENCH_{key}.json"));
+        if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+            eprintln!("cannot write {}: {e}", path.display());
+            failed = true;
+            continue;
+        }
+        eprintln!("  {} [{}] -> {}", format_duration(m.elapsed), m.verdict, path.display());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

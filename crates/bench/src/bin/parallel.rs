@@ -17,40 +17,12 @@
 
 use absolver_bench::harness::{env_seconds, format_duration, print_table, run_absolver};
 use absolver_bench::sudoku::{encode_mixed, generate, Difficulty};
+use absolver_bench::workloads::threshold_problem;
 use absolver_core::{
     AbProblem, Orchestrator, OrchestratorOptions, Outcome, ParallelOptions, ParallelStrategy,
-    VarKind,
 };
-use absolver_linear::CmpOp;
 use absolver_model::steering_problem;
-use absolver_nonlinear::Expr;
-use absolver_num::Rational;
 use std::time::Duration;
-
-/// The threshold workload: `m` integer variables in `{-1, 0, 1}`, each
-/// with a free atom `aᵢ ⇔ xᵢ ≥ 1`, and a required atom forcing
-/// `Σ xᵢ ≥ ⌈0.55 m⌉`. Every Boolean model with too few true atoms is a
-/// theory conflict whose minimised core only rules out one more
-/// assignment, so the distance between the solver's starting phase and
-/// the threshold is paid in full, one conflict at a time.
-fn threshold_problem(m: usize) -> AbProblem {
-    let mut b = AbProblem::builder();
-    let vars: Vec<usize> =
-        (0..m).map(|i| b.arith_var(&format!("x{i}"), VarKind::Int)).collect();
-    for &v in &vars {
-        let a = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(1));
-        let _ = a; // free atom: the Boolean search decides its polarity
-        let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-1));
-        b.require(lo.positive());
-        let hi = b.atom(Expr::var(v), CmpOp::Le, Rational::from_int(1));
-        b.require(hi.positive());
-    }
-    let sum = vars.iter().fold(Expr::int(0), |acc, &v| acc + Expr::var(v));
-    let target = (m * 55).div_ceil(100) as i64;
-    let u = b.atom(sum, CmpOp::Ge, Rational::from_int(target));
-    b.require(u.positive());
-    b.build()
-}
 
 fn run_parallel(
     problem: &AbProblem,

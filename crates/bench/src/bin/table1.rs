@@ -7,16 +7,18 @@
 //!
 //! `ABS_TIMEOUT_SECS` (default 120) bounds each solver run.
 
-use absolver_bench::harness::{print_table, run_absolver, run_cvc_like, run_mathsat_like};
+use absolver_bench::harness::{print_table, run_absolver_report, run_cvc_like, run_mathsat_like};
 use absolver_bench::table1::table1_suite;
 
 fn main() {
     let timeout = absolver_bench::harness::env_seconds("ABS_TIMEOUT_SECS", 120);
     println!("Table 1: results on nonlinear problems (paper Sec. 5.1)\n");
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for (name, problem) in table1_suite() {
         eprintln!("running {name} ...");
-        let abs = run_absolver(&problem, Some(timeout));
+        let (abs, report) = run_absolver_report(&name, &problem, Some(timeout));
+        reports.push(report);
         let msat = run_mathsat_like(&problem, Some(timeout));
         let cvc = run_cvc_like(&problem, Some(timeout));
         rows.push(vec![
@@ -45,4 +47,8 @@ fn main() {
     );
     println!("\npaper reference: Car steering 0m58.344s; esat_n11_m8 0m0.469s;");
     println!("nonlinear_unsat 0m0.260s; div_operator 0m0.233s; baselines reject all.");
+    // Machine-readable per-row reports (one JSON object per line).
+    for report in &reports {
+        println!("{report}");
+    }
 }

@@ -3,6 +3,7 @@
 
 use absolver_baselines::{BaselineVerdict, CvcLike, CvcLikeOptions, MathSatLike, MathSatLikeOptions};
 use absolver_core::{AbProblem, Orchestrator, OrchestratorOptions, Outcome};
+use absolver_trace::JsonObject;
 use std::time::Duration;
 
 /// Result of one solver on one instance.
@@ -35,6 +36,18 @@ pub fn format_duration(d: Duration) -> String {
 
 /// Runs ABsolver (the default orchestrator stack) on a problem.
 pub fn run_absolver(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
+    run_absolver_report("", problem, time_limit).0
+}
+
+/// Runs ABsolver and additionally renders the machine-readable report:
+/// a JSON object with the workload name, verdict, structural statistics,
+/// and the full per-phase [`absolver_core::OrchestratorStats`] payload
+/// (the `BENCH_<workload>.json` format).
+pub fn run_absolver_report(
+    workload: &str,
+    problem: &AbProblem,
+    time_limit: Option<Duration>,
+) -> (Measurement, String) {
     let options = OrchestratorOptions { time_limit, ..Default::default() };
     let mut orc = Orchestrator::with_defaults().with_options(options);
     let outcome = orc.solve(problem);
@@ -49,7 +62,15 @@ pub fn run_absolver(problem: &AbProblem, time_limit: Option<Duration>) -> Measur
         Ok(Outcome::Unknown) => "unknown".to_string(),
         Err(e) => format!("error: {e}"),
     };
-    Measurement { verdict, elapsed: stats.elapsed }
+    let mut obj = JsonObject::new();
+    obj.field_str("workload", workload)
+        .field_str("verdict", &verdict)
+        .field_u64("clauses", problem.cnf().len() as u64)
+        .field_u64("defs", problem.num_defs() as u64)
+        .field_u64("linear_constraints", problem.num_linear() as u64)
+        .field_u64("nonlinear_constraints", problem.num_nonlinear() as u64)
+        .field_raw("stats", &stats.to_json());
+    (Measurement { verdict, elapsed: stats.elapsed }, obj.finish())
 }
 
 /// Runs the tight DPLL(T) baseline.

@@ -8,6 +8,8 @@
 //!   (ABsolver) and the integer-free translation (baselines).
 //! * [`harness`] — timing, verdict and table-formatting helpers shared by
 //!   the `table1`/`table2`/`table3`/`ablations` binaries.
+//! * [`workloads`] — the named workloads behind the `BENCH_<workload>.json`
+//!   observability reports (`bench_json` binary).
 //!
 //! Regenerate the paper's tables with:
 //!
@@ -25,3 +27,4 @@ pub mod fischer;
 pub mod harness;
 pub mod sudoku;
 pub mod table1;
+pub mod workloads;

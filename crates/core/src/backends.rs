@@ -17,14 +17,16 @@
 //! | —            | [`IntervalNonlinear`] (rigorous branch-and-prune)      |
 //! | —            | [`CascadeNonlinear`] (branch-and-prune, then penalty)  |
 
-use absolver_linear::{check_conjunction, Feasibility, LinearConstraint};
+use absolver_linear::{check_conjunction_counted, Feasibility, LinearConstraint};
 use absolver_logic::{Assignment, Cnf, Lit};
-use absolver_nonlinear::{branch_and_prune, local_search, NlOptions, NlProblem, NlVerdict};
+use absolver_nonlinear::{
+    branch_and_prune_stats, local_search, NlOptions, NlProblem, NlSearchStats, NlVerdict,
+};
 use absolver_sat::{SolveResult, Solver};
 use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Boolean domain
@@ -188,6 +190,19 @@ impl BooleanSolver for RestartingBoolean {
 // Linear domain
 // ---------------------------------------------------------------------------
 
+/// Cumulative effort counters of a [`LinearBackend`], read by the
+/// orchestrator's observability layer (counters only ever grow; the
+/// orchestrator diffs snapshots to attribute per-run cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinearBackendStats {
+    /// Feasibility checks performed.
+    pub checks: u64,
+    /// Simplex pivots across all checks.
+    pub pivots: u64,
+    /// Wall-clock time spent minimising conflict cores.
+    pub conflict_min_time: Duration,
+}
+
 /// A linear-arithmetic solver usable by the theory layer (COIN role).
 pub trait LinearBackend {
     /// Human-readable backend name.
@@ -196,6 +211,12 @@ pub trait LinearBackend {
     /// Decides feasibility of a conjunction, returning a witness or a
     /// conflicting subset (indices into the input).
     fn check(&mut self, constraints: &[LinearConstraint]) -> Feasibility;
+
+    /// Cumulative effort counters. Backends without instrumentation
+    /// report all-zero stats (the default).
+    fn stats(&self) -> LinearBackendStats {
+        LinearBackendStats::default()
+    }
 }
 
 impl fmt::Debug for dyn LinearBackend + '_ {
@@ -209,7 +230,7 @@ impl fmt::Debug for dyn LinearBackend + '_ {
 #[derive(Debug, Clone)]
 pub struct SimplexLinear {
     minimize_conflicts: bool,
-    checks: u64,
+    stats: LinearBackendStats,
 }
 
 impl Default for SimplexLinear {
@@ -221,17 +242,17 @@ impl Default for SimplexLinear {
 impl SimplexLinear {
     /// Creates the backend with conflict minimisation enabled.
     pub fn new() -> SimplexLinear {
-        SimplexLinear { minimize_conflicts: true, checks: 0 }
+        SimplexLinear { minimize_conflicts: true, stats: LinearBackendStats::default() }
     }
 
     /// Creates the backend without the deletion-filter pass (ablation).
     pub fn without_minimization() -> SimplexLinear {
-        SimplexLinear { minimize_conflicts: false, checks: 0 }
+        SimplexLinear { minimize_conflicts: false, stats: LinearBackendStats::default() }
     }
 
     /// Number of feasibility checks performed.
     pub fn checks(&self) -> u64 {
-        self.checks
+        self.stats.checks
     }
 }
 
@@ -241,29 +262,55 @@ impl LinearBackend for SimplexLinear {
     }
 
     fn check(&mut self, constraints: &[LinearConstraint]) -> Feasibility {
-        self.checks += 1;
-        match check_conjunction(constraints) {
+        self.stats.checks += 1;
+        let (feasibility, pivots) = check_conjunction_counted(constraints);
+        self.stats.pivots += pivots;
+        match feasibility {
             Feasibility::Infeasible(core) if self.minimize_conflicts => {
                 // Deletion filter over the already-small certificate.
+                let started = Instant::now();
                 let subset: Vec<LinearConstraint> =
                     core.iter().map(|&i| constraints[i].clone()).collect();
-                match absolver_linear::minimal_infeasible_subset(&subset) {
+                let minimized = match absolver_linear::minimal_infeasible_subset(&subset) {
                     Some(mini) => {
                         let mut mapped: Vec<usize> = mini.into_iter().map(|i| core[i]).collect();
                         mapped.sort_unstable();
                         Feasibility::Infeasible(mapped)
                     }
                     None => Feasibility::Infeasible(core),
-                }
+                };
+                self.stats.conflict_min_time += started.elapsed();
+                minimized
             }
             other => other,
         }
+    }
+
+    fn stats(&self) -> LinearBackendStats {
+        self.stats
     }
 }
 
 // ---------------------------------------------------------------------------
 // Nonlinear domain
 // ---------------------------------------------------------------------------
+
+/// Cumulative effort counters of a [`NonlinearBackend`] (counters only
+/// ever grow; the orchestrator diffs snapshots to attribute per-run cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NonlinearBackendStats {
+    /// Branch-and-prune boxes explored across all solve calls.
+    pub boxes_explored: u64,
+    /// HC4 revise calls that narrowed (or emptied) a domain.
+    pub hc4_contractions: u64,
+}
+
+impl NonlinearBackendStats {
+    fn absorb(&mut self, run: NlSearchStats) {
+        self.boxes_explored += run.boxes_explored;
+        self.hc4_contractions += run.hc4_contractions;
+    }
+}
 
 /// A nonlinear solver usable by the theory layer (IPOPT role).
 pub trait NonlinearBackend {
@@ -280,6 +327,12 @@ pub trait NonlinearBackend {
     fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
         let _ = (cancel, deadline);
     }
+
+    /// Cumulative effort counters. Backends without instrumentation
+    /// report all-zero stats (the default).
+    fn stats(&self) -> NonlinearBackendStats {
+        NonlinearBackendStats::default()
+    }
 }
 
 impl fmt::Debug for dyn NonlinearBackend + '_ {
@@ -293,6 +346,7 @@ impl fmt::Debug for dyn NonlinearBackend + '_ {
 pub struct IntervalNonlinear {
     /// Engine options.
     pub options: NlOptions,
+    stats: NonlinearBackendStats,
 }
 
 impl NonlinearBackend for IntervalNonlinear {
@@ -301,12 +355,18 @@ impl NonlinearBackend for IntervalNonlinear {
     }
 
     fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
-        branch_and_prune(problem, &self.options)
+        let (verdict, run) = branch_and_prune_stats(problem, &self.options);
+        self.stats.absorb(run);
+        verdict
     }
 
     fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
         self.options.cancel = cancel;
         self.options.deadline = deadline;
+    }
+
+    fn stats(&self) -> NonlinearBackendStats {
+        self.stats
     }
 }
 
@@ -342,6 +402,7 @@ impl NonlinearBackend for PenaltyNonlinear {
 pub struct CascadeNonlinear {
     /// Engine options.
     pub options: NlOptions,
+    stats: NonlinearBackendStats,
 }
 
 impl NonlinearBackend for CascadeNonlinear {
@@ -350,12 +411,18 @@ impl NonlinearBackend for CascadeNonlinear {
     }
 
     fn solve(&mut self, problem: &NlProblem) -> NlVerdict {
-        problem.solve_with(&self.options)
+        let (verdict, run) = problem.solve_with_stats(&self.options);
+        self.stats.absorb(run);
+        verdict
     }
 
     fn set_interrupt(&mut self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
         self.options.cancel = cancel;
         self.options.deadline = deadline;
+    }
+
+    fn stats(&self) -> NonlinearBackendStats {
+        self.stats
     }
 }
 

@@ -16,9 +16,23 @@
 //! AB-problems from block diagrams.
 
 use absolver_logic::{Clause, Cnf, Lit, Tri, Var};
+use std::fmt;
 
 /// Index of a gate within a [`Circuit`].
 pub type NodeId = usize;
+
+/// Error returned when evaluating or lowering a circuit whose output pin
+/// was never selected with [`Circuit::set_output`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoOutputError;
+
+impl fmt::Display for NoOutputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circuit has no output pin")
+    }
+}
+
+impl std::error::Error for NoOutputError {}
 
 /// A gate of the circuit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,8 +70,8 @@ pub enum Gate {
 /// let a = c.atom(0);
 /// let and = c.and(vec![i, a]);
 /// c.set_output(and);
-/// assert_eq!(c.eval(&[Tri::True], &[Tri::Unknown]), Tri::Unknown);
-/// assert_eq!(c.eval(&[Tri::False], &[Tri::Unknown]), Tri::False);
+/// assert_eq!(c.eval(&[Tri::True], &[Tri::Unknown]), Ok(Tri::Unknown));
+/// assert_eq!(c.eval(&[Tri::False], &[Tri::Unknown]), Ok(Tri::False));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Circuit {
@@ -166,11 +180,11 @@ impl Circuit {
     /// values (missing entries read as `?`). Returns the output pin value;
     /// `?` means "further treatment is necessary, internally".
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no output pin is set.
-    pub fn eval(&self, inputs: &[Tri], atoms: &[Tri]) -> Tri {
-        let out = self.output.expect("circuit has no output pin");
+    /// Returns [`NoOutputError`] if no output pin is set.
+    pub fn eval(&self, inputs: &[Tri], atoms: &[Tri]) -> Result<Tri, NoOutputError> {
+        let out = self.output.ok_or(NoOutputError)?;
         let mut values: Vec<Tri> = Vec::with_capacity(self.gates.len());
         for gate in &self.gates {
             let v = match gate {
@@ -186,7 +200,7 @@ impl Circuit {
             };
             values.push(v);
         }
-        values[out]
+        Ok(values[out])
     }
 
     /// Tseitin-transforms the circuit into CNF, asserting the output pin.
@@ -196,11 +210,11 @@ impl Circuit {
     /// [`crate::AbProblem`] definition should bind to the corresponding
     /// arithmetic constraint.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no output pin is set.
-    pub fn to_cnf(&self) -> TseitinCnf {
-        let out = self.output.expect("circuit has no output pin");
+    /// Returns [`NoOutputError`] if no output pin is set.
+    pub fn to_cnf(&self) -> Result<TseitinCnf, NoOutputError> {
+        let out = self.output.ok_or(NoOutputError)?;
         let mut cnf = Cnf::new(0);
         let mut input_vars: Vec<(usize, Var)> = Vec::new();
         let mut atom_vars: Vec<(usize, Var)> = Vec::new();
@@ -293,7 +307,7 @@ impl Circuit {
         cnf.add_clause(Clause::new(vec![node_lit[out]]));
         input_vars.sort_unstable_by_key(|&(i, _)| i);
         atom_vars.sort_unstable_by_key(|&(i, _)| i);
-        TseitinCnf { cnf, input_vars, atom_vars, output: node_lit[out] }
+        Ok(TseitinCnf { cnf, input_vars, atom_vars, output: node_lit[out] })
     }
 }
 
@@ -335,13 +349,13 @@ mod tests {
     fn three_valued_evaluation() {
         let c = fig5_circuit();
         // All atoms unknown: output unknown ("further treatment").
-        assert_eq!(c.eval(&[], &[]), Tri::Unknown);
+        assert_eq!(c.eval(&[], &[]), Ok(Tri::Unknown));
         // atom2 false ⇒ NOT(atom2) true ⇒ OR short-circuits to tt.
-        assert_eq!(c.eval(&[], &[Tri::Unknown, Tri::Unknown, Tri::False]), Tri::True);
+        assert_eq!(c.eval(&[], &[Tri::Unknown, Tri::Unknown, Tri::False]), Ok(Tri::True));
         // Both AND inputs true ⇒ tt regardless of atom2.
-        assert_eq!(c.eval(&[], &[Tri::True, Tri::True, Tri::Unknown]), Tri::True);
+        assert_eq!(c.eval(&[], &[Tri::True, Tri::True, Tri::Unknown]), Ok(Tri::True));
         // AND false and NOT false ⇒ ff.
-        assert_eq!(c.eval(&[], &[Tri::False, Tri::True, Tri::True]), Tri::False);
+        assert_eq!(c.eval(&[], &[Tri::False, Tri::True, Tri::True]), Ok(Tri::False));
     }
 
     #[test]
@@ -367,7 +381,7 @@ mod tests {
                 ] {
                     let mut cc = c.clone();
                     cc.set_output(node);
-                    assert_eq!(cc.eval(&[a, b], &[]), expect, "gate {node} on ({a},{b})");
+                    assert_eq!(cc.eval(&[a, b], &[]), Ok(expect), "gate {node} on ({a},{b})");
                 }
             }
         }
@@ -380,18 +394,22 @@ mod tests {
         let f = c.constant(Tri::False);
         let or = c.or(vec![t, f]);
         c.set_output(or);
-        assert_eq!(c.eval(&[], &[]), Tri::True);
+        assert_eq!(c.eval(&[], &[]), Ok(Tri::True));
         // Missing input pins read as ?.
         let mut c2 = Circuit::new();
         let i9 = c2.bool_input(9);
         c2.set_output(i9);
-        assert_eq!(c2.eval(&[], &[]), Tri::Unknown);
+        assert_eq!(c2.eval(&[], &[]), Ok(Tri::Unknown));
     }
 
     #[test]
-    #[should_panic(expected = "no output pin")]
-    fn eval_without_output_panics() {
-        Circuit::new().eval(&[], &[]);
+    fn missing_output_is_an_error_not_a_panic() {
+        // An output-less circuit is user-constructible (`Circuit::new()` is
+        // public); both entry points must fail gracefully.
+        let c = Circuit::new();
+        assert_eq!(c.eval(&[], &[]), Err(NoOutputError));
+        assert_eq!(c.to_cnf().unwrap_err(), NoOutputError);
+        assert_eq!(NoOutputError.to_string(), "circuit has no output pin");
     }
 
     #[test]
@@ -405,7 +423,7 @@ mod tests {
     /// assignment of pins, circuit-eval true ⇔ CNF satisfiable with those
     /// pin values.
     fn check_tseitin_exhaustive(c: &Circuit, num_inputs: usize, num_atoms: usize) {
-        let t = c.to_cnf();
+        let t = c.to_cnf().unwrap();
         let pins = num_inputs + num_atoms;
         for bits in 0u32..(1 << pins) {
             let inputs: Vec<Tri> =
@@ -413,7 +431,7 @@ mod tests {
             let atoms: Vec<Tri> = (0..num_atoms)
                 .map(|i| Tri::from(bits >> (num_inputs + i) & 1 == 1))
                 .collect();
-            let expect = c.eval(&inputs, &atoms);
+            let expect = c.eval(&inputs, &atoms).unwrap();
 
             let mut solver = Solver::from_cnf(&t.cnf);
             for &(pin, var) in &t.input_vars {
@@ -465,7 +483,7 @@ mod tests {
         let x = c.xor(p1, p2); // always false
         let n = c.not(x);
         c.set_output(n);
-        let t = c.to_cnf();
+        let t = c.to_cnf().unwrap();
         assert_eq!(t.input_vars.len(), 1);
         check_tseitin_exhaustive(&c, 1, 0);
     }
@@ -475,7 +493,7 @@ mod tests {
         let mut c = Circuit::new();
         let f = c.constant(Tri::False);
         c.set_output(f);
-        let t = c.to_cnf();
+        let t = c.to_cnf().unwrap();
         let mut solver = Solver::from_cnf(&t.cnf);
         assert_eq!(solver.solve(), SolveResult::Unsat);
     }

@@ -64,7 +64,7 @@ pub use backends::{
     BooleanSolver, CascadeNonlinear, CdclBoolean, IntervalNonlinear, LinearBackend,
     NonlinearBackend, PenaltyNonlinear, RestartingBoolean, SimplexLinear,
 };
-pub use circuit::{Circuit, Gate, NodeId, TseitinCnf};
+pub use circuit::{Circuit, Gate, NoOutputError, NodeId, TseitinCnf};
 pub use orchestrator::{Orchestrator, OrchestratorOptions, OrchestratorStats, Outcome, SolveError};
 pub use parallel::{ParallelOptions, ParallelStats, ParallelStrategy, ShardStats};
 pub use parser::ParseAbError;

@@ -15,13 +15,15 @@
 //! backend supports native enumeration (Sec. 4's LSAT discussion).
 
 use crate::backends::{
-    BooleanSolver, CascadeNonlinear, CdclBoolean, LinearBackend, NonlinearBackend, SimplexLinear,
+    BooleanSolver, CascadeNonlinear, CdclBoolean, LinearBackend, LinearBackendStats,
+    NonlinearBackend, NonlinearBackendStats, SimplexLinear,
 };
 use crate::problem::{AbModel, AbProblem, VarKind};
-use crate::theory::{check, TheoryBudget, TheoryContext, TheoryItem, TheoryVerdict};
+use crate::theory::{check, TheoryBudget, TheoryContext, TheoryItem, TheoryTiming, TheoryVerdict};
 use absolver_logic::{Lit, Tri, Var};
 use absolver_nonlinear::NlConstraint;
 use absolver_num::Interval;
+use absolver_trace::{JsonObject, NullSink, TraceEvent, TraceSink};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -99,6 +101,22 @@ pub struct OrchestratorStats {
     pub clauses_shared: u64,
     /// Clauses imported from sibling shards (parallel solving).
     pub clauses_imported: u64,
+    /// Summed transport latency of imported lemmas (send to import).
+    pub share_latency: Duration,
+    /// Wall-clock time spent in the Boolean solver (`next_model`).
+    pub boolean_time: Duration,
+    /// Wall-clock time spent in the linear theory phase (simplex +
+    /// branch-and-bound + disequality splits).
+    pub linear_time: Duration,
+    /// Wall-clock time spent in the nonlinear theory phase.
+    pub nonlinear_time: Duration,
+    /// Wall-clock time spent minimising conflict cores (a subset of
+    /// [`OrchestratorStats::linear_time`]).
+    pub conflict_min_time: Duration,
+    /// Simplex pivots performed by the linear backends.
+    pub simplex_pivots: u64,
+    /// HC4 interval contractions performed by the nonlinear backends.
+    pub hc4_contractions: u64,
     /// Wall-clock time of the last `solve`/`solve_all` call.
     pub elapsed: Duration,
 }
@@ -107,7 +125,9 @@ impl fmt::Display for OrchestratorStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} elapsed={:?}",
+            "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} \
+             timed_out={} cancelled={} shared={} imported={} pivots={} contractions={} \
+             boolean={:?} linear={:?} nonlinear={:?} conflict_min={:?} elapsed={:?}",
             self.boolean_iterations,
             self.theory_checks,
             self.conflicts_fed_back,
@@ -117,8 +137,49 @@ impl fmt::Display for OrchestratorStats {
                 self.conflict_literals as f64 / self.conflicts_fed_back as f64
             },
             self.unknown_checks,
+            self.timed_out,
+            self.cancelled,
+            self.clauses_shared,
+            self.clauses_imported,
+            self.simplex_pivots,
+            self.hc4_contractions,
+            self.boolean_time,
+            self.linear_time,
+            self.nonlinear_time,
+            self.conflict_min_time,
             self.elapsed,
         )
+    }
+}
+
+impl OrchestratorStats {
+    /// Serialises the statistics as a single JSON object (the payload of
+    /// `--stats json` and the `BENCH_*.json` reports). Times are reported
+    /// in integer microseconds; the per-phase ones are nested under
+    /// `"phase"`.
+    pub fn to_json(&self) -> String {
+        let mut phase = JsonObject::new();
+        phase
+            .field_u64("boolean_us", self.boolean_time.as_micros() as u64)
+            .field_u64("linear_us", self.linear_time.as_micros() as u64)
+            .field_u64("nonlinear_us", self.nonlinear_time.as_micros() as u64)
+            .field_u64("conflict_min_us", self.conflict_min_time.as_micros() as u64);
+        let mut obj = JsonObject::new();
+        obj.field_u64("boolean_iterations", self.boolean_iterations)
+            .field_u64("theory_checks", self.theory_checks)
+            .field_u64("conflicts_fed_back", self.conflicts_fed_back)
+            .field_u64("conflict_literals", self.conflict_literals)
+            .field_u64("unknown_checks", self.unknown_checks)
+            .field_bool("timed_out", self.timed_out)
+            .field_bool("cancelled", self.cancelled)
+            .field_u64("clauses_shared", self.clauses_shared)
+            .field_u64("clauses_imported", self.clauses_imported)
+            .field_u64("share_latency_us", self.share_latency.as_micros() as u64)
+            .field_u64("simplex_pivots", self.simplex_pivots)
+            .field_u64("hc4_contractions", self.hc4_contractions)
+            .field_raw("phase", &phase.finish())
+            .field_u64("elapsed_us", self.elapsed.as_micros() as u64);
+        obj.finish()
     }
 }
 
@@ -149,13 +210,17 @@ impl Default for OrchestratorOptions {
     }
 }
 
+/// A shared lemma in flight: the send instant (for import-latency
+/// accounting) and the clause itself.
+pub(crate) type TimedLemma = (Instant, Vec<Lit>);
+
 /// Clause-sharing endpoints of one parallel shard: theory-conflict
 /// clauses flow out through `outbox` (one sender per sibling) and in
 /// through `inbox`. Imported clauses are kept in `pool` so they survive
 /// the reload at the start of each `solve_under` call.
 pub(crate) struct ClauseSharing {
-    pub(crate) outbox: Vec<mpsc::Sender<Vec<Lit>>>,
-    pub(crate) inbox: mpsc::Receiver<Vec<Lit>>,
+    pub(crate) outbox: Vec<mpsc::Sender<TimedLemma>>,
+    pub(crate) inbox: mpsc::Receiver<TimedLemma>,
     pub(crate) pool: Vec<Vec<Lit>>,
 }
 
@@ -177,6 +242,7 @@ pub struct Orchestrator {
     cancel: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
     sharing: Option<ClauseSharing>,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Default for Orchestrator {
@@ -198,6 +264,7 @@ impl Orchestrator {
             cancel: None,
             deadline: None,
             sharing: None,
+            sink: Arc::new(NullSink),
         }
     }
 
@@ -213,6 +280,7 @@ impl Orchestrator {
             cancel: None,
             deadline: None,
             sharing: None,
+            sink: Arc::new(NullSink),
         }
     }
 
@@ -269,15 +337,77 @@ impl Orchestrator {
     /// iteration (and re-applied after any reload).
     pub(crate) fn set_clause_sharing(
         &mut self,
-        outbox: Vec<mpsc::Sender<Vec<Lit>>>,
-        inbox: mpsc::Receiver<Vec<Lit>>,
+        outbox: Vec<mpsc::Sender<TimedLemma>>,
+        inbox: mpsc::Receiver<TimedLemma>,
     ) {
         self.sharing = Some(ClauseSharing { outbox, inbox, pool: Vec::new() });
+    }
+
+    /// Installs a trace sink: every observability event of subsequent
+    /// `solve*` calls is emitted through it. Defaults to
+    /// [`absolver_trace::NullSink`] (tracing disabled, near-zero cost).
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Orchestrator {
+        self.sink = sink;
+        self
+    }
+
+    /// Installs or replaces the trace sink (see
+    /// [`Orchestrator::with_trace_sink`]).
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The currently installed trace sink.
+    pub fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        Arc::clone(&self.sink)
+    }
+
+    /// Emits a trace event if tracing is enabled. The event is built
+    /// lazily so a disabled sink costs only the `enabled()` check.
+    fn trace(&self, build: impl FnOnce() -> TraceEvent) {
+        if self.sink.enabled() {
+            self.sink.emit(&build());
+        }
     }
 
     /// Statistics of the most recent call.
     pub fn stats(&self) -> OrchestratorStats {
         self.stats
+    }
+
+    /// Sum of the linear backends' cumulative counters (for
+    /// snapshot-diff attribution of per-call cost).
+    fn linear_snapshot(&self) -> LinearBackendStats {
+        let mut total = LinearBackendStats::default();
+        for b in &self.linear {
+            let s = b.stats();
+            total.checks += s.checks;
+            total.pivots += s.pivots;
+            total.conflict_min_time += s.conflict_min_time;
+        }
+        total
+    }
+
+    /// Sum of the nonlinear backends' cumulative counters.
+    fn nonlinear_snapshot(&self) -> NonlinearBackendStats {
+        let mut total = NonlinearBackendStats::default();
+        for b in &self.nonlinear {
+            let s = b.stats();
+            total.boxes_explored += s.boxes_explored;
+            total.hc4_contractions += s.hc4_contractions;
+        }
+        total
+    }
+
+    /// Folds the backend-counter deltas since `(lin0, nl0)` into
+    /// `self.stats` (called at the end of each `solve*` entry point).
+    fn absorb_backend_deltas(&mut self, lin0: LinearBackendStats, nl0: NonlinearBackendStats) {
+        let lin1 = self.linear_snapshot();
+        let nl1 = self.nonlinear_snapshot();
+        self.stats.simplex_pivots += lin1.pivots.saturating_sub(lin0.pivots);
+        self.stats.conflict_min_time +=
+            lin1.conflict_min_time.saturating_sub(lin0.conflict_min_time);
+        self.stats.hc4_contractions += nl1.hc4_contractions.saturating_sub(nl0.hc4_contractions);
     }
 
     /// Solves an AB-problem.
@@ -307,6 +437,14 @@ impl Orchestrator {
     ) -> Result<Outcome, SolveError> {
         let started = Instant::now();
         self.stats = OrchestratorStats::default();
+        let lin0 = self.linear_snapshot();
+        let nl0 = self.nonlinear_snapshot();
+        self.trace(|| {
+            TraceEvent::new("solve.start")
+                .field_u64("num_vars", problem.cnf().num_vars() as u64)
+                .field_u64("num_defs", problem.defs().count() as u64)
+                .field_u64("assumptions", assumptions.len() as u64)
+        });
         self.boolean.load(problem.cnf());
         self.replay_imported_pool();
         if !self.boolean.set_assumptions(assumptions) {
@@ -316,12 +454,31 @@ impl Orchestrator {
             for &lit in assumptions {
                 if !self.boolean.add_clause(&[lit]) {
                     self.stats.elapsed = started.elapsed();
+                    self.absorb_backend_deltas(lin0, nl0);
+                    self.trace(|| {
+                        TraceEvent::new("solve.end")
+                            .field("outcome", "unsat")
+                            .duration(started.elapsed())
+                    });
                     return Ok(Outcome::Unsat);
                 }
             }
         }
         let outcome = self.run_loop(problem, started);
         self.stats.elapsed = started.elapsed();
+        self.absorb_backend_deltas(lin0, nl0);
+        self.trace(|| {
+            let label = match &outcome {
+                Ok(Outcome::Sat(_)) => "sat",
+                Ok(Outcome::Unsat) => "unsat",
+                Ok(Outcome::Unknown) => "unknown",
+                Err(_) => "iteration-limit",
+            };
+            TraceEvent::new("solve.end")
+                .field("outcome", label)
+                .field_u64("iterations", self.stats.boolean_iterations)
+                .duration(started.elapsed())
+        });
         outcome
     }
 
@@ -355,6 +512,14 @@ impl Orchestrator {
     ) -> Result<Vec<AbModel>, SolveError> {
         let started = Instant::now();
         self.stats = OrchestratorStats::default();
+        let lin0 = self.linear_snapshot();
+        let nl0 = self.nonlinear_snapshot();
+        self.trace(|| {
+            TraceEvent::new("solve.start")
+                .field("mode", "solve_all")
+                .field_u64("num_vars", problem.cnf().num_vars() as u64)
+                .field_u64("num_defs", problem.defs().count() as u64)
+        });
         self.boolean.load(problem.cnf());
         self.boolean.set_assumptions(&[]);
         self.replay_imported_pool();
@@ -384,6 +549,13 @@ impl Orchestrator {
             }
         }
         self.stats.elapsed = started.elapsed();
+        self.absorb_backend_deltas(lin0, nl0);
+        self.trace(|| {
+            TraceEvent::new("solve.end")
+                .field("outcome", "solve_all")
+                .field_u64("models", models.len() as u64)
+                .duration(started.elapsed())
+        });
         Ok(models)
     }
 
@@ -409,8 +581,17 @@ impl Orchestrator {
     /// import made the Boolean formula trivially unsatisfiable.
     fn drain_imports(&mut self) -> bool {
         let Some(sharing) = &mut self.sharing else { return true };
-        while let Ok(clause) = sharing.inbox.try_recv() {
+        while let Ok((sent_at, clause)) = sharing.inbox.try_recv() {
+            let latency = sent_at.elapsed();
             self.stats.clauses_imported += 1;
+            self.stats.share_latency += latency;
+            if self.sink.enabled() {
+                self.sink.emit(
+                    &TraceEvent::new("lemma.import")
+                        .field_u64("len", clause.len() as u64)
+                        .duration(latency),
+                );
+            }
             let ok = self.boolean.add_clause(&clause);
             sharing.pool.push(clause);
             if !ok {
@@ -427,8 +608,9 @@ impl Orchestrator {
     fn share_clause(&mut self, clause: &[Lit]) {
         if let Some(sharing) = &mut self.sharing {
             self.stats.clauses_shared += 1;
+            let sent_at = Instant::now();
             for tx in &sharing.outbox {
-                let _ = tx.send(clause.to_vec());
+                let _ = tx.send((sent_at, clause.to_vec()));
             }
         }
     }
@@ -461,10 +643,18 @@ impl Orchestrator {
             if !self.drain_imports() {
                 return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
             }
-            let Some(model) = self.boolean.next_model() else {
+            let bool_started = Instant::now();
+            let model = self.boolean.next_model();
+            self.stats.boolean_time += bool_started.elapsed();
+            let Some(model) = model else {
                 return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
             };
             self.stats.boolean_iterations += 1;
+            self.trace(|| {
+                TraceEvent::new("boolean.model")
+                    .field_u64("iteration", self.stats.boolean_iterations)
+                    .duration(bool_started.elapsed())
+            });
 
             // Induce theory obligations from the Boolean model.
             // `fixed` items hold in every branch; `choices` collects the
@@ -499,8 +689,20 @@ impl Orchestrator {
                 }
             }
 
+            let theory_started = Instant::now();
             let verdict =
                 self.check_with_choices(problem, &fixed, &choices, &involved, &kinds, &ranges, deadline);
+            self.trace(|| {
+                let label = match &verdict {
+                    TheoryVerdict::Sat(_) => "sat",
+                    TheoryVerdict::Unsat(_) => "unsat",
+                    TheoryVerdict::Unknown => "unknown",
+                };
+                TraceEvent::new("theory.check")
+                    .field("verdict", label)
+                    .field_u64("obligations", fixed.len() as u64)
+                    .duration(theory_started.elapsed())
+            });
 
             match verdict {
                 TheoryVerdict::Sat(arith) => {
@@ -511,6 +713,9 @@ impl Orchestrator {
                     let clause: Vec<Lit> = tags.iter().map(|&t| !involved[t]).collect();
                     self.stats.conflicts_fed_back += 1;
                     self.stats.conflict_literals += clause.len() as u64;
+                    self.trace(|| {
+                        TraceEvent::new("conflict").field_u64("literals", clause.len() as u64)
+                    });
                     self.share_clause(&clause);
                     if !self.boolean.add_clause(&clause) {
                         return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
@@ -586,6 +791,8 @@ impl Orchestrator {
             let mut budget = self.options.theory.clone();
             budget.deadline = deadline;
             budget.cancel = self.cancel.clone();
+            let sink: Option<&dyn TraceSink> =
+                if self.sink.enabled() { Some(&*self.sink) } else { None };
             let mut ctx = TheoryContext {
                 num_vars: problem.arith_vars().len(),
                 kinds,
@@ -593,8 +800,14 @@ impl Orchestrator {
                 linear: &mut self.linear,
                 nonlinear: &mut self.nonlinear,
                 budget,
+                timing: TheoryTiming::default(),
+                sink,
             };
-            match check(&items, &mut ctx) {
+            let verdict = check(&items, &mut ctx);
+            let timing = ctx.timing;
+            self.stats.linear_time += timing.linear;
+            self.stats.nonlinear_time += timing.nonlinear;
+            match verdict {
                 TheoryVerdict::Sat(m) => return TheoryVerdict::Sat(m),
                 TheoryVerdict::Unknown => any_unknown = true,
                 TheoryVerdict::Unsat(tags) => conflict_union.extend(tags),

@@ -29,10 +29,11 @@ use crate::backends::{
     CascadeNonlinear, CdclBoolean, IntervalNonlinear, PenaltyNonlinear, RestartingBoolean,
     SimplexLinear,
 };
-use crate::orchestrator::{Orchestrator, OrchestratorOptions, Outcome, SolveError};
+use crate::orchestrator::{Orchestrator, OrchestratorOptions, Outcome, SolveError, TimedLemma};
 use crate::problem::AbProblem;
 use absolver_logic::{Lit, Var};
 use absolver_sat::Solver;
+use absolver_trace::{ShardSink, TraceEvent, TraceSink};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -121,6 +122,8 @@ pub struct ShardStats {
     pub clauses_shared: u64,
     /// Clauses this shard imported from siblings.
     pub clauses_imported: u64,
+    /// Summed transport latency of the clauses this shard imported.
+    pub share_latency: Duration,
     /// Whether the shard was stopped by the cancellation token.
     pub cancelled: bool,
     /// Whether the shard hit the wall-clock deadline.
@@ -143,6 +146,8 @@ pub struct ParallelStats {
     pub clauses_shared: u64,
     /// Clauses imported across all shards.
     pub clauses_imported: u64,
+    /// Summed lemma transport latency across all shards.
+    pub share_latency: Duration,
     /// Longest time any losing shard took to observe the cancellation
     /// token after it was raised.
     pub cancel_latency: Option<Duration>,
@@ -330,6 +335,7 @@ fn reduce_portfolio(reports: &[ShardReport]) -> Result<Outcome, SolveError> {
 fn solve_portfolio(
     problem: &AbProblem,
     options: &ParallelOptions,
+    sink: &Arc<dyn TraceSink>,
 ) -> (Result<Outcome, SolveError>, ParallelStats) {
     let started = Instant::now();
     let jobs = options.jobs.max(1);
@@ -340,10 +346,20 @@ fn solve_portfolio(
         let handles: Vec<_> = (0..jobs)
             .map(|shard| {
                 let board = &board;
+                let sink = Arc::clone(sink);
                 scope.spawn(move || {
+                    let shard_sink: Arc<dyn TraceSink> =
+                        Arc::new(ShardSink::new(Arc::clone(&sink), shard));
+                    if shard_sink.enabled() {
+                        shard_sink.emit(
+                            &TraceEvent::new("shard.start").field("strategy", "portfolio"),
+                        );
+                    }
+                    let shard_started = Instant::now();
                     let mut orc = build_portfolio_shard(shard, &options.base);
                     orc.set_cancel_token(Some(board.cancel.clone()));
                     orc.set_deadline(deadline);
+                    orc.set_trace_sink(Arc::clone(&shard_sink));
                     let result = orc.solve(problem);
                     if matches!(result, Ok(Outcome::Sat(_)) | Ok(Outcome::Unsat)) {
                         board.claim(shard);
@@ -354,6 +370,13 @@ fn solve_portfolio(
                     } else {
                         None
                     };
+                    if shard_sink.enabled() {
+                        shard_sink.emit(
+                            &TraceEvent::new("shard.end")
+                                .field_u64("iterations", stats.boolean_iterations)
+                                .duration(shard_started.elapsed()),
+                        );
+                    }
                     ShardReport {
                         shard,
                         result,
@@ -364,6 +387,7 @@ fn solve_portfolio(
                             conflicts_fed_back: stats.conflicts_fed_back,
                             clauses_shared: stats.clauses_shared,
                             clauses_imported: stats.clauses_imported,
+                            share_latency: stats.share_latency,
                             cancelled: stats.cancelled,
                             timed_out: stats.timed_out,
                         },
@@ -386,6 +410,7 @@ fn solve_portfolio(
 fn solve_cubes(
     problem: &AbProblem,
     options: &ParallelOptions,
+    sink: &Arc<dyn TraceSink>,
 ) -> (Result<Outcome, SolveError>, ParallelStats) {
     let started = Instant::now();
     let jobs = options.jobs.max(1);
@@ -412,8 +437,8 @@ fn solve_cubes(
 
     // Clause-sharing fabric: shard i receives on channel i and sends to
     // every sibling.
-    let mut inboxes: Vec<Option<mpsc::Receiver<Vec<Lit>>>> = Vec::new();
-    let mut senders: Vec<mpsc::Sender<Vec<Lit>>> = Vec::new();
+    let mut inboxes: Vec<Option<mpsc::Receiver<TimedLemma>>> = Vec::new();
+    let mut senders: Vec<mpsc::Sender<TimedLemma>> = Vec::new();
     if options.share_clauses {
         for _ in 0..jobs {
             let (tx, rx) = mpsc::channel();
@@ -434,17 +459,26 @@ fn solve_cubes(
                 let next_cube = &next_cube;
                 let shard_base = &shard_base;
                 let inbox = inboxes.get_mut(shard).and_then(Option::take);
-                let outbox: Vec<mpsc::Sender<Vec<Lit>>> = senders
+                let outbox: Vec<mpsc::Sender<TimedLemma>> = senders
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| *i != shard)
                     .map(|(_, tx)| tx.clone())
                     .collect();
                 let deterministic = options.deterministic;
+                let sink = Arc::clone(sink);
                 scope.spawn(move || {
+                    let shard_sink: Arc<dyn TraceSink> =
+                        Arc::new(ShardSink::new(Arc::clone(&sink), shard));
+                    if shard_sink.enabled() {
+                        shard_sink
+                            .emit(&TraceEvent::new("shard.start").field("strategy", "cubes"));
+                    }
+                    let shard_started = Instant::now();
                     let mut orc = build_cube_shard(shard, shard_base);
                     orc.set_cancel_token(Some(board.cancel.clone()));
                     orc.set_deadline(deadline);
+                    orc.set_trace_sink(Arc::clone(&shard_sink));
                     if let Some(inbox) = inbox {
                         orc.set_clause_sharing(outbox, inbox);
                     }
@@ -453,33 +487,56 @@ fn solve_cubes(
                     let mut result: Result<Outcome, SolveError> = Ok(Outcome::Unsat);
                     let mut cube_index = if deterministic { shard } else { usize::MAX };
                     loop {
-                        let cube = if deterministic {
+                        let (cube, cube_id) = if deterministic {
                             if cube_index >= num_cubes {
                                 break;
                             }
-                            let c = &cubes[cube_index];
+                            let id = cube_index;
                             cube_index += jobs;
-                            c
+                            (&cubes[id], id)
                         } else {
                             let c = next_cube.fetch_add(1, Ordering::Relaxed);
                             if c >= num_cubes {
                                 break;
                             }
-                            &cubes[c]
+                            (&cubes[c], c)
                         };
                         if board.cancel.load(Ordering::Relaxed) {
                             stats.cancelled = true;
                             latency = board.raised_at().map(|at| at.elapsed());
                             break;
                         }
+                        if shard_sink.enabled() {
+                            shard_sink.emit(
+                                &TraceEvent::new("cube.start")
+                                    .cube(cube_id)
+                                    .field_u64("literals", cube.len() as u64),
+                            );
+                        }
+                        let cube_started = Instant::now();
                         let cube_result = orc.solve_under(problem, cube);
                         let run = orc.stats();
+                        if shard_sink.enabled() {
+                            let label = match &cube_result {
+                                Ok(Outcome::Sat(_)) => "sat",
+                                Ok(Outcome::Unsat) => "unsat",
+                                Ok(Outcome::Unknown) => "unknown",
+                                Err(_) => "iteration-limit",
+                            };
+                            shard_sink.emit(
+                                &TraceEvent::new("cube.end")
+                                    .cube(cube_id)
+                                    .field("outcome", label)
+                                    .duration(cube_started.elapsed()),
+                            );
+                        }
                         stats.cubes_solved += 1;
                         stats.boolean_iterations += run.boolean_iterations;
                         stats.theory_checks += run.theory_checks;
                         stats.conflicts_fed_back += run.conflicts_fed_back;
                         stats.clauses_shared += run.clauses_shared;
                         stats.clauses_imported += run.clauses_imported;
+                        stats.share_latency += run.share_latency;
                         match cube_result {
                             Ok(Outcome::Sat(m)) => {
                                 board.claim(shard);
@@ -508,6 +565,13 @@ fn solve_cubes(
                                 break;
                             }
                         }
+                    }
+                    if shard_sink.enabled() {
+                        shard_sink.emit(
+                            &TraceEvent::new("shard.end")
+                                .field_u64("cubes_solved", stats.cubes_solved as u64)
+                                .duration(shard_started.elapsed()),
+                        );
                     }
                     ShardReport { shard, result, stats, latency }
                 })
@@ -564,6 +628,7 @@ fn aggregate(
         winner,
         clauses_shared: reports.iter().map(|r| r.stats.clauses_shared).sum(),
         clauses_imported: reports.iter().map(|r| r.stats.clauses_imported).sum(),
+        share_latency: reports.iter().map(|r| r.stats.share_latency).sum(),
         cancel_latency: reports.iter().filter_map(|r| r.latency).max(),
         timed_out: reports.iter().any(|r| r.stats.timed_out),
         elapsed: started.elapsed(),
@@ -587,9 +652,10 @@ impl Orchestrator {
         problem: &AbProblem,
         options: &ParallelOptions,
     ) -> Result<(Outcome, ParallelStats), SolveError> {
+        let sink = self.trace_sink();
         let (outcome, stats) = match options.strategy {
-            ParallelStrategy::Portfolio => solve_portfolio(problem, options),
-            ParallelStrategy::Cubes => solve_cubes(problem, options),
+            ParallelStrategy::Portfolio => solve_portfolio(problem, options, &sink),
+            ParallelStrategy::Cubes => solve_cubes(problem, options, &sink),
         };
         outcome.map(|o| (o, stats))
     }

@@ -358,6 +358,37 @@ impl ExprParser<'_> {
 // File-level parsing
 // ---------------------------------------------------------------------------
 
+/// Levenshtein edit distance between two short ASCII words.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// If the first word of a comment is one typo away from a directive
+/// keyword (`def`, `range`, `var`) — but did not parse as one — returns
+/// that keyword. Exact directives are dispatched before this runs, so a
+/// distance-0 match here means a keyword with no arguments.
+fn near_miss_directive(comment: &str) -> Option<&'static str> {
+    let first = comment.split_whitespace().next()?;
+    if first.len() > 8 {
+        return None;
+    }
+    let lower = first.to_ascii_lowercase();
+    ["def", "range", "var"]
+        .into_iter()
+        .find(|kw| edit_distance(&lower, kw) <= 1)
+}
+
 /// Parses the extended DIMACS format into an [`AbProblem`].
 ///
 /// # Errors
@@ -451,6 +482,14 @@ pub fn parse(text: &str) -> Result<AbProblem, ParseAbError> {
                 }
             };
             interner.intern(parts[1], kind);
+        } else if let Some(directive) = near_miss_directive(trimmed) {
+            // A comment whose first word is one typo away from a directive
+            // keyword is almost certainly a misspelled directive, and
+            // silently ignoring it would silently drop a constraint.
+            return Err(ParseAbError::new(format!(
+                "comment line `{trimmed}` looks like a misspelled `{directive}` directive \
+                 (write `c {directive} …`, or reword the comment)"
+            )));
         }
         // Other comments are ignored, as any plain SAT solver would.
     }
@@ -829,5 +868,57 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
         for p in [[0.0, 0.0], [4.0, 1.0], [5.0, 0.0], [4.5, 1.0]] {
             assert_eq!(d1.constraints[0].eval(&p), d2.constraints[0].eval(&p));
         }
+    }
+
+    #[test]
+    fn near_miss_directives_are_rejected() {
+        // A misspelled `def` would previously vanish as a plain comment,
+        // silently dropping the constraint it carries.
+        for line in [
+            "c dff int 1 i >= 0",
+            "c def\n",
+            "c Def int 1 i >= 0",
+            "c rnge x -10 10",
+            "c vr int i",
+            "c vars int i",
+        ] {
+            let text = format!("p cnf 1 1\n1 0\n{line}\n");
+            let err = text.parse::<AbProblem>().unwrap_err();
+            assert!(
+                err.to_string().contains("misspelled"),
+                "`{line}` must be rejected as a near-miss directive, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn misspelled_kind_inside_def_is_rejected() {
+        let text = "p cnf 1 1\n1 0\nc def imt 1 i >= 0\n";
+        assert!(text.parse::<AbProblem>().is_err());
+    }
+
+    #[test]
+    fn ordinary_comments_still_ignored() {
+        for line in [
+            "c this is a free-form comment",
+            "c generated by absolver",
+            "c definitely not a directive",
+            "c variable ordering heuristic notes",
+        ] {
+            let text = format!("p cnf 1 1\n1 0\n{line}\n");
+            assert!(
+                text.parse::<AbProblem>().is_ok(),
+                "`{line}` is prose, not a near-miss directive"
+            );
+        }
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("def", "def"), 0);
+        assert_eq!(edit_distance("dff", "def"), 1);
+        assert_eq!(edit_distance("rnge", "range"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "var"), 3);
     }
 }

@@ -23,9 +23,10 @@ use crate::problem::{ArithModel, VarKind};
 use absolver_linear::{CmpOp, Feasibility, LinExpr, LinearConstraint};
 use absolver_nonlinear::{NlConstraint, NlProblem, NlVerdict};
 use absolver_num::{Interval, Rational};
+use absolver_trace::{TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One theory obligation: the constraint must hold (`Assert`) or must be
 /// violated (`Refute`, arising from a false atom whose negation is not a
@@ -92,6 +93,17 @@ impl TheoryBudget {
     }
 }
 
+/// Wall-clock time a theory check spent in each phase. [`check`]
+/// accumulates into this; the orchestrator reads it back to attribute
+/// run time to simplex vs. the nonlinear engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TheoryTiming {
+    /// Time in the linear phase (simplex + branch-and-bound + splits).
+    pub linear: Duration,
+    /// Time in the nonlinear phase (branch-and-prune + local search).
+    pub nonlinear: Duration,
+}
+
 /// The context a theory check runs in.
 pub struct TheoryContext<'a> {
     /// Number of arithmetic variables.
@@ -106,6 +118,10 @@ pub struct TheoryContext<'a> {
     pub nonlinear: &'a mut [Box<dyn NonlinearBackend>],
     /// Budgets.
     pub budget: TheoryBudget,
+    /// Per-phase wall-clock accumulator, filled in by [`check`].
+    pub timing: TheoryTiming,
+    /// Trace sink for phase spans (`phase.linear` / `phase.nonlinear`).
+    pub sink: Option<&'a dyn TraceSink>,
 }
 
 /// Normalised internal form of a query: asserted constraints plus affine
@@ -183,7 +199,13 @@ pub fn check(items: &[TheoryItem], ctx: &mut TheoryContext<'_>) -> TheoryVerdict
 
     // Phase 1: the affine subset (always, as a cheap filter — and as the
     // complete decision procedure when nothing nonlinear is present).
+    let lin_started = Instant::now();
     let lin_verdict = solve_linear(&norm, ctx);
+    let lin_elapsed = lin_started.elapsed();
+    ctx.timing.linear += lin_elapsed;
+    if let Some(sink) = ctx.sink.filter(|s| s.enabled()) {
+        sink.emit(&TraceEvent::new("phase.linear").duration(lin_elapsed));
+    }
     match (&lin_verdict, norm.has_nonlinear) {
         (LinOutcome::Unsat(tags), _) => return TheoryVerdict::Unsat(tags.clone()),
         (LinOutcome::Sat(model), false) => {
@@ -194,7 +216,14 @@ pub fn check(items: &[TheoryItem], ctx: &mut TheoryContext<'_>) -> TheoryVerdict
     }
 
     // Phase 2: full system to the nonlinear backend(s).
-    solve_nonlinear(&norm, ctx)
+    let nl_started = Instant::now();
+    let verdict = solve_nonlinear(&norm, ctx);
+    let nl_elapsed = nl_started.elapsed();
+    ctx.timing.nonlinear += nl_elapsed;
+    if let Some(sink) = ctx.sink.filter(|s| s.enabled()) {
+        sink.emit(&TraceEvent::new("phase.nonlinear").duration(nl_elapsed));
+    }
+    verdict
 }
 
 fn pad(mut v: Vec<Rational>, n: usize) -> Vec<Rational> {
@@ -472,6 +501,8 @@ mod tests {
             linear: &mut linear,
             nonlinear: &mut nonlinear,
             budget: TheoryBudget::default(),
+            timing: TheoryTiming::default(),
+            sink: None,
         };
         check(items, &mut ctx)
     }

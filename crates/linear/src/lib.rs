@@ -47,7 +47,9 @@ pub use conflict::minimal_infeasible_subset;
 pub use constraint::{CmpOp, LinExpr, LinearConstraint, VarId};
 pub use optimize::OptOutcome;
 pub use qdelta::QDelta;
-pub use simplex::{check_conjunction, CheckResult, ConstraintId, Feasibility, Simplex};
+pub use simplex::{
+    check_conjunction, check_conjunction_counted, CheckResult, ConstraintId, Feasibility, Simplex,
+};
 
 #[cfg(test)]
 mod proptests {

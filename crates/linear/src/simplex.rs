@@ -634,6 +634,13 @@ impl Feasibility {
 /// One-shot feasibility check of a conjunction of constraints — the entry
 /// point used by ABsolver's loosely-coupled control loop.
 pub fn check_conjunction(constraints: &[LinearConstraint]) -> Feasibility {
+    check_conjunction_counted(constraints).0
+}
+
+/// Like [`check_conjunction`], but also reports the number of simplex
+/// pivots the check performed — the cost metric the observability layer
+/// attributes to the linear phase.
+pub fn check_conjunction_counted(constraints: &[LinearConstraint]) -> (Feasibility, u64) {
     let num_vars = constraints
         .iter()
         .filter_map(LinearConstraint::max_var)
@@ -643,13 +650,14 @@ pub fn check_conjunction(constraints: &[LinearConstraint]) -> Feasibility {
     let mut s = Simplex::with_vars(num_vars);
     for c in constraints {
         if let Err(conflict) = s.assert_constraint(c) {
-            return Feasibility::Infeasible(conflict);
+            return (Feasibility::Infeasible(conflict), s.pivots());
         }
     }
-    match s.check() {
+    let feasibility = match s.check() {
         CheckResult::Sat => Feasibility::Feasible(s.model()),
         CheckResult::Unsat(conflict) => Feasibility::Infeasible(conflict),
-    }
+    };
+    (feasibility, s.pivots())
 }
 
 #[cfg(test)]

@@ -429,7 +429,7 @@ pub fn lustre_to_ab(
         Query::Falsifiable(_) => extractor.circuit.not(out_node),
     };
     extractor.circuit.set_output(final_node);
-    let tseitin = extractor.circuit.to_cnf();
+    let tseitin = extractor.circuit.to_cnf().map_err(|e| ConvertError::new(e.to_string()))?;
 
     // Assemble the AB-problem.
     let mut builder = AbProblem::builder();

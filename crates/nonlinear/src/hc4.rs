@@ -229,13 +229,29 @@ pub fn propagate(
     boxes: &mut [Interval],
     max_rounds: usize,
 ) -> Contraction {
+    propagate_counted(constraints, boxes, max_rounds).0
+}
+
+/// Like [`propagate`], but also reports how many [`hc4_revise`] calls
+/// actually narrowed a domain — the contraction count the observability
+/// layer attributes to the nonlinear phase. An emptied box counts too
+/// (it is the most effective contraction there is).
+pub fn propagate_counted(
+    constraints: &[NlConstraint],
+    boxes: &mut [Interval],
+    max_rounds: usize,
+) -> (Contraction, u64) {
+    let mut contractions = 0u64;
     let mut any_change = false;
     for _ in 0..max_rounds {
         let mut changed = false;
         for c in constraints {
             match hc4_revise(c, boxes) {
-                Contraction::Empty => return Contraction::Empty,
-                Contraction::Changed => changed = true,
+                Contraction::Empty => return (Contraction::Empty, contractions + 1),
+                Contraction::Changed => {
+                    contractions += 1;
+                    changed = true;
+                }
                 Contraction::Unchanged => {}
             }
         }
@@ -244,11 +260,8 @@ pub fn propagate(
         }
         any_change = true;
     }
-    if any_change {
-        Contraction::Changed
-    } else {
-        Contraction::Unchanged
-    }
+    let outcome = if any_change { Contraction::Changed } else { Contraction::Unchanged };
+    (outcome, contractions)
 }
 
 #[cfg(test)]

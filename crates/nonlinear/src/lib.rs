@@ -44,7 +44,10 @@ mod solve;
 
 pub use constraint::{IntervalVerdict, NlConstraint};
 pub use expr::{Expr, VarId};
-pub use solve::{branch_and_prune, local_search, NlOptions, NlProblem, NlVerdict};
+pub use solve::{
+    branch_and_prune, branch_and_prune_stats, local_search, NlOptions, NlProblem, NlSearchStats,
+    NlVerdict,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -16,8 +16,17 @@
 //! [`NlProblem::solve`] runs them in sequence and merges the verdicts.
 
 use crate::constraint::{IntervalVerdict, NlConstraint};
-use crate::hc4::{propagate, Contraction};
+use crate::hc4::{propagate_counted, Contraction};
 use absolver_num::Interval;
+
+/// Search-effort counters of one [`branch_and_prune_stats`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NlSearchStats {
+    /// Boxes popped off the branch-and-prune stack.
+    pub boxes_explored: u64,
+    /// HC4 revise calls that actually narrowed (or emptied) a domain.
+    pub hc4_contractions: u64,
+}
 
 /// Verdict of a nonlinear feasibility query.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,13 +172,21 @@ impl NlProblem {
 
     /// Solves with explicit options.
     pub fn solve_with(&self, opts: &NlOptions) -> NlVerdict {
-        match branch_and_prune(self, opts) {
+        self.solve_with_stats(opts).0
+    }
+
+    /// Like [`NlProblem::solve_with`], but also reports the search-effort
+    /// counters of the branch-and-prune stage.
+    pub fn solve_with_stats(&self, opts: &NlOptions) -> (NlVerdict, NlSearchStats) {
+        let (verdict, stats) = branch_and_prune_stats(self, opts);
+        let verdict = match verdict {
             NlVerdict::Unknown => match local_search(self, opts) {
                 Some(point) => NlVerdict::Sat(point),
                 None => NlVerdict::Unknown,
             },
             verdict => verdict,
-        }
+        };
+        (verdict, stats)
     }
 }
 
@@ -192,14 +209,25 @@ fn sampling_interval(iv: Interval) -> (f64, f64) {
 /// certainly-true box yields a witness; [`NlVerdict::Unknown`] when the
 /// box budget or width threshold is hit first.
 pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
+    branch_and_prune_stats(problem, opts).0
+}
+
+/// Like [`branch_and_prune`], but also reports the search-effort counters
+/// (boxes explored, HC4 contractions) for the observability layer.
+pub fn branch_and_prune_stats(
+    problem: &NlProblem,
+    opts: &NlOptions,
+) -> (NlVerdict, NlSearchStats) {
+    let mut stats = NlSearchStats::default();
     let n = problem.num_vars();
     if n == 0 {
         // Ground problem: constraints are constant comparisons.
-        return if problem.is_satisfied(&[], 0.0) {
+        let verdict = if problem.is_satisfied(&[], 0.0) {
             NlVerdict::Sat(Vec::new())
         } else {
             NlVerdict::Unsat
         };
+        return (verdict, stats);
     }
     let root: Vec<Interval> = problem.bounds.clone();
     let mut stack = vec![root];
@@ -208,13 +236,16 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
 
     while let Some(mut bx) = stack.pop() {
         explored += 1;
+        stats.boxes_explored += 1;
         if explored > opts.max_boxes {
-            return NlVerdict::Unknown;
+            return (NlVerdict::Unknown, stats);
         }
         if explored.is_multiple_of(64) && opts.interrupted() {
-            return NlVerdict::Unknown;
+            return (NlVerdict::Unknown, stats);
         }
-        if propagate(&problem.constraints, &mut bx, 20) == Contraction::Empty {
+        let (contraction, contractions) = propagate_counted(&problem.constraints, &mut bx, 20);
+        stats.hc4_contractions += contractions;
+        if contraction == Contraction::Empty {
             continue; // refuted
         }
         if bx.iter().any(|iv| iv.is_empty()) {
@@ -223,7 +254,7 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
         // Candidate point: the box midpoint.
         let mid: Vec<f64> = bx.iter().map(Interval::midpoint).collect();
         if problem.is_satisfied(&mid, opts.tolerance) {
-            return NlVerdict::Sat(mid);
+            return (NlVerdict::Sat(mid), stats);
         }
         // Certainly-true everywhere? Then the midpoint must have satisfied —
         // but check anyway in case of strictness at boundaries.
@@ -233,7 +264,7 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
             .map(|c| c.check_box(&bx))
             .collect();
         if verdicts.iter().all(|v| *v == IntervalVerdict::CertainlyTrue) {
-            return NlVerdict::Sat(mid);
+            return (NlVerdict::Sat(mid), stats);
         }
         if verdicts.contains(&IntervalVerdict::CertainlyFalse) {
             continue; // refuted
@@ -267,11 +298,8 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
             }
         }
     }
-    if inconclusive {
-        NlVerdict::Unknown
-    } else {
-        NlVerdict::Unsat
-    }
+    let verdict = if inconclusive { NlVerdict::Unknown } else { NlVerdict::Unsat };
+    (verdict, stats)
 }
 
 /// Minimal deterministic xorshift64* generator for multistart sampling

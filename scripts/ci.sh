@@ -25,6 +25,42 @@ echo "== seeded re-run of the randomized suites (pinned TESTKIT_SEED) =="
 TESTKIT_SEED=0xAB501BE5 cargo test -q --offline \
     --test parallel_agreement --test solver_agreement --test fuzz_inputs
 
+echo "== observability gate (--stats json, --trace, differential test) =="
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+# The paper's Fig. 2 example through the release binary: must exit 10
+# (sat) and print exactly one machine-readable stats object on stdout.
+set +e
+./target/release/absolver --stats json --trace "$OBS_TMP/fig2.trace.jsonl" \
+    examples/fig2.dimacs > "$OBS_TMP/fig2.out"
+code=$?
+set -e
+[ "$code" -eq 10 ] || { echo "expected exit 10 (sat), got $code"; exit 1; }
+grep '^{' "$OBS_TMP/fig2.out" > "$OBS_TMP/fig2.stats.json"
+[ "$(wc -l < "$OBS_TMP/fig2.stats.json")" -eq 1 ] \
+    || { echo "expected exactly one JSON stats line"; exit 1; }
+# One fast bench workload end-to-end into a scratch BENCH_*.json.
+ABS_BENCH_DIR="$OBS_TMP" ABS_TIMEOUT_SECS=60 \
+    ./target/release/bench_json fischer
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$OBS_TMP/fig2.stats.json" > /dev/null
+    python3 -m json.tool "$OBS_TMP/BENCH_fischer.json" > /dev/null
+    # Every trace line must be a standalone JSON object (JSONL).
+    python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$OBS_TMP/fig2.trace.jsonl"
+else
+    for key in '"simplex_pivots":' '"hc4_contractions":' '"phase":{' '"elapsed_us":'; do
+        grep -q "$key" "$OBS_TMP/fig2.stats.json" \
+            || { echo "stats JSON missing $key"; exit 1; }
+    done
+    grep -q '"workload":"fischer"' "$OBS_TMP/BENCH_fischer.json"
+    grep -q '"kind":"solve.start"' "$OBS_TMP/fig2.trace.jsonl"
+fi
+# The trace-equivalence differential suite (sequential vs 1-shard
+# portfolio) plus the CLI exit-code contract.
+cargo test -q --offline --test observability --test cli
+
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -17,22 +17,41 @@
 //!   --no-minimize            disable conflict-core minimisation
 //!   --all-models N           enumerate up to N models
 //!   --time-limit SECS        wall-clock budget
+//!   --max-iterations N       cap on Boolean models examined
 //!   --jobs N                 solve with N parallel shards
 //!   --strategy portfolio|cubes
 //!                            parallel strategy      (default: portfolio)
 //!   --deterministic          reproducible cube-to-shard assignment
-//!   --stats                  print solver statistics
-//!   --quiet                  verdict only (exit code 10 = sat, 20 = unsat)
+//!   --stats [human|json]     print solver statistics (default: human)
+//!   --trace FILE             write a JSONL event trace to FILE
+//!   --quiet                  verdict only
 //! ```
+//!
+//! Exit codes: `10` sat, `20` unsat, `30` unknown, `40` iteration limit,
+//! `2` usage/IO/parse error.
 
 use absolver::core::{
     AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear, Orchestrator,
-    OrchestratorOptions, Outcome, ParallelOptions, ParallelStrategy, PenaltyNonlinear,
-    RestartingBoolean, SimplexLinear,
+    OrchestratorOptions, Outcome, ParallelOptions, ParallelStats, ParallelStrategy,
+    PenaltyNonlinear, RestartingBoolean, SimplexLinear,
 };
+use absolver::trace::{FileSink, JsonObject};
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
+
+const EXIT_SAT: u8 = 10;
+const EXIT_UNSAT: u8 = 20;
+const EXIT_UNKNOWN: u8 = 30;
+const EXIT_ITERATION_LIMIT: u8 = 40;
+const EXIT_ERROR: u8 = 2;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    Human,
+    Json,
+}
 
 struct Config {
     file: Option<String>,
@@ -41,10 +60,12 @@ struct Config {
     minimize: bool,
     all_models: Option<usize>,
     time_limit: Option<Duration>,
+    max_iterations: Option<u64>,
     jobs: Option<usize>,
     strategy: ParallelStrategy,
     deterministic: bool,
-    stats: bool,
+    stats: Option<StatsFormat>,
+    trace: Option<String>,
     quiet: bool,
 }
 
@@ -52,10 +73,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: absolver [--boolean cdcl|restart] [--nonlinear cascade|interval|penalty]\n\
          \x20               [--no-minimize] [--all-models N] [--time-limit SECS]\n\
-         \x20               [--jobs N] [--strategy portfolio|cubes] [--deterministic]\n\
-         \x20               [--stats] [--quiet] [FILE]"
+         \x20               [--max-iterations N] [--jobs N] [--strategy portfolio|cubes]\n\
+         \x20               [--deterministic] [--stats [human|json]] [--trace FILE]\n\
+         \x20               [--quiet] [FILE]\n\
+         exit codes: 10 sat, 20 unsat, 30 unknown, 40 iteration limit, 2 error"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_ERROR as i32);
 }
 
 fn parse_args() -> Config {
@@ -66,13 +89,15 @@ fn parse_args() -> Config {
         minimize: true,
         all_models: None,
         time_limit: None,
+        max_iterations: None,
         jobs: None,
         strategy: ParallelStrategy::Portfolio,
         deterministic: false,
-        stats: false,
+        stats: None,
+        trace: None,
         quiet: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--boolean" => config.boolean = args.next().unwrap_or_else(|| usage()),
@@ -89,6 +114,10 @@ fn parse_args() -> Config {
                     .unwrap_or_else(|| usage());
                 config.time_limit = Some(Duration::from_secs(secs));
             }
+            "--max-iterations" => {
+                let n: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                config.max_iterations = Some(n);
+            }
             "--jobs" => {
                 let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 config.jobs = Some(n.max(1));
@@ -101,7 +130,22 @@ fn parse_args() -> Config {
                 });
             }
             "--deterministic" => config.deterministic = true,
-            "--stats" => config.stats = true,
+            "--stats" => {
+                // The format operand is optional: `--stats`, `--stats human`
+                // and `--stats json` are all accepted.
+                config.stats = Some(match args.peek().map(String::as_str) {
+                    Some("json") => {
+                        args.next();
+                        StatsFormat::Json
+                    }
+                    Some("human") => {
+                        args.next();
+                        StatsFormat::Human
+                    }
+                    _ => StatsFormat::Human,
+                });
+            }
+            "--trace" => config.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--quiet" => config.quiet = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -143,7 +187,10 @@ fn build_orchestrator(config: &Config) -> Orchestrator {
             usage();
         }
     };
-    let options = OrchestratorOptions { time_limit: config.time_limit, ..Default::default() };
+    let mut options = OrchestratorOptions { time_limit: config.time_limit, ..Default::default() };
+    if let Some(n) = config.max_iterations {
+        options.max_iterations = n;
+    }
     orc.with_options(options)
 }
 
@@ -160,6 +207,39 @@ fn print_model(problem: &AbProblem, model: &absolver::core::AbModel) {
     }
 }
 
+/// Prints the sequential statistics in the requested format. JSON goes to
+/// stdout (it is the machine-readable payload); the human form stays on
+/// stderr as a `c`-prefixed comment.
+fn print_stats(orc: &Orchestrator, format: StatsFormat) {
+    match format {
+        StatsFormat::Human => eprintln!("c stats: {}", orc.stats()),
+        StatsFormat::Json => println!("{}", orc.stats().to_json()),
+    }
+}
+
+/// JSON for a parallel run: the per-shard aggregate (phase times are not
+/// meaningful across racing shards, so the object carries the shard
+/// totals instead).
+fn parallel_stats_json(stats: &ParallelStats) -> String {
+    let iterations: u64 = stats.shards.iter().map(|s| s.boolean_iterations).sum();
+    let theory_checks: u64 = stats.shards.iter().map(|s| s.theory_checks).sum();
+    let mut obj = JsonObject::new();
+    obj.field_u64("jobs", stats.jobs as u64)
+        .field_u64("cubes", stats.cubes as u64)
+        .field_u64("boolean_iterations", iterations)
+        .field_u64("theory_checks", theory_checks)
+        .field_u64("clauses_shared", stats.clauses_shared)
+        .field_u64("clauses_imported", stats.clauses_imported)
+        .field_u64("share_latency_us", stats.share_latency.as_micros() as u64)
+        .field_bool("timed_out", stats.timed_out)
+        .field_u64("elapsed_us", stats.elapsed.as_micros() as u64);
+    match stats.winner {
+        Some(w) => obj.field_u64("winner", w as u64),
+        None => obj.field_raw("winner", "null"),
+    };
+    obj.finish()
+}
+
 fn main() -> ExitCode {
     let config = parse_args();
     let mut text = String::new();
@@ -168,13 +248,13 @@ fn main() -> ExitCode {
             Ok(t) => text = t,
             Err(e) => {
                 eprintln!("cannot read `{path}`: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_ERROR);
             }
         },
         None => {
             if std::io::stdin().read_to_string(&mut text).is_err() {
                 eprintln!("cannot read stdin");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_ERROR);
             }
         }
     }
@@ -182,11 +262,30 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_ERROR);
         }
     };
 
     let mut orc = build_orchestrator(&config);
+    let trace_sink = match &config.trace {
+        Some(path) => match FileSink::create(path) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                orc.set_trace_sink(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("cannot open trace file `{path}`: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        },
+        None => None,
+    };
+    let flush_trace = || {
+        if let Some(sink) = &trace_sink {
+            let _ = sink.flush();
+        }
+    };
 
     if let Some(max) = config.all_models {
         match orc.solve_all(&problem, max) {
@@ -198,53 +297,64 @@ fn main() -> ExitCode {
                         print_model(&problem, m);
                     }
                 }
-                if config.stats {
-                    eprintln!("c stats: {}", orc.stats());
+                if let Some(format) = config.stats {
+                    print_stats(&orc, format);
                 }
+                flush_trace();
                 return if models.is_empty() {
                     println!("s UNSATISFIABLE");
-                    ExitCode::from(20)
+                    ExitCode::from(EXIT_UNSAT)
                 } else {
                     println!("s SATISFIABLE");
-                    ExitCode::from(10)
+                    ExitCode::from(EXIT_SAT)
                 };
             }
             Err(e) => {
                 eprintln!("{e}");
-                return ExitCode::from(2);
+                flush_trace();
+                return ExitCode::from(EXIT_ITERATION_LIMIT);
             }
         }
     }
 
     let outcome = if let Some(jobs) = config.jobs {
+        let mut base = OrchestratorOptions { time_limit: config.time_limit, ..Default::default() };
+        if let Some(n) = config.max_iterations {
+            base.max_iterations = n;
+        }
         let popts = ParallelOptions {
             jobs,
             strategy: config.strategy,
             deterministic: config.deterministic,
-            base: OrchestratorOptions { time_limit: config.time_limit, ..Default::default() },
+            base,
             ..Default::default()
         };
         match orc.solve_parallel(&problem, &popts) {
             Ok((o, pstats)) => {
-                if config.stats {
-                    eprintln!("c parallel[{}]: {}", config.strategy, pstats);
-                    for (i, s) in pstats.shards.iter().enumerate() {
-                        eprintln!(
-                            "c shard {i}: cubes={} iterations={} shared={} imported={}{}{}",
-                            s.cubes_solved,
-                            s.boolean_iterations,
-                            s.clauses_shared,
-                            s.clauses_imported,
-                            if s.cancelled { " cancelled" } else { "" },
-                            if s.timed_out { " timed-out" } else { "" },
-                        );
+                match config.stats {
+                    Some(StatsFormat::Human) => {
+                        eprintln!("c parallel[{}]: {}", config.strategy, pstats);
+                        for (i, s) in pstats.shards.iter().enumerate() {
+                            eprintln!(
+                                "c shard {i}: cubes={} iterations={} shared={} imported={}{}{}",
+                                s.cubes_solved,
+                                s.boolean_iterations,
+                                s.clauses_shared,
+                                s.clauses_imported,
+                                if s.cancelled { " cancelled" } else { "" },
+                                if s.timed_out { " timed-out" } else { "" },
+                            );
+                        }
                     }
+                    Some(StatsFormat::Json) => println!("{}", parallel_stats_json(&pstats)),
+                    None => {}
                 }
                 o
             }
             Err(e) => {
                 eprintln!("{e}");
-                return ExitCode::from(2);
+                flush_trace();
+                return ExitCode::from(EXIT_ITERATION_LIMIT);
             }
         }
     } else {
@@ -252,28 +362,35 @@ fn main() -> ExitCode {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("{e}");
-                return ExitCode::from(2);
+                if let Some(format) = config.stats {
+                    print_stats(&orc, format);
+                }
+                flush_trace();
+                return ExitCode::from(EXIT_ITERATION_LIMIT);
             }
         }
     };
-    if config.stats && config.jobs.is_none() {
-        eprintln!("c stats: {}", orc.stats());
+    if config.jobs.is_none() {
+        if let Some(format) = config.stats {
+            print_stats(&orc, format);
+        }
     }
+    flush_trace();
     match outcome {
         Outcome::Sat(model) => {
             println!("s SATISFIABLE");
             if !config.quiet {
                 print_model(&problem, &model);
             }
-            ExitCode::from(10)
+            ExitCode::from(EXIT_SAT)
         }
         Outcome::Unsat => {
             println!("s UNSATISFIABLE");
-            ExitCode::from(20)
+            ExitCode::from(EXIT_UNSAT)
         }
         Outcome::Unknown => {
             println!("s UNKNOWN");
-            ExitCode::SUCCESS
+            ExitCode::from(EXIT_UNKNOWN)
         }
     }
 }

@@ -21,6 +21,8 @@
 //!   conversion pipeline into AB-problems.
 //! * [`baselines`] — tightly-integrated DPLL(T) and eager baselines used in
 //!   the paper's comparative benchmarks.
+//! * [`trace`] — the observability layer: trace events, sinks (null,
+//!   collecting, JSONL file), and the hand-rolled JSON helpers.
 //!
 //! # Quickstart
 //!
@@ -59,3 +61,4 @@ pub use absolver_model as model;
 pub use absolver_nonlinear as nonlinear;
 pub use absolver_num as num;
 pub use absolver_sat as sat;
+pub use absolver_trace as trace;

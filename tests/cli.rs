@@ -1,0 +1,165 @@
+//! End-to-end tests of the `absolver` command-line binary: documented
+//! exit codes, `--stats json` machine-readable output, and `--trace`
+//! JSONL emission.
+//!
+//! Exit-code contract (also printed by `absolver --help`):
+//! 10 sat, 20 unsat, 30 unknown, 40 iteration limit, 2 usage/parse error.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+const FIG2: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fig2.dimacs");
+
+fn absolver() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_absolver"))
+}
+
+/// Runs the binary with `input` piped to stdin and returns the output.
+fn run_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = absolver()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn absolver");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("wait for absolver")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("process exited normally")
+}
+
+#[test]
+fn sat_input_exits_10() {
+    let out = absolver().arg(FIG2).output().expect("run absolver");
+    assert_eq!(exit_code(&out), 10, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s SATISFIABLE"), "stdout: {stdout}");
+}
+
+#[test]
+fn unsat_input_exits_20() {
+    let out = run_stdin(&[], "p cnf 1 2\n1 0\n-1 0\n");
+    assert_eq!(exit_code(&out), 20);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNSATISFIABLE"));
+}
+
+#[test]
+fn unknown_verdict_exits_30() {
+    // The penalty engine alone cannot refute x*x <= -1, so the solver
+    // must admit Unknown rather than claim a verdict.
+    let input = "p cnf 1 1\n1 0\nc def real 1 x * x <= -1\nc range x -10 10\n";
+    let out = run_stdin(&["--nonlinear", "penalty"], input);
+    assert_eq!(exit_code(&out), 30, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNKNOWN"));
+}
+
+#[test]
+fn iteration_limit_exits_40() {
+    let out = absolver().args(["--max-iterations", "0", FIG2]).output().expect("run");
+    assert_eq!(exit_code(&out), 40, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn parse_error_exits_2() {
+    let out = run_stdin(&[], "this is not dimacs\n");
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn near_miss_directive_is_a_parse_error() {
+    // Satellite regression: a misspelled directive must be a hard error,
+    // not a silently ignored comment that flips the verdict.
+    let input = "p cnf 1 1\n1 0\nc dff int 1 i >= 0\n";
+    let out = run_stdin(&[], input);
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("misspelled"), "stderr: {stderr}");
+}
+
+#[test]
+fn stats_json_emits_one_valid_object_with_phase_timings() {
+    let out = absolver().args(["--stats", "json", FIG2]).output().expect("run");
+    assert_eq!(exit_code(&out), 10);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON stats line on stdout");
+    assert!(json_line.ends_with('}'));
+    for key in [
+        "\"boolean_iterations\":",
+        "\"theory_checks\":",
+        "\"simplex_pivots\":",
+        "\"hc4_contractions\":",
+        "\"phase\":{",
+        "\"boolean_us\":",
+        "\"linear_us\":",
+        "\"nonlinear_us\":",
+        "\"conflict_min_us\":",
+        "\"elapsed_us\":",
+    ] {
+        assert!(json_line.contains(key), "missing {key} in {json_line}");
+    }
+    // No pretty-printing, no trailing garbage: exactly one object.
+    assert_eq!(json_line.matches("\"elapsed_us\":").count(), 1);
+}
+
+#[test]
+fn stats_json_works_in_parallel_mode() {
+    let out = absolver()
+        .args(["--jobs", "2", "--stats", "json", FIG2])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&out), 10);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON stats line on stdout");
+    for key in ["\"jobs\":", "\"clauses_shared\":", "\"share_latency_us\":", "\"elapsed_us\":"] {
+        assert!(json_line.contains(key), "missing {key} in {json_line}");
+    }
+}
+
+#[test]
+fn trace_flag_writes_jsonl_events() {
+    let dir = std::env::temp_dir().join(format!("absolver-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let trace_path = dir.join("fig2.trace.jsonl");
+    let out = absolver()
+        .args(["--trace", trace_path.to_str().unwrap(), FIG2])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&out), 10);
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(!lines.is_empty(), "trace must not be empty");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line}");
+    }
+    assert!(trace.contains("\"kind\":\"solve.start\""));
+    assert!(trace.contains("\"kind\":\"solve.end\""));
+    assert!(trace.contains("\"kind\":\"theory.check\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_documents_exit_codes() {
+    let out = absolver().arg("--help").output().expect("run");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for needle in ["10 sat", "20 unsat", "30 unknown", "40 iteration limit"] {
+        assert!(text.contains(needle), "--help must document `{needle}`");
+    }
+}
