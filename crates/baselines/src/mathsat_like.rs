@@ -260,12 +260,16 @@ impl<'a> TightHook<'a> {
             let tag = involved.len() - 1;
             if positive {
                 for c in &def.constraints {
-                    items.push(TheoryItem { tag, constraint: c.clone(), positive: true });
+                    items.push(TheoryItem {
+                        tag,
+                        constraint: std::sync::Arc::new(c.clone()),
+                        positive: true,
+                    });
                 }
             } else if def.constraints.len() == 1 {
                 items.push(TheoryItem {
                     tag,
-                    constraint: def.constraints[0].clone(),
+                    constraint: std::sync::Arc::new(def.constraints[0].clone()),
                     positive: false,
                 });
             } else {
@@ -289,6 +293,8 @@ impl<'a> TightHook<'a> {
             budget: TheoryBudget::default(),
             timing: Default::default(),
             sink: None,
+            incremental: None,
+            lin_activity: Default::default(),
         };
         match check(&items, &mut ctx) {
             TheoryVerdict::Sat(model) => {

@@ -12,15 +12,49 @@
 //! threshold-reach, sudoku, fischer); with arguments only the named
 //! subset. `ABS_TIMEOUT_SECS` (default 120) bounds each run;
 //! `ABS_BENCH_DIR` (default `.`) selects the output directory.
+//!
+//! With `--check-regress` each fresh run is additionally compared
+//! against the checked-in baseline `BENCH_<workload>.json` in
+//! `ABS_BENCH_BASELINE_DIR` (default `.`). The run fails (exit 1) if
+//! any workload is more than 25% slower than its baseline; an absolute
+//! grace of 100ms absorbs scheduler noise on sub-millisecond runs.
 
 use absolver_bench::harness::{env_seconds, format_duration, run_absolver_report};
 use absolver_bench::workloads::bench_suite;
 use std::path::PathBuf;
 
+/// Pulls `"elapsed_us":<n>` out of a baseline report without a JSON
+/// parser (the workspace is dependency-free).
+fn baseline_elapsed_us(report: &str) -> Option<u64> {
+    let key = "\"elapsed_us\":";
+    let at = report.rfind(key)? + key.len();
+    let digits: String = report[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Tolerated slowdown: 25% relative, plus 100ms absolute grace so
+/// micro-benchmarks (fischer, sudoku) don't flake on timer noise.
+fn regression_limit_us(baseline_us: u64) -> u64 {
+    baseline_us + baseline_us / 4 + 100_000
+}
+
 fn main() {
     let timeout = env_seconds("ABS_TIMEOUT_SECS", 120);
     let out_dir = PathBuf::from(std::env::var("ABS_BENCH_DIR").unwrap_or_else(|_| ".".into()));
-    let selected: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_dir =
+        PathBuf::from(std::env::var("ABS_BENCH_BASELINE_DIR").unwrap_or_else(|_| ".".into()));
+    let mut check_regress = false;
+    let selected: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--check-regress" {
+                check_regress = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
 
     let suite = bench_suite();
     if let Some(unknown) = selected
@@ -46,8 +80,54 @@ fn main() {
             continue;
         }
         eprintln!("  {} [{}] -> {}", format_duration(m.elapsed), m.verdict, path.display());
+        if check_regress {
+            let base_path = baseline_dir.join(format!("BENCH_{key}.json"));
+            match std::fs::read_to_string(&base_path)
+                .ok()
+                .as_deref()
+                .and_then(baseline_elapsed_us)
+            {
+                Some(base_us) => {
+                    let fresh_us = m.elapsed.as_micros() as u64;
+                    let limit_us = regression_limit_us(base_us);
+                    if fresh_us > limit_us {
+                        eprintln!(
+                            "  REGRESSION: {key} took {fresh_us}us, baseline {base_us}us \
+                             (limit {limit_us}us)"
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!("  ok vs baseline: {fresh_us}us <= {limit_us}us ({base_us}us)");
+                    }
+                }
+                None => {
+                    eprintln!("  no usable baseline at {}", base_path.display());
+                    failed = true;
+                }
+            }
+        }
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_extraction_takes_the_outermost_stats_value() {
+        let report = r#"{"workload":"x","stats":{"phase":{"boolean_us":3},"elapsed_us":4211}}"#;
+        assert_eq!(baseline_elapsed_us(report), Some(4211));
+        assert_eq!(baseline_elapsed_us("{}"), None);
+    }
+
+    #[test]
+    fn regression_limit_adds_relative_and_absolute_grace() {
+        // 1s baseline: 25% + 100ms grace.
+        assert_eq!(regression_limit_us(1_000_000), 1_350_000);
+        // Micro-run: the absolute grace dominates.
+        assert_eq!(regression_limit_us(800), 101_000);
     }
 }

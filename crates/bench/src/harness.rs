@@ -62,6 +62,19 @@ pub fn run_absolver_report(
         Ok(Outcome::Unknown) => "unknown".to_string(),
         Err(e) => format!("error: {e}"),
     };
+    // Derived efficiency metrics of the incremental theory engine:
+    // pivot effort per theory check and the verdict-cache hit rate.
+    let pivots_per_check = if stats.theory_checks == 0 {
+        0.0
+    } else {
+        stats.simplex_pivots as f64 / stats.theory_checks as f64
+    };
+    let cache_lookups = stats.theory_cache_hits + stats.theory_cache_misses;
+    let cache_hit_rate = if cache_lookups == 0 {
+        0.0
+    } else {
+        stats.theory_cache_hits as f64 / cache_lookups as f64
+    };
     let mut obj = JsonObject::new();
     obj.field_str("workload", workload)
         .field_str("verdict", &verdict)
@@ -69,6 +82,8 @@ pub fn run_absolver_report(
         .field_u64("defs", problem.num_defs() as u64)
         .field_u64("linear_constraints", problem.num_linear() as u64)
         .field_u64("nonlinear_constraints", problem.num_nonlinear() as u64)
+        .field_f64("pivots_per_check", pivots_per_check)
+        .field_f64("cache_hit_rate", cache_hit_rate)
         .field_raw("stats", &stats.to_json());
     (Measurement { verdict, elapsed: stats.elapsed }, obj.finish())
 }

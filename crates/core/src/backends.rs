@@ -17,7 +17,7 @@
 //! | —            | [`IntervalNonlinear`] (rigorous branch-and-prune)      |
 //! | —            | [`CascadeNonlinear`] (branch-and-prune, then penalty)  |
 
-use absolver_linear::{check_conjunction_counted, Feasibility, LinearConstraint};
+use absolver_linear::{check_conjunction_counted, AssertionStack, Feasibility, LinearConstraint};
 use absolver_logic::{Assignment, Cnf, Lit};
 use absolver_nonlinear::{
     branch_and_prune_stats, local_search, NlOptions, NlProblem, NlSearchStats, NlVerdict,
@@ -217,6 +217,17 @@ pub trait LinearBackend {
     fn stats(&self) -> LinearBackendStats {
         LinearBackendStats::default()
     }
+
+    /// Opens a persistent assertion-stack session over `num_vars`
+    /// problem variables for incremental checking (delta assertion,
+    /// warm-started re-checks, push/pop branch-and-bound). Backends that
+    /// only support one-shot [`LinearBackend::check`] return `None` (the
+    /// default); the theory layer then falls back to building a fresh
+    /// tableau per check.
+    fn make_stack(&self, num_vars: usize) -> Option<AssertionStack> {
+        let _ = num_vars;
+        None
+    }
 }
 
 impl fmt::Debug for dyn LinearBackend + '_ {
@@ -288,6 +299,10 @@ impl LinearBackend for SimplexLinear {
 
     fn stats(&self) -> LinearBackendStats {
         self.stats
+    }
+
+    fn make_stack(&self, num_vars: usize) -> Option<AssertionStack> {
+        Some(AssertionStack::new(num_vars, self.minimize_conflicts))
     }
 }
 

@@ -18,13 +18,18 @@ use crate::backends::{
     BooleanSolver, CascadeNonlinear, CdclBoolean, LinearBackend, LinearBackendStats,
     NonlinearBackend, NonlinearBackendStats, SimplexLinear,
 };
-use crate::problem::{AbModel, AbProblem, VarKind};
-use crate::theory::{check, TheoryBudget, TheoryContext, TheoryItem, TheoryTiming, TheoryVerdict};
+use crate::problem::{AbModel, AbProblem, ArithModel, VarKind};
+use crate::theory::{
+    check, IncrementalLinear, LinActivity, TheoryBudget, TheoryContext, TheoryItem, TheoryTiming,
+    TheoryVerdict,
+};
 use absolver_logic::{Lit, Tri, Var};
 use absolver_nonlinear::NlConstraint;
 use absolver_num::Interval;
 use absolver_trace::{JsonObject, NullSink, TraceEvent, TraceSink};
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -115,6 +120,15 @@ pub struct OrchestratorStats {
     pub conflict_min_time: Duration,
     /// Simplex pivots performed by the linear backends.
     pub simplex_pivots: u64,
+    /// Incremental simplex checks that warm-started from the previous
+    /// feasible basis instead of re-tableauing (0 when no backend
+    /// provides an assertion stack).
+    pub simplex_warm_starts: u64,
+    /// Theory checks answered from the verdict cache (no simplex or
+    /// nonlinear work at all).
+    pub theory_cache_hits: u64,
+    /// Theory checks that missed the verdict cache and were computed.
+    pub theory_cache_misses: u64,
     /// HC4 interval contractions performed by the nonlinear backends.
     pub hc4_contractions: u64,
     /// Wall-clock time of the last `solve`/`solve_all` call.
@@ -126,7 +140,8 @@ impl fmt::Display for OrchestratorStats {
         write!(
             f,
             "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} \
-             timed_out={} cancelled={} shared={} imported={} pivots={} contractions={} \
+             timed_out={} cancelled={} shared={} imported={} pivots={} warm_starts={} \
+             cache_hits={} cache_misses={} contractions={} \
              boolean={:?} linear={:?} nonlinear={:?} conflict_min={:?} elapsed={:?}",
             self.boolean_iterations,
             self.theory_checks,
@@ -142,6 +157,9 @@ impl fmt::Display for OrchestratorStats {
             self.clauses_shared,
             self.clauses_imported,
             self.simplex_pivots,
+            self.simplex_warm_starts,
+            self.theory_cache_hits,
+            self.theory_cache_misses,
             self.hc4_contractions,
             self.boolean_time,
             self.linear_time,
@@ -176,6 +194,9 @@ impl OrchestratorStats {
             .field_u64("clauses_imported", self.clauses_imported)
             .field_u64("share_latency_us", self.share_latency.as_micros() as u64)
             .field_u64("simplex_pivots", self.simplex_pivots)
+            .field_u64("simplex_warm_starts", self.simplex_warm_starts)
+            .field_u64("theory_cache_hits", self.theory_cache_hits)
+            .field_u64("theory_cache_misses", self.theory_cache_misses)
             .field_u64("hc4_contractions", self.hc4_contractions)
             .field_raw("phase", &phase.finish())
             .field_u64("elapsed_us", self.elapsed.as_micros() as u64);
@@ -197,6 +218,12 @@ pub struct OrchestratorOptions {
     /// returns [`Outcome::Unknown`] (and [`OrchestratorStats::timed_out`]
     /// is set).
     pub time_limit: Option<Duration>,
+    /// Memoize theory verdicts keyed on the involved-literal assignment
+    /// (on by default). Repeated theory projections — `solve_all`
+    /// enumeration differing only in free Boolean variables, cubes
+    /// re-visiting sub-assignments — are answered without touching the
+    /// arithmetic engines. Disable for ablation / differential testing.
+    pub theory_cache: bool,
 }
 
 impl Default for OrchestratorOptions {
@@ -206,6 +233,7 @@ impl Default for OrchestratorOptions {
             max_def_branches: 64,
             theory: TheoryBudget::default(),
             time_limit: None,
+            theory_cache: true,
         }
     }
 }
@@ -230,6 +258,45 @@ impl fmt::Debug for ClauseSharing {
     }
 }
 
+/// A memoized theory verdict. `Unknown` is never cached — it reflects a
+/// budget, not a fact about the assignment.
+#[derive(Debug, Clone)]
+enum CachedVerdict {
+    Sat(ArithModel),
+    Unsat(Vec<usize>),
+}
+
+/// Theory-verdict cache keyed on the involved-literal assignment (the
+/// polarity-carrying `Lit`s of the defined variables, in definition
+/// order — a deterministic, canonical tag for the projection). The
+/// verdict of a theory check depends only on this projection, so it is
+/// valid across `solve_all` enumeration, repeated cube sub-assignments,
+/// and whole solve calls — as long as the problem itself is unchanged,
+/// which `fingerprint` guards.
+#[derive(Debug, Default)]
+struct TheoryCache {
+    map: HashMap<Vec<Lit>, CachedVerdict>,
+    fingerprint: u64,
+}
+
+/// A cheap structural fingerprint of the parts of a problem the theory
+/// cache depends on: the arithmetic variables (kind + range) and the
+/// atom definitions. The CNF skeleton is deliberately excluded — clauses
+/// do not change what a theory projection means.
+fn problem_fingerprint(problem: &AbProblem) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in problem.arith_vars() {
+        format!("{v:?}").hash(&mut h);
+    }
+    for (var, def) in problem.defs() {
+        var.index().hash(&mut h);
+        for c in &def.constraints {
+            format!("{c}").hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
 /// The ABsolver engine: a Boolean backend plus lists of linear and
 /// nonlinear backends, orchestrated by the lazy-SMT control loop.
 #[derive(Debug)]
@@ -243,6 +310,14 @@ pub struct Orchestrator {
     deadline: Option<Instant>,
     sharing: Option<ClauseSharing>,
     sink: Arc<dyn TraceSink>,
+    /// Interned per-def constraint pool, rebuilt at each solve entry:
+    /// one `Arc` per constraint so per-iteration obligation building
+    /// bumps reference counts instead of deep-cloning expression trees.
+    interned: Vec<(Var, Vec<Arc<NlConstraint>>)>,
+    /// Incremental linear session of the current call (when the first
+    /// linear backend provides an assertion stack).
+    incremental: Option<IncrementalLinear>,
+    cache: TheoryCache,
 }
 
 impl Default for Orchestrator {
@@ -265,6 +340,9 @@ impl Orchestrator {
             deadline: None,
             sharing: None,
             sink: Arc::new(NullSink),
+            interned: Vec::new(),
+            incremental: None,
+            cache: TheoryCache::default(),
         }
     }
 
@@ -281,6 +359,9 @@ impl Orchestrator {
             deadline: None,
             sharing: None,
             sink: Arc::new(NullSink),
+            interned: Vec::new(),
+            incremental: None,
+            cache: TheoryCache::default(),
         }
     }
 
@@ -400,7 +481,9 @@ impl Orchestrator {
     }
 
     /// Folds the backend-counter deltas since `(lin0, nl0)` into
-    /// `self.stats` (called at the end of each `solve*` entry point).
+    /// `self.stats` (called at the end of each `solve*` entry point),
+    /// plus the incremental session's own counters — its checks bypass
+    /// the one-shot backends entirely, so they are not in the snapshots.
     fn absorb_backend_deltas(&mut self, lin0: LinearBackendStats, nl0: NonlinearBackendStats) {
         let lin1 = self.linear_snapshot();
         let nl1 = self.nonlinear_snapshot();
@@ -408,6 +491,60 @@ impl Orchestrator {
         self.stats.conflict_min_time +=
             lin1.conflict_min_time.saturating_sub(lin0.conflict_min_time);
         self.stats.hc4_contractions += nl1.hc4_contractions.saturating_sub(nl0.hc4_contractions);
+        if let Some(inc) = &self.incremental {
+            let stack = inc.stack();
+            self.stats.simplex_pivots += stack.pivots();
+            self.stats.simplex_warm_starts += stack.warm_starts();
+            self.stats.conflict_min_time += stack.min_time();
+        }
+    }
+
+    /// Per-call session setup: rebuilds the interned constraint pool,
+    /// opens a fresh incremental linear session (when the first linear
+    /// backend provides one), and invalidates the theory cache if the
+    /// problem changed since the previous call.
+    fn prepare_session(&mut self, problem: &AbProblem) {
+        self.interned = problem
+            .defs()
+            .map(|(var, def)| {
+                (var, def.constraints.iter().map(|c| Arc::new(c.clone())).collect())
+            })
+            .collect();
+        self.incremental = self
+            .linear
+            .first()
+            .and_then(|b| b.make_stack(problem.arith_vars().len()))
+            .map(IncrementalLinear::new);
+        let fingerprint = problem_fingerprint(problem);
+        if self.cache.fingerprint != fingerprint {
+            self.cache.map.clear();
+            self.cache.fingerprint = fingerprint;
+        }
+    }
+
+    /// Looks up the memoized verdict for an involved-literal assignment.
+    fn cached_verdict(&self, involved: &[Lit]) -> Option<TheoryVerdict> {
+        if !self.options.theory_cache {
+            return None;
+        }
+        self.cache.map.get(involved).map(|v| match v {
+            CachedVerdict::Sat(m) => TheoryVerdict::Sat(m.clone()),
+            CachedVerdict::Unsat(tags) => TheoryVerdict::Unsat(tags.clone()),
+        })
+    }
+
+    /// Memoizes a computed verdict (`Unknown` is budget-dependent and
+    /// never stored).
+    fn store_verdict(&mut self, involved: &[Lit], verdict: &TheoryVerdict) {
+        if !self.options.theory_cache {
+            return;
+        }
+        let cached = match verdict {
+            TheoryVerdict::Sat(m) => CachedVerdict::Sat(m.clone()),
+            TheoryVerdict::Unsat(tags) => CachedVerdict::Unsat(tags.clone()),
+            TheoryVerdict::Unknown => return,
+        };
+        self.cache.map.insert(involved.to_vec(), cached);
     }
 
     /// Solves an AB-problem.
@@ -445,8 +582,20 @@ impl Orchestrator {
                 .field_u64("num_defs", problem.defs().count() as u64)
                 .field_u64("assumptions", assumptions.len() as u64)
         });
+        self.prepare_session(problem);
         self.boolean.load(problem.cnf());
-        self.replay_imported_pool();
+        if !self.replay_imported_pool() {
+            // An imported lemma already contradicts the formula: the
+            // problem is unsat, no iteration needed.
+            self.stats.elapsed = started.elapsed();
+            self.absorb_backend_deltas(lin0, nl0);
+            self.trace(|| {
+                TraceEvent::new("solve.end")
+                    .field("outcome", "unsat")
+                    .duration(started.elapsed())
+            });
+            return Ok(Outcome::Unsat);
+        }
         if !self.boolean.set_assumptions(assumptions) {
             // Backend without assumption support: a cube is equivalently
             // the conjunction of its literals as unit clauses (the clause
@@ -485,21 +634,26 @@ impl Orchestrator {
     /// Re-adds every previously imported shared clause after a reload.
     /// Imported clauses are theory lemmas, valid for the problem itself —
     /// dropping them on reload would silently lose pruning other shards
-    /// already paid for.
-    fn replay_imported_pool(&mut self) {
+    /// already paid for. Returns `false` if a pool clause made the
+    /// formula trivially unsatisfiable; the callers then short-circuit
+    /// to `Unsat` exactly like [`Orchestrator::drain_imports`].
+    fn replay_imported_pool(&mut self) -> bool {
         if let Some(sharing) = &mut self.sharing {
             for clause in &sharing.pool {
                 if !self.boolean.add_clause(clause) {
-                    break;
+                    return false;
                 }
             }
         }
+        true
     }
 
     /// Enumerates models of an AB-problem, up to `max_models`. Models are
-    /// distinct in their *theory-literal projection* (the assignment to
-    /// defined Boolean variables); free Boolean variables and arithmetic
-    /// witnesses may repeat.
+    /// distinct as *full Boolean assignments*: the blocking clause added
+    /// after each model projects on **all** Boolean variables, free
+    /// skeleton variables included. Two enumerated models may therefore
+    /// share their theory-literal projection (and arithmetic witness)
+    /// while differing only on a free variable.
     ///
     /// # Errors
     ///
@@ -520,10 +674,23 @@ impl Orchestrator {
                 .field_u64("num_vars", problem.cnf().num_vars() as u64)
                 .field_u64("num_defs", problem.defs().count() as u64)
         });
+        self.prepare_session(problem);
         self.boolean.load(problem.cnf());
         self.boolean.set_assumptions(&[]);
-        self.replay_imported_pool();
         let mut models = Vec::new();
+        if !self.replay_imported_pool() {
+            // An imported lemma already contradicts the formula: there
+            // are no models to enumerate.
+            self.stats.elapsed = started.elapsed();
+            self.absorb_backend_deltas(lin0, nl0);
+            self.trace(|| {
+                TraceEvent::new("solve.end")
+                    .field("outcome", "solve_all")
+                    .field_u64("models", 0)
+                    .duration(started.elapsed())
+            });
+            return Ok(models);
+        }
         // Project on all Boolean variables so distinct Boolean models are
         // enumerated (theory atoms and skeleton alike).
         let all_vars: Vec<Var> = (0..problem.cnf().num_vars())
@@ -656,33 +823,38 @@ impl Orchestrator {
                     .duration(bool_started.elapsed())
             });
 
-            // Induce theory obligations from the Boolean model.
+            // Induce theory obligations from the Boolean model, out of
+            // the interned pool (`Arc` bumps, no expression clones).
             // `fixed` items hold in every branch; `choices` collects the
             // disjunctive alternatives from false multi-constraint defs.
             let mut fixed: Vec<TheoryItem> = Vec::new();
-            let mut choices: Vec<(Lit, Vec<NlConstraint>)> = Vec::new();
+            let mut choices: Vec<(Lit, Vec<Arc<NlConstraint>>)> = Vec::new();
             let mut involved: Vec<Lit> = Vec::new();
-            for (var, def) in problem.defs() {
-                match model.value(var) {
+            for (var, constraints) in &self.interned {
+                match model.value(*var) {
                     Tri::True => {
                         involved.push(var.positive());
                         let tag = involved.len() - 1;
-                        for c in &def.constraints {
-                            fixed.push(TheoryItem { tag, constraint: c.clone(), positive: true });
+                        for c in constraints {
+                            fixed.push(TheoryItem {
+                                tag,
+                                constraint: Arc::clone(c),
+                                positive: true,
+                            });
                         }
                     }
                     Tri::False => {
                         involved.push(var.negative());
                         let tag = involved.len() - 1;
-                        if def.constraints.len() == 1 {
+                        if constraints.len() == 1 {
                             fixed.push(TheoryItem {
                                 tag,
-                                constraint: def.constraints[0].clone(),
+                                constraint: Arc::clone(&constraints[0]),
                                 positive: false,
                             });
                         } else {
                             // ¬(c₁ ∧ … ∧ cₖ): at least one must fail.
-                            choices.push((var.negative(), def.constraints.clone()));
+                            choices.push((var.negative(), constraints.clone()));
                         }
                     }
                     Tri::Unknown => {}
@@ -690,8 +862,30 @@ impl Orchestrator {
             }
 
             let theory_started = Instant::now();
-            let verdict =
-                self.check_with_choices(problem, &fixed, &choices, &involved, &kinds, &ranges, deadline);
+            let verdict = match self.cached_verdict(&involved) {
+                Some(verdict) => {
+                    self.stats.theory_cache_hits += 1;
+                    self.trace(|| {
+                        TraceEvent::new("cache.hit")
+                            .field_u64("literals", involved.len() as u64)
+                    });
+                    verdict
+                }
+                None => {
+                    if self.options.theory_cache {
+                        self.stats.theory_cache_misses += 1;
+                        self.trace(|| {
+                            TraceEvent::new("cache.miss")
+                                .field_u64("literals", involved.len() as u64)
+                        });
+                    }
+                    let verdict = self.check_with_choices(
+                        problem, &fixed, &choices, &involved, &kinds, &ranges, deadline,
+                    );
+                    self.store_verdict(&involved, &verdict);
+                    verdict
+                }
+            };
             self.trace(|| {
                 let label = match &verdict {
                     TheoryVerdict::Sat(_) => "sat",
@@ -754,7 +948,7 @@ impl Orchestrator {
         &mut self,
         problem: &AbProblem,
         fixed: &[TheoryItem],
-        choices: &[(Lit, Vec<NlConstraint>)],
+        choices: &[(Lit, Vec<Arc<NlConstraint>>)],
         involved: &[Lit],
         kinds: &[VarKind],
         ranges: &[Interval],
@@ -783,7 +977,7 @@ impl Orchestrator {
                     .expect("choice literal is involved");
                 items.push(TheoryItem {
                     tag,
-                    constraint: alts[pick].clone(),
+                    constraint: Arc::clone(&alts[pick]),
                     positive: false,
                 });
             }
@@ -802,6 +996,8 @@ impl Orchestrator {
                 budget,
                 timing: TheoryTiming::default(),
                 sink,
+                incremental: self.incremental.as_mut(),
+                lin_activity: LinActivity::default(),
             };
             let verdict = check(&items, &mut ctx);
             let timing = ctx.timing;
@@ -978,6 +1174,87 @@ c range y -10 10
         for m in &models {
             assert!(m.satisfies(&problem, 1e-9));
         }
+    }
+
+    #[test]
+    fn solve_all_blocks_on_all_boolean_vars() {
+        // One defined atom plus one *free* skeleton variable under
+        // (1 ∨ 2): enumeration is over full Boolean assignments (see the
+        // doc), so the free variable contributes distinct models —
+        // (T,T), (T,F), (F,T) — even though only two theory projections
+        // exist.
+        let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\n";
+        let problem: AbProblem = text.parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let models = orc.solve_all(&problem, usize::MAX).unwrap();
+        assert_eq!(models.len(), 3);
+        for m in &models {
+            assert!(m.satisfies(&problem, 1e-9));
+        }
+        // The repeated projection is answered from the theory cache.
+        assert!(orc.stats().theory_cache_hits >= 1);
+    }
+
+    #[test]
+    fn cache_disabled_agrees_and_counts_nothing() {
+        let problem: AbProblem = PAPER_EXAMPLE.parse().unwrap();
+        let mut on = Orchestrator::with_defaults();
+        let mut off = Orchestrator::with_defaults().with_options(OrchestratorOptions {
+            theory_cache: false,
+            ..Default::default()
+        });
+        let a = on.solve(&problem).unwrap();
+        let b = off.solve(&problem).unwrap();
+        assert_eq!(a.is_sat(), b.is_sat());
+        assert_eq!(off.stats().theory_cache_hits, 0);
+        assert_eq!(off.stats().theory_cache_misses, 0);
+    }
+
+    #[test]
+    fn warm_starts_are_counted() {
+        // 2x + 2y = 1 over integers in [0, 1]: branch-and-bound re-checks
+        // the stack at every node (the multi-variable row keeps branch
+        // bounds from conflicting at assert time), so every check after
+        // the first warm-starts the session.
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Int);
+        let y = b.arith_var("y", VarKind::Int);
+        let sum = b.atom(
+            Expr::int(2) * Expr::var(x) + Expr::int(2) * Expr::var(y),
+            CmpOp::Eq,
+            q(1),
+        );
+        let atoms = [
+            sum,
+            b.atom(Expr::var(x), CmpOp::Ge, q(0)),
+            b.atom(Expr::var(x), CmpOp::Le, q(1)),
+            b.atom(Expr::var(y), CmpOp::Ge, q(0)),
+            b.atom(Expr::var(y), CmpOp::Le, q(1)),
+        ];
+        for a in atoms {
+            b.require(a.positive());
+        }
+        let problem = b.build();
+        let mut orc = Orchestrator::with_defaults();
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+        assert!(orc.stats().simplex_warm_starts >= 1);
+    }
+
+    #[test]
+    fn unsat_import_pool_short_circuits_replay() {
+        // Contradictory unit lemmas arrive via clause sharing during the
+        // first call and stay pooled; the second call must short-circuit
+        // while replaying the pool, before any Boolean iteration.
+        let problem: AbProblem = "p cnf 1 1\n1 -1 0\n".parse().unwrap();
+        let mut orc = Orchestrator::with_defaults();
+        let (tx, rx) = mpsc::channel();
+        orc.set_clause_sharing(Vec::new(), rx);
+        let v = Var::new(0);
+        tx.send((Instant::now(), vec![v.positive()])).unwrap();
+        tx.send((Instant::now(), vec![v.negative()])).unwrap();
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+        assert!(orc.solve(&problem).unwrap().is_unsat());
+        assert_eq!(orc.stats().boolean_iterations, 0);
     }
 
     #[test]

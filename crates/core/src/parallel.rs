@@ -116,6 +116,12 @@ pub struct ShardStats {
     pub boolean_iterations: u64,
     /// Theory checks performed.
     pub theory_checks: u64,
+    /// Theory verdicts answered from the shard's verdict cache.
+    pub theory_cache_hits: u64,
+    /// Theory-cache lookups that fell through to a real check.
+    pub theory_cache_misses: u64,
+    /// Simplex checks that started from a warm tableau.
+    pub simplex_warm_starts: u64,
     /// Blocking clauses fed back.
     pub conflicts_fed_back: u64,
     /// Theory-conflict clauses this shard exported to siblings.
@@ -384,6 +390,9 @@ fn solve_portfolio(
                             cubes_solved: 1,
                             boolean_iterations: stats.boolean_iterations,
                             theory_checks: stats.theory_checks,
+                            theory_cache_hits: stats.theory_cache_hits,
+                            theory_cache_misses: stats.theory_cache_misses,
+                            simplex_warm_starts: stats.simplex_warm_starts,
                             conflicts_fed_back: stats.conflicts_fed_back,
                             clauses_shared: stats.clauses_shared,
                             clauses_imported: stats.clauses_imported,
@@ -533,6 +542,9 @@ fn solve_cubes(
                         stats.cubes_solved += 1;
                         stats.boolean_iterations += run.boolean_iterations;
                         stats.theory_checks += run.theory_checks;
+                        stats.theory_cache_hits += run.theory_cache_hits;
+                        stats.theory_cache_misses += run.theory_cache_misses;
+                        stats.simplex_warm_starts += run.simplex_warm_starts;
                         stats.conflicts_fed_back += run.conflicts_fed_back;
                         stats.clauses_shared += run.clauses_shared;
                         stats.clauses_imported += run.clauses_imported;

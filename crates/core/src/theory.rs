@@ -20,7 +20,7 @@
 
 use crate::backends::{LinearBackend, NonlinearBackend};
 use crate::problem::{ArithModel, VarKind};
-use absolver_linear::{CmpOp, Feasibility, LinExpr, LinearConstraint};
+use absolver_linear::{AssertionStack, CmpOp, Feasibility, LinExpr, LinearConstraint, StackResult};
 use absolver_nonlinear::{NlConstraint, NlProblem, NlVerdict};
 use absolver_num::{Interval, Rational};
 use absolver_trace::{TraceEvent, TraceSink};
@@ -35,8 +35,10 @@ use std::time::{Duration, Instant};
 pub struct TheoryItem {
     /// Caller-chosen tag identifying the origin (a Boolean literal).
     pub tag: usize,
-    /// The constraint.
-    pub constraint: NlConstraint,
+    /// The constraint, shared with the orchestrator's interned pool so
+    /// building the per-iteration obligation list never deep-clones
+    /// expression trees.
+    pub constraint: Arc<NlConstraint>,
     /// `true` to assert the constraint, `false` to assert its negation.
     pub positive: bool,
 }
@@ -104,6 +106,51 @@ pub struct TheoryTiming {
     pub nonlinear: Duration,
 }
 
+/// A persistent incremental linear session: the simplex assertion stack
+/// plus the `(tag, constraint)` rows currently asserted on it. The
+/// orchestrator owns one per solve call and threads it through
+/// [`TheoryContext`]; consecutive checks diff their desired row list
+/// against `base` and only push/pop the changed suffix (*delta
+/// assertion*), so a check that shares a prefix with its predecessor
+/// warm-starts from the previous feasible basis.
+pub struct IncrementalLinear {
+    stack: AssertionStack,
+    base: Vec<(usize, LinearConstraint)>,
+}
+
+impl IncrementalLinear {
+    /// Wraps a fresh assertion stack (see
+    /// [`crate::backends::LinearBackend::make_stack`]).
+    pub fn new(stack: AssertionStack) -> IncrementalLinear {
+        IncrementalLinear { stack, base: Vec::new() }
+    }
+
+    /// The underlying stack, for its effort counters (pivots, checks,
+    /// warm starts, minimisation time).
+    pub fn stack(&self) -> &AssertionStack {
+        &self.stack
+    }
+}
+
+impl std::fmt::Debug for IncrementalLinear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IncrementalLinear(rows={}, checks={})", self.base.len(), self.stack.checks())
+    }
+}
+
+/// Delta-assertion activity of the most recent linear phase, reported
+/// through [`TheoryContext`] for the `phase.linear` trace event. All
+/// fields stay zero/false on the from-scratch path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinActivity {
+    /// The check ran on a warm assertion stack (not the session's first).
+    pub warm: bool,
+    /// Rows kept from the previous check (common prefix).
+    pub reused: u64,
+    /// Rows newly pushed for this check.
+    pub pushed: u64,
+}
+
 /// The context a theory check runs in.
 pub struct TheoryContext<'a> {
     /// Number of arithmetic variables.
@@ -122,19 +169,27 @@ pub struct TheoryContext<'a> {
     pub timing: TheoryTiming,
     /// Trace sink for phase spans (`phase.linear` / `phase.nonlinear`).
     pub sink: Option<&'a dyn TraceSink>,
+    /// Incremental linear session. When present, the linear phase runs
+    /// delta assertion + warm-started checks on it instead of building a
+    /// fresh tableau per check.
+    pub incremental: Option<&'a mut IncrementalLinear>,
+    /// Filled by the last linear phase: delta-assertion activity.
+    pub lin_activity: LinActivity,
 }
 
 /// Normalised internal form of a query: asserted constraints plus affine
 /// disequalities (negated equalities that stay lazy).
 struct Normalised {
     /// `(tag, constraint)` — must hold; affine ones are split out below.
-    nl_asserts: Vec<(usize, NlConstraint)>,
+    /// `Arc`-shared with the caller's items: positive asserts never
+    /// deep-clone the expression tree.
+    nl_asserts: Vec<(usize, Arc<NlConstraint>)>,
     lin_asserts: Vec<(usize, LinearConstraint)>,
     /// `(tag, affine lhs, rhs)` — `lhs ≠ rhs` must hold.
     lin_diseqs: Vec<(usize, LinExpr, Rational)>,
     /// `(tag, constraint)` with `op == Eq` — `≠` obligations whose LHS is
     /// nonlinear.
-    nl_diseqs: Vec<(usize, NlConstraint)>,
+    nl_diseqs: Vec<(usize, Arc<NlConstraint>)>,
     /// Whether any genuinely nonlinear assert exists.
     has_nonlinear: bool,
 }
@@ -150,14 +205,14 @@ fn normalise(items: &[TheoryItem]) -> Normalised {
     for item in items {
         let c = &item.constraint;
         if item.positive {
-            push_assert(&mut out, item.tag, c.clone());
+            push_assert(&mut out, item.tag, Arc::clone(c));
         } else {
             match c.op.negate() {
                 Some(op) => {
                     push_assert(
                         &mut out,
                         item.tag,
-                        NlConstraint::new(c.expr.clone(), op, c.rhs.clone()),
+                        Arc::new(NlConstraint::new(c.expr.clone(), op, c.rhs.clone())),
                     );
                 }
                 None => {
@@ -167,7 +222,7 @@ fn normalise(items: &[TheoryItem]) -> Normalised {
                             out.lin_diseqs.push((item.tag, lin, &c.rhs - &k));
                         }
                         None => {
-                            out.nl_diseqs.push((item.tag, c.clone()));
+                            out.nl_diseqs.push((item.tag, Arc::clone(c)));
                             out.has_nonlinear = true;
                         }
                     }
@@ -178,7 +233,7 @@ fn normalise(items: &[TheoryItem]) -> Normalised {
     out
 }
 
-fn push_assert(out: &mut Normalised, tag: usize, c: NlConstraint) {
+fn push_assert(out: &mut Normalised, tag: usize, c: Arc<NlConstraint>) {
     match c.expr.to_affine() {
         Some((lin, k)) => {
             let rhs = &c.rhs - &k;
@@ -204,7 +259,13 @@ pub fn check(items: &[TheoryItem], ctx: &mut TheoryContext<'_>) -> TheoryVerdict
     let lin_elapsed = lin_started.elapsed();
     ctx.timing.linear += lin_elapsed;
     if let Some(sink) = ctx.sink.filter(|s| s.enabled()) {
-        sink.emit(&TraceEvent::new("phase.linear").duration(lin_elapsed));
+        sink.emit(
+            &TraceEvent::new("phase.linear")
+                .field("start", if ctx.lin_activity.warm { "warm" } else { "cold" })
+                .field_u64("reused_rows", ctx.lin_activity.reused)
+                .field_u64("pushed_rows", ctx.lin_activity.pushed)
+                .duration(lin_elapsed),
+        );
     }
     match (&lin_verdict, norm.has_nonlinear) {
         (LinOutcome::Unsat(tags), _) => return TheoryVerdict::Unsat(tags.clone()),
@@ -242,6 +303,15 @@ enum LinOutcome {
 }
 
 fn solve_linear(norm: &Normalised, ctx: &mut TheoryContext<'_>) -> LinOutcome {
+    ctx.lin_activity = LinActivity::default();
+    if ctx.incremental.is_some() {
+        // Temporarily move the session out so the recursion can borrow
+        // both it and `ctx` independently.
+        let inc = ctx.incremental.take().expect("checked above");
+        let out = solve_linear_incremental(inc, norm, ctx);
+        ctx.incremental = Some(inc);
+        return out;
+    }
     let mut constraints: Vec<LinearConstraint> =
         norm.lin_asserts.iter().map(|(_, c)| c.clone()).collect();
     let base_len = constraints.len();
@@ -255,6 +325,147 @@ fn solve_linear(norm: &Normalised, ctx: &mut TheoryContext<'_>) -> LinOutcome {
         ctx,
         &mut nodes,
     )
+}
+
+/// The incremental linear path: delta assertion against the session's
+/// previous row set, then warm-started branch-and-bound on the stack.
+fn solve_linear_incremental(
+    inc: &mut IncrementalLinear,
+    norm: &Normalised,
+    ctx: &mut TheoryContext<'_>,
+) -> LinOutcome {
+    ctx.lin_activity.warm = inc.stack.checks() > 0;
+
+    // Delta assertion: keep the longest common prefix of the previous
+    // check's rows, pop everything past it, push only the new suffix.
+    let desired = &norm.lin_asserts;
+    let mut prefix = 0;
+    while prefix < inc.base.len()
+        && prefix < desired.len()
+        && inc.base[prefix] == desired[prefix]
+    {
+        prefix += 1;
+    }
+    inc.stack.pop_to(prefix);
+    inc.base.truncate(prefix);
+    ctx.lin_activity.reused = prefix as u64;
+    ctx.lin_activity.pushed = (desired.len() - prefix) as u64;
+    for (tag, c) in &desired[prefix..] {
+        match inc.stack.push(c) {
+            Ok(_) => inc.base.push((*tag, c.clone())),
+            Err(rows) => {
+                // Assert-time conflict: `rows` are positions of accepted
+                // base rows; the rejected constraint contributes its own
+                // tag. The stack is unchanged, so `base` stays in sync.
+                let mut tags: Vec<usize> = rows.iter().map(|&r| inc.base[r].0).collect();
+                tags.push(*tag);
+                tags.sort_unstable();
+                tags.dedup();
+                return LinOutcome::Unsat(tags);
+            }
+        }
+    }
+
+    let mut nodes = ctx.budget.max_nodes;
+    rec_linear_inc(inc, &norm.lin_diseqs, ctx, &mut nodes)
+}
+
+/// Maps an unsat certificate (stack row positions) back to literal tags.
+/// Rows past the base (branch constraints) widen the core to all base
+/// tags, exactly like the from-scratch path (sound: supersets of an
+/// unsat set stay unsat).
+fn map_rows(inc: &IncrementalLinear, rows: &[usize]) -> Vec<usize> {
+    let precise = rows.iter().all(|&r| r < inc.base.len());
+    let mut t: Vec<usize> = if precise {
+        rows.iter().map(|&r| inc.base[r].0).collect()
+    } else {
+        inc.base.iter().map(|(tag, _)| *tag).collect()
+    };
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+fn rec_linear_inc(
+    inc: &mut IncrementalLinear,
+    diseqs: &[(usize, LinExpr, Rational)],
+    ctx: &mut TheoryContext<'_>,
+    nodes: &mut usize,
+) -> LinOutcome {
+    if *nodes == 0 || ctx.budget.interrupted() {
+        return LinOutcome::Unknown;
+    }
+    *nodes -= 1;
+
+    let model = match inc.stack.check() {
+        StackResult::Unsat(rows) => return LinOutcome::Unsat(map_rows(inc, &rows)),
+        StackResult::Sat => pad(inc.stack.model(), ctx.num_vars),
+    };
+
+    // Integrality: branch on the first int-typed variable with a
+    // fractional value.
+    for (v, kind) in ctx.kinds.iter().enumerate() {
+        if *kind == VarKind::Int && !model[v].is_integer() {
+            let below = LinearConstraint::new(
+                LinExpr::var(v),
+                CmpOp::Le,
+                Rational::from(model[v].floor()),
+            );
+            let above = LinearConstraint::new(
+                LinExpr::var(v),
+                CmpOp::Ge,
+                Rational::from(model[v].ceil()),
+            );
+            return branch_inc(inc, [below, above], diseqs, ctx, nodes, None);
+        }
+    }
+
+    // Disequalities: find one the model violates (lhs = rhs exactly).
+    for (tag, lin, rhs) in diseqs {
+        if &lin.eval(&model) == rhs {
+            let lt = LinearConstraint::new(lin.clone(), CmpOp::Lt, rhs.clone());
+            let gt = LinearConstraint::new(lin.clone(), CmpOp::Gt, rhs.clone());
+            return branch_inc(inc, [lt, gt], diseqs, ctx, nodes, Some(*tag));
+        }
+    }
+
+    LinOutcome::Sat(model)
+}
+
+/// [`branch`], incrementally: each alternative is pushed onto the stack
+/// (a few pivots on re-check, not a full solve) and popped before the
+/// sibling runs; the stack is back at `mark` on every exit path.
+fn branch_inc(
+    inc: &mut IncrementalLinear,
+    alternatives: [LinearConstraint; 2],
+    diseqs: &[(usize, LinExpr, Rational)],
+    ctx: &mut TheoryContext<'_>,
+    nodes: &mut usize,
+    diseq_tag: Option<usize>,
+) -> LinOutcome {
+    let mut conflict: Vec<usize> = Vec::new();
+    let mark = inc.stack.len();
+    for alt in alternatives {
+        let out = match inc.stack.push(&alt) {
+            Ok(_) => {
+                let out = rec_linear_inc(inc, diseqs, ctx, nodes);
+                inc.stack.pop_to(mark);
+                out
+            }
+            // Assert-time conflict with rows already on the stack (the
+            // failed push leaves the stack unchanged).
+            Err(rows) => LinOutcome::Unsat(map_rows(inc, &rows)),
+        };
+        match out {
+            LinOutcome::Sat(m) => return LinOutcome::Sat(m),
+            LinOutcome::Unknown => return LinOutcome::Unknown,
+            LinOutcome::Unsat(t) => conflict.extend(t),
+        }
+    }
+    conflict.extend(diseq_tag);
+    conflict.sort_unstable();
+    conflict.dedup();
+    LinOutcome::Unsat(conflict)
 }
 
 fn rec_linear(
@@ -366,7 +577,7 @@ fn solve_nonlinear(norm: &Normalised, ctx: &mut TheoryContext<'_>) -> TheoryVerd
     // All asserted constraints (linear ones included — the joint system
     // must be satisfied by one witness).
     let constraints: Vec<NlConstraint> =
-        norm.nl_asserts.iter().map(|(_, c)| c.clone()).collect();
+        norm.nl_asserts.iter().map(|(_, c)| (**c).clone()).collect();
     let all_tags: Vec<usize> = norm
         .nl_asserts
         .iter()
@@ -381,7 +592,7 @@ fn solve_nonlinear(norm: &Normalised, ctx: &mut TheoryContext<'_>) -> TheoryVerd
             let expr = lin_to_expr(lin);
             (*t, NlConstraint::new(expr, CmpOp::Eq, rhs.clone()))
         })
-        .chain(norm.nl_diseqs.iter().cloned())
+        .chain(norm.nl_diseqs.iter().map(|(t, c)| (*t, (**c).clone())))
         .collect();
 
     let mut splits = ctx.budget.max_nl_splits;
@@ -487,7 +698,7 @@ mod tests {
     }
 
     fn item(tag: usize, c: NlConstraint, positive: bool) -> TheoryItem {
-        TheoryItem { tag, constraint: c, positive }
+        TheoryItem { tag, constraint: Arc::new(c), positive }
     }
 
     fn run(items: &[TheoryItem], kinds: Vec<VarKind>, ranges: Vec<Interval>) -> TheoryVerdict {
@@ -503,6 +714,33 @@ mod tests {
             budget: TheoryBudget::default(),
             timing: TheoryTiming::default(),
             sink: None,
+            incremental: None,
+            lin_activity: LinActivity::default(),
+        };
+        check(items, &mut ctx)
+    }
+
+    /// Like [`run`], but through a caller-owned incremental session.
+    fn run_inc(
+        inc: &mut IncrementalLinear,
+        items: &[TheoryItem],
+        kinds: Vec<VarKind>,
+        ranges: Vec<Interval>,
+    ) -> TheoryVerdict {
+        let mut linear: Vec<Box<dyn LinearBackend>> = vec![Box::new(SimplexLinear::new())];
+        let mut nonlinear: Vec<Box<dyn NonlinearBackend>> =
+            vec![Box::new(CascadeNonlinear::default())];
+        let mut ctx = TheoryContext {
+            num_vars: kinds.len(),
+            kinds: &kinds,
+            ranges: &ranges,
+            linear: &mut linear,
+            nonlinear: &mut nonlinear,
+            budget: TheoryBudget::default(),
+            timing: TheoryTiming::default(),
+            sink: None,
+            incremental: Some(inc),
+            lin_activity: LinActivity::default(),
         };
         check(items, &mut ctx)
     }
@@ -646,6 +884,48 @@ mod tests {
             TheoryVerdict::Unsat(_) => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn incremental_session_agrees_with_scratch() {
+        // One persistent session across queries that share prefixes,
+        // exercise integer branch-and-bound and disequality splits, and
+        // shrink as well as grow the asserted row set. Verdict kinds
+        // (and unsat cores) must match the from-scratch path exactly.
+        let mut inc = IncrementalLinear::new(AssertionStack::new(1, true));
+        let (k, r) = ints(1);
+        let queries: Vec<Vec<TheoryItem>> = vec![
+            // 2 ≤ 3x ≤ 7: sat with integral witness.
+            vec![
+                item(0, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Ge, q(2)), true),
+                item(1, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Le, q(7)), true),
+            ],
+            // Same prefix, extra diseqs: 1 ≤ x ≤ 2 ∧ x ≠ 1 ∧ x ≠ 2 unsat.
+            vec![
+                item(0, NlConstraint::new(Expr::var(0), CmpOp::Ge, q(1)), true),
+                item(1, NlConstraint::new(Expr::var(0), CmpOp::Le, q(2)), true),
+                item(2, NlConstraint::new(Expr::var(0), CmpOp::Eq, q(1)), false),
+                item(3, NlConstraint::new(Expr::var(0), CmpOp::Eq, q(2)), false),
+            ],
+            // Shrink back to the shared prefix: sat again.
+            vec![
+                item(0, NlConstraint::new(Expr::var(0), CmpOp::Ge, q(1)), true),
+                item(1, NlConstraint::new(Expr::var(0), CmpOp::Le, q(2)), true),
+            ],
+            // 2x = 3: no integer solution.
+            vec![item(0, NlConstraint::new(Expr::int(2) * Expr::var(0), CmpOp::Eq, q(3)), true)],
+        ];
+        for items in &queries {
+            let scratch = run(items, k.clone(), r.clone());
+            let incremental = run_inc(&mut inc, items, k.clone(), r.clone());
+            match (&scratch, &incremental) {
+                (TheoryVerdict::Sat(_), TheoryVerdict::Sat(_)) => {}
+                (TheoryVerdict::Unsat(a), TheoryVerdict::Unsat(b)) => assert_eq!(a, b),
+                other => panic!("scratch vs incremental disagree: {other:?}"),
+            }
+        }
+        // The session really did warm-start: one cold check, then reuse.
+        assert!(inc.stack().warm_starts() > 0);
     }
 
     #[test]

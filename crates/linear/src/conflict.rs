@@ -31,11 +31,36 @@ use crate::simplex::{check_conjunction, Feasibility};
 /// assert_eq!(core, vec![1, 2]);
 /// ```
 pub fn minimal_infeasible_subset(constraints: &[LinearConstraint]) -> Option<Vec<usize>> {
-    let mut core: Vec<usize> = match check_conjunction(constraints) {
+    minimal_infeasible_subset_counted(constraints).map(|(core, _)| core)
+}
+
+/// Like [`minimal_infeasible_subset`], but also reports how many
+/// feasibility checks the deletion filter performed (including the
+/// initial full-set check) — the cost metric pinned by the regression
+/// tests.
+pub fn minimal_infeasible_subset_counted(
+    constraints: &[LinearConstraint],
+) -> Option<(Vec<usize>, u64)> {
+    let core: Vec<usize> = match check_conjunction(constraints) {
         Feasibility::Feasible(_) => return None,
         Feasibility::Infeasible(core) => core,
     };
-    // Deletion filter over the (already small) certificate.
+    let (core, filter_checks) = deletion_filter(constraints, core);
+    Some((core, filter_checks + 1))
+}
+
+/// Deletion filter over an infeasible `core` (indices into
+/// `constraints`); returns the irredundant sub-core and the number of
+/// feasibility checks performed.
+///
+/// Positions below the scan index `i` have been proven necessary:
+/// dropping them left a feasible remainder. A successful shrink keeps
+/// that proof intact — the sub-certificate preserves order, and a
+/// constraint whose removal makes the rest feasible belongs to *every*
+/// infeasible subset of the rest — so the scan resumes from `i` instead
+/// of restarting at 0.
+fn deletion_filter(constraints: &[LinearConstraint], mut core: Vec<usize>) -> (Vec<usize>, u64) {
+    let mut checks = 0u64;
     let mut i = 0;
     while i < core.len() {
         let candidate: Vec<LinearConstraint> = core
@@ -44,21 +69,24 @@ pub fn minimal_infeasible_subset(constraints: &[LinearConstraint]) -> Option<Vec
             .filter(|&(j, _)| j != i)
             .map(|(_, &idx)| constraints[idx].clone())
             .collect();
+        checks += 1;
         match check_conjunction(&candidate) {
             Feasibility::Infeasible(sub) => {
                 // Still infeasible without core[i]; shrink to the sub-core.
                 // Candidate position j maps back to core position j (+1 past i).
+                // Necessary members survive (see above), so positions < i
+                // keep their indices and `i` stays valid.
+                debug_assert!(sub.windows(2).all(|w| w[0] < w[1]), "certificate not sorted");
                 core = sub
                     .into_iter()
                     .map(|j| core[if j < i { j } else { j + 1 }])
                     .collect();
-                i = 0;
             }
             Feasibility::Feasible(_) => i += 1,
         }
     }
     core.sort_unstable();
-    Some(core)
+    (core, checks)
 }
 
 #[cfg(test)]
@@ -121,6 +149,60 @@ mod tests {
         // And the full core must be infeasible.
         let full: Vec<LinearConstraint> = core.iter().map(|&i| cs[i].clone()).collect();
         assert!(!crate::simplex::check_conjunction(&full).is_feasible());
+    }
+
+    /// The old filter restarted the scan (`i = 0`) after every successful
+    /// shrink, re-testing members already proven necessary. The fix
+    /// resumes from the current position; this pins the saved checks on a
+    /// deliberately redundant seed core.
+    #[test]
+    fn deletion_filter_resumes_instead_of_restarting() {
+        // The infeasible triangle {0, 1, 2} plus two irrelevant members.
+        let cs = [
+            c(&[(0, 1), (1, 1)], CmpOp::Le, 2),
+            c(&[(0, 1)], CmpOp::Ge, 2),
+            c(&[(1, 1)], CmpOp::Ge, 1),
+            c(&[(2, 1)], CmpOp::Ge, 0),
+            c(&[(2, 1)], CmpOp::Le, 9),
+        ];
+        let seed: Vec<usize> = (0..cs.len()).collect();
+        let (core, checks) = deletion_filter(&cs, seed.clone());
+        assert_eq!(core, vec![0, 1, 2]);
+
+        // Reference implementation with the historical restart policy.
+        let restart_checks = {
+            let mut core = seed;
+            let mut checks = 0u64;
+            let mut i = 0;
+            while i < core.len() {
+                let candidate: Vec<LinearConstraint> = core
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &idx)| cs[idx].clone())
+                    .collect();
+                checks += 1;
+                match check_conjunction(&candidate) {
+                    Feasibility::Infeasible(sub) => {
+                        core = sub
+                            .into_iter()
+                            .map(|j| core[if j < i { j } else { j + 1 }])
+                            .collect();
+                        i = 0;
+                    }
+                    Feasibility::Feasible(_) => i += 1,
+                }
+            }
+            checks
+        };
+        // Resume visits each member at most once: 3 keeps + the drops the
+        // shrinks leave behind. The restart policy re-tests the proven
+        // prefix after every shrink.
+        assert!(
+            checks < restart_checks,
+            "resume ({checks}) must beat restart ({restart_checks})"
+        );
+        assert_eq!(checks, 4, "3 necessary members kept + 1 shrink");
     }
 
     #[test]

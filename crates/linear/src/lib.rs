@@ -11,6 +11,10 @@
 //!   `push`/`pop` backtracking for tight DPLL(T) integration.
 //! * [`check_conjunction`] — one-shot feasibility with witness or conflict
 //!   certificate, the entry point of ABsolver's loose control loop.
+//! * [`AssertionStack`] — a persistent, backtrackable assertion stack over
+//!   one simplex instance: `push`/`pop_to`/`check` with warm-started
+//!   re-checks, the engine behind the orchestrator's incremental theory
+//!   checks.
 //! * [`minimal_infeasible_subset`] — deletion-filter IIS extraction, the
 //!   paper's "smallest conflicting subset" refinement hint.
 //!
@@ -42,14 +46,16 @@ mod constraint;
 mod optimize;
 mod qdelta;
 mod simplex;
+mod stack;
 
-pub use conflict::minimal_infeasible_subset;
+pub use conflict::{minimal_infeasible_subset, minimal_infeasible_subset_counted};
 pub use constraint::{CmpOp, LinExpr, LinearConstraint, VarId};
 pub use optimize::OptOutcome;
 pub use qdelta::QDelta;
 pub use simplex::{
     check_conjunction, check_conjunction_counted, CheckResult, ConstraintId, Feasibility, Simplex,
 };
+pub use stack::{AssertionStack, RowId, StackResult};
 
 #[cfg(test)]
 mod proptests {

@@ -155,6 +155,22 @@ impl Simplex {
     /// Panics if there is no open scope.
     pub fn pop(&mut self) {
         let mark = self.scopes.pop().expect("pop without matching push");
+        self.undo_to(mark);
+    }
+
+    /// Current position in the undo log; pass to [`Simplex::undo_to`] to
+    /// revert everything asserted after this point. Unlike the
+    /// `push`/`pop` scope pair this imposes no nesting discipline — it is
+    /// the raw primitive the [`crate::AssertionStack`] builds on.
+    pub(crate) fn undo_mark(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Reverts bound assertions down to a mark from [`Simplex::undo_mark`].
+    /// Only bounds are undone: tableau rows, slack variables and the
+    /// current β assignment persist, which is what makes a subsequent
+    /// [`Simplex::check`] a warm start.
+    pub(crate) fn undo_to(&mut self, mark: usize) {
         while self.undo.len() > mark {
             match self.undo.pop().unwrap() {
                 Undo::SetLower(v, old) => self.lower[v] = old,

@@ -1,0 +1,499 @@
+//! A persistent, backtrackable assertion stack over the incremental
+//! simplex.
+//!
+//! The loose control loop of the paper re-solves the linear system from
+//! scratch on every theory check; consecutive Boolean models, however,
+//! usually differ in only a handful of theory literals. [`AssertionStack`]
+//! keeps one [`Simplex`] alive across checks: constraints are `push`ed,
+//! suffixes are removed with `pop_to`, and every [`AssertionStack::check`]
+//! after the first warm-starts from the previous basis — popping restores
+//! *bounds* only, so the tableau rows and the β assignment survive and
+//! re-checking costs a few pivots instead of a full solve.
+//!
+//! Conflicts are reported as **stack positions** ([`RowId`]s), which the
+//! caller can map straight back to theory literals. When built with
+//! `minimize = true` the stack also minimises each conflict with an
+//! in-place deletion filter: a candidate drop re-asserts the remaining
+//! bounds onto the *same* tableau (rows and basis are reused), so each
+//! filter step costs bound updates plus a warm check rather than a fresh
+//! tableau construction as in [`crate::minimal_infeasible_subset`].
+
+use crate::constraint::LinearConstraint;
+use crate::simplex::{CheckResult, Simplex};
+use absolver_num::Rational;
+use std::time::{Duration, Instant};
+
+/// Position of a pushed constraint on the stack: dense, 0-based,
+/// assigned in push order and compacted by [`AssertionStack::pop_to`].
+pub type RowId = usize;
+
+/// Verdict of [`AssertionStack::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackResult {
+    /// The pushed constraints are simultaneously satisfiable.
+    Sat,
+    /// They are not; the payload holds stack positions of a conflicting
+    /// subset, minimised when the stack was created with `minimize`.
+    Unsat(Vec<RowId>),
+}
+
+impl StackResult {
+    /// Returns `true` for [`StackResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, StackResult::Sat)
+    }
+}
+
+/// Backtrackable assertion stack with warm-started feasibility checks.
+///
+/// ```
+/// use absolver_linear::{AssertionStack, CmpOp, LinExpr, LinearConstraint, StackResult};
+/// use absolver_num::Rational;
+///
+/// let c = |v, op, rhs: i64| LinearConstraint::new(LinExpr::var(v), op, Rational::from_int(rhs));
+/// let mut stack = AssertionStack::new(1, true);
+/// stack.push(&c(0, CmpOp::Ge, 0)).unwrap();
+/// let mark = stack.len();
+/// stack.push(&c(0, CmpOp::Le, -1)).unwrap_err(); // conflicts with row 0
+/// stack.pop_to(mark);
+/// assert!(stack.check().is_sat()); // x ≥ 0 alone is fine again
+/// ```
+#[derive(Debug)]
+pub struct AssertionStack {
+    simplex: Simplex,
+    /// Pushed constraints in stack order; `RowId` indexes this.
+    entries: Vec<LinearConstraint>,
+    /// Undo-log mark taken immediately before each entry was asserted.
+    marks: Vec<usize>,
+    /// Simplex constraint id → stack position of the entry that asserted
+    /// it. One id is consumed per assertion attempt, and re-assertion
+    /// after pops allocates fresh ids, so this table only ever grows; it
+    /// is never truncated because restored bounds may still carry old
+    /// ids as their reasons.
+    owner: Vec<RowId>,
+    minimize: bool,
+    checks: u64,
+    warm_starts: u64,
+    min_time: Duration,
+}
+
+impl AssertionStack {
+    /// Creates an empty stack over `num_vars` problem variables. With
+    /// `minimize`, every [`AssertionStack::check`] conflict is reduced to
+    /// an irredundant core by the in-place deletion filter.
+    pub fn new(num_vars: usize, minimize: bool) -> AssertionStack {
+        AssertionStack {
+            simplex: Simplex::with_vars(num_vars),
+            entries: Vec::new(),
+            marks: Vec::new(),
+            owner: Vec::new(),
+            minimize,
+            checks: 0,
+            warm_starts: 0,
+            min_time: Duration::ZERO,
+        }
+    }
+
+    /// Number of constraints currently on the stack. Doubles as the mark
+    /// to hand to [`AssertionStack::pop_to`] for restoring this state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no constraints are pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of problem variables the stack was created over.
+    pub fn num_vars(&self) -> usize {
+        self.simplex.num_vars()
+    }
+
+    /// Total simplex pivots performed over the stack's lifetime.
+    pub fn pivots(&self) -> u64 {
+        self.simplex.pivots()
+    }
+
+    /// Number of [`AssertionStack::check`] calls so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Checks that reused the basis of an earlier check (all but the
+    /// first).
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts
+    }
+
+    /// Wall-clock time spent minimising conflicts.
+    pub fn min_time(&self) -> Duration {
+        self.min_time
+    }
+
+    /// Pushes a constraint; returns its stack position.
+    ///
+    /// # Errors
+    ///
+    /// If the new bound immediately contradicts existing ones, the stack
+    /// is left unchanged and the payload lists the positions of the
+    /// previously pushed constraints involved; the rejected constraint
+    /// itself is part of every such conflict and is *not* listed. An
+    /// empty payload means the constraint is contradictory on its own
+    /// (e.g. `0 ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint mentions a variable `>= num_vars()`.
+    pub fn push(&mut self, c: &LinearConstraint) -> Result<RowId, Vec<RowId>> {
+        let mark = self.simplex.undo_mark();
+        let rid = self.entries.len();
+        match Self::assert_recording(&mut self.simplex, &mut self.owner, c, rid) {
+            Ok(()) => {
+                self.entries.push(c.clone());
+                self.marks.push(mark);
+                Ok(rid)
+            }
+            Err(core) => {
+                self.simplex.undo_to(mark);
+                Err(core)
+            }
+        }
+    }
+
+    /// Removes every constraint at position `mark` and above. Bounds are
+    /// restored; the tableau and β assignment are kept for warm restarts.
+    pub fn pop_to(&mut self, mark: usize) {
+        if mark >= self.entries.len() {
+            return;
+        }
+        self.simplex.undo_to(self.marks[mark]);
+        self.entries.truncate(mark);
+        self.marks.truncate(mark);
+    }
+
+    /// Decides feasibility of the pushed constraints, warm-starting from
+    /// the basis the previous check left behind.
+    pub fn check(&mut self) -> StackResult {
+        self.checks += 1;
+        if self.checks > 1 {
+            self.warm_starts += 1;
+        }
+        match self.simplex.check() {
+            CheckResult::Sat => StackResult::Sat,
+            CheckResult::Unsat(cids) => {
+                let mut core: Vec<RowId> = cids.iter().map(|&cid| self.owner[cid]).collect();
+                core.sort_unstable();
+                core.dedup();
+                if self.minimize && core.len() > 1 {
+                    let start = Instant::now();
+                    core = self.minimize_core(core);
+                    self.min_time += start.elapsed();
+                }
+                StackResult::Unsat(core)
+            }
+        }
+    }
+
+    /// Extracts a rational witness after a [`StackResult::Sat`] verdict.
+    pub fn model(&self) -> Vec<Rational> {
+        self.simplex.model()
+    }
+
+    /// Asserts `c` into the simplex, recording the freshly allocated
+    /// constraint id as owned by stack position `rid`. Exactly one id is
+    /// consumed per call (also on failure), keeping `owner` aligned with
+    /// the simplex id counter. Conflicts are mapped to stack positions
+    /// with the rejected constraint's own id filtered out.
+    fn assert_recording(
+        simplex: &mut Simplex,
+        owner: &mut Vec<RowId>,
+        c: &LinearConstraint,
+        rid: RowId,
+    ) -> Result<(), Vec<RowId>> {
+        let result = simplex.assert_constraint(c);
+        owner.push(rid);
+        let rejected = owner.len() - 1;
+        match result {
+            Ok(cid) => {
+                debug_assert_eq!(cid, rejected, "owner table out of sync with simplex ids");
+                Ok(())
+            }
+            Err(cids) => {
+                let mut core: Vec<RowId> = cids
+                    .into_iter()
+                    .filter(|&cid| cid != rejected)
+                    .map(|cid| owner[cid])
+                    .collect();
+                core.sort_unstable();
+                core.dedup();
+                Err(core)
+            }
+        }
+    }
+
+    /// Deletion filter run entirely on the stack's own tableau: each
+    /// trial pops *all* bounds and re-asserts the candidate subset, so a
+    /// step costs bound updates plus a warm check. A successful shrink
+    /// resumes from the current position — members already proven
+    /// necessary stay proven (a constraint whose removal makes the rest
+    /// feasible belongs to every infeasible subset of the remainder).
+    fn minimize_core(&mut self, mut core: Vec<RowId>) -> Vec<RowId> {
+        let mut i = 0;
+        while core.len() > 1 && i < core.len() {
+            match self.try_without(&core, i) {
+                Some(sub) => core = sub,
+                None => i += 1,
+            }
+        }
+        self.replay();
+        core.sort_unstable();
+        core
+    }
+
+    /// Re-asserts `core` minus position `skip` from a clean bound state;
+    /// returns the sub-conflict (as stack positions) if still infeasible.
+    fn try_without(&mut self, core: &[RowId], skip: usize) -> Option<Vec<RowId>> {
+        self.simplex.undo_to(0);
+        for (j, &rid) in core.iter().enumerate() {
+            if j == skip {
+                continue;
+            }
+            let result =
+                Self::assert_recording(&mut self.simplex, &mut self.owner, &self.entries[rid], rid);
+            if let Err(mut sub) = result {
+                sub.push(rid);
+                sub.sort_unstable();
+                sub.dedup();
+                return Some(sub);
+            }
+        }
+        match self.simplex.check() {
+            CheckResult::Sat => None,
+            CheckResult::Unsat(cids) => {
+                let mut sub: Vec<RowId> = cids.iter().map(|&cid| self.owner[cid]).collect();
+                sub.sort_unstable();
+                sub.dedup();
+                Some(sub)
+            }
+        }
+    }
+
+    /// Restores the full assertion state after minimisation trials. The
+    /// surviving entries were each accepted from exactly this prefix
+    /// state when originally pushed (LIFO discipline), so re-assertion
+    /// cannot conflict.
+    fn replay(&mut self) {
+        self.simplex.undo_to(0);
+        self.marks.clear();
+        for rid in 0..self.entries.len() {
+            self.marks.push(self.simplex.undo_mark());
+            Self::assert_recording(&mut self.simplex, &mut self.owner, &self.entries[rid], rid)
+                .expect("replaying previously accepted constraints cannot conflict");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{CmpOp, LinExpr};
+    use crate::simplex::check_conjunction;
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn c(terms: &[(usize, i64)], op: CmpOp, rhs: i64) -> LinearConstraint {
+        LinearConstraint::new(
+            LinExpr::from_terms(terms.iter().map(|&(v, k)| (v, q(k)))),
+            op,
+            q(rhs),
+        )
+    }
+
+    #[test]
+    fn push_check_pop_roundtrip() {
+        let mut s = AssertionStack::new(2, true);
+        s.push(&c(&[(0, 1)], CmpOp::Ge, 0)).unwrap();
+        s.push(&c(&[(1, 1)], CmpOp::Ge, 0)).unwrap();
+        assert_eq!(s.check(), StackResult::Sat);
+        let mark = s.len();
+        s.push(&c(&[(0, 1), (1, 1)], CmpOp::Lt, 0)).unwrap();
+        match s.check() {
+            StackResult::Unsat(core) => assert_eq!(core, vec![0, 1, 2]),
+            StackResult::Sat => panic!("expected conflict"),
+        }
+        s.pop_to(mark);
+        assert_eq!(s.check(), StackResult::Sat);
+        assert!(s.warm_starts() >= 2);
+    }
+
+    #[test]
+    fn push_conflict_reports_positions_and_leaves_stack_intact() {
+        let mut s = AssertionStack::new(1, true);
+        s.push(&c(&[(0, 1)], CmpOp::Le, 3)).unwrap();
+        let err = s.push(&c(&[(0, 1)], CmpOp::Gt, 3)).unwrap_err();
+        assert_eq!(err, vec![0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.check(), StackResult::Sat);
+        // A self-contradictory constraint reports an empty external core.
+        let err = s.push(&LinearConstraint::new(LinExpr::zero(), CmpOp::Ge, q(1))).unwrap_err();
+        assert!(err.is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn minimized_core_filters_irrelevant_rows() {
+        let mut s = AssertionStack::new(2, true);
+        s.push(&c(&[(1, 1)], CmpOp::Ge, 0)).unwrap(); // irrelevant
+        s.push(&c(&[(0, 1), (1, 1)], CmpOp::Le, 2)).unwrap();
+        s.push(&c(&[(0, 1)], CmpOp::Ge, 2)).unwrap();
+        s.push(&c(&[(1, 1)], CmpOp::Ge, 1)).unwrap();
+        s.push(&c(&[(0, 1), (1, 1)], CmpOp::Le, 10)).unwrap(); // dominated
+        match s.check() {
+            StackResult::Unsat(core) => {
+                assert_eq!(core, vec![1, 2, 3], "expected the irredundant triangle");
+            }
+            StackResult::Sat => panic!("expected conflict"),
+        }
+        // The stack is fully restored after minimisation: popping the
+        // middle of the core makes the rest feasible again.
+        s.pop_to(2);
+        assert_eq!(s.check(), StackResult::Sat);
+        let model = s.model();
+        assert!(&model[0] + &model[1] <= q(2));
+    }
+
+    #[test]
+    fn repeated_pop_push_cycles_agree_with_scratch() {
+        // Alternate between two bound sets many times; verdicts must
+        // match one-shot checks throughout.
+        let base = vec![c(&[(0, 1), (1, 1)], CmpOp::Le, 4), c(&[(0, 1)], CmpOp::Ge, 0)];
+        let tight = c(&[(1, 1)], CmpOp::Ge, 5); // makes it infeasible
+        let loose = c(&[(1, 1)], CmpOp::Ge, 1);
+        let mut s = AssertionStack::new(2, true);
+        for cst in &base {
+            s.push(cst).unwrap();
+        }
+        let mark = s.len();
+        for round in 0..10 {
+            let extra = if round % 2 == 0 { &tight } else { &loose };
+            let mut scratch: Vec<LinearConstraint> = base.clone();
+            scratch.push(extra.clone());
+            let expect = check_conjunction(&scratch).is_feasible();
+            if s.push(extra).is_ok() {
+                assert_eq!(s.check().is_sat(), expect, "round {round}");
+            } else {
+                assert!(!expect, "round {round}: assert-time conflict on feasible set");
+            }
+            s.pop_to(mark);
+        }
+        assert_eq!(s.check(), StackResult::Sat);
+    }
+
+    #[test]
+    fn equality_bounds_pop_cleanly() {
+        let mut s = AssertionStack::new(2, false);
+        s.push(&c(&[(0, 1), (1, 1)], CmpOp::Eq, 5)).unwrap();
+        let mark = s.len();
+        s.push(&c(&[(0, 1), (1, 1)], CmpOp::Eq, 6)).unwrap_err();
+        s.pop_to(mark);
+        s.push(&c(&[(0, 1), (1, -1)], CmpOp::Eq, 1)).unwrap();
+        assert_eq!(s.check(), StackResult::Sat);
+        let m = s.model();
+        assert_eq!(m[0], q(3));
+        assert_eq!(m[1], q(2));
+    }
+
+    /// Differential: random push/pop/check interleavings agree with
+    /// from-scratch `check_conjunction` on the live prefix.
+    #[test]
+    fn random_interleavings_agree_with_scratch() {
+        use absolver_testkit::{Rng, TestRng};
+        let mut rng = TestRng::seed_from_u64(0x57AC_D1FF);
+        for case in 0..200 {
+            let num_vars = rng.gen_range(1..=3usize);
+            let mut stack = AssertionStack::new(num_vars, case % 2 == 0);
+            let mut live: Vec<LinearConstraint> = Vec::new();
+            for _step in 0..24 {
+                match rng.gen_range(0..4u32) {
+                    0 | 1 => {
+                        // Push a random constraint (possibly rejected).
+                        let cst = random_constraint(&mut rng, num_vars);
+                        match stack.push(&cst) {
+                            Ok(rid) => {
+                                assert_eq!(rid, live.len());
+                                live.push(cst);
+                            }
+                            Err(core) => {
+                                // The rejected constraint plus the cited
+                                // rows must be jointly infeasible.
+                                let mut subset: Vec<LinearConstraint> =
+                                    core.iter().map(|&r| live[r].clone()).collect();
+                                subset.push(cst);
+                                assert!(
+                                    !check_conjunction(&subset).is_feasible(),
+                                    "case {case}: push conflict certificate is feasible"
+                                );
+                            }
+                        }
+                    }
+                    2 => {
+                        let mark = rng.gen_range(0..=live.len());
+                        stack.pop_to(mark);
+                        live.truncate(mark);
+                    }
+                    _ => {
+                        let expect = check_conjunction(&live).is_feasible();
+                        match stack.check() {
+                            StackResult::Sat => {
+                                assert!(expect, "case {case}: stack sat, scratch unsat");
+                                let model = stack.model();
+                                for cst in &live {
+                                    assert!(
+                                        cst.eval(&model),
+                                        "case {case}: witness violates {cst}"
+                                    );
+                                }
+                            }
+                            StackResult::Unsat(core) => {
+                                assert!(!expect, "case {case}: stack unsat, scratch sat");
+                                let subset: Vec<LinearConstraint> =
+                                    core.iter().map(|&r| live[r].clone()).collect();
+                                assert!(
+                                    !check_conjunction(&subset).is_feasible(),
+                                    "case {case}: unsat core {core:?} is feasible"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        fn random_constraint(
+            rng: &mut impl absolver_testkit::Rng,
+            num_vars: usize,
+        ) -> LinearConstraint {
+            let nterms = rng.gen_range(1..=3usize);
+            let terms: Vec<(usize, Rational)> = (0..nterms)
+                .map(|_| {
+                    (rng.gen_range(0..num_vars), Rational::from_int(rng.gen_range(-4i64..=4)))
+                })
+                .collect();
+            let op = match rng.gen_range(0..5u32) {
+                0 => CmpOp::Le,
+                1 => CmpOp::Ge,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Gt,
+                _ => CmpOp::Eq,
+            };
+            LinearConstraint::new(
+                LinExpr::from_terms(terms),
+                op,
+                Rational::from_int(rng.gen_range(-6i64..=6)),
+            )
+        }
+    }
+}

@@ -21,8 +21,10 @@
 //! | `solve.end`      | orchestrator        | `verdict`, `duration_us`       |
 //! | `boolean.model`  | orchestrator        | `iteration`, `duration_us`     |
 //! | `theory.check`   | orchestrator        | `iteration`, `verdict`, `items`, `duration_us` |
-//! | `phase.linear`   | theory layer        | `duration_us`                  |
+//! | `phase.linear`   | theory layer        | `start` (`warm`/`cold`), `reused_rows`, `pushed_rows`, `duration_us` |
 //! | `phase.nonlinear`| theory layer        | `duration_us`                  |
+//! | `cache.hit`      | orchestrator        | `literals`                     |
+//! | `cache.miss`     | orchestrator        | `literals`                     |
 //! | `conflict`       | orchestrator        | `iteration`, `literals`        |
 //! | `shard.start`    | parallel driver     | `shard`, `strategy`            |
 //! | `shard.end`      | parallel driver     | `shard`, `verdict`, `duration_us` |

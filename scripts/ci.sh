@@ -19,6 +19,9 @@ cargo test -q --offline --workspace
 echo "== parallel differential suite (portfolio + cubes at jobs 1/2/4) =="
 cargo test -q --offline --test parallel_agreement
 
+echo "== incremental theory-engine differential suite (stack vs scratch, cache on/off) =="
+cargo test -q --offline --test incremental_agreement
+
 echo "== seeded re-run of the randomized suites (pinned TESTKIT_SEED) =="
 # A second pass under a fixed non-default seed: catches properties that
 # only pass on the name-derived default seed path.
@@ -39,9 +42,11 @@ set -e
 grep '^{' "$OBS_TMP/fig2.out" > "$OBS_TMP/fig2.stats.json"
 [ "$(wc -l < "$OBS_TMP/fig2.stats.json")" -eq 1 ] \
     || { echo "expected exactly one JSON stats line"; exit 1; }
-# One fast bench workload end-to-end into a scratch BENCH_*.json.
-ABS_BENCH_DIR="$OBS_TMP" ABS_TIMEOUT_SECS=60 \
-    ./target/release/bench_json fischer
+# Bench workloads end-to-end into scratch BENCH_*.json files, compared
+# against the checked-in baselines: >25% slower (plus a 100ms absolute
+# grace for the micro-runs) fails the gate.
+ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. ABS_TIMEOUT_SECS=60 \
+    ./target/release/bench_json --check-regress fischer sudoku steering
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$OBS_TMP/fig2.stats.json" > /dev/null
     python3 -m json.tool "$OBS_TMP/BENCH_fischer.json" > /dev/null

@@ -15,6 +15,7 @@
 //!   --nonlinear cascade|interval|penalty
 //!                            nonlinear backend      (default: cascade)
 //!   --no-minimize            disable conflict-core minimisation
+//!   --no-theory-cache        disable the theory-verdict cache
 //!   --all-models N           enumerate up to N models
 //!   --time-limit SECS        wall-clock budget
 //!   --max-iterations N       cap on Boolean models examined
@@ -58,6 +59,7 @@ struct Config {
     boolean: String,
     nonlinear: String,
     minimize: bool,
+    theory_cache: bool,
     all_models: Option<usize>,
     time_limit: Option<Duration>,
     max_iterations: Option<u64>,
@@ -72,7 +74,8 @@ struct Config {
 fn usage() -> ! {
     eprintln!(
         "usage: absolver [--boolean cdcl|restart] [--nonlinear cascade|interval|penalty]\n\
-         \x20               [--no-minimize] [--all-models N] [--time-limit SECS]\n\
+         \x20               [--no-minimize] [--no-theory-cache] [--all-models N]\n\
+         \x20               [--time-limit SECS]\n\
          \x20               [--max-iterations N] [--jobs N] [--strategy portfolio|cubes]\n\
          \x20               [--deterministic] [--stats [human|json]] [--trace FILE]\n\
          \x20               [--quiet] [FILE]\n\
@@ -87,6 +90,7 @@ fn parse_args() -> Config {
         boolean: "cdcl".to_string(),
         nonlinear: "cascade".to_string(),
         minimize: true,
+        theory_cache: true,
         all_models: None,
         time_limit: None,
         max_iterations: None,
@@ -103,6 +107,7 @@ fn parse_args() -> Config {
             "--boolean" => config.boolean = args.next().unwrap_or_else(|| usage()),
             "--nonlinear" => config.nonlinear = args.next().unwrap_or_else(|| usage()),
             "--no-minimize" => config.minimize = false,
+            "--no-theory-cache" => config.theory_cache = false,
             "--all-models" => {
                 let n = args.next().and_then(|v| v.parse().ok());
                 config.all_models = Some(n.unwrap_or_else(|| usage()));
@@ -187,7 +192,11 @@ fn build_orchestrator(config: &Config) -> Orchestrator {
             usage();
         }
     };
-    let mut options = OrchestratorOptions { time_limit: config.time_limit, ..Default::default() };
+    let mut options = OrchestratorOptions {
+        time_limit: config.time_limit,
+        theory_cache: config.theory_cache,
+        ..Default::default()
+    };
     if let Some(n) = config.max_iterations {
         options.max_iterations = n;
     }
@@ -318,7 +327,11 @@ fn main() -> ExitCode {
     }
 
     let outcome = if let Some(jobs) = config.jobs {
-        let mut base = OrchestratorOptions { time_limit: config.time_limit, ..Default::default() };
+        let mut base = OrchestratorOptions {
+            time_limit: config.time_limit,
+            theory_cache: config.theory_cache,
+            ..Default::default()
+        };
         if let Some(n) = config.max_iterations {
             base.max_iterations = n;
         }
