@@ -1,0 +1,450 @@
+//! The diagnostic passes (the compiler-style half of the analyzer).
+//!
+//! [`check_source`] parses an extended-DIMACS text and runs every pass,
+//! anchoring findings on the [`SourceMap`] the parser collected; the
+//! result is a [`Report`] renderable in human or JSON form. See the
+//! crate docs for the code table.
+
+use crate::diag::{Code, Diagnostic, Report};
+use absolver_core::{parse_spanned, AbProblem, SourceMap, Span};
+use absolver_nonlinear::IntervalVerdict;
+use absolver_num::Interval;
+use std::collections::HashMap;
+
+/// Parses `text` and runs all diagnostic passes. A parse failure yields a
+/// single [`Code::AB001`] error carrying the parser's span.
+pub fn check_source(text: &str) -> Report {
+    match parse_spanned(text) {
+        Ok((problem, map)) => check_problem(&problem, &map),
+        Err(e) => {
+            let mut report = Report::default();
+            let span = e.span().unwrap_or(Span::new(1, 1));
+            report.push(Diagnostic::new(Code::AB001, span, e.message()));
+            report
+        }
+    }
+}
+
+/// Runs all diagnostic passes over an already-parsed problem and its
+/// source map.
+pub fn check_problem(problem: &AbProblem, map: &SourceMap) -> Report {
+    let mut report = Report::default();
+    check_defs(problem, map, &mut report);
+    check_ranges(problem, map, &mut report);
+    check_declared_vars(problem, map, &mut report);
+    check_clauses(problem, map, &mut report);
+    check_static_atoms(problem, map, &mut report);
+    report.sort();
+    report
+}
+
+/// Renders a constraint with the problem's variable names in place of the
+/// internal `v<id>` placeholders (descending id so `v12` is not clobbered
+/// by `v1`).
+fn pretty(problem: &AbProblem, constraint: &absolver_nonlinear::NlConstraint) -> String {
+    let mut s = constraint.to_string();
+    for &id in constraint.expr.variables().iter().rev() {
+        s = s.replace(&format!("v{id}"), &problem.arith_vars()[id].name);
+    }
+    s
+}
+
+/// First `def` directive span per Boolean variable.
+fn first_def_sites(map: &SourceMap) -> HashMap<u32, Span> {
+    let mut first: HashMap<u32, Span> = HashMap::new();
+    for site in &map.def_sites {
+        first.entry(site.var).or_insert(site.span);
+    }
+    first
+}
+
+/// AB002 (duplicate constraint in one def), AB003 (def never in a
+/// clause), AB005 (shadowed def).
+fn check_defs(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
+    let first = first_def_sites(map);
+    let site_of = |var: u32, constraint: usize| {
+        map.def_sites
+            .iter()
+            .find(|s| s.var == var && s.constraint == constraint)
+            .map(|s| s.span)
+            .unwrap_or(Span::new(1, 1))
+    };
+
+    // AB002: repeated constraint within one definition's conjunction.
+    for (var, def) in problem.defs() {
+        let rendered: Vec<String> = def.constraints.iter().map(|c| pretty(problem, c)).collect();
+        for j in 1..rendered.len() {
+            if rendered[..j].contains(&rendered[j]) {
+                let v = var.index() as u32;
+                report.push(Diagnostic::new(
+                    Code::AB002,
+                    site_of(v, j),
+                    format!(
+                        "definition of variable {} repeats the constraint `{}`",
+                        v + 1,
+                        rendered[j]
+                    ),
+                ));
+            }
+        }
+    }
+
+    // AB003: defined variable that no clause ever mentions — the solver
+    // will pick its polarity freely, which is rarely what a generator
+    // meant to emit.
+    let mut occurs = vec![false; problem.cnf().num_vars()];
+    for clause in problem.cnf().clauses() {
+        for lit in clause.lits() {
+            occurs[lit.var().index()] = true;
+        }
+    }
+    for (var, _) in problem.defs() {
+        if !occurs[var.index()] {
+            let v = var.index() as u32;
+            report.push(Diagnostic::new(
+                Code::AB003,
+                first.get(&v).copied().unwrap_or(Span::new(1, 1)),
+                format!("variable {} is defined but occurs in no clause", v + 1),
+            ));
+        }
+    }
+
+    // AB005: two Boolean variables carrying identical conjunctions. The
+    // later one shadows the earlier — almost always a generator slip.
+    let mut canon: HashMap<Vec<String>, u32> = HashMap::new();
+    for (var, def) in problem.defs() {
+        let v = var.index() as u32;
+        let mut key: Vec<String> = def.constraints.iter().map(|c| c.to_string()).collect();
+        key.sort();
+        match canon.get(&key) {
+            Some(&earlier) => {
+                report.push(Diagnostic::new(
+                    Code::AB005,
+                    first.get(&v).copied().unwrap_or(Span::new(1, 1)),
+                    format!(
+                        "definition of variable {} is identical to the definition \
+                         of variable {}",
+                        v + 1,
+                        earlier + 1
+                    ),
+                ));
+            }
+            None => {
+                canon.insert(key, v);
+            }
+        }
+    }
+}
+
+/// AB004: `range` directives whose intersection is empty.
+fn check_ranges(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
+    let mut last: HashMap<usize, Span> = HashMap::new();
+    for site in &map.range_sites {
+        last.insert(site.var, site.span);
+    }
+    for (&var, &span) in &last {
+        if problem.arith_vars()[var].range.is_empty() {
+            report.push(Diagnostic::new(
+                Code::AB004,
+                span,
+                format!(
+                    "range directives for `{}` contradict each other \
+                     (their intersection is empty)",
+                    problem.arith_vars()[var].name
+                ),
+            ));
+        }
+    }
+}
+
+/// AB012: `var` directives for variables no definition uses.
+fn check_declared_vars(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
+    let mut used = vec![false; problem.arith_vars().len()];
+    for (_, def) in problem.defs() {
+        for c in &def.constraints {
+            for v in c.expr.variables() {
+                used[v] = true;
+            }
+        }
+    }
+    for &(var, span) in &map.var_sites {
+        if !used[var] {
+            report.push(Diagnostic::new(
+                Code::AB012,
+                span,
+                format!(
+                    "arithmetic variable `{}` is declared but used in no definition",
+                    problem.arith_vars()[var].name
+                ),
+            ));
+        }
+    }
+}
+
+/// AB006 (tautological clause), AB007 (empty clause / complementary
+/// units), AB008 (variable beyond the declared header), AB009 (duplicate
+/// clause).
+fn check_clauses(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
+    let span_of = |i: usize| map.clause_spans.get(i).copied().unwrap_or(Span::new(1, 1));
+    let mut units: HashMap<usize, (bool, usize)> = HashMap::new();
+    let mut seen: HashMap<Vec<usize>, usize> = HashMap::new();
+    for (i, clause) in problem.cnf().clauses().iter().enumerate() {
+        if clause.is_empty() {
+            report.push(Diagnostic::new(
+                Code::AB007,
+                span_of(i),
+                format!("clause {} is empty (the formula is unsatisfiable)", i + 1),
+            ));
+            continue;
+        }
+        if clause.is_tautology() {
+            report.push(Diagnostic::new(
+                Code::AB006,
+                span_of(i),
+                format!(
+                    "clause {} is tautological (contains a literal and its negation)",
+                    i + 1
+                ),
+            ));
+        }
+        if let Some(declared) = map.declared_vars {
+            if let Some(lit) = clause.iter().find(|l| l.var().index() >= declared) {
+                report.push(Diagnostic::new(
+                    Code::AB008,
+                    span_of(i),
+                    format!(
+                        "clause {} mentions variable {} beyond the declared {} variable(s)",
+                        i + 1,
+                        lit.var().index() + 1,
+                        declared
+                    ),
+                ));
+            }
+        }
+        if clause.len() == 1 {
+            let lit = clause.lits()[0];
+            match units.get(&lit.var().index()) {
+                Some(&(polarity, j)) if polarity != lit.is_positive() => {
+                    report.push(Diagnostic::new(
+                        Code::AB007,
+                        span_of(i),
+                        format!(
+                            "unit clause {} contradicts unit clause {} \
+                             (the formula is unsatisfiable)",
+                            i + 1,
+                            j + 1
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    units.insert(lit.var().index(), (lit.is_positive(), i));
+                }
+            }
+        }
+        let mut key: Vec<usize> = clause.iter().map(|l| l.code()).collect();
+        key.sort_unstable();
+        key.dedup();
+        match seen.get(&key) {
+            Some(&j) => {
+                report.push(Diagnostic::new(
+                    Code::AB009,
+                    span_of(i),
+                    format!("clause {} duplicates clause {}", i + 1, j + 1),
+                ));
+            }
+            None => {
+                seen.insert(key, i);
+            }
+        }
+    }
+}
+
+/// AB010/AB011: theory atoms statically decided by a root interval pass
+/// over the *declared* box. These are warnings, not rewrites: declared
+/// ranges only seed the nonlinear engine's search box, so a declared-box
+/// certainty flags suspicious input without licensing simplification
+/// (the equisatisfiable simplifier uses entire-box certainty instead).
+fn check_static_atoms(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
+    let first = first_def_sites(map);
+    let declared: Vec<Interval> = problem.arith_vars().iter().map(|v| v.range).collect();
+    for (var, def) in problem.defs() {
+        // An empty declared range already carries its own AB004 error;
+        // interval evaluation over it would flag every dependent atom.
+        let touches_empty = def
+            .constraints
+            .iter()
+            .any(|c| c.expr.variables().iter().any(|&v| declared[v].is_empty()));
+        if touches_empty || def.constraints.is_empty() {
+            continue;
+        }
+        let v = var.index() as u32;
+        let span = first.get(&v).copied().unwrap_or(Span::new(1, 1));
+        if let Some(falsified) = def
+            .constraints
+            .iter()
+            .find(|c| c.check_box(&declared) == IntervalVerdict::CertainlyFalse)
+        {
+            report.push(Diagnostic::new(
+                Code::AB011,
+                span,
+                format!(
+                    "constraint `{}` of variable {} is statically false throughout \
+                     the declared box",
+                    pretty(problem, falsified),
+                    v + 1
+                ),
+            ));
+        } else if def
+            .constraints
+            .iter()
+            .all(|c| c.check_box(&declared) == IntervalVerdict::CertainlyTrue)
+        {
+            report.push(Diagnostic::new(
+                Code::AB010,
+                span,
+                format!(
+                    "definition of variable {} is statically true throughout \
+                     the declared box",
+                    v + 1
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn codes(text: &str) -> Vec<Code> {
+        check_source(text)
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_input_is_clean() {
+        let report =
+            check_source("p cnf 2 2\n1 0\n-1 2 0\nc def int 1 i >= 0\nc def int 2 i < 7\n");
+        assert!(report.is_clean(), "unexpected findings: {report:?}");
+    }
+
+    #[test]
+    fn parse_error_is_ab001() {
+        let report = check_source("p cnf 1 1\n1 0\nc def bool 1 x >= 0\n");
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code::AB001);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!((d.span.line, d.span.col), (3, 7));
+    }
+
+    #[test]
+    fn duplicate_constraint_is_ab002() {
+        let text = "p cnf 1 1\n1 0\nc def int 1 i >= 0\nc def int 1 i >= 0\n";
+        assert_eq!(codes(text), vec![Code::AB002]);
+        let report = check_source(text);
+        assert_eq!(report.diagnostics[0].span.line, 4);
+    }
+
+    #[test]
+    fn unclaused_def_is_ab003() {
+        let text = "p cnf 2 1\n2 0\nc def int 1 i >= 0\n";
+        assert_eq!(codes(text), vec![Code::AB003]);
+    }
+
+    #[test]
+    fn contradictory_ranges_are_ab004() {
+        let text = "p cnf 1 1\n1 0\nc var real x\nc range x 0 1\nc range x 2 3\n\
+                    c def real 1 x >= 0\n";
+        let report = check_source(text);
+        // AB004 on the second range line; the atom check skips the
+        // empty-ranged variable.
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.code)
+                .collect::<Vec<_>>(),
+            vec![Code::AB004]
+        );
+        assert_eq!(report.diagnostics[0].span.line, 5);
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn shadowed_def_is_ab005() {
+        let text = "p cnf 2 1\n1 2 0\nc def int 1 i >= 0\nc def int 2 i >= 0\n";
+        assert_eq!(codes(text), vec![Code::AB005]);
+    }
+
+    #[test]
+    fn tautological_clause_is_ab006() {
+        assert_eq!(codes("p cnf 1 1\n1 -1 0\n"), vec![Code::AB006]);
+    }
+
+    #[test]
+    fn complementary_units_are_ab007() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let report = check_source(text);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.code)
+                .collect::<Vec<_>>(),
+            vec![Code::AB007]
+        );
+        assert_eq!(report.diagnostics[0].span.line, 3);
+    }
+
+    #[test]
+    fn undeclared_clause_variable_is_ab008() {
+        assert_eq!(codes("p cnf 1 2\n1 0\n1 2 0\n"), vec![Code::AB008]);
+    }
+
+    #[test]
+    fn duplicate_clause_is_ab009() {
+        assert_eq!(codes("p cnf 2 2\n1 2 0\n2 1 0\n"), vec![Code::AB009]);
+    }
+
+    #[test]
+    fn statically_true_atom_is_ab010() {
+        // sin(x) ≤ 2 holds everywhere.
+        let text = "p cnf 1 1\n1 0\nc def real 1 sin ( x ) <= 2\n";
+        assert_eq!(codes(text), vec![Code::AB010]);
+    }
+
+    #[test]
+    fn range_emptied_atom_is_ab011() {
+        // Within x ∈ [0, 1], x ≥ 5 can never hold.
+        let text = "p cnf 1 1\n1 0\nc def real 1 x >= 5\nc range x 0 1\n";
+        assert_eq!(codes(text), vec![Code::AB011]);
+    }
+
+    #[test]
+    fn unused_declared_var_is_ab012() {
+        let text = "p cnf 1 1\n1 0\nc var real x\nc var real y\nc def real 1 x >= 0\n";
+        assert_eq!(codes(text), vec![Code::AB012]);
+        let report = check_source(text);
+        assert!(report.diagnostics[0].message.contains("`y`"));
+    }
+
+    #[test]
+    fn paper_example_is_clean() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/fig2.dimacs"
+        ))
+        .expect("fig2 example present");
+        let report = check_source(&text);
+        assert!(
+            report.is_clean(),
+            "fig2 must produce zero diagnostics: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Constant propagation through the 3-valued circuit.
+//!
+//! Evaluating every gate with all input pins and atoms at `?` computes
+//! exactly the set of *structurally forced* gates: a gate whose value
+//! under total ignorance is already `tt` or `ff` keeps that value under
+//! every refinement (the paper's Fig. 5 lattice is monotone), so it can
+//! be replaced by a constant. Unknown gates are rebuilt with their known
+//! children pruned (`tt` conjuncts, `ff` disjuncts).
+
+use absolver_core::{Circuit, Gate};
+use absolver_logic::Tri;
+
+/// Evaluates every gate of `circuit` with all inputs and atoms at `?`.
+/// Entry `i` of the result is the forced value of gate `i` (`Unknown`
+/// when the gate genuinely depends on its inputs).
+pub fn forced_values(circuit: &Circuit) -> Vec<Tri> {
+    let mut values: Vec<Tri> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        let value = match gate {
+            Gate::Const(v) => *v,
+            Gate::BoolInput(_) | Gate::Atom(_) => Tri::Unknown,
+            Gate::Not(a) => !values[*a],
+            Gate::And(xs) => xs.iter().fold(Tri::True, |acc, &x| acc & values[x]),
+            Gate::Or(xs) => xs.iter().fold(Tri::False, |acc, &x| acc | values[x]),
+            Gate::Xor(a, b) => values[*a].xor(values[*b]),
+            Gate::Implies(a, b) => values[*a].implies(values[*b]),
+            Gate::Iff(a, b) => values[*a].iff(values[*b]),
+        };
+        values.push(value);
+    }
+    values
+}
+
+/// Rebuilds `circuit` with every structurally forced gate replaced by a
+/// constant and known children pruned from conjunctions/disjunctions.
+/// The result evaluates identically to the input on every assignment
+/// (gate-for-gate: the circuits keep the same node numbering).
+pub fn fold(circuit: &Circuit) -> Circuit {
+    let values = forced_values(circuit);
+    let mut out = Circuit::new();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if values[i] != Tri::Unknown {
+            out.constant(values[i]);
+            continue;
+        }
+        match gate {
+            Gate::Const(v) => {
+                out.constant(*v);
+            }
+            Gate::BoolInput(idx) => {
+                out.bool_input(*idx);
+            }
+            Gate::Atom(idx) => {
+                out.atom(*idx);
+            }
+            Gate::Not(a) => {
+                out.not(*a);
+            }
+            Gate::And(xs) => {
+                // `tt` conjuncts are neutral; a `ff` conjunct would have
+                // forced the gate, so only `?` children remain relevant.
+                let live: Vec<usize> = xs
+                    .iter()
+                    .copied()
+                    .filter(|&x| values[x] == Tri::Unknown)
+                    .collect();
+                out.and(live);
+            }
+            Gate::Or(xs) => {
+                let live: Vec<usize> = xs
+                    .iter()
+                    .copied()
+                    .filter(|&x| values[x] == Tri::Unknown)
+                    .collect();
+                out.or(live);
+            }
+            Gate::Xor(a, b) => {
+                out.xor(*a, *b);
+            }
+            Gate::Implies(a, b) => {
+                out.implies(*a, *b);
+            }
+            Gate::Iff(a, b) => {
+                out.iff(*a, *b);
+            }
+        };
+    }
+    if let Some(o) = circuit.output() {
+        out.set_output(o);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_testkit::{Rng, TestRng};
+
+    fn tri(rng: &mut TestRng) -> Tri {
+        match rng.gen_range(0..3) {
+            0 => Tri::True,
+            1 => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// A random circuit over 3 inputs and 3 atoms.
+    fn random_circuit(rng: &mut TestRng) -> Circuit {
+        let mut c = Circuit::new();
+        let mut nodes = Vec::new();
+        nodes.push(c.constant(tri(rng)));
+        nodes.push(c.bool_input(rng.gen_range(0..3)));
+        nodes.push(c.atom(rng.gen_range(0..3)));
+        for _ in 0..rng.gen_range(3..12usize) {
+            let pick = |rng: &mut TestRng, nodes: &[usize]| nodes[rng.gen_range(0..nodes.len())];
+            let a = pick(rng, &nodes);
+            let b = pick(rng, &nodes);
+            let node = match rng.gen_range(0..7) {
+                0 => c.constant(tri(rng)),
+                1 => c.not(a),
+                2 => c.and(vec![a, b]),
+                3 => c.or(vec![a, b]),
+                4 => c.xor(a, b),
+                5 => c.implies(a, b),
+                _ => c.iff(a, b),
+            };
+            nodes.push(node);
+        }
+        c.set_output(*nodes.last().unwrap());
+        c
+    }
+
+    #[test]
+    fn fold_preserves_evaluation() {
+        let mut rng = TestRng::seed_from_u64(0xF01D);
+        for round in 0..200 {
+            let circuit = random_circuit(&mut rng);
+            let folded = fold(&circuit);
+            for _ in 0..10 {
+                let inputs: Vec<Tri> = (0..3).map(|_| tri(&mut rng)).collect();
+                let atoms: Vec<Tri> = (0..3).map(|_| tri(&mut rng)).collect();
+                assert_eq!(
+                    circuit.eval(&inputs, &atoms),
+                    folded.eval(&inputs, &atoms),
+                    "round {round}: fold changed the circuit's value"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_gates_become_constants() {
+        // atom ∧ ¬atom is `ff` in three-valued logic only when the atom
+        // is known; under `?` it stays `?` — but `x ∨ ¬x ∨ tt` is forced.
+        let mut c = Circuit::new();
+        let a = c.atom(0);
+        let na = c.not(a);
+        let t = c.constant(Tri::True);
+        let or = c.or(vec![a, na, t]);
+        c.set_output(or);
+        let values = forced_values(&c);
+        assert_eq!(values[or], Tri::True);
+        let folded = fold(&c);
+        assert_eq!(folded.gates()[or], Gate::Const(Tri::True));
+        assert_eq!(folded.eval(&[], &[Tri::Unknown]), Ok(Tri::True));
+    }
+
+    #[test]
+    fn unknown_children_are_pruned() {
+        let mut c = Circuit::new();
+        let a = c.atom(0);
+        let t = c.constant(Tri::True);
+        let and = c.and(vec![a, t]);
+        c.set_output(and);
+        let folded = fold(&c);
+        assert_eq!(folded.gates()[and], Gate::And(vec![a]));
+    }
+}

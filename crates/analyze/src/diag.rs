@@ -1,0 +1,244 @@
+//! Diagnostic data model: severity, stable code, span, message — plus the
+//! human (`file:line:col: severity[ABxxx]: message`) and JSON renderings
+//! used by `absolver check`.
+
+use absolver_core::Span;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but well-defined input; solving proceeds normally.
+    Warning,
+    /// Malformed or self-contradictory input.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes of the AB-problem analyzer. The numeric part
+/// never changes meaning across releases; retired codes are not reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// The input failed to parse at all.
+    AB001,
+    /// A `def` repeats a constraint already attached to the same variable.
+    AB002,
+    /// A defined Boolean variable occurs in no clause.
+    AB003,
+    /// `range` directives on one variable contradict each other.
+    AB004,
+    /// Two Boolean variables carry identical definitions (shadowed def).
+    AB005,
+    /// A clause is tautological (contains `x` and `¬x`).
+    AB006,
+    /// Clauses are contradictory (empty clause or complementary units).
+    AB007,
+    /// A clause mentions a variable beyond the declared header count.
+    AB008,
+    /// A clause duplicates an earlier clause.
+    AB009,
+    /// A theory atom is statically true throughout the declared box.
+    AB010,
+    /// A theory atom is statically false throughout the declared box
+    /// (including ranges that empty a constraint's interval).
+    AB011,
+    /// An arithmetic variable is declared but used in no definition.
+    AB012,
+}
+
+impl Code {
+    /// The default severity this code is reported with.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::AB001 | Code::AB004 | Code::AB007 => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()` today, kept explicit so future
+    /// codes can be promoted per-context).
+    pub severity: Severity,
+    /// Source position the finding anchors on.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// The full report of one `check` run, ordered by (line, column, code).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Sorts findings into the canonical (line, column, code) order.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.span.line, d.span.col, d.code));
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Returns `true` when no findings were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the compiler-style human form, one finding per line:
+    /// `file:line:col: severity[ABxxx]: message`.
+    pub fn render_human(&self, file: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{file}:{}:{}: {}[{}]: {}\n",
+                d.span.line, d.span.col, d.severity, d.code, d.message
+            ));
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s)\n",
+            file,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Renders the stable JSON form:
+    /// `{"errors":N,"warnings":N,"diagnostics":[{code,severity,line,col,message}…]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.errors(),
+            self.warnings()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                d.span.line,
+                d.span.col,
+                escape_json(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the diagnostic messages are ASCII).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_and_counts() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new(
+            Code::AB007,
+            Span::new(4, 1),
+            "empty clause",
+        ));
+        r.push(Diagnostic::new(Code::AB006, Span::new(2, 1), "tautology"));
+        r.push(Diagnostic::new(Code::AB009, Span::new(2, 1), "duplicate"));
+        r.sort();
+        assert_eq!(r.diagnostics[0].code, Code::AB006);
+        assert_eq!(r.diagnostics[1].code, Code::AB009);
+        assert_eq!(r.diagnostics[2].code, Code::AB007);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new(
+            Code::AB006,
+            Span::new(2, 1),
+            "clause is a \"tautology\"",
+        ));
+        assert_eq!(
+            r.render_human("in.dimacs"),
+            "in.dimacs:2:1: warning[AB006]: clause is a \"tautology\"\n\
+             in.dimacs: 0 error(s), 1 warning(s)\n"
+        );
+        assert_eq!(
+            r.render_json(),
+            "{\"errors\":0,\"warnings\":1,\"diagnostics\":[{\"code\":\"AB006\",\
+             \"severity\":\"warning\",\"line\":2,\"col\":1,\"message\":\
+             \"clause is a \\\"tautology\\\"\"}]}"
+        );
+    }
+}

@@ -109,7 +109,10 @@ impl CvcLike {
             .time_limit
             .map(|limit| limit.saturating_sub(started.elapsed()));
         let mut search = MathSatLike {
-            options: MathSatLikeOptions { time_limit: remaining, eager_fixpoint_checks: true },
+            options: MathSatLikeOptions {
+                time_limit: remaining,
+                eager_fixpoint_checks: true,
+            },
         };
         let mut run = search.solve(problem);
         run.elapsed = started.elapsed();
@@ -125,7 +128,11 @@ impl CvcLike {
         let mut store: Vec<LinearConstraint> = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
         let mut bytes = 0usize;
-        let add = |c: LinearConstraint, bytes: &mut usize, store: &mut Vec<LinearConstraint>, seen: &mut HashSet<String>| -> bool {
+        let add = |c: LinearConstraint,
+                   bytes: &mut usize,
+                   store: &mut Vec<LinearConstraint>,
+                   seen: &mut HashSet<String>|
+         -> bool {
             if c.expr.is_zero() {
                 return true;
             }
@@ -139,7 +146,9 @@ impl CvcLike {
 
         for (_, def) in problem.defs() {
             for c in &def.constraints {
-                let Some((lin, k)) = c.expr.to_affine() else { continue };
+                let Some((lin, k)) = c.expr.to_affine() else {
+                    continue;
+                };
                 let rhs = &c.rhs - &k;
                 for upper in normalise_to_upper(&lin, c.op, &rhs) {
                     if !add(upper, &mut bytes, &mut store, &mut seen) {
@@ -223,7 +232,11 @@ fn fm_resolvents(a: &LinearConstraint, b: &LinearConstraint) -> Vec<LinearConstr
         rhs_expr.scale(&cb.abs().recip());
         lhs.add_scaled(&rhs_expr, &Rational::one());
         let bound = &a.rhs / &ca.abs() + &b.rhs / &cb.abs();
-        let op = if a.op == CmpOp::Lt || b.op == CmpOp::Lt { CmpOp::Lt } else { CmpOp::Le };
+        let op = if a.op == CmpOp::Lt || b.op == CmpOp::Lt {
+            CmpOp::Lt
+        } else {
+            CmpOp::Le
+        };
         if !lhs.is_zero() {
             out.push(LinearConstraint::new(lhs, op, bound));
         }
@@ -280,7 +293,11 @@ mod tests {
         // Overlapping group sums (like Sudoku's row/column/box sums).
         for start in 0..6 {
             let lhs: Vec<String> = (start..start + 3).map(|i| format!("c{i}")).collect();
-            defs.push_str(&format!("c def int {atom} {} = {}\n", lhs.join(" + "), 6 + start));
+            defs.push_str(&format!(
+                "c def int {atom} {} = {}\n",
+                lhs.join(" + "),
+                6 + start
+            ));
             text.push_str(&format!("{atom} 0\n"));
             atom += 1;
         }
@@ -296,7 +313,10 @@ mod tests {
         let full = format!("{text}{defs}");
         let p: AbProblem = full.parse().unwrap();
         let mut solver = CvcLike {
-            options: CvcLikeOptions { memory_budget: 50_000, ..CvcLikeOptions::default() },
+            options: CvcLikeOptions {
+                memory_budget: 50_000,
+                ..CvcLikeOptions::default()
+            },
         };
         let run = solver.solve(&p);
         assert_eq!(run.verdict, BaselineVerdict::OutOfMemory);

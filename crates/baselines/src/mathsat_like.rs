@@ -33,7 +33,10 @@ pub struct MathSatLikeOptions {
 
 impl Default for MathSatLikeOptions {
     fn default() -> Self {
-        MathSatLikeOptions { time_limit: None, eager_fixpoint_checks: true }
+        MathSatLikeOptions {
+            time_limit: None,
+            eager_fixpoint_checks: true,
+        }
     }
 }
 
@@ -73,9 +76,7 @@ impl MathSatLike {
         } else {
             match result {
                 SolveResult::Sat(boolean) => match hook.last_model.take() {
-                    Some(arith) => {
-                        BaselineVerdict::Sat(Box::new(AbModel { boolean, arith }))
-                    }
+                    Some(arith) => BaselineVerdict::Sat(Box::new(AbModel { boolean, arith })),
                     None => BaselineVerdict::Unknown,
                 },
                 SolveResult::Unsat => {
@@ -119,7 +120,11 @@ struct TightHook<'a> {
 }
 
 impl<'a> TightHook<'a> {
-    fn new(problem: &'a AbProblem, options: &'a MathSatLikeOptions, started: Instant) -> TightHook<'a> {
+    fn new(
+        problem: &'a AbProblem,
+        options: &'a MathSatLikeOptions,
+        started: Instant,
+    ) -> TightHook<'a> {
         TightHook {
             problem,
             simplex: Simplex::with_vars(problem.arith_vars().len()),
@@ -341,8 +346,8 @@ mod tests {
     use super::*;
     use absolver_core::VarKind;
     use absolver_linear::CmpOp;
-    use absolver_nonlinear::Expr;
     use absolver_logic::Var;
+    use absolver_nonlinear::Expr;
     use absolver_num::Rational;
 
     fn q(n: i64) -> Rational {
@@ -431,7 +436,9 @@ mod tests {
             }
             let p = b.build();
             let tight = MathSatLike::new().solve(&p);
-            let loose = absolver_core::Orchestrator::with_defaults().solve(&p).unwrap();
+            let loose = absolver_core::Orchestrator::with_defaults()
+                .solve(&p)
+                .unwrap();
             match (&tight.verdict, &loose) {
                 (BaselineVerdict::Sat(m), o) => {
                     assert!(o.is_sat(), "round {round}: tight sat, loose {o:?}");
@@ -465,7 +472,10 @@ mod tests {
         let p: AbProblem = text.parse().unwrap();
         let eager = MathSatLike::new().solve(&p);
         let mut lazy = MathSatLike {
-            options: MathSatLikeOptions { eager_fixpoint_checks: false, ..Default::default() },
+            options: MathSatLikeOptions {
+                eager_fixpoint_checks: false,
+                ..Default::default()
+            },
         };
         let lazy_run = lazy.solve(&p);
         assert_eq!(eager.verdict.is_sat(), lazy_run.verdict.is_sat());

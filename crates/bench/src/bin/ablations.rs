@@ -21,7 +21,10 @@ use absolver_core::{
 use std::time::{Duration, Instant};
 
 fn options(timeout: Duration) -> OrchestratorOptions {
-    OrchestratorOptions { time_limit: Some(timeout), ..Default::default() }
+    OrchestratorOptions {
+        time_limit: Some(timeout),
+        ..Default::default()
+    }
 }
 
 fn main() {
@@ -43,9 +46,10 @@ fn main() {
         ("FISCHER6 schedules", &fischer_instance, 200usize),
         ("Sudoku solutions", &sudoku_instance, 50),
     ] {
-        for (label, restarting) in
-            [("incremental (LSAT mode)", false), ("external restarts", true)]
-        {
+        for (label, restarting) in [
+            ("incremental (LSAT mode)", false),
+            ("external restarts", true),
+        ] {
             let mut orc = if restarting {
                 Orchestrator::with_defaults().with_boolean(Box::new(RestartingBoolean::new()))
             } else {
@@ -97,7 +101,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["Conflict mode", "verdict", "iterations", "avg core size", "time"],
+        &[
+            "Conflict mode",
+            "verdict",
+            "iterations",
+            "avg core size",
+            "time",
+        ],
         &rows,
     );
 
@@ -111,15 +121,29 @@ fn main() {
         let _ = orc.solve(&problem).expect("within budget");
         let loose = started.elapsed();
         let mut tight = MathSatLike {
-            options: MathSatLikeOptions { time_limit: Some(timeout), ..Default::default() },
+            options: MathSatLikeOptions {
+                time_limit: Some(timeout),
+                ..Default::default()
+            },
         };
         let run = tight.solve(&problem);
         rows.push(vec![
             format!("FISCHER{n}"),
             format_duration(loose),
             format_duration(run.elapsed),
-            format!("{:.1}×", loose.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}×",
+                loose.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
-    print_table(&["Instance", "loose (ABsolver)", "tight (DPLL(T))", "loose/tight"], &rows);
+    print_table(
+        &[
+            "Instance",
+            "loose (ABsolver)",
+            "tight (DPLL(T))",
+            "loose/tight",
+        ],
+        &rows,
+    );
 }

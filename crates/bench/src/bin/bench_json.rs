@@ -28,7 +28,10 @@ use std::path::PathBuf;
 fn baseline_elapsed_us(report: &str) -> Option<u64> {
     let key = "\"elapsed_us\":";
     let at = report.rfind(key)? + key.len();
-    let digits: String = report[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = report[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
     digits.parse().ok()
 }
 
@@ -79,7 +82,12 @@ fn main() {
             failed = true;
             continue;
         }
-        eprintln!("  {} [{}] -> {}", format_duration(m.elapsed), m.verdict, path.display());
+        eprintln!(
+            "  {} [{}] -> {}",
+            format_duration(m.elapsed),
+            m.verdict,
+            path.display()
+        );
         if check_regress {
             let base_path = baseline_dir.join(format!("BENCH_{key}.json"));
             match std::fs::read_to_string(&base_path)

@@ -34,7 +34,10 @@ fn run_parallel(
         jobs,
         strategy,
         deterministic: true,
-        base: OrchestratorOptions { time_limit: Some(time_limit), ..Default::default() },
+        base: OrchestratorOptions {
+            time_limit: Some(time_limit),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut orc = Orchestrator::with_defaults();
@@ -67,7 +70,10 @@ fn main() {
     println!("Parallel solving: sequential vs portfolio vs cube-and-conquer\n");
 
     let workloads: Vec<(String, AbProblem)> = vec![
-        ("sudoku hard (mixed)".to_string(), encode_mixed(&generate(3, Difficulty::Hard).0)),
+        (
+            "sudoku hard (mixed)".to_string(),
+            encode_mixed(&generate(3, Difficulty::Hard).0),
+        ),
         ("steering".to_string(), steering_problem()),
         ("threshold m=120".to_string(), threshold_problem(120)),
         ("threshold m=160".to_string(), threshold_problem(160)),
@@ -104,11 +110,18 @@ fn main() {
             if comparable && !elapsed.is_zero() {
                 best = best.max(seq.elapsed.as_secs_f64() / elapsed.as_secs_f64());
             }
-            let ratio =
-                if comparable { speedup(seq.elapsed, elapsed) } else { "-".to_string() };
+            let ratio = if comparable {
+                speedup(seq.elapsed, elapsed)
+            } else {
+                "-".to_string()
+            };
             row.push(format!("{} ({ratio})", format_duration(elapsed)));
         }
-        row.push(if best > 0.0 { format!("{best:.2}x") } else { "-".to_string() });
+        row.push(if best > 0.0 {
+            format!("{best:.2}x")
+        } else {
+            "-".to_string()
+        });
         rows.push(row);
     }
     print_table(

@@ -12,7 +12,9 @@
 //! `ABS_TIMEOUT_SECS` (default 120) bounds each run.
 
 use absolver_bench::fischer::fischer;
-use absolver_bench::harness::{env_seconds, print_table, run_absolver, run_cvc_like, run_mathsat_like};
+use absolver_bench::harness::{
+    env_seconds, print_table, run_absolver, run_cvc_like, run_mathsat_like,
+};
 
 fn main() {
     let timeout = env_seconds("ABS_TIMEOUT_SECS", 120);
@@ -35,7 +37,10 @@ fn main() {
             cvc.cell(),
         ]);
     }
-    print_table(&["Benchmark", "ABSOLVER", "MathSAT-like", "CVC-like"], &rows);
+    print_table(
+        &["Benchmark", "ABSOLVER", "MathSAT-like", "CVC-like"],
+        &rows,
+    );
     println!("\npaper reference (n = 1 → 11): ABSOLVER 0m0.556s → 0m28.179s,");
     println!("MathSAT 0m0.045s → 0m2.129s, CVC Lite 0m0.020s → 0m0.073s —");
     println!("the tight integrations win on simple Boolean-linear problems.");

@@ -10,8 +10,12 @@
 //! `ABS_TIMEOUT_SECS` (default 60) bounds each baseline run — the lazy
 //! baseline's blow-up is reported as a timeout rather than waiting hours.
 
-use absolver_bench::harness::{env_seconds, print_table, run_absolver, run_cvc_like, run_mathsat_like};
-use absolver_bench::sudoku::{decode, encode_arith, encode_mixed, extends, is_valid_solution, table3_suite};
+use absolver_bench::harness::{
+    env_seconds, print_table, run_absolver, run_cvc_like, run_mathsat_like,
+};
+use absolver_bench::sudoku::{
+    decode, encode_arith, encode_mixed, extends, is_valid_solution, table3_suite,
+};
 use absolver_core::{Orchestrator, Outcome};
 
 fn main() {
@@ -44,7 +48,10 @@ fn main() {
             msat.cell(),
         ]);
     }
-    print_table(&["Benchmark", "ABSOLVER", "CVC-like", "MathSAT-like"], &rows);
+    print_table(
+        &["Benchmark", "ABSOLVER", "CVC-like", "MathSAT-like"],
+        &rows,
+    );
     println!("\npaper reference: ABSOLVER ≈ 0m0.28s per puzzle; CVC Lite –* (out of");
     println!("memory) on all ten; MathSAT 75–137 minutes. A timeout here stands in");
     println!("for the paper's hour-plus MathSAT columns.");

@@ -47,7 +47,11 @@ impl FischerConfig {
     /// The standard parameters for `n` processes: `a = n + 1`, `b = a + 1`.
     pub fn standard(n: usize) -> FischerConfig {
         let a = n as i64 + 1;
-        FischerConfig { processes: n, a, b: a + 1 }
+        FischerConfig {
+            processes: n,
+            a,
+            b: a + 1,
+        }
     }
 }
 
@@ -174,7 +178,9 @@ mod tests {
         for n in 1..=4 {
             let p = fischer(n);
             let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
-            let model = outcome.model().unwrap_or_else(|| panic!("n={n} must be SAT"));
+            let model = outcome
+                .model()
+                .unwrap_or_else(|| panic!("n={n} must be SAT"));
             assert!(model.satisfies(&p, 1e-9), "n={n}");
         }
     }
@@ -184,7 +190,10 @@ mod tests {
         let p = fischer(3);
         let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
         let model = outcome.model().unwrap();
-        let set0 = model.arith.value_f64(p.arith_var("set_0").unwrap()).unwrap();
+        let set0 = model
+            .arith
+            .value_f64(p.arith_var("set_0").unwrap())
+            .unwrap();
         for q in 1..3 {
             let setq = model
                 .arith
@@ -206,9 +215,15 @@ mod tests {
     #[test]
     fn unsafe_parameters_violate_mutex() {
         // b ≤ a breaks the protocol: two processes in the CS are possible.
-        let p = fischer_mutex(FischerConfig { processes: 2, a: 5, b: 1 });
+        let p = fischer_mutex(FischerConfig {
+            processes: 2,
+            a: 5,
+            b: 1,
+        });
         let outcome = Orchestrator::with_defaults().solve(&p).unwrap();
-        let model = outcome.model().expect("unsafe parameters admit a violation");
+        let model = outcome
+            .model()
+            .expect("unsafe parameters admit a violation");
         assert!(model.satisfies(&p, 1e-9));
     }
 
@@ -221,7 +236,10 @@ mod tests {
                 other => panic!("n={n}: {other:?}"),
             }
             let unsat = fischer_mutex(FischerConfig::standard(n));
-            assert_eq!(MathSatLike::new().solve(&unsat).verdict, BaselineVerdict::Unsat);
+            assert_eq!(
+                MathSatLike::new().solve(&unsat).verdict,
+                BaselineVerdict::Unsat
+            );
         }
     }
 }

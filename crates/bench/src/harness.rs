@@ -1,7 +1,9 @@
 //! Shared measurement and table-formatting helpers for the `table*`
 //! binaries.
 
-use absolver_baselines::{BaselineVerdict, CvcLike, CvcLikeOptions, MathSatLike, MathSatLikeOptions};
+use absolver_baselines::{
+    BaselineVerdict, CvcLike, CvcLikeOptions, MathSatLike, MathSatLikeOptions,
+};
 use absolver_core::{AbProblem, Orchestrator, OrchestratorOptions, Outcome};
 use absolver_trace::JsonObject;
 use std::time::Duration;
@@ -43,25 +45,51 @@ pub fn run_absolver(problem: &AbProblem, time_limit: Option<Duration>) -> Measur
 /// a JSON object with the workload name, verdict, structural statistics,
 /// and the full per-phase [`absolver_core::OrchestratorStats`] payload
 /// (the `BENCH_<workload>.json` format).
+///
+/// Each workload is solved twice: once with the `analyze` preprocessor
+/// (the CLI default, reported as the primary `verdict`/`stats` columns)
+/// and once on the problem exactly as written (the `raw_verdict` /
+/// `raw_elapsed_us` columns), so the reports double as a
+/// preprocessing-impact experiment.
 pub fn run_absolver_report(
     workload: &str,
     problem: &AbProblem,
     time_limit: Option<Duration>,
 ) -> (Measurement, String) {
-    let options = OrchestratorOptions { time_limit, ..Default::default() };
-    let mut orc = Orchestrator::with_defaults().with_options(options);
+    let options = OrchestratorOptions {
+        time_limit,
+        ..Default::default()
+    };
+    let verdict_of =
+        |outcome: &Result<Outcome, absolver_core::SolveError>, timed_out: bool| match outcome {
+            Ok(Outcome::Sat(model)) => {
+                debug_assert!(model.satisfies(problem, 1e-5), "model must validate");
+                "sat".to_string()
+            }
+            Ok(Outcome::Unsat) => "unsat".to_string(),
+            Ok(Outcome::Unknown) if timed_out => "timeout".to_string(),
+            Ok(Outcome::Unknown) => "unknown".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+
+    let mut raw_orc = Orchestrator::with_defaults().with_options(options.clone());
+    let raw_outcome = raw_orc.solve(problem);
+    let raw_verdict = verdict_of(&raw_outcome, raw_orc.stats().timed_out);
+    let raw_elapsed = raw_orc.stats().elapsed;
+
+    let mut orc = Orchestrator::with_defaults()
+        .with_options(options)
+        .with_preprocessor(Box::new(absolver_analyze::Simplifier::new()));
     let outcome = orc.solve(problem);
     let stats = orc.stats();
-    let verdict = match outcome {
-        Ok(Outcome::Sat(model)) => {
-            debug_assert!(model.satisfies(problem, 1e-5), "model must validate");
-            "sat".to_string()
-        }
-        Ok(Outcome::Unsat) => "unsat".to_string(),
-        Ok(Outcome::Unknown) if stats.timed_out => "timeout".to_string(),
-        Ok(Outcome::Unknown) => "unknown".to_string(),
-        Err(e) => format!("error: {e}"),
-    };
+    let verdict = verdict_of(&outcome, stats.timed_out);
+    debug_assert!(
+        !matches!(
+            (verdict.as_str(), raw_verdict.as_str()),
+            ("sat", "unsat") | ("unsat", "sat")
+        ),
+        "preprocessing changed the verdict: raw={raw_verdict} preprocessed={verdict}"
+    );
     // Derived efficiency metrics of the incremental theory engine:
     // pivot effort per theory check and the verdict-cache hit rate.
     let pivots_per_check = if stats.theory_checks == 0 {
@@ -84,26 +112,46 @@ pub fn run_absolver_report(
         .field_u64("nonlinear_constraints", problem.num_nonlinear() as u64)
         .field_f64("pivots_per_check", pivots_per_check)
         .field_f64("cache_hit_rate", cache_hit_rate)
+        .field_str("raw_verdict", &raw_verdict)
+        .field_u64("raw_elapsed_us", raw_elapsed.as_micros() as u64)
         .field_raw("stats", &stats.to_json());
-    (Measurement { verdict, elapsed: stats.elapsed }, obj.finish())
+    (
+        Measurement {
+            verdict,
+            elapsed: stats.elapsed,
+        },
+        obj.finish(),
+    )
 }
 
 /// Runs the tight DPLL(T) baseline.
 pub fn run_mathsat_like(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
     let mut solver = MathSatLike {
-        options: MathSatLikeOptions { time_limit, ..MathSatLikeOptions::default() },
+        options: MathSatLikeOptions {
+            time_limit,
+            ..MathSatLikeOptions::default()
+        },
     };
     let run = solver.solve(problem);
-    Measurement { verdict: verdict_string(&run.verdict), elapsed: run.elapsed }
+    Measurement {
+        verdict: verdict_string(&run.verdict),
+        elapsed: run.elapsed,
+    }
 }
 
 /// Runs the eager baseline.
 pub fn run_cvc_like(problem: &AbProblem, time_limit: Option<Duration>) -> Measurement {
     let mut solver = CvcLike {
-        options: CvcLikeOptions { time_limit, ..CvcLikeOptions::default() },
+        options: CvcLikeOptions {
+            time_limit,
+            ..CvcLikeOptions::default()
+        },
     };
     let run = solver.solve(problem);
-    Measurement { verdict: verdict_string(&run.verdict), elapsed: run.elapsed }
+    Measurement {
+        verdict: verdict_string(&run.verdict),
+        elapsed: run.elapsed,
+    }
 }
 
 fn verdict_string(v: &BaselineVerdict) -> String {
@@ -172,6 +220,9 @@ mod tests {
 
     #[test]
     fn env_seconds_parses() {
-        assert_eq!(env_seconds("ABS_NO_SUCH_ENV_VAR", 7), Duration::from_secs(7));
+        assert_eq!(
+            env_seconds("ABS_NO_SUCH_ENV_VAR", 7),
+            Duration::from_secs(7)
+        );
     }
 }

@@ -262,7 +262,11 @@ fn peer_groups() -> Vec<Vec<(usize, usize)>> {
 pub fn encode_arith(puzzle: &Grid) -> AbProblem {
     let mut b = AbProblem::builder();
     let cells: Vec<Vec<usize>> = (0..9)
-        .map(|r| (0..9).map(|c| b.arith_var(&var_name(r, c), VarKind::Int)).collect())
+        .map(|r| {
+            (0..9)
+                .map(|c| b.arith_var(&var_name(r, c), VarKind::Int))
+                .collect()
+        })
         .collect();
 
     // Bounds 1 ≤ x ≤ 9.
@@ -352,7 +356,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(generate(7, Difficulty::Hard), generate(7, Difficulty::Hard));
-        assert_ne!(generate(7, Difficulty::Hard).0, generate(8, Difficulty::Hard).0);
+        assert_ne!(
+            generate(7, Difficulty::Hard).0,
+            generate(8, Difficulty::Hard).0
+        );
     }
 
     #[test]

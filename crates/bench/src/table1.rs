@@ -33,7 +33,11 @@ pub fn esat_n11_m8_nonlinear() -> AbProblem {
     // v2..v6: 5 linear.
     let v2 = b.atom(Expr::var(a) + Expr::var(bb), CmpOp::Le, q("10"));
     let v3 = b.atom(Expr::var(a) - Expr::var(bb), CmpOp::Lt, q("4"));
-    let v4 = b.atom(Expr::int(2) * Expr::var(a) + Expr::int(3) * Expr::var(bb), CmpOp::Ge, q("1"));
+    let v4 = b.atom(
+        Expr::int(2) * Expr::var(a) + Expr::int(3) * Expr::var(bb),
+        CmpOp::Ge,
+        q("1"),
+    );
     let v5 = b.atom(Expr::var(bb), CmpOp::Le, q("8"));
     let v6 = b.atom(Expr::var(a), CmpOp::Le, q("7"));
     // v7 ⇔ (c ≥ −5 ∧ c ≤ 5): 2 linear.
@@ -41,7 +45,10 @@ pub fn esat_n11_m8_nonlinear() -> AbProblem {
     b.define(v7, NlConstraint::new(Expr::var(c), CmpOp::Le, q("5")));
     // v8 ⇔ (a·b ≤ 6 ∧ c² ≤ 25): 2 nonlinear.
     let v8 = b.atom(Expr::var(a) * Expr::var(bb), CmpOp::Le, q("6"));
-    b.define(v8, NlConstraint::new(Expr::var(c).pow(2), CmpOp::Le, q("25")));
+    b.define(
+        v8,
+        NlConstraint::new(Expr::var(c).pow(2), CmpOp::Le, q("25")),
+    );
 
     // 11 clauses.
     b.add_clause([v1.positive()]);
@@ -65,7 +72,10 @@ pub fn nonlinear_unsat() -> AbProblem {
     let x = b.arith_var("x", VarKind::Real);
     b.set_range(x, Interval::new(-100.0, 100.0));
     let v = b.atom(Expr::var(x).pow(2), CmpOp::Ge, q("1"));
-    b.define(v, NlConstraint::new(Expr::var(x).pow(2), CmpOp::Le, q("0.25")));
+    b.define(
+        v,
+        NlConstraint::new(Expr::var(x).pow(2), CmpOp::Le, q("0.25")),
+    );
     b.require(v.positive());
     b.build()
 }
@@ -99,7 +109,10 @@ pub fn div_operator() -> AbProblem {
 /// All four Table 1 rows, in the paper's order.
 pub fn table1_suite() -> Vec<(String, AbProblem)> {
     vec![
-        ("Car steering".to_string(), absolver_model::steering_problem()),
+        (
+            "Car steering".to_string(),
+            absolver_model::steering_problem(),
+        ),
         ("esat_n11_m8_nonlinear".to_string(), esat_n11_m8_nonlinear()),
         ("nonlinear_unsat".to_string(), nonlinear_unsat()),
         ("div_operator".to_string(), div_operator()),
@@ -162,7 +175,14 @@ mod tests {
         assert_eq!(suite.len(), 4);
         let stats: Vec<(usize, usize, usize, usize)> = suite
             .iter()
-            .map(|(_, p)| (p.cnf().len(), p.num_defs(), p.num_linear(), p.num_nonlinear()))
+            .map(|(_, p)| {
+                (
+                    p.cnf().len(),
+                    p.num_defs(),
+                    p.num_linear(),
+                    p.num_nonlinear(),
+                )
+            })
             .collect();
         assert_eq!(stats[0], (976, 24, 4, 20));
         assert_eq!(stats[1], (11, 8, 9, 2));

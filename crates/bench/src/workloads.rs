@@ -29,8 +29,9 @@ use absolver_num::Rational;
 /// the threshold is paid in full, one conflict at a time.
 pub fn threshold_problem(m: usize) -> AbProblem {
     let mut b = AbProblem::builder();
-    let vars: Vec<usize> =
-        (0..m).map(|i| b.arith_var(&format!("x{i}"), VarKind::Int)).collect();
+    let vars: Vec<usize> = (0..m)
+        .map(|i| b.arith_var(&format!("x{i}"), VarKind::Int))
+        .collect();
     for &v in &vars {
         let a = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(1));
         let _ = a; // free atom: the Boolean search decides its polarity

@@ -85,7 +85,10 @@ impl CdclBoolean {
     /// Creates a backend whose decision phases are scrambled from `seed`
     /// on every `load` — the portfolio diversification knob.
     pub fn with_phase_seed(seed: u64) -> CdclBoolean {
-        CdclBoolean { phase_seed: Some(seed), ..CdclBoolean::default() }
+        CdclBoolean {
+            phase_seed: Some(seed),
+            ..CdclBoolean::default()
+        }
     }
 
     /// Access to the accumulated CDCL statistics.
@@ -253,12 +256,18 @@ impl Default for SimplexLinear {
 impl SimplexLinear {
     /// Creates the backend with conflict minimisation enabled.
     pub fn new() -> SimplexLinear {
-        SimplexLinear { minimize_conflicts: true, stats: LinearBackendStats::default() }
+        SimplexLinear {
+            minimize_conflicts: true,
+            stats: LinearBackendStats::default(),
+        }
     }
 
     /// Creates the backend without the deletion-filter pass (ablation).
     pub fn without_minimization() -> SimplexLinear {
-        SimplexLinear { minimize_conflicts: false, stats: LinearBackendStats::default() }
+        SimplexLinear {
+            minimize_conflicts: false,
+            stats: LinearBackendStats::default(),
+        }
     }
 
     /// Number of feasibility checks performed.
@@ -464,7 +473,8 @@ mod tests {
             let blocking: Vec<Lit> = m
                 .iter()
                 .filter_map(|(v, t)| {
-                    t.to_bool().map(|bit| if bit { v.negative() } else { v.positive() })
+                    t.to_bool()
+                        .map(|bit| if bit { v.negative() } else { v.positive() })
                 })
                 .collect();
             if !b.add_clause(&blocking) {
@@ -488,7 +498,8 @@ mod tests {
                 let blocking: Vec<Lit> = m
                     .iter()
                     .filter_map(|(v, t)| {
-                        t.to_bool().map(|bit| if bit { v.negative() } else { v.positive() })
+                        t.to_bool()
+                            .map(|bit| if bit { v.negative() } else { v.positive() })
                     })
                     .collect();
                 if blocking.is_empty() || !b.add_clause(&blocking) {
@@ -535,8 +546,17 @@ mod tests {
         let mut infeasible = NlProblem::new(1);
         infeasible.add_constraint(NlConstraint::new(Expr::var(0).pow(2), CmpOp::Le, q(-1)));
         infeasible.bound_var(0, Interval::new(-10.0, 10.0));
-        assert_eq!(IntervalNonlinear::default().solve(&infeasible), NlVerdict::Unsat);
-        assert_eq!(PenaltyNonlinear::default().solve(&infeasible), NlVerdict::Unknown);
-        assert_eq!(CascadeNonlinear::default().solve(&infeasible), NlVerdict::Unsat);
+        assert_eq!(
+            IntervalNonlinear::default().solve(&infeasible),
+            NlVerdict::Unsat
+        );
+        assert_eq!(
+            PenaltyNonlinear::default().solve(&infeasible),
+            NlVerdict::Unknown
+        );
+        assert_eq!(
+            CascadeNonlinear::default().solve(&infeasible),
+            NlVerdict::Unsat
+        );
     }
 }

@@ -307,7 +307,12 @@ impl Circuit {
         cnf.add_clause(Clause::new(vec![node_lit[out]]));
         input_vars.sort_unstable_by_key(|&(i, _)| i);
         atom_vars.sort_unstable_by_key(|&(i, _)| i);
-        Ok(TseitinCnf { cnf, input_vars, atom_vars, output: node_lit[out] })
+        Ok(TseitinCnf {
+            cnf,
+            input_vars,
+            atom_vars,
+            output: node_lit[out],
+        })
     }
 }
 
@@ -351,11 +356,20 @@ mod tests {
         // All atoms unknown: output unknown ("further treatment").
         assert_eq!(c.eval(&[], &[]), Ok(Tri::Unknown));
         // atom2 false ⇒ NOT(atom2) true ⇒ OR short-circuits to tt.
-        assert_eq!(c.eval(&[], &[Tri::Unknown, Tri::Unknown, Tri::False]), Ok(Tri::True));
+        assert_eq!(
+            c.eval(&[], &[Tri::Unknown, Tri::Unknown, Tri::False]),
+            Ok(Tri::True)
+        );
         // Both AND inputs true ⇒ tt regardless of atom2.
-        assert_eq!(c.eval(&[], &[Tri::True, Tri::True, Tri::Unknown]), Ok(Tri::True));
+        assert_eq!(
+            c.eval(&[], &[Tri::True, Tri::True, Tri::Unknown]),
+            Ok(Tri::True)
+        );
         // AND false and NOT false ⇒ ff.
-        assert_eq!(c.eval(&[], &[Tri::False, Tri::True, Tri::True]), Ok(Tri::False));
+        assert_eq!(
+            c.eval(&[], &[Tri::False, Tri::True, Tri::True]),
+            Ok(Tri::False)
+        );
     }
 
     #[test]
@@ -381,7 +395,11 @@ mod tests {
                 ] {
                     let mut cc = c.clone();
                     cc.set_output(node);
-                    assert_eq!(cc.eval(&[a, b], &[]), Ok(expect), "gate {node} on ({a},{b})");
+                    assert_eq!(
+                        cc.eval(&[a, b], &[]),
+                        Ok(expect),
+                        "gate {node} on ({a},{b})"
+                    );
                 }
             }
         }
@@ -426,8 +444,9 @@ mod tests {
         let t = c.to_cnf().unwrap();
         let pins = num_inputs + num_atoms;
         for bits in 0u32..(1 << pins) {
-            let inputs: Vec<Tri> =
-                (0..num_inputs).map(|i| Tri::from(bits >> i & 1 == 1)).collect();
+            let inputs: Vec<Tri> = (0..num_inputs)
+                .map(|i| Tri::from(bits >> i & 1 == 1))
+                .collect();
             let atoms: Vec<Tri> = (0..num_atoms)
                 .map(|i| Tri::from(bits >> (num_inputs + i) & 1 == 1))
                 .collect();
@@ -435,18 +454,30 @@ mod tests {
 
             let mut solver = Solver::from_cnf(&t.cnf);
             for &(pin, var) in &t.input_vars {
-                let lit = if inputs[pin].is_true() { var.positive() } else { var.negative() };
+                let lit = if inputs[pin].is_true() {
+                    var.positive()
+                } else {
+                    var.negative()
+                };
                 solver.add_clause(&[lit]);
             }
             for &(pin, var) in &t.atom_vars {
-                let lit = if atoms[pin].is_true() { var.positive() } else { var.negative() };
+                let lit = if atoms[pin].is_true() {
+                    var.positive()
+                } else {
+                    var.negative()
+                };
                 solver.add_clause(&[lit]);
             }
             let got = solver.solve();
             match expect {
                 Tri::True => assert!(got.is_sat(), "bits {bits:b}: eval tt but CNF unsat"),
                 Tri::False => {
-                    assert_eq!(got, SolveResult::Unsat, "bits {bits:b}: eval ff but CNF sat")
+                    assert_eq!(
+                        got,
+                        SolveResult::Unsat,
+                        "bits {bits:b}: eval ff but CNF sat"
+                    )
                 }
                 Tri::Unknown => unreachable!("total assignment cannot evaluate to ?"),
             }

@@ -57,6 +57,7 @@ mod circuit;
 mod orchestrator;
 pub mod parallel;
 pub mod parser;
+pub mod preprocess;
 mod problem;
 pub mod theory;
 
@@ -67,5 +68,6 @@ pub use backends::{
 pub use circuit::{Circuit, Gate, NoOutputError, NodeId, TseitinCnf};
 pub use orchestrator::{Orchestrator, OrchestratorOptions, OrchestratorStats, Outcome, SolveError};
 pub use parallel::{ParallelOptions, ParallelStats, ParallelStrategy, ShardStats};
-pub use parser::ParseAbError;
+pub use parser::{parse_spanned, DefSite, ParseAbError, RangeSite, SourceMap, Span};
+pub use preprocess::{PreprocessSummary, Preprocessed, ProblemPreprocessor, Reconstruction};
 pub use problem::{AbModel, AbProblem, AbProblemBuilder, ArithModel, ArithVar, AtomDef, VarKind};

@@ -18,6 +18,7 @@ use crate::backends::{
     BooleanSolver, CascadeNonlinear, CdclBoolean, LinearBackend, LinearBackendStats,
     NonlinearBackend, NonlinearBackendStats, SimplexLinear,
 };
+use crate::preprocess::{PreprocessSummary, Preprocessed, ProblemPreprocessor};
 use crate::problem::{AbModel, AbProblem, ArithModel, VarKind};
 use crate::theory::{
     check, IncrementalLinear, LinActivity, TheoryBudget, TheoryContext, TheoryItem, TheoryTiming,
@@ -131,6 +132,17 @@ pub struct OrchestratorStats {
     pub theory_cache_misses: u64,
     /// HC4 interval contractions performed by the nonlinear backends.
     pub hc4_contractions: u64,
+    /// Wall-clock time of the preprocessing pass (zero when none is
+    /// installed or the call bypassed it).
+    pub preprocess_time: Duration,
+    /// Boolean variables eliminated by preprocessing.
+    pub pre_vars_eliminated: u64,
+    /// Clauses eliminated by preprocessing.
+    pub pre_clauses_eliminated: u64,
+    /// Theory atoms statically decided and removed by preprocessing.
+    pub pre_atoms_eliminated: u64,
+    /// Arithmetic-variable ranges tightened by preprocessing.
+    pub pre_ranges_tightened: u64,
     /// Wall-clock time of the last `solve`/`solve_all` call.
     pub elapsed: Duration,
 }
@@ -142,6 +154,7 @@ impl fmt::Display for OrchestratorStats {
             "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} \
              timed_out={} cancelled={} shared={} imported={} pivots={} warm_starts={} \
              cache_hits={} cache_misses={} contractions={} \
+             pre_vars={} pre_clauses={} pre_atoms={} pre_ranges={} preprocess={:?} \
              boolean={:?} linear={:?} nonlinear={:?} conflict_min={:?} elapsed={:?}",
             self.boolean_iterations,
             self.theory_checks,
@@ -161,6 +174,11 @@ impl fmt::Display for OrchestratorStats {
             self.theory_cache_hits,
             self.theory_cache_misses,
             self.hc4_contractions,
+            self.pre_vars_eliminated,
+            self.pre_clauses_eliminated,
+            self.pre_atoms_eliminated,
+            self.pre_ranges_tightened,
+            self.preprocess_time,
             self.boolean_time,
             self.linear_time,
             self.nonlinear_time,
@@ -198,6 +216,15 @@ impl OrchestratorStats {
             .field_u64("theory_cache_hits", self.theory_cache_hits)
             .field_u64("theory_cache_misses", self.theory_cache_misses)
             .field_u64("hc4_contractions", self.hc4_contractions)
+            .field_raw("preprocess", &{
+                let mut pre = JsonObject::new();
+                pre.field_u64("vars_eliminated", self.pre_vars_eliminated)
+                    .field_u64("clauses_eliminated", self.pre_clauses_eliminated)
+                    .field_u64("atoms_eliminated", self.pre_atoms_eliminated)
+                    .field_u64("ranges_tightened", self.pre_ranges_tightened)
+                    .field_u64("time_us", self.preprocess_time.as_micros() as u64);
+                pre.finish()
+            })
             .field_raw("phase", &phase.finish())
             .field_u64("elapsed_us", self.elapsed.as_micros() as u64);
         obj.finish()
@@ -254,7 +281,12 @@ pub(crate) struct ClauseSharing {
 
 impl fmt::Debug for ClauseSharing {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ClauseSharing(peers={}, pool={})", self.outbox.len(), self.pool.len())
+        write!(
+            f,
+            "ClauseSharing(peers={}, pool={})",
+            self.outbox.len(),
+            self.pool.len()
+        )
     }
 }
 
@@ -318,6 +350,9 @@ pub struct Orchestrator {
     /// linear backend provides an assertion stack).
     incremental: Option<IncrementalLinear>,
     cache: TheoryCache,
+    /// Equisatisfiable pre-pass run by `solve` (not `solve_under` with a
+    /// cube, not `solve_all`) before the control loop starts.
+    preprocessor: Option<Box<dyn ProblemPreprocessor>>,
 }
 
 impl Default for Orchestrator {
@@ -343,6 +378,7 @@ impl Orchestrator {
             interned: Vec::new(),
             incremental: None,
             cache: TheoryCache::default(),
+            preprocessor: None,
         }
     }
 
@@ -362,6 +398,7 @@ impl Orchestrator {
             interned: Vec::new(),
             incremental: None,
             cache: TheoryCache::default(),
+            preprocessor: None,
         }
     }
 
@@ -387,6 +424,25 @@ impl Orchestrator {
     pub fn with_options(mut self, options: OrchestratorOptions) -> Orchestrator {
         self.options = options;
         self
+    }
+
+    /// Installs an equisatisfiable preprocessing pass, run by
+    /// [`Orchestrator::solve`] before the control loop starts. The
+    /// concrete simplifier lives in the `absolver-analyze` crate
+    /// (`absolver_analyze::Simplifier`); cube solving
+    /// ([`Orchestrator::solve_under`]) and model enumeration
+    /// ([`Orchestrator::solve_all`]) deliberately bypass it — cubes may
+    /// assume eliminated variables, and enumeration counts models of the
+    /// *original* problem.
+    pub fn with_preprocessor(mut self, pass: Box<dyn ProblemPreprocessor>) -> Orchestrator {
+        self.preprocessor = Some(pass);
+        self
+    }
+
+    /// Installs or clears the preprocessing pass (see
+    /// [`Orchestrator::with_preprocessor`]).
+    pub fn set_preprocessor(&mut self, pass: Option<Box<dyn ProblemPreprocessor>>) {
+        self.preprocessor = pass;
     }
 
     /// Installs a cooperative cancellation token. When another party sets
@@ -421,7 +477,11 @@ impl Orchestrator {
         outbox: Vec<mpsc::Sender<TimedLemma>>,
         inbox: mpsc::Receiver<TimedLemma>,
     ) {
-        self.sharing = Some(ClauseSharing { outbox, inbox, pool: Vec::new() });
+        self.sharing = Some(ClauseSharing {
+            outbox,
+            inbox,
+            pool: Vec::new(),
+        });
     }
 
     /// Installs a trace sink: every observability event of subsequent
@@ -488,8 +548,9 @@ impl Orchestrator {
         let lin1 = self.linear_snapshot();
         let nl1 = self.nonlinear_snapshot();
         self.stats.simplex_pivots += lin1.pivots.saturating_sub(lin0.pivots);
-        self.stats.conflict_min_time +=
-            lin1.conflict_min_time.saturating_sub(lin0.conflict_min_time);
+        self.stats.conflict_min_time += lin1
+            .conflict_min_time
+            .saturating_sub(lin0.conflict_min_time);
         self.stats.hc4_contractions += nl1.hc4_contractions.saturating_sub(nl0.hc4_contractions);
         if let Some(inc) = &self.incremental {
             let stack = inc.stack();
@@ -507,7 +568,13 @@ impl Orchestrator {
         self.interned = problem
             .defs()
             .map(|(var, def)| {
-                (var, def.constraints.iter().map(|c| Arc::new(c.clone())).collect())
+                (
+                    var,
+                    def.constraints
+                        .iter()
+                        .map(|c| Arc::new(c.clone()))
+                        .collect(),
+                )
             })
             .collect();
         self.incremental = self
@@ -547,14 +614,77 @@ impl Orchestrator {
         self.cache.map.insert(involved.to_vec(), cached);
     }
 
-    /// Solves an AB-problem.
+    /// Solves an AB-problem. When a preprocessor is installed
+    /// ([`Orchestrator::with_preprocessor`]), the pass runs first and the
+    /// control loop solves the shrunk problem; SAT witnesses are lifted
+    /// back to the original before being returned.
     ///
     /// # Errors
     ///
     /// Returns [`SolveError::IterationLimit`] if the Boolean loop exceeds
     /// the configured iteration cap.
     pub fn solve(&mut self, problem: &AbProblem) -> Result<Outcome, SolveError> {
-        self.solve_under(problem, &[])
+        let Some(pass) = self.preprocessor.take() else {
+            return self.solve_under(problem, &[]);
+        };
+        let pre_started = Instant::now();
+        self.trace(|| {
+            TraceEvent::new("preprocess.start")
+                .field("pass", pass.name())
+                .field_u64("num_vars", problem.cnf().num_vars() as u64)
+                .field_u64("num_clauses", problem.cnf().len() as u64)
+                .field_u64("num_defs", problem.num_defs() as u64)
+        });
+        let result = pass.preprocess(problem);
+        let pre_elapsed = pre_started.elapsed();
+        self.trace(|| {
+            let (label, s) = match &result {
+                Preprocessed::Shrunk { summary, .. } => ("shrunk", summary),
+                Preprocessed::TriviallyUnsat { summary } => ("trivially-unsat", summary),
+            };
+            TraceEvent::new("preprocess.end")
+                .field("result", label)
+                .field_u64("vars_eliminated", s.vars_eliminated)
+                .field_u64("clauses_eliminated", s.clauses_eliminated)
+                .field_u64("atoms_eliminated", s.atoms_eliminated)
+                .field_u64("ranges_tightened", s.ranges_tightened)
+                .duration(pre_elapsed)
+        });
+        self.preprocessor = Some(pass);
+        match result {
+            Preprocessed::TriviallyUnsat { summary } => {
+                self.stats = OrchestratorStats::default();
+                self.record_preprocess(&summary, pre_elapsed);
+                Ok(Outcome::Unsat)
+            }
+            Preprocessed::Shrunk {
+                problem: shrunk,
+                reconstruction,
+                summary,
+            } => {
+                let outcome = self.solve_under(&shrunk, &[]);
+                // `solve_under` resets the stats at entry, so the pass
+                // accounting must be written back afterwards.
+                self.record_preprocess(&summary, pre_elapsed);
+                match outcome {
+                    Ok(Outcome::Sat(mut model)) => {
+                        reconstruction.lift(&mut model);
+                        Ok(Outcome::Sat(model))
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// Folds a preprocessing pass's effect into the current stats.
+    fn record_preprocess(&mut self, summary: &PreprocessSummary, elapsed: Duration) {
+        self.stats.preprocess_time = elapsed;
+        self.stats.pre_vars_eliminated = summary.vars_eliminated;
+        self.stats.pre_clauses_eliminated = summary.clauses_eliminated;
+        self.stats.pre_atoms_eliminated = summary.atoms_eliminated;
+        self.stats.pre_ranges_tightened = summary.ranges_tightened;
+        self.stats.elapsed += elapsed;
     }
 
     /// Solves an AB-problem under assumption literals (a *cube*): the
@@ -747,7 +877,9 @@ impl Orchestrator {
     /// Imports clauses shared by sibling shards. Returns `false` if an
     /// import made the Boolean formula trivially unsatisfiable.
     fn drain_imports(&mut self) -> bool {
-        let Some(sharing) = &mut self.sharing else { return true };
+        let Some(sharing) = &mut self.sharing else {
+            return true;
+        };
         while let Ok((sent_at, clause)) = sharing.inbox.try_recv() {
             let latency = sent_at.elapsed();
             self.stats.clauses_imported += 1;
@@ -808,13 +940,21 @@ impl Orchestrator {
                 }
             }
             if !self.drain_imports() {
-                return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
+                return Ok(if had_unknown {
+                    Outcome::Unknown
+                } else {
+                    Outcome::Unsat
+                });
             }
             let bool_started = Instant::now();
             let model = self.boolean.next_model();
             self.stats.boolean_time += bool_started.elapsed();
             let Some(model) = model else {
-                return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
+                return Ok(if had_unknown {
+                    Outcome::Unknown
+                } else {
+                    Outcome::Unsat
+                });
             };
             self.stats.boolean_iterations += 1;
             self.trace(|| {
@@ -866,8 +1006,7 @@ impl Orchestrator {
                 Some(verdict) => {
                     self.stats.theory_cache_hits += 1;
                     self.trace(|| {
-                        TraceEvent::new("cache.hit")
-                            .field_u64("literals", involved.len() as u64)
+                        TraceEvent::new("cache.hit").field_u64("literals", involved.len() as u64)
                     });
                     verdict
                 }
@@ -900,7 +1039,10 @@ impl Orchestrator {
 
             match verdict {
                 TheoryVerdict::Sat(arith) => {
-                    return Ok(Outcome::Sat(Box::new(AbModel { boolean: model, arith })));
+                    return Ok(Outcome::Sat(Box::new(AbModel {
+                        boolean: model,
+                        arith,
+                    })));
                 }
                 TheoryVerdict::Unsat(tags) => {
                     // Blocking clause: ¬(conjunction of conflicting literals).
@@ -912,7 +1054,11 @@ impl Orchestrator {
                     });
                     self.share_clause(&clause);
                     if !self.boolean.add_clause(&clause) {
-                        return Ok(if had_unknown { Outcome::Unknown } else { Outcome::Unsat });
+                        return Ok(if had_unknown {
+                            Outcome::Unknown
+                        } else {
+                            Outcome::Unsat
+                        });
                     }
                 }
                 TheoryVerdict::Unknown => {
@@ -985,8 +1131,11 @@ impl Orchestrator {
             let mut budget = self.options.theory.clone();
             budget.deadline = deadline;
             budget.cancel = self.cancel.clone();
-            let sink: Option<&dyn TraceSink> =
-                if self.sink.enabled() { Some(&*self.sink) } else { None };
+            let sink: Option<&dyn TraceSink> = if self.sink.enabled() {
+                Some(&*self.sink)
+            } else {
+                None
+            };
             let mut ctx = TheoryContext {
                 num_vars: problem.arith_vars().len(),
                 kinds,
@@ -1134,7 +1283,10 @@ c range y -10 10
         let mut b = AbProblem::builder();
         let x = b.arith_var("x", VarKind::Real);
         let v = b.atom(Expr::var(x), CmpOp::Ge, q(0));
-        b.define(v, absolver_nonlinear::NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)));
+        b.define(
+            v,
+            absolver_nonlinear::NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)),
+        );
         let pin = b.atom(Expr::var(x), CmpOp::Ge, q(15));
         b.require(v.negative());
         b.require(pin.positive());
@@ -1151,7 +1303,10 @@ c range y -10 10
         let mut b = AbProblem::builder();
         let x = b.arith_var("x", VarKind::Real);
         let v = b.atom(Expr::var(x), CmpOp::Ge, q(0));
-        b.define(v, absolver_nonlinear::NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)));
+        b.define(
+            v,
+            absolver_nonlinear::NlConstraint::new(Expr::var(x), CmpOp::Le, q(10)),
+        );
         let lo = b.atom(Expr::var(x), CmpOp::Ge, q(3));
         let hi = b.atom(Expr::var(x), CmpOp::Le, q(4));
         b.require(v.negative());
@@ -1290,7 +1445,10 @@ c range y -10 10
     fn iteration_limit_errors() {
         let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
         let problem: AbProblem = text.parse().unwrap();
-        let opts = OrchestratorOptions { max_iterations: 0, ..Default::default() };
+        let opts = OrchestratorOptions {
+            max_iterations: 0,
+            ..Default::default()
+        };
         let mut orc = Orchestrator::with_defaults().with_options(opts);
         assert_eq!(orc.solve(&problem), Err(SolveError::IterationLimit(0)));
     }
@@ -1313,7 +1471,10 @@ mod time_limit_tests {
     #[test]
     fn zero_time_limit_returns_unknown() {
         let problem: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
-        let opts = OrchestratorOptions { time_limit: Some(Duration::ZERO), ..Default::default() };
+        let opts = OrchestratorOptions {
+            time_limit: Some(Duration::ZERO),
+            ..Default::default()
+        };
         let mut orc = Orchestrator::with_defaults().with_options(opts);
         assert_eq!(orc.solve(&problem).unwrap(), Outcome::Unknown);
         assert!(orc.stats().timed_out);
@@ -1322,8 +1483,10 @@ mod time_limit_tests {
     #[test]
     fn generous_time_limit_does_not_interfere() {
         let problem: AbProblem = "p cnf 1 1\n1 0\nc def real 1 x >= 0\n".parse().unwrap();
-        let opts =
-            OrchestratorOptions { time_limit: Some(Duration::from_secs(3600)), ..Default::default() };
+        let opts = OrchestratorOptions {
+            time_limit: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        };
         let mut orc = Orchestrator::with_defaults().with_options(opts);
         assert!(orc.solve(&problem).unwrap().is_sat());
         assert!(!orc.stats().timed_out);

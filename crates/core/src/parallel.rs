@@ -66,7 +66,9 @@ impl std::str::FromStr for ParallelStrategy {
         match s {
             "portfolio" => Ok(ParallelStrategy::Portfolio),
             "cubes" => Ok(ParallelStrategy::Cubes),
-            other => Err(format!("unknown strategy '{other}' (expected portfolio|cubes)")),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected portfolio|cubes)"
+            )),
         }
     }
 }
@@ -205,7 +207,10 @@ struct WinnerBoard {
 
 impl WinnerBoard {
     fn new() -> WinnerBoard {
-        WinnerBoard { cancel: Arc::new(AtomicBool::new(false)), state: Mutex::new(None) }
+        WinnerBoard {
+            cancel: Arc::new(AtomicBool::new(false)),
+            state: Mutex::new(None),
+        }
     }
 
     /// Claims the win for `shard` and raises the cancel token. Returns
@@ -247,7 +252,8 @@ fn build_portfolio_shard(index: usize, base: &OrchestratorOptions) -> Orchestrat
         _ => Orchestrator::custom(Box::new(CdclBoolean::with_phase_seed(seed)))
             .with_nonlinear(Box::new(CascadeNonlinear::default())),
     };
-    orc.with_linear(Box::new(SimplexLinear::new())).with_options(base.clone())
+    orc.with_linear(Box::new(SimplexLinear::new()))
+        .with_options(base.clone())
 }
 
 /// Builds a cube shard: the default stack with phase scrambling past
@@ -256,7 +262,9 @@ fn build_cube_shard(index: usize, base: &OrchestratorOptions) -> Orchestrator {
     let boolean: Box<dyn crate::backends::BooleanSolver> = if index == 0 {
         Box::new(CdclBoolean::new())
     } else {
-        Box::new(CdclBoolean::with_phase_seed(0xD1B5_4A32_D192_ED03u64.wrapping_mul(index as u64)))
+        Box::new(CdclBoolean::with_phase_seed(
+            0xD1B5_4A32_D192_ED03u64.wrapping_mul(index as u64),
+        ))
     };
     Orchestrator::custom(boolean)
         .with_linear(Box::new(SimplexLinear::new()))
@@ -275,7 +283,9 @@ fn pick_cube_vars(problem: &AbProblem, k: usize) -> Vec<Var> {
     }
     let mut candidates: Vec<Var> = problem.theory_vars();
     if candidates.is_empty() {
-        candidates = (0..problem.cnf().num_vars()).map(|i| Var::new(i as u32)).collect();
+        candidates = (0..problem.cnf().num_vars())
+            .map(|i| Var::new(i as u32))
+            .collect();
     }
     let mut probe = Solver::from_cnf(problem.cnf());
     probe.set_conflict_budget(512);
@@ -284,7 +294,9 @@ fn pick_cube_vars(problem: &AbProblem, k: usize) -> Vec<Var> {
     candidates.sort_by(|a, b| {
         let aa = activity.get(a.index()).copied().unwrap_or(0.0);
         let ab = activity.get(b.index()).copied().unwrap_or(0.0);
-        ab.partial_cmp(&aa).unwrap_or(std::cmp::Ordering::Equal).then(a.index().cmp(&b.index()))
+        ab.partial_cmp(&aa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
     });
     candidates.truncate(k);
     candidates
@@ -298,7 +310,13 @@ fn make_cubes(vars: &[Var]) -> Vec<Vec<Lit>> {
         .map(|mask| {
             vars.iter()
                 .enumerate()
-                .map(|(j, &v)| if mask >> j & 1 == 1 { v.positive() } else { v.negative() })
+                .map(|(j, &v)| {
+                    if mask >> j & 1 == 1 {
+                        v.positive()
+                    } else {
+                        v.negative()
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -357,9 +375,8 @@ fn solve_portfolio(
                     let shard_sink: Arc<dyn TraceSink> =
                         Arc::new(ShardSink::new(Arc::clone(&sink), shard));
                     if shard_sink.enabled() {
-                        shard_sink.emit(
-                            &TraceEvent::new("shard.start").field("strategy", "portfolio"),
-                        );
+                        shard_sink
+                            .emit(&TraceEvent::new("shard.start").field("strategy", "portfolio"));
                     }
                     let shard_started = Instant::now();
                     let mut orc = build_portfolio_shard(shard, &options.base);
@@ -405,7 +422,10 @@ fn solve_portfolio(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("portfolio shard panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio shard panicked"))
+            .collect()
     });
     reports.sort_by_key(|r| r.shard);
 
@@ -425,7 +445,11 @@ fn solve_cubes(
     let jobs = options.jobs.max(1);
     let available = {
         let atoms = problem.theory_vars().len();
-        if atoms > 0 { atoms } else { problem.cnf().num_vars() }
+        if atoms > 0 {
+            atoms
+        } else {
+            problem.cnf().num_vars()
+        }
     };
     let k = if options.cube_vars > 0 {
         options.cube_vars.min(available).min(16)
@@ -480,8 +504,7 @@ fn solve_cubes(
                     let shard_sink: Arc<dyn TraceSink> =
                         Arc::new(ShardSink::new(Arc::clone(&sink), shard));
                     if shard_sink.enabled() {
-                        shard_sink
-                            .emit(&TraceEvent::new("shard.start").field("strategy", "cubes"));
+                        shard_sink.emit(&TraceEvent::new("shard.start").field("strategy", "cubes"));
                     }
                     let shard_started = Instant::now();
                     let mut orc = build_cube_shard(shard, shard_base);
@@ -585,11 +608,19 @@ fn solve_cubes(
                                 .duration(shard_started.elapsed()),
                         );
                     }
-                    ShardReport { shard, result, stats, latency }
+                    ShardReport {
+                        shard,
+                        result,
+                        stats,
+                        latency,
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("cube shard panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cube shard panicked"))
+            .collect()
     });
     reports.sort_by_key(|r| r.shard);
 
@@ -615,7 +646,9 @@ fn solve_cubes(
         }
         // A shard cancelled without a Sat winner left cubes undecided.
         if matches!(outcome, Ok(Outcome::Unsat))
-            && reports.iter().any(|r| r.stats.cancelled || r.stats.timed_out)
+            && reports
+                .iter()
+                .any(|r| r.stats.cancelled || r.stats.timed_out)
         {
             outcome = Ok(Outcome::Unknown);
         }
@@ -712,7 +745,10 @@ mod tests {
         let picked = pick_cube_vars(&problem, 2);
         assert_eq!(picked.len(), 2);
         for v in &picked {
-            assert!(problem.theory_vars().contains(v), "{v:?} should be a theory atom");
+            assert!(
+                problem.theory_vars().contains(v),
+                "{v:?} should be a theory atom"
+            );
         }
     }
 
@@ -720,13 +756,23 @@ mod tests {
     fn pick_cube_vars_on_pure_boolean_problem() {
         let problem: AbProblem = "p cnf 2 1\n1 2 0\n".parse().unwrap();
         let picked = pick_cube_vars(&problem, 8);
-        assert_eq!(picked.len(), 2, "falls back to CNF variables, capped at num_vars");
+        assert_eq!(
+            picked.len(),
+            2,
+            "falls back to CNF variables, capped at num_vars"
+        );
     }
 
     #[test]
     fn strategy_parses_and_displays() {
-        assert_eq!("portfolio".parse::<ParallelStrategy>().unwrap(), ParallelStrategy::Portfolio);
-        assert_eq!("cubes".parse::<ParallelStrategy>().unwrap(), ParallelStrategy::Cubes);
+        assert_eq!(
+            "portfolio".parse::<ParallelStrategy>().unwrap(),
+            ParallelStrategy::Portfolio
+        );
+        assert_eq!(
+            "cubes".parse::<ParallelStrategy>().unwrap(),
+            ParallelStrategy::Cubes
+        );
         assert!("x".parse::<ParallelStrategy>().is_err());
         assert_eq!(ParallelStrategy::Cubes.to_string(), "cubes");
     }

@@ -20,6 +20,11 @@
 //! Two reproduction extensions, both also comments:
 //! `c range <name> <lo> <hi>` supplies the initial search box used by the
 //! interval engine, and `c var <int|real> <name>` pre-declares a variable.
+//!
+//! Every parse error names the 1-based line and column of the offending
+//! token ([`ParseAbError::span`]), and [`parse_spanned`] additionally
+//! returns a [`SourceMap`] locating each directive and clause — the
+//! static analyzer (`absolver-analyze`) anchors its diagnostics on it.
 
 use crate::problem::{AbProblem, ArithVar, AtomDef, VarKind};
 use absolver_linear::CmpOp;
@@ -30,21 +35,72 @@ use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
-/// Error parsing the extended DIMACS format.
+/// A 1-based source position (line and column) in the input text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte-based; the input language is ASCII).
+    pub col: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// Error parsing the extended DIMACS format. Carries the source position
+/// of the offending token whenever one is known (which is every error
+/// produced by [`parse`] itself).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseAbError {
     message: String,
+    span: Option<Span>,
 }
 
 impl ParseAbError {
-    fn new(message: impl Into<String>) -> ParseAbError {
-        ParseAbError { message: message.into() }
+    fn at(span: Span, message: impl Into<String>) -> ParseAbError {
+        ParseAbError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// The source position of the error, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// The error description, without the location prefix of `Display`.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based line of the error, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.span.map(|s| s.line)
+    }
+
+    /// 1-based column of the error, when known.
+    pub fn column(&self) -> Option<usize> {
+        self.span.map(|s| s.col)
     }
 }
 
 impl fmt::Display for ParseAbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AB-problem parse error: {}", self.message)
+        match self.span {
+            Some(span) => write!(f, "AB-problem parse error at {span}: {}", self.message),
+            None => write!(f, "AB-problem parse error: {}", self.message),
+        }
     }
 }
 
@@ -52,8 +108,17 @@ impl std::error::Error for ParseAbError {}
 
 impl From<dimacs::ParseDimacsError> for ParseAbError {
     fn from(e: dimacs::ParseDimacsError) -> ParseAbError {
-        ParseAbError::new(e.to_string())
+        ParseAbError {
+            message: e.to_string(),
+            span: Some(Span::new(e.line(), e.column())),
+        }
     }
+}
+
+/// Byte offset of `child` within `parent`; `child` must be a subslice of
+/// `parent` (as produced by `split`/`trim`/`strip_prefix`).
+fn offset_in(parent: &str, child: &str) -> usize {
+    child.as_ptr() as usize - parent.as_ptr() as usize
 }
 
 // ---------------------------------------------------------------------------
@@ -74,57 +139,79 @@ enum Token {
     Cmp(CmpOp),
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, ParseAbError> {
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "number `{n}`"),
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Plus => f.write_str("`+`"),
+            Token::Minus => f.write_str("`-`"),
+            Token::Star => f.write_str("`*`"),
+            Token::Slash => f.write_str("`/`"),
+            Token::Caret => f.write_str("`^`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::Cmp(op) => write!(f, "`{op}`"),
+        }
+    }
+}
+
+/// Tokenizes a constraint body. Each token carries its byte offset within
+/// `input`; errors are positioned relative to `base` (the span of the
+/// body's first byte in the original file).
+fn tokenize(input: &str, base: Span) -> Result<Vec<(Token, usize)>, ParseAbError> {
+    let at = |off: usize| Span::new(base.line, base.col + off);
     let mut out = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let start = i;
         match c {
             ' ' | '\t' => i += 1,
             '+' => {
-                out.push(Token::Plus);
+                out.push((Token::Plus, start));
                 i += 1;
             }
             '-' => {
-                out.push(Token::Minus);
+                out.push((Token::Minus, start));
                 i += 1;
             }
             '*' => {
-                out.push(Token::Star);
+                out.push((Token::Star, start));
                 i += 1;
             }
             '/' => {
-                out.push(Token::Slash);
+                out.push((Token::Slash, start));
                 i += 1;
             }
             '^' => {
-                out.push(Token::Caret);
+                out.push((Token::Caret, start));
                 i += 1;
             }
             '(' => {
-                out.push(Token::LParen);
+                out.push((Token::LParen, start));
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                out.push((Token::RParen, start));
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Cmp(CmpOp::Le));
+                    out.push((Token::Cmp(CmpOp::Le), start));
                     i += 2;
                 } else {
-                    out.push(Token::Cmp(CmpOp::Lt));
+                    out.push((Token::Cmp(CmpOp::Lt), start));
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Cmp(CmpOp::Ge));
+                    out.push((Token::Cmp(CmpOp::Ge), start));
                     i += 2;
                 } else {
-                    out.push(Token::Cmp(CmpOp::Gt));
+                    out.push((Token::Cmp(CmpOp::Gt), start));
                     i += 1;
                 }
             }
@@ -134,30 +221,31 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseAbError> {
                 } else {
                     i += 1;
                 }
-                out.push(Token::Cmp(CmpOp::Eq));
+                out.push((Token::Cmp(CmpOp::Eq), start));
             }
             '0'..='9' | '.' => {
-                let start = i;
                 while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 let text = &input[start..i];
-                let value: Rational = text
-                    .parse()
-                    .map_err(|_| ParseAbError::new(format!("bad numeric literal `{text}`")))?;
-                out.push(Token::Number(value));
+                let value: Rational = text.parse().map_err(|_| {
+                    ParseAbError::at(at(start), format!("bad numeric literal `{text}`"))
+                })?;
+                out.push((Token::Number(value), start));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
-                out.push(Token::Ident(input[start..i].to_string()));
+                out.push((Token::Ident(input[start..i].to_string()), start));
             }
             other => {
-                return Err(ParseAbError::new(format!("unexpected character `{other}`")));
+                return Err(ParseAbError::at(
+                    at(start),
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -169,10 +257,14 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseAbError> {
 // ---------------------------------------------------------------------------
 
 struct ExprParser<'a> {
-    tokens: &'a [Token],
+    tokens: &'a [(Token, usize)],
     pos: usize,
     vars: &'a mut VarInterner,
     kind: VarKind,
+    /// Span of the body's first byte; token offsets are added to its col.
+    base: Span,
+    /// Byte length of the body (end-of-input errors point here).
+    end: usize,
 }
 
 /// Variable interning shared across definitions; tracks kind promotion
@@ -204,23 +296,41 @@ impl VarInterner {
 
 const FUNCTIONS: &[&str] = &["sin", "cos", "exp", "ln", "sqrt", "abs"];
 
+/// Renders `Some(token)` / `None` (end of input) for error messages.
+fn describe(t: &Option<Token>) -> String {
+    match t {
+        Some(t) => t.to_string(),
+        None => "end of input".to_string(),
+    }
+}
+
 impl ExprParser<'_> {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    /// The span of the token at `pos` (or of the end of the body).
+    fn span_at(&self, pos: usize) -> Span {
+        let off = self.tokens.get(pos).map_or(self.end, |&(_, o)| o);
+        Span::new(self.base.line, self.base.col + off)
+    }
+
     fn expect(&mut self, t: &Token) -> Result<(), ParseAbError> {
+        let here = self.pos;
         match self.next() {
             Some(ref got) if got == t => Ok(()),
-            other => Err(ParseAbError::new(format!("expected {t:?}, found {other:?}"))),
+            other => Err(ParseAbError::at(
+                self.span_at(here),
+                format!("expected {t}, found {}", describe(&other)),
+            )),
         }
     }
 
@@ -280,19 +390,23 @@ impl ExprParser<'_> {
             } else {
                 false
             };
+            let here = self.pos;
             match self.next() {
                 Some(Token::Number(n)) if n.is_integer() => {
                     let exp = n
                         .numer()
                         .to_i64()
                         .filter(|&e| e.unsigned_abs() <= i32::MAX as u64)
-                        .ok_or_else(|| ParseAbError::new("power exponent out of range"))?;
+                        .ok_or_else(|| {
+                            ParseAbError::at(self.span_at(here), "power exponent out of range")
+                        })?;
                     let exp = if negative { -exp } else { exp };
                     Ok(base.pow(exp as i32))
                 }
-                other => Err(ParseAbError::new(format!(
-                    "expected integer exponent, found {other:?}"
-                ))),
+                other => Err(ParseAbError::at(
+                    self.span_at(here),
+                    format!("expected integer exponent, found {}", describe(&other)),
+                )),
             }
         } else {
             Ok(base)
@@ -301,6 +415,7 @@ impl ExprParser<'_> {
 
     /// primary := number | func primary | ident | '(' expr ')'
     fn primary(&mut self) -> Result<Expr, ParseAbError> {
+        let here = self.pos;
         match self.next() {
             Some(Token::Number(n)) => Ok(Expr::constant(n)),
             Some(Token::Ident(name)) => {
@@ -324,26 +439,32 @@ impl ExprParser<'_> {
                 self.expect(&Token::RParen)?;
                 Ok(inner)
             }
-            other => Err(ParseAbError::new(format!(
-                "expected expression, found {other:?}"
-            ))),
+            other => Err(ParseAbError::at(
+                self.span_at(here),
+                format!("expected expression, found {}", describe(&other)),
+            )),
         }
     }
 
     /// comparison := expr cmp expr
     fn comparison(&mut self) -> Result<NlConstraint, ParseAbError> {
         let lhs = self.expr()?;
+        let here = self.pos;
         let op = match self.next() {
             Some(Token::Cmp(op)) => op,
             other => {
-                return Err(ParseAbError::new(format!(
-                    "expected comparison operator, found {other:?}"
-                )))
+                return Err(ParseAbError::at(
+                    self.span_at(here),
+                    format!("expected comparison operator, found {}", describe(&other)),
+                ))
             }
         };
         let rhs = self.expr()?;
         if self.pos != self.tokens.len() {
-            return Err(ParseAbError::new("trailing tokens after comparison"));
+            return Err(ParseAbError::at(
+                self.span_at(self.pos),
+                "trailing tokens after comparison",
+            ));
         }
         // Normalise: keep a constant RHS when possible, else move everything
         // to the left-hand side.
@@ -389,47 +510,124 @@ fn near_miss_directive(comment: &str) -> Option<&'static str> {
         .find(|kw| edit_distance(&lower, kw) <= 1)
 }
 
+/// Source location of one `def` directive line: which Boolean variable it
+/// binds, which constraint (index into the definition's conjunction) it
+/// contributed, and where it sits in the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// 0-based index of the bound Boolean variable.
+    pub var: u32,
+    /// Index of the contributed constraint within the definition's
+    /// conjunction (`AtomDef::constraints`).
+    pub constraint: usize,
+    /// Position of the directive.
+    pub span: Span,
+}
+
+/// Source location and raw bounds of one `range` directive line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeSite {
+    /// The arithmetic variable the range applies to.
+    pub var: VarId,
+    /// Lower bound as written.
+    pub lo: f64,
+    /// Upper bound as written.
+    pub hi: f64,
+    /// Position of the directive.
+    pub span: Span,
+}
+
+/// Source locations collected during parsing, anchoring every directive
+/// and clause of the input. Produced by [`parse_spanned`]; the static
+/// analyzer uses it to attach precise spans to its diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceMap {
+    /// One entry per `def` directive line, in input order.
+    pub def_sites: Vec<DefSite>,
+    /// One entry per `range` directive line, in input order.
+    pub range_sites: Vec<RangeSite>,
+    /// One entry per `var` directive line, in input order.
+    pub var_sites: Vec<(VarId, Span)>,
+    /// One span per CNF clause (the line where the clause starts).
+    pub clause_spans: Vec<Span>,
+    /// The variable count declared in the `p cnf` header, if any.
+    pub declared_vars: Option<usize>,
+}
+
 /// Parses the extended DIMACS format into an [`AbProblem`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseAbError`] on malformed DIMACS structure, definition
 /// syntax errors, out-of-range Boolean variables, or duplicate definitions.
+/// Every error names the line and column of the offending token.
 pub fn parse(text: &str) -> Result<AbProblem, ParseAbError> {
+    parse_spanned(text).map(|(problem, _)| problem)
+}
+
+/// Like [`parse`], but additionally returns the [`SourceMap`] locating
+/// every directive and clause of the input.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_spanned(text: &str) -> Result<(AbProblem, SourceMap), ParseAbError> {
     let file = dimacs::parse(text)?;
     let mut cnf = file.cnf;
     let mut interner = VarInterner::default();
     let mut defs: std::collections::BTreeMap<u32, AtomDef> = Default::default();
+    let mut map = SourceMap {
+        clause_spans: file.clause_lines.iter().map(|&l| Span::new(l, 1)).collect(),
+        declared_vars: file.declared_vars,
+        ..Default::default()
+    };
 
-    for comment in &file.comments {
+    for (comment, &(line, ccol)) in file.comments.iter().zip(&file.comment_spans) {
+        // Position of a subslice of `comment` in the original input.
+        let at = |piece: &str| Span::new(line, ccol + offset_in(comment, piece));
         let trimmed = comment.trim();
+        let line_span = at(trimmed);
+        let end_span = Span::new(line, ccol + offset_in(comment, trimmed) + trimmed.len());
         if let Some(rest) = trimmed.strip_prefix("def ") {
             let mut words = rest.splitn(3, char::is_whitespace);
-            let kind = match words.next() {
+            let kind_word = words.next();
+            let kind = match kind_word {
                 Some("int") => VarKind::Int,
                 Some("real") => VarKind::Real,
                 other => {
-                    return Err(ParseAbError::new(format!(
-                        "expected `int` or `real` in definition, found {other:?}"
-                    )))
+                    return Err(ParseAbError::at(
+                        other.map_or(end_span, at),
+                        match other {
+                            Some(word) => {
+                                format!("expected `int` or `real` in definition, found `{word}`")
+                            }
+                            None => "expected `int` or `real` in definition".to_string(),
+                        },
+                    ))
                 }
             };
-            let var_num: u32 = words
-                .next()
+            let var_word = words.next();
+            let var_num: u32 = var_word
                 .and_then(|w| w.parse().ok())
                 .filter(|&v| v > 0)
                 .ok_or_else(|| {
-                    ParseAbError::new(format!("bad Boolean variable in definition `{rest}`"))
+                    ParseAbError::at(
+                        var_word.map_or(end_span, at),
+                        format!("bad Boolean variable in definition `{rest}`"),
+                    )
                 })?;
-            let body = words
-                .next()
-                .ok_or_else(|| ParseAbError::new(format!("missing constraint in `{rest}`")))?;
-            let tokens = tokenize(body)?;
+            let body = words.next().ok_or_else(|| {
+                ParseAbError::at(end_span, format!("missing constraint in `{rest}`"))
+            })?;
+            let base = at(body);
+            let tokens = tokenize(body, base)?;
             let mut parser = ExprParser {
                 tokens: &tokens,
                 pos: 0,
                 vars: &mut interner,
                 kind,
+                base,
+                end: body.len(),
             };
             let constraint = parser.comparison()?;
             let var_index = var_num - 1;
@@ -441,55 +639,81 @@ pub fn parse(text: &str) -> Result<AbProblem, ParseAbError> {
             }
             // Repeated `def` lines on the same variable conjoin, exactly
             // like the two `def int 1 …` lines of the paper's Fig. 2.
-            defs.entry(var_index).or_default().constraints.push(constraint);
+            let def = defs.entry(var_index).or_default();
+            def.constraints.push(constraint);
+            map.def_sites.push(DefSite {
+                var: var_index,
+                constraint: def.constraints.len() - 1,
+                span: line_span,
+            });
         } else if let Some(rest) = trimmed.strip_prefix("range ") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 {
-                return Err(ParseAbError::new(format!("bad range line `{rest}`")));
+                return Err(ParseAbError::at(
+                    line_span,
+                    format!("bad range line `{rest}`"),
+                ));
             }
-            let id = interner
-                .by_name
-                .get(parts[0])
-                .copied()
-                .ok_or_else(|| {
-                    ParseAbError::new(format!(
+            let id = interner.by_name.get(parts[0]).copied().ok_or_else(|| {
+                ParseAbError::at(
+                    at(parts[0]),
+                    format!(
                         "range for unknown variable `{}` (ranges must follow definitions)",
                         parts[0]
-                    ))
-                })?;
-            let lo: f64 = parts[1]
-                .parse()
-                .map_err(|_| ParseAbError::new(format!("bad range bound `{}`", parts[1])))?;
-            let hi: f64 = parts[2]
-                .parse()
-                .map_err(|_| ParseAbError::new(format!("bad range bound `{}`", parts[2])))?;
+                    ),
+                )
+            })?;
+            let lo: f64 = parts[1].parse().map_err(|_| {
+                ParseAbError::at(at(parts[1]), format!("bad range bound `{}`", parts[1]))
+            })?;
+            let hi: f64 = parts[2].parse().map_err(|_| {
+                ParseAbError::at(at(parts[2]), format!("bad range bound `{}`", parts[2]))
+            })?;
             if lo > hi || lo.is_nan() || hi.is_nan() {
-                return Err(ParseAbError::new(format!("empty range `{rest}`")));
+                return Err(ParseAbError::at(
+                    at(parts[1]),
+                    format!("empty range `{rest}`"),
+                ));
             }
             interner.ranges[id] = interner.ranges[id].intersect(Interval::new(lo, hi));
+            map.range_sites.push(RangeSite {
+                var: id,
+                lo,
+                hi,
+                span: line_span,
+            });
         } else if let Some(rest) = trimmed.strip_prefix("var ") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 2 {
-                return Err(ParseAbError::new(format!("bad var line `{rest}`")));
+                return Err(ParseAbError::at(
+                    line_span,
+                    format!("bad var line `{rest}`"),
+                ));
             }
             let kind = match parts[0] {
                 "int" => VarKind::Int,
                 "real" => VarKind::Real,
                 other => {
-                    return Err(ParseAbError::new(format!(
-                        "expected `int` or `real` in var line, found `{other}`"
-                    )))
+                    return Err(ParseAbError::at(
+                        at(parts[0]),
+                        format!("expected `int` or `real` in var line, found `{other}`"),
+                    ))
                 }
             };
-            interner.intern(parts[1], kind);
+            let id = interner.intern(parts[1], kind);
+            map.var_sites.push((id, line_span));
         } else if let Some(directive) = near_miss_directive(trimmed) {
             // A comment whose first word is one typo away from a directive
             // keyword is almost certainly a misspelled directive, and
             // silently ignoring it would silently drop a constraint.
-            return Err(ParseAbError::new(format!(
-                "comment line `{trimmed}` looks like a misspelled `{directive}` directive \
-                 (write `c {directive} …`, or reword the comment)"
-            )));
+            let first = trimmed.split_whitespace().next().unwrap_or(trimmed);
+            return Err(ParseAbError::at(
+                at(first),
+                format!(
+                    "comment line `{trimmed}` looks like a misspelled `{directive}` directive \
+                     (write `c {directive} …`, or reword the comment)"
+                ),
+            ));
         }
         // Other comments are ignored, as any plain SAT solver would.
     }
@@ -499,15 +723,22 @@ pub fn parse(text: &str) -> Result<AbProblem, ParseAbError> {
         .iter()
         .zip(&interner.kinds)
         .zip(&interner.ranges)
-        .map(|((name, &kind), &range)| ArithVar { name: name.clone(), kind, range })
+        .map(|((name, &kind), &range)| ArithVar {
+            name: name.clone(),
+            kind,
+            range,
+        })
         .collect();
 
-    Ok(AbProblem {
-        cnf,
-        defs,
-        vars,
-        by_name: interner.by_name,
-    })
+    Ok((
+        AbProblem {
+            cnf,
+            defs,
+            vars,
+            by_name: interner.by_name,
+        },
+        map,
+    ))
 }
 
 impl FromStr for AbProblem {
@@ -551,12 +782,7 @@ pub fn format_expr(expr: &Expr, names: &[String]) -> String {
                     out.push_str(&rational_to_source(c));
                 }
             }
-            Expr::Var(v) => out.push_str(
-                names
-                    .get(*v)
-                    .map(String::as_str)
-                    .unwrap_or("_unknown_"),
-            ),
+            Expr::Var(v) => out.push_str(names.get(*v).map(String::as_str).unwrap_or("_unknown_")),
             Expr::Neg(a) => {
                 out.push('-');
                 go(a, names, 4, out);
@@ -657,7 +883,11 @@ fn rational_to_source(q: &Rational) -> String {
 /// Serialises a problem in the extended DIMACS format. The output parses
 /// back to an equivalent problem (round-trip).
 pub fn write(problem: &AbProblem) -> String {
-    let names: Vec<String> = problem.arith_vars().iter().map(|v| v.name.clone()).collect();
+    let names: Vec<String> = problem
+        .arith_vars()
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
     let mut comments = Vec::new();
     // Pre-declare variables so kinds and ranges survive even for variables
     // whose first definition would infer differently.
@@ -690,7 +920,12 @@ pub fn write(problem: &AbProblem) -> String {
     }
     for v in problem.arith_vars() {
         if v.range != Interval::ENTIRE {
-            comments.push(format!("range {} {} {}", v.name, v.range.lo(), v.range.hi()));
+            comments.push(format!(
+                "range {} {} {}",
+                v.name,
+                v.range.lo(),
+                v.range.hi()
+            ));
         }
     }
     dimacs::write(problem.cnf(), &comments)
@@ -733,7 +968,10 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
         assert_eq!(p.num_linear(), 4);
         assert_eq!(p.num_nonlinear(), 1);
         assert_eq!(
-            p.def(absolver_logic::Var::new(0)).unwrap().constraints.len(),
+            p.def(absolver_logic::Var::new(0))
+                .unwrap()
+                .constraints
+                .len(),
             2
         );
         // i, j are int; a, x, y real.
@@ -744,6 +982,38 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
         assert_eq!(kind("a"), VarKind::Real);
         assert_eq!(kind("x"), VarKind::Real);
         assert_eq!(kind("y"), VarKind::Real);
+    }
+
+    #[test]
+    fn source_map_locates_directives_and_clauses() {
+        let (p, map) = parse_spanned(PAPER_EXAMPLE).unwrap();
+        assert_eq!(p.num_defs(), 4);
+        assert_eq!(map.declared_vars, Some(4));
+        assert_eq!(map.clause_spans.len(), 3);
+        assert_eq!(map.clause_spans[0], Span::new(2, 1));
+        assert_eq!(map.clause_spans[2], Span::new(4, 1));
+        assert_eq!(map.def_sites.len(), 5);
+        // Line 5 `c def int 1 i >= 0`: directive text starts at column 3.
+        assert_eq!(map.def_sites[0].span, Span::new(5, 3));
+        assert_eq!(map.def_sites[0].var, 0);
+        assert_eq!(map.def_sites[0].constraint, 0);
+        // The second def on variable 1 contributes constraint index 1.
+        assert_eq!(map.def_sites[1].var, 0);
+        assert_eq!(map.def_sites[1].constraint, 1);
+        assert!(map.range_sites.is_empty());
+        assert!(map.var_sites.is_empty());
+    }
+
+    #[test]
+    fn source_map_records_ranges_and_vars() {
+        let text = "p cnf 1 1\n1 0\nc var real x\nc range x -2 7\n";
+        let (p, map) = parse_spanned(text).unwrap();
+        let x = p.arith_var("x").unwrap();
+        assert_eq!(map.var_sites, vec![(x, Span::new(3, 3))]);
+        assert_eq!(map.range_sites.len(), 1);
+        let site = &map.range_sites[0];
+        assert_eq!((site.var, site.lo, site.hi), (x, -2.0, 7.0));
+        assert_eq!(site.span, Span::new(4, 3));
     }
 
     #[test]
@@ -801,21 +1071,117 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
     #[test]
     fn parse_errors() {
         // Bad keyword.
-        assert!("p cnf 1 1\n1 0\nc def bool 1 x >= 0\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc def bool 1 x >= 0\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Bad variable number.
-        assert!("p cnf 1 1\n1 0\nc def int 0 x >= 0\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc def int 0 x >= 0\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Missing operator.
-        assert!("p cnf 1 1\n1 0\nc def int 1 x + 1\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc def int 1 x + 1\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Trailing garbage.
-        assert!("p cnf 1 1\n1 0\nc def int 1 x >= 0 0\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc def int 1 x >= 0 0\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Unbalanced parenthesis.
-        assert!("p cnf 1 1\n1 0\nc def int 1 ( x >= 0\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc def int 1 ( x >= 0\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Unknown character.
-        assert!("p cnf 1 1\n1 0\nc def int 1 x ? 0\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc def int 1 x ? 0\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Range before definition of the variable.
-        assert!("p cnf 1 1\n1 0\nc range x 0 1\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc range x 0 1\n"
+            .parse::<AbProblem>()
+            .is_err());
         // Empty range.
-        assert!("p cnf 1 1\n1 0\nc var real x\nc range x 2 1\n".parse::<AbProblem>().is_err());
+        assert!("p cnf 1 1\n1 0\nc var real x\nc range x 2 1\n"
+            .parse::<AbProblem>()
+            .is_err());
+    }
+
+    /// One regression test per error variant: every parse error must name
+    /// the exact line and column of the offending token.
+    #[test]
+    fn parse_error_spans_name_line_and_column() {
+        let span_of = |text: &str| {
+            let err = text.parse::<AbProblem>().unwrap_err();
+            let span = err
+                .span()
+                .unwrap_or_else(|| panic!("error for {text:?} has no span: {err}"));
+            assert!(
+                err.to_string().contains("line"),
+                "Display must show the span: {err}"
+            );
+            (span.line, span.col)
+        };
+        // --- DIMACS-level errors (column via ParseDimacsError) ---
+        // Duplicate problem line (line 2, at the `p`).
+        assert_eq!(span_of("p cnf 1 1\np cnf 1 1\n1 0\n"), (2, 1));
+        // Wrong format keyword: `dnf` at column 3.
+        assert_eq!(span_of("p dnf 1 1\n1 0\n"), (1, 3));
+        // Bad variable count at column 7.
+        assert_eq!(span_of("p cnf x 1\n1 0\n"), (1, 7));
+        // Bad clause count at column 9.
+        assert_eq!(span_of("p cnf 1 y\n1 0\n"), (1, 9));
+        // Invalid clause literal at line 2, column 3.
+        assert_eq!(span_of("p cnf 1 1\n1 a 0\n"), (2, 3));
+        // --- Directive-level errors ---
+        // `c def bool …`: bad kind keyword at column 7 of line 3.
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def bool 1 x >= 0\n"), (3, 7));
+        // `c def int 0 …`: bad Boolean variable number at column 11.
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 0 x >= 0\n"), (3, 11));
+        // Missing constraint body: reported at the end of the directive.
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1\n"), (3, 12));
+        // Bad numeric literal `1.2.3` at column 13.
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 1.2.3 >= 0\n"), (3, 13));
+        // Unexpected character `?` at column 15.
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 x ? 0\n"), (3, 15));
+        // Power exponent out of range (the oversized number, column 17).
+        assert_eq!(
+            span_of("p cnf 1 1\n1 0\nc def int 1 x ^ 99999999999999999999 >= 0\n"),
+            (3, 17)
+        );
+        // Non-integer exponent (`y`, column 17).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 x ^ y >= 0\n"), (3, 17));
+        // Unbalanced parenthesis: `expected )` at the `>=` (column 17).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 ( x >= 0\n"), (3, 17));
+        // `expected expression` at the dangling `>=` (column 17).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 x + >= 0\n"), (3, 17));
+        // Missing comparison operator: reported at end of body (column 18).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 x + 1\n"), (3, 18));
+        // Trailing tokens after the comparison (second `0`, column 20).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc def int 1 x >= 0 0\n"), (3, 20));
+        // --- range/var directive errors ---
+        // Wrong arity: whole directive flagged (column 3).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc range x 0\n"), (3, 3));
+        // Unknown range variable `x` at column 9.
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc range x 0 1\n"), (3, 9));
+        // Bad lower bound `lo` at column 11.
+        assert_eq!(
+            span_of("p cnf 1 1\n1 0\nc var real x\nc range x lo 1\n"),
+            (4, 11)
+        );
+        // Bad upper bound `hi` at column 13.
+        assert_eq!(
+            span_of("p cnf 1 1\n1 0\nc var real x\nc range x 0 hi\n"),
+            (4, 13)
+        );
+        // Empty range: flagged at the lower bound (column 11).
+        assert_eq!(
+            span_of("p cnf 1 1\n1 0\nc var real x\nc range x 2 1\n"),
+            (4, 11)
+        );
+        // Bad var line arity (column 3).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc var real\n"), (3, 3));
+        // Bad kind in var line (`bool`, column 7).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc var bool x\n"), (3, 7));
+        // Near-miss directive: first word flagged (column 3).
+        assert_eq!(span_of("p cnf 1 1\n1 0\nc dff int 1 i >= 0\n"), (3, 3));
     }
 
     #[test]
@@ -862,7 +1228,9 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
     #[test]
     fn tokenizer_handles_dense_and_spaced_input() {
         let dense: AbProblem = "p cnf 1 1\n1 0\nc def int 1 2*i+j<10\n".parse().unwrap();
-        let spaced: AbProblem = "p cnf 1 1\n1 0\nc def int 1 2 * i + j < 10\n".parse().unwrap();
+        let spaced: AbProblem = "p cnf 1 1\n1 0\nc def int 1 2 * i + j < 10\n"
+            .parse()
+            .unwrap();
         let (_, d1) = dense.defs().next().unwrap();
         let (_, d2) = spaced.defs().next().unwrap();
         for p in [[0.0, 0.0], [4.0, 1.0], [5.0, 0.0], [4.5, 1.0]] {

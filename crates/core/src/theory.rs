@@ -73,7 +73,12 @@ pub struct TheoryBudget {
 
 impl Default for TheoryBudget {
     fn default() -> Self {
-        TheoryBudget { max_nodes: 50_000, max_nl_splits: 16, deadline: None, cancel: None }
+        TheoryBudget {
+            max_nodes: 50_000,
+            max_nl_splits: 16,
+            deadline: None,
+            cancel: None,
+        }
     }
 }
 
@@ -122,7 +127,10 @@ impl IncrementalLinear {
     /// Wraps a fresh assertion stack (see
     /// [`crate::backends::LinearBackend::make_stack`]).
     pub fn new(stack: AssertionStack) -> IncrementalLinear {
-        IncrementalLinear { stack, base: Vec::new() }
+        IncrementalLinear {
+            stack,
+            base: Vec::new(),
+        }
     }
 
     /// The underlying stack, for its effort counters (pivots, checks,
@@ -134,7 +142,12 @@ impl IncrementalLinear {
 
 impl std::fmt::Debug for IncrementalLinear {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IncrementalLinear(rows={}, checks={})", self.base.len(), self.stack.checks())
+        write!(
+            f,
+            "IncrementalLinear(rows={}, checks={})",
+            self.base.len(),
+            self.stack.checks()
+        )
     }
 }
 
@@ -261,7 +274,14 @@ pub fn check(items: &[TheoryItem], ctx: &mut TheoryContext<'_>) -> TheoryVerdict
     if let Some(sink) = ctx.sink.filter(|s| s.enabled()) {
         sink.emit(
             &TraceEvent::new("phase.linear")
-                .field("start", if ctx.lin_activity.warm { "warm" } else { "cold" })
+                .field(
+                    "start",
+                    if ctx.lin_activity.warm {
+                        "warm"
+                    } else {
+                        "cold"
+                    },
+                )
                 .field_u64("reused_rows", ctx.lin_activity.reused)
                 .field_u64("pushed_rows", ctx.lin_activity.pushed)
                 .duration(lin_elapsed),
@@ -340,10 +360,7 @@ fn solve_linear_incremental(
     // check's rows, pop everything past it, push only the new suffix.
     let desired = &norm.lin_asserts;
     let mut prefix = 0;
-    while prefix < inc.base.len()
-        && prefix < desired.len()
-        && inc.base[prefix] == desired[prefix]
-    {
+    while prefix < inc.base.len() && prefix < desired.len() && inc.base[prefix] == desired[prefix] {
         prefix += 1;
     }
     inc.stack.pop_to(prefix);
@@ -406,16 +423,10 @@ fn rec_linear_inc(
     // fractional value.
     for (v, kind) in ctx.kinds.iter().enumerate() {
         if *kind == VarKind::Int && !model[v].is_integer() {
-            let below = LinearConstraint::new(
-                LinExpr::var(v),
-                CmpOp::Le,
-                Rational::from(model[v].floor()),
-            );
-            let above = LinearConstraint::new(
-                LinExpr::var(v),
-                CmpOp::Ge,
-                Rational::from(model[v].ceil()),
-            );
+            let below =
+                LinearConstraint::new(LinExpr::var(v), CmpOp::Le, Rational::from(model[v].floor()));
+            let above =
+                LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::from(model[v].ceil()));
             return branch_inc(inc, [below, above], diseqs, ctx, nodes, None);
         }
     }
@@ -513,17 +524,20 @@ fn rec_linear(
     // fractional value.
     for (v, kind) in ctx.kinds.iter().enumerate() {
         if *kind == VarKind::Int && !model[v].is_integer() {
-            let below = LinearConstraint::new(
-                LinExpr::var(v),
-                CmpOp::Le,
-                Rational::from(model[v].floor()),
+            let below =
+                LinearConstraint::new(LinExpr::var(v), CmpOp::Le, Rational::from(model[v].floor()));
+            let above =
+                LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::from(model[v].ceil()));
+            return branch(
+                constraints,
+                [below, above],
+                base_len,
+                tags,
+                diseqs,
+                ctx,
+                nodes,
+                None,
             );
-            let above = LinearConstraint::new(
-                LinExpr::var(v),
-                CmpOp::Ge,
-                Rational::from(model[v].ceil()),
-            );
-            return branch(constraints, [below, above], base_len, tags, diseqs, ctx, nodes, None);
         }
     }
 
@@ -532,7 +546,16 @@ fn rec_linear(
         if &lin.eval(&model) == rhs {
             let lt = LinearConstraint::new(lin.clone(), CmpOp::Lt, rhs.clone());
             let gt = LinearConstraint::new(lin.clone(), CmpOp::Gt, rhs.clone());
-            return branch(constraints, [lt, gt], base_len, tags, diseqs, ctx, nodes, Some(*tag));
+            return branch(
+                constraints,
+                [lt, gt],
+                base_len,
+                tags,
+                diseqs,
+                ctx,
+                nodes,
+                Some(*tag),
+            );
         }
     }
 
@@ -698,7 +721,11 @@ mod tests {
     }
 
     fn item(tag: usize, c: NlConstraint, positive: bool) -> TheoryItem {
-        TheoryItem { tag, constraint: Arc::new(c), positive }
+        TheoryItem {
+            tag,
+            constraint: Arc::new(c),
+            positive,
+        }
     }
 
     fn run(items: &[TheoryItem], kinds: Vec<VarKind>, ranges: Vec<Interval>) -> TheoryVerdict {
@@ -746,7 +773,10 @@ mod tests {
     }
 
     fn reals(n: usize) -> (Vec<VarKind>, Vec<Interval>) {
-        (vec![VarKind::Real; n], vec![Interval::new(-100.0, 100.0); n])
+        (
+            vec![VarKind::Real; n],
+            vec![Interval::new(-100.0, 100.0); n],
+        )
     }
 
     fn ints(n: usize) -> (Vec<VarKind>, Vec<Interval>) {
@@ -758,7 +788,11 @@ mod tests {
         let (k, r) = reals(2);
         let c1 = NlConstraint::new(Expr::var(0) + Expr::var(1), CmpOp::Le, q(5));
         let c2 = NlConstraint::new(Expr::var(0), CmpOp::Ge, q(1));
-        let sat = run(&[item(0, c1.clone(), true), item(1, c2.clone(), true)], k.clone(), r.clone());
+        let sat = run(
+            &[item(0, c1.clone(), true), item(1, c2.clone(), true)],
+            k.clone(),
+            r.clone(),
+        );
         match sat {
             TheoryVerdict::Sat(ArithModel::Exact(m)) => {
                 assert!(&m[0] + &m[1] <= q(5));
@@ -800,7 +834,11 @@ mod tests {
         let le3 = NlConstraint::new(Expr::var(0), CmpOp::Le, q(3));
         let ge2 = NlConstraint::new(Expr::var(0), CmpOp::Ge, q(2));
         let eq2 = NlConstraint::new(Expr::var(0), CmpOp::Eq, q(2));
-        match run(&[item(0, le3, true), item(1, ge2, true), item(2, eq2, false)], k, r) {
+        match run(
+            &[item(0, le3, true), item(1, ge2, true), item(2, eq2, false)],
+            k,
+            r,
+        ) {
             TheoryVerdict::Sat(ArithModel::Exact(m)) => assert_ne!(m[0], q(2)),
             other => panic!("{other:?}"),
         }
@@ -811,7 +849,10 @@ mod tests {
         // 2x = 3 has no integer solution (x = 3/2 over ℚ).
         let (k, r) = ints(1);
         let c = NlConstraint::new(Expr::int(2) * Expr::var(0), CmpOp::Eq, q(3));
-        assert_eq!(run(&[item(0, c, true)], k, r), TheoryVerdict::Unsat(vec![0]));
+        assert_eq!(
+            run(&[item(0, c, true)], k, r),
+            TheoryVerdict::Unsat(vec![0])
+        );
         // 1 ≤ x ≤ 2 ∧ x ≠ 1 ∧ x ≠ 2 has no integer solution either.
         let (k, r) = ints(1);
         let items = vec![
@@ -831,8 +872,16 @@ mod tests {
         // 2 ≤ 3x ≤ 7 → x = 1 or 2.
         let (k, r) = ints(1);
         let items = vec![
-            item(0, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Ge, q(2)), true),
-            item(1, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Le, q(7)), true),
+            item(
+                0,
+                NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Ge, q(2)),
+                true,
+            ),
+            item(
+                1,
+                NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Le, q(7)),
+                true,
+            ),
         ];
         match run(&items, k, r) {
             TheoryVerdict::Sat(ArithModel::Exact(m)) => {
@@ -878,7 +927,11 @@ mod tests {
         let items = vec![
             item(0, NlConstraint::new(Expr::var(0), CmpOp::Ge, q(-1)), true),
             item(1, NlConstraint::new(Expr::var(0), CmpOp::Le, q(1)), true),
-            item(2, NlConstraint::new(Expr::var(0).pow(2), CmpOp::Le, q(4)), false),
+            item(
+                2,
+                NlConstraint::new(Expr::var(0).pow(2), CmpOp::Le, q(4)),
+                false,
+            ),
         ];
         match run(&items, k, r) {
             TheoryVerdict::Unsat(_) => {}
@@ -897,8 +950,16 @@ mod tests {
         let queries: Vec<Vec<TheoryItem>> = vec![
             // 2 ≤ 3x ≤ 7: sat with integral witness.
             vec![
-                item(0, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Ge, q(2)), true),
-                item(1, NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Le, q(7)), true),
+                item(
+                    0,
+                    NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Ge, q(2)),
+                    true,
+                ),
+                item(
+                    1,
+                    NlConstraint::new(Expr::int(3) * Expr::var(0), CmpOp::Le, q(7)),
+                    true,
+                ),
             ],
             // Same prefix, extra diseqs: 1 ≤ x ≤ 2 ∧ x ≠ 1 ∧ x ≠ 2 unsat.
             vec![
@@ -913,7 +974,11 @@ mod tests {
                 item(1, NlConstraint::new(Expr::var(0), CmpOp::Le, q(2)), true),
             ],
             // 2x = 3: no integer solution.
-            vec![item(0, NlConstraint::new(Expr::int(2) * Expr::var(0), CmpOp::Eq, q(3)), true)],
+            vec![item(
+                0,
+                NlConstraint::new(Expr::int(2) * Expr::var(0), CmpOp::Eq, q(3)),
+                true,
+            )],
         ];
         for items in &queries {
             let scratch = run(items, k.clone(), r.clone());

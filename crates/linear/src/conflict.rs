@@ -76,7 +76,10 @@ fn deletion_filter(constraints: &[LinearConstraint], mut core: Vec<usize>) -> (V
                 // Candidate position j maps back to core position j (+1 past i).
                 // Necessary members survive (see above), so positions < i
                 // keep their indices and `i` stays valid.
-                debug_assert!(sub.windows(2).all(|w| w[0] < w[1]), "certificate not sorted");
+                debug_assert!(
+                    sub.windows(2).all(|w| w[0] < w[1]),
+                    "certificate not sorted"
+                );
                 core = sub
                     .into_iter()
                     .map(|j| core[if j < i { j } else { j + 1 }])
@@ -116,10 +119,10 @@ mod tests {
     #[test]
     fn filters_irrelevant_constraints() {
         let cs = [
-            c(&[(1, 1)], CmpOp::Ge, 0),       // irrelevant
-            c(&[(0, 1)], CmpOp::Ge, 5),       // core
-            c(&[(1, 1)], CmpOp::Le, 100),     // irrelevant
-            c(&[(0, 1)], CmpOp::Le, 3),       // core
+            c(&[(1, 1)], CmpOp::Ge, 0),   // irrelevant
+            c(&[(0, 1)], CmpOp::Ge, 5),   // core
+            c(&[(1, 1)], CmpOp::Le, 100), // irrelevant
+            c(&[(0, 1)], CmpOp::Le, 3),   // core
         ];
         assert_eq!(minimal_infeasible_subset(&cs), Some(vec![1, 3]));
     }

@@ -93,7 +93,9 @@ impl LinExpr {
 
     /// The expression `1·x`.
     pub fn var(x: VarId) -> LinExpr {
-        LinExpr { terms: vec![(x, Rational::one())] }
+        LinExpr {
+            terms: vec![(x, Rational::one())],
+        }
     }
 
     /// Builds an expression from `(variable, coefficient)` pairs, combining
@@ -226,7 +228,11 @@ impl LinearConstraint {
     /// for `<, ≤, >, ≥`, two — `< ∨ >` — for `=`, following Sec. 1).
     pub fn negate(&self) -> Vec<LinearConstraint> {
         match self.op.negate() {
-            Some(op) => vec![LinearConstraint::new(self.expr.clone(), op, self.rhs.clone())],
+            Some(op) => vec![LinearConstraint::new(
+                self.expr.clone(),
+                op,
+                self.rhs.clone(),
+            )],
             None => vec![
                 LinearConstraint::new(self.expr.clone(), CmpOp::Lt, self.rhs.clone()),
                 LinearConstraint::new(self.expr.clone(), CmpOp::Gt, self.rhs.clone()),
@@ -316,8 +322,7 @@ mod tests {
         // For any value, exactly one of {c, neg[0], neg[1]} holds.
         for v in [q(4, 1), q(5, 1), q(6, 1)] {
             let vals = vec![v];
-            let holds =
-                [c.eval(&vals), neg[0].eval(&vals), neg[1].eval(&vals)];
+            let holds = [c.eval(&vals), neg[0].eval(&vals), neg[1].eval(&vals)];
             assert_eq!(holds.iter().filter(|&&b| b).count(), 1);
         }
     }

@@ -66,7 +66,8 @@ mod proptests {
     fn constraint_gen(num_vars: usize) -> Gen<LinearConstraint> {
         let var = gen::ints(0..num_vars);
         let coeff = gen::ints(-4i64..=4);
-        let term = Gen::new(move |src| (var.generate(src), Rational::from_int(coeff.generate(src))));
+        let term =
+            Gen::new(move |src| (var.generate(src), Rational::from_int(coeff.generate(src))));
         let terms = gen::vec_of(term, 1..4);
         let op = gen::from_slice(&[CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt, CmpOp::Eq]);
         let rhs = gen::ints(-6i64..=6);
@@ -98,8 +99,16 @@ mod proptests {
         // Box the variables so the LP is bounded.
         let mut all = cs.to_vec();
         for v in 0..2 {
-            all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Ge, Rational::from_int(-8)));
-            all.push(LinearConstraint::new(LinExpr::var(v), CmpOp::Le, Rational::from_int(8)));
+            all.push(LinearConstraint::new(
+                LinExpr::var(v),
+                CmpOp::Ge,
+                Rational::from_int(-8),
+            ));
+            all.push(LinearConstraint::new(
+                LinExpr::var(v),
+                CmpOp::Le,
+                Rational::from_int(8),
+            ));
         }
         let objective = LinExpr::from_terms([
             (0usize, Rational::from_int(c0)),

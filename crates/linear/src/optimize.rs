@@ -159,9 +159,12 @@ mod tests {
         // max x + y s.t. x + 2y ≤ 14, 3x − y ≥ 0, x − y ≤ 2 → optimum at
         // (6, 4) with value 10.
         let mut s = Simplex::with_vars(2);
-        s.assert_constraint(&c(&[(0, 1), (1, 2)], CmpOp::Le, 14)).unwrap();
-        s.assert_constraint(&c(&[(0, 3), (1, -1)], CmpOp::Ge, 0)).unwrap();
-        s.assert_constraint(&c(&[(0, 1), (1, -1)], CmpOp::Le, 2)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 2)], CmpOp::Le, 14))
+            .unwrap();
+        s.assert_constraint(&c(&[(0, 3), (1, -1)], CmpOp::Ge, 0))
+            .unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, -1)], CmpOp::Le, 2))
+            .unwrap();
         match s.maximize(&expr(&[(0, 1), (1, 1)])) {
             OptOutcome::Optimal { value, model } => {
                 assert_eq!(value, QDelta::real(q(10)));
@@ -188,7 +191,8 @@ mod tests {
     fn unbounded_through_combination() {
         // max x + y s.t. x − y = 0: the ray x = y → ∞ is feasible.
         let mut s = Simplex::with_vars(2);
-        s.assert_constraint(&c(&[(0, 1), (1, -1)], CmpOp::Eq, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, -1)], CmpOp::Eq, 0))
+            .unwrap();
         assert_eq!(s.maximize(&expr(&[(0, 1), (1, 1)])), OptOutcome::Unbounded);
     }
 
@@ -198,7 +202,8 @@ mod tests {
         let mut s = Simplex::with_vars(2);
         s.assert_constraint(&c(&[(0, 1)], CmpOp::Ge, 2)).unwrap();
         s.assert_constraint(&c(&[(1, 1)], CmpOp::Ge, 2)).unwrap();
-        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 3)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 3))
+            .unwrap();
         match s.maximize(&expr(&[(0, 1)])) {
             OptOutcome::Infeasible(core) => assert_eq!(core, vec![0, 1, 2]),
             other => panic!("{other:?}"),
@@ -228,7 +233,8 @@ mod tests {
             s.assert_constraint(&c(&[(v, 1)], CmpOp::Ge, 0)).unwrap();
             s.assert_constraint(&c(&[(v, 1)], CmpOp::Le, 4)).unwrap();
         }
-        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 6)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 6))
+            .unwrap();
         match s.minimize(&expr(&[(0, 2), (1, -3)])) {
             OptOutcome::Optimal { value, model } => {
                 assert_eq!(value, QDelta::real(q(-12)));
@@ -264,9 +270,12 @@ mod tests {
         for v in 0..3 {
             s.assert_constraint(&c(&[(v, 1)], CmpOp::Ge, 0)).unwrap();
         }
-        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 0)).unwrap();
-        s.assert_constraint(&c(&[(1, 1), (2, 1)], CmpOp::Le, 0)).unwrap();
-        s.assert_constraint(&c(&[(0, 1), (2, 1)], CmpOp::Le, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 0))
+            .unwrap();
+        s.assert_constraint(&c(&[(1, 1), (2, 1)], CmpOp::Le, 0))
+            .unwrap();
+        s.assert_constraint(&c(&[(0, 1), (2, 1)], CmpOp::Le, 0))
+            .unwrap();
         match s.maximize(&expr(&[(0, 1), (1, 1), (2, 1)])) {
             OptOutcome::Optimal { value, .. } => assert_eq!(value, QDelta::real(q(0))),
             other => panic!("{other:?}"),

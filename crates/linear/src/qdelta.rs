@@ -29,17 +29,26 @@ impl QDelta {
 
     /// A purely real value.
     pub fn real(r: Rational) -> QDelta {
-        QDelta { real: r, delta: Rational::zero() }
+        QDelta {
+            real: r,
+            delta: Rational::zero(),
+        }
     }
 
     /// `r - δ` (used for strict upper bounds `x < r`).
     pub fn just_below(r: Rational) -> QDelta {
-        QDelta { real: r, delta: -Rational::one() }
+        QDelta {
+            real: r,
+            delta: -Rational::one(),
+        }
     }
 
     /// `r + δ` (used for strict lower bounds `x > r`).
     pub fn just_above(r: Rational) -> QDelta {
-        QDelta { real: r, delta: Rational::one() }
+        QDelta {
+            real: r,
+            delta: Rational::one(),
+        }
     }
 
     /// Returns `true` if both parts are zero.
@@ -54,7 +63,10 @@ impl QDelta {
 
     /// Scales by a rational factor.
     pub fn scale(&self, k: &Rational) -> QDelta {
-        QDelta { real: &self.real * k, delta: &self.delta * k }
+        QDelta {
+            real: &self.real * k,
+            delta: &self.delta * k,
+        }
     }
 }
 
@@ -88,21 +100,30 @@ impl Ord for QDelta {
 impl Add for &QDelta {
     type Output = QDelta;
     fn add(self, rhs: &QDelta) -> QDelta {
-        QDelta { real: &self.real + &rhs.real, delta: &self.delta + &rhs.delta }
+        QDelta {
+            real: &self.real + &rhs.real,
+            delta: &self.delta + &rhs.delta,
+        }
     }
 }
 
 impl Sub for &QDelta {
     type Output = QDelta;
     fn sub(self, rhs: &QDelta) -> QDelta {
-        QDelta { real: &self.real - &rhs.real, delta: &self.delta - &rhs.delta }
+        QDelta {
+            real: &self.real - &rhs.real,
+            delta: &self.delta - &rhs.delta,
+        }
     }
 }
 
 impl Neg for &QDelta {
     type Output = QDelta;
     fn neg(self) -> QDelta {
-        QDelta { real: -&self.real, delta: -&self.delta }
+        QDelta {
+            real: -&self.real,
+            delta: -&self.delta,
+        }
     }
 }
 
@@ -170,9 +191,27 @@ mod tests {
         let s = &a + &b;
         assert_eq!(s, QDelta::real(q(3, 1))); // δs cancel
         let d = &b - &a;
-        assert_eq!(d, QDelta { real: q(1, 1), delta: q(-2, 1) });
-        assert_eq!(-&a, QDelta { real: q(-1, 1), delta: q(-1, 1) });
-        assert_eq!(a.scale(&q(2, 1)), QDelta { real: q(2, 1), delta: q(2, 1) });
+        assert_eq!(
+            d,
+            QDelta {
+                real: q(1, 1),
+                delta: q(-2, 1)
+            }
+        );
+        assert_eq!(
+            -&a,
+            QDelta {
+                real: q(-1, 1),
+                delta: q(-1, 1)
+            }
+        );
+        assert_eq!(
+            a.scale(&q(2, 1)),
+            QDelta {
+                real: q(2, 1),
+                delta: q(2, 1)
+            }
+        );
     }
 
     #[test]

@@ -215,7 +215,10 @@ impl Simplex {
         }
         self.value[s] = beta;
         self.basic_row[s] = Some(self.rows.len());
-        self.rows.push(Row { basic: s, expr: row_expr });
+        self.rows.push(Row {
+            basic: s,
+            expr: row_expr,
+        });
         self.slack_of.insert(canon, s);
         (s, lead)
     }
@@ -291,7 +294,10 @@ impl Simplex {
                 }
             }
             self.undo.push(Undo::SetLower(var, self.lower[var].take()));
-            self.lower[var] = Some(Bound { value: bound.clone(), reason });
+            self.lower[var] = Some(Bound {
+                value: bound.clone(),
+                reason,
+            });
             if self.basic_row[var].is_none() && self.value[var] < bound {
                 self.update_nonbasic(var, bound);
             }
@@ -310,7 +316,10 @@ impl Simplex {
                 }
             }
             self.undo.push(Undo::SetUpper(var, self.upper[var].take()));
-            self.upper[var] = Some(Bound { value: bound.clone(), reason });
+            self.upper[var] = Some(Bound {
+                value: bound.clone(),
+                reason,
+            });
             if self.basic_row[var].is_none() && self.value[var] > bound {
                 self.update_nonbasic(var, bound);
             }
@@ -348,10 +357,9 @@ impl Simplex {
                     }
                 }
                 if let Some(u) = &self.upper[x] {
-                    if self.value[x] > u.value
-                        && violating.is_none_or(|(v, _)| x < v) {
-                            violating = Some((x, false));
-                        }
+                    if self.value[x] > u.value && violating.is_none_or(|(v, _)| x < v) {
+                        violating = Some((x, false));
+                    }
                 }
             }
             let Some((xi, below)) = violating else {
@@ -448,7 +456,10 @@ impl Simplex {
         let mut new_expr = LinExpr::var(xi);
         new_expr.add_scaled(&rest, &-Rational::one());
         new_expr.scale(&aij.recip());
-        self.rows[row_idx] = Row { basic: xj, expr: new_expr.clone() };
+        self.rows[row_idx] = Row {
+            basic: xj,
+            expr: new_expr.clone(),
+        };
         self.basic_row[xi] = None;
         self.basic_row[xj] = Some(row_idx);
 
@@ -511,11 +522,7 @@ impl Simplex {
     /// `xj`'s own (the variable stays nonbasic at its bound) or a basic
     /// variable's (pivot). Ties break toward the smallest basic id
     /// (Bland's rule).
-    pub(crate) fn push_toward(
-        &mut self,
-        xj: VarId,
-        increase: bool,
-    ) -> crate::optimize::PushResult {
+    pub(crate) fn push_toward(&mut self, xj: VarId, increase: bool) -> crate::optimize::PushResult {
         use crate::optimize::PushResult;
         // Candidate step sizes δ ≥ 0 (movement magnitude along the
         // direction), with the blocking entity.
@@ -544,7 +551,11 @@ impl Simplex {
         };
 
         // xj's own bound.
-        let own_bound = if increase { self.upper_of(xj) } else { self.lower_of(xj) };
+        let own_bound = if increase {
+            self.upper_of(xj)
+        } else {
+            self.lower_of(xj)
+        };
         if let Some(b) = own_bound {
             let slack = if increase {
                 &b - &self.value[xj]
@@ -787,8 +798,10 @@ mod tests {
     fn shared_linear_form_reuses_slack() {
         // Both constraints are bounds on the same form x + y.
         let mut s = Simplex::with_vars(2);
-        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 10)).unwrap();
-        s.assert_constraint(&c(&[(0, 2), (1, 2)], CmpOp::Ge, 4)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Le, 10))
+            .unwrap();
+        s.assert_constraint(&c(&[(0, 2), (1, 2)], CmpOp::Ge, 4))
+            .unwrap();
         assert!(s.check().is_sat());
         let m = s.model();
         let sum = &m[0] + &m[1];
@@ -828,7 +841,8 @@ mod tests {
         assert!(s.check().is_sat());
         s.push();
         // Conflict is only discoverable by pivoting, not at assert time.
-        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Lt, 0)).unwrap();
+        s.assert_constraint(&c(&[(0, 1), (1, 1)], CmpOp::Lt, 0))
+            .unwrap();
         assert!(!s.check().is_sat());
         s.pop();
         assert!(s.check().is_sat());

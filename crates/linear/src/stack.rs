@@ -338,7 +338,9 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.check(), StackResult::Sat);
         // A self-contradictory constraint reports an empty external core.
-        let err = s.push(&LinearConstraint::new(LinExpr::zero(), CmpOp::Ge, q(1))).unwrap_err();
+        let err = s
+            .push(&LinearConstraint::new(LinExpr::zero(), CmpOp::Ge, q(1)))
+            .unwrap_err();
         assert!(err.is_empty());
         assert_eq!(s.len(), 1);
     }
@@ -369,7 +371,10 @@ mod tests {
     fn repeated_pop_push_cycles_agree_with_scratch() {
         // Alternate between two bound sets many times; verdicts must
         // match one-shot checks throughout.
-        let base = vec![c(&[(0, 1), (1, 1)], CmpOp::Le, 4), c(&[(0, 1)], CmpOp::Ge, 0)];
+        let base = vec![
+            c(&[(0, 1), (1, 1)], CmpOp::Le, 4),
+            c(&[(0, 1)], CmpOp::Ge, 0),
+        ];
         let tight = c(&[(1, 1)], CmpOp::Ge, 5); // makes it infeasible
         let loose = c(&[(1, 1)], CmpOp::Ge, 1);
         let mut s = AssertionStack::new(2, true);
@@ -385,7 +390,10 @@ mod tests {
             if s.push(extra).is_ok() {
                 assert_eq!(s.check().is_sat(), expect, "round {round}");
             } else {
-                assert!(!expect, "round {round}: assert-time conflict on feasible set");
+                assert!(
+                    !expect,
+                    "round {round}: assert-time conflict on feasible set"
+                );
             }
             s.pop_to(mark);
         }
@@ -479,7 +487,10 @@ mod tests {
             let nterms = rng.gen_range(1..=3usize);
             let terms: Vec<(usize, Rational)> = (0..nterms)
                 .map(|_| {
-                    (rng.gen_range(0..num_vars), Rational::from_int(rng.gen_range(-4i64..=4)))
+                    (
+                        rng.gen_range(0..num_vars),
+                        Rational::from_int(rng.gen_range(-4i64..=4)),
+                    )
                 })
                 .collect();
             let op = match rng.gen_range(0..5u32) {

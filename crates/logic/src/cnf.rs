@@ -64,7 +64,9 @@ impl Clause {
 
 impl FromIterator<Lit> for Clause {
     fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Clause {
-        Clause { lits: iter.into_iter().collect() }
+        Clause {
+            lits: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -109,7 +111,10 @@ pub struct Cnf {
 impl Cnf {
     /// Creates an empty formula over `num_vars` variables.
     pub fn new(num_vars: usize) -> Cnf {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -195,12 +200,16 @@ pub struct Assignment {
 impl Assignment {
     /// Creates an all-unknown assignment over `num_vars` variables.
     pub fn new(num_vars: usize) -> Assignment {
-        Assignment { values: vec![Tri::Unknown; num_vars] }
+        Assignment {
+            values: vec![Tri::Unknown; num_vars],
+        }
     }
 
     /// Creates a total assignment from booleans (index = variable index).
     pub fn from_bools(values: impl IntoIterator<Item = bool>) -> Assignment {
-        Assignment { values: values.into_iter().map(Tri::from).collect() }
+        Assignment {
+            values: values.into_iter().map(Tri::from).collect(),
+        }
     }
 
     /// Number of variables covered.
@@ -215,7 +224,10 @@ impl Assignment {
 
     /// Value of a variable (`Unknown` for out-of-range variables).
     pub fn value(&self, var: Var) -> Tri {
-        self.values.get(var.index()).copied().unwrap_or(Tri::Unknown)
+        self.values
+            .get(var.index())
+            .copied()
+            .unwrap_or(Tri::Unknown)
     }
 
     /// Value of a literal under this assignment.
@@ -248,7 +260,10 @@ impl Assignment {
 
     /// Iterates over `(Var, Tri)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Var, Tri)> + '_ {
-        self.values.iter().enumerate().map(|(i, &t)| (Var::new(i as u32), t))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (Var::new(i as u32), t))
     }
 }
 
@@ -331,7 +346,10 @@ mod tests {
         let total = Assignment::from_bools([true, false]);
         assert!(total.is_total());
         let pairs: Vec<_> = total.iter().collect();
-        assert_eq!(pairs, vec![(Var::new(0), Tri::True), (Var::new(1), Tri::False)]);
+        assert_eq!(
+            pairs,
+            vec![(Var::new(0), Tri::True), (Var::new(1), Tri::False)]
+        );
     }
 
     #[test]

@@ -6,45 +6,85 @@
 //! extended format (`absolver-core`) encodes arithmetic constraint
 //! definitions in them — a plain SAT solver simply ignores them, which is
 //! exactly the backwards-compatibility trick of Sec. 1.1.
+//!
+//! Besides the formula itself, the parser records *source locations*:
+//! the line/column where each comment's text starts and the line where
+//! each clause begins. Higher layers (the extended-format parser and the
+//! static analyzer) use these to report findings with exact spans.
 
 use crate::{Clause, Cnf, Lit};
 use std::fmt;
 
 /// The result of parsing a DIMACS file: the CNF plus all comment lines (with
-/// the leading `c ` stripped), in order of appearance.
+/// the leading `c ` stripped), in order of appearance, and the source
+/// locations needed for precise downstream diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DimacsFile {
     /// The Boolean formula.
     pub cnf: Cnf,
     /// Comment lines, `c ` prefix removed, original order.
     pub comments: Vec<String>,
+    /// Per comment (parallel to [`DimacsFile::comments`]): the 1-based
+    /// line number and the 1-based column where the comment *text* (after
+    /// the `c ` marker) starts in the original input.
+    pub comment_spans: Vec<(usize, usize)>,
+    /// Per clause (parallel to `cnf.clauses()`): the 1-based line number
+    /// where the clause's first literal appears.
+    pub clause_lines: Vec<usize>,
+    /// The variable count declared in the `p cnf` header, if one was
+    /// present (the actual count may have been grown beyond it).
+    pub declared_vars: Option<usize>,
 }
 
 /// Error produced when parsing malformed DIMACS input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDimacsError {
     line: usize,
+    col: usize,
     kind: String,
 }
 
 impl ParseDimacsError {
-    fn new(line: usize, kind: impl Into<String>) -> ParseDimacsError {
-        ParseDimacsError { line, kind: kind.into() }
+    fn new(line: usize, col: usize, kind: impl Into<String>) -> ParseDimacsError {
+        ParseDimacsError {
+            line,
+            col,
+            kind: kind.into(),
+        }
     }
 
     /// 1-based line number of the offending input line.
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// 1-based column of the offending token within its line.
+    pub fn column(&self) -> usize {
+        self.col
+    }
 }
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DIMACS parse error at line {}: {}", self.line, self.kind)
+        write!(
+            f,
+            "DIMACS parse error at line {}, column {}: {}",
+            self.line, self.col, self.kind
+        )
     }
 }
 
 impl std::error::Error for ParseDimacsError {}
+
+/// Iterates over the whitespace-separated tokens of `line` together with
+/// the 1-based column where each token starts (byte-based; input is ASCII
+/// in practice).
+fn tokens_with_cols(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    line.split_whitespace().map(move |tok| {
+        let off = tok.as_ptr() as usize - line.as_ptr() as usize;
+        (off + 1, tok)
+    })
+}
 
 /// Parses DIMACS CNF text.
 ///
@@ -64,65 +104,89 @@ impl std::error::Error for ParseDimacsError {}
 /// assert_eq!(file.cnf.num_vars(), 2);
 /// assert_eq!(file.cnf.len(), 2);
 /// assert_eq!(file.comments, vec!["hello"]);
+/// assert_eq!(file.comment_spans, vec![(2, 3)]);
+/// assert_eq!(file.clause_lines, vec![3, 4]);
+/// assert_eq!(file.declared_vars, Some(2));
 /// # Ok::<(), dimacs::ParseDimacsError>(())
 /// ```
 pub fn parse(text: &str) -> Result<DimacsFile, ParseDimacsError> {
     let mut cnf = Cnf::new(0);
     let mut comments = Vec::new();
+    let mut comment_spans = Vec::new();
+    let mut clause_lines = Vec::new();
     let mut declared_vars = 0usize;
+    let mut header_vars: Option<usize> = None;
     let mut current: Vec<Lit> = Vec::new();
+    let mut current_line: Option<usize> = None;
     let mut seen_header = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
+        let indent = raw.len() - raw.trim_start().len();
         if line.is_empty() {
             continue;
         }
         if let Some(rest) = line.strip_prefix('c') {
             // `c` alone, or `c <comment>`; anything else ("cxyz") is a comment too
             // per common DIMACS practice.
+            let stripped_space = rest.starts_with(' ');
+            let text_start = indent + 1 + usize::from(stripped_space);
             comments.push(rest.strip_prefix(' ').unwrap_or(rest).to_string());
+            comment_spans.push((lineno, text_start + 1));
             continue;
         }
         if let Some(rest) = line.strip_prefix('p') {
             if seen_header {
-                return Err(ParseDimacsError::new(lineno, "duplicate problem line"));
+                return Err(ParseDimacsError::new(
+                    lineno,
+                    indent + 1,
+                    "duplicate problem line",
+                ));
             }
             seen_header = true;
-            let mut it = rest.split_whitespace();
+            let mut it = tokens_with_cols(rest);
+            // Columns below are relative to `rest`; shift by the `p` marker
+            // plus any indentation to report positions in the raw line.
+            let shift = indent + 1;
             match it.next() {
-                Some("cnf") => {}
+                Some((_, "cnf")) => {}
                 other => {
+                    let (col, word) = other.unwrap_or((rest.len() + 1, ""));
                     return Err(ParseDimacsError::new(
                         lineno,
-                        format!("expected `p cnf`, found `p {}`", other.unwrap_or("")),
-                    ))
+                        col + shift,
+                        format!("expected `p cnf`, found `p {word}`"),
+                    ));
                 }
             }
-            declared_vars = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError::new(lineno, "bad variable count"))?;
-            let _declared_clauses: usize = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError::new(lineno, "bad clause count"))?;
+            let (vars_col, vars_tok) = it.next().unwrap_or((rest.len() + 1, ""));
+            declared_vars = vars_tok.parse().map_err(|_| {
+                ParseDimacsError::new(lineno, vars_col + shift, "bad variable count")
+            })?;
+            header_vars = Some(declared_vars);
+            let (clauses_col, clauses_tok) = it.next().unwrap_or((rest.len() + 1, ""));
+            let _declared_clauses: usize = clauses_tok.parse().map_err(|_| {
+                ParseDimacsError::new(lineno, clauses_col + shift, "bad clause count")
+            })?;
             continue;
         }
-        for tok in line.split_whitespace() {
+        for (col, tok) in tokens_with_cols(raw) {
             let v: i32 = tok.parse().map_err(|_| {
-                ParseDimacsError::new(lineno, format!("invalid literal `{tok}`"))
+                ParseDimacsError::new(lineno, col, format!("invalid literal `{tok}`"))
             })?;
             if v == 0 {
                 cnf.add_clause(Clause::new(std::mem::take(&mut current)));
+                clause_lines.push(current_line.take().unwrap_or(lineno));
             } else {
                 current.push(Lit::from_dimacs(v));
+                current_line.get_or_insert(lineno);
             }
         }
     }
     if !current.is_empty() {
         cnf.add_clause(Clause::new(current));
+        clause_lines.push(current_line.unwrap_or(1));
     }
     if cnf.num_vars() < declared_vars {
         // Honour declared count even if trailing variables are unused.
@@ -131,7 +195,13 @@ pub fn parse(text: &str) -> Result<DimacsFile, ParseDimacsError> {
             cnf.fresh_var();
         }
     }
-    Ok(DimacsFile { cnf, comments })
+    Ok(DimacsFile {
+        cnf,
+        comments,
+        comment_spans,
+        clause_lines,
+        declared_vars: header_vars,
+    })
 }
 
 /// Renders a CNF in DIMACS format, with optional comment lines placed after
@@ -178,6 +248,8 @@ mod tests {
         assert_eq!(f.cnf.len(), 2);
         assert_eq!(f.cnf.clauses()[0].len(), 3);
         assert_eq!(f.cnf.clauses()[1].lits()[0], Lit::from_dimacs(-1));
+        assert_eq!(f.clause_lines, vec![2, 3]);
+        assert_eq!(f.declared_vars, Some(3));
     }
 
     #[test]
@@ -185,18 +257,31 @@ mod tests {
         let f = parse("1 2\n3 0 -1 0").unwrap();
         assert_eq!(f.cnf.len(), 2);
         assert_eq!(f.cnf.num_vars(), 3);
+        // A multi-line clause is located at its first literal.
+        assert_eq!(f.clause_lines, vec![1, 2]);
+        assert_eq!(f.declared_vars, None);
     }
 
     #[test]
     fn parse_collects_comments() {
         let f = parse("c first\np cnf 1 1\nc def int 1 i >= 0\n1 0\nc\n").unwrap();
         assert_eq!(f.comments, vec!["first", "def int 1 i >= 0", ""]);
+        assert_eq!(f.comment_spans, vec![(1, 3), (3, 3), (5, 2)]);
+    }
+
+    #[test]
+    fn comment_spans_account_for_indentation() {
+        let f = parse("p cnf 1 1\n  c note here\n1 0\n").unwrap();
+        assert_eq!(f.comments, vec!["note here"]);
+        // Two spaces of indent, `c`, one space: text starts at column 5.
+        assert_eq!(f.comment_spans, vec![(2, 5)]);
     }
 
     #[test]
     fn parse_grows_beyond_declared() {
         let f = parse("p cnf 1 1\n5 0\n").unwrap();
         assert_eq!(f.cnf.num_vars(), 5);
+        assert_eq!(f.declared_vars, Some(1));
     }
 
     #[test]
@@ -210,6 +295,7 @@ mod tests {
         let f = parse("p cnf 2 1\n1 2\n").unwrap();
         assert_eq!(f.cnf.len(), 1);
         assert_eq!(f.cnf.clauses()[0].len(), 2);
+        assert_eq!(f.clause_lines, vec![2]);
     }
 
     #[test]
@@ -220,7 +306,25 @@ mod tests {
         assert!(parse("p cnf 1 1\n1 a 0\n").is_err());
         let err = parse("p cnf 1 1\np cnf 1 1\n").unwrap_err();
         assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 1);
         assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn parse_errors_carry_columns() {
+        // Wrong format keyword: `dnf` starts at column 3.
+        let err = parse("p dnf 1 1\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 3));
+        // Bad variable count at column 7.
+        let err = parse("p cnf x 1\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 7));
+        // Missing clause count: reported past the end of the line.
+        let err = parse("p cnf 1\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.column() > 7);
+        // Bad literal `a` at line 2, column 3.
+        let err = parse("p cnf 1 1\n1 a 0\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (2, 3));
     }
 
     #[test]

@@ -42,12 +42,18 @@ pub struct ConvertOptions {
 impl ConvertOptions {
     /// Reachability query for `output` with range assumptions on.
     pub fn reachable(output: &str) -> ConvertOptions {
-        ConvertOptions { query: Query::Reachable(output.to_string()), assume_ranges: true }
+        ConvertOptions {
+            query: Query::Reachable(output.to_string()),
+            assume_ranges: true,
+        }
     }
 
     /// Falsification query for `output` with range assumptions on.
     pub fn falsifiable(output: &str) -> ConvertOptions {
-        ConvertOptions { query: Query::Falsifiable(output.to_string()), assume_ranges: true }
+        ConvertOptions {
+            query: Query::Falsifiable(output.to_string()),
+            assume_ranges: true,
+        }
     }
 }
 
@@ -78,7 +84,10 @@ impl std::error::Error for ConvertError {}
 /// Converts a diagram to a LUSTRE node plus the physical ranges of its
 /// numeric inputs (which LUSTRE itself cannot carry).
 pub fn diagram_to_lustre(diagram: &Diagram) -> (LustreNode, HashMap<String, Interval>) {
-    let mut node = LustreNode { name: "model".to_string(), ..LustreNode::default() };
+    let mut node = LustreNode {
+        name: "model".to_string(),
+        ..LustreNode::default()
+    };
     let mut ranges = HashMap::new();
     let mut flow: Vec<String> = Vec::with_capacity(diagram.len());
 
@@ -90,7 +99,11 @@ pub fn diagram_to_lustre(diagram: &Diagram) -> (LustreNode, HashMap<String, Inte
             .collect();
         let name = format!("t{}", id.0);
         match block {
-            Block::Inport { name: n, kind, range } => {
+            Block::Inport {
+                name: n,
+                kind,
+                range,
+            } => {
                 let t = match kind {
                     VarKind::Int => LustreType::Int,
                     VarKind::Real => LustreType::Real,
@@ -102,7 +115,8 @@ pub fn diagram_to_lustre(diagram: &Diagram) -> (LustreNode, HashMap<String, Inte
             }
             Block::Outport { name: n } => {
                 node.outputs.push((n.clone(), LustreType::Bool));
-                node.equations.push((n.clone(), srcs.into_iter().next().unwrap()));
+                node.equations
+                    .push((n.clone(), srcs.into_iter().next().unwrap()));
                 flow.push(n.clone());
                 continue;
             }
@@ -128,11 +142,9 @@ pub fn diagram_to_lustre(diagram: &Diagram) -> (LustreNode, HashMap<String, Inte
                 let (f0, e0) = it.next().expect("product has inputs");
                 let first = match f0 {
                     Factor::Mul => e0,
-                    Factor::Div => LustreExpr::binary(
-                        BinOp::Div,
-                        LustreExpr::Num(Rational::one()),
-                        e0,
-                    ),
+                    Factor::Div => {
+                        LustreExpr::binary(BinOp::Div, LustreExpr::Num(Rational::one()), e0)
+                    }
                 };
                 let e = it.fold(first, |acc, (f, e)| match f {
                     Factor::Mul => LustreExpr::binary(BinOp::Mul, acc, e),
@@ -263,18 +275,18 @@ impl Extractor<'_> {
     fn arith(&mut self, e: &LustreExpr) -> Result<Expr, ConvertError> {
         match self.convert(e)? {
             Inlined::Arith(x) => Ok(x),
-            Inlined::Boolean(_) => {
-                Err(ConvertError::new(format!("expected numeric expression, got boolean `{e}`")))
-            }
+            Inlined::Boolean(_) => Err(ConvertError::new(format!(
+                "expected numeric expression, got boolean `{e}`"
+            ))),
         }
     }
 
     fn boolean(&mut self, e: &LustreExpr) -> Result<NodeId, ConvertError> {
         match self.convert(e)? {
             Inlined::Boolean(n) => Ok(n),
-            Inlined::Arith(_) => {
-                Err(ConvertError::new(format!("expected boolean expression, got numeric `{e}`")))
-            }
+            Inlined::Arith(_) => Err(ConvertError::new(format!(
+                "expected boolean expression, got numeric `{e}`"
+            ))),
         }
     }
 
@@ -296,7 +308,11 @@ impl Extractor<'_> {
         Ok(match e {
             LustreExpr::Num(q) => Inlined::Arith(Expr::constant(q.clone())),
             LustreExpr::Bool(b) => {
-                let t = if *b { absolver_logic::Tri::True } else { absolver_logic::Tri::False };
+                let t = if *b {
+                    absolver_logic::Tri::True
+                } else {
+                    absolver_logic::Tri::False
+                };
                 Inlined::Boolean(self.circuit.constant(t))
             }
             LustreExpr::Ident(n) => self.flow(n)?,
@@ -381,7 +397,11 @@ pub fn lustre_to_ab(
     let output_name = match &options.query {
         Query::Reachable(n) | Query::Falsifiable(n) => n.clone(),
     };
-    if !node.outputs.iter().any(|(n, t)| n == &output_name && *t == LustreType::Bool) {
+    if !node
+        .outputs
+        .iter()
+        .any(|(n, t)| n == &output_name && *t == LustreType::Bool)
+    {
         return Err(ConvertError::new(format!(
             "`{output_name}` is not a boolean output of node `{}`",
             node.name
@@ -411,7 +431,11 @@ pub fn lustre_to_ab(
                 extractor.arith_inputs.insert(name.clone(), id);
                 arith_order.push((
                     name.clone(),
-                    if *ty == LustreType::Int { VarKind::Int } else { VarKind::Real },
+                    if *ty == LustreType::Int {
+                        VarKind::Int
+                    } else {
+                        VarKind::Real
+                    },
                 ));
             }
         }
@@ -421,7 +445,9 @@ pub fn lustre_to_ab(
     let out_node = match extractor.flow(&output_name)? {
         Inlined::Boolean(n) => n,
         Inlined::Arith(_) => {
-            return Err(ConvertError::new(format!("output `{output_name}` is numeric")))
+            return Err(ConvertError::new(format!(
+                "output `{output_name}` is numeric"
+            )))
         }
     };
     let final_node = match options.query {
@@ -429,7 +455,10 @@ pub fn lustre_to_ab(
         Query::Falsifiable(_) => extractor.circuit.not(out_node),
     };
     extractor.circuit.set_output(final_node);
-    let tseitin = extractor.circuit.to_cnf().map_err(|e| ConvertError::new(e.to_string()))?;
+    let tseitin = extractor
+        .circuit
+        .to_cnf()
+        .map_err(|e| ConvertError::new(e.to_string()))?;
 
     // Assemble the AB-problem.
     let mut builder = AbProblem::builder();
@@ -458,10 +487,7 @@ pub fn lustre_to_ab(
                     let lo = Rational::from_f64(r.lo()).expect("finite");
                     let hi = Rational::from_f64(r.hi()).expect("finite");
                     let atom = builder.atom(Expr::var(v), CmpOp::Ge, lo);
-                    builder.define(
-                        atom,
-                        NlConstraint::new(Expr::var(v), CmpOp::Le, hi),
-                    );
+                    builder.define(atom, NlConstraint::new(Expr::var(v), CmpOp::Le, hi));
                     builder.require(atom.positive());
                 }
             }
@@ -475,7 +501,10 @@ pub fn lustre_to_ab(
 /// # Errors
 ///
 /// Propagates [`ConvertError`] from the extraction step.
-pub fn diagram_to_ab(diagram: &Diagram, options: &ConvertOptions) -> Result<AbProblem, ConvertError> {
+pub fn diagram_to_ab(
+    diagram: &Diagram,
+    options: &ConvertOptions,
+) -> Result<AbProblem, ConvertError> {
     let (node, ranges) = diagram_to_lustre(diagram);
     lustre_to_ab(&node, &ranges, options)
 }
@@ -493,13 +522,17 @@ mod tests {
     /// x ∈ [0, 10] real; out := (x ≥ 5) ∧ (x·x ≤ 50).
     fn small_diagram() -> Diagram {
         let mut d = Diagram::new();
-        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 10.0)).unwrap();
+        let x = d
+            .inport("x", VarKind::Real, Interval::new(0.0, 10.0))
+            .unwrap();
         let five = d.constant(q(5)).unwrap();
         let fifty = d.constant(q(50)).unwrap();
         let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, five]).unwrap();
         let sq = d.mul(x, x).unwrap();
         let le = d.add(Block::RelOp(CmpOp::Le), vec![sq, fifty]).unwrap();
-        let and = d.add(Block::Logic(crate::diagram::LogicOp::And), vec![ge, le]).unwrap();
+        let and = d
+            .add(Block::Logic(crate::diagram::LogicOp::And), vec![ge, le])
+            .unwrap();
         d.outport("ok", and).unwrap();
         d
     }
@@ -547,12 +580,16 @@ mod tests {
     fn unreachable_output_is_unsat() {
         // out := (x ≥ 5) ∧ (x ≤ 3) can never fire.
         let mut d = Diagram::new();
-        let x = d.inport("x", VarKind::Real, Interval::new(-100.0, 100.0)).unwrap();
+        let x = d
+            .inport("x", VarKind::Real, Interval::new(-100.0, 100.0))
+            .unwrap();
         let five = d.constant(q(5)).unwrap();
         let three = d.constant(q(3)).unwrap();
         let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, five]).unwrap();
         let le = d.add(Block::RelOp(CmpOp::Le), vec![x, three]).unwrap();
-        let and = d.add(Block::Logic(crate::diagram::LogicOp::And), vec![ge, le]).unwrap();
+        let and = d
+            .add(Block::Logic(crate::diagram::LogicOp::And), vec![ge, le])
+            .unwrap();
         d.outport("bad", and).unwrap();
         let problem = diagram_to_ab(&d, &ConvertOptions::reachable("bad")).unwrap();
         let mut orc = Orchestrator::with_defaults();
@@ -563,7 +600,9 @@ mod tests {
     fn property_that_always_holds() {
         // ok := x² ≥ 0 — falsification must be UNSAT (property proved).
         let mut d = Diagram::new();
-        let x = d.inport("x", VarKind::Real, Interval::new(-50.0, 50.0)).unwrap();
+        let x = d
+            .inport("x", VarKind::Real, Interval::new(-50.0, 50.0))
+            .unwrap();
         let sq = d.mul(x, x).unwrap();
         let zero = d.constant(q(0)).unwrap();
         let ge = d.add(Block::RelOp(CmpOp::Ge), vec![sq, zero]).unwrap();
@@ -577,7 +616,9 @@ mod tests {
     fn range_assumptions_constrain_witnesses() {
         // out := x ≥ 5 with x ∈ [0, 3] asserted: reachability is UNSAT.
         let mut d = Diagram::new();
-        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 3.0)).unwrap();
+        let x = d
+            .inport("x", VarKind::Real, Interval::new(0.0, 3.0))
+            .unwrap();
         let five = d.constant(q(5)).unwrap();
         let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, five]).unwrap();
         d.outport("out", ge).unwrap();

@@ -154,7 +154,9 @@ pub struct DiagramError {
 
 impl DiagramError {
     fn new(message: impl Into<String>) -> DiagramError {
-        DiagramError { message: message.into() }
+        DiagramError {
+            message: message.into(),
+        }
     }
 }
 
@@ -235,7 +237,9 @@ impl Diagram {
                 )));
             }
         } else if inputs.is_empty() {
-            return Err(DiagramError::new(format!("{block:?} needs at least one input")));
+            return Err(DiagramError::new(format!(
+                "{block:?} needs at least one input"
+            )));
         }
         for &src in &inputs {
             if src.0 >= self.blocks.len() {
@@ -252,16 +256,18 @@ impl Diagram {
             }
         }
         if let Block::Inport { name, .. } = &block {
-            if self.iter().any(
-                |(_, b)| matches!(b, Block::Inport { name: n, .. } if n == name),
-            ) {
+            if self
+                .iter()
+                .any(|(_, b)| matches!(b, Block::Inport { name: n, .. } if n == name))
+            {
                 return Err(DiagramError::new(format!("duplicate inport `{name}`")));
             }
         }
         if let Block::Outport { name } = &block {
-            if self.iter().any(
-                |(_, b)| matches!(b, Block::Outport { name: n } if n == name),
-            ) {
+            if self
+                .iter()
+                .any(|(_, b)| matches!(b, Block::Outport { name: n } if n == name))
+            {
                 return Err(DiagramError::new(format!("duplicate outport `{name}`")));
             }
         }
@@ -278,7 +284,11 @@ impl Diagram {
         range: Interval,
     ) -> Result<BlockId, DiagramError> {
         self.add(
-            Block::Inport { name: name.to_string(), kind, range },
+            Block::Inport {
+                name: name.to_string(),
+                kind,
+                range,
+            },
             Vec::new(),
         )
     }
@@ -310,7 +320,12 @@ impl Diagram {
 
     /// Convenience: adds an [`Block::Outport`] watching `src`.
     pub fn outport(&mut self, name: &str, src: BlockId) -> Result<BlockId, DiagramError> {
-        self.add(Block::Outport { name: name.to_string() }, vec![src])
+        self.add(
+            Block::Outport {
+                name: name.to_string(),
+            },
+            vec![src],
+        )
     }
 
     /// The inports, in declaration order.
@@ -375,13 +390,12 @@ impl Diagram {
                         })
                         .sum(),
                 ),
-                Block::Product(factors) => V::A(factors.iter().enumerate().fold(
-                    1.0,
-                    |acc, (k, f)| match f {
+                Block::Product(factors) => {
+                    V::A(factors.iter().enumerate().fold(1.0, |acc, (k, f)| match f {
                         Factor::Mul => acc * num(k),
                         Factor::Div => acc / num(k),
-                    },
-                )),
+                    }))
+                }
                 Block::Gain(g) => V::A(g.to_f64() * num(0)),
                 Block::Unary(f) => V::A(match f {
                     UnaryFn::Abs => num(0).abs(),
@@ -442,7 +456,9 @@ mod tests {
 
         let i_ge0 = d.add(Block::RelOp(CmpOp::Ge), vec![i, zero]).unwrap();
         let j_ge0 = d.add(Block::RelOp(CmpOp::Ge), vec![j, zero]).unwrap();
-        let both = d.add(Block::Logic(LogicOp::And), vec![i_ge0, j_ge0]).unwrap();
+        let both = d
+            .add(Block::Logic(LogicOp::And), vec![i_ge0, j_ge0])
+            .unwrap();
 
         let two_i = d.add(Block::Gain(q(2)), vec![i]).unwrap();
         let lhs2 = d.sum2(two_i, j).unwrap();
@@ -461,7 +477,9 @@ mod tests {
         let lhs = d.sum2(s1, two_y).unwrap();
         let ge71 = d.add(Block::RelOp(CmpOp::Ge), vec![lhs, c71]).unwrap();
 
-        let and = d.add(Block::Logic(LogicOp::And), vec![both, or, ge71]).unwrap();
+        let and = d
+            .add(Block::Logic(LogicOp::And), vec![both, or, ge71])
+            .unwrap();
         d.outport("Out1", and).unwrap();
         d
     }

@@ -119,10 +119,7 @@ impl LustreExpr {
             LustreExpr::Binary(BinOp::Implies, ..) => 1,
             LustreExpr::Binary(BinOp::Or | BinOp::Xor, ..) => 2,
             LustreExpr::Binary(BinOp::And, ..) => 3,
-            LustreExpr::Binary(
-                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq,
-                ..,
-            ) => 4,
+            LustreExpr::Binary(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq, ..) => 4,
             LustreExpr::Binary(BinOp::Add | BinOp::Sub, ..) => 5,
             LustreExpr::Binary(BinOp::Mul | BinOp::Div, ..) => 6,
             LustreExpr::Unary(..) => 7,
@@ -148,31 +145,29 @@ impl LustreExpr {
             }
             LustreExpr::Bool(b) => f.write_str(if *b { "true" } else { "false" })?,
             LustreExpr::Ident(n) => f.write_str(n)?,
-            LustreExpr::Unary(op, a) => {
-                match op {
-                    UnOp::Neg => {
-                        f.write_str("-")?;
-                        a.fmt_prec(f, 8)?;
-                    }
-                    UnOp::Not => {
-                        f.write_str("not ")?;
-                        a.fmt_prec(f, 8)?;
-                    }
-                    UnOp::Abs | UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp => {
-                        let name = match op {
-                            UnOp::Abs => "abs",
-                            UnOp::Sqrt => "sqrt",
-                            UnOp::Sin => "sin",
-                            UnOp::Cos => "cos",
-                            UnOp::Exp => "exp",
-                            _ => unreachable!(),
-                        };
-                        write!(f, "{name}(")?;
-                        a.fmt_prec(f, 0)?;
-                        f.write_str(")")?;
-                    }
+            LustreExpr::Unary(op, a) => match op {
+                UnOp::Neg => {
+                    f.write_str("-")?;
+                    a.fmt_prec(f, 8)?;
                 }
-            }
+                UnOp::Not => {
+                    f.write_str("not ")?;
+                    a.fmt_prec(f, 8)?;
+                }
+                UnOp::Abs | UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp => {
+                    let name = match op {
+                        UnOp::Abs => "abs",
+                        UnOp::Sqrt => "sqrt",
+                        UnOp::Sin => "sin",
+                        UnOp::Cos => "cos",
+                        UnOp::Exp => "exp",
+                        _ => unreachable!(),
+                    };
+                    write!(f, "{name}(")?;
+                    a.fmt_prec(f, 0)?;
+                    f.write_str(")")?;
+                }
+            },
             LustreExpr::Binary(op, a, b) => {
                 let sym = match op {
                     BinOp::Add => "+",
@@ -235,7 +230,10 @@ impl LustreNode {
 
     /// The defining equation of a flow, if any.
     pub fn equation(&self, name: &str) -> Option<&LustreExpr> {
-        self.equations.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+        self.equations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
     }
 
     /// Basic sanity checks: every output and local has exactly one
@@ -440,21 +438,27 @@ impl P {
     fn sym(&mut self, s: &str) -> Result<(), ParseLustreError> {
         match self.bump() {
             Some(Tok::Sym(got)) if got == s => Ok(()),
-            other => Err(ParseLustreError::new(format!("expected `{s}`, got {other:?}"))),
+            other => Err(ParseLustreError::new(format!(
+                "expected `{s}`, got {other:?}"
+            ))),
         }
     }
 
     fn keyword(&mut self, k: &str) -> Result<(), ParseLustreError> {
         match self.bump() {
             Some(Tok::Ident(got)) if got == k => Ok(()),
-            other => Err(ParseLustreError::new(format!("expected `{k}`, got {other:?}"))),
+            other => Err(ParseLustreError::new(format!(
+                "expected `{k}`, got {other:?}"
+            ))),
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseLustreError> {
         match self.bump() {
             Some(Tok::Ident(n)) => Ok(n),
-            other => Err(ParseLustreError::new(format!("expected identifier, got {other:?}"))),
+            other => Err(ParseLustreError::new(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -631,7 +635,9 @@ impl P {
                 }
                 _ => Ok(LustreExpr::Ident(n)),
             },
-            other => Err(ParseLustreError::new(format!("expected expression, got {other:?}"))),
+            other => Err(ParseLustreError::new(format!(
+                "expected expression, got {other:?}"
+            ))),
         }
     }
 }
@@ -689,7 +695,13 @@ pub fn parse(text: &str) -> Result<LustreNode, ParseLustreError> {
         p.sym(";")?;
         equations.push((n, e));
     }
-    let node = LustreNode { name, inputs, outputs, locals, equations };
+    let node = LustreNode {
+        name,
+        inputs,
+        outputs,
+        locals,
+        equations,
+    };
     node.validate().map_err(ParseLustreError::new)?;
     Ok(node)
 }
@@ -760,7 +772,8 @@ tel";
 
     #[test]
     fn implies_is_right_associative() {
-        let n = parse("node f(p, q, r: bool) returns (o: bool);\nlet o = p => q => r; tel").unwrap();
+        let n =
+            parse("node f(p, q, r: bool) returns (o: bool);\nlet o = p => q => r; tel").unwrap();
         match n.equation("o").unwrap() {
             LustreExpr::Binary(BinOp::Implies, _, rhs) => {
                 assert!(matches!(&**rhs, LustreExpr::Binary(BinOp::Implies, _, _)));
@@ -785,7 +798,8 @@ tel";
 
     #[test]
     fn comments_are_skipped() {
-        let n = parse("node f(a: bool) returns (o: bool); -- hi\nlet -- there\no = a;\ntel").unwrap();
+        let n =
+            parse("node f(a: bool) returns (o: bool); -- hi\nlet -- there\no = a;\ntel").unwrap();
         assert_eq!(n.equations.len(), 1);
     }
 

@@ -33,7 +33,9 @@ fn q(s: &str) -> Rational {
 /// query is its falsification (see [`steering_problem`]).
 pub fn steering_diagram() -> Diagram {
     let mut d = Diagram::new();
-    let ok = |r: Result<crate::diagram::BlockId, crate::diagram::DiagramError>| r.expect("static model construction");
+    let ok = |r: Result<crate::diagram::BlockId, crate::diagram::DiagramError>| {
+        r.expect("static model construction")
+    };
 
     // --- Sensors, with the paper's physical ranges --------------------
     let yaw = ok(d.inport("yaw", VarKind::Real, Interval::new(-7.0, 7.0)));
@@ -173,16 +175,24 @@ pub fn steering_diagram() -> Diagram {
     let unstable = logic(
         &mut d,
         LogicOp::Or,
-        vec![oversteer, understeer, lat_over, lat_under, slip_pos, slip_neg],
+        vec![
+            oversteer, understeer, lat_over, lat_under, slip_pos, slip_neg,
+        ],
     );
     let intervention = logic(&mut d, LogicOp::Or, vec![corr_pos, corr_neg]);
     let side_extreme = logic(&mut d, LogicOp::And, vec![side_hi, side_lo]);
     let no_side_contradiction = logic(&mut d, LogicOp::Not, vec![side_extreme]);
-    let reacts = d.add(Block::Logic(LogicOp::Not), vec![unstable]).expect("not");
+    let reacts = d
+        .add(Block::Logic(LogicOp::Not), vec![unstable])
+        .expect("not");
     let reacts_or_intervenes = logic(&mut d, LogicOp::Or, vec![reacts, intervention]);
     let intervention_justified = {
         let no_int = logic(&mut d, LogicOp::Not, vec![intervention]);
-        let just = logic(&mut d, LogicOp::And, vec![unstable, corr_aligned, corr_bounded]);
+        let just = logic(
+            &mut d,
+            LogicOp::And,
+            vec![unstable, corr_aligned, corr_bounded],
+        );
         logic(&mut d, LogicOp::Or, vec![no_int, just])
     };
     let fast_consistency = {
@@ -209,9 +219,14 @@ pub fn steering_diagram() -> Diagram {
     let probe = {
         // Count the clauses the conversion would currently produce.
         let mut trial = d.clone();
-        let and = trial.add(Block::Logic(LogicOp::And), safety_terms.clone()).expect("and");
+        let and = trial
+            .add(Block::Logic(LogicOp::And), safety_terms.clone())
+            .expect("and");
         trial.outport("safe", and).expect("outport");
-        diagram_to_ab(&trial, &steering_options()).expect("convertible").cnf().len()
+        diagram_to_ab(&trial, &steering_options())
+            .expect("convertible")
+            .cnf()
+            .len()
     };
     let target = 976usize;
     assert!(probe + 3 <= target, "base model too large: {probe} clauses");
@@ -219,9 +234,13 @@ pub fn steering_diagram() -> Diagram {
     // one input): OR-arity-1 buffer = 3, OR-arity-2 = 4, OR-arity-3 = 5.
     // Keeping each unit tiny avoids deep expression recursion downstream.
     let mut remaining = target - probe;
-    let not_core = d.add(Block::Logic(LogicOp::Not), vec![safe_core]).expect("not");
+    let not_core = d
+        .add(Block::Logic(LogicOp::Not), vec![safe_core])
+        .expect("not");
     while remaining > 5 {
-        let pad = d.add(Block::Logic(LogicOp::Or), vec![safe_core]).expect("pad");
+        let pad = d
+            .add(Block::Logic(LogicOp::Or), vec![safe_core])
+            .expect("pad");
         safety_terms.push(pad);
         remaining -= 3;
     }
@@ -235,7 +254,9 @@ pub fn steering_diagram() -> Diagram {
     let pad = d.add(Block::Logic(LogicOp::Or), last_inputs).expect("pad");
     safety_terms.push(pad);
 
-    let safe = d.add(Block::Logic(LogicOp::And), safety_terms).expect("and");
+    let safe = d
+        .add(Block::Logic(LogicOp::And), safety_terms)
+        .expect("and");
     d.outport("safe", safe).expect("outport");
     d
 }

@@ -54,7 +54,10 @@ pub struct TestSuite {
 impl TestSuite {
     /// Number of covered targets.
     pub fn covered(&self) -> usize {
-        self.targets.iter().filter(|t| t.covered_by.is_some()).count()
+        self.targets
+            .iter()
+            .filter(|t| t.covered_by.is_some())
+            .count()
     }
 
     /// Number of targets proven unreachable (no input can produce them).
@@ -111,7 +114,10 @@ pub fn generate_tests(diagram: &Diagram, output: &str) -> Result<TestSuite, Conv
             covered_by: None,
         };
         let covered_by = solve_to_vector(&mut orc, problem, None, diagram, &mut suite.vectors);
-        suite.targets.push(CoverageTarget { covered_by, ..target });
+        suite.targets.push(CoverageTarget {
+            covered_by,
+            ..target
+        });
     }
 
     // Decision coverage: each atom, both polarities, under the weaker
@@ -136,7 +142,11 @@ pub fn generate_tests(diagram: &Diagram, output: &str) -> Result<TestSuite, Conv
             .map(|c| c.to_string())
             .unwrap_or_else(|| format!("atom {var}"));
         for polarity in [true, false] {
-            let lit = if polarity { var.positive() } else { var.negative() };
+            let lit = if polarity {
+                var.positive()
+            } else {
+                var.negative()
+            };
             let mut covered_by =
                 solve_to_vector(&mut orc, &reach, Some(lit), diagram, &mut suite.vectors);
             if covered_by.is_none() {
@@ -178,10 +188,13 @@ fn solve_to_vector(
                 .collect();
             let outputs = diagram.simulate(&inputs);
             let vector = TestVector { inputs, outputs };
-            let index = vectors.iter().position(|v| v == &vector).unwrap_or_else(|| {
-                vectors.push(vector);
-                vectors.len() - 1
-            });
+            let index = vectors
+                .iter()
+                .position(|v| v == &vector)
+                .unwrap_or_else(|| {
+                    vectors.push(vector);
+                    vectors.len() - 1
+                });
             Some(index)
         }
         _ => None,
@@ -203,7 +216,9 @@ mod tests {
     /// ok := (x ≥ 2) ∧ (x² ≤ 50), x ∈ [0, 10].
     fn small_monitor() -> Diagram {
         let mut d = Diagram::new();
-        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 10.0)).unwrap();
+        let x = d
+            .inport("x", VarKind::Real, Interval::new(0.0, 10.0))
+            .unwrap();
         let two = d.constant(q(2)).unwrap();
         let fifty = d.constant(q(50)).unwrap();
         let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, two]).unwrap();
@@ -236,7 +251,9 @@ mod tests {
         // trap := (x ≥ 2) ∧ (x ≤ 1) can never be true; its atoms are each
         // coverable but the output's true-polarity is unreachable.
         let mut d = Diagram::new();
-        let x = d.inport("x", VarKind::Real, Interval::new(0.0, 10.0)).unwrap();
+        let x = d
+            .inport("x", VarKind::Real, Interval::new(0.0, 10.0))
+            .unwrap();
         let two = d.constant(q(2)).unwrap();
         let one = d.constant(q(1)).unwrap();
         let ge = d.add(Block::RelOp(CmpOp::Ge), vec![x, two]).unwrap();

@@ -210,26 +210,18 @@ impl Expr {
             Expr::Neg(e) => -e.derivative(x),
             Expr::Add(a, b) => a.derivative(x) + b.derivative(x),
             Expr::Sub(a, b) => a.derivative(x) - b.derivative(x),
-            Expr::Mul(a, b) => {
-                a.derivative(x) * (**b).clone() + (**a).clone() * b.derivative(x)
-            }
+            Expr::Mul(a, b) => a.derivative(x) * (**b).clone() + (**a).clone() * b.derivative(x),
             Expr::Div(a, b) => {
                 (a.derivative(x) * (**b).clone() - (**a).clone() * b.derivative(x))
                     / ((**b).clone() * (**b).clone())
             }
-            Expr::Pow(e, n) => {
-                Expr::int(*n as i64) * (**e).clone().pow(n - 1) * e.derivative(x)
-            }
+            Expr::Pow(e, n) => Expr::int(*n as i64) * (**e).clone().pow(n - 1) * e.derivative(x),
             Expr::Sin(e) => (**e).clone().cos() * e.derivative(x),
             Expr::Cos(e) => -((**e).clone().sin() * e.derivative(x)),
             Expr::Exp(e) => (**e).clone().exp() * e.derivative(x),
             Expr::Ln(e) => e.derivative(x) / (**e).clone(),
-            Expr::Sqrt(e) => {
-                e.derivative(x) / (Expr::int(2) * (**e).clone().sqrt())
-            }
-            Expr::Abs(e) => {
-                ((**e).clone() * e.derivative(x)) / (**e).clone().abs()
-            }
+            Expr::Sqrt(e) => e.derivative(x) / (Expr::int(2) * (**e).clone().sqrt()),
+            Expr::Abs(e) => ((**e).clone() * e.derivative(x)) / (**e).clone().abs(),
         }
     }
 
@@ -352,7 +344,11 @@ impl Expr {
                     }
                 }
             },
-            Expr::Sin(_) | Expr::Cos(_) | Expr::Exp(_) | Expr::Ln(_) | Expr::Sqrt(_)
+            Expr::Sin(_)
+            | Expr::Cos(_)
+            | Expr::Exp(_)
+            | Expr::Ln(_)
+            | Expr::Sqrt(_)
             | Expr::Abs(_) => None,
         }
     }
@@ -566,7 +562,10 @@ mod tests {
         assert_eq!((x() + Expr::int(0)).simplify(), x());
         assert_eq!((x().pow(1)).simplify(), x());
         assert_eq!((x().pow(0)).simplify(), Expr::int(1));
-        assert_eq!(Expr::Neg(Box::new(Expr::Neg(Box::new(x())))).simplify(), x());
+        assert_eq!(
+            Expr::Neg(Box::new(Expr::Neg(Box::new(x())))).simplify(),
+            x()
+        );
     }
 
     #[test]

@@ -92,8 +92,16 @@ fn cbrt_outward(iv: Interval) -> Interval {
     }
     let lo = iv.lo().cbrt();
     let hi = iv.hi().cbrt();
-    let lo = if lo.is_finite() { lo.next_down().next_down() } else { lo };
-    let hi = if hi.is_finite() { hi.next_up().next_up() } else { hi };
+    let lo = if lo.is_finite() {
+        lo.next_down().next_down()
+    } else {
+        lo
+    };
+    let hi = if hi.is_finite() {
+        hi.next_up().next_up()
+    } else {
+        hi
+    };
     Interval::checked(lo, hi)
 }
 
@@ -260,7 +268,11 @@ pub fn propagate_counted(
         }
         any_change = true;
     }
-    let outcome = if any_change { Contraction::Changed } else { Contraction::Unchanged };
+    let outcome = if any_change {
+        Contraction::Changed
+    } else {
+        Contraction::Unchanged
+    };
     (outcome, contractions)
 }
 

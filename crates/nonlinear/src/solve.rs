@@ -160,7 +160,9 @@ impl NlProblem {
     /// exactly (in `f64`), equalities within `eq_tol` (see
     /// [`NlConstraint::eval_robust`]).
     pub fn is_satisfied(&self, point: &[f64], eq_tol: f64) -> bool {
-        self.constraints.iter().all(|c| c.eval_robust(point, eq_tol))
+        self.constraints
+            .iter()
+            .all(|c| c.eval_robust(point, eq_tol))
     }
 
     /// Solves the feasibility problem with the default engine cascade:
@@ -214,10 +216,7 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
 
 /// Like [`branch_and_prune`], but also reports the search-effort counters
 /// (boxes explored, HC4 contractions) for the observability layer.
-pub fn branch_and_prune_stats(
-    problem: &NlProblem,
-    opts: &NlOptions,
-) -> (NlVerdict, NlSearchStats) {
+pub fn branch_and_prune_stats(problem: &NlProblem, opts: &NlOptions) -> (NlVerdict, NlSearchStats) {
     let mut stats = NlSearchStats::default();
     let n = problem.num_vars();
     if n == 0 {
@@ -263,7 +262,10 @@ pub fn branch_and_prune_stats(
             .iter()
             .map(|c| c.check_box(&bx))
             .collect();
-        if verdicts.iter().all(|v| *v == IntervalVerdict::CertainlyTrue) {
+        if verdicts
+            .iter()
+            .all(|v| *v == IntervalVerdict::CertainlyTrue)
+        {
             return (NlVerdict::Sat(mid), stats);
         }
         if verdicts.contains(&IntervalVerdict::CertainlyFalse) {
@@ -298,7 +300,11 @@ pub fn branch_and_prune_stats(
             }
         }
     }
-    let verdict = if inconclusive { NlVerdict::Unknown } else { NlVerdict::Unsat };
+    let verdict = if inconclusive {
+        NlVerdict::Unknown
+    } else {
+        NlVerdict::Unsat
+    };
     (verdict, stats)
 }
 
@@ -343,7 +349,11 @@ pub fn local_search(problem: &NlProblem, opts: &NlOptions) -> Option<Vec<f64>> {
         .iter()
         .map(|c| (0..n).map(|v| c.expr.derivative(v).simplify()).collect())
         .collect();
-    let ranges: Vec<(f64, f64)> = problem.bounds.iter().map(|&b| sampling_interval(b)).collect();
+    let ranges: Vec<(f64, f64)> = problem
+        .bounds
+        .iter()
+        .map(|&b| sampling_interval(b))
+        .collect();
 
     let penalty = |x: &[f64]| -> f64 {
         problem
@@ -499,8 +509,8 @@ mod tests {
         let a = Expr::var(0);
         let xx = Expr::var(1);
         let yy = Expr::var(2);
-        let lhs = a * xx + Expr::constant(qd("3.5")) / (Expr::int(4) - yy.clone())
-            + Expr::int(2) * yy;
+        let lhs =
+            a * xx + Expr::constant(qd("3.5")) / (Expr::int(4) - yy.clone()) + Expr::int(2) * yy;
         let mut p = NlProblem::new(3);
         p.add_constraint(NlConstraint::new(lhs, CmpOp::Ge, qd("7.1")));
         for v in 0..3 {
@@ -576,7 +586,10 @@ mod tests {
         // the cascade must still find x = 3).
         let mut p = NlProblem::new(1);
         p.add_constraint(NlConstraint::new(x().pow(3), CmpOp::Eq, q(27)));
-        let opts = NlOptions { max_boxes: 500, ..NlOptions::default() };
+        let opts = NlOptions {
+            max_boxes: 500,
+            ..NlOptions::default()
+        };
         match p.solve_with(&opts) {
             NlVerdict::Sat(w) => assert!((w[0] - 3.0).abs() < 1e-3),
             NlVerdict::Unknown => panic!("should find x=3"),

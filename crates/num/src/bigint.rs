@@ -49,7 +49,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer `0`.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Plus, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer `1`.
@@ -90,7 +93,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: self.mag.clone(),
+        }
     }
 
     /// Number of bits in the magnitude (0 for zero).
@@ -109,7 +115,9 @@ impl BigInt {
                 let m = self.mag[0];
                 match self.sign {
                     Sign::Plus if m <= i64::MAX as u64 => Some(m as i64),
-                    Sign::Minus if m <= i64::MAX as u64 + 1 => Some((m as i128).wrapping_neg() as i64),
+                    Sign::Minus if m <= i64::MAX as u64 + 1 => {
+                        Some((m as i128).wrapping_neg() as i64)
+                    }
                     _ => None,
                 }
             }
@@ -339,7 +347,11 @@ impl BigInt {
     /// Panics if `other` is zero.
     pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
         let (q_mag, r_mag) = Self::divrem_mag(&self.mag, &other.mag);
-        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        let q_sign = if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         (
             BigInt::from_mag(q_sign, q_mag),
             BigInt::from_mag(self.sign, r_mag),
@@ -466,7 +478,10 @@ impl Neg for &BigInt {
         if self.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+            BigInt {
+                sign: self.sign.flip(),
+                mag: self.mag.clone(),
+            }
         }
     }
 }
@@ -508,7 +523,11 @@ impl Sub for &BigInt {
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_mag(sign, BigInt::mul_mag(&self.mag, &rhs.mag))
     }
 }
@@ -616,7 +635,9 @@ impl FromStr for BigInt {
             return Err(ParseBigIntError { kind: "empty" });
         }
         if !digits.bytes().all(|b| b.is_ascii_digit()) {
-            return Err(ParseBigIntError { kind: "non-digit character" });
+            return Err(ParseBigIntError {
+                kind: "non-digit character",
+            });
         }
         let mut acc = BigInt::zero();
         let bytes = digits.as_bytes();
@@ -624,9 +645,9 @@ impl FromStr for BigInt {
         while i < bytes.len() {
             let end = (i + 19).min(bytes.len());
             let chunk = &digits[i..end];
-            let v: u64 = chunk
-                .parse()
-                .map_err(|_| ParseBigIntError { kind: "non-digit character" })?;
+            let v: u64 = chunk.parse().map_err(|_| ParseBigIntError {
+                kind: "non-digit character",
+            })?;
             let scale = BigInt::from(10u64).pow((end - i) as u32);
             acc = &acc * &scale + BigInt::from(v);
             i = end;

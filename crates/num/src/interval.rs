@@ -49,10 +49,16 @@ fn up(v: f64) -> f64 {
 
 impl Interval {
     /// The empty interval.
-    pub const EMPTY: Interval = Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY };
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
 
     /// The whole real line `(-inf, +inf)`.
-    pub const ENTIRE: Interval = Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+    pub const ENTIRE: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
 
     /// Creates `[lo, hi]`.
     ///
@@ -157,7 +163,10 @@ impl Interval {
         if self.is_empty() {
             return Interval::EMPTY;
         }
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 
     /// Sound interval addition.
@@ -165,7 +174,10 @@ impl Interval {
         if self.is_empty() || rhs.is_empty() {
             return Interval::EMPTY;
         }
-        Interval { lo: down(self.lo + rhs.lo), hi: up(self.hi + rhs.hi) }
+        Interval {
+            lo: down(self.lo + rhs.lo),
+            hi: up(self.hi + rhs.hi),
+        }
     }
 
     /// Sound interval subtraction.
@@ -188,7 +200,10 @@ impl Interval {
                 hi = hi.max(p);
             }
         }
-        Interval { lo: down(lo), hi: up(hi) }
+        Interval {
+            lo: down(lo),
+            hi: up(hi),
+        }
     }
 
     /// Sound interval division for denominators that do not contain zero.
@@ -221,7 +236,10 @@ impl Interval {
                 hi = hi.max(q);
             }
         }
-        Interval { lo: down(lo), hi: up(hi) }
+        Interval {
+            lo: down(lo),
+            hi: up(hi),
+        }
     }
 
     /// Extended division: the quotient as up to two intervals when the
@@ -268,15 +286,24 @@ impl Interval {
         if n % 2 == 1 || self.lo >= 0.0 {
             let lo = self.lo.powi(n);
             let hi = self.hi.powi(n);
-            Interval { lo: down(lo.min(hi)), hi: up(lo.max(hi)) }
+            Interval {
+                lo: down(lo.min(hi)),
+                hi: up(lo.max(hi)),
+            }
         } else if self.hi <= 0.0 {
             let lo = self.hi.powi(n);
             let hi = self.lo.powi(n);
-            Interval { lo: down(lo), hi: up(hi) }
+            Interval {
+                lo: down(lo),
+                hi: up(hi),
+            }
         } else {
             // Straddles zero with even power: minimum is 0.
             let hi = self.lo.powi(n).max(self.hi.powi(n));
-            Interval { lo: 0.0, hi: up(hi) }
+            Interval {
+                lo: 0.0,
+                hi: up(hi),
+            }
         }
     }
 
@@ -289,7 +316,10 @@ impl Interval {
         }
         let lo = self.lo.max(0.0).sqrt();
         let hi = self.hi.sqrt();
-        Interval { lo: down(lo).max(0.0), hi: up(hi) }
+        Interval {
+            lo: down(lo).max(0.0),
+            hi: up(hi),
+        }
     }
 
     /// Sound exponential (monotone).
@@ -297,7 +327,10 @@ impl Interval {
         if self.is_empty() {
             return Interval::EMPTY;
         }
-        Interval { lo: down(self.lo.exp()).max(0.0), hi: up(self.hi.exp()) }
+        Interval {
+            lo: down(self.lo.exp()).max(0.0),
+            hi: up(self.hi.exp()),
+        }
     }
 
     /// Sound natural logarithm; non-positive parts of the domain are clipped.
@@ -307,8 +340,15 @@ impl Interval {
         if self.is_empty() || self.hi <= 0.0 {
             return Interval::EMPTY;
         }
-        let lo = if self.lo <= 0.0 { f64::NEG_INFINITY } else { down(self.lo.ln()) };
-        Interval { lo, hi: up(self.hi.ln()) }
+        let lo = if self.lo <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            down(self.lo.ln())
+        };
+        Interval {
+            lo,
+            hi: up(self.hi.ln()),
+        }
     }
 
     /// Sound sine.
@@ -479,7 +519,9 @@ mod tests {
     #[test]
     fn division_simple_and_extended() {
         let a = Interval::new(1.0, 2.0);
-        assert!(a.div(Interval::new(2.0, 4.0)).encloses(Interval::new(0.25, 1.0)));
+        assert!(a
+            .div(Interval::new(2.0, 4.0))
+            .encloses(Interval::new(0.25, 1.0)));
         // Denominator straddles zero: result splits into two rays.
         let (n, p) = a.div_ext(Interval::new(-1.0, 1.0));
         let n = n.unwrap();
@@ -507,7 +549,9 @@ mod tests {
         let i = Interval::new(0.0, 1.0);
         assert!(i.exp().encloses(Interval::new(1.0, std::f64::consts::E)));
         assert!(Interval::new(1.0, std::f64::consts::E).ln().contains(0.5));
-        assert!(Interval::new(-1.0, 4.0).sqrt().encloses(Interval::new(0.0, 2.0)));
+        assert!(Interval::new(-1.0, 4.0)
+            .sqrt()
+            .encloses(Interval::new(0.0, 2.0)));
         assert!(Interval::new(-3.0, -1.0).sqrt().is_empty());
         assert!(Interval::new(-1.0, -0.5).ln().is_empty());
     }

@@ -44,7 +44,11 @@ impl<'a> ModelIter<'a> {
     /// Creates an enumerator over `solver`'s models projected onto
     /// `projection`.
     pub fn new(solver: &'a mut Solver, projection: Vec<Var>) -> ModelIter<'a> {
-        ModelIter { solver, projection, exhausted: false }
+        ModelIter {
+            solver,
+            projection,
+            exhausted: false,
+        }
     }
 
     /// Creates an enumerator projecting onto all of the solver's variables.
@@ -133,8 +137,7 @@ mod tests {
         let mut solver = Solver::new();
         solver.add_dimacs_clause(&[1, 2]);
         solver.reserve_vars(3);
-        let models: Vec<_> =
-            ModelIter::new(&mut solver, vec![Var::new(0), Var::new(1)]).collect();
+        let models: Vec<_> = ModelIter::new(&mut solver, vec![Var::new(0), Var::new(1)]).collect();
         assert_eq!(models.len(), 3);
         // All projected models distinct.
         let mut keys: Vec<(bool, bool)> = models

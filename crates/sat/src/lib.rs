@@ -253,7 +253,10 @@ mod tests {
                 // Block every model by its full assignment.
                 let clause = a
                     .iter()
-                    .filter_map(|(v, t)| t.to_bool().map(|b| if b { v.negative() } else { v.positive() }))
+                    .filter_map(|(v, t)| {
+                        t.to_bool()
+                            .map(|b| if b { v.negative() } else { v.positive() })
+                    })
                     .collect();
                 TheoryResponse::Conflict(clause)
             }
@@ -264,7 +267,6 @@ mod tests {
         assert_eq!(s.solve_with_theory(&mut RejectAll), SolveResult::Unsat);
         assert_eq!(s.stats().theory_conflicts, 3);
     }
-
 
     #[test]
     fn assumptions_basic() {
@@ -308,7 +310,9 @@ mod tests {
         // The core must contain the two genuinely conflicting assumptions;
         // the irrelevant one may or may not appear (we only guarantee a
         // subset of the assumptions that is itself unsat).
-        assert!(failed.contains(&Var::new(0).positive()) || failed.contains(&Var::new(2).negative()));
+        assert!(
+            failed.contains(&Var::new(0).positive()) || failed.contains(&Var::new(2).negative())
+        );
         // Check the core is unsat as claimed: assert each core literal as
         // a unit in a fresh solver.
         let mut fresh = Solver::new();
@@ -318,7 +322,11 @@ mod tests {
         for l in &failed {
             fresh.add_clause(&[*l]);
         }
-        assert_eq!(fresh.solve(), SolveResult::Unsat, "core {failed:?} must be unsat");
+        assert_eq!(
+            fresh.solve(),
+            SolveResult::Unsat,
+            "core {failed:?} must be unsat"
+        );
     }
 
     #[test]

@@ -220,8 +220,7 @@ impl Solver {
     /// affecting soundness or completeness.
     pub fn scramble_phases(&mut self, seed: u64) {
         for (i, p) in self.phase.iter_mut().enumerate() {
-            let mut z = seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             *p = (z ^ (z >> 31)) & 1 == 1;
@@ -232,7 +231,11 @@ impl Solver {
     pub fn reserve_vars(&mut self, n: usize) {
         while self.vars.len() < n {
             let idx = self.vars.len() as u32;
-            self.vars.push(VarState { value: Tri::Unknown, level: 0, reason: CLAUSE_NONE });
+            self.vars.push(VarState {
+                value: Tri::Unknown,
+                level: 0,
+                reason: CLAUSE_NONE,
+            });
             self.phase.push(false);
             self.activity.push(0.0);
             self.heap_pos.push(u32::MAX);
@@ -305,7 +308,12 @@ impl Solver {
         let id = self.clauses.len() as u32;
         self.watches[lits[0].code()].push(id);
         self.watches[lits[1].code()].push(id);
-        self.clauses.push(ClauseData { lits, learnt, deleted: false, activity: 0.0 });
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
         id
     }
 
@@ -630,7 +638,10 @@ impl Solver {
     }
 
     fn num_learnt(&self) -> usize {
-        self.clauses.iter().filter(|c| c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count()
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {

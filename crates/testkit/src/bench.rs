@@ -31,7 +31,11 @@ pub struct BenchStats {
 
 impl BenchStats {
     fn sorted_ns(&self) -> Vec<f64> {
-        let mut ns: Vec<f64> = self.per_iter.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+        let mut ns: Vec<f64> = self
+            .per_iter
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e9)
+            .collect();
         ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         ns
     }
@@ -40,7 +44,11 @@ impl BenchStats {
     pub fn median(&self) -> Duration {
         let ns = self.sorted_ns();
         let mid = ns.len() / 2;
-        let v = if ns.len().is_multiple_of(2) { (ns[mid - 1] + ns[mid]) / 2.0 } else { ns[mid] };
+        let v = if ns.len().is_multiple_of(2) {
+            (ns[mid - 1] + ns[mid]) / 2.0
+        } else {
+            ns[mid]
+        };
         Duration::from_secs_f64(v / 1e9)
     }
 
@@ -90,14 +98,20 @@ impl Bench {
     /// A suite with default settings (30 samples, ~2 ms per sample),
     /// honouring the `TESTKIT_BENCH_*` environment variables.
     pub fn new() -> Bench {
-        let quick = std::env::var("TESTKIT_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        let quick = std::env::var("TESTKIT_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let samples = std::env::var("TESTKIT_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(if quick { 5 } else { 30 });
         Bench {
             samples,
-            warmup: if quick { Duration::from_millis(5) } else { Duration::from_millis(100) },
+            warmup: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(100)
+            },
             target_sample_time: if quick {
                 Duration::from_micros(200)
             } else {
@@ -197,7 +211,10 @@ impl Bench {
 
     /// Prints the final summary table.
     pub fn report(&self) {
-        println!("\n== benchmark summary ({} benchmarks) ==", self.results.len());
+        println!(
+            "\n== benchmark summary ({} benchmarks) ==",
+            self.results.len()
+        );
         for (name, stats) in &self.results {
             println!(
                 "{name:<44} median {:>10}   p95 {:>10}",

@@ -63,7 +63,11 @@ pub fn dimacs_lit(max_var: i32) -> Gen<i32> {
     let neg = gen::bool_any();
     Gen::new(move |src| {
         let v = var.generate(src);
-        if neg.generate(src) { -v } else { v }
+        if neg.generate(src) {
+            -v
+        } else {
+            v
+        }
     })
 }
 

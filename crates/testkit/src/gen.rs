@@ -81,7 +81,9 @@ pub struct Gen<T> {
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Self {
-        Gen { f: Rc::clone(&self.f) }
+        Gen {
+            f: Rc::clone(&self.f),
+        }
     }
 }
 
@@ -286,10 +288,7 @@ pub fn from_slice<T: Clone + 'static>(items: &[T]) -> Gen<T> {
 }
 
 /// A string of characters drawn from `charset`, with length from `len`.
-pub fn string_from_charset(
-    charset: &str,
-    len: impl RangeBounds<usize> + 'static,
-) -> Gen<String> {
+pub fn string_from_charset(charset: &str, len: impl RangeBounds<usize> + 'static) -> Gen<String> {
     let chars: Vec<char> = charset.chars().collect();
     assert!(!chars.is_empty(), "empty charset");
     vec_of(from_slice(&chars), len).map(|v| v.into_iter().collect())
@@ -313,7 +312,10 @@ mod tests {
         assert_eq!(ints(-9i64..=-4).generate(&mut src), -4);
         assert!(!bool_any().generate(&mut src));
         assert_eq!(f64_in(2.0, 5.0).generate(&mut src), 2.0);
-        assert_eq!(vec_of(i64_any(), 0..10).generate(&mut src), Vec::<i64>::new());
+        assert_eq!(
+            vec_of(i64_any(), 0..10).generate(&mut src),
+            Vec::<i64>::new()
+        );
         assert_eq!(i128_any().generate(&mut src), 0);
     }
 

@@ -103,7 +103,10 @@ impl Config {
     /// Builds the config for one `property!` test. `cases == 0` means
     /// "use the default" (256, like proptest's).
     pub fn for_test(manifest_dir: &str, module: &str, name: &str, cases: u32) -> Config {
-        let cases = match std::env::var("TESTKIT_CASES").ok().and_then(|v| v.parse().ok()) {
+        let cases = match std::env::var("TESTKIT_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
             Some(n) => n,
             None if cases == 0 => 256,
             None => cases,
@@ -118,7 +121,9 @@ impl Config {
             Ok(v) => parse_seed(&v),
             Err(_) => None,
         };
-        let persist = std::env::var("TESTKIT_PERSIST").map(|v| v != "0").unwrap_or(true);
+        let persist = std::env::var("TESTKIT_PERSIST")
+            .map(|v| v != "0")
+            .unwrap_or(true);
         let module_file: String = module.replace("::", "-");
         let regression_file = persist.then(|| {
             PathBuf::from(manifest_dir)
@@ -135,7 +140,10 @@ impl Config {
     }
 
     fn local_name(&self) -> &str {
-        self.test_name.rsplit("::").next().unwrap_or(&self.test_name)
+        self.test_name
+            .rsplit("::")
+            .next()
+            .unwrap_or(&self.test_name)
     }
 }
 
@@ -348,7 +356,13 @@ fn persist_regression(cfg: &Config, tape: &[u64], value: &str) {
     }
     let one_line = value.replace('\n', " ");
     let short: String = one_line.chars().take(160).collect();
-    let _ = writeln!(text, "{} {}  # shrinks to {}", cfg.local_name(), format_tape(tape), short);
+    let _ = writeln!(
+        text,
+        "{} {}  # shrinks to {}",
+        cfg.local_name(),
+        format_tape(tape),
+        short
+    );
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -17,6 +17,8 @@
 //!
 //! | kind             | emitted by          | payload                        |
 //! |------------------|---------------------|--------------------------------|
+//! | `preprocess.start` | orchestrator      | `pass`, `num_vars`, `num_clauses`, `num_defs` |
+//! | `preprocess.end` | orchestrator        | `result` (`shrunk`/`trivially-unsat`), `vars_eliminated`, `clauses_eliminated`, `atoms_eliminated`, `ranges_tightened`, `duration_us` |
 //! | `solve.start`    | orchestrator        | `vars`, `clauses`, `defs`      |
 //! | `solve.end`      | orchestrator        | `verdict`, `duration_us`       |
 //! | `boolean.model`  | orchestrator        | `iteration`, `duration_us`     |
@@ -109,7 +111,10 @@ impl TraceEvent {
 
     /// Looks up a payload field by key.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.data.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.data
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Serialises the event as a single-line JSON object. String payload
@@ -202,7 +207,10 @@ impl CollectingSink {
 
     /// A snapshot of all events collected so far, in emission order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("collecting sink poisoned").clone()
+        self.events
+            .lock()
+            .expect("collecting sink poisoned")
+            .clone()
     }
 
     /// The kinds of all collected events, in emission order.
@@ -222,13 +230,19 @@ impl CollectingSink {
 
     /// Drops all collected events.
     pub fn clear(&self) {
-        self.events.lock().expect("collecting sink poisoned").clear();
+        self.events
+            .lock()
+            .expect("collecting sink poisoned")
+            .clear();
     }
 }
 
 impl TraceSink for CollectingSink {
     fn emit(&self, event: &TraceEvent) {
-        self.events.lock().expect("collecting sink poisoned").push(event.clone());
+        self.events
+            .lock()
+            .expect("collecting sink poisoned")
+            .push(event.clone());
     }
 }
 
@@ -247,7 +261,9 @@ impl FileSink {
     /// Returns the underlying I/O error when the file cannot be created.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileSink> {
         let file = File::create(path)?;
-        Ok(FileSink { writer: Mutex::new(BufWriter::new(file)) })
+        Ok(FileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
     }
 
     /// Flushes buffered events to disk.
@@ -338,7 +354,10 @@ impl Default for JsonObject {
 impl JsonObject {
     /// Starts an empty object.
     pub fn new() -> JsonObject {
-        JsonObject { buf: String::from("{"), first: true }
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
     }
 
     fn key(&mut self, key: &str) {
@@ -478,10 +497,8 @@ mod tests {
 
     #[test]
     fn file_sink_writes_jsonl() {
-        let path = std::env::temp_dir().join(format!(
-            "absolver-trace-test-{}.jsonl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("absolver-trace-test-{}.jsonl", std::process::id()));
         {
             let sink = FileSink::create(&path).unwrap();
             sink.emit(&TraceEvent::new("solve.start").field_u64("vars", 4));

@@ -28,7 +28,10 @@ use absolver::num::Rational;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let observations = [10i64, 30, 15];
-    println!("observations: sensor1 = {}, sensor2 = {}, sensor3 = {}", observations[0], observations[1], observations[2]);
+    println!(
+        "observations: sensor1 = {}, sensor2 = {}, sensor3 = {}",
+        observations[0], observations[1], observations[2]
+    );
 
     // Build the diagnosis problem.
     let mut b = AbProblem::builder();

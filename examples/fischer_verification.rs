@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Query 2b: a broken discipline (b ≤ a) yields a counterexample.
-    let broken = fischer_mutex(FischerConfig { processes: n, a: 6, b: 2 });
+    let broken = fischer_mutex(FischerConfig {
+        processes: n,
+        a: 6,
+        b: 2,
+    });
     match orc.solve(&broken)? {
         Outcome::Sat(model) => {
             println!("safety query (b ≤ a): SAT — counterexample found:");

@@ -35,11 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem: AbProblem = FIG2.parse()?;
     println!("parsed the Fig. 2 problem:");
     println!("  clauses:     {}", problem.cnf().len());
-    println!("  definitions: {} ({} constraints: {} linear, {} nonlinear)",
+    println!(
+        "  definitions: {} ({} constraints: {} linear, {} nonlinear)",
         problem.num_defs(),
         problem.num_constraints(),
         problem.num_linear(),
-        problem.num_nonlinear());
+        problem.num_nonlinear()
+    );
 
     let mut orc = Orchestrator::with_defaults();
     let outcome = orc.solve(&problem)?;
@@ -61,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rendered = parser::write(&problem);
     let reparsed: AbProblem = rendered.parse()?;
     assert_eq!(reparsed.num_defs(), problem.num_defs());
-    println!("\nwriter round-trip OK ({} bytes of extended DIMACS)", rendered.len());
+    println!(
+        "\nwriter round-trip OK ({} bytes of extended DIMACS)",
+        rendered.len()
+    );
 
     // ---- Route 2: the programmatic builder API ------------------------
     let mut b = AbProblem::builder();
@@ -74,13 +79,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.set_range(v, Interval::new(-10.0, 10.0));
     }
     let v1 = b.atom(Expr::var(i), CmpOp::Ge, Rational::zero());
-    b.define(v1, NlConstraint::new(Expr::var(j), CmpOp::Ge, Rational::zero()));
+    b.define(
+        v1,
+        NlConstraint::new(Expr::var(j), CmpOp::Ge, Rational::zero()),
+    );
     let v2 = b.atom(
         Expr::int(2) * Expr::var(i) + Expr::var(j),
         CmpOp::Lt,
         Rational::from_int(10),
     );
-    let v3 = b.atom(Expr::var(i) + Expr::var(j), CmpOp::Lt, Rational::from_int(5));
+    let v3 = b.atom(
+        Expr::var(i) + Expr::var(j),
+        CmpOp::Lt,
+        Rational::from_int(5),
+    );
     let v4 = b.atom(
         Expr::var(a) * Expr::var(x)
             + Expr::constant("3.5".parse()?) / (Expr::int(4) - Expr::var(y))

@@ -10,7 +10,9 @@
 //! Run with: `cargo run --release --example sudoku_solver`
 
 use absolver::core::{Orchestrator, Outcome};
-use absolver_bench::sudoku::{decode, encode_mixed, extends, generate, is_valid_solution, Difficulty};
+use absolver_bench::sudoku::{
+    decode, encode_mixed, extends, generate, is_valid_solution, Difficulty,
+};
 
 fn print_grid(grid: &[[u8; 9]; 9]) {
     for (r, row) in grid.iter().enumerate() {
@@ -34,7 +36,10 @@ fn print_grid(grid: &[[u8; 9]; 9]) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (puzzle, _) = generate(20060523, Difficulty::Hard);
-    println!("puzzle ({} clues):", puzzle.iter().flatten().filter(|&&v| v != 0).count());
+    println!(
+        "puzzle ({} clues):",
+        puzzle.iter().flatten().filter(|&&v| v != 0).count()
+    );
     print_grid(&puzzle);
 
     let problem = encode_mixed(&puzzle);
@@ -63,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "solution count (capped at 2): {} — the puzzle {}",
         solutions.len(),
-        if solutions.len() == 1 { "is unique" } else { "has multiple solutions" }
+        if solutions.len() == 1 {
+            "is unique"
+        } else {
+            "has multiple solutions"
+        }
     );
     Ok(())
 }

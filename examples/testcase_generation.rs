@@ -24,14 +24,20 @@ fn q(s: &str) -> Rational {
 
 fn monitor() -> Diagram {
     let mut d = Diagram::new();
-    let a = d.inport("speed_a", VarKind::Real, Interval::new(-50.0, 150.0)).unwrap();
-    let b = d.inport("speed_b", VarKind::Real, Interval::new(-50.0, 150.0)).unwrap();
+    let a = d
+        .inport("speed_a", VarKind::Real, Interval::new(-50.0, 150.0))
+        .unwrap();
+    let b = d
+        .inport("speed_b", VarKind::Real, Interval::new(-50.0, 150.0))
+        .unwrap();
 
     // Channels agree: |a − b| ≤ 5.
     let diff = d.sub(a, b).unwrap();
     let abs_diff = d.add(Block::Unary(UnaryFn::Abs), vec![diff]).unwrap();
     let five = d.constant(q("5")).unwrap();
-    let agree = d.add(Block::RelOp(CmpOp::Le), vec![abs_diff, five]).unwrap();
+    let agree = d
+        .add(Block::RelOp(CmpOp::Le), vec![abs_diff, five])
+        .unwrap();
 
     // Average inside the physical range [0, 120].
     let sum = d.sum2(a, b).unwrap();
@@ -47,7 +53,10 @@ fn monitor() -> Diagram {
     let kin_ok = d.add(Block::RelOp(CmpOp::Le), vec![sq, cap]).unwrap();
 
     let ok = d
-        .add(Block::Logic(LogicOp::And), vec![agree, lo_ok, hi_ok, kin_ok])
+        .add(
+            Block::Logic(LogicOp::And),
+            vec![agree, lo_ok, hi_ok, kin_ok],
+        )
         .unwrap();
     d.outport("accept", ok).unwrap();
     d
@@ -82,6 +91,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for v in &suite.vectors {
         assert_eq!(d.simulate(&v.inputs), v.outputs);
     }
-    println!("\nall {} vectors re-validated against the model", suite.vectors.len());
+    println!(
+        "\nall {} vectors re-validated against the model",
+        suite.vectors.len()
+    );
     Ok(())
 }

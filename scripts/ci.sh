@@ -10,6 +10,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== static analysis (clippy -D warnings, rustfmt, overflow-checked tests) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo fmt --check
+# One overflow-checked test pass (profile `ci`, see the root Cargo.toml):
+# the arbitrary-precision kernel is where silent wrapping would hurt most.
+cargo test -q --offline --profile ci -p absolver-num
+
 echo "== build (release, all targets incl. benches) =="
 cargo build --release --offline --workspace --all-targets
 
@@ -66,11 +73,19 @@ fi
 # portfolio) plus the CLI exit-code contract.
 cargo test -q --offline --test observability --test cli
 
-echo "== clippy =="
-if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --offline --workspace --all-targets -- -D warnings
-else
-    echo "clippy not installed in this toolchain; skipping lint step"
-fi
+echo "== analyzer gate (absolver check + preprocessing differential) =="
+# The paper's example must lint clean (exit 0); the checked-in malformed
+# fixture must produce a spanned error report (exit 4).
+./target/release/absolver check examples/fig2.dimacs
+set +e
+./target/release/absolver check --json tests/analyze/malformed.dimacs \
+    > "$OBS_TMP/malformed.json"
+code=$?
+set -e
+[ "$code" -eq 4 ] || { echo "expected check exit 4 (errors), got $code"; exit 1; }
+grep -q '"code":"AB001"' "$OBS_TMP/malformed.json" \
+    || { echo "malformed fixture must report AB001"; exit 1; }
+# Golden diagnostics + verdict identity of --preprocess vs --no-preprocess.
+cargo test -q --offline --test analyze_check --test preprocess_agreement
 
 echo "== CI gate passed =="

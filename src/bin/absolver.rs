@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! absolver [OPTIONS] [FILE]
+//! absolver check [--json] [FILE]
 //!
 //!   FILE                     input in extended DIMACS (default: stdin)
 //!   --boolean cdcl|restart   Boolean backend        (default: cdcl)
@@ -16,6 +17,8 @@
 //!                            nonlinear backend      (default: cascade)
 //!   --no-minimize            disable conflict-core minimisation
 //!   --no-theory-cache        disable the theory-verdict cache
+//!   --preprocess             simplify before solving (default)
+//!   --no-preprocess          solve the problem exactly as written
 //!   --all-models N           enumerate up to N models
 //!   --time-limit SECS        wall-clock budget
 //!   --max-iterations N       cap on Boolean models examined
@@ -28,13 +31,18 @@
 //!   --quiet                  verdict only
 //! ```
 //!
-//! Exit codes: `10` sat, `20` unsat, `30` unknown, `40` iteration limit,
-//! `2` usage/IO/parse error.
+//! Solve exit codes: `10` sat, `20` unsat, `30` unknown, `40` iteration
+//! limit, `2` usage/IO/parse error.
+//!
+//! `absolver check` runs the static analyzer instead of the solver and
+//! prints compiler-style diagnostics (`file:line:col: severity[AB0xx]:
+//! message`), or a stable JSON report with `--json`. Check exit codes:
+//! `0` clean, `3` warnings only, `4` errors, `2` usage/IO error.
 
 use absolver::core::{
-    AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear, Orchestrator,
-    OrchestratorOptions, Outcome, ParallelOptions, ParallelStats, ParallelStrategy,
-    PenaltyNonlinear, RestartingBoolean, SimplexLinear,
+    AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear, Orchestrator, OrchestratorOptions,
+    Outcome, ParallelOptions, ParallelStats, ParallelStrategy, PenaltyNonlinear, RestartingBoolean,
+    SimplexLinear,
 };
 use absolver::trace::{FileSink, JsonObject};
 use std::io::Read;
@@ -48,6 +56,10 @@ const EXIT_UNKNOWN: u8 = 30;
 const EXIT_ITERATION_LIMIT: u8 = 40;
 const EXIT_ERROR: u8 = 2;
 
+const EXIT_CHECK_CLEAN: u8 = 0;
+const EXIT_CHECK_WARNINGS: u8 = 3;
+const EXIT_CHECK_ERRORS: u8 = 4;
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum StatsFormat {
     Human,
@@ -60,6 +72,7 @@ struct Config {
     nonlinear: String,
     minimize: bool,
     theory_cache: bool,
+    preprocess: bool,
     all_models: Option<usize>,
     time_limit: Option<Duration>,
     max_iterations: Option<u64>,
@@ -74,12 +87,14 @@ struct Config {
 fn usage() -> ! {
     eprintln!(
         "usage: absolver [--boolean cdcl|restart] [--nonlinear cascade|interval|penalty]\n\
-         \x20               [--no-minimize] [--no-theory-cache] [--all-models N]\n\
-         \x20               [--time-limit SECS]\n\
+         \x20               [--no-minimize] [--no-theory-cache] [--no-preprocess]\n\
+         \x20               [--all-models N] [--time-limit SECS]\n\
          \x20               [--max-iterations N] [--jobs N] [--strategy portfolio|cubes]\n\
          \x20               [--deterministic] [--stats [human|json]] [--trace FILE]\n\
          \x20               [--quiet] [FILE]\n\
-         exit codes: 10 sat, 20 unsat, 30 unknown, 40 iteration limit, 2 error"
+         \x20      absolver check [--json] [FILE]\n\
+         solve exit codes: 10 sat, 20 unsat, 30 unknown, 40 iteration limit, 2 error\n\
+         check exit codes: 0 clean, 3 warnings, 4 errors, 2 error"
     );
     std::process::exit(EXIT_ERROR as i32);
 }
@@ -91,6 +106,7 @@ fn parse_args() -> Config {
         nonlinear: "cascade".to_string(),
         minimize: true,
         theory_cache: true,
+        preprocess: true,
         all_models: None,
         time_limit: None,
         max_iterations: None,
@@ -108,6 +124,8 @@ fn parse_args() -> Config {
             "--nonlinear" => config.nonlinear = args.next().unwrap_or_else(|| usage()),
             "--no-minimize" => config.minimize = false,
             "--no-theory-cache" => config.theory_cache = false,
+            "--preprocess" => config.preprocess = true,
+            "--no-preprocess" => config.preprocess = false,
             "--all-models" => {
                 let n = args.next().and_then(|v| v.parse().ok());
                 config.all_models = Some(n.unwrap_or_else(|| usage()));
@@ -120,11 +138,17 @@ fn parse_args() -> Config {
                 config.time_limit = Some(Duration::from_secs(secs));
             }
             "--max-iterations" => {
-                let n: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let n: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 config.max_iterations = Some(n);
             }
             "--jobs" => {
-                let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 config.jobs = Some(n.max(1));
             }
             "--strategy" => {
@@ -200,7 +224,67 @@ fn build_orchestrator(config: &Config) -> Orchestrator {
     if let Some(n) = config.max_iterations {
         options.max_iterations = n;
     }
-    orc.with_options(options)
+    orc = orc.with_options(options);
+    if config.preprocess {
+        orc = orc.with_preprocessor(Box::new(absolver::analyze::Simplifier::new()));
+    }
+    orc
+}
+
+/// The `absolver check` mode: run the static analyzer on one input and
+/// report findings without solving.
+fn check_main(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut file: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    eprintln!("multiple input files");
+                    usage();
+                }
+            }
+        }
+    }
+    let mut text = String::new();
+    let label = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => {
+                text = t;
+                path.clone()
+            }
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        },
+        None => {
+            if std::io::stdin().read_to_string(&mut text).is_err() {
+                eprintln!("cannot read stdin");
+                return ExitCode::from(EXIT_ERROR);
+            }
+            "<stdin>".to_string()
+        }
+    };
+    let report = absolver::analyze::check_source(&text);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human(&label));
+    }
+    if report.errors() > 0 {
+        ExitCode::from(EXIT_CHECK_ERRORS)
+    } else if report.warnings() > 0 {
+        ExitCode::from(EXIT_CHECK_WARNINGS)
+    } else {
+        ExitCode::from(EXIT_CHECK_CLEAN)
+    }
 }
 
 fn print_model(problem: &AbProblem, model: &absolver::core::AbModel) {
@@ -250,6 +334,10 @@ fn parallel_stats_json(stats: &ParallelStats) -> String {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("check") {
+        return check_main(&argv[1..]);
+    }
     let config = parse_args();
     let mut text = String::new();
     match &config.file {

@@ -23,6 +23,9 @@
 //!   the paper's comparative benchmarks.
 //! * [`trace`] — the observability layer: trace events, sinks (null,
 //!   collecting, JSONL file), and the hand-rolled JSON helpers.
+//! * [`analyze`] — the static analyzer: compiler-style diagnostics with
+//!   stable `AB0xx` codes (`absolver check`) and the equisatisfiable
+//!   preprocessor run by the orchestrator before solving.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use absolver_analyze as analyze;
 pub use absolver_baselines as baselines;
 pub use absolver_core as core;
 pub use absolver_linear as linear;

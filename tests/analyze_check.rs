@@ -1,0 +1,59 @@
+//! Golden-file tests for the static analyzer: each checked-in
+//! `tests/analyze/*.dimacs` input must produce byte-identical JSON to its
+//! `*.expected.json` sibling, so diagnostic codes, spans, and messages
+//! are a stable machine-readable interface.
+
+use absolver::analyze::{check_source, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/analyze/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn golden(name: &str) {
+    let input = fixture(&format!("{name}.dimacs"));
+    let expected = fixture(&format!("{name}.expected.json"));
+    let report = check_source(&input);
+    assert_eq!(
+        report.render_json(),
+        expected.trim_end(),
+        "golden mismatch for tests/analyze/{name}.dimacs — if the change is \
+         intentional, regenerate with `absolver check --json`"
+    );
+}
+
+#[test]
+fn malformed_input_matches_golden_json() {
+    golden("malformed");
+}
+
+#[test]
+fn lints_input_matches_golden_json() {
+    golden("lints");
+}
+
+#[test]
+fn malformed_input_is_a_single_spanned_error() {
+    let report = check_source(&fixture("malformed.dimacs"));
+    assert_eq!(report.errors(), 1);
+    assert_eq!(report.warnings(), 0);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.span.line > 0 && d.span.col > 0,
+        "parse errors must carry a span"
+    );
+}
+
+#[test]
+fn paper_example_is_clean() {
+    let input =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fig2.dimacs"))
+            .unwrap();
+    let report = check_source(&input);
+    assert!(
+        report.is_clean(),
+        "fig2 must lint clean, got:\n{}",
+        report.render_human("fig2")
+    );
+}

@@ -39,7 +39,12 @@ fn exit_code(out: &Output) -> i32 {
 #[test]
 fn sat_input_exits_10() {
     let out = absolver().arg(FIG2).output().expect("run absolver");
-    assert_eq!(exit_code(&out), 10, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        exit_code(&out),
+        10,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("s SATISFIABLE"), "stdout: {stdout}");
 }
@@ -54,17 +59,31 @@ fn unsat_input_exits_20() {
 #[test]
 fn unknown_verdict_exits_30() {
     // The penalty engine alone cannot refute x*x <= -1, so the solver
-    // must admit Unknown rather than claim a verdict.
+    // must admit Unknown rather than claim a verdict. (The preprocessor
+    // would refute this statically, hence --no-preprocess.)
     let input = "p cnf 1 1\n1 0\nc def real 1 x * x <= -1\nc range x -10 10\n";
-    let out = run_stdin(&["--nonlinear", "penalty"], input);
-    assert_eq!(exit_code(&out), 30, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let out = run_stdin(&["--nonlinear", "penalty", "--no-preprocess"], input);
+    assert_eq!(
+        exit_code(&out),
+        30,
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("s UNKNOWN"));
 }
 
 #[test]
 fn iteration_limit_exits_40() {
-    let out = absolver().args(["--max-iterations", "0", FIG2]).output().expect("run");
-    assert_eq!(exit_code(&out), 40, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = absolver()
+        .args(["--max-iterations", "0", FIG2])
+        .output()
+        .expect("run");
+    assert_eq!(
+        exit_code(&out),
+        40,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -86,7 +105,10 @@ fn near_miss_directive_is_a_parse_error() {
 
 #[test]
 fn stats_json_emits_one_valid_object_with_phase_timings() {
-    let out = absolver().args(["--stats", "json", FIG2]).output().expect("run");
+    let out = absolver()
+        .args(["--stats", "json", FIG2])
+        .output()
+        .expect("run");
     assert_eq!(exit_code(&out), 10);
     let stdout = String::from_utf8_lossy(&out.stdout);
     let json_line = stdout
@@ -124,7 +146,12 @@ fn stats_json_works_in_parallel_mode() {
         .lines()
         .find(|l| l.starts_with('{'))
         .expect("a JSON stats line on stdout");
-    for key in ["\"jobs\":", "\"clauses_shared\":", "\"share_latency_us\":", "\"elapsed_us\":"] {
+    for key in [
+        "\"jobs\":",
+        "\"clauses_shared\":",
+        "\"share_latency_us\":",
+        "\"elapsed_us\":",
+    ] {
         assert!(json_line.contains(key), "missing {key} in {json_line}");
     }
 }
@@ -143,12 +170,115 @@ fn trace_flag_writes_jsonl_events() {
     let lines: Vec<&str> = trace.lines().collect();
     assert!(!lines.is_empty(), "trace must not be empty");
     for line in &lines {
-        assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line}");
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not JSONL: {line}"
+        );
     }
     assert!(trace.contains("\"kind\":\"solve.start\""));
     assert!(trace.contains("\"kind\":\"solve.end\""));
     assert!(trace.contains("\"kind\":\"theory.check\""));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+const MALFORMED: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/analyze/malformed.dimacs"
+);
+const LINTS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/analyze/lints.dimacs");
+
+#[test]
+fn check_clean_input_exits_0() {
+    let out = absolver().args(["check", FIG2]).output().expect("run");
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 error(s), 0 warning(s)"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn check_warnings_exit_3() {
+    let out = absolver().args(["check", LINTS]).output().expect("run");
+    assert_eq!(exit_code(&out), 3);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Compiler-style anchors: file:line:col: severity[code]: message.
+    assert!(stdout.contains(":5:1: warning[AB006]:"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("0 error(s), 6 warning(s)"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn check_errors_exit_4_with_stable_json() {
+    let out = absolver()
+        .args(["check", "--json", MALFORMED])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&out), 4);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/analyze/malformed.expected.json"
+    ))
+    .expect("golden file");
+    assert_eq!(stdout.trim_end(), expected.trim_end());
+}
+
+#[test]
+fn check_reads_stdin() {
+    let out = run_stdin(&["check"], "p cnf 1 1\n1 -1 0\n");
+    assert_eq!(exit_code(&out), 3);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("<stdin>:2:1: warning[AB006]"));
+}
+
+#[test]
+fn check_missing_file_exits_2() {
+    let out = absolver()
+        .args(["check", "/no/such/file.dimacs"])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn preprocess_flags_agree_on_verdict() {
+    let on = absolver().args(["--quiet", FIG2]).output().expect("run");
+    let off = absolver()
+        .args(["--no-preprocess", "--quiet", FIG2])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&on), 10);
+    assert_eq!(exit_code(&off), 10);
+}
+
+#[test]
+fn preprocess_stats_appear_in_json() {
+    let out = absolver()
+        .args(["--stats", "json", "--quiet", FIG2])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&out), 10);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("stats JSON");
+    for key in [
+        "\"preprocess\":{",
+        "\"vars_eliminated\":",
+        "\"ranges_tightened\":",
+        "\"time_us\":",
+    ] {
+        assert!(json_line.contains(key), "missing {key} in {json_line}");
+    }
 }
 
 #[test]

@@ -33,7 +33,10 @@ c range y -10 10
     for name in ["i", "j"] {
         let id = problem.arith_var(name).unwrap();
         let v = model.arith.value_f64(id).unwrap();
-        assert!((v - v.round()).abs() < 1e-6, "{name} = {v} must be integral");
+        assert!(
+            (v - v.round()).abs() < 1e-6,
+            "{name} = {v} must be integral"
+        );
     }
 }
 
@@ -41,7 +44,12 @@ c range y -10 10
 fn steering_case_study_statistics() {
     let p = steering_problem();
     assert_eq!(
-        (p.cnf().len(), p.num_constraints(), p.num_linear(), p.num_nonlinear()),
+        (
+            p.cnf().len(),
+            p.num_constraints(),
+            p.num_linear(),
+            p.num_nonlinear()
+        ),
         (976, 24, 4, 20),
         "paper Table 1 row 1"
     );
@@ -75,7 +83,10 @@ fn fischer_family_verdicts() {
         let sat = fischer(n);
         let outcome = orc.solve(&sat).unwrap();
         assert!(
-            outcome.model().map(|m| m.satisfies(&sat, 1e-9)).unwrap_or(false),
+            outcome
+                .model()
+                .map(|m| m.satisfies(&sat, 1e-9))
+                .unwrap_or(false),
             "fischer({n}) must be SAT with a valid model"
         );
     }
@@ -131,7 +142,10 @@ fn baselines_and_absolver_agree_on_linear_fischer() {
         assert!(CvcLike::new().solve(&sat).verdict.is_sat(), "n={n}");
         let unsat = fischer_mutex(FischerConfig::standard(n));
         assert!(orc.solve(&unsat).unwrap().is_unsat());
-        assert_eq!(MathSatLike::new().solve(&unsat).verdict, BaselineVerdict::Unsat);
+        assert_eq!(
+            MathSatLike::new().solve(&unsat).verdict,
+            BaselineVerdict::Unsat
+        );
         assert_eq!(CvcLike::new().solve(&unsat).verdict, BaselineVerdict::Unsat);
     }
 }
@@ -152,12 +166,18 @@ fn solve_all_surfaces_iteration_limit_error() {
     use absolver::core::{OrchestratorOptions, SolveError};
     let text = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n";
     let problem: AbProblem = text.parse().unwrap();
-    let opts = OrchestratorOptions { max_iterations: 1, ..Default::default() };
+    let opts = OrchestratorOptions {
+        max_iterations: 1,
+        ..Default::default()
+    };
     let mut orc = Orchestrator::with_defaults().with_options(opts);
     // Enumerating three models needs more than one Boolean iteration, so
     // the cap trips mid-enumeration and must surface as an error, not as
     // a silently short model list.
-    assert_eq!(orc.solve_all(&problem, usize::MAX), Err(SolveError::IterationLimit(1)));
+    assert_eq!(
+        orc.solve_all(&problem, usize::MAX),
+        Err(SolveError::IterationLimit(1))
+    );
 }
 
 #[test]

@@ -30,13 +30,20 @@ fn problem_gen() -> Gen<AbProblem> {
     );
     let int_kind = gen::bool_any();
     Gen::new(move |src| {
-        let (atoms, clauses, int_kind) =
-            (atoms.generate(src), clauses.generate(src), int_kind.generate(src));
+        let (atoms, clauses, int_kind) = (
+            atoms.generate(src),
+            clauses.generate(src),
+            int_kind.generate(src),
+        );
         let mut b = AbProblem::builder();
         for v in 0..3 {
             b.arith_var(
                 &format!("v{v}"),
-                if int_kind { VarKind::Int } else { VarKind::Real },
+                if int_kind {
+                    VarKind::Int
+                } else {
+                    VarKind::Real
+                },
             );
         }
         let vars: Vec<_> = atoms
@@ -109,10 +116,7 @@ fn one_atom_problem(e: Expr, rhs: Rational) -> AbProblem {
 /// `0 + (-4)^2` re-parsed with different semantics.
 #[test]
 fn regression_negative_base_pow() {
-    let p = one_atom_problem(
-        Expr::int(0) + Expr::int(-4).pow(2),
-        Rational::from_int(0),
-    );
+    let p = one_atom_problem(Expr::int(0) + Expr::int(-4).pow(2), Rational::from_int(0));
     check_round_trip(&p);
 }
 

@@ -98,10 +98,16 @@ fn incremental_stack_agrees_with_scratch_backend() {
             "round {round}: incremental {with_stack:?} vs scratch {without_stack:?}"
         );
         if let Some(m) = with_stack.model() {
-            assert!(m.satisfies(&problem, 1e-9), "round {round}: incremental model invalid");
+            assert!(
+                m.satisfies(&problem, 1e-9),
+                "round {round}: incremental model invalid"
+            );
         }
         if let Some(m) = without_stack.model() {
-            assert!(m.satisfies(&problem, 1e-9), "round {round}: scratch model invalid");
+            assert!(
+                m.satisfies(&problem, 1e-9),
+                "round {round}: scratch model invalid"
+            );
         }
         assert_eq!(
             scratch.stats().simplex_warm_starts,
@@ -134,9 +140,16 @@ fn cache_on_and_off_are_verdict_identical() {
             "round {round}: cache-on {with_cache:?} vs cache-off {without_cache:?}"
         );
         if let Some(m) = without_cache.model() {
-            assert!(m.satisfies(&problem, 1e-9), "round {round}: cache-off model invalid");
+            assert!(
+                m.satisfies(&problem, 1e-9),
+                "round {round}: cache-off model invalid"
+            );
         }
-        assert_eq!(off.stats().theory_cache_hits, 0, "round {round}: cache-off counted a hit");
+        assert_eq!(
+            off.stats().theory_cache_hits,
+            0,
+            "round {round}: cache-off counted a hit"
+        );
         assert_eq!(
             off.stats().theory_cache_misses,
             0,

@@ -67,7 +67,10 @@ fn stats_json_reflects_the_struct() {
     orc.solve(&fig2()).expect("solve");
     let stats = orc.stats();
     let json = stats.to_json();
-    assert!(json.contains(&format!("\"boolean_iterations\":{}", stats.boolean_iterations)));
+    assert!(json.contains(&format!(
+        "\"boolean_iterations\":{}",
+        stats.boolean_iterations
+    )));
     assert!(json.contains(&format!("\"simplex_pivots\":{}", stats.simplex_pivots)));
     assert!(json.contains(&format!("\"hc4_contractions\":{}", stats.hc4_contractions)));
     assert!(json.contains(&format!("\"elapsed_us\":{}", stats.elapsed.as_micros())));
@@ -76,17 +79,24 @@ fn stats_json_reflects_the_struct() {
 #[test]
 fn iteration_counter_is_strictly_monotone_across_solve_all() {
     let sink = Arc::new(CollectingSink::new());
-    let mut orc =
-        Orchestrator::with_defaults().with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+    let mut orc = Orchestrator::with_defaults().with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
     let models = orc.solve_all(&fig2(), 5).expect("solve_all");
     assert!(!models.is_empty());
     let iterations: Vec<u64> = sink
         .events()
         .iter()
         .filter(|e| e.kind == "boolean.model")
-        .map(|e| e.get("iteration").expect("iteration field").parse().expect("u64"))
+        .map(|e| {
+            e.get("iteration")
+                .expect("iteration field")
+                .parse()
+                .expect("u64")
+        })
         .collect();
-    assert!(!iterations.is_empty(), "boolean.model events must carry iterations");
+    assert!(
+        !iterations.is_empty(),
+        "boolean.model events must carry iterations"
+    );
     for pair in iterations.windows(2) {
         assert!(
             pair[0] < pair[1],
@@ -105,7 +115,13 @@ fn iteration_counter_is_strictly_monotone_across_solve_all() {
 #[test]
 fn single_shard_portfolio_traces_like_the_sequential_loop() {
     let problem = fig2();
-    let solver_kinds = ["boolean.model", "theory.check", "phase.linear", "phase.nonlinear", "conflict"];
+    let solver_kinds = [
+        "boolean.model",
+        "theory.check",
+        "phase.linear",
+        "phase.nonlinear",
+        "conflict",
+    ];
     let filter = |sink: &CollectingSink| -> Vec<String> {
         sink.events()
             .iter()
@@ -132,13 +148,18 @@ fn single_shard_portfolio_traces_like_the_sequential_loop() {
         base: OrchestratorOptions::default(),
         ..Default::default()
     };
-    let (par_outcome, _) = par.solve_parallel(&problem, &opts).expect("portfolio solve");
+    let (par_outcome, _) = par
+        .solve_parallel(&problem, &opts)
+        .expect("portfolio solve");
 
     assert_eq!(seq_outcome.is_sat(), par_outcome.is_sat());
     let seq_trace = filter(&seq_sink);
     let par_trace = filter(&par_sink);
     assert!(!seq_trace.is_empty());
-    assert_eq!(seq_trace, par_trace, "shard 0 must replay the sequential stack");
+    assert_eq!(
+        seq_trace, par_trace,
+        "shard 0 must replay the sequential stack"
+    );
     // The parallel run additionally stamps shard ids on every event.
     assert!(par_sink
         .events()

@@ -30,7 +30,12 @@ fn linear_problem_gen() -> Gen<AbProblem> {
             let rhs = gen::ints(-5i64..=5);
             let op = domain::cmp_op();
             Gen::new(move |src| {
-                (var.generate(src), k.generate(src), op.generate(src), rhs.generate(src))
+                (
+                    var.generate(src),
+                    k.generate(src),
+                    op.generate(src),
+                    rhs.generate(src),
+                )
             })
         },
         1..5,
@@ -48,9 +53,15 @@ fn linear_problem_gen() -> Gen<AbProblem> {
     );
     Gen::new(move |src| {
         let n = n_vars.generate(src);
-        let kind = if int_kind.generate(src) { VarKind::Int } else { VarKind::Real };
+        let kind = if int_kind.generate(src) {
+            VarKind::Int
+        } else {
+            VarKind::Real
+        };
         let mut b = AbProblem::builder();
-        let vars: Vec<usize> = (0..n).map(|i| b.arith_var(&format!("v{i}"), kind)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.arith_var(&format!("v{i}"), kind))
+            .collect();
         // Box every variable so verdicts don't hinge on unbounded rays.
         for &v in &vars {
             let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-6));
@@ -139,7 +150,9 @@ property! {
 /// `local_search` call would run for minutes — far past any test budget —
 /// unless the engine polls its interrupt.
 fn heavy_nonlinear_problem() -> AbProblem {
-    "p cnf 1 1\n1 0\nc def real 1 x^2 <= -1\nc range x -50 50\n".parse().unwrap()
+    "p cnf 1 1\n1 0\nc def real 1 x^2 <= -1\nc range x -50 50\n"
+        .parse()
+        .unwrap()
 }
 
 fn heavy_penalty_orchestrator() -> Orchestrator {
@@ -173,7 +186,10 @@ fn cancellation_is_observed_inside_a_theory_check() {
         (outcome, stats, raised.elapsed())
     });
     assert_eq!(outcome, Outcome::Unknown);
-    assert!(stats.cancelled, "stats must record the cancellation: {stats}");
+    assert!(
+        stats.cancelled,
+        "stats must record the cancellation: {stats}"
+    );
     assert!(
         stats.boolean_iterations <= 2,
         "cancel must interrupt the theory check itself, not wait out the budget: {stats}"
@@ -192,13 +208,19 @@ fn cancellation_is_observed_inside_a_theory_check() {
 fn time_limit_interrupts_a_deep_theory_check() {
     let problem = heavy_nonlinear_problem();
     let limit = Duration::from_millis(200);
-    let mut orc = heavy_penalty_orchestrator()
-        .with_options(OrchestratorOptions { time_limit: Some(limit), ..Default::default() });
+    let mut orc = heavy_penalty_orchestrator().with_options(OrchestratorOptions {
+        time_limit: Some(limit),
+        ..Default::default()
+    });
     let started = Instant::now();
     let outcome = orc.solve(&problem).unwrap();
     let elapsed = started.elapsed();
     assert_eq!(outcome, Outcome::Unknown);
-    assert!(orc.stats().timed_out, "stats must record the timeout: {}", orc.stats());
+    assert!(
+        orc.stats().timed_out,
+        "stats must record the timeout: {}",
+        orc.stats()
+    );
     assert!(
         elapsed < Duration::from_secs(10),
         "a 200ms limit must not let one theory check run for {elapsed:?}"
@@ -222,8 +244,9 @@ fn time_limit_bounds_parallel_runs() {
             ..Default::default()
         };
         let started = Instant::now();
-        let (outcome, stats) =
-            Orchestrator::with_defaults().solve_parallel(&problem, &opts).unwrap();
+        let (outcome, stats) = Orchestrator::with_defaults()
+            .solve_parallel(&problem, &opts)
+            .unwrap();
         let elapsed = started.elapsed();
         // The interval engine proves this UNSAT instantly, so the default
         // portfolio/cube stacks may legitimately finish inside the limit;
@@ -242,12 +265,21 @@ fn time_limit_bounds_parallel_runs() {
 fn portfolio_reports_cancel_latency() {
     // Satisfiable linear problem: some shard wins quickly and cancels
     // the rest.
-    let problem: AbProblem =
-        "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n".parse().unwrap();
-    let opts = ParallelOptions { jobs: 4, ..Default::default() };
-    let (outcome, stats) = Orchestrator::with_defaults().solve_parallel(&problem, &opts).unwrap();
+    let problem: AbProblem = "p cnf 2 1\n1 2 0\nc def real 1 x >= 0\nc def real 2 x <= 100\n"
+        .parse()
+        .unwrap();
+    let opts = ParallelOptions {
+        jobs: 4,
+        ..Default::default()
+    };
+    let (outcome, stats) = Orchestrator::with_defaults()
+        .solve_parallel(&problem, &opts)
+        .unwrap();
     assert!(outcome.is_sat());
-    assert!(stats.winner.is_some(), "someone must claim the win: {stats}");
+    assert!(
+        stats.winner.is_some(),
+        "someone must claim the win: {stats}"
+    );
     if let Some(latency) = stats.cancel_latency {
         assert!(
             latency < Duration::from_secs(5),

@@ -1,0 +1,176 @@
+//! Differential tests for the equisatisfiable preprocessor: solving with
+//! `--preprocess` (the `analyze` Simplifier installed) and without it
+//! must produce identical verdicts, and every model of the preprocessed
+//! run — after lifting through the reconstruction map — must satisfy the
+//! *original* problem.
+
+use absolver::analyze::Simplifier;
+use absolver::core::{AbProblem, Orchestrator, VarKind};
+use absolver::linear::CmpOp;
+use absolver::nonlinear::Expr;
+use absolver::num::{Interval, Rational};
+use absolver_testkit::{Rng, TestRng};
+
+/// Random problems in the solver_agreement shape, deliberately salted
+/// with the structures the simplifier rewrites: statically-true atoms
+/// (`v² ≥ −1`), unit clauses, pure Boolean variables, declared ranges,
+/// and the occasional duplicate clause.
+fn random_problem(rng: &mut TestRng) -> AbProblem {
+    let mut b = AbProblem::builder();
+    let n_arith = rng.gen_range(1..=2usize);
+    let vars: Vec<usize> = (0..n_arith)
+        .map(|i| b.arith_var(&format!("v{i}"), VarKind::Int))
+        .collect();
+    let mut atoms = Vec::new();
+    for &v in &vars {
+        let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3));
+        b.require(lo.positive());
+        let hi = b.atom(Expr::var(v), CmpOp::Le, Rational::from_int(3));
+        b.require(hi.positive());
+        if rng.gen_bool(0.5) {
+            b.set_range(v, Interval::new(-8.0, 8.0));
+        }
+    }
+    for _ in 0..rng.gen_range(1..5usize) {
+        let v1 = vars[rng.gen_range(0..vars.len())];
+        let v2 = vars[rng.gen_range(0..vars.len())];
+        let k1 = rng.gen_range(-2i64..=2);
+        let k2 = rng.gen_range(-2i64..=2);
+        let rhs = rng.gen_range(-4i64..=4);
+        let op = match rng.gen_range(0..5) {
+            0 => CmpOp::Lt,
+            1 => CmpOp::Le,
+            2 => CmpOp::Gt,
+            3 => CmpOp::Ge,
+            _ => CmpOp::Eq,
+        };
+        atoms.push(b.atom(
+            Expr::int(k1) * Expr::var(v1) + Expr::int(k2) * Expr::var(v2),
+            op,
+            Rational::from_int(rhs),
+        ));
+    }
+    if rng.gen_bool(0.5) {
+        // A tautological theory atom: v² ≥ −1 holds at every real point,
+        // so the simplifier eliminates it while the raw run must prove it.
+        let v = vars[rng.gen_range(0..vars.len())];
+        let atom = b.atom(
+            Expr::var(v) * Expr::var(v),
+            CmpOp::Ge,
+            Rational::from_int(-1),
+        );
+        b.require(atom.positive());
+    }
+    // Pure Boolean skeleton: undefined variables the preprocessor may
+    // resolve by unit propagation and pure-literal elimination.
+    let pures: Vec<_> = (0..rng.gen_range(1..=2usize))
+        .map(|_| b.bool_var())
+        .collect();
+    for _ in 0..rng.gen_range(1..4usize) {
+        let len = rng.gen_range(1..=2usize);
+        let mut lits: Vec<_> = (0..len)
+            .map(|_| {
+                let a = atoms[rng.gen_range(0..atoms.len())];
+                if rng.gen_bool(0.5) {
+                    a.positive()
+                } else {
+                    a.negative()
+                }
+            })
+            .collect();
+        if rng.gen_bool(0.4) {
+            let p = pures[rng.gen_range(0..pures.len())];
+            lits.push(if rng.gen_bool(0.5) {
+                p.positive()
+            } else {
+                p.negative()
+            });
+        }
+        b.add_clause(lits.clone());
+        if rng.gen_bool(0.2) {
+            b.add_clause(lits); // exact duplicate: must be dropped, harmlessly
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn preprocess_on_and_off_are_verdict_identical() {
+    let mut rng = TestRng::seed_from_u64(0x51_4D7);
+    let mut work = 0u64;
+    for round in 0..40 {
+        let problem = random_problem(&mut rng);
+
+        let mut plain = Orchestrator::with_defaults();
+        let raw = plain.solve(&problem).unwrap();
+
+        let mut pre = Orchestrator::with_defaults().with_preprocessor(Box::new(Simplifier::new()));
+        let simplified = pre.solve(&problem).unwrap();
+
+        assert_eq!(
+            raw.is_sat(),
+            simplified.is_sat(),
+            "round {round}: raw {raw:?} vs preprocessed {simplified:?}"
+        );
+        assert_eq!(
+            raw.is_unsat(),
+            simplified.is_unsat(),
+            "round {round}: raw {raw:?} vs preprocessed {simplified:?}"
+        );
+        if let Some(m) = simplified.model() {
+            // The lifted model must satisfy the problem as *written*, not
+            // the shrunk one the solver actually saw.
+            assert!(
+                m.satisfies(&problem, 1e-9),
+                "round {round}: lifted model invalid"
+            );
+        }
+        if let Some(m) = raw.model() {
+            assert!(
+                m.satisfies(&problem, 1e-9),
+                "round {round}: raw model invalid"
+            );
+        }
+        let stats = pre.stats();
+        work += stats.pre_vars_eliminated
+            + stats.pre_clauses_eliminated
+            + stats.pre_atoms_eliminated
+            + stats.pre_ranges_tightened;
+    }
+    assert!(work > 0, "corpus never exercised the simplifier");
+}
+
+#[test]
+fn preprocessing_reports_its_work_in_stats() {
+    // The paper's running example: two unit clauses force defined
+    // variables, so ranges are tightened while defs survive.
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fig2.dimacs"))
+            .unwrap();
+    let problem: AbProblem = text.parse().unwrap();
+    let mut orc = Orchestrator::with_defaults().with_preprocessor(Box::new(Simplifier::new()));
+    let outcome = orc.solve(&problem).unwrap();
+    assert!(outcome.is_sat());
+    let stats = orc.stats();
+    assert!(
+        stats.pre_ranges_tightened > 0,
+        "fig2 must tighten i/j from `i ≥ 0`, `j ≥ 0`"
+    );
+    assert!(stats.preprocess_time > std::time::Duration::ZERO);
+    if let Some(m) = outcome.model() {
+        assert!(m.satisfies(&problem, 1e-5));
+    }
+}
+
+#[test]
+fn trivially_unsat_is_caught_before_the_solver_runs() {
+    let problem: AbProblem = "p cnf 1 2\n1 0\n-1 0\n".parse().unwrap();
+    let mut orc = Orchestrator::with_defaults().with_preprocessor(Box::new(Simplifier::new()));
+    let outcome = orc.solve(&problem).unwrap();
+    assert!(outcome.is_unsat());
+    assert_eq!(
+        orc.stats().boolean_iterations,
+        0,
+        "the Boolean engine must not start"
+    );
+}

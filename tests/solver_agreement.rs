@@ -121,7 +121,10 @@ fn four_way_agreement_on_random_problems() {
         let tight = MathSatLike::new().solve(&problem);
         match (expected, &tight.verdict) {
             (true, BaselineVerdict::Sat(m)) => {
-                assert!(m.satisfies(&problem, 1e-9), "round {round}: tight model invalid")
+                assert!(
+                    m.satisfies(&problem, 1e-9),
+                    "round {round}: tight model invalid"
+                )
             }
             (false, BaselineVerdict::Unsat) => {}
             other => panic!("round {round}: tight disagrees: {other:?}"),
@@ -150,7 +153,12 @@ fn linear_problem_gen() -> Gen<AbProblem> {
             let rhs = gen::ints(-5i64..=5);
             let op = domain::cmp_op();
             Gen::new(move |src| {
-                (var.generate(src), k.generate(src), op.generate(src), rhs.generate(src))
+                (
+                    var.generate(src),
+                    k.generate(src),
+                    op.generate(src),
+                    rhs.generate(src),
+                )
             })
         },
         1..5,
@@ -168,9 +176,15 @@ fn linear_problem_gen() -> Gen<AbProblem> {
     );
     Gen::new(move |src| {
         let n = n_vars.generate(src);
-        let kind = if int_kind.generate(src) { VarKind::Int } else { VarKind::Real };
+        let kind = if int_kind.generate(src) {
+            VarKind::Int
+        } else {
+            VarKind::Real
+        };
         let mut b = AbProblem::builder();
-        let vars: Vec<usize> = (0..n).map(|i| b.arith_var(&format!("v{i}"), kind)).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| b.arith_var(&format!("v{i}"), kind))
+            .collect();
         // Box every variable so verdicts don't hinge on unbounded rays.
         for &v in &vars {
             let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-6));
@@ -263,6 +277,9 @@ fn integer_semantics_cross_check() {
     let mut orc = Orchestrator::with_defaults();
     assert!(orc.solve(&int_p).unwrap().is_unsat());
     assert!(orc.solve(&real_p).unwrap().is_sat());
-    assert_eq!(MathSatLike::new().solve(&int_p).verdict, BaselineVerdict::Unsat);
+    assert_eq!(
+        MathSatLike::new().solve(&int_p).verdict,
+        BaselineVerdict::Unsat
+    );
     assert!(MathSatLike::new().solve(&real_p).verdict.is_sat());
 }
