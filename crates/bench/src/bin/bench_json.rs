@@ -16,8 +16,11 @@
 //! With `--check-regress` each fresh run is additionally compared
 //! against the checked-in baseline `BENCH_<workload>.json` in
 //! `ABS_BENCH_BASELINE_DIR` (default `.`). The run fails (exit 1) if
-//! any workload is more than 25% slower than its baseline; an absolute
-//! grace of 100ms absorbs scheduler noise on sub-millisecond runs.
+//! any workload is more than 15% slower than its baseline or flips its
+//! verdict; an absolute grace of 50ms absorbs scheduler noise on
+//! sub-millisecond runs. The steering workload must additionally show a
+//! nonzero contraction-cache hit rate — it is the instance the cache
+//! exists for, so a zero reads as "the cache is wired but dead".
 
 use absolver_bench::harness::{env_seconds, format_duration, run_absolver_report};
 use absolver_bench::workloads::bench_suite;
@@ -35,10 +38,28 @@ fn baseline_elapsed_us(report: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Tolerated slowdown: 25% relative, plus 100ms absolute grace so
+/// Pulls the top-level `"verdict":"<s>"` out of a report.
+fn report_verdict(report: &str) -> Option<&str> {
+    let key = "\"verdict\":\"";
+    let at = report.find(key)? + key.len();
+    report[at..].split('"').next()
+}
+
+/// Pulls the `"contraction_cache_hit_rate":<f>` field out of a report.
+fn report_cache_hit_rate(report: &str) -> Option<f64> {
+    let key = "\"contraction_cache_hit_rate\":";
+    let at = report.find(key)? + key.len();
+    let num: String = report[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// Tolerated slowdown: 15% relative, plus 50ms absolute grace so
 /// micro-benchmarks (fischer, sudoku) don't flake on timer noise.
 fn regression_limit_us(baseline_us: u64) -> u64 {
-    baseline_us + baseline_us / 4 + 100_000
+    baseline_us + baseline_us * 3 / 20 + 50_000
 }
 
 fn main() {
@@ -90,11 +111,8 @@ fn main() {
         );
         if check_regress {
             let base_path = baseline_dir.join(format!("BENCH_{key}.json"));
-            match std::fs::read_to_string(&base_path)
-                .ok()
-                .as_deref()
-                .and_then(baseline_elapsed_us)
-            {
+            let baseline = std::fs::read_to_string(&base_path).ok();
+            match baseline.as_deref().and_then(baseline_elapsed_us) {
                 Some(base_us) => {
                     let fresh_us = m.elapsed.as_micros() as u64;
                     let limit_us = regression_limit_us(base_us);
@@ -111,6 +129,29 @@ fn main() {
                 None => {
                     eprintln!("  no usable baseline at {}", base_path.display());
                     failed = true;
+                }
+            }
+            if let Some(base_verdict) = baseline.as_deref().and_then(report_verdict) {
+                if base_verdict != m.verdict {
+                    eprintln!(
+                        "  VERDICT FLIP: {key} is now `{}`, baseline says `{base_verdict}`",
+                        m.verdict
+                    );
+                    failed = true;
+                }
+            }
+            if key == "steering" {
+                match report_cache_hit_rate(&report) {
+                    Some(rate) if rate > 0.0 => {
+                        eprintln!("  contraction cache alive: hit rate {rate:.3}");
+                    }
+                    other => {
+                        eprintln!(
+                            "  DEAD CACHE: steering contraction-cache hit rate is {other:?}, \
+                             expected > 0"
+                        );
+                        failed = true;
+                    }
                 }
             }
         }
@@ -133,9 +174,18 @@ mod tests {
 
     #[test]
     fn regression_limit_adds_relative_and_absolute_grace() {
-        // 1s baseline: 25% + 100ms grace.
-        assert_eq!(regression_limit_us(1_000_000), 1_350_000);
+        // 1s baseline: 15% + 50ms grace.
+        assert_eq!(regression_limit_us(1_000_000), 1_200_000);
         // Micro-run: the absolute grace dominates.
-        assert_eq!(regression_limit_us(800), 101_000);
+        assert_eq!(regression_limit_us(800), 50_920);
+    }
+
+    #[test]
+    fn report_field_extraction() {
+        let report = r#"{"workload":"steering","verdict":"sat","pivots_per_check":1.5,"contraction_cache_hit_rate":0.42,"stats":{"elapsed_us":99}}"#;
+        assert_eq!(report_verdict(report), Some("sat"));
+        assert_eq!(report_cache_hit_rate(report), Some(0.42));
+        assert_eq!(report_verdict("{}"), None);
+        assert_eq!(report_cache_hit_rate("{}"), None);
     }
 }

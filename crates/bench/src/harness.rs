@@ -112,6 +112,11 @@ pub fn run_absolver_report(
         .field_u64("nonlinear_constraints", problem.num_nonlinear() as u64)
         .field_f64("pivots_per_check", pivots_per_check)
         .field_f64("cache_hit_rate", cache_hit_rate)
+        .field_f64("contractions_per_check", stats.contractions_per_check())
+        .field_f64(
+            "contraction_cache_hit_rate",
+            stats.contraction_cache_hit_rate(),
+        )
         .field_str("raw_verdict", &raw_verdict)
         .field_u64("raw_elapsed_us", raw_elapsed.as_micros() as u64)
         .field_raw("stats", &stats.to_json());

@@ -327,12 +327,24 @@ pub struct NonlinearBackendStats {
     pub boxes_explored: u64,
     /// HC4 revise calls that narrowed (or emptied) a domain.
     pub hc4_contractions: u64,
+    /// BC3 shaving passes that narrowed (or emptied) a domain.
+    pub bc3_contractions: u64,
+    /// Interval-Newton passes that narrowed (or emptied) a domain.
+    pub newton_contractions: u64,
+    /// Contraction-cache lookups answered without a revise.
+    pub contraction_cache_hits: u64,
+    /// Contraction-cache lookups that fell through to a revise.
+    pub contraction_cache_misses: u64,
 }
 
 impl NonlinearBackendStats {
     fn absorb(&mut self, run: NlSearchStats) {
         self.boxes_explored += run.boxes_explored;
         self.hc4_contractions += run.hc4_contractions;
+        self.bc3_contractions += run.bc3_contractions;
+        self.newton_contractions += run.newton_contractions;
+        self.contraction_cache_hits += run.contraction_cache_hits;
+        self.contraction_cache_misses += run.contraction_cache_misses;
     }
 }
 
@@ -373,6 +385,16 @@ pub struct IntervalNonlinear {
     stats: NonlinearBackendStats,
 }
 
+impl IntervalNonlinear {
+    /// A backend with explicit engine options.
+    pub fn with_options(options: NlOptions) -> IntervalNonlinear {
+        IntervalNonlinear {
+            options,
+            stats: NonlinearBackendStats::default(),
+        }
+    }
+}
+
 impl NonlinearBackend for IntervalNonlinear {
     fn name(&self) -> &str {
         "interval"
@@ -402,6 +424,13 @@ pub struct PenaltyNonlinear {
     pub options: NlOptions,
 }
 
+impl PenaltyNonlinear {
+    /// A backend with explicit engine options.
+    pub fn with_options(options: NlOptions) -> PenaltyNonlinear {
+        PenaltyNonlinear { options }
+    }
+}
+
 impl NonlinearBackend for PenaltyNonlinear {
     fn name(&self) -> &str {
         "penalty"
@@ -427,6 +456,16 @@ pub struct CascadeNonlinear {
     /// Engine options.
     pub options: NlOptions,
     stats: NonlinearBackendStats,
+}
+
+impl CascadeNonlinear {
+    /// A backend with explicit engine options.
+    pub fn with_options(options: NlOptions) -> CascadeNonlinear {
+        CascadeNonlinear {
+            options,
+            stats: NonlinearBackendStats::default(),
+        }
+    }
 }
 
 impl NonlinearBackend for CascadeNonlinear {

@@ -132,6 +132,14 @@ pub struct OrchestratorStats {
     pub theory_cache_misses: u64,
     /// HC4 interval contractions performed by the nonlinear backends.
     pub hc4_contractions: u64,
+    /// BC3 bound-shaving contractions performed by the nonlinear backends.
+    pub bc3_contractions: u64,
+    /// Interval-Newton contractions performed by the nonlinear backends.
+    pub newton_contractions: u64,
+    /// Nonlinear contraction-cache lookups answered without a revise.
+    pub contraction_cache_hits: u64,
+    /// Nonlinear contraction-cache lookups that fell through to a revise.
+    pub contraction_cache_misses: u64,
     /// Wall-clock time of the preprocessing pass (zero when none is
     /// installed or the call bypassed it).
     pub preprocess_time: Duration,
@@ -153,7 +161,7 @@ impl fmt::Display for OrchestratorStats {
             f,
             "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} \
              timed_out={} cancelled={} shared={} imported={} pivots={} warm_starts={} \
-             cache_hits={} cache_misses={} contractions={} \
+             cache_hits={} cache_misses={} contractions={}/{}/{} contraction_cache={}/{} \
              pre_vars={} pre_clauses={} pre_atoms={} pre_ranges={} preprocess={:?} \
              boolean={:?} linear={:?} nonlinear={:?} conflict_min={:?} elapsed={:?}",
             self.boolean_iterations,
@@ -174,6 +182,10 @@ impl fmt::Display for OrchestratorStats {
             self.theory_cache_hits,
             self.theory_cache_misses,
             self.hc4_contractions,
+            self.bc3_contractions,
+            self.newton_contractions,
+            self.contraction_cache_hits,
+            self.contraction_cache_misses,
             self.pre_vars_eliminated,
             self.pre_clauses_eliminated,
             self.pre_atoms_eliminated,
@@ -189,6 +201,35 @@ impl fmt::Display for OrchestratorStats {
 }
 
 impl OrchestratorStats {
+    /// Total interval contractions across all cascade stages (HC4 + BC3 +
+    /// Newton).
+    pub fn total_contractions(&self) -> u64 {
+        self.hc4_contractions + self.bc3_contractions + self.newton_contractions
+    }
+
+    /// Average contractions per theory check — the nonlinear counterpart
+    /// of pivots-per-check, so nonlinear-only workloads report their
+    /// per-check effort instead of an all-zero simplex column. `0.0` when
+    /// no theory check ran.
+    pub fn contractions_per_check(&self) -> f64 {
+        if self.theory_checks == 0 {
+            0.0
+        } else {
+            self.total_contractions() as f64 / self.theory_checks as f64
+        }
+    }
+
+    /// Hit rate of the nonlinear contraction cache (`0.0` when it never
+    /// fired).
+    pub fn contraction_cache_hit_rate(&self) -> f64 {
+        let total = self.contraction_cache_hits + self.contraction_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.contraction_cache_hits as f64 / total as f64
+        }
+    }
+
     /// Serialises the statistics as a single JSON object (the payload of
     /// `--stats json` and the `BENCH_*.json` reports). Times are reported
     /// in integer microseconds; the per-phase ones are nested under
@@ -216,6 +257,10 @@ impl OrchestratorStats {
             .field_u64("theory_cache_hits", self.theory_cache_hits)
             .field_u64("theory_cache_misses", self.theory_cache_misses)
             .field_u64("hc4_contractions", self.hc4_contractions)
+            .field_u64("bc3_contractions", self.bc3_contractions)
+            .field_u64("newton_contractions", self.newton_contractions)
+            .field_u64("contraction_cache_hits", self.contraction_cache_hits)
+            .field_u64("contraction_cache_misses", self.contraction_cache_misses)
             .field_raw("preprocess", &{
                 let mut pre = JsonObject::new();
                 pre.field_u64("vars_eliminated", self.pre_vars_eliminated)
@@ -536,6 +581,10 @@ impl Orchestrator {
             let s = b.stats();
             total.boxes_explored += s.boxes_explored;
             total.hc4_contractions += s.hc4_contractions;
+            total.bc3_contractions += s.bc3_contractions;
+            total.newton_contractions += s.newton_contractions;
+            total.contraction_cache_hits += s.contraction_cache_hits;
+            total.contraction_cache_misses += s.contraction_cache_misses;
         }
         total
     }
@@ -552,6 +601,16 @@ impl Orchestrator {
             .conflict_min_time
             .saturating_sub(lin0.conflict_min_time);
         self.stats.hc4_contractions += nl1.hc4_contractions.saturating_sub(nl0.hc4_contractions);
+        self.stats.bc3_contractions += nl1.bc3_contractions.saturating_sub(nl0.bc3_contractions);
+        self.stats.newton_contractions += nl1
+            .newton_contractions
+            .saturating_sub(nl0.newton_contractions);
+        self.stats.contraction_cache_hits += nl1
+            .contraction_cache_hits
+            .saturating_sub(nl0.contraction_cache_hits);
+        self.stats.contraction_cache_misses += nl1
+            .contraction_cache_misses
+            .saturating_sub(nl0.contraction_cache_misses);
         if let Some(inc) = &self.incremental {
             let stack = inc.stack();
             self.stats.simplex_pivots += stack.pivots();

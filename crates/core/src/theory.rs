@@ -298,13 +298,51 @@ pub fn check(items: &[TheoryItem], ctx: &mut TheoryContext<'_>) -> TheoryVerdict
 
     // Phase 2: full system to the nonlinear backend(s).
     let nl_started = Instant::now();
+    let nl0 = nonlinear_stat_totals(ctx.nonlinear);
     let verdict = solve_nonlinear(&norm, ctx);
     let nl_elapsed = nl_started.elapsed();
     ctx.timing.nonlinear += nl_elapsed;
     if let Some(sink) = ctx.sink.filter(|s| s.enabled()) {
         sink.emit(&TraceEvent::new("phase.nonlinear").duration(nl_elapsed));
+        // Aggregate per-contractor effort of this check, from the
+        // backend-counter deltas.
+        let nl1 = nonlinear_stat_totals(ctx.nonlinear);
+        let deltas = [
+            ("contract.hc4", nl1.hc4_contractions - nl0.hc4_contractions),
+            ("contract.bc3", nl1.bc3_contractions - nl0.bc3_contractions),
+            (
+                "contract.newton",
+                nl1.newton_contractions - nl0.newton_contractions,
+            ),
+            (
+                "contract.cache_hit",
+                nl1.contraction_cache_hits - nl0.contraction_cache_hits,
+            ),
+        ];
+        for (kind, count) in deltas {
+            if count > 0 {
+                sink.emit(&TraceEvent::new(kind).field_u64("count", count));
+            }
+        }
     }
     verdict
+}
+
+/// Sum of the nonlinear backends' cumulative counters (for trace-event
+/// deltas around one check).
+fn nonlinear_stat_totals(
+    backends: &[Box<dyn NonlinearBackend>],
+) -> crate::backends::NonlinearBackendStats {
+    let mut total = crate::backends::NonlinearBackendStats::default();
+    for b in backends {
+        let s = b.stats();
+        total.hc4_contractions += s.hc4_contractions;
+        total.bc3_contractions += s.bc3_contractions;
+        total.newton_contractions += s.newton_contractions;
+        total.contraction_cache_hits += s.contraction_cache_hits;
+        total.contraction_cache_misses += s.contraction_cache_misses;
+    }
+    total
 }
 
 fn pad(mut v: Vec<Rational>, n: usize) -> Vec<Rational> {
@@ -666,14 +704,23 @@ fn rec_nonlinear(
         }
         NlVerdict::Unknown => TheoryVerdict::Unknown,
         NlVerdict::Sat(witness) => {
-            // Integer variables must come out (near-)integral on this path.
+            // Integer variables must come out integral on this path. Box
+            // midpoints rarely land on integers even when an integral
+            // solution exists, so snap them to the nearest integer and
+            // re-verify the full system before giving up.
+            let mut witness = witness;
+            let mut snapped = false;
             for (v, kind) in ctx.kinds.iter().enumerate() {
                 if *kind == VarKind::Int {
                     let rounded = witness[v].round();
                     if (witness[v] - rounded).abs() > 1e-6 {
-                        return TheoryVerdict::Unknown;
+                        witness[v] = rounded;
+                        snapped = true;
                     }
                 }
+            }
+            if snapped && !problem.is_satisfied(&witness, 1e-6) {
+                return TheoryVerdict::Unknown;
             }
             // Check disequalities; split lazily on a violated one.
             for (tag, d) in diseqs {

@@ -97,7 +97,7 @@ impl NlConstraint {
 
     /// The RHS as a sound enclosing interval: a point when the rational is
     /// exactly representable as a double, one ulp of widening otherwise.
-    fn rhs_interval(&self) -> Interval {
+    pub fn rhs_interval(&self) -> Interval {
         let v = self.rhs.to_f64();
         if Rational::from_f64(v).as_ref() == Some(&self.rhs) {
             Interval::point(v)
@@ -111,7 +111,13 @@ impl NlConstraint {
     /// `CertainlyTrue`/`CertainlyFalse` are rigorous (interval arithmetic
     /// with outward rounding); `Unknown` carries no information.
     pub fn check_box(&self, boxes: &[Interval]) -> IntervalVerdict {
-        let lhs = self.expr.eval_interval(boxes);
+        self.check_interval(self.expr.eval_interval(boxes))
+    }
+
+    /// Classifies a precomputed enclosure of the LHS (as produced by
+    /// `Expr::eval_interval` or the HC4 forward pass) against the RHS —
+    /// the allocation-free core of [`NlConstraint::check_box`].
+    pub fn check_interval(&self, lhs: Interval) -> IntervalVerdict {
         if lhs.is_empty() {
             // The expression is undefined everywhere in the box (e.g. sqrt
             // of a negative range): no point satisfies the constraint.
@@ -182,6 +188,12 @@ impl NlConstraint {
     /// Largest variable id mentioned, if any.
     pub fn max_var(&self) -> Option<VarId> {
         self.expr.max_var()
+    }
+
+    /// The set of variables the constraint mentions (delegates to the
+    /// expression); the projection the contraction cache keys on.
+    pub fn variables(&self) -> std::collections::BTreeSet<VarId> {
+        self.expr.variables()
     }
 
     /// The negated constraint as a disjunction (Sec. 1: `¬(= c)` splits

@@ -358,6 +358,27 @@ impl Expr {
         self.to_affine().is_some()
     }
 
+    /// Whether the expression contains a trigonometric subterm. HC4's
+    /// backward pass cannot invert the periodic functions, so constraints
+    /// over such expressions need a bound-shaving contractor (BC3) to
+    /// narrow at all; the cascade uses this to schedule BC3 where it is
+    /// the only contractor that can make progress.
+    pub fn has_trig(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => false,
+            Expr::Sin(_) | Expr::Cos(_) => true,
+            Expr::Neg(a)
+            | Expr::Pow(a, _)
+            | Expr::Exp(a)
+            | Expr::Ln(a)
+            | Expr::Sqrt(a)
+            | Expr::Abs(a) => a.has_trig(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.has_trig() || b.has_trig()
+            }
+        }
+    }
+
     fn precedence(&self) -> u8 {
         match self {
             Expr::Add(..) | Expr::Sub(..) => 1,
@@ -597,5 +618,98 @@ mod tests {
         assert_eq!(x().sin().to_string(), "sin v0");
         assert_eq!((-x()).to_string(), "-v0");
         assert_eq!(x().pow(3).to_string(), "v0^3");
+    }
+
+    /// Symbolic derivatives of partial functions (√, ln, |·|, division)
+    /// blow up exactly where the function's domain ends. The interval
+    /// Newton contractor evaluates them on boxes that *touch* those
+    /// boundaries, so the evaluation must stay panic-free and NaN-free
+    /// (infinite endpoints are the correct answer there) while still
+    /// enclosing the true derivative at interior points.
+    #[test]
+    fn derivative_eval_at_domain_boundaries() {
+        let no_nan = |iv: Interval, what: &str| {
+            assert!(
+                !iv.lo().is_nan() && !iv.hi().is_nan(),
+                "{what} produced NaN endpoint {iv}"
+            );
+        };
+        // d/dx √x = 1/(2√x): singular at the included endpoint x = 0.
+        let dsqrt = x().sqrt().derivative(0).simplify();
+        let on_boundary = dsqrt.eval_interval(&[Interval::new(0.0, 1.0)]);
+        no_nan(on_boundary, "(√x)' on [0,1]");
+        assert!(on_boundary.contains(0.5), "(√x)'(1) = ½ must be enclosed");
+        // d/dx ln x = 1/x on a box with the domain edge at 0.
+        let dln = x().ln().derivative(0).simplify();
+        let near_zero = dln.eval_interval(&[Interval::new(0.0, 2.0)]);
+        no_nan(near_zero, "(ln x)' on [0,2]");
+        assert!(near_zero.contains(0.5), "(ln x)'(2) = ½ must be enclosed");
+        // d/dx |x| = x/|x|: undefined at 0, ±1 elsewhere; a straddling
+        // box must keep both branches without manufacturing NaN.
+        let dabs = x().abs().derivative(0).simplify();
+        let straddle = dabs.eval_interval(&[Interval::new(-1.0, 1.0)]);
+        no_nan(straddle, "(|x|)' on [-1,1]");
+        if !straddle.is_empty() {
+            assert!(straddle.contains(1.0) && straddle.contains(-1.0));
+        }
+        // d/dx 1/x = -1/x²: point-box exactly on the pole.
+        let dinv = (Expr::int(1) / x()).derivative(0).simplify();
+        no_nan(
+            dinv.eval_interval(&[Interval::point(0.0)]),
+            "(1/x)' at [0,0]",
+        );
+        // Entirely outside the domain: (√x)' still contains √x, so a
+        // negative box yields empty. (ln x)' simplifies to the bare 1/x,
+        // which is defined on negatives — the domain restriction does not
+        // survive differentiation, and that is fine for Newton (it only
+        // widens the enclosure); it must still be finite and NaN-free.
+        assert!(dsqrt.eval_interval(&[Interval::new(-2.0, -1.0)]).is_empty());
+        let dln_neg = dln.eval_interval(&[Interval::new(-2.0, -1.0)]);
+        no_nan(dln_neg, "(ln x)' on [-2,-1]");
+        assert!(dln_neg.contains(-0.5), "1/x at x = -2");
+    }
+
+    use absolver_testkit::{domain, gen, property, Gen};
+
+    /// A box in `[-4, 4]` that may be empty, degenerate (a point), or
+    /// pinned to 0 at either end — the shapes branch-and-prune actually
+    /// produces next to domain boundaries.
+    fn boundary_box() -> Gen<Interval> {
+        Gen::new(|src| match gen::ints(0u32..6).generate(src) {
+            0 => Interval::EMPTY,
+            1 => Interval::point(gen::f64_in(-4.0, 4.0).generate(src)),
+            2 => Interval::new(0.0, gen::f64_in(0.0, 4.0).generate(src)),
+            3 => Interval::new(-gen::f64_in(0.0, 4.0).generate(src), 0.0),
+            _ => {
+                let (a, b) = (
+                    gen::f64_in(-4.0, 4.0).generate(src),
+                    gen::f64_in(-4.0, 4.0).generate(src),
+                );
+                Interval::new(a.min(b), a.max(b))
+            }
+        })
+    }
+
+    property! {
+        #![cases = 256]
+
+        /// Fuzz: symbolic derivatives of random expressions evaluated on
+        /// boundary-shaped boxes never panic or produce NaN endpoints,
+        /// with or without simplification.
+        fn derivative_interval_eval_is_total(
+            e in domain::expr(2, 3, domain::ExprProfile::polyish()),
+            bx in boundary_box(),
+            by in boundary_box(),
+            v in gen::ints(0usize..2),
+        ) {
+            let d = e.derivative(v);
+            for d in [d.clone(), d.simplify()] {
+                let iv = d.eval_interval(&[bx, by]);
+                assert!(
+                    !iv.lo().is_nan() && !iv.hi().is_nan(),
+                    "derivative of {e} w.r.t. v{v} on [{bx}, {by}] gave NaN endpoint {iv}"
+                );
+            }
+        }
     }
 }

@@ -23,66 +23,64 @@ pub enum Contraction {
     Unchanged,
 }
 
-/// Forward-evaluated expression tree (one interval per node).
-#[derive(Debug)]
-struct EvalTree {
-    iv: Interval,
-    kids: Vec<EvalTree>,
+/// Reusable arenas for allocation-free HC4 revises. The forward pass
+/// stores one interval (and subtree size) per expression node in
+/// postorder; the backward pass addresses children by index arithmetic
+/// (`right = idx − 1`, `left = idx − 1 − size[right]`). One scratch per
+/// cascade engine keeps the hot path free of per-call heap traffic.
+#[derive(Debug, Default)]
+pub struct ReviseScratch {
+    iv: Vec<Interval>,
+    size: Vec<u32>,
 }
 
-fn forward(e: &Expr, boxes: &[Interval]) -> EvalTree {
-    let (iv, kids) = match e {
-        Expr::Const(_) | Expr::Var(_) => (e.eval_interval(boxes), Vec::new()),
-        Expr::Neg(a) => {
-            let t = forward(a, boxes);
-            (t.iv.neg(), vec![t])
+/// Forward pass into the arena; returns the node's postorder index.
+fn forward(e: &Expr, boxes: &[Interval], s: &mut ReviseScratch) -> usize {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {
+            s.iv.push(e.eval_interval(boxes));
+            s.size.push(1);
         }
-        Expr::Add(a, b) => {
-            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
-            (ta.iv.add(tb.iv), vec![ta, tb])
+        Expr::Neg(a)
+        | Expr::Pow(a, _)
+        | Expr::Sin(a)
+        | Expr::Cos(a)
+        | Expr::Exp(a)
+        | Expr::Ln(a)
+        | Expr::Sqrt(a)
+        | Expr::Abs(a) => {
+            let c = forward(a, boxes, s);
+            let civ = s.iv[c];
+            let iv = match e {
+                Expr::Neg(_) => civ.neg(),
+                Expr::Pow(_, n) => civ.powi(*n),
+                Expr::Sin(_) => civ.sin(),
+                Expr::Cos(_) => civ.cos(),
+                Expr::Exp(_) => civ.exp(),
+                Expr::Ln(_) => civ.ln(),
+                Expr::Sqrt(_) => civ.sqrt(),
+                Expr::Abs(_) => civ.abs(),
+                _ => unreachable!(),
+            };
+            s.iv.push(iv);
+            s.size.push(s.size[c] + 1);
         }
-        Expr::Sub(a, b) => {
-            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
-            (ta.iv.sub(tb.iv), vec![ta, tb])
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+            let l = forward(a, boxes, s);
+            let r = forward(b, boxes, s);
+            let (liv, riv) = (s.iv[l], s.iv[r]);
+            let iv = match e {
+                Expr::Add(..) => liv.add(riv),
+                Expr::Sub(..) => liv.sub(riv),
+                Expr::Mul(..) => liv.mul(riv),
+                Expr::Div(..) => liv.div(riv),
+                _ => unreachable!(),
+            };
+            s.iv.push(iv);
+            s.size.push(s.size[l] + s.size[r] + 1);
         }
-        Expr::Mul(a, b) => {
-            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
-            (ta.iv.mul(tb.iv), vec![ta, tb])
-        }
-        Expr::Div(a, b) => {
-            let (ta, tb) = (forward(a, boxes), forward(b, boxes));
-            (ta.iv.div(tb.iv), vec![ta, tb])
-        }
-        Expr::Pow(a, n) => {
-            let t = forward(a, boxes);
-            (t.iv.powi(*n), vec![t])
-        }
-        Expr::Sin(a) => {
-            let t = forward(a, boxes);
-            (t.iv.sin(), vec![t])
-        }
-        Expr::Cos(a) => {
-            let t = forward(a, boxes);
-            (t.iv.cos(), vec![t])
-        }
-        Expr::Exp(a) => {
-            let t = forward(a, boxes);
-            (t.iv.exp(), vec![t])
-        }
-        Expr::Ln(a) => {
-            let t = forward(a, boxes);
-            (t.iv.ln(), vec![t])
-        }
-        Expr::Sqrt(a) => {
-            let t = forward(a, boxes);
-            (t.iv.sqrt(), vec![t])
-        }
-        Expr::Abs(a) => {
-            let t = forward(a, boxes);
-            (t.iv.abs(), vec![t])
-        }
-    };
-    EvalTree { iv, kids }
+    }
+    s.iv.len() - 1
 }
 
 /// Interval cube root with outward widening (safe for backward passes).
@@ -105,11 +103,59 @@ fn cbrt_outward(iv: Interval) -> Interval {
     Interval::checked(lo, hi)
 }
 
+/// Signed nth root (odd `n`) of a single value, for [`nth_root_outward`].
+fn signed_root(v: f64, n: i32) -> f64 {
+    if v >= 0.0 {
+        v.powf(1.0 / n as f64)
+    } else {
+        -(-v).powf(1.0 / n as f64)
+    }
+}
+
+/// Interval nth root with generous outward widening (`powf` is not
+/// correctly rounded, so widen four ulps per endpoint). For odd `n` the
+/// root is signed and monotone over the whole line; callers handle the
+/// even case by clipping to the non-negative range first.
+fn nth_root_outward(iv: Interval, n: i32) -> Interval {
+    debug_assert!(n >= 2);
+    if iv.is_empty() {
+        return Interval::EMPTY;
+    }
+    let widen_down = |mut v: f64| {
+        for _ in 0..4 {
+            if v.is_finite() {
+                v = v.next_down();
+            }
+        }
+        v
+    };
+    let widen_up = |mut v: f64| {
+        for _ in 0..4 {
+            if v.is_finite() {
+                v = v.next_up();
+            }
+        }
+        v
+    };
+    let lo = signed_root(iv.lo(), n);
+    let hi = signed_root(iv.hi(), n);
+    Interval::checked(widen_down(lo.min(hi)), widen_up(lo.max(hi)))
+}
+
 /// Backward propagation: narrows variable domains so the subtree can still
 /// produce a value in `target`. Returns `false` when a domain becomes
-/// empty (the constraint is infeasible in the box).
-fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) -> bool {
-    let target = target.intersect(t.iv);
+/// empty (the constraint is infeasible in the box). `idx` addresses the
+/// node's forward interval in the arena; `changed` flips when a variable
+/// domain actually narrows.
+fn backward(
+    e: &Expr,
+    idx: usize,
+    target: Interval,
+    boxes: &mut [Interval],
+    s: &ReviseScratch,
+    changed: &mut bool,
+) -> bool {
+    let target = target.intersect(s.iv[idx]);
     if target.is_empty() {
         return false;
     }
@@ -120,22 +166,31 @@ fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) ->
             if narrowed.is_empty() {
                 return false;
             }
-            boxes[*v] = narrowed;
+            if narrowed != boxes[*v] {
+                boxes[*v] = narrowed;
+                *changed = true;
+            }
             true
         }
-        Expr::Neg(a) => backward(a, &t.kids[0], target.neg(), boxes),
+        Expr::Neg(a) => backward(a, idx - 1, target.neg(), boxes, s, changed),
         Expr::Add(a, b) => {
-            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
-            backward(a, &t.kids[0], target.sub(ib), boxes)
-                && backward(b, &t.kids[1], target.sub(ia), boxes)
+            let r = idx - 1;
+            let l = r - s.size[r] as usize;
+            let (ia, ib) = (s.iv[l], s.iv[r]);
+            backward(a, l, target.sub(ib), boxes, s, changed)
+                && backward(b, r, target.sub(ia), boxes, s, changed)
         }
         Expr::Sub(a, b) => {
-            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
-            backward(a, &t.kids[0], target.add(ib), boxes)
-                && backward(b, &t.kids[1], ia.sub(target), boxes)
+            let r = idx - 1;
+            let l = r - s.size[r] as usize;
+            let (ia, ib) = (s.iv[l], s.iv[r]);
+            backward(a, l, target.add(ib), boxes, s, changed)
+                && backward(b, r, ia.sub(target), boxes, s, changed)
         }
         Expr::Mul(a, b) => {
-            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
+            let r = idx - 1;
+            let l = r - s.size[r] as usize;
+            let (ia, ib) = (s.iv[l], s.iv[r]);
             // a = target / b (conservative when b straddles zero).
             let ta = if ib.contains(0.0) && target.contains(0.0) {
                 ia // no information
@@ -147,10 +202,12 @@ fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) ->
             } else {
                 target.div(ia)
             };
-            backward(a, &t.kids[0], ta, boxes) && backward(b, &t.kids[1], tb, boxes)
+            backward(a, l, ta, boxes, s, changed) && backward(b, r, tb, boxes, s, changed)
         }
         Expr::Div(a, b) => {
-            let (ia, ib) = (t.kids[0].iv, t.kids[1].iv);
+            let r = idx - 1;
+            let l = r - s.size[r] as usize;
+            let (ia, ib) = (s.iv[l], s.iv[r]);
             // a = target · b; b = a / target.
             let ta = target.mul(ib);
             let tb = if target.contains(0.0) {
@@ -158,11 +215,12 @@ fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) ->
             } else {
                 ia.div(target)
             };
-            backward(a, &t.kids[0], ta, boxes) && backward(b, &t.kids[1], tb, boxes)
+            backward(a, l, ta, boxes, s, changed) && backward(b, r, tb, boxes, s, changed)
         }
         Expr::Pow(a, n) => {
+            let c = idx - 1;
             let child_target = match *n {
-                0 => t.kids[0].iv, // no information
+                0 => s.iv[c], // no information
                 1 => target,
                 2 => {
                     let root = target.sqrt();
@@ -172,9 +230,19 @@ fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) ->
                     root.hull(root.neg())
                 }
                 3 => cbrt_outward(target),
-                _ => t.kids[0].iv, // higher powers: skip backward step (sound)
+                n if n > 3 && n % 2 == 1 => nth_root_outward(target, n),
+                n if n > 3 => {
+                    // Even power: xⁿ ≥ 0, root branches mirror around 0.
+                    let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
+                    if nonneg.is_empty() {
+                        return false;
+                    }
+                    let root = nth_root_outward(nonneg, n);
+                    root.hull(root.neg())
+                }
+                _ => s.iv[c], // negative powers: skip backward step (sound)
             };
-            backward(a, &t.kids[0], child_target, boxes)
+            backward(a, c, child_target, boxes, s, changed)
         }
         Expr::Exp(a) => {
             let child_target = target.ln();
@@ -184,50 +252,75 @@ fn backward(e: &Expr, t: &EvalTree, target: Interval, boxes: &mut [Interval]) ->
                 // target clipped to exactly {0⁻ boundary}; treat as empty.
                 return false;
             }
-            backward(a, &t.kids[0], child_target, boxes)
+            backward(a, idx - 1, child_target, boxes, s, changed)
         }
-        Expr::Ln(a) => backward(a, &t.kids[0], target.exp(), boxes),
+        Expr::Ln(a) => backward(a, idx - 1, target.exp(), boxes, s, changed),
         Expr::Sqrt(a) => {
             let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
             if nonneg.is_empty() {
                 return false;
             }
-            backward(a, &t.kids[0], nonneg.powi(2), boxes)
+            backward(a, idx - 1, nonneg.powi(2), boxes, s, changed)
         }
         Expr::Abs(a) => {
             let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
             if nonneg.is_empty() {
                 return false;
             }
-            backward(a, &t.kids[0], nonneg.hull(nonneg.neg()), boxes)
+            backward(a, idx - 1, nonneg.hull(nonneg.neg()), boxes, s, changed)
         }
         // Periodic functions: keep the forward check, skip backward
-        // narrowing (always sound).
-        Expr::Sin(a) | Expr::Cos(a) => backward_noop(a, &t.kids[0], boxes),
+        // narrowing (always sound) — recurse with the child's own interval
+        // so deeper nodes still get their consistency check.
+        Expr::Sin(a) | Expr::Cos(a) => {
+            let c = idx - 1;
+            backward(a, c, s.iv[c], boxes, s, changed)
+        }
     }
-}
-
-fn backward_noop(e: &Expr, t: &EvalTree, boxes: &mut [Interval]) -> bool {
-    // Still recurse with the child's own interval so deeper nodes get their
-    // consistency check, but learn nothing new.
-    backward(e, t, t.iv, boxes)
 }
 
 /// Applies HC4-revise for a single constraint, narrowing `boxes` in place.
 pub fn hc4_revise(constraint: &NlConstraint, boxes: &mut [Interval]) -> Contraction {
-    let before = boxes.to_vec();
-    let tree = forward(&constraint.expr, boxes);
-    if tree.iv.is_empty() {
-        return Contraction::Empty;
+    let mut scratch = ReviseScratch::default();
+    hc4_revise_scratch(
+        constraint,
+        constraint.target_interval(),
+        boxes,
+        &mut scratch,
+    )
+    .0
+}
+
+/// Allocation-free HC4-revise using a caller-owned [`ReviseScratch`] and a
+/// precomputed `target` (= [`NlConstraint::target_interval`], hoisted out
+/// of the hot loop because the rational→interval conversion is not free).
+///
+/// Also returns the *forward enclosure* of the constraint's LHS over the
+/// input box — callers classify it against the RHS to detect entailment
+/// (the constraint holding over the whole box) at no extra cost.
+pub fn hc4_revise_scratch(
+    constraint: &NlConstraint,
+    target: Interval,
+    boxes: &mut [Interval],
+    scratch: &mut ReviseScratch,
+) -> (Contraction, Interval) {
+    scratch.iv.clear();
+    scratch.size.clear();
+    let root = forward(&constraint.expr, boxes, scratch);
+    let lhs = scratch.iv[root];
+    if lhs.is_empty() {
+        return (Contraction::Empty, lhs);
     }
-    if !backward(&constraint.expr, &tree, constraint.target_interval(), boxes) {
-        return Contraction::Empty;
+    let mut changed = false;
+    if !backward(&constraint.expr, root, target, boxes, scratch, &mut changed) {
+        return (Contraction::Empty, lhs);
     }
-    if boxes.iter().zip(&before).any(|(a, b)| a != b) {
+    let out = if changed {
         Contraction::Changed
     } else {
         Contraction::Unchanged
-    }
+    };
+    (out, lhs)
 }
 
 /// Propagates a conjunction of constraints to a fixpoint (bounded by
@@ -404,5 +497,30 @@ mod tests {
         let mut bx = vec![Interval::new(-10.0, 10.0)];
         propagate(&[c], &mut bx, 10);
         assert!(bx[0].lo() >= 2.0 - 1e-6, "{}", bx[0]);
+    }
+
+    #[test]
+    fn higher_power_backward() {
+        // x⁴ ≤ 16 → x ∈ [-2, 2], keeping the whole solution set.
+        let c = NlConstraint::new(x().pow(4), CmpOp::Le, q(16));
+        let mut bx = vec![Interval::new(-100.0, 100.0)];
+        propagate(std::slice::from_ref(&c), &mut bx, 10);
+        assert!(
+            bx[0].lo() >= -2.0 - 1e-6 && bx[0].hi() <= 2.0 + 1e-6,
+            "{}",
+            bx[0]
+        );
+        assert!(bx[0].contains(2.0) && bx[0].contains(-2.0));
+        // x⁵ ≥ 32 → x ≥ 2 (odd roots are signed).
+        let c = NlConstraint::new(x().pow(5), CmpOp::Ge, q(32));
+        let mut bx = vec![Interval::new(-100.0, 100.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].lo() >= 2.0 - 1e-6, "{}", bx[0]);
+        assert!(bx[0].contains(2.0));
+        // x⁶ ≥ 64 over a negative-only domain → x ≤ -2 survives.
+        let c = NlConstraint::new(x().pow(6), CmpOp::Ge, q(64));
+        let mut bx = vec![Interval::new(-100.0, -1.0)];
+        propagate(&[c], &mut bx, 10);
+        assert!(bx[0].contains(-3.0));
     }
 }

@@ -9,7 +9,9 @@
 //!   evaluation, symbolic differentiation, and affine-form extraction.
 //! * [`NlConstraint`] — comparisons `expr ⋈ c` with point, tolerance and
 //!   box (three-valued) evaluation.
-//! * [`hc4`] — the HC4 forward–backward interval contractor.
+//! * [`hc4`] — the HC4 forward–backward interval contractor, the cheap
+//!   first stage of the contractor [`cascade`] (HC4 → BC3 bound shaving
+//!   → interval [`newton`]), backed by a bounded contraction [`cache`].
 //! * [`NlProblem`] — feasibility of constraint conjunctions via rigorous
 //!   [`branch_and_prune`] (which can *prove* UNSAT over a box) cascaded
 //!   with an IPOPT-style multistart [`local_search`].
@@ -37,13 +39,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod cascade;
 mod constraint;
 mod expr;
 pub mod hc4;
+pub mod newton;
 mod solve;
 
+pub use cascade::{
+    bc3_revise, cascade_contract, ActiveSet, Cascade, CascadeStats, ContractorConfig,
+};
 pub use constraint::{IntervalVerdict, NlConstraint};
 pub use expr::{Expr, VarId};
+pub use newton::{newton_revise, NewtonConstraint};
 pub use solve::{
     branch_and_prune, branch_and_prune_stats, local_search, NlOptions, NlProblem, NlSearchStats,
     NlVerdict,

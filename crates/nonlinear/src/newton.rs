@@ -1,0 +1,216 @@
+//! Univariate parametric interval Newton contraction.
+//!
+//! For an equality constraint `f(x₁, …, xₙ) = c` and one variable `v`,
+//! the mean-value theorem gives, for any solution point with `xᵥ = x*`
+//! and the other coordinates fixed at `y*`:
+//!
+//! ```text
+//! 0 = f(m, y*) − c + f′ᵥ(ξ, y*)·(x* − m)      for some ξ between m and x*
+//! ```
+//!
+//! so `x* ∈ m − F(m)/F′`, where `F(m)` is a sound enclosure of
+//! `f(m, ·) − c` over the box (midpoint in `v`, full intervals elsewhere)
+//! and `F′` encloses `∂f/∂v` over the whole box. Intersecting that Newton
+//! set with the current domain of `v` never discards a solution — and an
+//! empty intersection *proves* the box contains none.
+//!
+//! The MVT argument needs `f` smooth in `v` along the segment, which the
+//! contractor enforces conservatively: it only fires when the interval
+//! evaluation of the symbolic derivative is non-empty and **bounded**.
+//! Every non-smooth or partial spot (`abs`/`sqrt`/`ln`/`÷` at their
+//! boundaries) inflates the derivative enclosure to an infinite endpoint
+//! through the interval division involved, which vetoes the step.
+
+use crate::constraint::NlConstraint;
+use crate::expr::{Expr, VarId};
+use crate::hc4::Contraction;
+use absolver_linear::CmpOp;
+use absolver_num::Interval;
+
+/// An equality constraint compiled for Newton contraction: the LHS, a
+/// sound RHS enclosure, and the simplified symbolic partials for each
+/// mentioned variable.
+#[derive(Debug, Clone)]
+pub struct NewtonConstraint {
+    expr: Expr,
+    rhs: Interval,
+    derivs: Vec<(VarId, Expr)>,
+}
+
+impl NewtonConstraint {
+    /// Compiles an equality constraint; returns `None` for inequalities
+    /// (Newton contracts roots, not half-spaces) and for constraints
+    /// without variables.
+    pub fn build(c: &NlConstraint) -> Option<NewtonConstraint> {
+        if c.op != CmpOp::Eq {
+            return None;
+        }
+        let vars: Vec<VarId> = c.variables().into_iter().collect();
+        if vars.is_empty() {
+            return None;
+        }
+        let derivs = vars
+            .into_iter()
+            .map(|v| (v, c.expr.derivative(v).simplify()))
+            .collect();
+        Some(NewtonConstraint {
+            expr: c.expr.clone(),
+            // For Eq the target interval *is* the RHS enclosure.
+            rhs: c.target_interval(),
+            derivs,
+        })
+    }
+
+    /// One Newton pass over every compiled variable, narrowing `boxes` in
+    /// place. Sound: only regions provably free of roots are removed.
+    pub fn revise(&self, boxes: &mut [Interval]) -> Contraction {
+        let mut changed = false;
+        for (v, deriv) in &self.derivs {
+            let v = *v;
+            let domain = boxes[v];
+            if domain.is_empty() || domain.is_point() {
+                continue;
+            }
+            let fp = deriv.eval_interval(boxes);
+            if fp.is_empty() || !fp.lo().is_finite() || !fp.hi().is_finite() {
+                continue; // possibly non-smooth in v: MVT not applicable
+            }
+            let m = domain.midpoint();
+            let saved = boxes[v];
+            boxes[v] = Interval::point(m);
+            let fm = self.expr.eval_interval(boxes).sub(self.rhs);
+            boxes[v] = saved;
+            if fm.is_empty() {
+                continue; // f undefined at the midpoint slice: no info
+            }
+            let center = Interval::point(m);
+            let narrowed = if fp.contains(0.0) {
+                let (neg, pos) = fm.div_ext(fp);
+                match (neg, pos) {
+                    (None, None) => {
+                        // F′ is identically zero: f is constant in v, so a
+                        // root exists iff 0 ∈ F(m).
+                        if fm.contains(0.0) {
+                            continue;
+                        }
+                        return Contraction::Empty;
+                    }
+                    (neg, pos) => {
+                        let from = |q: Option<Interval>| match q {
+                            Some(q) => center.sub(q).intersect(domain),
+                            None => Interval::EMPTY,
+                        };
+                        from(neg).hull(from(pos))
+                    }
+                }
+            } else {
+                center.sub(fm.div(fp)).intersect(domain)
+            };
+            if narrowed.is_empty() {
+                return Contraction::Empty;
+            }
+            if narrowed != domain {
+                boxes[v] = narrowed;
+                changed = true;
+            }
+        }
+        if changed {
+            Contraction::Changed
+        } else {
+            Contraction::Unchanged
+        }
+    }
+}
+
+/// Convenience wrapper: compiles and applies one Newton pass for a single
+/// constraint. Inequality constraints report [`Contraction::Unchanged`].
+pub fn newton_revise(constraint: &NlConstraint, boxes: &mut [Interval]) -> Contraction {
+    match NewtonConstraint::build(constraint) {
+        Some(nc) => nc.revise(boxes),
+        None => Contraction::Unchanged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_num::Rational;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn q(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn newton_converges_on_sqrt2() {
+        // x² = 2 over [1, 2]: quadratic convergence toward √2.
+        let c = NlConstraint::new(x().pow(2), CmpOp::Eq, q(2));
+        let mut bx = vec![Interval::new(1.0, 2.0)];
+        for _ in 0..8 {
+            if newton_revise(&c, &mut bx) != Contraction::Changed {
+                break;
+            }
+        }
+        let root = std::f64::consts::SQRT_2;
+        assert!(bx[0].contains(root), "lost √2: {}", bx[0]);
+        assert!(bx[0].width() < 1e-6, "no convergence: {}", bx[0]);
+    }
+
+    #[test]
+    fn newton_proves_rootless_box_empty() {
+        // x² = 2 over [3, 4]: no root, and the derivative 2x is bounded
+        // away from zero, so Newton proves emptiness.
+        let c = NlConstraint::new(x().pow(2), CmpOp::Eq, q(2));
+        let mut bx = vec![Interval::new(3.0, 4.0)];
+        assert_eq!(newton_revise(&c, &mut bx), Contraction::Empty);
+    }
+
+    #[test]
+    fn newton_keeps_both_roots_when_derivative_straddles_zero() {
+        // x² = 2 over [-2, 2]: f′ = 2x straddles 0; extended division must
+        // keep both ±√2.
+        let c = NlConstraint::new(x().pow(2), CmpOp::Eq, q(2));
+        let mut bx = vec![Interval::new(-2.0, 2.0)];
+        let out = newton_revise(&c, &mut bx);
+        assert_ne!(out, Contraction::Empty);
+        let root = std::f64::consts::SQRT_2;
+        assert!(bx[0].contains(root) && bx[0].contains(-root), "{}", bx[0]);
+    }
+
+    #[test]
+    fn newton_skips_inequalities() {
+        let c = NlConstraint::new(x().pow(2), CmpOp::Le, q(2));
+        let mut bx = vec![Interval::new(-10.0, 10.0)];
+        assert_eq!(newton_revise(&c, &mut bx), Contraction::Unchanged);
+        assert_eq!(bx[0], Interval::new(-10.0, 10.0));
+    }
+
+    #[test]
+    fn newton_multivariate_parametric() {
+        // x·y = 6 with y ∈ [2.9, 3.1]: contracting x toward 6/y ≈ 2.
+        let c = NlConstraint::new(x() * Expr::var(1), CmpOp::Eq, q(6));
+        let mut bx = vec![Interval::new(0.1, 10.0), Interval::new(2.9, 3.1)];
+        for _ in 0..10 {
+            if newton_revise(&c, &mut bx) != Contraction::Changed {
+                break;
+            }
+        }
+        assert!(bx[0].contains(2.0), "2 = 6/3 must survive: {}", bx[0]);
+        assert!(bx[0].width() < 2.0, "x must have narrowed: {}", bx[0]);
+    }
+
+    #[test]
+    fn newton_vetoes_nonsmooth_abs() {
+        // |x| = 1 over [-2, 2]: derivative enclosure x·1/|x| has an
+        // unbounded endpoint (division by an interval containing zero), so
+        // the step is vetoed and both roots ±1 survive untouched.
+        let c = NlConstraint::new(x().abs(), CmpOp::Eq, q(1));
+        let mut bx = vec![Interval::new(-2.0, 2.0)];
+        let out = newton_revise(&c, &mut bx);
+        assert_ne!(out, Contraction::Empty);
+        assert!(bx[0].contains(1.0) && bx[0].contains(-1.0));
+    }
+}

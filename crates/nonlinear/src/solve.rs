@@ -15,8 +15,9 @@
 //!
 //! [`NlProblem::solve`] runs them in sequence and merges the verdicts.
 
+use crate::cascade::{ActiveSet, Cascade, ContractorConfig};
 use crate::constraint::{IntervalVerdict, NlConstraint};
-use crate::hc4::{propagate_counted, Contraction};
+use crate::hc4::Contraction;
 use absolver_num::Interval;
 
 /// Search-effort counters of one [`branch_and_prune_stats`] run.
@@ -26,6 +27,29 @@ pub struct NlSearchStats {
     pub boxes_explored: u64,
     /// HC4 revise calls that actually narrowed (or emptied) a domain.
     pub hc4_contractions: u64,
+    /// BC3 shaving passes that narrowed (or emptied) a domain.
+    pub bc3_contractions: u64,
+    /// Interval-Newton passes that narrowed (or emptied) a domain.
+    pub newton_contractions: u64,
+    /// Contraction-cache lookups answered without a revise.
+    pub contraction_cache_hits: u64,
+    /// Contraction-cache lookups that fell through to a revise.
+    pub contraction_cache_misses: u64,
+    /// Times the stagnation cutoff abandoned a box search early (see
+    /// [`branch_and_prune_stats`]): the solver then leans on the local
+    /// search and, failing that, the surrounding CDCL loop.
+    pub stagnation_cuts: u64,
+}
+
+impl NlSearchStats {
+    /// Folds one cascade engine's counters into the run totals.
+    fn absorb_cascade(&mut self, c: &crate::cascade::CascadeStats) {
+        self.hc4_contractions += c.hc4_contractions;
+        self.bc3_contractions += c.bc3_contractions;
+        self.newton_contractions += c.newton_contractions;
+        self.contraction_cache_hits += c.cache_hits;
+        self.contraction_cache_misses += c.cache_misses;
+    }
 }
 
 /// Verdict of a nonlinear feasibility query.
@@ -77,6 +101,15 @@ pub struct NlOptions {
     /// Wall-clock deadline: past it, the engines abandon the search at
     /// their next check point and report `Unknown`.
     pub deadline: Option<std::time::Instant>,
+    /// Which contractors the cascade runs (HC4 is always on; BC3 and
+    /// Newton default on).
+    pub contractors: ContractorConfig,
+    /// Memoize per-constraint HC4 fixpoints keyed on the quantized box
+    /// projection (on by default; disable for ablation).
+    pub contraction_cache: bool,
+    /// Worker threads for the box search. `1` (the default) keeps the
+    /// deterministic sequential depth-first exploration.
+    pub nl_jobs: usize,
 }
 
 impl NlOptions {
@@ -110,6 +143,9 @@ impl Default for NlOptions {
             seed: 0x5EED_AB50,
             cancel: None,
             deadline: None,
+            contractors: ContractorConfig::default(),
+            contraction_cache: true,
+            nl_jobs: 1,
         }
     }
 }
@@ -180,7 +216,7 @@ impl NlProblem {
     /// Like [`NlProblem::solve_with`], but also reports the search-effort
     /// counters of the branch-and-prune stage.
     pub fn solve_with_stats(&self, opts: &NlOptions) -> (NlVerdict, NlSearchStats) {
-        let (verdict, stats) = branch_and_prune_stats(self, opts);
+        let (verdict, stats) = branch_and_prune_inner(self, opts, true);
         let verdict = match verdict {
             NlVerdict::Unknown => match local_search(self, opts) {
                 Some(point) => NlVerdict::Sat(point),
@@ -214,9 +250,140 @@ pub fn branch_and_prune(problem: &NlProblem, opts: &NlOptions) -> NlVerdict {
     branch_and_prune_stats(problem, opts).0
 }
 
+/// Outcome of examining one contracted box: a witness, a refutation, a
+/// split, or a too-tiny inconclusive leaf.
+enum BoxStep {
+    Sat(Vec<f64>),
+    Refuted,
+    Tiny,
+    Split(usize, Vec<Interval>, Vec<Interval>),
+}
+
+/// Shared per-box logic of the sequential and parallel searches: assumes
+/// `bx` has already been contracted to a cascade fixpoint (and is
+/// non-empty), then tries the midpoint and finally splits the widest
+/// dimension.
+///
+/// Only constraints still in `active` are evaluated — the inactive ones
+/// were proven certainly true on an ancestor box, which covers `bx` and
+/// its midpoint. No per-constraint interval verdicts are recomputed here:
+/// a constraint's verdict depends only on the projection of the box onto
+/// its variables, and the cascade worklist re-revises a constraint
+/// whenever that projection narrows — detecting `CertainlyFalse` as an
+/// empty contraction and `CertainlyTrue` as entailment. At fixpoint every
+/// active constraint is therefore exactly `Unknown`, and an empty active
+/// set certifies the whole box. (Conjunctions too large for entailment
+/// filtering fall back to explicit verdict checks.)
+fn examine_box(
+    problem: &NlProblem,
+    opts: &NlOptions,
+    bx: Vec<Interval>,
+    active: &mut ActiveSet,
+) -> BoxStep {
+    let n = problem.num_vars();
+    // Candidate point: the box midpoint. Interval entailment is over the
+    // *defined* points of a box, so even a fully entailed box only yields
+    // a witness after a pointwise re-check — the midpoint can sit exactly
+    // on a singularity (e.g. `0/x ≤ ½` entailed on a zero-straddling box,
+    // but undefined at `x = 0`). A failed re-check falls through to the
+    // split, which moves the descendant midpoints off the singular point.
+    let mid: Vec<f64> = bx.iter().map(Interval::midpoint).collect();
+    let mid_sat = |mid: &[f64]| problem.is_satisfied(mid, opts.tolerance);
+    if active.is_empty() {
+        // Every constraint entailed: any defined point of the box is a
+        // witness.
+        if mid_sat(&mid) {
+            return BoxStep::Sat(mid);
+        }
+    } else {
+        if active.is_unfiltered() {
+            // Entailment filtering is off: recompute the verdicts here.
+            let verdicts: Vec<IntervalVerdict> = problem
+                .constraints
+                .iter()
+                .map(|c| c.check_box(&bx))
+                .collect();
+            if verdicts.contains(&IntervalVerdict::CertainlyFalse) {
+                return BoxStep::Refuted;
+            }
+            if verdicts
+                .iter()
+                .all(|v| *v == IntervalVerdict::CertainlyTrue)
+                && mid_sat(&mid)
+            {
+                return BoxStep::Sat(mid);
+            }
+        }
+        // Cheap active-only screen first, full pointwise check to certify.
+        let mid_ok = problem
+            .constraints
+            .iter()
+            .enumerate()
+            .all(|(ci, c)| !active.contains(ci) || c.eval_robust(&mid, opts.tolerance));
+        if mid_ok && mid_sat(&mid) {
+            return BoxStep::Sat(mid);
+        }
+    }
+    // Split the widest (finite) dimension.
+    let split = (0..n)
+        .filter(|&i| bx[i].width() > opts.min_width)
+        .max_by(|&a, &b| {
+            bx[a]
+                .width()
+                .partial_cmp(&bx[b].width())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    match split {
+        None => BoxStep::Tiny, // neither verifiable nor refutable
+        Some(dim) => {
+            let m = bx[dim].midpoint();
+            let mut left = bx.clone();
+            let mut right = bx;
+            left[dim] = Interval::checked(left[dim].lo(), m);
+            right[dim] = Interval::checked(m, right[dim].hi());
+            BoxStep::Split(dim, left, right)
+        }
+    }
+}
+
+/// Stagnation cutoff: a search that is still splitting after this many
+/// boxes without ever having bottomed out at the width threshold is
+/// grinding a wide refutation frontier whose completion, if it comes at
+/// all, lies orders of magnitude past the window — a balanced refutation
+/// tree over a 7-variable box has barely halved each domain by then. Such
+/// a search gives up early with `Unknown` so the local search (and the
+/// surrounding CDCL loop, which simply tries another assignment) get the
+/// remaining time. Searches that *do* reach tiny leaves are heading
+/// toward a witness or a tight refutation and are left alone, as are runs
+/// whose explicit `max_boxes` budget is below the window. The cutoff is
+/// sound: `Unknown` is always a valid (if weak) verdict.
+///
+/// The signal is only meaningful on a *fully bounded* root box: a box with
+/// an infinite dimension can never shrink below the width threshold along
+/// it, so the absence of tiny leaves says nothing there, and the cutoff
+/// stays disarmed. It is likewise disarmed in [`branch_and_prune_stats`]
+/// (the rigorous entry point, where no local-search fallback exists) and
+/// only armed inside [`NlProblem::solve_with_stats`].
+const STAGNATION_WINDOW: usize = 2048;
+
 /// Like [`branch_and_prune`], but also reports the search-effort counters
-/// (boxes explored, HC4 contractions) for the observability layer.
+/// (boxes explored, per-contractor contractions, cache traffic) for the
+/// observability layer.
+///
+/// Always runs the full `max_boxes` budget: the stagnation cutoff is only
+/// armed inside [`NlProblem::solve_with_stats`], where a failed cut can be
+/// rescued by the local search or a full-budget re-run.
 pub fn branch_and_prune_stats(problem: &NlProblem, opts: &NlOptions) -> (NlVerdict, NlSearchStats) {
+    branch_and_prune_inner(problem, opts, false)
+}
+
+/// Search body shared by the public entry point (stagnation cutoff armed)
+/// and the post-local-search rescue re-run (cutoff disarmed).
+fn branch_and_prune_inner(
+    problem: &NlProblem,
+    opts: &NlOptions,
+    stagnation_cut: bool,
+) -> (NlVerdict, NlSearchStats) {
     let mut stats = NlSearchStats::default();
     let n = problem.num_vars();
     if n == 0 {
@@ -228,82 +395,229 @@ pub fn branch_and_prune_stats(problem: &NlProblem, opts: &NlOptions) -> (NlVerdi
         };
         return (verdict, stats);
     }
-    let root: Vec<Interval> = problem.bounds.clone();
-    let mut stack = vec![root];
+    // The no-tiny-leaf stagnation signal only means anything when every
+    // dimension can actually reach the width threshold.
+    let stagnation_cut = stagnation_cut
+        && problem
+            .bounds
+            .iter()
+            .all(|iv| iv.lo().is_finite() && iv.hi().is_finite());
+    if opts.nl_jobs > 1 {
+        return parallel_branch_and_prune(problem, opts, stagnation_cut);
+    }
+    let mut engine = Cascade::new(
+        &problem.constraints,
+        n,
+        opts.contractors,
+        opts.contraction_cache,
+        opts.min_width,
+    );
+    // Stack entries carry the split dimension that produced them (`None`
+    // for the root), so the cascade can seed its worklist with just the
+    // constraints watching that dimension, plus the set of constraints
+    // still active on that subtree.
+    let mut stack: Vec<(Vec<Interval>, Option<usize>, ActiveSet)> = vec![(
+        problem.bounds.clone(),
+        None,
+        ActiveSet::all(problem.constraints.len()),
+    )];
     let mut explored = 0usize;
     let mut inconclusive = false;
+    let mut early: Option<NlVerdict> = None;
 
-    while let Some(mut bx) = stack.pop() {
+    while let Some((mut bx, dirty, mut active)) = stack.pop() {
         explored += 1;
         stats.boxes_explored += 1;
         if explored > opts.max_boxes {
-            return (NlVerdict::Unknown, stats);
+            early = Some(NlVerdict::Unknown);
+            break;
+        }
+        if stagnation_cut
+            && explored == STAGNATION_WINDOW
+            && opts.max_boxes > STAGNATION_WINDOW
+            && !inconclusive
+        {
+            stats.stagnation_cuts += 1;
+            early = Some(NlVerdict::Unknown);
+            break;
         }
         if explored.is_multiple_of(64) && opts.interrupted() {
-            return (NlVerdict::Unknown, stats);
+            early = Some(NlVerdict::Unknown);
+            break;
         }
-        let (contraction, contractions) = propagate_counted(&problem.constraints, &mut bx, 20);
-        stats.hc4_contractions += contractions;
-        if contraction == Contraction::Empty {
-            continue; // refuted
+        if engine.contract(&mut bx, dirty, &mut active) == Contraction::Empty {
+            continue;
         }
         if bx.iter().any(|iv| iv.is_empty()) {
             continue;
         }
-        // Candidate point: the box midpoint.
-        let mid: Vec<f64> = bx.iter().map(Interval::midpoint).collect();
-        if problem.is_satisfied(&mid, opts.tolerance) {
-            return (NlVerdict::Sat(mid), stats);
-        }
-        // Certainly-true everywhere? Then the midpoint must have satisfied —
-        // but check anyway in case of strictness at boundaries.
-        let verdicts: Vec<IntervalVerdict> = problem
-            .constraints
-            .iter()
-            .map(|c| c.check_box(&bx))
-            .collect();
-        if verdicts
-            .iter()
-            .all(|v| *v == IntervalVerdict::CertainlyTrue)
-        {
-            return (NlVerdict::Sat(mid), stats);
-        }
-        if verdicts.contains(&IntervalVerdict::CertainlyFalse) {
-            continue; // refuted
-        }
-        // Split the widest (finite) dimension.
-        let split = (0..n)
-            .filter(|&i| bx[i].width() > opts.min_width)
-            .max_by(|&a, &b| {
-                bx[a]
-                    .width()
-                    .partial_cmp(&bx[b].width())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-        match split {
-            None => {
-                // Tiny box we can neither verify nor refute.
-                inconclusive = true;
+        match examine_box(problem, opts, bx, &mut active) {
+            BoxStep::Sat(mid) => {
+                early = Some(NlVerdict::Sat(mid));
+                break;
             }
-            Some(dim) => {
-                let m = bx[dim].midpoint();
-                let mut left = bx.clone();
-                let mut right = bx;
-                left[dim] = Interval::checked(left[dim].lo(), m);
-                right[dim] = Interval::checked(m, right[dim].hi());
+            BoxStep::Refuted => continue,
+            BoxStep::Tiny => inconclusive = true,
+            BoxStep::Split(dim, left, right) => {
                 if !left[dim].is_empty() {
-                    stack.push(left);
+                    stack.push((left, Some(dim), active));
                 }
                 if !right[dim].is_empty() {
-                    stack.push(right);
+                    stack.push((right, Some(dim), active));
                 }
             }
         }
     }
-    let verdict = if inconclusive {
+    stats.absorb_cascade(&engine.stats);
+    let verdict = early.unwrap_or(if inconclusive {
         NlVerdict::Unknown
     } else {
         NlVerdict::Unsat
+    });
+    (verdict, stats)
+}
+
+/// Work-stealing parallel box search: `opts.nl_jobs` workers share a
+/// queue of contracted-and-split boxes, each running its own cascade
+/// engine (and private contraction cache). Verdicts keep the sequential
+/// semantics — `Sat` and `Unsat` are proofs either way, so only the
+/// budget-limited `Unknown` frontier can differ between job counts.
+fn parallel_branch_and_prune(
+    problem: &NlProblem,
+    opts: &NlOptions,
+    stagnation_cut: bool,
+) -> (NlVerdict, NlSearchStats) {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = problem.num_vars();
+    let jobs = opts.nl_jobs.min(64);
+    type WorkItem = (Vec<Interval>, Option<usize>, ActiveSet);
+    let queue: Mutex<Vec<WorkItem>> = Mutex::new(vec![(
+        problem.bounds.clone(),
+        None,
+        ActiveSet::all(problem.constraints.len()),
+    )]);
+    // Boxes produced but not yet fully processed, anywhere. Children are
+    // added *before* the parent is retired, so `pending == 0` really
+    // means the whole tree is exhausted.
+    let pending = AtomicUsize::new(1);
+    let explored = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let out_of_budget = AtomicBool::new(false);
+    let stagnated = AtomicBool::new(false);
+    let inconclusive = AtomicBool::new(false);
+    let witness: Mutex<Option<Vec<f64>>> = Mutex::new(None);
+    let totals: Mutex<NlSearchStats> = Mutex::new(NlSearchStats::default());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut engine = Cascade::new(
+                    &problem.constraints,
+                    n,
+                    opts.contractors,
+                    opts.contraction_cache,
+                    opts.min_width,
+                );
+                let mut local: Vec<WorkItem> = Vec::new();
+                let mut idle_spins = 0u32;
+                loop {
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let item = local
+                        .pop()
+                        .or_else(|| queue.lock().expect("queue lock").pop());
+                    let Some((mut bx, dirty, mut active)) = item else {
+                        if pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        idle_spins += 1;
+                        if idle_spins > 16 {
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        continue;
+                    };
+                    idle_spins = 0;
+                    let seen = explored.fetch_add(1, Ordering::Relaxed) + 1;
+                    if seen > opts.max_boxes || (seen.is_multiple_of(32) && opts.interrupted()) {
+                        out_of_budget.store(true, Ordering::Relaxed);
+                        done.store(true, Ordering::Relaxed);
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        break;
+                    }
+                    // Stagnation cutoff (see the sequential search):
+                    // exactly one worker observes the window boundary.
+                    if stagnation_cut
+                        && seen == STAGNATION_WINDOW
+                        && opts.max_boxes > STAGNATION_WINDOW
+                        && !inconclusive.load(Ordering::Relaxed)
+                    {
+                        stagnated.store(true, Ordering::Relaxed);
+                        out_of_budget.store(true, Ordering::Relaxed);
+                        done.store(true, Ordering::Relaxed);
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        break;
+                    }
+                    let box_refuted = engine.contract(&mut bx, dirty, &mut active)
+                        == Contraction::Empty
+                        || bx.iter().any(|iv| iv.is_empty());
+                    if !box_refuted {
+                        match examine_box(problem, opts, bx, &mut active) {
+                            BoxStep::Sat(mid) => {
+                                let mut w = witness.lock().expect("witness lock");
+                                if w.is_none() {
+                                    *w = Some(mid);
+                                }
+                                done.store(true, Ordering::Release);
+                            }
+                            BoxStep::Refuted => {}
+                            BoxStep::Tiny => {
+                                inconclusive.store(true, Ordering::Relaxed);
+                            }
+                            BoxStep::Split(dim, left, right) => {
+                                let mut children: Vec<WorkItem> = Vec::with_capacity(2);
+                                if !left[dim].is_empty() {
+                                    children.push((left, Some(dim), active));
+                                }
+                                if !right[dim].is_empty() {
+                                    children.push((right, Some(dim), active));
+                                }
+                                if !children.is_empty() {
+                                    pending.fetch_add(children.len(), Ordering::AcqRel);
+                                    let mut shared = queue.lock().expect("queue lock");
+                                    for child in children {
+                                        // Donate to starving siblings, keep
+                                        // the rest for depth-first locality.
+                                        if shared.len() < jobs {
+                                            shared.push(child);
+                                        } else {
+                                            local.push(child);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                let mut t = totals.lock().expect("totals lock");
+                t.absorb_cascade(&engine.stats);
+            });
+        }
+    });
+
+    let mut stats = totals.into_inner().expect("totals");
+    stats.boxes_explored = explored.into_inner() as u64;
+    stats.stagnation_cuts = stagnated.into_inner() as u64;
+    let witness = witness.into_inner().expect("witness");
+    let verdict = match witness {
+        Some(w) => NlVerdict::Sat(w),
+        None if out_of_budget.into_inner() || inconclusive.into_inner() => NlVerdict::Unknown,
+        None => NlVerdict::Unsat,
     };
     (verdict, stats)
 }

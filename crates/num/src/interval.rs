@@ -47,6 +47,42 @@ fn up(v: f64) -> f64 {
     }
 }
 
+const SIGN_BIT: u64 = 1 << 63;
+const INF_BITS: u64 = 0x7FF0_0000_0000_0000;
+
+/// Rounds `v` toward `-inf` onto the grid of floats whose low `bits`
+/// mantissa bits are zero. Infinities pass through; the result is never
+/// NaN and never greater than `v`.
+fn coarsen_down(v: f64, bits: u32) -> f64 {
+    if !v.is_finite() || bits == 0 || bits > 52 {
+        return v;
+    }
+    let mask = (1u64 << bits) - 1;
+    let b = v.to_bits();
+    let mag = b & !SIGN_BIT;
+    if b & SIGN_BIT == 0 {
+        // Positive (or +0): truncating the magnitude moves toward zero,
+        // which is downward.
+        f64::from_bits(mag & !mask)
+    } else if mag & mask == 0 {
+        v
+    } else {
+        // Negative: downward means growing the magnitude to the next
+        // grid point. Saturate to -inf on exponent overflow.
+        let stepped = (mag & !mask) + (mask + 1);
+        if stepped >= INF_BITS {
+            f64::NEG_INFINITY
+        } else {
+            f64::from_bits(SIGN_BIT | stepped)
+        }
+    }
+}
+
+/// Rounds `v` toward `+inf` onto the same grid as [`coarsen_down`].
+fn coarsen_up(v: f64, bits: u32) -> f64 {
+    -coarsen_down(-v, bits)
+}
+
 impl Interval {
     /// The empty interval.
     pub const EMPTY: Interval = Interval {
@@ -398,6 +434,26 @@ impl Interval {
         }
     }
 
+    /// Outward quantization onto a coarse float grid: rounds `lo` toward
+    /// `-inf` and `hi` toward `+inf` so that the low `bits` mantissa bits
+    /// of both endpoints are zero. The result always encloses `self`, so
+    /// any sound contraction computed on the quantized interval also
+    /// applies to `self` — this is what makes the contraction cache
+    /// reusable across nearby boxes without losing soundness.
+    ///
+    /// Quantization is idempotent: re-quantizing with the same `bits`
+    /// is a no-op. `bits` above 52 (the full mantissa) or 0 leave the
+    /// interval unchanged.
+    pub fn quantize_outward(&self, bits: u32) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: coarsen_down(self.lo, bits),
+            hi: coarsen_up(self.hi, bits),
+        }
+    }
+
     /// Absolute-value image.
     pub fn abs(&self) -> Interval {
         if self.is_empty() {
@@ -634,5 +690,218 @@ mod tests {
             let inside = n.is_some_and(|i| i.contains(q)) || p.is_some_and(|i| i.contains(q));
             assert!(inside, "{q} escaped div_ext({a}, {b})");
         }
+
+        /// Quantization soundness: the quantized interval encloses the
+        /// original, is idempotent, and never produces NaN endpoints.
+        fn quantize_outward_encloses(a in iv(), bits in gen::ints(0u32..=60)) {
+            let q = a.quantize_outward(bits);
+            assert!(!q.lo().is_nan() && !q.hi().is_nan());
+            assert!(q.encloses(a), "quantize_outward({a}, {bits}) = {q} lost points");
+            assert_eq!(q.quantize_outward(bits), q, "quantization must be idempotent");
+        }
+    }
+
+    /// Adversarial endpoints: infinities, signed zeros, denormals, and
+    /// extreme magnitudes mixed with ordinary values — the cases where
+    /// IEEE rounding and special-value rules bite.
+    fn adversarial_f64() -> Gen<f64> {
+        const SPECIAL: [f64; 12] = [
+            f64::NEG_INFINITY,
+            -1e308,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            5e-324,
+            f64::MIN_POSITIVE,
+            1.0,
+            1e16,
+            1e308,
+            f64::INFINITY,
+        ];
+        Gen::new(|src| {
+            if gen::bool_any().generate(src) {
+                SPECIAL[gen::ints(0usize..SPECIAL.len()).generate(src)]
+            } else {
+                gen::f64_in(-1e6, 1e6).generate(src)
+            }
+        })
+    }
+
+    fn adversarial_iv() -> Gen<Interval> {
+        Gen::new(|src| {
+            if gen::ints(0u32..8).generate(src) == 0 {
+                return Interval::EMPTY;
+            }
+            let (a, b) = (
+                adversarial_f64().generate(src),
+                adversarial_f64().generate(src),
+            );
+            Interval::new(a.min(b), a.max(b))
+        })
+    }
+
+    property! {
+        #![cases = 512]
+
+        /// Randomised companion to `edge_case_operations_never_panic_or_nan`:
+        /// every operation on adversarial intervals (zero-straddling,
+        /// empty, infinite, denormal endpoints) must neither panic nor
+        /// produce a NaN endpoint, and empty inputs must propagate.
+        fn adversarial_ops_never_panic_or_nan(a in adversarial_iv(), b in adversarial_iv()) {
+            let no_nan = |iv: Interval, what: &str| {
+                assert!(
+                    !iv.lo().is_nan() && !iv.hi().is_nan(),
+                    "{what} on {a}, {b} produced NaN endpoint {iv}"
+                );
+            };
+            no_nan(a.add(b), "add");
+            no_nan(a.sub(b), "sub");
+            no_nan(a.mul(b), "mul");
+            no_nan(a.div(b), "div");
+            no_nan(a.intersect(b), "intersect");
+            no_nan(a.hull(b), "hull");
+            let (n, p) = a.div_ext(b);
+            if let Some(n) = n {
+                no_nan(n, "div_ext.neg");
+            }
+            if let Some(p) = p {
+                no_nan(p, "div_ext.pos");
+            }
+            if a.is_empty() || b.is_empty() {
+                assert!(a.add(b).is_empty() && a.sub(b).is_empty());
+                assert!(a.mul(b).is_empty() && a.div(b).is_empty());
+                assert!(a.intersect(b).is_empty());
+                assert!(n.is_none() && p.is_none(), "div_ext on empty must yield nothing");
+            }
+            for (what, r) in [
+                ("abs", a.abs()),
+                ("sqrt", a.sqrt()),
+                ("exp", a.exp()),
+                ("ln", a.ln()),
+                ("sin", a.sin()),
+                ("cos", a.cos()),
+                ("neg", a.neg()),
+                ("powi2", a.powi(2)),
+                ("powi-3", a.powi(-3)),
+                ("powi7", a.powi(7)),
+            ] {
+                no_nan(r, what);
+                if a.is_empty() {
+                    assert!(r.is_empty(), "{what} must propagate empty");
+                }
+            }
+            let q = a.quantize_outward(20);
+            no_nan(q, "quantize_outward");
+            assert!(q.encloses(a));
+        }
+    }
+
+    /// Edge-case fuzz battery: adversarial intervals (zero-straddling,
+    /// empty, infinite, denormal-adjacent) pushed through every operation.
+    /// Any panic or NaN-shaped endpoint is a failure; empty inputs must
+    /// propagate to empty (or a documented clipped result).
+    #[test]
+    fn edge_case_operations_never_panic_or_nan() {
+        let specimens = [
+            Interval::EMPTY,
+            Interval::ENTIRE,
+            Interval::point(0.0),
+            Interval::new(-0.0, 0.0),
+            Interval::new(-1.0, 1.0),
+            Interval::new(f64::NEG_INFINITY, 0.0),
+            Interval::new(0.0, f64::INFINITY),
+            Interval::new(f64::NEG_INFINITY, -1.0),
+            Interval::new(1.0, f64::INFINITY),
+            Interval::new(f64::MIN, f64::MAX),
+            Interval::new(-f64::MIN_POSITIVE, f64::MIN_POSITIVE),
+            Interval::new(5e-324, 1e-300),
+            Interval::new(-1e308, -1e300),
+        ];
+        let no_nan = |iv: Interval, what: &str, a: Interval, b: Interval| {
+            assert!(
+                !iv.lo().is_nan() && !iv.hi().is_nan(),
+                "{what}({a}, {b}) produced NaN endpoint {iv}"
+            );
+        };
+        for &a in &specimens {
+            for &b in &specimens {
+                no_nan(a.add(b), "add", a, b);
+                no_nan(a.sub(b), "sub", a, b);
+                no_nan(a.mul(b), "mul", a, b);
+                no_nan(a.div(b), "div", a, b);
+                no_nan(a.intersect(b), "intersect", a, b);
+                no_nan(a.hull(b), "hull", a, b);
+                let (n, p) = a.div_ext(b);
+                if let Some(n) = n {
+                    no_nan(n, "div_ext.neg", a, b);
+                }
+                if let Some(p) = p {
+                    no_nan(p, "div_ext.pos", a, b);
+                }
+                // Empty absorbs through every binary op.
+                if a.is_empty() || b.is_empty() {
+                    assert!(a.add(b).is_empty());
+                    assert!(a.sub(b).is_empty());
+                    assert!(a.mul(b).is_empty());
+                    assert!(a.div(b).is_empty());
+                    assert!(a.intersect(b).is_empty());
+                }
+            }
+            for op in [
+                Interval::abs,
+                Interval::sqrt,
+                Interval::exp,
+                Interval::ln,
+                Interval::sin,
+                Interval::cos,
+                Interval::neg,
+            ] {
+                let r = op(&a);
+                assert!(
+                    !r.lo().is_nan() && !r.hi().is_nan(),
+                    "unary op on {a} produced NaN endpoint {r}"
+                );
+                if a.is_empty() {
+                    assert!(r.is_empty(), "empty must propagate through unary ops");
+                }
+            }
+            for n in [-3, -2, -1, 0, 1, 2, 3, 4, 7, 8] {
+                let r = a.powi(n);
+                assert!(
+                    !r.lo().is_nan() && !r.hi().is_nan(),
+                    "powi({a}, {n}) produced NaN endpoint {r}"
+                );
+            }
+            for bits in [0u32, 1, 8, 20, 32, 52, 53, 60] {
+                let q = a.quantize_outward(bits);
+                assert!(!q.lo().is_nan() && !q.hi().is_nan());
+                assert!(q.encloses(a), "quantize_outward({a}, {bits}) = {q}");
+            }
+        }
+        // Division by an interval straddling zero covers the whole line
+        // (hull of two rays) but never errors.
+        let straddle = Interval::new(-1.0, 1.0);
+        let q = Interval::new(1.0, 2.0).div(straddle);
+        assert!(!q.is_empty());
+        assert!(q.lo() == f64::NEG_INFINITY && q.hi() == f64::INFINITY);
+        // [0,0] denominator: empty quotient, not a crash.
+        assert!(Interval::new(1.0, 2.0).div(Interval::point(0.0)).is_empty());
+    }
+
+    #[test]
+    fn quantize_outward_boundaries() {
+        // Negative endpoints round away from zero; positive toward zero.
+        let a = Interval::new(-1.000001, 1.000001).quantize_outward(20);
+        assert!(a.lo() <= -1.000001 && a.hi() >= 1.000001);
+        // Saturation near the finite limit lands on infinity, not NaN.
+        let big = Interval::new(-f64::MAX, f64::MAX).quantize_outward(40);
+        assert!(big.encloses(Interval::new(-f64::MAX, f64::MAX)));
+        assert!(!big.lo().is_nan() && !big.hi().is_nan());
+        // A grid-aligned value is untouched.
+        assert_eq!(
+            Interval::new(-2.0, 4.0).quantize_outward(30),
+            Interval::new(-2.0, 4.0)
+        );
     }
 }

@@ -25,6 +25,10 @@
 //! | `theory.check`   | orchestrator        | `iteration`, `verdict`, `items`, `duration_us` |
 //! | `phase.linear`   | theory layer        | `start` (`warm`/`cold`), `reused_rows`, `pushed_rows`, `duration_us` |
 //! | `phase.nonlinear`| theory layer        | `duration_us`                  |
+//! | `contract.hc4`   | theory layer        | `count` (HC4 revisions this check) |
+//! | `contract.bc3`   | theory layer        | `count` (BC3 bound shavings this check) |
+//! | `contract.newton`| theory layer        | `count` (interval-Newton steps this check) |
+//! | `contract.cache_hit` | theory layer    | `count` (contraction-cache hits this check) |
 //! | `cache.hit`      | orchestrator        | `literals`                     |
 //! | `cache.miss`     | orchestrator        | `literals`                     |
 //! | `conflict`       | orchestrator        | `iteration`, `literals`        |

@@ -29,11 +29,17 @@ cargo test -q --offline --test parallel_agreement
 echo "== incremental theory-engine differential suite (stack vs scratch, cache on/off) =="
 cargo test -q --offline --test incremental_agreement
 
+echo "== contractor cascade suites (soundness properties + config differential) =="
+# Per-contractor soundness (contraction + solution preservation) and
+# verdict identity across cascade/HC4-only, cache on/off, jobs 1/2/4.
+cargo test -q --offline --test contractor_soundness --test cascade_agreement
+
 echo "== seeded re-run of the randomized suites (pinned TESTKIT_SEED) =="
 # A second pass under a fixed non-default seed: catches properties that
 # only pass on the name-derived default seed path.
 TESTKIT_SEED=0xAB501BE5 cargo test -q --offline \
-    --test parallel_agreement --test solver_agreement --test fuzz_inputs
+    --test parallel_agreement --test solver_agreement --test fuzz_inputs \
+    --test contractor_soundness --test cascade_agreement
 
 echo "== observability gate (--stats json, --trace, differential test) =="
 OBS_TMP=$(mktemp -d)
@@ -50,10 +56,11 @@ grep '^{' "$OBS_TMP/fig2.out" > "$OBS_TMP/fig2.stats.json"
 [ "$(wc -l < "$OBS_TMP/fig2.stats.json")" -eq 1 ] \
     || { echo "expected exactly one JSON stats line"; exit 1; }
 # Bench workloads end-to-end into scratch BENCH_*.json files, compared
-# against the checked-in baselines: >25% slower (plus a 100ms absolute
-# grace for the micro-runs) fails the gate.
+# against the checked-in baselines: >15% slower (plus a 50ms absolute
+# grace for the micro-runs), a verdict flip, or a dead contraction
+# cache on steering fails the gate.
 ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. ABS_TIMEOUT_SECS=60 \
-    ./target/release/bench_json --check-regress fischer sudoku steering
+    ./target/release/bench_json --check-regress fischer sudoku steering threshold-reach
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$OBS_TMP/fig2.stats.json" > /dev/null
     python3 -m json.tool "$OBS_TMP/BENCH_fischer.json" > /dev/null

@@ -15,6 +15,10 @@
 //!   --boolean cdcl|restart   Boolean backend        (default: cdcl)
 //!   --nonlinear cascade|interval|penalty
 //!                            nonlinear backend      (default: cascade)
+//!   --contractors hc4[,bc3][,newton]
+//!                            contractor cascade stages (default: hc4,bc3,newton)
+//!   --no-contraction-cache   disable the quantized-box contraction cache
+//!   --nl-jobs N              worker threads for the nonlinear box search
 //!   --no-minimize            disable conflict-core minimisation
 //!   --no-theory-cache        disable the theory-verdict cache
 //!   --preprocess             simplify before solving (default)
@@ -44,6 +48,7 @@ use absolver::core::{
     Outcome, ParallelOptions, ParallelStats, ParallelStrategy, PenaltyNonlinear, RestartingBoolean,
     SimplexLinear,
 };
+use absolver::nonlinear::{ContractorConfig, NlOptions};
 use absolver::trace::{FileSink, JsonObject};
 use std::io::Read;
 use std::process::ExitCode;
@@ -70,6 +75,9 @@ struct Config {
     file: Option<String>,
     boolean: String,
     nonlinear: String,
+    contractors: ContractorConfig,
+    contraction_cache: bool,
+    nl_jobs: usize,
     minimize: bool,
     theory_cache: bool,
     preprocess: bool,
@@ -87,7 +95,8 @@ struct Config {
 fn usage() -> ! {
     eprintln!(
         "usage: absolver [--boolean cdcl|restart] [--nonlinear cascade|interval|penalty]\n\
-         \x20               [--no-minimize] [--no-theory-cache] [--no-preprocess]\n\
+         \x20               [--contractors hc4[,bc3][,newton]] [--no-contraction-cache]\n\
+         \x20               [--nl-jobs N] [--no-minimize] [--no-theory-cache] [--no-preprocess]\n\
          \x20               [--all-models N] [--time-limit SECS]\n\
          \x20               [--max-iterations N] [--jobs N] [--strategy portfolio|cubes]\n\
          \x20               [--deterministic] [--stats [human|json]] [--trace FILE]\n\
@@ -104,6 +113,9 @@ fn parse_args() -> Config {
         file: None,
         boolean: "cdcl".to_string(),
         nonlinear: "cascade".to_string(),
+        contractors: ContractorConfig::default(),
+        contraction_cache: true,
+        nl_jobs: 1,
         minimize: true,
         theory_cache: true,
         preprocess: true,
@@ -122,6 +134,21 @@ fn parse_args() -> Config {
         match arg.as_str() {
             "--boolean" => config.boolean = args.next().unwrap_or_else(|| usage()),
             "--nonlinear" => config.nonlinear = args.next().unwrap_or_else(|| usage()),
+            "--contractors" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                config.contractors = list.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                });
+            }
+            "--no-contraction-cache" => config.contraction_cache = false,
+            "--nl-jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                config.nl_jobs = n.max(1);
+            }
             "--no-minimize" => config.minimize = false,
             "--no-theory-cache" => config.theory_cache = false,
             "--preprocess" => config.preprocess = true,
@@ -207,10 +234,16 @@ fn build_orchestrator(config: &Config) -> Orchestrator {
         SimplexLinear::without_minimization()
     };
     let mut orc = Orchestrator::custom(boolean).with_linear(Box::new(linear));
+    let nl_options = NlOptions {
+        contractors: config.contractors,
+        contraction_cache: config.contraction_cache,
+        nl_jobs: config.nl_jobs,
+        ..Default::default()
+    };
     orc = match config.nonlinear.as_str() {
-        "cascade" => orc.with_nonlinear(Box::new(CascadeNonlinear::default())),
-        "interval" => orc.with_nonlinear(Box::new(IntervalNonlinear::default())),
-        "penalty" => orc.with_nonlinear(Box::new(PenaltyNonlinear::default())),
+        "cascade" => orc.with_nonlinear(Box::new(CascadeNonlinear::with_options(nl_options))),
+        "interval" => orc.with_nonlinear(Box::new(IntervalNonlinear::with_options(nl_options))),
+        "penalty" => orc.with_nonlinear(Box::new(PenaltyNonlinear::with_options(nl_options))),
         other => {
             eprintln!("unknown nonlinear backend `{other}`");
             usage();

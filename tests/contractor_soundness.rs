@@ -1,0 +1,236 @@
+//! Property suite for the contractor cascade: every contractor (HC4,
+//! BC3, interval Newton — and their composition) must only ever *shrink*
+//! a box, and must never prune a known solution out of it.
+//!
+//! The corpus is point-anchored: each case first draws a random point,
+//! then builds a constraint that point satisfies with a comfortable
+//! margin, then a random box around the point. Failures shrink via the
+//! testkit's tape shrinker and are pinned under `testkit-regressions/`.
+
+use absolver::linear::CmpOp;
+use absolver::nonlinear::hc4::{hc4_revise, Contraction};
+use absolver::nonlinear::{
+    bc3_revise, cascade_contract, newton_revise, ContractorConfig, Expr, NlConstraint,
+};
+use absolver::num::{Interval, Rational};
+use absolver_testkit::{assume, domain, gen, property, Gen};
+
+const NUM_VARS: usize = 2;
+
+/// Expressions for the inequality corpus: polynomial-ish with trig and
+/// division, like the solver sees.
+fn expr_gen() -> Gen<Expr> {
+    domain::expr(NUM_VARS, 3, domain::ExprProfile::polyish())
+}
+
+/// A random point with coordinates in `[-4, 4]`.
+fn point_gen() -> Gen<Vec<f64>> {
+    gen::vec_of(gen::f64_in(-4.0, 4.0), NUM_VARS..=NUM_VARS)
+}
+
+/// A random box that contains `p` (each side extends `[0, 4]` outward).
+fn box_around(p: &[f64], pads: &[(f64, f64)]) -> Vec<Interval> {
+    p.iter()
+        .zip(pads)
+        .map(|(&x, &(a, b))| Interval::new(x - a, x + b))
+        .collect()
+}
+
+fn pads_gen() -> Gen<Vec<(f64, f64)>> {
+    let pad = Gen::new(|src| {
+        (
+            gen::f64_in(0.0, 4.0).generate(src),
+            gen::f64_in(0.0, 4.0).generate(src),
+        )
+    });
+    gen::vec_of(pad, NUM_VARS..=NUM_VARS)
+}
+
+/// Real-definedness: every subexpression evaluates to a finite value.
+/// IEEE `f64` can "recover" from an undefined subterm (`0 / (x/0) = 0`)
+/// where real — and hence interval — arithmetic says undefined, and a
+/// contractor is *right* to refute such a point. (First pinned
+/// counterexample of this suite: `0/(x/0) + 0 ≤ ½` at `x = -4`.)
+fn real_defined(e: &Expr, point: &[f64]) -> bool {
+    let own = e.eval_f64(point).is_finite();
+    own && match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::Neg(a)
+        | Expr::Pow(a, _)
+        | Expr::Sin(a)
+        | Expr::Cos(a)
+        | Expr::Exp(a)
+        | Expr::Ln(a)
+        | Expr::Sqrt(a)
+        | Expr::Abs(a) => real_defined(a, point),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+            real_defined(a, point) && real_defined(b, point)
+        }
+    }
+}
+
+/// Builds an inequality that `p` satisfies with margin ≥ 0.5 — wide
+/// enough that f64 evaluation noise cannot flip real-arithmetic truth.
+fn anchored_constraint(e: Expr, p: &[f64], ge: bool, slack: f64) -> Option<NlConstraint> {
+    if !real_defined(&e, p) {
+        return None;
+    }
+    let v = e.eval_f64(p);
+    if !v.is_finite() || v.abs() > 1e6 {
+        return None;
+    }
+    let slack = 0.5 + slack;
+    let rhs = if ge { v - slack } else { v + slack };
+    let op = if ge { CmpOp::Ge } else { CmpOp::Le };
+    Some(NlConstraint::new(e, op, Rational::from_f64(rhs)?))
+}
+
+/// `inner ⊆ outer`, dimension-wise (an empty dimension is trivially
+/// contained).
+fn contained(inner: &[Interval], outer: &[Interval]) -> bool {
+    inner.iter().zip(outer).all(|(i, o)| {
+        i.is_empty() || (i.lo() >= o.lo() - f64::EPSILON && i.hi() <= o.hi() + f64::EPSILON)
+    })
+}
+
+fn point_in(bx: &[Interval], p: &[f64]) -> bool {
+    bx.iter().zip(p).all(|(iv, &x)| iv.contains(x))
+}
+
+property! {
+    #![cases = 192]
+
+    /// HC4 revise: contraction (output ⊆ input) and solution
+    /// preservation for the anchored inequality corpus.
+    fn hc4_is_contracting_and_sound(
+        e in expr_gen(),
+        p in point_gen(),
+        pads in pads_gen(),
+        ge in gen::bool_any(),
+        slack in gen::f64_in(0.0, 2.5),
+    ) {
+        let c = match anchored_constraint(e, &p, ge, slack) {
+            Some(c) => c,
+            None => absolver_testkit::runner::reject_case(),
+        };
+        assume!(c.eval(&p));
+        let original = box_around(&p, &pads);
+        let mut bx = original.clone();
+        let out = hc4_revise(&c, &mut bx);
+        assert!(contained(&bx, &original), "HC4 grew the box: {bx:?} ⊄ {original:?}");
+        assert_ne!(out, Contraction::Empty, "HC4 refuted a box holding a solution");
+        assert!(point_in(&bx, &p), "HC4 pruned the anchor {p:?} from {bx:?}");
+    }
+
+    /// BC3 bound shaving: contraction and solution preservation, one
+    /// variable at a time.
+    fn bc3_is_contracting_and_sound(
+        e in expr_gen(),
+        p in point_gen(),
+        pads in pads_gen(),
+        ge in gen::bool_any(),
+        slack in gen::f64_in(0.0, 2.5),
+        v in gen::ints(0usize..NUM_VARS),
+    ) {
+        let c = match anchored_constraint(e, &p, ge, slack) {
+            Some(c) => c,
+            None => absolver_testkit::runner::reject_case(),
+        };
+        assume!(c.eval(&p));
+        let original = box_around(&p, &pads);
+        let mut bx = original.clone();
+        let out = bc3_revise(&c, v, &mut bx);
+        assert!(contained(&bx, &original), "BC3 grew the box: {bx:?} ⊄ {original:?}");
+        assert_ne!(out, Contraction::Empty, "BC3 refuted a box holding a solution");
+        assert!(point_in(&bx, &p), "BC3 pruned the anchor {p:?} from {bx:?}");
+    }
+
+    /// The full cascade (HC4 → BC3 → Newton, scheduled): contraction and
+    /// solution preservation.
+    fn cascade_is_contracting_and_sound(
+        e in expr_gen(),
+        p in point_gen(),
+        pads in pads_gen(),
+        ge in gen::bool_any(),
+        slack in gen::f64_in(0.0, 2.5),
+    ) {
+        let c = match anchored_constraint(e, &p, ge, slack) {
+            Some(c) => c,
+            None => absolver_testkit::runner::reject_case(),
+        };
+        assume!(c.eval(&p));
+        let original = box_around(&p, &pads);
+        let mut bx = original.clone();
+        let out = cascade_contract(std::slice::from_ref(&c), &mut bx, ContractorConfig::default());
+        assert!(contained(&bx, &original), "cascade grew the box: {bx:?} ⊄ {original:?}");
+        assert_ne!(out, Contraction::Empty, "cascade refuted a box holding a solution");
+        assert!(point_in(&bx, &p), "cascade pruned the anchor {p:?} from {bx:?}");
+    }
+
+    /// Interval Newton on equalities, with an IVT-certified root: when a
+    /// certified sign change brackets a real solution inside the box,
+    /// Newton must not refute the box and must keep (a bracket around)
+    /// the root.
+    fn newton_keeps_bracketed_roots(
+        e in domain::expr(1, 3, {
+            // Continuous-everywhere profile so the intermediate value
+            // theorem applies on the whole segment.
+            let mut p = domain::ExprProfile::polyish();
+            p.div = false;
+            p
+        }),
+        a in gen::f64_in(-4.0, 4.0),
+        span in gen::f64_in(0.25, 4.0),
+        pad in gen::f64_in(0.0, 3.0),
+        t in gen::f64_in(0.1, 0.9),
+    ) {
+        let b = a + span;
+        // Certified evaluations at the endpoints (point boxes).
+        let ea = e.eval_interval(&[Interval::new(a, a)]);
+        let eb = e.eval_interval(&[Interval::new(b, b)]);
+        assume!(!ea.is_empty() && !eb.is_empty());
+        // Pick a target strictly between the endpoint values.
+        let (lo_end, hi_end) = if ea.hi() < eb.lo() {
+            (ea.hi(), eb.lo())
+        } else if eb.hi() < ea.lo() {
+            (eb.hi(), ea.lo())
+        } else {
+            absolver_testkit::runner::reject_case()
+        };
+        assume!(hi_end - lo_end > 1e-6);
+        let target = lo_end + t * (hi_end - lo_end);
+        let rhs = match Rational::from_f64(target) {
+            Some(r) => r,
+            None => absolver_testkit::runner::reject_case(),
+        };
+        // By the IVT a real root of e = target lies in [a, b]; bisect a
+        // certified bracket down to localise it.
+        let (mut lo, mut hi) = (a, b);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let em = e.eval_interval(&[Interval::new(mid, mid)]);
+            assume!(!em.is_empty());
+            if em.hi() < target {
+                if ea.hi() < eb.lo() { lo = mid } else { hi = mid }
+            } else if em.lo() > target {
+                if ea.hi() < eb.lo() { hi = mid } else { lo = mid }
+            } else {
+                // mid itself may be the root; tighten around it.
+                lo = mid - (hi - lo) * 0.25;
+                hi = mid + (hi - lo) * 0.25;
+                break;
+            }
+        }
+        let c = NlConstraint::new(e, CmpOp::Eq, rhs);
+        let original = vec![Interval::new(a - pad, b + pad)];
+        let mut bx = original.clone();
+        let out = newton_revise(&c, &mut bx);
+        assert!(contained(&bx, &original), "Newton grew the box: {bx:?} ⊄ {original:?}");
+        assert_ne!(out, Contraction::Empty, "Newton refuted a box with a bracketed root");
+        assert!(
+            !bx[0].is_empty() && bx[0].lo() <= hi && lo <= bx[0].hi(),
+            "Newton pruned the root bracket [{lo}, {hi}] from {}",
+            bx[0]
+        );
+    }
+}

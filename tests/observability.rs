@@ -77,6 +77,43 @@ fn stats_json_reflects_the_struct() {
 }
 
 #[test]
+fn contractions_per_check_reports_nonlinear_effort() {
+    // Nonlinear-heavy workloads used to report only the simplex columns
+    // (`simplex_pivots: 0`, `pivots_per_check: 0`), which read as "the
+    // solver did nothing". The derived nonlinear effort metrics must show
+    // the real work instead.
+    let mut orc = Orchestrator::with_defaults();
+    let outcome = orc.solve(&fig2()).expect("solve");
+    assert!(outcome.is_sat());
+    let stats = orc.stats();
+    assert_eq!(
+        stats.total_contractions(),
+        stats.hc4_contractions + stats.bc3_contractions + stats.newton_contractions
+    );
+    assert!(stats.theory_checks > 0);
+    let per_check = stats.contractions_per_check();
+    assert!(
+        (per_check - stats.total_contractions() as f64 / stats.theory_checks as f64).abs()
+            < f64::EPSILON,
+        "derived field must match its inputs"
+    );
+    assert!(per_check > 0.0, "fig2 forces nonlinear contraction work");
+    let hit_rate = stats.contraction_cache_hit_rate();
+    assert!(
+        (0.0..=1.0).contains(&hit_rate),
+        "hit rate is a ratio: {hit_rate}"
+    );
+}
+
+#[test]
+fn contractions_per_check_is_zero_without_checks() {
+    // A default stats block (no solve) must not divide by zero.
+    let stats = absolver::core::OrchestratorStats::default();
+    assert_eq!(stats.contractions_per_check(), 0.0);
+    assert_eq!(stats.contraction_cache_hit_rate(), 0.0);
+}
+
+#[test]
 fn iteration_counter_is_strictly_monotone_across_solve_all() {
     let sink = Arc::new(CollectingSink::new());
     let mut orc = Orchestrator::with_defaults().with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
