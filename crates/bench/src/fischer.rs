@@ -26,11 +26,11 @@
 //! * [`fischer_mutex`] — *can processes 0 and 1 both enter?* UNSAT when
 //!   `b > a` (the protocol is safe).
 
-use absolver_core::{AbProblem, AbProblemBuilder, VarKind};
+use absolver_core::{AbProblem, AbProblemBuilder, Session, VarKind};
 use absolver_linear::CmpOp;
 use absolver_logic::Var;
-use absolver_nonlinear::Expr;
-use absolver_num::Rational;
+use absolver_nonlinear::{Expr, VarId};
+use absolver_num::{Interval, Rational};
 
 /// Parameters of a FISCHER instance.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +158,151 @@ pub fn fischer_mutex(config: FischerConfig) -> AbProblem {
     builder.build()
 }
 
+/// A FISCHER instance grown one process at a time inside a persistent
+/// [`Session`] — the streaming counterpart of the Table 2 loop, which
+/// rebuilds and re-solves the whole instance at every `n`.
+///
+/// Unlike [`FischerConfig::standard`], the deadline `a` is fixed up front
+/// for the *maximum* depth (`a = n_max + 1`, `b = a + 1`), so deepening is
+/// strictly append-only: adding process `p` adds its event variables,
+/// timing atoms, serialised-write disjunctions against every earlier
+/// process, and the process-0 entry clause for the new contender. Nothing
+/// already asserted ever changes, which is what lets the session keep its
+/// lemmas, verdict cache, and warm Boolean state across depths.
+///
+/// The mutual-exclusion query is *not* monotone (it constrains process 1's
+/// entry), so it runs as a `push` / [`FischerStream::assert_mutex_entry`] /
+/// `check` / `pop` excursion at each depth.
+#[derive(Debug)]
+pub struct FischerStream {
+    session: Session,
+    a: i64,
+    b: i64,
+    set: Vec<VarId>,
+    check: Vec<VarId>,
+}
+
+impl FischerStream {
+    /// Starts an empty stream sized for at most `n_max` processes, over a
+    /// default session.
+    pub fn new(n_max: usize) -> FischerStream {
+        FischerStream::with_session(n_max, Session::new())
+    }
+
+    /// Starts an empty stream sized for at most `n_max` processes, over a
+    /// caller-configured session (custom backends or options).
+    pub fn with_session(n_max: usize, session: Session) -> FischerStream {
+        let a = n_max as i64 + 1;
+        FischerStream {
+            session,
+            a,
+            b: a + 1,
+            set: Vec::new(),
+            check: Vec::new(),
+        }
+    }
+
+    /// Number of processes added so far.
+    pub fn processes(&self) -> usize {
+        self.set.len()
+    }
+
+    /// The underlying session (stats, checks, model access).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (`push`/`pop`/`check`).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Appends the next process: event variables, timing atoms, write
+    /// serialisation against every earlier process, and — for contenders
+    /// other than process 0 — the process-0 entry clause.
+    pub fn add_process(&mut self) {
+        let p = self.set.len();
+        let s = &mut self.session;
+        let set_p = s
+            .arith_var(&format!("set_{p}"), VarKind::Real)
+            .expect("fresh name");
+        let check_p = s
+            .arith_var(&format!("check_{p}"), VarKind::Real)
+            .expect("fresh name");
+        s.assert_range(set_p, Interval::new(0.0, self.a as f64))
+            .expect("declared");
+        s.assert_range(check_p, Interval::new(0.0, (self.a + 2 * self.b) as f64))
+            .expect("declared");
+        let nonneg = s.atom(Expr::var(set_p), CmpOp::Ge, Rational::zero());
+        s.require(nonneg.positive());
+        let deadline = s.atom(Expr::var(set_p), CmpOp::Le, Rational::from_int(self.a));
+        s.require(deadline.positive());
+        let wait = s.atom(
+            Expr::var(check_p) - Expr::var(set_p),
+            CmpOp::Ge,
+            Rational::from_int(self.b),
+        );
+        s.require(wait.positive());
+        for q in 0..p {
+            let q_first = s.atom(
+                Expr::var(self.set[q]) - Expr::var(set_p),
+                CmpOp::Le,
+                Rational::from_int(-1),
+            );
+            let p_first = s.atom(
+                Expr::var(set_p) - Expr::var(self.set[q]),
+                CmpOp::Le,
+                Rational::from_int(-1),
+            );
+            s.assert_clause([q_first.positive(), p_first.positive()]);
+        }
+        if p > 0 {
+            // Process 0's entry condition for the new contender.
+            let earlier = s.atom(
+                Expr::var(set_p) - Expr::var(self.set[0]),
+                CmpOp::Lt,
+                Rational::zero(),
+            );
+            let too_late = s.atom(
+                Expr::var(set_p) - Expr::var(self.check[0]),
+                CmpOp::Gt,
+                Rational::zero(),
+            );
+            s.assert_clause([earlier.positive(), too_late.positive()]);
+        }
+        self.set.push(set_p);
+        self.check.push(check_p);
+    }
+
+    /// Asserts process 1's critical-section entry condition into the
+    /// *current frame* — push first, pop afterwards, or the mutex
+    /// constraint (UNSAT with these safe parameters) poisons later depths.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two processes.
+    pub fn assert_mutex_entry(&mut self) {
+        assert!(self.set.len() >= 2, "mutex needs two processes");
+        let s = &mut self.session;
+        for q in 0..self.set.len() {
+            if q == 1 {
+                continue;
+            }
+            let earlier = s.atom(
+                Expr::var(self.set[q]) - Expr::var(self.set[1]),
+                CmpOp::Lt,
+                Rational::zero(),
+            );
+            let too_late = s.atom(
+                Expr::var(self.set[q]) - Expr::var(self.check[1]),
+                CmpOp::Gt,
+                Rational::zero(),
+            );
+            s.assert_clause([earlier.positive(), too_late.positive()]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +370,32 @@ mod tests {
             .model()
             .expect("unsafe parameters admit a violation");
         assert!(model.satisfies(&p, 1e-9));
+    }
+
+    #[test]
+    fn stream_agrees_with_from_scratch() {
+        let mut stream = FischerStream::new(4);
+        for n in 1..=4 {
+            stream.add_process();
+            let out = stream.session_mut().check().unwrap();
+            let model = out.model().unwrap_or_else(|| panic!("n={n} must be SAT"));
+            assert!(model.satisfies(stream.session().problem(), 1e-9), "n={n}");
+            let fresh = Orchestrator::with_defaults()
+                .solve(stream.session().problem())
+                .unwrap();
+            assert!(fresh.is_sat(), "n={n}: from-scratch disagrees");
+            if n >= 2 {
+                stream.session_mut().push();
+                stream.assert_mutex_entry();
+                assert!(
+                    stream.session_mut().check().unwrap().is_unsat(),
+                    "n={n}: safe protocol must refuse double entry"
+                );
+                stream.session_mut().pop().unwrap();
+            }
+        }
+        // The mutex excursions must not have poisoned the final frame.
+        assert!(stream.session_mut().check().unwrap().is_sat());
     }
 
     #[test]

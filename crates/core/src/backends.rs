@@ -58,6 +58,16 @@ pub trait BooleanSolver {
         let _ = lits;
         false
     }
+
+    /// Ensures the backend knows variables `0..n` even before any clause
+    /// mentions them. Incremental sessions call this when the problem
+    /// grows between checks, so freshly declared (but not yet
+    /// clause-constrained) atoms are still decided by the next model —
+    /// matching what a from-scratch [`BooleanSolver::load`] would do.
+    /// Backends that rebuild per query may ignore it.
+    fn reserve_vars(&mut self, n: usize) {
+        let _ = n;
+    }
 }
 
 impl fmt::Debug for dyn BooleanSolver + '_ {
@@ -128,6 +138,10 @@ impl BooleanSolver for CdclBoolean {
     fn set_assumptions(&mut self, lits: &[Lit]) -> bool {
         self.assumptions = lits.to_vec();
         true
+    }
+
+    fn reserve_vars(&mut self, n: usize) {
+        self.solver.reserve_vars(n);
     }
 }
 

@@ -59,6 +59,7 @@ pub mod parallel;
 pub mod parser;
 pub mod preprocess;
 mod problem;
+mod session;
 pub mod theory;
 
 pub use backends::{
@@ -68,6 +69,9 @@ pub use backends::{
 pub use circuit::{Circuit, Gate, NoOutputError, NodeId, TseitinCnf};
 pub use orchestrator::{Orchestrator, OrchestratorOptions, OrchestratorStats, Outcome, SolveError};
 pub use parallel::{ParallelOptions, ParallelStats, ParallelStrategy, ShardStats};
-pub use parser::{parse_spanned, DefSite, ParseAbError, RangeSite, SourceMap, Span};
+pub use parser::{
+    parse_session_constraint, parse_spanned, DefSite, ParseAbError, RangeSite, SourceMap, Span,
+};
 pub use preprocess::{PreprocessSummary, Preprocessed, ProblemPreprocessor, Reconstruction};
 pub use problem::{AbModel, AbProblem, AbProblemBuilder, ArithModel, ArithVar, AtomDef, VarKind};
+pub use session::{Session, SessionError};

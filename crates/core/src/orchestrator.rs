@@ -24,7 +24,7 @@ use crate::theory::{
     check, IncrementalLinear, LinActivity, TheoryBudget, TheoryContext, TheoryItem, TheoryTiming,
     TheoryVerdict,
 };
-use absolver_logic::{Lit, Tri, Var};
+use absolver_logic::{Clause, Lit, Tri, Var};
 use absolver_nonlinear::NlConstraint;
 use absolver_num::Interval;
 use absolver_trace::{JsonObject, NullSink, TraceEvent, TraceSink};
@@ -201,6 +201,42 @@ impl fmt::Display for OrchestratorStats {
 }
 
 impl OrchestratorStats {
+    /// Adds another run's counters into this one (durations sum, the
+    /// `timed_out`/`cancelled` flags OR). Incremental sessions fold every
+    /// per-check delta into their cumulative statistics this way, so the
+    /// cumulative counters are monotone across checks.
+    pub fn accumulate(&mut self, other: &OrchestratorStats) {
+        self.boolean_iterations += other.boolean_iterations;
+        self.theory_checks += other.theory_checks;
+        self.conflicts_fed_back += other.conflicts_fed_back;
+        self.conflict_literals += other.conflict_literals;
+        self.unknown_checks += other.unknown_checks;
+        self.timed_out |= other.timed_out;
+        self.cancelled |= other.cancelled;
+        self.clauses_shared += other.clauses_shared;
+        self.clauses_imported += other.clauses_imported;
+        self.share_latency += other.share_latency;
+        self.boolean_time += other.boolean_time;
+        self.linear_time += other.linear_time;
+        self.nonlinear_time += other.nonlinear_time;
+        self.conflict_min_time += other.conflict_min_time;
+        self.simplex_pivots += other.simplex_pivots;
+        self.simplex_warm_starts += other.simplex_warm_starts;
+        self.theory_cache_hits += other.theory_cache_hits;
+        self.theory_cache_misses += other.theory_cache_misses;
+        self.hc4_contractions += other.hc4_contractions;
+        self.bc3_contractions += other.bc3_contractions;
+        self.newton_contractions += other.newton_contractions;
+        self.contraction_cache_hits += other.contraction_cache_hits;
+        self.contraction_cache_misses += other.contraction_cache_misses;
+        self.preprocess_time += other.preprocess_time;
+        self.pre_vars_eliminated += other.pre_vars_eliminated;
+        self.pre_clauses_eliminated += other.pre_clauses_eliminated;
+        self.pre_atoms_eliminated += other.pre_atoms_eliminated;
+        self.pre_ranges_tightened += other.pre_ranges_tightened;
+        self.elapsed += other.elapsed;
+    }
+
     /// Total interval contractions across all cascade stages (HC4 + BC3 +
     /// Newton).
     pub fn total_contractions(&self) -> u64 {
@@ -314,6 +350,34 @@ impl Default for OrchestratorOptions {
 /// accounting) and the clause itself.
 pub(crate) type TimedLemma = (Instant, Vec<Lit>);
 
+/// Snapshot of the incremental assertion stack's cumulative effort
+/// counters, for per-call delta attribution when the stack persists
+/// across calls (incremental sessions).
+#[derive(Debug, Clone, Copy, Default)]
+struct StackCounters {
+    pivots: u64,
+    warm_starts: u64,
+    min_time: Duration,
+}
+
+/// What one [`crate::session::Session`] check asks of the orchestrator —
+/// how much incremental state can be trusted from the previous check.
+pub(crate) struct SessionSolveArgs<'a> {
+    /// Reload the Boolean solver from the problem CNF and replay
+    /// `lemmas`. Set after a pop, a definition change, a reset, or a
+    /// previous check whose unknown-projection blockers tainted the
+    /// solver's internal learnt clauses.
+    pub(crate) reload: bool,
+    /// Rebuild the interned per-definition constraint pool (the
+    /// definitions changed since the previous check).
+    pub(crate) rebuild_defs: bool,
+    /// Surviving session lemmas, replayed on reload.
+    pub(crate) lemmas: &'a [Vec<Lit>],
+    /// Problem clauses appended since the previous check (warm path
+    /// only; ignored on reload, where the full CNF is loaded).
+    pub(crate) new_clauses: &'a [Clause],
+}
+
 /// Clause-sharing endpoints of one parallel shard: theory-conflict
 /// clauses flow out through `outbox` (one sender per sibling) and in
 /// through `inbox`. Imported clauses are kept in `pool` so they survive
@@ -349,11 +413,16 @@ enum CachedVerdict {
 /// verdict of a theory check depends only on this projection, so it is
 /// valid across `solve_all` enumeration, repeated cube sub-assignments,
 /// and whole solve calls — as long as the problem itself is unchanged,
-/// which `fingerprint` guards.
+/// which `fingerprint` guards. Incremental sessions bypass the
+/// fingerprint and instead invalidate entries selectively
+/// ([`Orchestrator::cache_retain`]); each entry carries the value of
+/// `seq` at insertion time so a session can discard exactly the entries
+/// computed after a popped frame opened.
 #[derive(Debug, Default)]
 struct TheoryCache {
-    map: HashMap<Vec<Lit>, CachedVerdict>,
+    map: HashMap<Vec<Lit>, (u64, CachedVerdict)>,
     fingerprint: u64,
+    seq: u64,
 }
 
 /// A cheap structural fingerprint of the parts of a problem the theory
@@ -398,6 +467,11 @@ pub struct Orchestrator {
     /// Equisatisfiable pre-pass run by `solve` (not `solve_under` with a
     /// cube, not `solve_all`) before the control loop starts.
     preprocessor: Option<Box<dyn ProblemPreprocessor>>,
+    /// When `Some`, every theory-conflict blocking clause derived by
+    /// `run_loop` is also appended here. Incremental sessions
+    /// ([`crate::session::Session`]) drain it after each check to build
+    /// their persistent lemma store; `None` (the default) costs nothing.
+    session_lemmas: Option<Vec<Vec<Lit>>>,
 }
 
 impl Default for Orchestrator {
@@ -424,6 +498,7 @@ impl Orchestrator {
             incremental: None,
             cache: TheoryCache::default(),
             preprocessor: None,
+            session_lemmas: None,
         }
     }
 
@@ -444,6 +519,7 @@ impl Orchestrator {
             incremental: None,
             cache: TheoryCache::default(),
             preprocessor: None,
+            session_lemmas: None,
         }
     }
 
@@ -589,11 +665,42 @@ impl Orchestrator {
         total
     }
 
+    /// Cumulative effort counters of the incremental assertion stack.
+    /// The one-shot `solve*` entry points build a fresh stack per call,
+    /// so a zero snapshot reads the absolute values; persistent sessions
+    /// snapshot before each check and fold in only the delta — the same
+    /// stack survives across checks and its counters never reset.
+    fn stack_counters(&self) -> StackCounters {
+        match &self.incremental {
+            Some(inc) => {
+                let stack = inc.stack();
+                StackCounters {
+                    pivots: stack.pivots(),
+                    warm_starts: stack.warm_starts(),
+                    min_time: stack.min_time(),
+                }
+            }
+            None => StackCounters::default(),
+        }
+    }
+
     /// Folds the backend-counter deltas since `(lin0, nl0)` into
     /// `self.stats` (called at the end of each `solve*` entry point),
     /// plus the incremental session's own counters — its checks bypass
     /// the one-shot backends entirely, so they are not in the snapshots.
     fn absorb_backend_deltas(&mut self, lin0: LinearBackendStats, nl0: NonlinearBackendStats) {
+        self.absorb_deltas_since(lin0, nl0, StackCounters::default());
+    }
+
+    /// Like [`Orchestrator::absorb_backend_deltas`], but also diffs the
+    /// assertion-stack counters against `stk0` instead of reading them
+    /// as absolutes.
+    fn absorb_deltas_since(
+        &mut self,
+        lin0: LinearBackendStats,
+        nl0: NonlinearBackendStats,
+        stk0: StackCounters,
+    ) {
         let lin1 = self.linear_snapshot();
         let nl1 = self.nonlinear_snapshot();
         self.stats.simplex_pivots += lin1.pivots.saturating_sub(lin0.pivots);
@@ -611,12 +718,10 @@ impl Orchestrator {
         self.stats.contraction_cache_misses += nl1
             .contraction_cache_misses
             .saturating_sub(nl0.contraction_cache_misses);
-        if let Some(inc) = &self.incremental {
-            let stack = inc.stack();
-            self.stats.simplex_pivots += stack.pivots();
-            self.stats.simplex_warm_starts += stack.warm_starts();
-            self.stats.conflict_min_time += stack.min_time();
-        }
+        let stk1 = self.stack_counters();
+        self.stats.simplex_pivots += stk1.pivots.saturating_sub(stk0.pivots);
+        self.stats.simplex_warm_starts += stk1.warm_starts.saturating_sub(stk0.warm_starts);
+        self.stats.conflict_min_time += stk1.min_time.saturating_sub(stk0.min_time);
     }
 
     /// Per-call session setup: rebuilds the interned constraint pool,
@@ -653,7 +758,7 @@ impl Orchestrator {
         if !self.options.theory_cache {
             return None;
         }
-        self.cache.map.get(involved).map(|v| match v {
+        self.cache.map.get(involved).map(|(_, v)| match v {
             CachedVerdict::Sat(m) => TheoryVerdict::Sat(m.clone()),
             CachedVerdict::Unsat(tags) => TheoryVerdict::Unsat(tags.clone()),
         })
@@ -670,7 +775,33 @@ impl Orchestrator {
             TheoryVerdict::Unsat(tags) => CachedVerdict::Unsat(tags.clone()),
             TheoryVerdict::Unknown => return,
         };
-        self.cache.map.insert(involved.to_vec(), cached);
+        self.cache.seq += 1;
+        self.cache
+            .map
+            .insert(involved.to_vec(), (self.cache.seq, cached));
+    }
+
+    /// The cache-insertion sequence number: entries stored later have a
+    /// strictly larger stamp. Sessions snapshot it at `push` so `pop` can
+    /// discard exactly the entries computed inside the popped frames.
+    pub(crate) fn cache_seq(&self) -> u64 {
+        self.cache.seq
+    }
+
+    /// Retains only the verdict-cache entries for which `keep` returns
+    /// true. The closure sees the involved-literal key, the insertion
+    /// stamp (see [`Orchestrator::cache_seq`]), and whether the entry is
+    /// a SAT verdict. This is the session-side invalidation hook; the
+    /// non-session paths keep using the fingerprint wholesale clear.
+    pub(crate) fn cache_retain(&mut self, mut keep: impl FnMut(&[Lit], u64, bool) -> bool) {
+        self.cache
+            .map
+            .retain(|k, (seq, v)| keep(k, *seq, matches!(v, CachedVerdict::Sat(_))));
+    }
+
+    /// Drops every cached verdict (session `reset`).
+    pub(crate) fn cache_clear(&mut self) {
+        self.cache.map.clear();
     }
 
     /// Solves an AB-problem. When a preprocessor is installed
@@ -818,6 +949,91 @@ impl Orchestrator {
                 .duration(started.elapsed())
         });
         outcome
+    }
+
+    /// Runs one check for a persistent [`crate::session::Session`].
+    ///
+    /// Unlike [`Orchestrator::solve_under`] this does **not** reset the
+    /// incremental machinery: the interned definition pool is rebuilt only
+    /// when `args.rebuild_defs` says the definitions changed, the simplex
+    /// assertion stack persists across checks (rebuilt only when the
+    /// arithmetic variable count outgrows its columns), and the theory
+    /// cache is left untouched — the session invalidates it selectively
+    /// through [`Orchestrator::cache_retain`]. The Boolean solver is kept
+    /// warm when `args.reload` is false (only `args.new_clauses` are
+    /// added); otherwise it is reloaded from the problem CNF and the
+    /// surviving session lemmas are replayed.
+    pub(crate) fn session_solve(
+        &mut self,
+        problem: &AbProblem,
+        args: SessionSolveArgs<'_>,
+    ) -> Result<Outcome, SolveError> {
+        let started = Instant::now();
+        self.stats = OrchestratorStats::default();
+        let lin0 = self.linear_snapshot();
+        let nl0 = self.nonlinear_snapshot();
+        if args.rebuild_defs {
+            self.interned = problem
+                .defs()
+                .map(|(var, def)| {
+                    (
+                        var,
+                        def.constraints
+                            .iter()
+                            .map(|c| Arc::new(c.clone()))
+                            .collect(),
+                    )
+                })
+                .collect();
+        }
+        // The assertion stack survives across checks (that is where the
+        // cross-check warm starts come from); rebuild it only when the
+        // arithmetic variable count outgrew its columns, with headroom so
+        // a streaming deepening does not re-tableau on every step.
+        let num_arith = problem.arith_vars().len();
+        let needs_stack = match &self.incremental {
+            Some(inc) => inc.stack().num_vars() < num_arith,
+            None => true,
+        };
+        if needs_stack {
+            self.incremental = self
+                .linear
+                .first()
+                .and_then(|b| b.make_stack((num_arith * 2).max(4)))
+                .map(IncrementalLinear::new);
+        }
+        let stk0 = self.stack_counters();
+        self.session_lemmas = Some(Vec::new());
+        let trivially_unsat = if args.reload {
+            self.boolean.load(problem.cnf());
+            args.lemmas
+                .iter()
+                .any(|lemma| !self.boolean.add_clause(lemma))
+        } else {
+            self.boolean.reserve_vars(problem.cnf().num_vars());
+            args.new_clauses
+                .iter()
+                .any(|c| !self.boolean.add_clause(c.lits()))
+        };
+        self.boolean.set_assumptions(&[]);
+        let outcome = if trivially_unsat {
+            // A clause (or replayed lemma) already contradicts the
+            // formula at the root — sound, because lemmas are implied by
+            // the definitions they mention.
+            Ok(Outcome::Unsat)
+        } else {
+            self.run_loop(problem, started)
+        };
+        self.stats.elapsed = started.elapsed();
+        self.absorb_deltas_since(lin0, nl0, stk0);
+        outcome
+    }
+
+    /// Drains the theory-conflict clauses captured during the last
+    /// [`Orchestrator::session_solve`] call (and disables capture until
+    /// the next one).
+    pub(crate) fn take_session_lemmas(&mut self) -> Vec<Vec<Lit>> {
+        self.session_lemmas.take().unwrap_or_default()
     }
 
     /// Re-adds every previously imported shared clause after a reload.
@@ -1112,6 +1328,9 @@ impl Orchestrator {
                         TraceEvent::new("conflict").field_u64("literals", clause.len() as u64)
                     });
                     self.share_clause(&clause);
+                    if let Some(log) = &mut self.session_lemmas {
+                        log.push(clause.clone());
+                    }
                     if !self.boolean.add_clause(&clause) {
                         return Ok(if had_unknown {
                             Outcome::Unknown

@@ -565,6 +565,69 @@ pub fn parse(text: &str) -> Result<AbProblem, ParseAbError> {
     parse_spanned(text).map(|(problem, _)| problem)
 }
 
+/// Parses one arithmetic comparison (the body of a `def` directive)
+/// against an existing variable table — the workhorse of the session
+/// script mode, where definitions arrive one line at a time instead of in
+/// one file.
+///
+/// Returns the parsed constraint plus the variables it mentions that are
+/// *not* in `existing`, as `(name, kind)` pairs in id order (their ids
+/// continue from `existing.len()`).
+///
+/// # Errors
+///
+/// Returns [`ParseAbError`] (spans relative to `base`) on syntax errors,
+/// or when an `int` definition mentions an existing `real` variable —
+/// sessions cannot retroactively promote a variable's kind the way
+/// whole-file parsing does.
+pub fn parse_session_constraint(
+    body: &str,
+    kind: VarKind,
+    existing: &[ArithVar],
+    base: Span,
+) -> Result<(NlConstraint, Vec<(String, VarKind)>), ParseAbError> {
+    let mut interner = VarInterner::default();
+    for v in existing {
+        interner.names.push(v.name.clone());
+        interner.kinds.push(v.kind);
+        interner.ranges.push(v.range);
+        interner
+            .by_name
+            .insert(v.name.clone(), interner.names.len() - 1);
+    }
+    let tokens = tokenize(body, base)?;
+    let end = body.len();
+    let mut parser = ExprParser {
+        tokens: &tokens,
+        pos: 0,
+        vars: &mut interner,
+        kind,
+        base,
+        end,
+    };
+    let constraint = parser.comparison()?;
+    for (id, v) in existing.iter().enumerate() {
+        if interner.kinds[id] != v.kind {
+            return Err(ParseAbError::at(
+                base,
+                format!(
+                    "variable `{}` is declared real but is mentioned in an int definition",
+                    v.name
+                ),
+            ));
+        }
+    }
+    let fresh = existing.len();
+    let new_vars = interner
+        .names
+        .iter()
+        .zip(&interner.kinds)
+        .skip(fresh)
+        .map(|(n, &k)| (n.clone(), k))
+        .collect();
+    Ok((constraint, new_vars))
+}
+
 /// Like [`parse`], but additionally returns the [`SourceMap`] locating
 /// every directive and clause of the input.
 ///

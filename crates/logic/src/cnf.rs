@@ -162,6 +162,27 @@ impl Cnf {
         v
     }
 
+    /// Rolls the formula back to its first `num_clauses` clauses and
+    /// `num_vars` variables — the undo primitive of incremental solve
+    /// sessions (`push`/`pop`). Clauses and variables are append-only, so
+    /// a snapshot of the two counts fully identifies an earlier state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a surviving clause mentions a variable being removed
+    /// (the snapshot would not come from this formula's own history).
+    pub fn truncate(&mut self, num_clauses: usize, num_vars: usize) {
+        self.clauses.truncate(num_clauses);
+        assert!(
+            self.clauses
+                .iter()
+                .flat_map(|c| c.iter())
+                .all(|l| l.var().index() < num_vars),
+            "Cnf::truncate: surviving clause mentions a removed variable"
+        );
+        self.num_vars = self.num_vars.min(num_vars);
+    }
+
     /// Evaluates the formula under a partial assignment.
     pub fn eval(&self, assignment: &Assignment) -> Tri {
         let mut acc = Tri::True;

@@ -29,6 +29,11 @@ cargo test -q --offline --test parallel_agreement
 echo "== incremental theory-engine differential suite (stack vs scratch, cache on/off) =="
 cargo test -q --offline --test incremental_agreement
 
+echo "== session suites (differential fuzz + frame-contract properties) =="
+# Persistent push/pop/assert/check sessions vs a fresh-solver-per-check
+# oracle (cache on/off), plus pop-undo/no-leak/monotone-stats properties.
+cargo test -q --offline --test session_agreement --test session_monotonic
+
 echo "== contractor cascade suites (soundness properties + config differential) =="
 # Per-contractor soundness (contraction + solution preservation) and
 # verdict identity across cascade/HC4-only, cache on/off, jobs 1/2/4.
@@ -39,7 +44,8 @@ echo "== seeded re-run of the randomized suites (pinned TESTKIT_SEED) =="
 # only pass on the name-derived default seed path.
 TESTKIT_SEED=0xAB501BE5 cargo test -q --offline \
     --test parallel_agreement --test solver_agreement --test fuzz_inputs \
-    --test contractor_soundness --test cascade_agreement
+    --test contractor_soundness --test cascade_agreement \
+    --test session_agreement --test session_monotonic
 
 echo "== observability gate (--stats json, --trace, differential test) =="
 OBS_TMP=$(mktemp -d)
@@ -61,9 +67,15 @@ grep '^{' "$OBS_TMP/fig2.out" > "$OBS_TMP/fig2.stats.json"
 # cache on steering fails the gate.
 ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. ABS_TIMEOUT_SECS=60 \
     ./target/release/bench_json --check-regress fischer sudoku steering threshold-reach
+# Streaming-session BMC gate: the persistent-session Fischer run must
+# stay within the baseline limit, beat the from-scratch loop outright,
+# and score at least one theory-verdict cache hit.
+ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. \
+    ./target/release/fischer_incremental --check-regress
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$OBS_TMP/fig2.stats.json" > /dev/null
     python3 -m json.tool "$OBS_TMP/BENCH_fischer.json" > /dev/null
+    python3 -m json.tool "$OBS_TMP/BENCH_fischer_incremental.json" > /dev/null
     # Every trace line must be a standalone JSON object (JSONL).
     python3 -c 'import json,sys
 for line in open(sys.argv[1]):

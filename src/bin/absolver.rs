@@ -10,6 +10,7 @@
 //! ```text
 //! absolver [OPTIONS] [FILE]
 //! absolver check [--json] [FILE]
+//! absolver session [OPTIONS] [FILE]
 //!
 //!   FILE                     input in extended DIMACS (default: stdin)
 //!   --boolean cdcl|restart   Boolean backend        (default: cdcl)
@@ -42,13 +43,39 @@
 //! prints compiler-style diagnostics (`file:line:col: severity[AB0xx]:
 //! message`), or a stable JSON report with `--json`. Check exit codes:
 //! `0` clean, `3` warnings only, `4` errors, `2` usage/IO error.
+//!
+//! `absolver session` reads a line-oriented incremental script (from FILE
+//! or stdin) driving one persistent solve session. One command per line;
+//! blank lines and `#` comments are skipped:
+//!
+//! ```text
+//! var <int|real> <name>      declare an arithmetic variable
+//! range <name> <lo> <hi>     tighten its search range
+//! def <int|real> <v> <cmp>   bind Boolean var v (1-based) to a constraint
+//! assert <lit> ... [0]       add a clause (DIMACS-style literals)
+//! push / pop                 open / undo an assertion frame
+//! check                      decide the current assertions (prints `s ...`)
+//! model                      print the model of the last check
+//! reset                      drop every assertion and frame
+//! ```
+//!
+//! Each `check` prints its own `s SATISFIABLE|UNSATISFIABLE|UNKNOWN`
+//! line; with `--stats json` it also emits a per-check JSON block, plus a
+//! cumulative block at end of script. Malformed scripts abort with
+//! compiler-style diagnostics (`file:line:col: error[AB02x]: message`,
+//! codes: `AB020` unknown command, `AB021` malformed command, `AB022`
+//! pop without a frame). The process exit code is the last check's solve
+//! code (`10`/`20`/`30`, or `40` on iteration limit), `0` if the script
+//! ran no check, and `2` on script/usage/IO errors.
 
 use absolver::core::{
-    AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear, Orchestrator, OrchestratorOptions,
-    Outcome, ParallelOptions, ParallelStats, ParallelStrategy, PenaltyNonlinear, RestartingBoolean,
-    SimplexLinear,
+    parse_session_constraint, AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear,
+    Orchestrator, OrchestratorOptions, Outcome, ParallelOptions, ParallelStats, ParallelStrategy,
+    PenaltyNonlinear, RestartingBoolean, Session, SimplexLinear, Span, VarKind,
 };
+use absolver::logic::{Lit, Var};
 use absolver::nonlinear::{ContractorConfig, NlOptions};
+use absolver::num::Interval;
 use absolver::trace::{FileSink, JsonObject};
 use std::io::Read;
 use std::process::ExitCode;
@@ -102,8 +129,12 @@ fn usage() -> ! {
          \x20               [--deterministic] [--stats [human|json]] [--trace FILE]\n\
          \x20               [--quiet] [FILE]\n\
          \x20      absolver check [--json] [FILE]\n\
+         \x20      absolver session [--boolean ...] [--nonlinear ...] [--no-minimize]\n\
+         \x20               [--no-theory-cache] [--time-limit SECS] [--max-iterations N]\n\
+         \x20               [--stats [human|json]] [--trace FILE] [--quiet] [FILE]\n\
          solve exit codes: 10 sat, 20 unsat, 30 unknown, 40 iteration limit, 2 error\n\
-         check exit codes: 0 clean, 3 warnings, 4 errors, 2 error"
+         check exit codes: 0 clean, 3 warnings, 4 errors, 2 error\n\
+         session exit code: last check's solve code (0 if no check), 2 on script error"
     );
     std::process::exit(EXIT_ERROR as i32);
 }
@@ -320,6 +351,415 @@ fn check_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// Walks one script line word by word, tracking the 1-based column of
+/// every token for diagnostics.
+struct LineCursor<'a> {
+    rest: &'a str,
+    col: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn new(line: &'a str) -> LineCursor<'a> {
+        LineCursor { rest: line, col: 1 }
+    }
+
+    /// Next whitespace-separated word and its column, if any.
+    fn word(&mut self) -> Option<(&'a str, usize)> {
+        let trimmed = self.rest.trim_start();
+        self.col += self.rest.len() - trimmed.len();
+        if trimmed.is_empty() {
+            self.rest = trimmed;
+            return None;
+        }
+        let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+        let word = &trimmed[..end];
+        let at = self.col;
+        self.rest = &trimmed[end..];
+        self.col += end;
+        Some((word, at))
+    }
+
+    /// Everything after the words consumed so far, and its column.
+    fn remainder(&mut self) -> (&'a str, usize) {
+        let trimmed = self.rest.trim_start();
+        self.col += self.rest.len() - trimmed.len();
+        self.rest = "";
+        (trimmed.trim_end(), self.col)
+    }
+}
+
+/// Emits one compiler-style session diagnostic (the AB-code format of
+/// `absolver check`, with the session's own `AB02x` code block).
+fn session_diag(label: &str, line: usize, col: usize, code: &str, message: &str) {
+    eprintln!("{label}:{line}:{col}: error[{code}]: {message}");
+}
+
+fn verdict_line(outcome: &Outcome) -> (&'static str, u8) {
+    match outcome {
+        Outcome::Sat(_) => ("s SATISFIABLE", EXIT_SAT),
+        Outcome::Unsat => ("s UNSATISFIABLE", EXIT_UNSAT),
+        Outcome::Unknown => ("s UNKNOWN", EXIT_UNKNOWN),
+    }
+}
+
+/// The `absolver session` mode: drive one persistent [`Session`] from a
+/// line-oriented script (see the module docs for the command language).
+fn session_main(args: &[String]) -> ExitCode {
+    let mut config = Config {
+        file: None,
+        boolean: "cdcl".to_string(),
+        nonlinear: "cascade".to_string(),
+        contractors: ContractorConfig::default(),
+        contraction_cache: true,
+        nl_jobs: 1,
+        minimize: true,
+        theory_cache: true,
+        // Sessions solve the asserted problem as-is; the preprocessor
+        // only runs in whole-problem mode.
+        preprocess: false,
+        all_models: None,
+        time_limit: None,
+        max_iterations: None,
+        jobs: None,
+        strategy: ParallelStrategy::Portfolio,
+        deterministic: false,
+        stats: None,
+        trace: None,
+        quiet: false,
+    };
+    let mut it = args.iter().cloned().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--boolean" => config.boolean = it.next().unwrap_or_else(|| usage()),
+            "--nonlinear" => config.nonlinear = it.next().unwrap_or_else(|| usage()),
+            "--no-minimize" => config.minimize = false,
+            "--no-theory-cache" => config.theory_cache = false,
+            "--time-limit" => {
+                let secs: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                config.time_limit = Some(Duration::from_secs(secs));
+            }
+            "--max-iterations" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                config.max_iterations = Some(n);
+            }
+            "--stats" => {
+                config.stats = Some(match it.peek().map(String::as_str) {
+                    Some("json") => {
+                        it.next();
+                        StatsFormat::Json
+                    }
+                    Some("human") => {
+                        it.next();
+                        StatsFormat::Human
+                    }
+                    _ => StatsFormat::Human,
+                });
+            }
+            "--trace" => config.trace = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" => config.quiet = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            path => {
+                if config.file.replace(path.to_string()).is_some() {
+                    eprintln!("multiple input files");
+                    usage();
+                }
+            }
+        }
+    }
+
+    let mut text = String::new();
+    let label = match &config.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => {
+                text = t;
+                path.clone()
+            }
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        },
+        None => {
+            if std::io::stdin().read_to_string(&mut text).is_err() {
+                eprintln!("cannot read stdin");
+                return ExitCode::from(EXIT_ERROR);
+            }
+            "<stdin>".to_string()
+        }
+    };
+
+    let mut orc = build_orchestrator(&config);
+    let trace_sink = match &config.trace {
+        Some(path) => match FileSink::create(path) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                orc.set_trace_sink(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("cannot open trace file `{path}`: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        },
+        None => None,
+    };
+    let mut session = Session::with_orchestrator(orc);
+    let mut last_exit: Option<u8> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() || raw.trim_start().starts_with('#') {
+            continue;
+        }
+        let mut cur = LineCursor::new(raw);
+        let (cmd, cmd_col) = cur.word().expect("non-blank line has a first word");
+        match cmd {
+            "push" => session.push(),
+            "pop" => {
+                if session.pop().is_err() {
+                    session_diag(
+                        &label,
+                        line,
+                        cmd_col,
+                        "AB022",
+                        "pop without a matching push",
+                    );
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            }
+            "reset" => session.reset(),
+            "var" => {
+                let kind = match cur.word() {
+                    Some(("int", _)) => VarKind::Int,
+                    Some(("real", _)) => VarKind::Real,
+                    other => {
+                        let col = other.map_or(cur.col, |(_, c)| c);
+                        session_diag(&label, line, col, "AB021", "expected `int` or `real`");
+                        return ExitCode::from(EXIT_ERROR);
+                    }
+                };
+                let Some((name, _)) = cur.word() else {
+                    session_diag(&label, line, cur.col, "AB021", "expected a variable name");
+                    return ExitCode::from(EXIT_ERROR);
+                };
+                if let Err(e) = session.arith_var(name, kind) {
+                    session_diag(&label, line, cmd_col, "AB021", &e.to_string());
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            }
+            "range" => {
+                let Some((name, name_col)) = cur.word() else {
+                    session_diag(&label, line, cur.col, "AB021", "expected a variable name");
+                    return ExitCode::from(EXIT_ERROR);
+                };
+                let Some(id) = session.problem().arith_var(name) else {
+                    session_diag(
+                        &label,
+                        line,
+                        name_col,
+                        "AB021",
+                        &format!("unknown arithmetic variable `{name}`"),
+                    );
+                    return ExitCode::from(EXIT_ERROR);
+                };
+                let bound = |cur: &mut LineCursor| -> Result<f64, (usize, String)> {
+                    match cur.word() {
+                        Some((w, c)) => w
+                            .parse::<f64>()
+                            .map_err(|_| (c, format!("invalid bound `{w}`"))),
+                        None => Err((cur.col, "expected a bound".to_string())),
+                    }
+                };
+                let (lo, hi) = match (bound(&mut cur), bound(&mut cur)) {
+                    (Ok(lo), Ok(hi)) => (lo, hi),
+                    (Err((c, m)), _) | (_, Err((c, m))) => {
+                        session_diag(&label, line, c, "AB021", &m);
+                        return ExitCode::from(EXIT_ERROR);
+                    }
+                };
+                if session.assert_range(id, Interval::new(lo, hi)).is_err() {
+                    session_diag(&label, line, name_col, "AB021", "invalid range");
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            }
+            "def" => {
+                let kind = match cur.word() {
+                    Some(("int", _)) => VarKind::Int,
+                    Some(("real", _)) => VarKind::Real,
+                    other => {
+                        let col = other.map_or(cur.col, |(_, c)| c);
+                        session_diag(&label, line, col, "AB021", "expected `int` or `real`");
+                        return ExitCode::from(EXIT_ERROR);
+                    }
+                };
+                let var = match cur.word() {
+                    Some((w, c)) => match w.parse::<usize>() {
+                        Ok(v) if v >= 1 => Var::new((v - 1) as u32),
+                        _ => {
+                            session_diag(
+                                &label,
+                                line,
+                                c,
+                                "AB021",
+                                &format!("invalid Boolean variable `{w}` (1-based index)"),
+                            );
+                            return ExitCode::from(EXIT_ERROR);
+                        }
+                    },
+                    None => {
+                        session_diag(
+                            &label,
+                            line,
+                            cur.col,
+                            "AB021",
+                            "expected a Boolean variable",
+                        );
+                        return ExitCode::from(EXIT_ERROR);
+                    }
+                };
+                let (body, body_col) = cur.remainder();
+                if body.is_empty() {
+                    session_diag(&label, line, body_col, "AB021", "expected a comparison");
+                    return ExitCode::from(EXIT_ERROR);
+                }
+                let base = Span::new(line, body_col);
+                match parse_session_constraint(body, kind, session.problem().arith_vars(), base) {
+                    Ok((constraint, new_vars)) => {
+                        for (name, k) in new_vars {
+                            session
+                                .arith_var(&name, k)
+                                .expect("parser-fresh variable cannot clash");
+                        }
+                        if let Err(e) = session.define(var, constraint) {
+                            session_diag(&label, line, body_col, "AB021", &e.to_string());
+                            return ExitCode::from(EXIT_ERROR);
+                        }
+                    }
+                    Err(e) => {
+                        let (l, c) = match e.span() {
+                            Some(s) => (s.line, s.col),
+                            None => (line, body_col),
+                        };
+                        session_diag(&label, l, c, "AB021", e.message());
+                        return ExitCode::from(EXIT_ERROR);
+                    }
+                }
+            }
+            "assert" => {
+                let mut lits: Vec<Lit> = Vec::new();
+                while let Some((w, c)) = cur.word() {
+                    match w.parse::<i32>() {
+                        Ok(0) => break,
+                        Ok(v) => lits.push(Lit::from_dimacs(v)),
+                        Err(_) => {
+                            session_diag(
+                                &label,
+                                line,
+                                c,
+                                "AB021",
+                                &format!("invalid literal `{w}`"),
+                            );
+                            return ExitCode::from(EXIT_ERROR);
+                        }
+                    }
+                }
+                session.assert_clause(lits);
+            }
+            "check" => match session.check() {
+                Ok(outcome) => {
+                    let (msg, code) = verdict_line(&outcome);
+                    println!("{msg}");
+                    last_exit = Some(code);
+                    match config.stats {
+                        Some(StatsFormat::Human) => {
+                            eprintln!(
+                                "c check {} (depth {}): {}",
+                                session.checks(),
+                                session.depth(),
+                                session.check_stats()
+                            );
+                        }
+                        Some(StatsFormat::Json) => {
+                            let mut obj = JsonObject::new();
+                            obj.field_u64("check", session.checks())
+                                .field_u64("depth", session.depth() as u64)
+                                .field_str(
+                                    "verdict",
+                                    match outcome {
+                                        Outcome::Sat(_) => "sat",
+                                        Outcome::Unsat => "unsat",
+                                        Outcome::Unknown => "unknown",
+                                    },
+                                )
+                                .field_raw("stats", &session.check_stats().to_json());
+                            println!("{}", obj.finish());
+                        }
+                        None => {}
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    if let Some(sink) = &trace_sink {
+                        let _ = sink.flush();
+                    }
+                    return ExitCode::from(EXIT_ITERATION_LIMIT);
+                }
+            },
+            "model" => match session.model() {
+                Some(m) => {
+                    if !config.quiet {
+                        print_model(session.problem(), m);
+                    }
+                }
+                None => println!("c no model"),
+            },
+            other => {
+                session_diag(
+                    &label,
+                    line,
+                    cmd_col,
+                    "AB020",
+                    &format!("unknown session command `{other}`"),
+                );
+                return ExitCode::from(EXIT_ERROR);
+            }
+        }
+    }
+
+    match config.stats {
+        Some(StatsFormat::Human) => {
+            eprintln!(
+                "c cumulative ({} checks, {} lemmas retained): {}",
+                session.checks(),
+                session.lemmas_retained(),
+                session.cumulative_stats()
+            );
+        }
+        Some(StatsFormat::Json) => {
+            let mut obj = JsonObject::new();
+            obj.field_u64("checks", session.checks())
+                .field_u64("lemmas_retained", session.lemmas_retained() as u64)
+                .field_raw("cumulative", &session.cumulative_stats().to_json());
+            println!("{}", obj.finish());
+        }
+        None => {}
+    }
+    if let Some(sink) = &trace_sink {
+        let _ = sink.flush();
+    }
+    ExitCode::from(last_exit.unwrap_or(0))
+}
+
 fn print_model(problem: &AbProblem, model: &absolver::core::AbModel) {
     for (id, var) in problem.arith_vars().iter().enumerate() {
         match model.arith.value_exact(id) {
@@ -370,6 +810,9 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("check") {
         return check_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("session") {
+        return session_main(&argv[1..]);
     }
     let config = parse_args();
     let mut text = String::new();

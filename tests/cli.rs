@@ -281,6 +281,156 @@ fn preprocess_stats_appear_in_json() {
     }
 }
 
+// ----------------------------------------------------------------------
+// `absolver session` — the line-oriented incremental script mode
+// ----------------------------------------------------------------------
+
+/// A push/pop script whose three checks go sat → unsat → sat.
+const SESSION_SCRIPT: &str = "\
+# incremental script
+var real x
+def real 1 x >= 0
+assert 1
+check
+model
+push
+def real 2 x <= -1
+assert 2
+check
+pop
+check
+model
+";
+
+#[test]
+fn session_reads_stdin_and_exits_with_last_check() {
+    let out = run_stdin(&["session"], SESSION_SCRIPT);
+    assert_eq!(
+        exit_code(&out),
+        10,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let verdicts: Vec<&str> = stdout.lines().filter(|l| l.starts_with("s ")).collect();
+    assert_eq!(
+        verdicts,
+        ["s SATISFIABLE", "s UNSATISFIABLE", "s SATISFIABLE"],
+        "stdout: {stdout}"
+    );
+    // Both `model` commands fall on satisfiable checks.
+    assert_eq!(stdout.matches("v x = ").count(), 2, "stdout: {stdout}");
+}
+
+#[test]
+fn session_reads_a_script_file() {
+    let dir = std::env::temp_dir().join(format!("absolver-cli-session-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("script.abs");
+    std::fs::write(&path, "assert 1\nassert -1\ncheck\n").expect("write script");
+    let out = absolver()
+        .args(["session", path.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert_eq!(exit_code(&out), 20);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNSATISFIABLE"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn session_without_checks_exits_0() {
+    let out = run_stdin(&["session"], "var real x\npush\npop\n");
+    assert_eq!(exit_code(&out), 0);
+}
+
+#[test]
+fn session_unknown_command_is_ab020() {
+    let out = run_stdin(&["session"], "check\nfrobnicate 1 2\n");
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("<stdin>:2:1: error[AB020]:"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("frobnicate"), "stderr: {stderr}");
+}
+
+#[test]
+fn session_malformed_command_is_ab021_with_span() {
+    // The parse error points into the constraint body, not at column 1.
+    let out = run_stdin(&["session"], "var real x\ndef real 1 x >=\n");
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("<stdin>:2:16: error[AB021]:"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn session_undeclared_variable_is_ab021() {
+    let out = run_stdin(&["session"], "range nope 0 1\n");
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error[AB021]:") && stderr.contains("nope"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn session_pop_without_frame_is_ab022() {
+    let out = run_stdin(&["session"], "push\npop\npop\n");
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("<stdin>:3:1: error[AB022]:"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn session_stats_json_emits_per_check_and_cumulative_blocks() {
+    let out = run_stdin(&["session", "--stats", "json"], SESSION_SCRIPT);
+    assert_eq!(exit_code(&out), 10);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_lines: Vec<&str> = stdout.lines().filter(|l| l.starts_with('{')).collect();
+    // Three per-check blocks plus one cumulative block, all one-line JSON.
+    assert_eq!(json_lines.len(), 4, "stdout: {stdout}");
+    for (i, expected) in [("1", "sat"), ("2", "unsat"), ("3", "sat")]
+        .iter()
+        .enumerate()
+    {
+        let line = json_lines[i];
+        assert!(
+            line.contains(&format!("\"check\":{}", expected.0))
+                && line.contains(&format!("\"verdict\":\"{}\"", expected.1))
+                && line.contains("\"depth\":")
+                && line.contains("\"stats\":{")
+                && line.contains("\"elapsed_us\":"),
+            "check block {i}: {line}"
+        );
+    }
+    let cumulative = json_lines[3];
+    for key in [
+        "\"checks\":3",
+        "\"lemmas_retained\":",
+        "\"cumulative\":{",
+        "\"theory_cache_hits\":",
+    ] {
+        assert!(cumulative.contains(key), "missing {key} in {cumulative}");
+    }
+}
+
+#[test]
+fn session_quiet_suppresses_models_but_not_verdicts() {
+    let out = run_stdin(&["session", "--quiet"], SESSION_SCRIPT);
+    assert_eq!(exit_code(&out), 10);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("s ")).count(), 3);
+    assert!(!stdout.contains("v x = "), "stdout: {stdout}");
+}
+
 #[test]
 fn help_documents_exit_codes() {
     let out = absolver().arg("--help").output().expect("run");
