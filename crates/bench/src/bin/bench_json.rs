@@ -24,6 +24,7 @@
 
 use absolver_bench::harness::{env_seconds, format_duration, run_absolver_report};
 use absolver_bench::workloads::bench_suite;
+use absolver_trace::saturating_micros;
 use std::path::PathBuf;
 
 /// Pulls `"elapsed_us":<n>` out of a baseline report without a JSON
@@ -114,7 +115,7 @@ fn main() {
             let baseline = std::fs::read_to_string(&base_path).ok();
             match baseline.as_deref().and_then(baseline_elapsed_us) {
                 Some(base_us) => {
-                    let fresh_us = m.elapsed.as_micros() as u64;
+                    let fresh_us = saturating_micros(m.elapsed);
                     let limit_us = regression_limit_us(base_us);
                     if fresh_us > limit_us {
                         eprintln!(

@@ -24,7 +24,7 @@
 
 use absolver_bench::fischer::FischerStream;
 use absolver_core::{AbProblem, Orchestrator, Outcome};
-use absolver_trace::JsonObject;
+use absolver_trace::{saturating_micros, JsonObject};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -140,8 +140,8 @@ fn main() {
     eprintln!("  from-scratch: {}us", scratch_elapsed.as_micros());
 
     // ---- report ------------------------------------------------------
-    let session_us = session_elapsed.as_micros() as u64;
-    let scratch_us = scratch_elapsed.as_micros() as u64;
+    let session_us = saturating_micros(session_elapsed);
+    let scratch_us = saturating_micros(scratch_elapsed);
     let cache_lookups = cumulative.theory_cache_hits + cumulative.theory_cache_misses;
     let hit_rate = if cache_lookups == 0 {
         0.0

@@ -233,41 +233,55 @@ impl FischerStream {
             .expect("declared");
         s.assert_range(check_p, Interval::new(0.0, (self.a + 2 * self.b) as f64))
             .expect("declared");
-        let nonneg = s.atom(Expr::var(set_p), CmpOp::Ge, Rational::zero());
+        let nonneg = s
+            .atom(Expr::var(set_p), CmpOp::Ge, Rational::zero())
+            .expect("declared");
         s.require(nonneg.positive());
-        let deadline = s.atom(Expr::var(set_p), CmpOp::Le, Rational::from_int(self.a));
+        let deadline = s
+            .atom(Expr::var(set_p), CmpOp::Le, Rational::from_int(self.a))
+            .expect("declared");
         s.require(deadline.positive());
-        let wait = s.atom(
-            Expr::var(check_p) - Expr::var(set_p),
-            CmpOp::Ge,
-            Rational::from_int(self.b),
-        );
+        let wait = s
+            .atom(
+                Expr::var(check_p) - Expr::var(set_p),
+                CmpOp::Ge,
+                Rational::from_int(self.b),
+            )
+            .expect("declared");
         s.require(wait.positive());
         for q in 0..p {
-            let q_first = s.atom(
-                Expr::var(self.set[q]) - Expr::var(set_p),
-                CmpOp::Le,
-                Rational::from_int(-1),
-            );
-            let p_first = s.atom(
-                Expr::var(set_p) - Expr::var(self.set[q]),
-                CmpOp::Le,
-                Rational::from_int(-1),
-            );
+            let q_first = s
+                .atom(
+                    Expr::var(self.set[q]) - Expr::var(set_p),
+                    CmpOp::Le,
+                    Rational::from_int(-1),
+                )
+                .expect("declared");
+            let p_first = s
+                .atom(
+                    Expr::var(set_p) - Expr::var(self.set[q]),
+                    CmpOp::Le,
+                    Rational::from_int(-1),
+                )
+                .expect("declared");
             s.assert_clause([q_first.positive(), p_first.positive()]);
         }
         if p > 0 {
             // Process 0's entry condition for the new contender.
-            let earlier = s.atom(
-                Expr::var(set_p) - Expr::var(self.set[0]),
-                CmpOp::Lt,
-                Rational::zero(),
-            );
-            let too_late = s.atom(
-                Expr::var(set_p) - Expr::var(self.check[0]),
-                CmpOp::Gt,
-                Rational::zero(),
-            );
+            let earlier = s
+                .atom(
+                    Expr::var(set_p) - Expr::var(self.set[0]),
+                    CmpOp::Lt,
+                    Rational::zero(),
+                )
+                .expect("declared");
+            let too_late = s
+                .atom(
+                    Expr::var(set_p) - Expr::var(self.check[0]),
+                    CmpOp::Gt,
+                    Rational::zero(),
+                )
+                .expect("declared");
             s.assert_clause([earlier.positive(), too_late.positive()]);
         }
         self.set.push(set_p);
@@ -288,16 +302,20 @@ impl FischerStream {
             if q == 1 {
                 continue;
             }
-            let earlier = s.atom(
-                Expr::var(self.set[q]) - Expr::var(self.set[1]),
-                CmpOp::Lt,
-                Rational::zero(),
-            );
-            let too_late = s.atom(
-                Expr::var(self.set[q]) - Expr::var(self.check[1]),
-                CmpOp::Gt,
-                Rational::zero(),
-            );
+            let earlier = s
+                .atom(
+                    Expr::var(self.set[q]) - Expr::var(self.set[1]),
+                    CmpOp::Lt,
+                    Rational::zero(),
+                )
+                .expect("declared");
+            let too_late = s
+                .atom(
+                    Expr::var(self.set[q]) - Expr::var(self.check[1]),
+                    CmpOp::Gt,
+                    Rational::zero(),
+                )
+                .expect("declared");
             s.assert_clause([earlier.positive(), too_late.positive()]);
         }
     }

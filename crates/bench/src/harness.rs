@@ -5,7 +5,7 @@ use absolver_baselines::{
     BaselineVerdict, CvcLike, CvcLikeOptions, MathSatLike, MathSatLikeOptions,
 };
 use absolver_core::{AbProblem, Orchestrator, OrchestratorOptions, Outcome};
-use absolver_trace::JsonObject;
+use absolver_trace::{saturating_micros, JsonObject};
 use std::time::Duration;
 
 /// Result of one solver on one instance.
@@ -118,7 +118,7 @@ pub fn run_absolver_report(
             stats.contraction_cache_hit_rate(),
         )
         .field_str("raw_verdict", &raw_verdict)
-        .field_u64("raw_elapsed_us", raw_elapsed.as_micros() as u64)
+        .field_u64("raw_elapsed_us", saturating_micros(raw_elapsed))
         .field_raw("stats", &stats.to_json());
     (
         Measurement {

@@ -33,7 +33,11 @@ use std::time::{Duration, Instant};
 // ---------------------------------------------------------------------------
 
 /// A Boolean solver usable by the orchestrating control loop.
-pub trait BooleanSolver {
+///
+/// `Send` is a supertrait so solver state (and everything holding it,
+/// up to a whole [`crate::Session`]) can move between threads — the
+/// `absolverd` worker pool hands warm sessions from worker to worker.
+pub trait BooleanSolver: Send {
     /// Human-readable backend name (for statistics and logs).
     fn name(&self) -> &str;
 
@@ -221,7 +225,7 @@ pub struct LinearBackendStats {
 }
 
 /// A linear-arithmetic solver usable by the theory layer (COIN role).
-pub trait LinearBackend {
+pub trait LinearBackend: Send {
     /// Human-readable backend name.
     fn name(&self) -> &str;
 
@@ -363,7 +367,7 @@ impl NonlinearBackendStats {
 }
 
 /// A nonlinear solver usable by the theory layer (IPOPT role).
-pub trait NonlinearBackend {
+pub trait NonlinearBackend: Send {
     /// Human-readable backend name.
     fn name(&self) -> &str;
 

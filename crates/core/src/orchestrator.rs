@@ -27,7 +27,7 @@ use crate::theory::{
 use absolver_logic::{Clause, Lit, Tri, Var};
 use absolver_nonlinear::NlConstraint;
 use absolver_num::Interval;
-use absolver_trace::{JsonObject, NullSink, TraceEvent, TraceSink};
+use absolver_trace::{saturating_micros, JsonObject, NullSink, TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -273,10 +273,10 @@ impl OrchestratorStats {
     pub fn to_json(&self) -> String {
         let mut phase = JsonObject::new();
         phase
-            .field_u64("boolean_us", self.boolean_time.as_micros() as u64)
-            .field_u64("linear_us", self.linear_time.as_micros() as u64)
-            .field_u64("nonlinear_us", self.nonlinear_time.as_micros() as u64)
-            .field_u64("conflict_min_us", self.conflict_min_time.as_micros() as u64);
+            .field_u64("boolean_us", saturating_micros(self.boolean_time))
+            .field_u64("linear_us", saturating_micros(self.linear_time))
+            .field_u64("nonlinear_us", saturating_micros(self.nonlinear_time))
+            .field_u64("conflict_min_us", saturating_micros(self.conflict_min_time));
         let mut obj = JsonObject::new();
         obj.field_u64("boolean_iterations", self.boolean_iterations)
             .field_u64("theory_checks", self.theory_checks)
@@ -287,7 +287,7 @@ impl OrchestratorStats {
             .field_bool("cancelled", self.cancelled)
             .field_u64("clauses_shared", self.clauses_shared)
             .field_u64("clauses_imported", self.clauses_imported)
-            .field_u64("share_latency_us", self.share_latency.as_micros() as u64)
+            .field_u64("share_latency_us", saturating_micros(self.share_latency))
             .field_u64("simplex_pivots", self.simplex_pivots)
             .field_u64("simplex_warm_starts", self.simplex_warm_starts)
             .field_u64("theory_cache_hits", self.theory_cache_hits)
@@ -303,11 +303,11 @@ impl OrchestratorStats {
                     .field_u64("clauses_eliminated", self.pre_clauses_eliminated)
                     .field_u64("atoms_eliminated", self.pre_atoms_eliminated)
                     .field_u64("ranges_tightened", self.pre_ranges_tightened)
-                    .field_u64("time_us", self.preprocess_time.as_micros() as u64);
+                    .field_u64("time_us", saturating_micros(self.preprocess_time));
                 pre.finish()
             })
             .field_raw("phase", &phase.finish())
-            .field_u64("elapsed_us", self.elapsed.as_micros() as u64);
+            .field_u64("elapsed_us", saturating_micros(self.elapsed));
         obj.finish()
     }
 }
@@ -429,7 +429,12 @@ struct TheoryCache {
 /// cache depends on: the arithmetic variables (kind + range) and the
 /// atom definitions. The CNF skeleton is deliberately excluded — clauses
 /// do not change what a theory projection means.
-fn problem_fingerprint(problem: &AbProblem) -> u64 {
+///
+/// The service layer reuses this as the warm-session / lemma-store bucket
+/// key: two problems with equal fingerprints *probably* share declarations
+/// and definitions, but the fingerprint is a hash — callers that need
+/// soundness (lemma reuse) must confirm structural equality separately.
+pub fn problem_fingerprint(problem: &AbProblem) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for v in problem.arith_vars() {
         format!("{v:?}").hash(&mut h);

@@ -1,0 +1,440 @@
+//! Line parser for the `absolver session` script language.
+//!
+//! One command per line; blank lines and `#` comments parse to `None`:
+//!
+//! ```text
+//! var <int|real> <name>      declare an arithmetic variable
+//! range <name> <lo> <hi>     tighten its search range
+//! def <int|real> <v> <cmp>   bind Boolean var v (1-based) to a constraint
+//! assert <lit> ... [0]       add a clause (DIMACS-style literals)
+//! push / pop                 open / undo an assertion frame
+//! check                      decide the current assertions
+//! model                      print the model of the last check
+//! reset                      drop every assertion and frame
+//! ```
+//!
+//! The parser is **total**: every byte sequence either yields a command or
+//! a spanned [`ScriptDiag`] — never a panic. That matters because the same
+//! lines arrive over the `absolverd` wire, where an abort is an
+//! availability bug, not a usage error. Totality is enforced by the
+//! panic-freedom fuzz suite (`tests/fuzz_inputs.rs`).
+//!
+//! Structure is validated here; the `def` *constraint body* is handed back
+//! raw (with its column) because parsing it needs the session's current
+//! variable table — the caller forwards it to
+//! [`crate::parse_session_constraint`].
+
+use crate::problem::VarKind;
+use absolver_logic::{Lit, Var};
+
+/// Hard cap on 1-based Boolean variable indices accepted from scripts and
+/// service requests. An adversarial `def int 4000000000 x >= 0` would
+/// otherwise make the session allocate four billion fresh variables (and
+/// the Boolean solver a matching assignment vector) before solving
+/// anything.
+pub const MAX_SCRIPT_VAR: usize = 1 << 22;
+
+/// One spanned script diagnostic (the `AB02x` code block): `line`/`col`
+/// are 1-based, `code` is the stable diagnostic code, `message` the
+/// human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptDiag {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Stable diagnostic code (`AB020` unknown command, `AB021` malformed
+    /// command).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ScriptDiag {
+    fn new(line: usize, col: usize, code: &'static str, message: impl Into<String>) -> ScriptDiag {
+        ScriptDiag {
+            line,
+            col,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScriptDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.line, self.col, self.code, self.message
+        )
+    }
+}
+
+/// One structurally-validated script command. `Def` carries its raw
+/// constraint body (plus column) for the caller to parse against the
+/// session's variable table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptCommand<'a> {
+    /// `push`
+    Push,
+    /// `pop`
+    Pop {
+        /// Column of the command word, for the no-open-frame diagnostic.
+        col: usize,
+    },
+    /// `reset`
+    Reset,
+    /// `check`
+    Check,
+    /// `model`
+    Model,
+    /// `var <kind> <name>`
+    Var {
+        /// Declared kind.
+        kind: VarKind,
+        /// Variable name.
+        name: &'a str,
+    },
+    /// `range <name> <lo> <hi>` — bounds already validated: neither is
+    /// NaN and `lo <= hi`, so the interval constructor cannot panic.
+    Range {
+        /// Variable name.
+        name: &'a str,
+        /// Column of the name, for unknown-variable diagnostics.
+        name_col: usize,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// `def <kind> <v> <body>`
+    Def {
+        /// Kind new variables in the body default to.
+        kind: VarKind,
+        /// The 0-based Boolean variable being defined.
+        var: Var,
+        /// Raw constraint body.
+        body: &'a str,
+        /// Column of the body, for constraint diagnostics.
+        body_col: usize,
+    },
+    /// `assert <lit> ... [0]`
+    Assert {
+        /// Clause literals (the trailing DIMACS `0` is consumed).
+        lits: Vec<Lit>,
+    },
+}
+
+/// Walks one script line word by word, tracking the 1-based column of
+/// every token for diagnostics.
+struct LineCursor<'a> {
+    rest: &'a str,
+    col: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn new(line: &'a str) -> LineCursor<'a> {
+        LineCursor { rest: line, col: 1 }
+    }
+
+    /// Next whitespace-separated word and its column, if any.
+    fn word(&mut self) -> Option<(&'a str, usize)> {
+        let trimmed = self.rest.trim_start();
+        self.col += self.rest.len() - trimmed.len();
+        if trimmed.is_empty() {
+            self.rest = trimmed;
+            return None;
+        }
+        let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+        let word = &trimmed[..end];
+        let at = self.col;
+        self.rest = &trimmed[end..];
+        self.col += end;
+        Some((word, at))
+    }
+
+    /// Everything after the words consumed so far, and its column.
+    fn remainder(&mut self) -> (&'a str, usize) {
+        let trimmed = self.rest.trim_start();
+        self.col += self.rest.len() - trimmed.len();
+        self.rest = "";
+        (trimmed.trim_end(), self.col)
+    }
+}
+
+fn kind_word(cur: &mut LineCursor<'_>, line: usize) -> Result<VarKind, ScriptDiag> {
+    match cur.word() {
+        Some(("int", _)) => Ok(VarKind::Int),
+        Some(("real", _)) => Ok(VarKind::Real),
+        other => {
+            let col = other.map_or(cur.col, |(_, c)| c);
+            Err(ScriptDiag::new(
+                line,
+                col,
+                "AB021",
+                "expected `int` or `real`",
+            ))
+        }
+    }
+}
+
+/// Parses one script line. Returns `Ok(None)` for blank and comment
+/// lines, `Ok(Some(command))` for a well-formed command, and a spanned
+/// diagnostic otherwise. Never panics, whatever the input bytes.
+pub fn parse_script_line(raw: &str, line: usize) -> Result<Option<ScriptCommand<'_>>, ScriptDiag> {
+    let mut cur = LineCursor::new(raw);
+    // A line whose first "word" does not exist is blank (possibly
+    // exotic Unicode whitespace that `trim` recognised but a naive
+    // non-blank check did not) — skip it rather than index into it.
+    let Some((cmd, cmd_col)) = cur.word() else {
+        return Ok(None);
+    };
+    if cmd.starts_with('#') {
+        return Ok(None);
+    }
+    match cmd {
+        "push" => Ok(Some(ScriptCommand::Push)),
+        "pop" => Ok(Some(ScriptCommand::Pop { col: cmd_col })),
+        "reset" => Ok(Some(ScriptCommand::Reset)),
+        "check" => Ok(Some(ScriptCommand::Check)),
+        "model" => Ok(Some(ScriptCommand::Model)),
+        "var" => {
+            let kind = kind_word(&mut cur, line)?;
+            let Some((name, _)) = cur.word() else {
+                return Err(ScriptDiag::new(
+                    line,
+                    cur.col,
+                    "AB021",
+                    "expected a variable name",
+                ));
+            };
+            Ok(Some(ScriptCommand::Var { kind, name }))
+        }
+        "range" => {
+            let Some((name, name_col)) = cur.word() else {
+                return Err(ScriptDiag::new(
+                    line,
+                    cur.col,
+                    "AB021",
+                    "expected a variable name",
+                ));
+            };
+            let bound = |cur: &mut LineCursor| -> Result<(f64, usize), ScriptDiag> {
+                match cur.word() {
+                    Some((w, c)) => w.parse::<f64>().map(|v| (v, c)).map_err(|_| {
+                        ScriptDiag::new(line, c, "AB021", format!("invalid bound `{w}`"))
+                    }),
+                    None => Err(ScriptDiag::new(line, cur.col, "AB021", "expected a bound")),
+                }
+            };
+            let (lo, lo_col) = bound(&mut cur)?;
+            let (hi, _) = bound(&mut cur)?;
+            // `Interval::new` panics on NaN or inverted bounds; both are
+            // reachable from the wire (`range x nan nan`, `range x 2 1`),
+            // so they must be diagnostics here.
+            if lo.is_nan() || hi.is_nan() {
+                return Err(ScriptDiag::new(line, lo_col, "AB021", "bound is NaN"));
+            }
+            if lo > hi {
+                return Err(ScriptDiag::new(
+                    line,
+                    lo_col,
+                    "AB021",
+                    format!("empty range [{lo}, {hi}]"),
+                ));
+            }
+            Ok(Some(ScriptCommand::Range {
+                name,
+                name_col,
+                lo,
+                hi,
+            }))
+        }
+        "def" => {
+            let kind = kind_word(&mut cur, line)?;
+            let var = match cur.word() {
+                Some((w, c)) => match w.parse::<usize>() {
+                    Ok(v) if (1..=MAX_SCRIPT_VAR).contains(&v) => Var::new((v - 1) as u32),
+                    Ok(v) if v > MAX_SCRIPT_VAR => {
+                        return Err(ScriptDiag::new(
+                            line,
+                            c,
+                            "AB021",
+                            format!("Boolean variable `{w}` exceeds the limit of {MAX_SCRIPT_VAR}"),
+                        ));
+                    }
+                    _ => {
+                        return Err(ScriptDiag::new(
+                            line,
+                            c,
+                            "AB021",
+                            format!("invalid Boolean variable `{w}` (1-based index)"),
+                        ));
+                    }
+                },
+                None => {
+                    return Err(ScriptDiag::new(
+                        line,
+                        cur.col,
+                        "AB021",
+                        "expected a Boolean variable",
+                    ));
+                }
+            };
+            let (body, body_col) = cur.remainder();
+            if body.is_empty() {
+                return Err(ScriptDiag::new(
+                    line,
+                    body_col,
+                    "AB021",
+                    "expected a comparison",
+                ));
+            }
+            Ok(Some(ScriptCommand::Def {
+                kind,
+                var,
+                body,
+                body_col,
+            }))
+        }
+        "assert" => {
+            let mut lits: Vec<Lit> = Vec::new();
+            while let Some((w, c)) = cur.word() {
+                match w.parse::<i32>() {
+                    Ok(0) => break,
+                    Ok(v) if (v.unsigned_abs() as usize) <= MAX_SCRIPT_VAR => {
+                        lits.push(Lit::from_dimacs(v));
+                    }
+                    Ok(_) => {
+                        return Err(ScriptDiag::new(
+                            line,
+                            c,
+                            "AB021",
+                            format!("literal `{w}` exceeds the variable limit of {MAX_SCRIPT_VAR}"),
+                        ));
+                    }
+                    Err(_) => {
+                        return Err(ScriptDiag::new(
+                            line,
+                            c,
+                            "AB021",
+                            format!("invalid literal `{w}`"),
+                        ));
+                    }
+                }
+            }
+            Ok(Some(ScriptCommand::Assert { lits }))
+        }
+        other => Err(ScriptDiag::new(
+            line,
+            cmd_col,
+            "AB020",
+            format!("unknown session command `{other}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_and_comment_lines_are_none() {
+        assert_eq!(parse_script_line("", 1).unwrap(), None);
+        assert_eq!(parse_script_line("   \t ", 1).unwrap(), None);
+        assert_eq!(parse_script_line("# a comment", 1).unwrap(), None);
+        // Unicode whitespace that `str::trim` strips but ASCII checks miss.
+        assert_eq!(parse_script_line("\u{00a0}\u{2003}", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn simple_commands() {
+        assert_eq!(
+            parse_script_line("push", 1).unwrap(),
+            Some(ScriptCommand::Push)
+        );
+        assert_eq!(
+            parse_script_line("  pop ", 1).unwrap(),
+            Some(ScriptCommand::Pop { col: 3 })
+        );
+        assert_eq!(
+            parse_script_line("check", 1).unwrap(),
+            Some(ScriptCommand::Check)
+        );
+    }
+
+    #[test]
+    fn var_and_range() {
+        assert_eq!(
+            parse_script_line("var real x", 1).unwrap(),
+            Some(ScriptCommand::Var {
+                kind: VarKind::Real,
+                name: "x"
+            })
+        );
+        assert_eq!(
+            parse_script_line("range x -1 2.5", 1).unwrap(),
+            Some(ScriptCommand::Range {
+                name: "x",
+                name_col: 7,
+                lo: -1.0,
+                hi: 2.5
+            })
+        );
+    }
+
+    #[test]
+    fn nan_and_inverted_ranges_are_diagnostics() {
+        assert_eq!(
+            parse_script_line("range x nan 1", 1).unwrap_err().code,
+            "AB021"
+        );
+        assert_eq!(
+            parse_script_line("range x 0 nan", 1).unwrap_err().code,
+            "AB021"
+        );
+        assert_eq!(
+            parse_script_line("range x 2 1", 1).unwrap_err().code,
+            "AB021"
+        );
+        // Infinities with the right order are fine.
+        assert!(parse_script_line("range x -inf inf", 1).unwrap().is_some());
+    }
+
+    #[test]
+    fn def_var_is_capped() {
+        assert!(parse_script_line("def int 1 x >= 0", 1).unwrap().is_some());
+        let err = parse_script_line("def int 4000000000 x >= 0", 1).unwrap_err();
+        assert_eq!(err.code, "AB021");
+        assert!(err.message.contains("exceeds"));
+        assert_eq!(
+            parse_script_line("def int 0 x >= 0", 1).unwrap_err().code,
+            "AB021"
+        );
+    }
+
+    #[test]
+    fn assert_literals_are_capped() {
+        let cmd = parse_script_line("assert 1 -2 0", 1).unwrap().unwrap();
+        match cmd {
+            ScriptCommand::Assert { lits } => assert_eq!(lits.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // i32::MIN survives `unsigned_abs` but busts the cap.
+        assert_eq!(
+            parse_script_line("assert -2147483648 0", 1)
+                .unwrap_err()
+                .code,
+            "AB021"
+        );
+        assert_eq!(parse_script_line("assert x", 1).unwrap_err().code, "AB021");
+    }
+
+    #[test]
+    fn unknown_commands_are_ab020() {
+        let err = parse_script_line("frobnicate 1 2", 3).unwrap_err();
+        assert_eq!(err.code, "AB020");
+        assert_eq!((err.line, err.col), (3, 1));
+    }
+}

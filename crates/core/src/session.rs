@@ -63,12 +63,12 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut s = Session::new();
 //! let x = s.arith_var("x", VarKind::Real)?;
-//! let ge = s.atom(Expr::var(x), CmpOp::Ge, Rational::from_int(0));
+//! let ge = s.atom(Expr::var(x), CmpOp::Ge, Rational::from_int(0))?;
 //! s.require(ge.positive());
 //! assert!(s.check()?.is_sat());
 //!
 //! s.push();
-//! let lt = s.atom(Expr::var(x), CmpOp::Lt, Rational::from_int(0));
+//! let lt = s.atom(Expr::var(x), CmpOp::Lt, Rational::from_int(0))?;
 //! s.require(lt.positive());
 //! assert!(s.check()?.is_unsat());
 //!
@@ -275,6 +275,74 @@ impl Session {
         self.last.as_ref().and_then(|o| o.model())
     }
 
+    /// Sets (or clears) an absolute wall-clock deadline shared by every
+    /// subsequent `check()`. Unlike the per-call
+    /// [`crate::OrchestratorOptions::time_limit`], the deadline does not
+    /// restart between checks, which makes it the right budget for a whole
+    /// session script or a service request: once it passes, every further
+    /// check returns [`Outcome::Unknown`] with
+    /// [`OrchestratorStats::timed_out`] set.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.orc.set_deadline(deadline);
+    }
+
+    /// Installs (or clears) a cooperative cancellation token polled by
+    /// subsequent `check()` calls. A cancelled check returns
+    /// [`Outcome::Unknown`] with [`OrchestratorStats::cancelled`] set.
+    pub fn set_cancel_token(
+        &mut self,
+        token: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) {
+        self.orc.set_cancel_token(token);
+    }
+
+    /// The theory lemmas currently retained, as bare clauses. Every
+    /// exported lemma is implied by the *definitions* (and, for nonlinear
+    /// problems, the *ranges*) currently in force — see the module docs.
+    /// The service layer harvests these from a retiring session to seed a
+    /// future session over the same declarations.
+    pub fn export_lemmas(&self) -> Vec<Vec<Lit>> {
+        self.lemmas.iter().map(|l| l.clause.clone()).collect()
+    }
+
+    /// Seeds the session with lemmas exported from another session.
+    ///
+    /// # Soundness
+    ///
+    /// The caller must guarantee each clause is implied by this session's
+    /// *current* definitions and ranges — in practice: it was exported by
+    /// [`Session::export_lemmas`] from a session whose frame-0 declarations,
+    /// definitions, and ranges are structurally identical to this one's.
+    /// Clauses mentioning Boolean variables this session has not allocated
+    /// are skipped (their indices could later be reallocated to unrelated
+    /// atoms). Forces a Boolean reload at the next check so the seeds are
+    /// replayed into the solver.
+    pub fn import_lemmas(&mut self, lemmas: impl IntoIterator<Item = Vec<Lit>>) {
+        self.seq += 1;
+        let num_vars = self.problem.cnf.num_vars();
+        let mut imported = 0u64;
+        for clause in lemmas {
+            if clause.is_empty() {
+                continue;
+            }
+            let max_var = clause.iter().map(|l| l.var().index()).max().unwrap_or(0);
+            if max_var >= num_vars {
+                continue;
+            }
+            self.lemmas.push(Lemma {
+                clause,
+                max_var,
+                seq: self.seq,
+            });
+            imported += 1;
+        }
+        if imported > 0 {
+            self.boolean_dirty = true;
+            self.invalidated();
+        }
+        self.trace(|| TraceEvent::new("session.lemma_import").field_u64("count", imported));
+    }
+
     /// Whether lemma/cache validity depends on variable ranges — true as
     /// soon as any definition carries a non-affine constraint (the linear
     /// theory path never reads ranges).
@@ -357,18 +425,31 @@ impl Session {
     }
 
     /// Allocates a Boolean variable defined as `expr ⋈ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::UndeclaredArithVar`] when `expr` mentions an
+    /// arithmetic variable id that was never declared in this session. (A
+    /// fresh Boolean variable can never clash with an existing definition,
+    /// so that is the only failure mode — and it must be an error, not a
+    /// panic: a resident service feeds request-derived expressions here.)
     pub fn atom(
         &mut self,
         expr: absolver_nonlinear::Expr,
         op: absolver_linear::CmpOp,
         rhs: Rational,
-    ) -> Var {
+    ) -> Result<Var, SessionError> {
+        let constraint = NlConstraint::new(expr, op, rhs);
+        // Validate before allocating so a rejected atom does not leak a
+        // fresh Boolean variable into the problem.
+        if let Some(max) = constraint.max_var() {
+            if max >= self.problem.vars.len() {
+                return Err(SessionError::UndeclaredArithVar(max));
+            }
+        }
         let var = self.problem.cnf.fresh_var();
-        // A fresh variable can never collide with an existing definition,
-        // so this cannot fail.
-        self.define(var, NlConstraint::new(expr, op, rhs))
-            .expect("fresh atom variable cannot clash");
-        var
+        self.define(var, constraint)?;
+        Ok(var)
     }
 
     /// Attaches a constraint to a Boolean variable. Repeated calls on the
@@ -617,13 +698,13 @@ mod tests {
         let mut s = Session::new();
         let x = s.arith_var("x", VarKind::Int).unwrap();
         s.assert_range(x, Interval::new(-10.0, 10.0)).unwrap();
-        let ge = s.atom(Expr::var(x), CmpOp::Ge, q(1));
+        let ge = s.atom(Expr::var(x), CmpOp::Ge, q(1)).unwrap();
         s.require(ge.positive());
         assert!(s.check().unwrap().is_sat());
         assert_eq!(s.depth(), 0);
 
         s.push();
-        let le = s.atom(Expr::var(x), CmpOp::Le, q(0));
+        let le = s.atom(Expr::var(x), CmpOp::Le, q(0)).unwrap();
         s.require(le.positive());
         assert!(s.check().unwrap().is_unsat());
 
@@ -652,7 +733,7 @@ mod tests {
     fn model_cleared_by_mutation() {
         let mut s = Session::new();
         let x = s.arith_var("x", VarKind::Real).unwrap();
-        let ge = s.atom(Expr::var(x), CmpOp::Ge, q(2));
+        let ge = s.atom(Expr::var(x), CmpOp::Ge, q(2)).unwrap();
         s.require(ge.positive());
         assert!(s.check().unwrap().is_sat());
         assert!(s.model().is_some());
@@ -660,7 +741,7 @@ mod tests {
         // A bare push changes nothing, so the model stays valid…
         assert!(s.model().is_some());
         // …but any assertion invalidates it.
-        let lt = s.atom(Expr::var(x), CmpOp::Lt, q(0));
+        let lt = s.atom(Expr::var(x), CmpOp::Lt, q(0)).unwrap();
         s.require(lt.positive());
         assert!(s.model().is_none());
     }
@@ -669,7 +750,7 @@ mod tests {
     fn warm_check_reuses_boolean_state() {
         let mut s = Session::new();
         let x = s.arith_var("x", VarKind::Real).unwrap();
-        let a = s.atom(Expr::var(x), CmpOp::Ge, q(0));
+        let a = s.atom(Expr::var(x), CmpOp::Ge, q(0)).unwrap();
         s.require(a.positive());
         assert!(s.check().unwrap().is_sat());
         // Re-checking the unchanged problem should hit the verdict cache.
@@ -681,8 +762,8 @@ mod tests {
     fn def_extension_invalidates_dependent_lemmas() {
         let mut s = Session::new();
         let x = s.arith_var("x", VarKind::Real).unwrap();
-        let a = s.atom(Expr::var(x), CmpOp::Ge, q(5));
-        let b = s.atom(Expr::var(x), CmpOp::Le, q(3));
+        let a = s.atom(Expr::var(x), CmpOp::Ge, q(5)).unwrap();
+        let b = s.atom(Expr::var(x), CmpOp::Le, q(3)).unwrap();
         s.assert_clause([a.positive()]);
         s.assert_clause([b.positive()]);
         assert!(s.check().unwrap().is_unsat());
@@ -698,8 +779,8 @@ mod tests {
     fn reset_clears_assertions() {
         let mut s = Session::new();
         let x = s.arith_var("x", VarKind::Real).unwrap();
-        let a = s.atom(Expr::var(x), CmpOp::Ge, q(1));
-        let b = s.atom(Expr::var(x), CmpOp::Le, q(0));
+        let a = s.atom(Expr::var(x), CmpOp::Ge, q(1)).unwrap();
+        let b = s.atom(Expr::var(x), CmpOp::Le, q(0)).unwrap();
         s.require(a.positive());
         s.require(b.positive());
         assert!(s.check().unwrap().is_unsat());

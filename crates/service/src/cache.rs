@@ -1,0 +1,316 @@
+//! Cross-request warm state: the structural problem cache, the warm
+//! session pool, and the persistent lemma store.
+//!
+//! # Soundness
+//!
+//! Three layers, three different validity arguments:
+//!
+//! * **Problem cache** — keyed on the *canonical rendering* of the parsed
+//!   problem ([`absolver_core::parser::write`]), so two requests share an
+//!   entry only when they denote structurally identical problems (same
+//!   clauses, definitions, variables, and ranges — whitespace and comment
+//!   differences do not matter, literal order does). A cached verdict and
+//!   model are then simply the memoized answer. `Unknown` is never
+//!   cached: it reflects a budget, not a fact.
+//! * **Session pool** — a warm [`Session`] is reusable for a request iff
+//!   the request's *declarations* (arithmetic variables with kinds and
+//!   ranges, plus every atom definition) are structurally identical to
+//!   the session's frame-0 state, which [`decl_key`] renders canonically.
+//!   Request clauses are asserted inside a pushed frame and popped
+//!   afterwards, so nothing request-specific leaks into the pooled state;
+//!   the session's retained lemmas and theory-verdict cache legitimately
+//!   carry over because their premises (definitions, ranges) are exactly
+//!   the shared declarations.
+//! * **Lemma store** — lemmas harvested from an evicted session, keyed on
+//!   the same [`decl_key`]. Seeding them into a fresh session over an
+//!   *equal* key is sound for the same reason; the exact-string key (not
+//!   a hash) rules out collisions.
+
+use absolver_core::{AbProblem, Outcome, Session};
+use absolver_logic::Lit;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Canonical rendering of a problem's *declarations* (arithmetic
+/// variables with kind and range, definitions sorted by Boolean
+/// variable): the exact-equality key for warm-session reuse and the
+/// lemma store.
+pub fn decl_key(problem: &AbProblem) -> String {
+    let mut s = String::new();
+    for v in problem.arith_vars() {
+        let _ = write!(s, "v {} {} {:?};", v.name, v.kind, v.range);
+    }
+    let mut defs: Vec<_> = problem.defs().collect();
+    defs.sort_by_key(|(var, _)| var.index());
+    for (var, def) in defs {
+        let _ = write!(s, "d {}", var.index());
+        for c in &def.constraints {
+            let _ = write!(s, " {c}");
+        }
+        s.push(';');
+    }
+    s
+}
+
+/// Bounded map from canonical problem text to the cached [`Outcome`].
+/// Eviction is FIFO by insertion — the cache is a memo table, not a
+/// working set, and FIFO keeps it allocation-cheap and predictable.
+#[derive(Debug)]
+pub struct VerdictCache {
+    map: HashMap<String, Outcome>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `capacity` verdicts (min 1).
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up the verdict for a canonical problem rendering.
+    pub fn get(&self, key: &str) -> Option<&Outcome> {
+        self.map.get(key)
+    }
+
+    /// Inserts a verdict. `Unknown` outcomes are ignored — re-solving
+    /// with a fresh budget may well decide them.
+    pub fn insert(&mut self, key: String, outcome: Outcome) {
+        if matches!(outcome, Outcome::Unknown) || self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, outcome);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Cap on lemmas kept per declaration key in the [`LemmaStore`].
+const MAX_LEMMAS_PER_KEY: usize = 256;
+
+/// Persistent store of theory lemmas harvested from evicted sessions,
+/// keyed on [`decl_key`]. Bounded in keys (FIFO) and in lemmas per key.
+#[derive(Debug)]
+pub struct LemmaStore {
+    map: HashMap<String, Vec<Vec<Lit>>>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl LemmaStore {
+    /// Creates a store holding lemmas for at most `capacity` declaration
+    /// keys (min 1).
+    pub fn new(capacity: usize) -> LemmaStore {
+        LemmaStore {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The stored lemmas for a declaration key, if any.
+    pub fn get(&self, key: &str) -> Option<&[Vec<Lit>]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Merges `lemmas` into the entry for `key`, dropping duplicates and
+    /// truncating at the per-key cap.
+    pub fn absorb(&mut self, key: &str, lemmas: Vec<Vec<Lit>>) {
+        if lemmas.is_empty() {
+            return;
+        }
+        if !self.map.contains_key(key) {
+            while self.map.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.order.push_back(key.to_string());
+            self.map.insert(key.to_string(), Vec::new());
+        }
+        let entry = self.map.get_mut(key).expect("inserted above");
+        for lemma in lemmas {
+            if entry.len() >= MAX_LEMMAS_PER_KEY {
+                break;
+            }
+            if !entry.contains(&lemma) {
+                entry.push(lemma);
+            }
+        }
+    }
+
+    /// Number of declaration keys with stored lemmas.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A pooled warm session and the declaration key it serves.
+#[derive(Debug)]
+struct PooledSession {
+    key: String,
+    session: Session,
+    /// Monotone use stamp for LRU eviction.
+    stamp: u64,
+}
+
+/// Bounded pool of warm sessions, one per declaration key, LRU-evicted.
+/// Eviction hands the retiring session back so the server can harvest
+/// its lemmas into the [`LemmaStore`].
+#[derive(Debug)]
+pub struct SessionPool {
+    slots: Vec<PooledSession>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl SessionPool {
+    /// Creates a pool holding at most `capacity` sessions (min 1).
+    pub fn new(capacity: usize) -> SessionPool {
+        SessionPool {
+            slots: Vec::new(),
+            capacity: capacity.max(1),
+
+            clock: 0,
+        }
+    }
+
+    /// Takes the warm session for `key` out of the pool, if present.
+    /// (Ownership moves to the worker; a panicking solve simply never
+    /// returns it, which is exactly the containment we want.)
+    pub fn take(&mut self, key: &str) -> Option<Session> {
+        let at = self.slots.iter().position(|p| p.key == key)?;
+        Some(self.slots.swap_remove(at).session)
+    }
+
+    /// Returns a session to the pool under `key`. When the pool is full,
+    /// the least-recently-used session is evicted and returned as
+    /// `(key, session)` for lemma harvesting. A session for the same key
+    /// replaces the old one (the newer session's caches are warmer).
+    pub fn put(&mut self, key: String, session: Session) -> Option<(String, Session)> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let mut evicted = None;
+        if let Some(at) = self.slots.iter().position(|p| p.key == key) {
+            let old = std::mem::replace(
+                &mut self.slots[at],
+                PooledSession {
+                    key,
+                    session,
+                    stamp,
+                },
+            );
+            return Some((old.key, old.session));
+        }
+        if self.slots.len() >= self.capacity {
+            let at = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.stamp)
+                .map(|(i, _)| i)?;
+            let old = self.slots.swap_remove(at);
+            evicted = Some((old.key, old.session));
+        }
+        self.slots.push(PooledSession {
+            key,
+            session,
+            stamp,
+        });
+        evicted
+    }
+
+    /// Number of pooled sessions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(text: &str) -> AbProblem {
+        text.parse().expect("test problem parses")
+    }
+
+    #[test]
+    fn decl_key_ignores_clauses_but_not_ranges() {
+        let a = problem("p cnf 2 1\n1 0\nc def real 1 x >= 0\nc range x 0 10\n");
+        let b = problem("p cnf 2 2\n1 0\n-2 0\nc def real 1 x >= 0\nc range x 0 10\n");
+        let c = problem("p cnf 2 1\n1 0\nc def real 1 x >= 0\nc range x 0 5\n");
+        assert_eq!(decl_key(&a), decl_key(&b));
+        assert_ne!(decl_key(&a), decl_key(&c));
+    }
+
+    #[test]
+    fn verdict_cache_never_stores_unknown_and_evicts_fifo() {
+        let mut cache = VerdictCache::new(2);
+        cache.insert("a".into(), Outcome::Unknown);
+        assert!(cache.is_empty());
+        cache.insert("a".into(), Outcome::Unsat);
+        cache.insert("b".into(), Outcome::Unsat);
+        cache.insert("c".into(), Outcome::Unsat);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn lemma_store_dedupes_and_caps() {
+        let mut store = LemmaStore::new(4);
+        let lemma = vec![absolver_logic::Lit::from_dimacs(1)];
+        store.absorb("k", vec![lemma.clone(), lemma.clone()]);
+        assert_eq!(store.get("k").unwrap().len(), 1);
+        store.absorb("k", vec![lemma]);
+        assert_eq!(store.get("k").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn session_pool_lru_eviction_hands_back_the_session() {
+        let mut pool = SessionPool::new(2);
+        assert!(pool.put("a".into(), Session::new()).is_none());
+        assert!(pool.put("b".into(), Session::new()).is_none());
+        // Touch "a" so "b" is the LRU entry.
+        let a = pool.take("a").expect("pooled");
+        assert!(pool.put("a".into(), a).is_none());
+        let evicted = pool.put("c".into(), Session::new()).expect("evicts LRU");
+        assert_eq!(evicted.0, "b");
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! The `absolverd` solve service: a long-running daemon that accepts
+//! AB-problems over a line protocol and answers them from a bounded
+//! worker pool with cross-request warm state.
+//!
+//! # Architecture
+//!
+//! ```text
+//! stdin / unix socket ──► RequestDecoder ──► Server::submit
+//!                                                │
+//!                                     JobQueue (3 priority bands,
+//!                                      bounded, reject-on-full)
+//!                                                │
+//!                                          worker pool
+//!                                       (catch_unwind each)
+//!                                                │
+//!                              ┌─────────────────┼──────────────────┐
+//!                        VerdictCache      SessionPool         LemmaStore
+//!                      (same problem ⇒   (same decls ⇒       (same decls ⇒
+//!                       cached answer)    warm Session)       seeded lemmas)
+//! ```
+//!
+//! * [`protocol`] — the wire format: request decoding and response
+//!   rendering, total over arbitrary input.
+//! * [`queue`] — the bounded three-band priority queue; a full queue is
+//!   backpressure (`overload` + retry hint), never a stall.
+//! * [`cache`] — the three warm-state layers and their soundness
+//!   arguments.
+//! * [`server`] — the worker pool tying it together: per-request
+//!   deadlines, cooperative cancellation, and panic containment (a
+//!   worker panic becomes an `internal` error response and an `aborts`
+//!   counter tick; the daemon lives on).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{decl_key, LemmaStore, SessionPool, VerdictCache};
+pub use protocol::{
+    CacheTier, ClientFrame, ErrCode, Priority, ProtoError, RequestDecoder, Response, SolveFrame,
+    MAX_BODY_BYTES,
+};
+pub use queue::JobQueue;
+pub use server::{Server, ServerOptions, ServerStats, Submission};

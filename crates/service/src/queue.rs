@@ -1,0 +1,169 @@
+//! A bounded, three-band priority queue for solve jobs.
+//!
+//! `try_push` never blocks: when the queue is at capacity the job is
+//! handed back to the caller, which turns it into an `overload` response
+//! with a retry hint — backpressure is part of the protocol, not an
+//! internal stall. `pop` blocks until a job or shutdown; within a band
+//! the order is FIFO, and higher bands always win.
+
+use crate::protocol::Priority;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// The bounded priority queue. `T` is the job type; the queue itself is
+/// scheduling policy only.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    bands: [VecDeque<T>; 3],
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> State<T> {
+    fn len(&self) -> usize {
+        self.bands.iter().map(VecDeque::len).sum()
+    }
+}
+
+fn band(priority: Priority) -> usize {
+    match priority {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
+}
+
+/// Recovers the guard from a poisoned mutex: every queue operation leaves
+/// the state consistent at each step, so a panicking thread elsewhere
+/// must not wedge the daemon.
+fn lock<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// Creates an open queue holding at most `capacity` jobs (min 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(State {
+                bands: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, returning the new queue depth — or hands the item
+    /// back when the queue is full or closed (the caller owes the client
+    /// an `overload` response).
+    pub fn try_push(&self, priority: Priority, item: T) -> Result<usize, T> {
+        let mut state = lock(&self.state);
+        if state.closed || state.len() >= state.capacity {
+            return Err(item);
+        }
+        state.bands[band(priority)].push_back(item);
+        let depth = state.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available (highest band first) or the queue
+    /// is closed and drained, which yields `None` — the worker's signal
+    /// to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            for band in &mut state.bands {
+                if let Some(item) = band.pop_front() {
+                    return Some(item);
+                }
+            }
+            if state.closed {
+                return None;
+            }
+            state = match self.available.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        lock(&self.state).len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending jobs still drain, further pushes fail,
+    /// and blocked workers wake to observe the shutdown.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_band_priority_across() {
+        let q = JobQueue::new(8);
+        q.try_push(Priority::Low, "l1").unwrap();
+        q.try_push(Priority::Normal, "n1").unwrap();
+        q.try_push(Priority::High, "h1").unwrap();
+        q.try_push(Priority::Normal, "n2").unwrap();
+        assert_eq!(q.pop(), Some("h1"));
+        assert_eq!(q.pop(), Some("n1"));
+        assert_eq!(q.pop(), Some("n2"));
+        assert_eq!(q.pop(), Some("l1"));
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(Priority::Normal, 1).is_ok());
+        assert!(q.try_push(Priority::Normal, 2).is_ok());
+        assert_eq!(q.try_push(Priority::Normal, 3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(Priority::Normal, 4).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(Priority::Normal, 1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(Priority::Normal, 2), Err(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+}

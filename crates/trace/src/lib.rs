@@ -37,6 +37,15 @@
 //! | `cube.start`     | parallel driver     | `shard`, `cube`                |
 //! | `cube.end`       | parallel driver     | `shard`, `cube`, `verdict`, `duration_us` |
 //! | `lemma.import`   | orchestrator        | `latency_us`, `literals`       |
+//! | `request.received` | service           | `id`, `priority`, `bytes`      |
+//! | `request.done`   | service             | `id`, `verdict`, `cache`, `wait_us`, `duration_us` |
+//! | `request.failed` | service             | `id`, `code`                   |
+//! | `queue.enqueue`  | service             | `id`, `depth`                  |
+//! | `queue.reject`   | service             | `id`, `retry_after_ms`         |
+//! | `queue.expired`  | service             | `id`, `wait_us`                |
+//! | `cache.problem_hit` / `cache.problem_miss` | service | `id`          |
+//! | `cache.session_hit` / `cache.session_miss` | service | `id`          |
+//! | `cache.lemma_seed` | service            | `id`, `literals`              |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,7 +108,7 @@ impl TraceEvent {
 
     /// Sets the span duration from a [`std::time::Duration`].
     pub fn duration(self, d: std::time::Duration) -> TraceEvent {
-        self.duration_us(d.as_micros() as u64)
+        self.duration_us(saturating_micros(d))
     }
 
     /// Appends a string payload field.
@@ -145,6 +154,14 @@ impl TraceEvent {
         }
         obj.finish()
     }
+}
+
+/// Converts a [`std::time::Duration`] to whole microseconds, saturating at
+/// `u64::MAX` instead of silently truncating the 128-bit count. Long-running
+/// services accumulate durations far past the point where an `as u64` cast
+/// of `as_micros()` would wrap.
+pub fn saturating_micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Returns `true` when `s` can be embedded in JSON without quoting: an
@@ -469,6 +486,13 @@ mod tests {
             "{\"kind\":\"theory.check\",\"shard\":1,\"duration_us\":42,\
              \"verdict\":\"unsat\",\"items\":5,\"note\":\"a \\\"quoted\\\"\\nline\"}"
         );
+    }
+
+    #[test]
+    fn saturating_micros_clamps() {
+        use std::time::Duration;
+        assert_eq!(saturating_micros(Duration::from_micros(42)), 42);
+        assert_eq!(saturating_micros(Duration::MAX), u64::MAX);
     }
 
     #[test]

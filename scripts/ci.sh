@@ -34,6 +34,13 @@ echo "== session suites (differential fuzz + frame-contract properties) =="
 # oracle (cache on/off), plus pop-undo/no-leak/monotone-stats properties.
 cargo test -q --offline --test session_agreement --test session_monotonic
 
+echo "== service suites (panic-freedom fuzz + absolverd lifecycle/cache e2e) =="
+# Totality properties over every input path (problem parser, session
+# script parser, service request decoder), then the daemon end-to-end:
+# deadlines, cancellation, backpressure, priorities, cache-tier verdict
+# identity, and both front ends (stdin protocol + unix socket).
+cargo test -q --offline --test fuzz_inputs --test service_integration --test service_cli
+
 echo "== contractor cascade suites (soundness properties + config differential) =="
 # Per-contractor soundness (contraction + solution preservation) and
 # verdict identity across cascade/HC4-only, cache on/off, jobs 1/2/4.
@@ -72,10 +79,18 @@ ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. ABS_TIMEOUT_SECS=60 \
 # and score at least one theory-verdict cache hit.
 ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. \
     ./target/release/fischer_incremental --check-regress
+# Solve-service load gate: cold / resubmission / mixed-priority burst
+# phases through an in-process absolverd server. Fails on a p99 latency
+# regression vs the checked-in baseline, a throughput collapse, a
+# resubmission p50 win of <= 1.5x over cold solves, a dead cache, or
+# any worker abort.
+ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. \
+    ./target/release/service_load --check-regress
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$OBS_TMP/fig2.stats.json" > /dev/null
     python3 -m json.tool "$OBS_TMP/BENCH_fischer.json" > /dev/null
     python3 -m json.tool "$OBS_TMP/BENCH_fischer_incremental.json" > /dev/null
+    python3 -m json.tool "$OBS_TMP/BENCH_service.json" > /dev/null
     # Every trace line must be a standalone JSON object (JSONL).
     python3 -c 'import json,sys
 for line in open(sys.argv[1]):

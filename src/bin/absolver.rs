@@ -61,26 +61,29 @@
 //!
 //! Each `check` prints its own `s SATISFIABLE|UNSATISFIABLE|UNKNOWN`
 //! line; with `--stats json` it also emits a per-check JSON block, plus a
-//! cumulative block at end of script. Malformed scripts abort with
+//! cumulative block at end of script. In session mode `--time-limit` is a
+//! *cumulative* budget for the whole script: one absolute deadline is set
+//! when the script starts, and every `check` after it expires reports
+//! `s UNKNOWN` (it does not restart per check). Malformed scripts abort with
 //! compiler-style diagnostics (`file:line:col: error[AB02x]: message`,
 //! codes: `AB020` unknown command, `AB021` malformed command, `AB022`
 //! pop without a frame). The process exit code is the last check's solve
 //! code (`10`/`20`/`30`, or `40` on iteration limit), `0` if the script
 //! ran no check, and `2` on script/usage/IO errors.
 
+use absolver::core::script::{parse_script_line, ScriptCommand};
 use absolver::core::{
     parse_session_constraint, AbProblem, CascadeNonlinear, CdclBoolean, IntervalNonlinear,
     Orchestrator, OrchestratorOptions, Outcome, ParallelOptions, ParallelStats, ParallelStrategy,
-    PenaltyNonlinear, RestartingBoolean, Session, SimplexLinear, Span, VarKind,
+    PenaltyNonlinear, RestartingBoolean, Session, SimplexLinear, Span,
 };
-use absolver::logic::{Lit, Var};
 use absolver::nonlinear::{ContractorConfig, NlOptions};
 use absolver::num::Interval;
-use absolver::trace::{FileSink, JsonObject};
+use absolver::trace::{saturating_micros, FileSink, JsonObject};
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const EXIT_SAT: u8 = 10;
 const EXIT_UNSAT: u8 = 20;
@@ -351,43 +354,6 @@ fn check_main(args: &[String]) -> ExitCode {
     }
 }
 
-/// Walks one script line word by word, tracking the 1-based column of
-/// every token for diagnostics.
-struct LineCursor<'a> {
-    rest: &'a str,
-    col: usize,
-}
-
-impl<'a> LineCursor<'a> {
-    fn new(line: &'a str) -> LineCursor<'a> {
-        LineCursor { rest: line, col: 1 }
-    }
-
-    /// Next whitespace-separated word and its column, if any.
-    fn word(&mut self) -> Option<(&'a str, usize)> {
-        let trimmed = self.rest.trim_start();
-        self.col += self.rest.len() - trimmed.len();
-        if trimmed.is_empty() {
-            self.rest = trimmed;
-            return None;
-        }
-        let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
-        let word = &trimmed[..end];
-        let at = self.col;
-        self.rest = &trimmed[end..];
-        self.col += end;
-        Some((word, at))
-    }
-
-    /// Everything after the words consumed so far, and its column.
-    fn remainder(&mut self) -> (&'a str, usize) {
-        let trimmed = self.rest.trim_start();
-        self.col += self.rest.len() - trimmed.len();
-        self.rest = "";
-        (trimmed.trim_end(), self.col)
-    }
-}
-
 /// Emits one compiler-style session diagnostic (the AB-code format of
 /// `absolver check`, with the session's own `AB02x` code block).
 fn session_diag(label: &str, line: usize, col: usize, code: &str, message: &str) {
@@ -498,6 +464,11 @@ fn session_main(args: &[String]) -> ExitCode {
         }
     };
 
+    // The script budget is *cumulative*: one absolute deadline covers
+    // every check in the script, instead of restarting per `check` (which
+    // let long sessions overshoot `--time-limit` arbitrarily). The
+    // orchestrator's per-call limit therefore stays unset here.
+    let budget = config.time_limit.take();
     let mut orc = build_orchestrator(&config);
     let trace_sink = match &config.trace {
         Some(path) => match FileSink::create(path) {
@@ -514,54 +485,40 @@ fn session_main(args: &[String]) -> ExitCode {
         None => None,
     };
     let mut session = Session::with_orchestrator(orc);
+    session.set_deadline(budget.map(|d| Instant::now() + d));
     let mut last_exit: Option<u8> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
-        if raw.trim().is_empty() || raw.trim_start().starts_with('#') {
-            continue;
-        }
-        let mut cur = LineCursor::new(raw);
-        let (cmd, cmd_col) = cur.word().expect("non-blank line has a first word");
+        let cmd = match parse_script_line(raw, line) {
+            Ok(Some(cmd)) => cmd,
+            Ok(None) => continue,
+            Err(d) => {
+                session_diag(&label, d.line, d.col, d.code, &d.message);
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
         match cmd {
-            "push" => session.push(),
-            "pop" => {
+            ScriptCommand::Push => session.push(),
+            ScriptCommand::Pop { col } => {
                 if session.pop().is_err() {
-                    session_diag(
-                        &label,
-                        line,
-                        cmd_col,
-                        "AB022",
-                        "pop without a matching push",
-                    );
+                    session_diag(&label, line, col, "AB022", "pop without a matching push");
                     return ExitCode::from(EXIT_ERROR);
                 }
             }
-            "reset" => session.reset(),
-            "var" => {
-                let kind = match cur.word() {
-                    Some(("int", _)) => VarKind::Int,
-                    Some(("real", _)) => VarKind::Real,
-                    other => {
-                        let col = other.map_or(cur.col, |(_, c)| c);
-                        session_diag(&label, line, col, "AB021", "expected `int` or `real`");
-                        return ExitCode::from(EXIT_ERROR);
-                    }
-                };
-                let Some((name, _)) = cur.word() else {
-                    session_diag(&label, line, cur.col, "AB021", "expected a variable name");
-                    return ExitCode::from(EXIT_ERROR);
-                };
+            ScriptCommand::Reset => session.reset(),
+            ScriptCommand::Var { kind, name } => {
                 if let Err(e) = session.arith_var(name, kind) {
-                    session_diag(&label, line, cmd_col, "AB021", &e.to_string());
+                    session_diag(&label, line, 1, "AB021", &e.to_string());
                     return ExitCode::from(EXIT_ERROR);
                 }
             }
-            "range" => {
-                let Some((name, name_col)) = cur.word() else {
-                    session_diag(&label, line, cur.col, "AB021", "expected a variable name");
-                    return ExitCode::from(EXIT_ERROR);
-                };
+            ScriptCommand::Range {
+                name,
+                name_col,
+                lo,
+                hi,
+            } => {
                 let Some(id) = session.problem().arith_var(name) else {
                     session_diag(
                         &label,
@@ -572,73 +529,27 @@ fn session_main(args: &[String]) -> ExitCode {
                     );
                     return ExitCode::from(EXIT_ERROR);
                 };
-                let bound = |cur: &mut LineCursor| -> Result<f64, (usize, String)> {
-                    match cur.word() {
-                        Some((w, c)) => w
-                            .parse::<f64>()
-                            .map_err(|_| (c, format!("invalid bound `{w}`"))),
-                        None => Err((cur.col, "expected a bound".to_string())),
-                    }
-                };
-                let (lo, hi) = match (bound(&mut cur), bound(&mut cur)) {
-                    (Ok(lo), Ok(hi)) => (lo, hi),
-                    (Err((c, m)), _) | (_, Err((c, m))) => {
-                        session_diag(&label, line, c, "AB021", &m);
-                        return ExitCode::from(EXIT_ERROR);
-                    }
-                };
+                // The parser guarantees `lo <= hi` and no NaN, so the
+                // interval constructor cannot panic.
                 if session.assert_range(id, Interval::new(lo, hi)).is_err() {
                     session_diag(&label, line, name_col, "AB021", "invalid range");
                     return ExitCode::from(EXIT_ERROR);
                 }
             }
-            "def" => {
-                let kind = match cur.word() {
-                    Some(("int", _)) => VarKind::Int,
-                    Some(("real", _)) => VarKind::Real,
-                    other => {
-                        let col = other.map_or(cur.col, |(_, c)| c);
-                        session_diag(&label, line, col, "AB021", "expected `int` or `real`");
-                        return ExitCode::from(EXIT_ERROR);
-                    }
-                };
-                let var = match cur.word() {
-                    Some((w, c)) => match w.parse::<usize>() {
-                        Ok(v) if v >= 1 => Var::new((v - 1) as u32),
-                        _ => {
-                            session_diag(
-                                &label,
-                                line,
-                                c,
-                                "AB021",
-                                &format!("invalid Boolean variable `{w}` (1-based index)"),
-                            );
-                            return ExitCode::from(EXIT_ERROR);
-                        }
-                    },
-                    None => {
-                        session_diag(
-                            &label,
-                            line,
-                            cur.col,
-                            "AB021",
-                            "expected a Boolean variable",
-                        );
-                        return ExitCode::from(EXIT_ERROR);
-                    }
-                };
-                let (body, body_col) = cur.remainder();
-                if body.is_empty() {
-                    session_diag(&label, line, body_col, "AB021", "expected a comparison");
-                    return ExitCode::from(EXIT_ERROR);
-                }
+            ScriptCommand::Def {
+                kind,
+                var,
+                body,
+                body_col,
+            } => {
                 let base = Span::new(line, body_col);
                 match parse_session_constraint(body, kind, session.problem().arith_vars(), base) {
                     Ok((constraint, new_vars)) => {
                         for (name, k) in new_vars {
-                            session
-                                .arith_var(&name, k)
-                                .expect("parser-fresh variable cannot clash");
+                            if let Err(e) = session.arith_var(&name, k) {
+                                session_diag(&label, line, body_col, "AB021", &e.to_string());
+                                return ExitCode::from(EXIT_ERROR);
+                            }
                         }
                         if let Err(e) = session.define(var, constraint) {
                             session_diag(&label, line, body_col, "AB021", &e.to_string());
@@ -655,27 +566,8 @@ fn session_main(args: &[String]) -> ExitCode {
                     }
                 }
             }
-            "assert" => {
-                let mut lits: Vec<Lit> = Vec::new();
-                while let Some((w, c)) = cur.word() {
-                    match w.parse::<i32>() {
-                        Ok(0) => break,
-                        Ok(v) => lits.push(Lit::from_dimacs(v)),
-                        Err(_) => {
-                            session_diag(
-                                &label,
-                                line,
-                                c,
-                                "AB021",
-                                &format!("invalid literal `{w}`"),
-                            );
-                            return ExitCode::from(EXIT_ERROR);
-                        }
-                    }
-                }
-                session.assert_clause(lits);
-            }
-            "check" => match session.check() {
+            ScriptCommand::Assert { lits } => session.assert_clause(lits),
+            ScriptCommand::Check => match session.check() {
                 Ok(outcome) => {
                     let (msg, code) = verdict_line(&outcome);
                     println!("{msg}");
@@ -715,7 +607,7 @@ fn session_main(args: &[String]) -> ExitCode {
                     return ExitCode::from(EXIT_ITERATION_LIMIT);
                 }
             },
-            "model" => match session.model() {
+            ScriptCommand::Model => match session.model() {
                 Some(m) => {
                     if !config.quiet {
                         print_model(session.problem(), m);
@@ -723,16 +615,6 @@ fn session_main(args: &[String]) -> ExitCode {
                 }
                 None => println!("c no model"),
             },
-            other => {
-                session_diag(
-                    &label,
-                    line,
-                    cmd_col,
-                    "AB020",
-                    &format!("unknown session command `{other}`"),
-                );
-                return ExitCode::from(EXIT_ERROR);
-            }
         }
     }
 
@@ -796,9 +678,9 @@ fn parallel_stats_json(stats: &ParallelStats) -> String {
         .field_u64("theory_checks", theory_checks)
         .field_u64("clauses_shared", stats.clauses_shared)
         .field_u64("clauses_imported", stats.clauses_imported)
-        .field_u64("share_latency_us", stats.share_latency.as_micros() as u64)
+        .field_u64("share_latency_us", saturating_micros(stats.share_latency))
         .field_bool("timed_out", stats.timed_out)
-        .field_u64("elapsed_us", stats.elapsed.as_micros() as u64);
+        .field_u64("elapsed_us", saturating_micros(stats.elapsed));
     match stats.winner {
         Some(w) => obj.field_u64("winner", w as u64),
         None => obj.field_raw("winner", "null"),

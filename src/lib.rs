@@ -23,6 +23,8 @@
 //!   the paper's comparative benchmarks.
 //! * [`trace`] — the observability layer: trace events, sinks (null,
 //!   collecting, JSONL file), and the hand-rolled JSON helpers.
+//! * [`service`] — the `absolverd` daemon: request protocol, bounded
+//!   worker pool, and cross-request caching over persistent sessions.
 //! * [`analyze`] — the static analyzer: compiler-style diagnostics with
 //!   stable `AB0xx` codes (`absolver check`) and the equisatisfiable
 //!   preprocessor run by the orchestrator before solving.
@@ -67,4 +69,5 @@ pub use absolver_model as model;
 pub use absolver_nonlinear as nonlinear;
 pub use absolver_num as num;
 pub use absolver_sat as sat;
+pub use absolver_service as service;
 pub use absolver_trace as trace;

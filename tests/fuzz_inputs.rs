@@ -121,3 +121,49 @@ fn parse_errors_are_descriptive() {
         .unwrap_err();
     assert!(err.to_string().contains("expected"), "{err}");
 }
+
+property! {
+    #![cases = 256]
+
+    /// The session script parser returns spanned diagnostics on arbitrary
+    /// input, never panics.
+    fn script_parser_never_panics(input in gen::ascii_string("\n\t", 0..=300)) {
+        for (i, line) in input.lines().enumerate() {
+            let _ = absolver::core::script::parse_script_line(line, i + 1);
+        }
+    }
+
+    /// Plausible script commands with fuzzed operands (huge indices,
+    /// broken ranges, mangled constraint bodies).
+    fn script_parser_survives_mangled_commands(
+        cmd in gen::from_slice(&["var", "range", "def", "assert", "push", "pop", "check", "model"]),
+        body in gen::string_from_charset(
+            "abcxyz0123456789+*/<>=. ()^-easdfnit realbo",
+            0..=60,
+        ),
+    ) {
+        let _ = absolver::core::script::parse_script_line(&format!("{cmd} {body}"), 1);
+    }
+
+    /// The absolverd request decoder is total over arbitrary bytes.
+    fn service_decoder_never_panics(input in gen::ascii_string("\n\t=.", 0..=300)) {
+        let mut decoder = absolver::service::RequestDecoder::new();
+        for line in input.lines() {
+            let _ = decoder.push_line(line);
+        }
+    }
+
+    /// Plausible solve headers with fuzzed option values.
+    fn service_decoder_survives_mangled_headers(
+        key in gen::from_slice(&["id", "timeout_ms", "priority", "bogus", ""]),
+        value in gen::string_from_charset("0123456789abchighnormalw=-", 0..=20),
+        body in gen::ascii_string("\n", 0..=80),
+    ) {
+        let mut decoder = absolver::service::RequestDecoder::new();
+        let _ = decoder.push_line(&format!("solve {key}={value}"));
+        for line in body.lines() {
+            let _ = decoder.push_line(line);
+        }
+        let _ = decoder.push_line(".");
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end tests of the `absolverd` binary: the stdin/stdout line
+//! protocol and the unix-socket front end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+const ABSOLVERD: &str = env!("CARGO_BIN_EXE_absolverd");
+
+const PROBLEM: &str = "p cnf 2 2\n\
+    1 0\n\
+    2 0\n\
+    c def real 1 x >= 1\n\
+    c def real 2 x <= 3\n\
+    c range x -10 10\n\
+    .\n";
+
+#[test]
+fn stdin_protocol_round_trip() {
+    let mut child = Command::new(ABSOLVERD)
+        .args(["--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn absolverd");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped")).lines();
+    let mut next_line = move || stdout.next().expect("line").expect("utf8 line");
+
+    // Responses are asynchronous in general, but driving one command at
+    // a time makes the exchange deterministic.
+    stdin.write_all(b"ping\n").expect("write");
+    assert_eq!(next_line(), "pong");
+
+    stdin
+        .write_all(format!("solve id=1\n{PROBLEM}").as_bytes())
+        .expect("write");
+    let ok1 = next_line();
+    assert!(ok1.starts_with("ok id=1"), "{ok1}");
+    assert!(ok1.contains("verdict=sat"), "{ok1}");
+    assert!(ok1.contains("cache=cold"), "{ok1}");
+    assert!(ok1.contains("model x="), "{ok1}");
+
+    stdin
+        .write_all(format!("solve id=2\n{PROBLEM}").as_bytes())
+        .expect("write");
+    let ok2 = next_line();
+    assert!(ok2.starts_with("ok id=2"), "{ok2}");
+    assert!(ok2.contains("verdict=sat"), "{ok2}");
+    assert!(ok2.contains("cache=problem"), "{ok2}");
+
+    stdin.write_all(b"bogus command\n").expect("write");
+    let err = next_line();
+    assert!(
+        err.starts_with("err") && err.contains("code=proto"),
+        "{err}"
+    );
+
+    stdin.write_all(b"stats\n").expect("write");
+    let stats = next_line();
+    assert!(stats.starts_with("stats "), "{stats}");
+    assert!(stats.contains("\"problem_hits\":1"), "{stats}");
+    assert!(stats.contains("\"completed\":2"), "{stats}");
+    assert!(stats.contains("\"aborts\":0"), "{stats}");
+
+    stdin.write_all(b"shutdown\n").expect("write");
+    assert_eq!(next_line(), "bye");
+
+    let status = child.wait().expect("absolverd exits");
+    assert!(status.success(), "exit: {status:?}");
+}
+
+#[test]
+fn stdin_eof_shuts_down_cleanly() {
+    let output = Command::new(ABSOLVERD)
+        .args(["--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map(|mut child| {
+            // Close stdin with no input at all: EOF must end the daemon.
+            drop(child.stdin.take());
+            child.wait_with_output().expect("absolverd exits")
+        })
+        .expect("spawn absolverd");
+    assert!(output.status.success(), "exit: {:?}", output.status);
+}
+
+#[test]
+fn unix_socket_serves_and_shuts_down() {
+    let dir = std::env::temp_dir().join(format!("absolverd-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sock = dir.join("d.sock");
+
+    let mut child = Command::new(ABSOLVERD)
+        .args(["--workers", "1", "--socket"])
+        .arg(&sock)
+        .stdin(Stdio::piped()) // held open; the socket client drives shutdown
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn absolverd");
+
+    // The socket appears asynchronously after startup.
+    let mut stream = None;
+    for _ in 0..100 {
+        match std::os::unix::net::UnixStream::connect(&sock) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let stream = stream.expect("connect to absolverd socket");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(b"ping\nsolve id=7\np cnf 1 1\n1 0\n.\nshutdown\n")
+        .expect("write");
+    let reader = BufReader::new(stream);
+    let lines: Vec<String> = reader.lines().map_while(Result::ok).collect();
+    assert!(lines.iter().any(|l| l == "pong"), "{lines:?}");
+    assert!(
+        lines.iter().any(|l| l.starts_with("ok id=7 verdict=sat")),
+        "{lines:?}"
+    );
+    assert_eq!(lines.last().map(String::as_str), Some("bye"), "{lines:?}");
+
+    let status = child.wait().expect("absolverd exits after shutdown");
+    assert!(status.success(), "exit: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

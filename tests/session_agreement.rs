@@ -124,9 +124,13 @@ fn run_script(label: &str, ops: &[Op], options: OrchestratorOptions) -> usize {
         session
             .assert_range(v, Interval::new(-3.0, 3.0))
             .expect("declared above");
-        let lo = session.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3));
+        let lo = session
+            .atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3))
+            .expect("declared");
         session.require(lo.positive());
-        let hi = session.atom(Expr::var(v), CmpOp::Le, Rational::from_int(3));
+        let hi = session
+            .atom(Expr::var(v), CmpOp::Le, Rational::from_int(3))
+            .expect("declared");
         session.require(hi.positive());
     }
     let mut atoms = Vec::new();
@@ -143,7 +147,11 @@ fn run_script(label: &str, ops: &[Op], options: OrchestratorOptions) -> usize {
             } => {
                 let expr =
                     Expr::int(*k1) * Expr::var(vars[*v1]) + Expr::int(*k2) * Expr::var(vars[*v2]);
-                atoms.push(session.atom(expr, cmp_op(*cmp), Rational::from_int(*rhs)));
+                atoms.push(
+                    session
+                        .atom(expr, cmp_op(*cmp), Rational::from_int(*rhs))
+                        .expect("declared"),
+                );
             }
             Op::Clause { picks } => {
                 if atoms.is_empty() {
@@ -239,18 +247,26 @@ fn popped_frame_lemmas_do_not_poison_recycled_variables() {
     let mut session = Session::new();
     let x = session.arith_var("x", VarKind::Int).unwrap();
     session.assert_range(x, Interval::new(-3.0, 3.0)).unwrap();
-    let lo = session.atom(Expr::var(x), CmpOp::Ge, Rational::from_int(-3));
+    let lo = session
+        .atom(Expr::var(x), CmpOp::Ge, Rational::from_int(-3))
+        .expect("declared");
     session.require(lo.positive());
-    let hi = session.atom(Expr::var(x), CmpOp::Le, Rational::from_int(3));
+    let hi = session
+        .atom(Expr::var(x), CmpOp::Le, Rational::from_int(3))
+        .expect("declared");
     session.require(hi.positive());
     assert!(session.check().unwrap().is_sat(), "frame 1 baseline");
 
     // Frame 2: two contradictory atoms, both asserted — the theory
     // conflict teaches the solver `¬(x ≥ 2) ∨ ¬(x ≤ 1)`.
     session.push();
-    let ge2 = session.atom(Expr::var(x), CmpOp::Ge, Rational::from_int(2));
+    let ge2 = session
+        .atom(Expr::var(x), CmpOp::Ge, Rational::from_int(2))
+        .expect("declared");
     session.require(ge2.positive());
-    let le1 = session.atom(Expr::var(x), CmpOp::Le, Rational::from_int(1));
+    let le1 = session
+        .atom(Expr::var(x), CmpOp::Le, Rational::from_int(1))
+        .expect("declared");
     session.require(le1.positive());
     assert!(
         session.check().unwrap().is_unsat(),
@@ -261,9 +277,13 @@ fn popped_frame_lemmas_do_not_poison_recycled_variables() {
     // Recycle the indices: the same Boolean slots now mean `x ≥ 2` and
     // `x ≤ 3`, which are jointly satisfiable — and we demand both. A
     // stale frame-2 lemma over these indices would force UNSAT.
-    let ge2_again = session.atom(Expr::var(x), CmpOp::Ge, Rational::from_int(2));
+    let ge2_again = session
+        .atom(Expr::var(x), CmpOp::Ge, Rational::from_int(2))
+        .expect("declared");
     session.require(ge2_again.positive());
-    let le3 = session.atom(Expr::var(x), CmpOp::Le, Rational::from_int(3));
+    let le3 = session
+        .atom(Expr::var(x), CmpOp::Le, Rational::from_int(3))
+        .expect("declared");
     session.require(le3.positive());
     let outcome = session.check().unwrap();
     assert!(
@@ -283,7 +303,9 @@ fn popped_range_tightening_does_not_pin_unsat() {
     let x = session.arith_var("x", VarKind::Real).unwrap();
     session.assert_range(x, Interval::new(-2.0, 2.0)).unwrap();
     // x² = 2 — satisfiable at ±√2 in the full box.
-    let a = session.atom(Expr::var(x).pow(2), CmpOp::Eq, Rational::from_int(2));
+    let a = session
+        .atom(Expr::var(x).pow(2), CmpOp::Eq, Rational::from_int(2))
+        .expect("declared");
     session.require(a.positive());
     assert!(session.check().unwrap().is_sat(), "±√2 is in the box");
 

@@ -67,9 +67,13 @@ fn boxed_session() -> Session {
         session
             .assert_range(v, Interval::new(-3.0, 3.0))
             .expect("declared above");
-        let lo = session.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3));
+        let lo = session
+            .atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3))
+            .expect("declared");
         session.require(lo.positive());
-        let hi = session.atom(Expr::var(v), CmpOp::Le, Rational::from_int(3));
+        let hi = session
+            .atom(Expr::var(v), CmpOp::Le, Rational::from_int(3))
+            .expect("declared");
         session.require(hi.positive());
     }
     session
@@ -77,7 +81,9 @@ fn boxed_session() -> Session {
 
 fn apply(session: &mut Session, a: &Assertion) {
     let expr = Expr::int(a.k1) * Expr::var(0) + Expr::int(a.k2) * Expr::var(1);
-    let atom = session.atom(expr, cmp_op(a.cmp), Rational::from_int(a.rhs));
+    let atom = session
+        .atom(expr, cmp_op(a.cmp), Rational::from_int(a.rhs))
+        .expect("declared");
     session.require(if a.positive {
         atom.positive()
     } else {
@@ -161,9 +167,9 @@ property! {
             apply(&mut session, a);
         }
         // Guaranteed contradiction on top of whatever the frame added.
-        let lt = session.atom(Expr::var(0), CmpOp::Lt, Rational::from_int(0));
+        let lt = session.atom(Expr::var(0), CmpOp::Lt, Rational::from_int(0)).expect("declared");
         session.require(lt.positive());
-        let ge = session.atom(Expr::var(0), CmpOp::Ge, Rational::from_int(0));
+        let ge = session.atom(Expr::var(0), CmpOp::Ge, Rational::from_int(0)).expect("declared");
         session.require(ge.positive());
         assert!(
             session.check().expect("frame check").is_unsat(),
@@ -188,9 +194,9 @@ property! {
         let mut session = Session::with_orchestrator(Orchestrator::with_defaults());
         let v = session.arith_var("x", VarKind::Int).expect("fresh");
         session.assert_range(v, Interval::new(-3.0, 3.0)).expect("declared");
-        let lo = session.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3));
+        let lo = session.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-3)).expect("declared");
         session.require(lo.positive());
-        let hi = session.atom(Expr::var(v), CmpOp::Le, Rational::from_int(3));
+        let hi = session.atom(Expr::var(v), CmpOp::Le, Rational::from_int(3)).expect("declared");
         session.require(hi.positive());
 
         let mut prev = counters(&session.cumulative_stats());
@@ -200,7 +206,7 @@ property! {
                 session.push();
             }
             let expr = Expr::int(a.k1) * Expr::var(0);
-            let atom = session.atom(expr, cmp_op(a.cmp), Rational::from_int(a.rhs));
+            let atom = session.atom(expr, cmp_op(a.cmp), Rational::from_int(a.rhs)).expect("declared");
             session.require(if a.positive { atom.positive() } else { atom.negative() });
             let _ = session.check().expect("round check");
 
