@@ -43,7 +43,7 @@ pub fn check_problem(problem: &AbProblem, map: &SourceMap) -> Report {
 /// by `v1`).
 fn pretty(problem: &AbProblem, constraint: &absolver_nonlinear::NlConstraint) -> String {
     let mut s = constraint.to_string();
-    for &id in constraint.expr.variables().iter().rev() {
+    for &id in constraint.variables().iter().rev() {
         s = s.replace(&format!("v{id}"), &problem.arith_vars()[id].name);
     }
     s
@@ -162,7 +162,7 @@ fn check_declared_vars(problem: &AbProblem, map: &SourceMap, report: &mut Report
     let mut used = vec![false; problem.arith_vars().len()];
     for (_, def) in problem.defs() {
         for c in &def.constraints {
-            for v in c.expr.variables() {
+            for &v in c.variables() {
                 used[v] = true;
             }
         }
@@ -274,7 +274,7 @@ fn check_static_atoms(problem: &AbProblem, map: &SourceMap, report: &mut Report)
         let touches_empty = def
             .constraints
             .iter()
-            .any(|c| c.expr.variables().iter().any(|&v| declared[v].is_empty()));
+            .any(|c| c.variables().iter().any(|&v| declared[v].is_empty()));
         if touches_empty || def.constraints.is_empty() {
             continue;
         }

@@ -146,19 +146,19 @@ impl CvcLike {
 
         for (_, def) in problem.defs() {
             for c in &def.constraints {
-                let Some((lin, k)) = c.expr.to_affine() else {
+                let Some((lin, k)) = c.to_affine() else {
                     continue;
                 };
-                let rhs = &c.rhs - &k;
-                for upper in normalise_to_upper(&lin, c.op, &rhs) {
+                let rhs = &c.rhs - k;
+                for upper in normalise_to_upper(lin, c.op, &rhs) {
                     if !add(upper, &mut bytes, &mut store, &mut seen) {
                         return (bytes, true);
                     }
                 }
                 for neg in c.negate() {
-                    if let Some((nl, nk)) = neg.expr.to_affine() {
-                        let nrhs = &neg.rhs - &nk;
-                        for upper in normalise_to_upper(&nl, neg.op, &nrhs) {
+                    if let Some((nl, nk)) = neg.to_affine() {
+                        let nrhs = &neg.rhs - nk;
+                        for upper in normalise_to_upper(nl, neg.op, &nrhs) {
                             if !add(upper, &mut bytes, &mut store, &mut seen) {
                                 return (bytes, true);
                             }
@@ -170,10 +170,12 @@ impl CvcLike {
 
         // Saturation rounds: resolve pairs on each shared variable. The
         // budget is checked on every materialised resolvent, so the store
-        // never grows past `memory_budget` bytes before aborting.
+        // never grows past `memory_budget` bytes before aborting. The
+        // round's frontier is the store prefix present at round entry —
+        // indices, not a deep copy of every constraint.
         for _round in 0..self.options.saturation_rounds {
-            let frontier: Vec<LinearConstraint> = store.clone();
-            for (i, a) in frontier.iter().enumerate() {
+            let frontier = store.len();
+            for i in 0..frontier {
                 if let Some(limit) = self.options.time_limit {
                     if started.elapsed() >= limit {
                         // Ran out of time while instantiating: report the
@@ -181,15 +183,16 @@ impl CvcLike {
                         return (bytes, bytes > self.options.memory_budget);
                     }
                 }
-                for b in frontier[i + 1..].iter() {
-                    for resolvent in fm_resolvents(a, b) {
+                for j in i + 1..frontier {
+                    let resolvents = fm_resolvents(&store[i], &store[j]);
+                    for resolvent in resolvents {
                         if !add(resolvent, &mut bytes, &mut store, &mut seen) {
                             return (bytes, true);
                         }
                     }
                 }
             }
-            if store.len() == frontier.len() {
+            if store.len() == frontier {
                 break;
             }
         }
@@ -228,9 +231,7 @@ fn fm_resolvents(a: &LinearConstraint, b: &LinearConstraint) -> Vec<LinearConstr
         // a_scaled = a / |ca|, b_scaled = b / |cb|; sum eliminates v.
         let mut lhs = a.expr.clone();
         lhs.scale(&ca.abs().recip());
-        let mut rhs_expr = b.expr.clone();
-        rhs_expr.scale(&cb.abs().recip());
-        lhs.add_scaled(&rhs_expr, &Rational::one());
+        lhs.add_scaled(&b.expr, &cb.abs().recip());
         let bound = &a.rhs / &ca.abs() + &b.rhs / &cb.abs();
         let op = if a.op == CmpOp::Lt || b.op == CmpOp::Lt {
             CmpOp::Lt

@@ -158,15 +158,15 @@ impl<'a> TightHook<'a> {
         if lit.is_positive() {
             let mut out = Vec::new();
             for c in &def.constraints {
-                let (lin, k) = c.expr.to_affine()?;
-                out.push(LinearConstraint::new(lin, c.op, &c.rhs - &k));
+                let (lin, k) = c.to_affine()?;
+                out.push(LinearConstraint::new(lin.clone(), c.op, &c.rhs - k));
             }
             Some(out)
         } else if def.constraints.len() == 1 {
             let c = &def.constraints[0];
             let op = c.op.negate()?;
-            let (lin, k) = c.expr.to_affine()?;
-            Some(vec![LinearConstraint::new(lin, op, &c.rhs - &k)])
+            let (lin, k) = c.to_affine()?;
+            Some(vec![LinearConstraint::new(lin.clone(), op, &c.rhs - k)])
         } else {
             None
         }

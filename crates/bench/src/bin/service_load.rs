@@ -27,7 +27,10 @@
 //! the regression limit of the checked-in baseline in
 //! `ABS_BENCH_BASELINE_DIR` (default `.`), throughput is at least half
 //! the baseline's, resubmission beats the cold p50 by more than 1.5x,
-//! the caches scored at least one hit, and no worker aborted.
+//! the caches scored at least one hit, the warm-session pool served
+//! repeat declarations, at least one pooled session resumed a
+//! contraction cache carried over from an earlier request, and no
+//! worker aborted.
 
 use absolver_core::parser;
 use absolver_core::{AbProblem, VarKind};
@@ -91,6 +94,17 @@ fn variant_text(variant: usize) -> String {
     let target = (M * 55).div_ceil(100) as i64;
     let u = b.atom(sum, CmpOp::Ge, Rational::from_int(target));
     b.require(u.positive());
+    // A nonlinear coupling on the first two variables, identical in every
+    // variant: x0² + x1² ≤ 2 keeps the family satisfiable (any values in
+    // {-1,0,1} qualify) while forcing each solve through the interval
+    // cascade — so the cross-request contraction-cache gate below has a
+    // nonlinear search whose contraction work pooled sessions can share.
+    let curve = b.atom(
+        Expr::var(vars[0]) * Expr::var(vars[0]) + Expr::var(vars[1]) * Expr::var(vars[1]),
+        CmpOp::Le,
+        Rational::from_int(2),
+    );
+    b.require(curve.positive());
     // The variant bits pin a few free atoms, changing the clause set
     // (and the search) without touching the declarations.
     for (i, &a) in frees.iter().enumerate().take(usize::BITS as usize) {
@@ -241,6 +255,8 @@ fn main() {
         hits as f64 / lookups as f64
     };
     let worker_aborts = stats.aborts.load(Ordering::Relaxed);
+    let contraction_hits = stats.contraction_hits.load(Ordering::Relaxed);
+    let contraction_resumes = stats.contraction_resumes.load(Ordering::Relaxed);
 
     eprintln!(
         "  {total_requests} requests in {elapsed_us}us ({throughput_rps:.0} rps), \
@@ -249,6 +265,10 @@ fn main() {
     eprintln!(
         "  cold p50 {cold_p50_us}us vs resub p50 {resub_p50_us}us ({resub_speedup:.1}x), \
          cache hit rate {cache_hit_rate:.3}, aborts {worker_aborts}"
+    );
+    eprintln!(
+        "  contraction cache: {contraction_hits} hits, {contraction_resumes} \
+         cross-request resumes"
     );
 
     // ---- report ------------------------------------------------------
@@ -324,6 +344,22 @@ fn main() {
         }
         if hits == 0 {
             eprintln!("  DEAD CACHE: zero problem/session cache hits under load");
+            failed = true;
+        }
+        // Cross-request warm-state gates. The cold phase reuses one
+        // declaration family, so the fingerprint-keyed pool must serve
+        // warm sessions, and those sessions must resume the persistent
+        // contraction cache written by earlier requests — interned
+        // constraint ids are what keep the carried entries valid.
+        if stats.session_hits.load(Ordering::Relaxed) == 0 {
+            eprintln!("  DEAD POOL: zero warm-session hits across repeat declarations");
+            failed = true;
+        }
+        if contraction_resumes == 0 {
+            eprintln!(
+                "  NO CROSS-REQUEST CONTRACTION SHARING: pooled sessions never \
+                 resumed a warm contraction cache"
+            );
             failed = true;
         }
         if worker_aborts != 0 {

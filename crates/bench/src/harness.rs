@@ -103,6 +103,20 @@ pub fn run_absolver_report(
     } else {
         stats.theory_cache_hits as f64 / cache_lookups as f64
     };
+    // Hash-consing census of the workload's atom definitions: how many
+    // expression-tree nodes the problem writes down versus how many
+    // distinct arena nodes actually back them. The gap is duplication
+    // the intern layer collapsed into id copies.
+    let roots: Vec<absolver_nonlinear::TermId> = problem
+        .defs()
+        .flat_map(|(_, def)| def.constraints.iter().map(|c| c.term()))
+        .collect();
+    let (term_tree_nodes, term_distinct_nodes) = absolver_nonlinear::term::sharing(&roots);
+    let term_dedup_rate = if term_tree_nodes == 0 {
+        0.0
+    } else {
+        1.0 - term_distinct_nodes as f64 / term_tree_nodes as f64
+    };
     let mut obj = JsonObject::new();
     obj.field_str("workload", workload)
         .field_str("verdict", &verdict)
@@ -117,6 +131,9 @@ pub fn run_absolver_report(
             "contraction_cache_hit_rate",
             stats.contraction_cache_hit_rate(),
         )
+        .field_u64("term_tree_nodes", term_tree_nodes)
+        .field_u64("term_distinct_nodes", term_distinct_nodes)
+        .field_f64("term_dedup_rate", term_dedup_rate)
         .field_str("raw_verdict", &raw_verdict)
         .field_u64("raw_elapsed_us", saturating_micros(raw_elapsed))
         .field_raw("stats", &stats.to_json());

@@ -25,7 +25,7 @@ use absolver_nonlinear::{
 use absolver_sat::{SolveResult, Solver};
 use std::fmt;
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -353,6 +353,9 @@ pub struct NonlinearBackendStats {
     pub contraction_cache_hits: u64,
     /// Contraction-cache lookups that fell through to a revise.
     pub contraction_cache_misses: u64,
+    /// Solves that resumed a non-empty persistent contraction cache
+    /// (contraction work inherited from an earlier solve).
+    pub contraction_cache_resumes: u64,
 }
 
 impl NonlinearBackendStats {
@@ -363,6 +366,7 @@ impl NonlinearBackendStats {
         self.newton_contractions += run.newton_contractions;
         self.contraction_cache_hits += run.contraction_cache_hits;
         self.contraction_cache_misses += run.contraction_cache_misses;
+        self.contraction_cache_resumes += run.contraction_cache_resumes;
     }
 }
 
@@ -396,16 +400,33 @@ impl fmt::Debug for dyn NonlinearBackend + '_ {
 }
 
 /// Rigorous interval branch-and-prune backend (can prove UNSAT).
-#[derive(Debug, Clone, Default)]
+///
+/// The constructor installs a persistent contraction-cache handle (see
+/// [`NlOptions::persistent_cache`]), so one backend instance — e.g. the
+/// one a pooled session's orchestrator keeps alive — carries its
+/// contraction cache across `solve` calls. Sound because cache entries
+/// are keyed on stable interned constraint ids, not per-solve indices.
+#[derive(Debug, Clone)]
 pub struct IntervalNonlinear {
     /// Engine options.
     pub options: NlOptions,
     stats: NonlinearBackendStats,
 }
 
+impl Default for IntervalNonlinear {
+    fn default() -> Self {
+        IntervalNonlinear::with_options(NlOptions::default())
+    }
+}
+
 impl IntervalNonlinear {
-    /// A backend with explicit engine options.
-    pub fn with_options(options: NlOptions) -> IntervalNonlinear {
+    /// A backend with explicit engine options. When contraction caching
+    /// is enabled and no cross-solve cache home is set, one is created so
+    /// the cache survives between solves.
+    pub fn with_options(mut options: NlOptions) -> IntervalNonlinear {
+        if options.contraction_cache && options.persistent_cache.is_none() {
+            options.persistent_cache = Some(Arc::new(Mutex::new(None)));
+        }
         IntervalNonlinear {
             options,
             stats: NonlinearBackendStats::default(),
@@ -469,16 +490,32 @@ impl NonlinearBackend for PenaltyNonlinear {
 
 /// The default nonlinear backend: branch-and-prune first, penalty search
 /// as fallback.
-#[derive(Debug, Clone, Default)]
+///
+/// Like [`IntervalNonlinear`], the constructor installs a persistent
+/// contraction-cache handle so contraction work is shared across the
+/// backend's `solve` calls — and, through the service's warm session
+/// pool, across requests resubmitting overlapping problems.
+#[derive(Debug, Clone)]
 pub struct CascadeNonlinear {
     /// Engine options.
     pub options: NlOptions,
     stats: NonlinearBackendStats,
 }
 
+impl Default for CascadeNonlinear {
+    fn default() -> Self {
+        CascadeNonlinear::with_options(NlOptions::default())
+    }
+}
+
 impl CascadeNonlinear {
-    /// A backend with explicit engine options.
-    pub fn with_options(options: NlOptions) -> CascadeNonlinear {
+    /// A backend with explicit engine options. When contraction caching
+    /// is enabled and no cross-solve cache home is set, one is created so
+    /// the cache survives between solves.
+    pub fn with_options(mut options: NlOptions) -> CascadeNonlinear {
+        if options.contraction_cache && options.persistent_cache.is_none() {
+            options.persistent_cache = Some(Arc::new(Mutex::new(None)));
+        }
         CascadeNonlinear {
             options,
             stats: NonlinearBackendStats::default(),

@@ -30,7 +30,6 @@ use absolver_num::Interval;
 use absolver_trace::{saturating_micros, JsonObject, NullSink, TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -140,6 +139,19 @@ pub struct OrchestratorStats {
     pub contraction_cache_hits: u64,
     /// Nonlinear contraction-cache lookups that fell through to a revise.
     pub contraction_cache_misses: u64,
+    /// Nonlinear solves that resumed a non-empty persistent contraction
+    /// cache — contraction work inherited from an *earlier* check (or, in
+    /// the service, an earlier request via a pooled session). Nonzero
+    /// proves cross-solve sharing actually happened; the stable interned
+    /// constraint ids are what keep the inherited entries valid.
+    pub contraction_cache_resumes: u64,
+    /// Terms interned into the global hash-consed arena during the call
+    /// (preprocessing included): structurally *new* terms that allocated
+    /// an arena node.
+    pub terms_interned: u64,
+    /// Intern requests during the call answered by an existing arena
+    /// node (structural duplicates collapsed to an id copy).
+    pub term_dedup_hits: u64,
     /// Wall-clock time of the preprocessing pass (zero when none is
     /// installed or the call bypassed it).
     pub preprocess_time: Duration,
@@ -162,7 +174,7 @@ impl fmt::Display for OrchestratorStats {
             "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} \
              timed_out={} cancelled={} shared={} imported={} pivots={} warm_starts={} \
              cache_hits={} cache_misses={} contractions={}/{}/{} contraction_cache={}/{} \
-             pre_vars={} pre_clauses={} pre_atoms={} pre_ranges={} preprocess={:?} \
+             terms_interned={} term_dedup={} pre_vars={} pre_clauses={} pre_atoms={} pre_ranges={} preprocess={:?} \
              boolean={:?} linear={:?} nonlinear={:?} conflict_min={:?} elapsed={:?}",
             self.boolean_iterations,
             self.theory_checks,
@@ -186,6 +198,8 @@ impl fmt::Display for OrchestratorStats {
             self.newton_contractions,
             self.contraction_cache_hits,
             self.contraction_cache_misses,
+            self.terms_interned,
+            self.term_dedup_hits,
             self.pre_vars_eliminated,
             self.pre_clauses_eliminated,
             self.pre_atoms_eliminated,
@@ -229,6 +243,9 @@ impl OrchestratorStats {
         self.newton_contractions += other.newton_contractions;
         self.contraction_cache_hits += other.contraction_cache_hits;
         self.contraction_cache_misses += other.contraction_cache_misses;
+        self.contraction_cache_resumes += other.contraction_cache_resumes;
+        self.terms_interned += other.terms_interned;
+        self.term_dedup_hits += other.term_dedup_hits;
         self.preprocess_time += other.preprocess_time;
         self.pre_vars_eliminated += other.pre_vars_eliminated;
         self.pre_clauses_eliminated += other.pre_clauses_eliminated;
@@ -266,6 +283,18 @@ impl OrchestratorStats {
         }
     }
 
+    /// Fraction of intern requests during the call that were structural
+    /// duplicates answered by an existing arena node (`0.0` when nothing
+    /// was interned).
+    pub fn term_dedup_rate(&self) -> f64 {
+        let total = self.terms_interned + self.term_dedup_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.term_dedup_hits as f64 / total as f64
+        }
+    }
+
     /// Serialises the statistics as a single JSON object (the payload of
     /// `--stats json` and the `BENCH_*.json` reports). Times are reported
     /// in integer microseconds; the per-phase ones are nested under
@@ -297,6 +326,9 @@ impl OrchestratorStats {
             .field_u64("newton_contractions", self.newton_contractions)
             .field_u64("contraction_cache_hits", self.contraction_cache_hits)
             .field_u64("contraction_cache_misses", self.contraction_cache_misses)
+            .field_u64("contraction_cache_resumes", self.contraction_cache_resumes)
+            .field_u64("terms_interned", self.terms_interned)
+            .field_u64("term_dedup_hits", self.term_dedup_hits)
             .field_raw("preprocess", &{
                 let mut pre = JsonObject::new();
                 pre.field_u64("vars_eliminated", self.pre_vars_eliminated)
@@ -425,27 +457,52 @@ struct TheoryCache {
     seq: u64,
 }
 
+/// splitmix64 finalizer, used to fold interned ids and range bits into
+/// the problem fingerprint.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// A cheap structural fingerprint of the parts of a problem the theory
-/// cache depends on: the arithmetic variables (kind + range) and the
+/// cache depends on: the arithmetic variables (name, kind, range) and the
 /// atom definitions. The CNF skeleton is deliberately excluded — clauses
 /// do not change what a theory projection means.
+///
+/// Constraints contribute their interned [`absolver_nonlinear::ConstraintId`]:
+/// hash-consing makes structural equality id equality, so one `u64` mix
+/// per constraint replaces formatting the whole expression tree — O(1)
+/// per constraint instead of O(size).
 ///
 /// The service layer reuses this as the warm-session / lemma-store bucket
 /// key: two problems with equal fingerprints *probably* share declarations
 /// and definitions, but the fingerprint is a hash — callers that need
 /// soundness (lemma reuse) must confirm structural equality separately.
+/// (Interned ids are process-local, so the fingerprint is only meaningful
+/// within one process — which is all the in-process caches need.)
 pub fn problem_fingerprint(problem: &AbProblem) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
     for v in problem.arith_vars() {
-        format!("{v:?}").hash(&mut h);
+        for b in v.name.bytes() {
+            h = mix64(h ^ b as u64);
+        }
+        h = mix64(
+            h ^ match v.kind {
+                VarKind::Int => 0x1111,
+                VarKind::Real => 0x2222,
+            },
+        );
+        h = mix64(h ^ v.range.lo().to_bits());
+        h = mix64(h ^ v.range.hi().to_bits());
     }
     for (var, def) in problem.defs() {
-        var.index().hash(&mut h);
+        h = mix64(h ^ (var.index() as u64).wrapping_add(0x5851_f42d_4c95_7f2d));
         for c in &def.constraints {
-            format!("{c}").hash(&mut h);
+            h = mix64(h ^ (c.cid().raw() as u64 + 1));
         }
     }
-    h.finish()
+    h
 }
 
 /// The ABsolver engine: a Boolean backend plus lists of linear and
@@ -666,6 +723,7 @@ impl Orchestrator {
             total.newton_contractions += s.newton_contractions;
             total.contraction_cache_hits += s.contraction_cache_hits;
             total.contraction_cache_misses += s.contraction_cache_misses;
+            total.contraction_cache_resumes += s.contraction_cache_resumes;
         }
         total
     }
@@ -693,8 +751,13 @@ impl Orchestrator {
     /// `self.stats` (called at the end of each `solve*` entry point),
     /// plus the incremental session's own counters — its checks bypass
     /// the one-shot backends entirely, so they are not in the snapshots.
-    fn absorb_backend_deltas(&mut self, lin0: LinearBackendStats, nl0: NonlinearBackendStats) {
-        self.absorb_deltas_since(lin0, nl0, StackCounters::default());
+    fn absorb_backend_deltas(
+        &mut self,
+        lin0: LinearBackendStats,
+        nl0: NonlinearBackendStats,
+        term0: (u64, u64),
+    ) {
+        self.absorb_deltas_since(lin0, nl0, StackCounters::default(), term0);
     }
 
     /// Like [`Orchestrator::absorb_backend_deltas`], but also diffs the
@@ -705,6 +768,7 @@ impl Orchestrator {
         lin0: LinearBackendStats,
         nl0: NonlinearBackendStats,
         stk0: StackCounters,
+        term0: (u64, u64),
     ) {
         let lin1 = self.linear_snapshot();
         let nl1 = self.nonlinear_snapshot();
@@ -723,10 +787,27 @@ impl Orchestrator {
         self.stats.contraction_cache_misses += nl1
             .contraction_cache_misses
             .saturating_sub(nl0.contraction_cache_misses);
+        self.stats.contraction_cache_resumes += nl1
+            .contraction_cache_resumes
+            .saturating_sub(nl0.contraction_cache_resumes);
         let stk1 = self.stack_counters();
         self.stats.simplex_pivots += stk1.pivots.saturating_sub(stk0.pivots);
         self.stats.simplex_warm_starts += stk1.warm_starts.saturating_sub(stk0.warm_starts);
         self.stats.conflict_min_time += stk1.min_time.saturating_sub(stk0.min_time);
+        let (int1, ded1) = absolver_nonlinear::term::local_counters();
+        let interned = int1.saturating_sub(term0.0);
+        let dedup = ded1.saturating_sub(term0.1);
+        self.stats.terms_interned += interned;
+        self.stats.term_dedup_hits += dedup;
+        if interned + dedup > 0 {
+            self.trace(|| {
+                let arena = absolver_nonlinear::term::stats();
+                TraceEvent::new("term.intern")
+                    .field_u64("interned", interned)
+                    .field_u64("dedup_hits", dedup)
+                    .field_u64("arena_terms", arena.terms as u64)
+            });
+        }
     }
 
     /// Per-call session setup: rebuilds the interned constraint pool,
@@ -830,8 +911,14 @@ impl Orchestrator {
                 .field_u64("num_clauses", problem.cnf().len() as u64)
                 .field_u64("num_defs", problem.num_defs() as u64)
         });
+        let pre_term0 = absolver_nonlinear::term::local_counters();
         let result = pass.preprocess(problem);
         let pre_elapsed = pre_started.elapsed();
+        let pre_term1 = absolver_nonlinear::term::local_counters();
+        let pre_terms = (
+            pre_term1.0.saturating_sub(pre_term0.0),
+            pre_term1.1.saturating_sub(pre_term0.1),
+        );
         self.trace(|| {
             let (label, s) = match &result {
                 Preprocessed::Shrunk { summary, .. } => ("shrunk", summary),
@@ -849,7 +936,7 @@ impl Orchestrator {
         match result {
             Preprocessed::TriviallyUnsat { summary } => {
                 self.stats = OrchestratorStats::default();
-                self.record_preprocess(&summary, pre_elapsed);
+                self.record_preprocess(&summary, pre_elapsed, pre_terms);
                 Ok(Outcome::Unsat)
             }
             Preprocessed::Shrunk {
@@ -860,7 +947,7 @@ impl Orchestrator {
                 let outcome = self.solve_under(&shrunk, &[]);
                 // `solve_under` resets the stats at entry, so the pass
                 // accounting must be written back afterwards.
-                self.record_preprocess(&summary, pre_elapsed);
+                self.record_preprocess(&summary, pre_elapsed, pre_terms);
                 match outcome {
                     Ok(Outcome::Sat(mut model)) => {
                         reconstruction.lift(&mut model);
@@ -873,8 +960,15 @@ impl Orchestrator {
     }
 
     /// Folds a preprocessing pass's effect into the current stats.
-    fn record_preprocess(&mut self, summary: &PreprocessSummary, elapsed: Duration) {
+    fn record_preprocess(
+        &mut self,
+        summary: &PreprocessSummary,
+        elapsed: Duration,
+        terms: (u64, u64),
+    ) {
         self.stats.preprocess_time = elapsed;
+        self.stats.terms_interned += terms.0;
+        self.stats.term_dedup_hits += terms.1;
         self.stats.pre_vars_eliminated = summary.vars_eliminated;
         self.stats.pre_clauses_eliminated = summary.clauses_eliminated;
         self.stats.pre_atoms_eliminated = summary.atoms_eliminated;
@@ -901,6 +995,7 @@ impl Orchestrator {
         self.stats = OrchestratorStats::default();
         let lin0 = self.linear_snapshot();
         let nl0 = self.nonlinear_snapshot();
+        let term0 = absolver_nonlinear::term::local_counters();
         self.trace(|| {
             TraceEvent::new("solve.start")
                 .field_u64("num_vars", problem.cnf().num_vars() as u64)
@@ -913,7 +1008,7 @@ impl Orchestrator {
             // An imported lemma already contradicts the formula: the
             // problem is unsat, no iteration needed.
             self.stats.elapsed = started.elapsed();
-            self.absorb_backend_deltas(lin0, nl0);
+            self.absorb_backend_deltas(lin0, nl0, term0);
             self.trace(|| {
                 TraceEvent::new("solve.end")
                     .field("outcome", "unsat")
@@ -928,7 +1023,7 @@ impl Orchestrator {
             for &lit in assumptions {
                 if !self.boolean.add_clause(&[lit]) {
                     self.stats.elapsed = started.elapsed();
-                    self.absorb_backend_deltas(lin0, nl0);
+                    self.absorb_backend_deltas(lin0, nl0, term0);
                     self.trace(|| {
                         TraceEvent::new("solve.end")
                             .field("outcome", "unsat")
@@ -940,7 +1035,7 @@ impl Orchestrator {
         }
         let outcome = self.run_loop(problem, started);
         self.stats.elapsed = started.elapsed();
-        self.absorb_backend_deltas(lin0, nl0);
+        self.absorb_backend_deltas(lin0, nl0, term0);
         self.trace(|| {
             let label = match &outcome {
                 Ok(Outcome::Sat(_)) => "sat",
@@ -977,6 +1072,7 @@ impl Orchestrator {
         self.stats = OrchestratorStats::default();
         let lin0 = self.linear_snapshot();
         let nl0 = self.nonlinear_snapshot();
+        let term0 = absolver_nonlinear::term::local_counters();
         if args.rebuild_defs {
             self.interned = problem
                 .defs()
@@ -1030,7 +1126,7 @@ impl Orchestrator {
             self.run_loop(problem, started)
         };
         self.stats.elapsed = started.elapsed();
-        self.absorb_deltas_since(lin0, nl0, stk0);
+        self.absorb_deltas_since(lin0, nl0, stk0, term0);
         outcome
     }
 
@@ -1078,6 +1174,7 @@ impl Orchestrator {
         self.stats = OrchestratorStats::default();
         let lin0 = self.linear_snapshot();
         let nl0 = self.nonlinear_snapshot();
+        let term0 = absolver_nonlinear::term::local_counters();
         self.trace(|| {
             TraceEvent::new("solve.start")
                 .field("mode", "solve_all")
@@ -1092,7 +1189,7 @@ impl Orchestrator {
             // An imported lemma already contradicts the formula: there
             // are no models to enumerate.
             self.stats.elapsed = started.elapsed();
-            self.absorb_backend_deltas(lin0, nl0);
+            self.absorb_backend_deltas(lin0, nl0, term0);
             self.trace(|| {
                 TraceEvent::new("solve.end")
                     .field("outcome", "solve_all")
@@ -1126,7 +1223,7 @@ impl Orchestrator {
             }
         }
         self.stats.elapsed = started.elapsed();
-        self.absorb_backend_deltas(lin0, nl0);
+        self.absorb_backend_deltas(lin0, nl0, term0);
         self.trace(|| {
             TraceEvent::new("solve.end")
                 .field("outcome", "solve_all")

@@ -960,7 +960,6 @@ pub fn write(problem: &AbProblem) -> String {
     for (var, def) in problem.defs() {
         for constraint in &def.constraints {
             let kind = constraint
-                .expr
                 .variables()
                 .iter()
                 .map(|&v| problem.arith_vars()[v].kind)
@@ -975,7 +974,7 @@ pub fn write(problem: &AbProblem) -> String {
                 "def {} {} {} {} {}",
                 kind,
                 var.index() + 1,
-                format_expr(&constraint.expr, &names),
+                format_expr(&constraint.expr(), &names),
                 constraint.op,
                 rational_to_source_rhs(&constraint.rhs),
             ));
@@ -1089,7 +1088,7 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
         assert_eq!(defs[0].1.constraints[0].op, CmpOp::Le);
         assert_eq!(defs[1].1.constraints[0].op, CmpOp::Gt);
         assert_eq!(defs[2].1.constraints[0].op, CmpOp::Eq);
-        assert!(!defs[0].1.constraints[0].expr.is_linear());
+        assert!(!defs[0].1.constraints[0].is_linear());
     }
 
     #[test]
@@ -1099,9 +1098,9 @@ c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
         let constraint = &def.constraints[0];
         // x + 1 ≤ y becomes (x + 1 − y) ≤ 0.
         assert_eq!(constraint.rhs, Rational::zero());
-        assert!(constraint.expr.is_linear());
-        let (lin, c) = constraint.expr.to_affine().unwrap();
-        assert_eq!(c, Rational::one());
+        assert!(constraint.is_linear());
+        let (lin, c) = constraint.to_affine().unwrap();
+        assert_eq!(*c, Rational::one());
         assert_eq!(lin.coeff(p.arith_var("x").unwrap()), Rational::one());
         assert_eq!(lin.coeff(p.arith_var("y").unwrap()), Rational::from_int(-1));
     }

@@ -124,7 +124,7 @@ impl AbProblem {
         self.defs
             .values()
             .flat_map(|d| &d.constraints)
-            .filter(|c| c.expr.is_linear())
+            .filter(|c| c.is_linear())
             .count()
     }
 
@@ -227,7 +227,7 @@ impl AbModel {
 
 /// Exact evaluation of a constraint when its expression is affine.
 pub(crate) fn eval_exact(c: &NlConstraint, values: &[Rational]) -> Option<bool> {
-    let (lin, k) = c.expr.to_affine()?;
+    let (lin, k) = c.to_affine()?;
     let lhs = lin.eval(values) + k;
     Some(c.op.eval(&lhs, &c.rhs))
 }

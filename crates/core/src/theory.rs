@@ -222,17 +222,13 @@ fn normalise(items: &[TheoryItem]) -> Normalised {
         } else {
             match c.op.negate() {
                 Some(op) => {
-                    push_assert(
-                        &mut out,
-                        item.tag,
-                        Arc::new(NlConstraint::new(c.expr.clone(), op, c.rhs.clone())),
-                    );
+                    push_assert(&mut out, item.tag, Arc::new(c.with_op(op)));
                 }
                 None => {
                     // ¬(lhs = rhs): a disequality, handled lazily.
-                    match c.expr.to_affine() {
+                    match c.to_affine() {
                         Some((lin, k)) => {
-                            out.lin_diseqs.push((item.tag, lin, &c.rhs - &k));
+                            out.lin_diseqs.push((item.tag, lin.clone(), &c.rhs - k));
                         }
                         None => {
                             out.nl_diseqs.push((item.tag, Arc::clone(c)));
@@ -247,11 +243,11 @@ fn normalise(items: &[TheoryItem]) -> Normalised {
 }
 
 fn push_assert(out: &mut Normalised, tag: usize, c: Arc<NlConstraint>) {
-    match c.expr.to_affine() {
+    match c.to_affine() {
         Some((lin, k)) => {
-            let rhs = &c.rhs - &k;
+            let rhs = &c.rhs - k;
             out.lin_asserts
-                .push((tag, LinearConstraint::new(lin, c.op, rhs)));
+                .push((tag, LinearConstraint::new(lin.clone(), c.op, rhs)));
             out.nl_asserts.push((tag, c));
         }
         None => {
@@ -724,7 +720,7 @@ fn rec_nonlinear(
             }
             // Check disequalities; split lazily on a violated one.
             for (tag, d) in diseqs {
-                let lhs = d.expr.eval_f64(&witness);
+                let lhs = d.lhs_f64(&witness);
                 let rhs = d.rhs.to_f64();
                 if (lhs - rhs).abs() <= 1e-9 {
                     if *splits == 0 {
@@ -734,7 +730,7 @@ fn rec_nonlinear(
                     let mut any_unknown = false;
                     for op in [CmpOp::Lt, CmpOp::Gt] {
                         let mut branched = constraints.clone();
-                        branched.push(NlConstraint::new(d.expr.clone(), op, d.rhs.clone()));
+                        branched.push(d.with_op(op));
                         match rec_nonlinear(branched, diseqs, all_tags, ctx, splits) {
                             TheoryVerdict::Sat(m) => return TheoryVerdict::Sat(m),
                             TheoryVerdict::Unknown => any_unknown = true,

@@ -13,7 +13,7 @@ use crate::diagram::{Block, Diagram, Factor, LogicOp, Sign, UnaryFn};
 use crate::lustre::{BinOp, LustreExpr, LustreNode, LustreType, UnOp};
 use absolver_core::{AbProblem, Circuit, NodeId, VarKind};
 use absolver_linear::CmpOp;
-use absolver_nonlinear::{Expr, NlConstraint};
+use absolver_nonlinear::{ConstraintId, Expr, NlConstraint};
 use absolver_num::{Interval, Rational};
 use std::collections::HashMap;
 use std::fmt;
@@ -247,8 +247,9 @@ struct Extractor<'a> {
     memo: HashMap<String, Inlined>,
     /// constraints, one per atom pin
     atoms: Vec<NlConstraint>,
-    /// structural atom sharing
-    atom_index: HashMap<String, usize>,
+    /// structural atom sharing, keyed on the interned constraint id
+    /// (hash-consing makes id equality structural equality)
+    atom_index: HashMap<ConstraintId, usize>,
 }
 
 impl Extractor<'_> {
@@ -264,9 +265,8 @@ impl Extractor<'_> {
             let e = self
                 .node
                 .equation(name)
-                .ok_or_else(|| ConvertError::new(format!("flow `{name}` has no equation")))?
-                .clone();
-            self.convert(&e)?
+                .ok_or_else(|| ConvertError::new(format!("flow `{name}` has no equation")))?;
+            self.convert(e)?
         };
         self.memo.insert(name.to_string(), out.clone());
         Ok(out)
@@ -296,8 +296,7 @@ impl Extractor<'_> {
             Expr::Const(c) => NlConstraint::new(lhs.simplify(), op, c),
             rhs => NlConstraint::new((lhs - rhs).simplify(), op, Rational::zero()),
         };
-        let key = constraint.to_string();
-        let index = *self.atom_index.entry(key).or_insert_with(|| {
+        let index = *self.atom_index.entry(constraint.cid()).or_insert_with(|| {
             self.atoms.push(constraint);
             self.atoms.len() - 1
         });

@@ -6,6 +6,12 @@
 //! again. Caching the HC4 fixpoint of a constraint over its own variables
 //! collapses those repeats into hash lookups.
 //!
+//! The constraint id the cascade passes in is the *interned*
+//! [`crate::term::ConstraintId`] — stable for the process lifetime, not a
+//! positional index — so entries stay valid across solves: a persistent
+//! session (or the service's warm-session pool) can carry one cache
+//! through many `check` calls and keep hitting on resubmitted boxes.
+//!
 //! Soundness rests on outward quantization
 //! ([`Interval::quantize_outward`]): the cache key is the quantized
 //! superset `Q(B) ⊇ B` of the live box `B`, and the cached value is a

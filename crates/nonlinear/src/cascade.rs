@@ -233,6 +233,10 @@ fn refuted_by(op: CmpOp, rhs: Interval, lhs: Interval) -> bool {
 #[derive(Debug)]
 pub struct Cascade<'a> {
     constraints: &'a [NlConstraint],
+    /// Stable interned constraint ids — the cache key component that
+    /// stays identical across solves (and requests), unlike the positional
+    /// index `ci`, so a persistent cache keeps hitting on resubmission.
+    cids: Vec<usize>,
     /// Sorted variable list of each constraint (the cache projection).
     vars: Vec<Vec<usize>>,
     /// For each variable, the constraints that mention it.
@@ -271,10 +275,28 @@ impl<'a> Cascade<'a> {
         use_cache: bool,
         min_width: f64,
     ) -> Cascade<'a> {
-        let vars: Vec<Vec<usize>> = constraints
-            .iter()
-            .map(|c| c.variables().into_iter().collect())
-            .collect();
+        Cascade::with_cache(
+            constraints,
+            num_vars,
+            config,
+            use_cache.then(ContractionCache::new),
+            min_width,
+        )
+    }
+
+    /// Like [`Cascade::new`], but seeded with an existing contraction
+    /// cache — results keyed on stable constraint ids stay valid across
+    /// solves, so a persistent session can carry its cache from one
+    /// `check` to the next and keep hitting on resubmitted boxes.
+    pub fn with_cache(
+        constraints: &'a [NlConstraint],
+        num_vars: usize,
+        config: ContractorConfig,
+        cache: Option<ContractionCache>,
+        min_width: f64,
+    ) -> Cascade<'a> {
+        let cids: Vec<usize> = constraints.iter().map(|c| c.cid().index()).collect();
+        let vars: Vec<Vec<usize>> = constraints.iter().map(|c| c.variables().to_vec()).collect();
         let mut watchers = vec![Vec::new(); num_vars];
         for (ci, cvars) in vars.iter().enumerate() {
             for &v in cvars {
@@ -283,7 +305,7 @@ impl<'a> Cascade<'a> {
         }
         let targets = constraints.iter().map(|c| c.target_interval()).collect();
         let rhs_ivs = constraints.iter().map(|c| c.rhs_interval()).collect();
-        let blind: Vec<bool> = constraints.iter().map(|c| c.expr.has_trig()).collect();
+        let blind: Vec<bool> = constraints.iter().map(|c| c.tape().has_trig).collect();
         let has_blind = blind.iter().any(|&b| b);
         let newton: Vec<Option<NewtonConstraint>> = if config.newton {
             constraints.iter().map(NewtonConstraint::build).collect()
@@ -293,6 +315,7 @@ impl<'a> Cascade<'a> {
         let has_newton = newton.iter().any(Option::is_some);
         Cascade {
             constraints,
+            cids,
             vars,
             watchers,
             targets,
@@ -302,7 +325,7 @@ impl<'a> Cascade<'a> {
             newton,
             has_newton,
             config,
-            cache: use_cache.then(ContractionCache::new),
+            cache,
             stats: CascadeStats::default(),
             min_width,
             queue: Vec::new(),
@@ -477,13 +500,14 @@ impl<'a> Cascade<'a> {
             return (out, entailed);
         }
         let cvars = &self.vars[ci];
+        let cid = self.cids[ci];
         self.qbuf.clear();
         for &v in cvars {
             self.qbuf.push(boxes[v].quantize_outward(QUANTIZE_BITS));
         }
-        let hash = ContractionCache::hash(ci, &self.qbuf);
+        let hash = ContractionCache::hash(cid, &self.qbuf);
         let cache = self.cache.as_mut().expect("cache enabled");
-        if let Some(cached) = cache.find(hash, ci, &self.qbuf) {
+        if let Some(cached) = cache.find(hash, cid, &self.qbuf) {
             self.stats.cache_hits += 1;
             return match cached {
                 CachedContraction::Empty => (Contraction::Empty, false),
@@ -524,7 +548,7 @@ impl<'a> Cascade<'a> {
             self.stats.hc4_contractions += 1;
         }
         if out == Contraction::Empty || refuted_by(constraints[ci].op, self.rhs_ivs[ci], lhs) {
-            cache.put(hash, ci, &self.qbuf, CachedContraction::Empty);
+            cache.put(hash, cid, &self.qbuf, CachedContraction::Empty);
             return (Contraction::Empty, false);
         }
         let entailed = entailed_by(constraints[ci].op, self.rhs_ivs[ci], lhs);
@@ -535,7 +559,7 @@ impl<'a> Cascade<'a> {
             if next.is_empty() {
                 cache.put(
                     hash,
-                    ci,
+                    cid,
                     &self.qbuf,
                     CachedContraction::Narrowed { ivs, entailed },
                 );
@@ -548,7 +572,7 @@ impl<'a> Cascade<'a> {
         }
         cache.put(
             hash,
-            ci,
+            cid,
             &self.qbuf,
             CachedContraction::Narrowed { ivs, entailed },
         );
@@ -656,12 +680,19 @@ impl<'a> Cascade<'a> {
     }
 
     /// Cache-effectiveness counters of the underlying store (0/0 when the
-    /// cache is disabled).
+    /// cache is disabled). Cumulative over the cache's lifetime, which may
+    /// span several cascades when the cache is persistent.
     pub fn cache_counters(&self) -> (u64, u64) {
         match &self.cache {
             Some(c) => (c.hits(), c.misses()),
             None => (0, 0),
         }
+    }
+
+    /// Hands the contraction cache back to the caller (for persistence
+    /// across solves). The engine keeps working, uncached, afterwards.
+    pub fn take_cache(&mut self) -> Option<ContractionCache> {
+        self.cache.take()
     }
 }
 

@@ -1,15 +1,33 @@
 //! Nonlinear constraints `expr ⋈ rhs` and their three-valued evaluation.
+//!
+//! A constraint is stored in *interned* form: the LHS lives in the global
+//! [`crate::term`] arena as a dense [`TermId`], the `(term, op, rhs)`
+//! triple has a stable [`ConstraintId`], and evaluation runs over the
+//! shared flat [`TermTape`] instead of recursing a boxed tree. Structural
+//! equality is id equality, which is what makes the constraint usable as
+//! an O(1) cache-key component across solves and requests.
 
 use crate::expr::{Expr, VarId};
-use absolver_linear::CmpOp;
+use crate::term::{self, ConstraintId, TermId, TermTape};
+use absolver_linear::{CmpOp, LinExpr};
 use absolver_num::{Interval, Rational};
 use std::fmt;
+use std::sync::Arc;
 
-/// A nonlinear constraint `expr ⋈ rhs`.
-#[derive(Debug, Clone, PartialEq)]
+/// A nonlinear constraint `expr ⋈ rhs` in interned form.
+///
+/// `op` and `rhs` are plain public fields (the id is keyed on them at
+/// construction; they are read-only by convention everywhere). The LHS is
+/// reached through [`NlConstraint::tape`] on hot paths and rebuilt via
+/// [`NlConstraint::expr`] on cold ones (printing, rendering).
+#[derive(Clone)]
 pub struct NlConstraint {
-    /// Left-hand side expression.
-    pub expr: Expr,
+    /// Interned LHS term.
+    term: TermId,
+    /// Stable id of the whole `(term, op, rhs)` constraint.
+    cid: ConstraintId,
+    /// Shared flat evaluation form of the LHS.
+    tape: Arc<TermTape>,
     /// Comparison operator.
     pub op: CmpOp,
     /// Right-hand side constant.
@@ -28,15 +46,63 @@ pub enum IntervalVerdict {
 }
 
 impl NlConstraint {
-    /// Creates `expr ⋈ rhs`.
+    /// Creates `expr ⋈ rhs`, interning the LHS into the global arena.
     pub fn new(expr: Expr, op: CmpOp, rhs: Rational) -> NlConstraint {
-        NlConstraint { expr, op, rhs }
+        let (term, tape) = term::intern_with_tape(&expr);
+        let cid = term::intern_constraint(term, op, &rhs);
+        NlConstraint {
+            term,
+            cid,
+            tape,
+            op,
+            rhs,
+        }
+    }
+
+    /// The same LHS under a different comparison (no re-interning of the
+    /// term — only the constraint id changes).
+    pub fn with_op(&self, op: CmpOp) -> NlConstraint {
+        let cid = term::intern_constraint(self.term, op, &self.rhs);
+        NlConstraint {
+            term: self.term,
+            cid,
+            tape: Arc::clone(&self.tape),
+            op,
+            rhs: self.rhs.clone(),
+        }
+    }
+
+    /// Interned id of the LHS term.
+    pub fn term(&self) -> TermId {
+        self.term
+    }
+
+    /// Stable dense id of the whole constraint: equal ids ⇔ structurally
+    /// equal constraints, across solves and requests. The contraction
+    /// cache and the service's structural keys are built on this.
+    pub fn cid(&self) -> ConstraintId {
+        self.cid
+    }
+
+    /// The shared flat evaluation form of the LHS.
+    pub fn tape(&self) -> &Arc<TermTape> {
+        &self.tape
+    }
+
+    /// Rebuilds the LHS as a boxed expression tree (cold paths only).
+    pub fn expr(&self) -> Expr {
+        term::rebuild(self.term)
+    }
+
+    /// The LHS value at a point, in `f64` arithmetic.
+    pub fn lhs_f64(&self, point: &[f64]) -> f64 {
+        self.tape.eval_f64(point)
     }
 
     /// Point evaluation in `f64` arithmetic (exact comparison, no
     /// tolerance). NaN evaluates to `false`.
     pub fn eval(&self, point: &[f64]) -> bool {
-        let lhs = self.expr.eval_f64(point);
+        let lhs = self.tape.eval_f64(point);
         let rhs = self.rhs.to_f64();
         match self.op {
             CmpOp::Lt => lhs < rhs,
@@ -53,7 +119,7 @@ impl NlConstraint {
     /// for nonlinear witnesses, so that downstream exact re-evaluation
     /// (e.g. simulating the original model) agrees with the solver.
     pub fn eval_robust(&self, point: &[f64], eq_tol: f64) -> bool {
-        let lhs = self.expr.eval_f64(point);
+        let lhs = self.tape.eval_f64(point);
         let rhs = self.rhs.to_f64();
         match self.op {
             CmpOp::Lt => lhs < rhs,
@@ -68,7 +134,7 @@ impl NlConstraint {
     /// comparisons — the satisfaction notion of numerical solvers like
     /// IPOPT, which the local search targets.
     pub fn eval_with_tol(&self, point: &[f64], tol: f64) -> bool {
-        let lhs = self.expr.eval_f64(point);
+        let lhs = self.tape.eval_f64(point);
         let rhs = self.rhs.to_f64();
         match self.op {
             CmpOp::Lt => lhs < rhs,
@@ -85,7 +151,7 @@ impl NlConstraint {
     /// witnesses satisfy the exact `f64` comparison and do not hug
     /// boundaries.
     pub fn violation(&self, point: &[f64], margin: f64) -> f64 {
-        let lhs = self.expr.eval_f64(point);
+        let lhs = self.tape.eval_f64(point);
         let rhs = self.rhs.to_f64();
         let v = match self.op {
             CmpOp::Lt | CmpOp::Le => lhs - rhs + margin,
@@ -111,12 +177,12 @@ impl NlConstraint {
     /// `CertainlyTrue`/`CertainlyFalse` are rigorous (interval arithmetic
     /// with outward rounding); `Unknown` carries no information.
     pub fn check_box(&self, boxes: &[Interval]) -> IntervalVerdict {
-        self.check_interval(self.expr.eval_interval(boxes))
+        self.check_interval(self.tape.eval_interval(boxes))
     }
 
     /// Classifies a precomputed enclosure of the LHS (as produced by
-    /// `Expr::eval_interval` or the HC4 forward pass) against the RHS —
-    /// the allocation-free core of [`NlConstraint::check_box`].
+    /// [`TermTape::eval_interval`] or the HC4 forward pass) against the
+    /// RHS — the allocation-free core of [`NlConstraint::check_box`].
     pub fn check_interval(&self, lhs: Interval) -> IntervalVerdict {
         if lhs.is_empty() {
             // The expression is undefined everywhere in the box (e.g. sqrt
@@ -185,33 +251,59 @@ impl NlConstraint {
         }
     }
 
-    /// Largest variable id mentioned, if any.
+    /// Largest variable id mentioned, if any (precomputed on the tape).
     pub fn max_var(&self) -> Option<VarId> {
-        self.expr.max_var()
+        self.tape.max_var
     }
 
-    /// The set of variables the constraint mentions (delegates to the
-    /// expression); the projection the contraction cache keys on.
-    pub fn variables(&self) -> std::collections::BTreeSet<VarId> {
-        self.expr.variables()
+    /// The sorted variables the constraint mentions (precomputed on the
+    /// tape); the projection the contraction cache keys on.
+    pub fn variables(&self) -> &[VarId] {
+        &self.tape.vars
+    }
+
+    /// Whether the LHS is affine (precomputed on the tape).
+    pub fn is_linear(&self) -> bool {
+        self.tape.is_linear()
+    }
+
+    /// The affine view `Σ aᵢ·xᵢ + c` of the LHS, when linear
+    /// (precomputed on the tape).
+    pub fn to_affine(&self) -> Option<&(LinExpr, Rational)> {
+        self.tape.affine.as_ref()
     }
 
     /// The negated constraint as a disjunction (Sec. 1: `¬(= c)` splits
-    /// into `< c ∨ > c`).
+    /// into `< c ∨ > c`). Reuses the interned term — no tree rebuilding.
     pub fn negate(&self) -> Vec<NlConstraint> {
         match self.op.negate() {
-            Some(op) => vec![NlConstraint::new(self.expr.clone(), op, self.rhs.clone())],
-            None => vec![
-                NlConstraint::new(self.expr.clone(), CmpOp::Lt, self.rhs.clone()),
-                NlConstraint::new(self.expr.clone(), CmpOp::Gt, self.rhs.clone()),
-            ],
+            Some(op) => vec![self.with_op(op)],
+            None => vec![self.with_op(CmpOp::Lt), self.with_op(CmpOp::Gt)],
         }
+    }
+}
+
+impl PartialEq for NlConstraint {
+    fn eq(&self, other: &NlConstraint) -> bool {
+        // Ids are canonical: equal ids ⇔ structurally equal constraints.
+        self.cid == other.cid
+    }
+}
+
+impl fmt::Debug for NlConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NlConstraint")
+            .field("expr", &self.expr())
+            .field("op", &self.op)
+            .field("rhs", &self.rhs)
+            .field("cid", &self.cid)
+            .finish()
     }
 }
 
 impl fmt::Display for NlConstraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}", self.expr, self.op, self.rhs)
+        write!(f, "{} {} {}", self.expr(), self.op, self.rhs)
     }
 }
 
@@ -305,6 +397,7 @@ mod tests {
         assert_eq!(neg.len(), 2);
         assert_eq!(neg[0].op, CmpOp::Lt);
         assert_eq!(neg[1].op, CmpOp::Gt);
+        assert_eq!(neg[0].term(), c.term(), "negation shares the interned LHS");
         let le = NlConstraint::new(x(), CmpOp::Le, q(0)).negate();
         assert_eq!(le.len(), 1);
         assert_eq!(le[0].op, CmpOp::Gt);
@@ -319,5 +412,16 @@ mod tests {
         let eq = NlConstraint::new(x(), CmpOp::Eq, q(3));
         assert!(eq.target_interval().contains(3.0));
         assert!(eq.target_interval().width() < 1e-9);
+    }
+
+    #[test]
+    fn interned_equality_is_structural() {
+        let a = NlConstraint::new(x() * x(), CmpOp::Le, q(4));
+        let b = NlConstraint::new(x() * x(), CmpOp::Le, q(4));
+        let c = NlConstraint::new(x() * x(), CmpOp::Lt, q(4));
+        assert_eq!(a, b);
+        assert_eq!(a.cid(), b.cid());
+        assert_ne!(a, c);
+        assert_eq!(a.expr(), b.expr());
     }
 }

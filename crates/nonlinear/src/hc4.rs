@@ -1,15 +1,24 @@
 //! The HC4 interval contractor.
 //!
 //! `HC4-revise` is the classic forward–backward constraint-propagation
-//! operator on expression trees: a forward pass computes a sound interval
-//! for every subexpression, and a backward pass pushes the constraint's
-//! target interval down the tree, narrowing variable domains. Applied to a
-//! fixpoint over a conjunction of constraints it prunes boxes without
-//! losing any solution, which is the engine behind the branch-and-prune
-//! prover in [`crate::solve`].
+//! operator: a forward pass computes a sound interval for every
+//! subexpression, and a backward pass pushes the constraint's target
+//! interval down, narrowing variable domains. Applied to a fixpoint over a
+//! conjunction of constraints it prunes boxes without losing any
+//! solution, which is the engine behind the branch-and-prune prover in
+//! [`crate::solve`].
+//!
+//! Both passes run over the constraint's interned [`TermTape`]: the
+//! forward pass is a single index loop over the postorder ops, the
+//! backward pass a single reverse loop writing per-node targets into a
+//! scratch array — no tree recursion, no per-call allocation. Child
+//! targets depend only on forward intervals, so the loop computes exactly
+//! the targets the old recursive traversal did, in a different (but
+//! equivalent) order: variable-domain intersections commute, and a box
+//! empties under one visit order iff it empties under the other.
 
 use crate::constraint::NlConstraint;
-use crate::expr::Expr;
+use crate::term::{TapeOp, TermTape};
 use absolver_num::Interval;
 
 /// Result of contracting a box against one or more constraints.
@@ -24,63 +33,48 @@ pub enum Contraction {
 }
 
 /// Reusable arenas for allocation-free HC4 revises. The forward pass
-/// stores one interval (and subtree size) per expression node in
-/// postorder; the backward pass addresses children by index arithmetic
-/// (`right = idx − 1`, `left = idx − 1 − size[right]`). One scratch per
-/// cascade engine keeps the hot path free of per-call heap traffic.
+/// stores one interval per tape instruction; the backward pass stores one
+/// target per instruction and addresses children by index arithmetic
+/// (`right = idx − 1`, `left = idx − 1 − size[right]`, sizes precomputed
+/// on the tape). One scratch per cascade engine keeps the hot path free
+/// of per-call heap traffic.
 #[derive(Debug, Default)]
 pub struct ReviseScratch {
     iv: Vec<Interval>,
-    size: Vec<u32>,
+    tgt: Vec<Interval>,
 }
 
-/// Forward pass into the arena; returns the node's postorder index.
-fn forward(e: &Expr, boxes: &[Interval], s: &mut ReviseScratch) -> usize {
-    match e {
-        Expr::Const(_) | Expr::Var(_) => {
-            s.iv.push(e.eval_interval(boxes));
-            s.size.push(1);
-        }
-        Expr::Neg(a)
-        | Expr::Pow(a, _)
-        | Expr::Sin(a)
-        | Expr::Cos(a)
-        | Expr::Exp(a)
-        | Expr::Ln(a)
-        | Expr::Sqrt(a)
-        | Expr::Abs(a) => {
-            let c = forward(a, boxes, s);
-            let civ = s.iv[c];
-            let iv = match e {
-                Expr::Neg(_) => civ.neg(),
-                Expr::Pow(_, n) => civ.powi(*n),
-                Expr::Sin(_) => civ.sin(),
-                Expr::Cos(_) => civ.cos(),
-                Expr::Exp(_) => civ.exp(),
-                Expr::Ln(_) => civ.ln(),
-                Expr::Sqrt(_) => civ.sqrt(),
-                Expr::Abs(_) => civ.abs(),
-                _ => unreachable!(),
-            };
-            s.iv.push(iv);
-            s.size.push(s.size[c] + 1);
-        }
-        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
-            let l = forward(a, boxes, s);
-            let r = forward(b, boxes, s);
-            let (liv, riv) = (s.iv[l], s.iv[r]);
-            let iv = match e {
-                Expr::Add(..) => liv.add(riv),
-                Expr::Sub(..) => liv.sub(riv),
-                Expr::Mul(..) => liv.mul(riv),
-                Expr::Div(..) => liv.div(riv),
-                _ => unreachable!(),
-            };
-            s.iv.push(iv);
-            s.size.push(s.size[l] + s.size[r] + 1);
-        }
+/// Forward pass: fills `iv` with a sound enclosure per tape instruction.
+fn forward(tape: &TermTape, boxes: &[Interval], iv: &mut Vec<Interval>) {
+    iv.clear();
+    iv.reserve(tape.len());
+    for (i, op) in tape.ops.iter().enumerate() {
+        let v = match *op {
+            TapeOp::Const(k) => tape.const_iv[k as usize],
+            TapeOp::Var(v) => boxes.get(v as usize).copied().unwrap_or(Interval::ENTIRE),
+            TapeOp::Neg => iv[i - 1].neg(),
+            TapeOp::Pow(n) => iv[i - 1].powi(n),
+            TapeOp::Sin => iv[i - 1].sin(),
+            TapeOp::Cos => iv[i - 1].cos(),
+            TapeOp::Exp => iv[i - 1].exp(),
+            TapeOp::Ln => iv[i - 1].ln(),
+            TapeOp::Sqrt => iv[i - 1].sqrt(),
+            TapeOp::Abs => iv[i - 1].abs(),
+            TapeOp::Add | TapeOp::Sub | TapeOp::Mul | TapeOp::Div => {
+                let r = i - 1;
+                let l = r - tape.size[r] as usize;
+                let (liv, riv) = (iv[l], iv[r]);
+                match *op {
+                    TapeOp::Add => liv.add(riv),
+                    TapeOp::Sub => liv.sub(riv),
+                    TapeOp::Mul => liv.mul(riv),
+                    TapeOp::Div => liv.div(riv),
+                    _ => unreachable!(),
+                }
+            }
+        };
+        iv.push(v);
     }
-    s.iv.len() - 1
 }
 
 /// Interval cube root with outward widening (safe for backward passes).
@@ -142,141 +136,147 @@ fn nth_root_outward(iv: Interval, n: i32) -> Interval {
     Interval::checked(widen_down(lo.min(hi)), widen_up(lo.max(hi)))
 }
 
-/// Backward propagation: narrows variable domains so the subtree can still
-/// produce a value in `target`. Returns `false` when a domain becomes
-/// empty (the constraint is infeasible in the box). `idx` addresses the
-/// node's forward interval in the arena; `changed` flips when a variable
-/// domain actually narrows.
+/// Backward propagation over the tape: narrows variable domains so every
+/// subterm can still produce a value in its target. Returns `false` when
+/// a domain (or a subterm's feasible range) becomes empty. Runs in
+/// reverse postorder, so each node's unique parent has written its target
+/// before it is visited; all child targets are functions of the forward
+/// intervals alone.
 fn backward(
-    e: &Expr,
-    idx: usize,
-    target: Interval,
+    tape: &TermTape,
+    root_target: Interval,
     boxes: &mut [Interval],
-    s: &ReviseScratch,
+    s: &mut ReviseScratch,
     changed: &mut bool,
 ) -> bool {
-    let target = target.intersect(s.iv[idx]);
-    if target.is_empty() {
-        return false;
-    }
-    match e {
-        Expr::Const(_) => true,
-        Expr::Var(v) => {
-            let narrowed = boxes[*v].intersect(target);
-            if narrowed.is_empty() {
-                return false;
-            }
-            if narrowed != boxes[*v] {
-                boxes[*v] = narrowed;
-                *changed = true;
-            }
-            true
+    let n = tape.len();
+    s.tgt.clear();
+    s.tgt.resize(n, Interval::ENTIRE);
+    s.tgt[n - 1] = root_target;
+    for idx in (0..n).rev() {
+        let target = s.tgt[idx].intersect(s.iv[idx]);
+        if target.is_empty() {
+            return false;
         }
-        Expr::Neg(a) => backward(a, idx - 1, target.neg(), boxes, s, changed),
-        Expr::Add(a, b) => {
-            let r = idx - 1;
-            let l = r - s.size[r] as usize;
-            let (ia, ib) = (s.iv[l], s.iv[r]);
-            backward(a, l, target.sub(ib), boxes, s, changed)
-                && backward(b, r, target.sub(ia), boxes, s, changed)
-        }
-        Expr::Sub(a, b) => {
-            let r = idx - 1;
-            let l = r - s.size[r] as usize;
-            let (ia, ib) = (s.iv[l], s.iv[r]);
-            backward(a, l, target.add(ib), boxes, s, changed)
-                && backward(b, r, ia.sub(target), boxes, s, changed)
-        }
-        Expr::Mul(a, b) => {
-            let r = idx - 1;
-            let l = r - s.size[r] as usize;
-            let (ia, ib) = (s.iv[l], s.iv[r]);
-            // a = target / b (conservative when b straddles zero).
-            let ta = if ib.contains(0.0) && target.contains(0.0) {
-                ia // no information
-            } else {
-                target.div(ib)
-            };
-            let tb = if ia.contains(0.0) && target.contains(0.0) {
-                ib
-            } else {
-                target.div(ia)
-            };
-            backward(a, l, ta, boxes, s, changed) && backward(b, r, tb, boxes, s, changed)
-        }
-        Expr::Div(a, b) => {
-            let r = idx - 1;
-            let l = r - s.size[r] as usize;
-            let (ia, ib) = (s.iv[l], s.iv[r]);
-            // a = target · b; b = a / target.
-            let ta = target.mul(ib);
-            let tb = if target.contains(0.0) {
-                ib // a/b ∋ 0 gives no bound on b
-            } else {
-                ia.div(target)
-            };
-            backward(a, l, ta, boxes, s, changed) && backward(b, r, tb, boxes, s, changed)
-        }
-        Expr::Pow(a, n) => {
-            let c = idx - 1;
-            let child_target = match *n {
-                0 => s.iv[c], // no information
-                1 => target,
-                2 => {
-                    let root = target.sqrt();
-                    if root.is_empty() {
-                        return false;
-                    }
-                    root.hull(root.neg())
+        match tape.ops[idx] {
+            TapeOp::Const(_) => {}
+            TapeOp::Var(v) => {
+                let v = v as usize;
+                let narrowed = boxes[v].intersect(target);
+                if narrowed.is_empty() {
+                    return false;
                 }
-                3 => cbrt_outward(target),
-                n if n > 3 && n % 2 == 1 => nth_root_outward(target, n),
-                n if n > 3 => {
-                    // Even power: xⁿ ≥ 0, root branches mirror around 0.
-                    let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
-                    if nonneg.is_empty() {
-                        return false;
-                    }
-                    let root = nth_root_outward(nonneg, n);
-                    root.hull(root.neg())
+                if narrowed != boxes[v] {
+                    boxes[v] = narrowed;
+                    *changed = true;
                 }
-                _ => s.iv[c], // negative powers: skip backward step (sound)
-            };
-            backward(a, c, child_target, boxes, s, changed)
-        }
-        Expr::Exp(a) => {
-            let child_target = target.ln();
-            if child_target.is_empty() {
-                // exp(x) can only be positive; a non-positive target is
-                // already ruled out by the initial intersection unless the
-                // target clipped to exactly {0⁻ boundary}; treat as empty.
-                return false;
             }
-            backward(a, idx - 1, child_target, boxes, s, changed)
-        }
-        Expr::Ln(a) => backward(a, idx - 1, target.exp(), boxes, s, changed),
-        Expr::Sqrt(a) => {
-            let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
-            if nonneg.is_empty() {
-                return false;
+            TapeOp::Neg => s.tgt[idx - 1] = target.neg(),
+            TapeOp::Add => {
+                let r = idx - 1;
+                let l = r - tape.size[r] as usize;
+                let (ia, ib) = (s.iv[l], s.iv[r]);
+                s.tgt[l] = target.sub(ib);
+                s.tgt[r] = target.sub(ia);
             }
-            backward(a, idx - 1, nonneg.powi(2), boxes, s, changed)
-        }
-        Expr::Abs(a) => {
-            let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
-            if nonneg.is_empty() {
-                return false;
+            TapeOp::Sub => {
+                let r = idx - 1;
+                let l = r - tape.size[r] as usize;
+                let (ia, ib) = (s.iv[l], s.iv[r]);
+                s.tgt[l] = target.add(ib);
+                s.tgt[r] = ia.sub(target);
             }
-            backward(a, idx - 1, nonneg.hull(nonneg.neg()), boxes, s, changed)
-        }
-        // Periodic functions: keep the forward check, skip backward
-        // narrowing (always sound) — recurse with the child's own interval
-        // so deeper nodes still get their consistency check.
-        Expr::Sin(a) | Expr::Cos(a) => {
-            let c = idx - 1;
-            backward(a, c, s.iv[c], boxes, s, changed)
+            TapeOp::Mul => {
+                let r = idx - 1;
+                let l = r - tape.size[r] as usize;
+                let (ia, ib) = (s.iv[l], s.iv[r]);
+                // a = target / b (conservative when b straddles zero).
+                s.tgt[l] = if ib.contains(0.0) && target.contains(0.0) {
+                    ia // no information
+                } else {
+                    target.div(ib)
+                };
+                s.tgt[r] = if ia.contains(0.0) && target.contains(0.0) {
+                    ib
+                } else {
+                    target.div(ia)
+                };
+            }
+            TapeOp::Div => {
+                let r = idx - 1;
+                let l = r - tape.size[r] as usize;
+                let (ia, ib) = (s.iv[l], s.iv[r]);
+                // a = target · b; b = a / target.
+                s.tgt[l] = target.mul(ib);
+                s.tgt[r] = if target.contains(0.0) {
+                    ib // a/b ∋ 0 gives no bound on b
+                } else {
+                    ia.div(target)
+                };
+            }
+            TapeOp::Pow(p) => {
+                let c = idx - 1;
+                s.tgt[c] = match p {
+                    0 => s.iv[c], // no information
+                    1 => target,
+                    2 => {
+                        let root = target.sqrt();
+                        if root.is_empty() {
+                            return false;
+                        }
+                        root.hull(root.neg())
+                    }
+                    3 => cbrt_outward(target),
+                    p if p > 3 && p % 2 == 1 => nth_root_outward(target, p),
+                    p if p > 3 => {
+                        // Even power: xⁿ ≥ 0, root branches mirror around 0.
+                        let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
+                        if nonneg.is_empty() {
+                            return false;
+                        }
+                        let root = nth_root_outward(nonneg, p);
+                        root.hull(root.neg())
+                    }
+                    _ => s.iv[c], // negative powers: skip backward step (sound)
+                };
+            }
+            TapeOp::Exp => {
+                let child_target = target.ln();
+                if child_target.is_empty() {
+                    // exp(x) can only be positive; a non-positive target is
+                    // already ruled out by the initial intersection unless
+                    // the target clipped to exactly {0⁻ boundary}; treat as
+                    // empty.
+                    return false;
+                }
+                s.tgt[idx - 1] = child_target;
+            }
+            TapeOp::Ln => s.tgt[idx - 1] = target.exp(),
+            TapeOp::Sqrt => {
+                let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
+                if nonneg.is_empty() {
+                    return false;
+                }
+                s.tgt[idx - 1] = nonneg.powi(2);
+            }
+            TapeOp::Abs => {
+                let nonneg = target.intersect(Interval::new(0.0, f64::INFINITY));
+                if nonneg.is_empty() {
+                    return false;
+                }
+                s.tgt[idx - 1] = nonneg.hull(nonneg.neg());
+            }
+            // Periodic functions: keep the forward check, skip backward
+            // narrowing (always sound) — the child keeps its own forward
+            // interval as target so deeper nodes still get their
+            // consistency check.
+            TapeOp::Sin | TapeOp::Cos => {
+                let c = idx - 1;
+                s.tgt[c] = s.iv[c];
+            }
         }
     }
+    true
 }
 
 /// Applies HC4-revise for a single constraint, narrowing `boxes` in place.
@@ -304,15 +304,14 @@ pub fn hc4_revise_scratch(
     boxes: &mut [Interval],
     scratch: &mut ReviseScratch,
 ) -> (Contraction, Interval) {
-    scratch.iv.clear();
-    scratch.size.clear();
-    let root = forward(&constraint.expr, boxes, scratch);
-    let lhs = scratch.iv[root];
+    let tape = constraint.tape();
+    forward(tape, boxes, &mut scratch.iv);
+    let lhs = scratch.iv[tape.len() - 1];
     if lhs.is_empty() {
         return (Contraction::Empty, lhs);
     }
     let mut changed = false;
-    if !backward(&constraint.expr, root, target, boxes, scratch, &mut changed) {
+    if !backward(tape, target, boxes, scratch, &mut changed) {
         return (Contraction::Empty, lhs);
     }
     let out = if changed {
@@ -372,6 +371,7 @@ pub fn propagate_counted(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::Expr;
     use absolver_linear::CmpOp;
     use absolver_num::Rational;
 
@@ -522,5 +522,18 @@ mod tests {
         let mut bx = vec![Interval::new(-100.0, -1.0)];
         propagate(&[c], &mut bx, 10);
         assert!(bx[0].contains(-3.0));
+    }
+
+    #[test]
+    fn shared_variable_narrows_from_both_occurrences() {
+        // |x| + x ≤ 1 over [0, 10]: the variable appears twice and both
+        // backward visits (through the abs branch and the bare occurrence)
+        // must intersect into the same live domain, giving x ≤ 1.
+        let e = x().abs() + x();
+        let c = NlConstraint::new(e, CmpOp::Le, q(1));
+        let mut bx = vec![Interval::new(0.0, 10.0)];
+        assert_ne!(hc4_revise(&c, &mut bx), Contraction::Empty);
+        assert!(bx[0].hi() <= 1.0 + 1e-9, "{}", bx[0]);
+        assert!(bx[0].contains(0.5), "½ satisfies |x|+x ≤ 1: {}", bx[0]);
     }
 }

@@ -7,8 +7,12 @@
 //!   "straightforward extensions" (`sin`, `cos`, `exp`, `ln`, `sqrt`,
 //!   `abs`, integer powers), with `f64` evaluation, sound interval
 //!   evaluation, symbolic differentiation, and affine-form extraction.
+//! * [`term`] — the global hash-consed term arena: structurally equal
+//!   terms intern to one dense `u32` [`TermId`], every term carries a
+//!   shared flat evaluation tape, and derivatives are memoised per
+//!   `(term, var)` — the id layer every cache below keys on.
 //! * [`NlConstraint`] — comparisons `expr ⋈ c` with point, tolerance and
-//!   box (three-valued) evaluation.
+//!   box (three-valued) evaluation, stored in interned form.
 //! * [`hc4`] — the HC4 forward–backward interval contractor, the cheap
 //!   first stage of the contractor [`cascade`] (HC4 → BC3 bound shaving
 //!   → interval [`newton`]), backed by a bounded contraction [`cache`].
@@ -46,6 +50,7 @@ mod expr;
 pub mod hc4;
 pub mod newton;
 mod solve;
+pub mod term;
 
 pub use cascade::{
     bc3_revise, cascade_contract, ActiveSet, Cascade, CascadeStats, ContractorConfig,
@@ -57,6 +62,7 @@ pub use solve::{
     branch_and_prune, branch_and_prune_stats, local_search, NlOptions, NlProblem, NlSearchStats,
     NlVerdict,
 };
+pub use term::{ArenaStats, ConstraintId, TermId, TermTape};
 
 #[cfg(test)]
 mod proptests {

@@ -22,19 +22,22 @@
 //! through the interval division involved, which vetoes the step.
 
 use crate::constraint::NlConstraint;
-use crate::expr::{Expr, VarId};
 use crate::hc4::Contraction;
+use crate::term::{self, TermTape};
 use absolver_linear::CmpOp;
 use absolver_num::Interval;
+use std::sync::Arc;
 
-/// An equality constraint compiled for Newton contraction: the LHS, a
-/// sound RHS enclosure, and the simplified symbolic partials for each
-/// mentioned variable.
+/// An equality constraint compiled for Newton contraction: the LHS tape,
+/// a sound RHS enclosure, and the simplified symbolic partials for each
+/// mentioned variable — all shared `Arc`s into the global term arena, so
+/// compiling the same constraint twice (across solves, sessions,
+/// requests) reuses one symbolic differentiation.
 #[derive(Debug, Clone)]
 pub struct NewtonConstraint {
-    expr: Expr,
+    tape: Arc<TermTape>,
     rhs: Interval,
-    derivs: Vec<(VarId, Expr)>,
+    derivs: Vec<(usize, Arc<TermTape>)>,
 }
 
 impl NewtonConstraint {
@@ -45,16 +48,16 @@ impl NewtonConstraint {
         if c.op != CmpOp::Eq {
             return None;
         }
-        let vars: Vec<VarId> = c.variables().into_iter().collect();
-        if vars.is_empty() {
+        if c.variables().is_empty() {
             return None;
         }
-        let derivs = vars
-            .into_iter()
-            .map(|v| (v, c.expr.derivative(v).simplify()))
+        let derivs = c
+            .variables()
+            .iter()
+            .map(|&v| (v, term::derivative_tape(c.term(), v).1))
             .collect();
         Some(NewtonConstraint {
-            expr: c.expr.clone(),
+            tape: Arc::clone(c.tape()),
             // For Eq the target interval *is* the RHS enclosure.
             rhs: c.target_interval(),
             derivs,
@@ -78,7 +81,7 @@ impl NewtonConstraint {
             let m = domain.midpoint();
             let saved = boxes[v];
             boxes[v] = Interval::point(m);
-            let fm = self.expr.eval_interval(boxes).sub(self.rhs);
+            let fm = self.tape.eval_interval(boxes).sub(self.rhs);
             boxes[v] = saved;
             if fm.is_empty() {
                 continue; // f undefined at the midpoint slice: no info
@@ -134,6 +137,7 @@ pub fn newton_revise(constraint: &NlConstraint, boxes: &mut [Interval]) -> Contr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::Expr;
     use absolver_num::Rational;
 
     fn x() -> Expr {

@@ -15,10 +15,12 @@
 //!
 //! [`NlProblem::solve`] runs them in sequence and merges the verdicts.
 
+use crate::cache::ContractionCache;
 use crate::cascade::{ActiveSet, Cascade, ContractorConfig};
 use crate::constraint::{IntervalVerdict, NlConstraint};
 use crate::hc4::Contraction;
 use absolver_num::Interval;
+use std::sync::{Arc, Mutex};
 
 /// Search-effort counters of one [`branch_and_prune_stats`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +37,12 @@ pub struct NlSearchStats {
     pub contraction_cache_hits: u64,
     /// Contraction-cache lookups that fell through to a revise.
     pub contraction_cache_misses: u64,
+    /// Solves that began with a non-empty persistent contraction cache —
+    /// every counted resume proves entries written by an *earlier* solve
+    /// (or an earlier service request, via a pooled session) were carried
+    /// into this one. Interned [`crate::term::ConstraintId`]s are what
+    /// make those stale-looking entries sound to replay verbatim.
+    pub contraction_cache_resumes: u64,
     /// Times the stagnation cutoff abandoned a box search early (see
     /// [`branch_and_prune_stats`]): the solver then leans on the local
     /// search and, failing that, the surrounding CDCL loop.
@@ -107,6 +115,13 @@ pub struct NlOptions {
     /// Memoize per-constraint HC4 fixpoints keyed on the quantized box
     /// projection (on by default; disable for ablation).
     pub contraction_cache: bool,
+    /// Optional cross-solve home for the contraction cache. When set (and
+    /// `contraction_cache` is on), the sequential search *takes* the cache
+    /// out of the handle, uses it, and puts it back at the end — sound
+    /// because entries are keyed on stable interned constraint ids, so a
+    /// persistent session resubmitting overlapping boxes keeps hitting
+    /// work done by earlier solves. Parallel workers keep private caches.
+    pub persistent_cache: Option<Arc<Mutex<Option<ContractionCache>>>>,
     /// Worker threads for the box search. `1` (the default) keeps the
     /// deterministic sequential depth-first exploration.
     pub nl_jobs: usize,
@@ -145,6 +160,7 @@ impl Default for NlOptions {
             deadline: None,
             contractors: ContractorConfig::default(),
             contraction_cache: true,
+            persistent_cache: None,
             nl_jobs: 1,
         }
     }
@@ -405,11 +421,25 @@ fn branch_and_prune_inner(
     if opts.nl_jobs > 1 {
         return parallel_branch_and_prune(problem, opts, stagnation_cut);
     }
-    let mut engine = Cascade::new(
+    // Resume from the persistent cache when the caller keeps one: ids are
+    // stable across solves, so old entries stay valid verbatim.
+    let cache = if opts.contraction_cache {
+        let resumed = opts
+            .persistent_cache
+            .as_ref()
+            .and_then(|h| h.lock().expect("cache handle").take());
+        if resumed.as_ref().is_some_and(|c| !c.is_empty()) {
+            stats.contraction_cache_resumes += 1;
+        }
+        Some(resumed.unwrap_or_default())
+    } else {
+        None
+    };
+    let mut engine = Cascade::with_cache(
         &problem.constraints,
         n,
         opts.contractors,
-        opts.contraction_cache,
+        cache,
         opts.min_width,
     );
     // Stack entries carry the split dimension that produced them (`None`
@@ -469,6 +499,11 @@ fn branch_and_prune_inner(
         }
     }
     stats.absorb_cascade(&engine.stats);
+    if let Some(handle) = &opts.persistent_cache {
+        if let Some(cache) = engine.take_cache() {
+            *handle.lock().expect("cache handle") = Some(cache);
+        }
+    }
     let verdict = early.unwrap_or(if inconclusive {
         NlVerdict::Unknown
     } else {
@@ -657,11 +692,17 @@ pub fn local_search(problem: &NlProblem, opts: &NlOptions) -> Option<Vec<f64>> {
         return problem.is_satisfied(&[], 0.0).then(Vec::new);
     }
     let mut rng = XorShift::new(opts.seed);
-    // Pre-compute simplified gradients of each constraint's LHS.
-    let grads: Vec<Vec<crate::expr::Expr>> = problem
+    // Fetch the simplified gradient tapes of each constraint's LHS — the
+    // arena memoises per `(term, var)`, so repeated solves over the same
+    // constraints skip the symbolic differentiation entirely.
+    let grads: Vec<Vec<Arc<crate::term::TermTape>>> = problem
         .constraints
         .iter()
-        .map(|c| (0..n).map(|v| c.expr.derivative(v).simplify()).collect())
+        .map(|c| {
+            (0..n)
+                .map(|v| crate::term::derivative_tape(c.term(), v).1)
+                .collect()
+        })
         .collect();
     let ranges: Vec<(f64, f64)> = problem
         .bounds
@@ -707,7 +748,7 @@ pub fn local_search(problem: &NlProblem, opts: &NlOptions) -> Option<Vec<f64>> {
                 if viol == 0.0 {
                     continue;
                 }
-                let lhs = c.expr.eval_f64(&x);
+                let lhs = c.lhs_f64(&x);
                 let rhs = c.rhs.to_f64();
                 // Direction of increasing violation w.r.t. lhs.
                 let sign = match c.op {

@@ -5,9 +5,9 @@
 //!
 //! Three layers, three different validity arguments:
 //!
-//! * **Problem cache** — keyed on the *canonical rendering* of the parsed
-//!   problem ([`absolver_core::parser::write`]), so two requests share an
-//!   entry only when they denote structurally identical problems (same
+//! * **Problem cache** — keyed on [`ProblemKey`]: the exact clause list
+//!   plus the [`DeclKey`] declarations, so two requests share an entry
+//!   only when they denote structurally identical problems (same
 //!   clauses, definitions, variables, and ranges — whitespace and comment
 //!   differences do not matter, literal order does). A cached verdict and
 //!   model are then simply the memoized answer. `Unknown` is never
@@ -15,7 +15,7 @@
 //! * **Session pool** — a warm [`Session`] is reusable for a request iff
 //!   the request's *declarations* (arithmetic variables with kinds and
 //!   ranges, plus every atom definition) are structurally identical to
-//!   the session's frame-0 state, which [`decl_key`] renders canonically.
+//!   the session's frame-0 state, which [`decl_key`] captures exactly.
 //!   Request clauses are asserted inside a pushed frame and popped
 //!   afterwards, so nothing request-specific leaks into the pooled state;
 //!   the session's retained lemmas and theory-verdict cache legitimately
@@ -23,43 +23,89 @@
 //!   the shared declarations.
 //! * **Lemma store** — lemmas harvested from an evicted session, keyed on
 //!   the same [`decl_key`]. Seeding them into a fresh session over an
-//!   *equal* key is sound for the same reason; the exact-string key (not
-//!   a hash) rules out collisions.
+//!   *equal* key is sound for the same reason; the keys are exact values
+//!   (not lossy hashes), so collisions are impossible.
+//!
+//! Both key types lean on the hash-consed term arena: a constraint is
+//! represented by its interned [`absolver_nonlinear::ConstraintId`],
+//! whose `u32` *is* the constraint up to structural equality. Building a
+//! key therefore costs O(1) per constraint — no expression rendering —
+//! and comparing keys compares ids, not trees. (Ids are process-local,
+//! which is exactly the scope of these in-process caches.)
 
-use absolver_core::{AbProblem, Outcome, Session};
-use absolver_logic::Lit;
+use absolver_core::{AbProblem, Outcome, Session, VarKind};
+use absolver_logic::{Clause, Lit};
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::fmt::Write as _;
 
-/// Canonical rendering of a problem's *declarations* (arithmetic
+/// Exact structural key of a problem's *declarations* (arithmetic
 /// variables with kind and range, definitions sorted by Boolean
-/// variable): the exact-equality key for warm-session reuse and the
-/// lemma store.
-pub fn decl_key(problem: &AbProblem) -> String {
-    let mut s = String::new();
-    for v in problem.arith_vars() {
-        let _ = write!(s, "v {} {} {:?};", v.name, v.kind, v.range);
-    }
-    let mut defs: Vec<_> = problem.defs().collect();
-    defs.sort_by_key(|(var, _)| var.index());
-    for (var, def) in defs {
-        let _ = write!(s, "d {}", var.index());
-        for c in &def.constraints {
-            let _ = write!(s, " {c}");
-        }
-        s.push(';');
-    }
-    s
+/// variable): the equality key for warm-session reuse and the lemma
+/// store. Ranges are compared by bit pattern; constraints by interned
+/// constraint id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeclKey {
+    /// `(name, kind, range-lo bits, range-hi bits)` per arithmetic var.
+    vars: Vec<(String, VarKind, u64, u64)>,
+    /// `(boolean var index, interned constraint ids)` per definition.
+    defs: Vec<(usize, Vec<u32>)>,
 }
 
-/// Bounded map from canonical problem text to the cached [`Outcome`].
-/// Eviction is FIFO by insertion — the cache is a memo table, not a
-/// working set, and FIFO keeps it allocation-cheap and predictable.
+/// Builds the [`DeclKey`] of a problem.
+pub fn decl_key(problem: &AbProblem) -> DeclKey {
+    let vars = problem
+        .arith_vars()
+        .iter()
+        .map(|v| {
+            (
+                v.name.clone(),
+                v.kind,
+                v.range.lo().to_bits(),
+                v.range.hi().to_bits(),
+            )
+        })
+        .collect();
+    let mut defs: Vec<_> = problem.defs().collect();
+    defs.sort_by_key(|(var, _)| var.index());
+    let defs = defs
+        .into_iter()
+        .map(|(var, def)| {
+            (
+                var.index(),
+                def.constraints.iter().map(|c| c.cid().raw()).collect(),
+            )
+        })
+        .collect();
+    DeclKey { vars, defs }
+}
+
+/// Exact structural key of a whole problem: the CNF skeleton (variable
+/// count and clause list, literal order preserved) plus the [`DeclKey`]
+/// declarations. This is the problem-cache key: equal keys denote
+/// identical problems, so a cached verdict transfers soundly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProblemKey {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    decls: DeclKey,
+}
+
+/// Builds the [`ProblemKey`] of a problem.
+pub fn problem_key(problem: &AbProblem) -> ProblemKey {
+    ProblemKey {
+        num_vars: problem.cnf().num_vars(),
+        clauses: problem.cnf().clauses().to_vec(),
+        decls: decl_key(problem),
+    }
+}
+
+/// Bounded map from [`ProblemKey`] to the cached [`Outcome`]. Eviction
+/// is FIFO by insertion — the cache is a memo table, not a working set,
+/// and FIFO keeps it allocation-cheap and predictable.
 #[derive(Debug)]
 pub struct VerdictCache {
-    map: HashMap<String, Outcome>,
-    order: VecDeque<String>,
+    map: HashMap<ProblemKey, Outcome>,
+    order: VecDeque<ProblemKey>,
     capacity: usize,
 }
 
@@ -73,14 +119,14 @@ impl VerdictCache {
         }
     }
 
-    /// Looks up the verdict for a canonical problem rendering.
-    pub fn get(&self, key: &str) -> Option<&Outcome> {
+    /// Looks up the verdict for a problem key.
+    pub fn get(&self, key: &ProblemKey) -> Option<&Outcome> {
         self.map.get(key)
     }
 
     /// Inserts a verdict. `Unknown` outcomes are ignored — re-solving
     /// with a fresh budget may well decide them.
-    pub fn insert(&mut self, key: String, outcome: Outcome) {
+    pub fn insert(&mut self, key: ProblemKey, outcome: Outcome) {
         if matches!(outcome, Outcome::Unknown) || self.map.contains_key(&key) {
             return;
         }
@@ -114,8 +160,8 @@ const MAX_LEMMAS_PER_KEY: usize = 256;
 /// keyed on [`decl_key`]. Bounded in keys (FIFO) and in lemmas per key.
 #[derive(Debug)]
 pub struct LemmaStore {
-    map: HashMap<String, Vec<Vec<Lit>>>,
-    order: VecDeque<String>,
+    map: HashMap<DeclKey, Vec<Vec<Lit>>>,
+    order: VecDeque<DeclKey>,
     capacity: usize,
 }
 
@@ -131,13 +177,13 @@ impl LemmaStore {
     }
 
     /// The stored lemmas for a declaration key, if any.
-    pub fn get(&self, key: &str) -> Option<&[Vec<Lit>]> {
+    pub fn get(&self, key: &DeclKey) -> Option<&[Vec<Lit>]> {
         self.map.get(key).map(Vec::as_slice)
     }
 
     /// Merges `lemmas` into the entry for `key`, dropping duplicates and
     /// truncating at the per-key cap.
-    pub fn absorb(&mut self, key: &str, lemmas: Vec<Vec<Lit>>) {
+    pub fn absorb(&mut self, key: &DeclKey, lemmas: Vec<Vec<Lit>>) {
         if lemmas.is_empty() {
             return;
         }
@@ -150,8 +196,8 @@ impl LemmaStore {
                     None => break,
                 }
             }
-            self.order.push_back(key.to_string());
-            self.map.insert(key.to_string(), Vec::new());
+            self.order.push_back(key.clone());
+            self.map.insert(key.clone(), Vec::new());
         }
         let entry = self.map.get_mut(key).expect("inserted above");
         for lemma in lemmas {
@@ -178,7 +224,7 @@ impl LemmaStore {
 /// A pooled warm session and the declaration key it serves.
 #[derive(Debug)]
 struct PooledSession {
-    key: String,
+    key: DeclKey,
     session: Session,
     /// Monotone use stamp for LRU eviction.
     stamp: u64,
@@ -208,8 +254,8 @@ impl SessionPool {
     /// Takes the warm session for `key` out of the pool, if present.
     /// (Ownership moves to the worker; a panicking solve simply never
     /// returns it, which is exactly the containment we want.)
-    pub fn take(&mut self, key: &str) -> Option<Session> {
-        let at = self.slots.iter().position(|p| p.key == key)?;
+    pub fn take(&mut self, key: &DeclKey) -> Option<Session> {
+        let at = self.slots.iter().position(|p| &p.key == key)?;
         Some(self.slots.swap_remove(at).session)
     }
 
@@ -217,7 +263,7 @@ impl SessionPool {
     /// the least-recently-used session is evicted and returned as
     /// `(key, session)` for lemma harvesting. A session for the same key
     /// replaces the old one (the newer session's caches are warmer).
-    pub fn put(&mut self, key: String, session: Session) -> Option<(String, Session)> {
+    pub fn put(&mut self, key: DeclKey, session: Session) -> Option<(DeclKey, Session)> {
         self.clock += 1;
         let stamp = self.clock;
         let mut evicted = None;
@@ -278,39 +324,66 @@ mod tests {
         assert_ne!(decl_key(&a), decl_key(&c));
     }
 
+    /// Three problems with pairwise distinct declarations, for keying.
+    fn keyed(n: u32) -> AbProblem {
+        problem(&format!(
+            "p cnf 2 1\n1 0\nc def real 1 x >= 0\nc range x 0 {n}\n"
+        ))
+    }
+
+    #[test]
+    fn problem_key_distinguishes_clause_order_and_literals() {
+        let a = problem("p cnf 2 2\n1 0\n-2 0\nc def real 1 x >= 0\n");
+        let b = problem("p cnf 2 2\n-2 0\n1 0\nc def real 1 x >= 0\n");
+        let c = problem("p cnf 2 2\n1 0\n-2 0\nc def real 1 x >= 0\n");
+        assert_ne!(problem_key(&a), problem_key(&b));
+        assert_eq!(problem_key(&a), problem_key(&c));
+    }
+
     #[test]
     fn verdict_cache_never_stores_unknown_and_evicts_fifo() {
+        let (a, b, c) = (
+            problem_key(&keyed(1)),
+            problem_key(&keyed(2)),
+            problem_key(&keyed(3)),
+        );
         let mut cache = VerdictCache::new(2);
-        cache.insert("a".into(), Outcome::Unknown);
+        cache.insert(a.clone(), Outcome::Unknown);
         assert!(cache.is_empty());
-        cache.insert("a".into(), Outcome::Unsat);
-        cache.insert("b".into(), Outcome::Unsat);
-        cache.insert("c".into(), Outcome::Unsat);
+        cache.insert(a.clone(), Outcome::Unsat);
+        cache.insert(b, Outcome::Unsat);
+        cache.insert(c.clone(), Outcome::Unsat);
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("a").is_none());
-        assert!(cache.get("c").is_some());
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&c).is_some());
     }
 
     #[test]
     fn lemma_store_dedupes_and_caps() {
+        let k = decl_key(&keyed(1));
         let mut store = LemmaStore::new(4);
         let lemma = vec![absolver_logic::Lit::from_dimacs(1)];
-        store.absorb("k", vec![lemma.clone(), lemma.clone()]);
-        assert_eq!(store.get("k").unwrap().len(), 1);
-        store.absorb("k", vec![lemma]);
-        assert_eq!(store.get("k").unwrap().len(), 1);
+        store.absorb(&k, vec![lemma.clone(), lemma.clone()]);
+        assert_eq!(store.get(&k).unwrap().len(), 1);
+        store.absorb(&k, vec![lemma]);
+        assert_eq!(store.get(&k).unwrap().len(), 1);
     }
 
     #[test]
     fn session_pool_lru_eviction_hands_back_the_session() {
+        let (a, b, c) = (
+            decl_key(&keyed(1)),
+            decl_key(&keyed(2)),
+            decl_key(&keyed(3)),
+        );
         let mut pool = SessionPool::new(2);
-        assert!(pool.put("a".into(), Session::new()).is_none());
-        assert!(pool.put("b".into(), Session::new()).is_none());
-        // Touch "a" so "b" is the LRU entry.
-        let a = pool.take("a").expect("pooled");
-        assert!(pool.put("a".into(), a).is_none());
-        let evicted = pool.put("c".into(), Session::new()).expect("evicts LRU");
-        assert_eq!(evicted.0, "b");
+        assert!(pool.put(a.clone(), Session::new()).is_none());
+        assert!(pool.put(b.clone(), Session::new()).is_none());
+        // Touch `a` so `b` is the LRU entry.
+        let warm = pool.take(&a).expect("pooled");
+        assert!(pool.put(a, warm).is_none());
+        let evicted = pool.put(c, Session::new()).expect("evicts LRU");
+        assert_eq!(evicted.0, b);
         assert_eq!(pool.len(), 2);
     }
 }

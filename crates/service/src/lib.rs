@@ -38,7 +38,9 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::{decl_key, LemmaStore, SessionPool, VerdictCache};
+pub use cache::{
+    decl_key, problem_key, DeclKey, LemmaStore, ProblemKey, SessionPool, VerdictCache,
+};
 pub use protocol::{
     CacheTier, ClientFrame, ErrCode, Priority, ProtoError, RequestDecoder, Response, SolveFrame,
     MAX_BODY_BYTES,

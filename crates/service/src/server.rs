@@ -7,10 +7,10 @@
 //! an `aborts` counter tick (and the possibly-poisoned session is simply
 //! not returned to the pool).
 
-use crate::cache::{decl_key, LemmaStore, SessionPool, VerdictCache};
+use crate::cache::{decl_key, problem_key, LemmaStore, SessionPool, VerdictCache};
 use crate::protocol::{CacheTier, ErrCode, Response, SolveFrame};
 use crate::queue::JobQueue;
-use absolver_core::{parser, AbProblem, Outcome, Session, SolveError};
+use absolver_core::{AbProblem, Outcome, Session, SolveError};
 use absolver_num::Interval;
 use absolver_trace::{saturating_micros, JsonObject, NullSink, TraceEvent, TraceSink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -83,6 +83,17 @@ pub struct ServerStats {
     pub session_misses: AtomicU64,
     /// Lemmas seeded into fresh sessions from the store.
     pub lemmas_seeded: AtomicU64,
+    /// Nonlinear contraction-cache hits summed over answered solves.
+    pub contraction_hits: AtomicU64,
+    /// Contraction-cache resumes observed while answering requests served
+    /// from the warm-session pool. A pooled session's persistent cache
+    /// holds entries written by *earlier* requests, so a nonzero count
+    /// proves contraction work was shared across requests — the payoff of
+    /// keying the cache on stable interned constraint ids.
+    pub contraction_resumes: AtomicU64,
+    /// Term-intern requests answered by the global arena (structural
+    /// duplicates collapsed to an id copy) summed over answered solves.
+    pub term_dedup_hits: AtomicU64,
     /// Total queue-wait time across answered requests.
     pub wait_us_total: AtomicU64,
     /// Total solve time across answered requests.
@@ -127,6 +138,9 @@ impl ServerStats {
             .field_u64("session_hits", get(&self.session_hits))
             .field_u64("session_misses", get(&self.session_misses))
             .field_u64("lemmas_seeded", get(&self.lemmas_seeded))
+            .field_u64("contraction_hits", get(&self.contraction_hits))
+            .field_u64("contraction_resumes", get(&self.contraction_resumes))
+            .field_u64("term_dedup_hits", get(&self.term_dedup_hits))
             .field_u64("wait_us_total", get(&self.wait_us_total))
             .field_u64("solve_us_total", get(&self.solve_us_total))
             .field_u64("ewma_solve_us", get(&self.ewma_solve_us))
@@ -441,6 +455,10 @@ fn respond_failed(shared: &Shared, job: &Job, code: ErrCode, message: &str) {
 /// timing fields left at zero (the worker loop stamps them).
 fn handle_request(shared: &Shared, job: &Job) -> Response {
     let stats = &shared.stats;
+    // Term-intern window for the whole request: parsing is where repeat
+    // requests re-intern the family's terms, so the dedup delta below
+    // must open before the parse, not at the solve.
+    let term0 = absolver_nonlinear::term::local_counters();
     let problem: AbProblem = match job.text.parse() {
         Ok(p) => p,
         Err(e) => {
@@ -468,8 +486,10 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
         };
     }
 
-    // Layer 1: structurally identical problem already answered.
-    let canonical = parser::write(&problem);
+    // Layer 1: structurally identical problem already answered. The key
+    // is built from interned constraint ids — O(1) per constraint, no
+    // expression rendering.
+    let canonical = problem_key(&problem);
     if let Some(outcome) = lock_caches(shared).problems.get(&canonical).cloned() {
         stats.bump(&stats.problem_hits);
         trace(shared, || {
@@ -537,6 +557,24 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
     let response = match &result {
         Ok(outcome) => {
             let check_stats = session.check_stats();
+            stats
+                .contraction_hits
+                .fetch_add(check_stats.contraction_cache_hits, Ordering::Relaxed);
+            // Resumes are only attributed to pool-warm requests: their
+            // session's persistent cache holds entries written by earlier
+            // requests, so every resume there replays cross-request state.
+            if tier == CacheTier::Session {
+                stats
+                    .contraction_resumes
+                    .fetch_add(check_stats.contraction_cache_resumes, Ordering::Relaxed);
+            }
+            // Whole-request dedup delta (parse + solve on this worker
+            // thread); the per-check counter inside `check_stats` covers
+            // only the solve sub-window, so it is not added separately.
+            let (_, dedup1) = absolver_nonlinear::term::local_counters();
+            stats
+                .term_dedup_hits
+                .fetch_add(dedup1.saturating_sub(term0.1), Ordering::Relaxed);
             if check_stats.cancelled {
                 stats.bump(&stats.cancelled);
                 Response::Err {
