@@ -5,8 +5,11 @@
 //! result is a [`Report`] renderable in human or JSON form. See the
 //! crate docs for the code table.
 
-use crate::diag::{Code, Diagnostic, Report};
-use absolver_core::{parse_spanned, AbProblem, SourceMap, Span};
+use crate::dataflow::{dataflow, Dataflow, DataflowVerdict};
+use crate::diag::{Code, Diagnostic, Report, StructureSummary};
+use crate::structure::{cross_def_duplicates, prune_conjunction, subsumed_clauses};
+use absolver_core::{parse_spanned, AbProblem, Partition, SourceMap, Span};
+use absolver_logic::Lit;
 use absolver_nonlinear::IntervalVerdict;
 use absolver_num::Interval;
 use std::collections::HashMap;
@@ -34,6 +37,9 @@ pub fn check_problem(problem: &AbProblem, map: &SourceMap) -> Report {
     check_declared_vars(problem, map, &mut report);
     check_clauses(problem, map, &mut report);
     check_static_atoms(problem, map, &mut report);
+    let subsumed = check_subsumption(problem, map, &mut report);
+    let df = check_dataflow(problem, map, &mut report);
+    report.structure = Some(structure_summary(problem, subsumed, &df));
     report.sort();
     report
 }
@@ -71,10 +77,13 @@ fn check_defs(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
     };
 
     // AB002: repeated constraint within one definition's conjunction.
+    // Hash-consing makes this an id comparison — no O(n²) re-rendering.
     for (var, def) in problem.defs() {
-        let rendered: Vec<String> = def.constraints.iter().map(|c| pretty(problem, c)).collect();
-        for j in 1..rendered.len() {
-            if rendered[..j].contains(&rendered[j]) {
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        for (j, c) in def.constraints.iter().enumerate() {
+            if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(c.cid().raw()) {
+                slot.insert(j);
+            } else {
                 let v = var.index() as u32;
                 report.push(Diagnostic::new(
                     Code::AB002,
@@ -82,7 +91,7 @@ fn check_defs(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
                     format!(
                         "definition of variable {} repeats the constraint `{}`",
                         v + 1,
-                        rendered[j]
+                        pretty(problem, c)
                     ),
                 ));
             }
@@ -111,11 +120,13 @@ fn check_defs(problem: &AbProblem, map: &SourceMap, report: &mut Report) {
 
     // AB005: two Boolean variables carrying identical conjunctions. The
     // later one shadows the earlier — almost always a generator slip.
-    let mut canon: HashMap<Vec<String>, u32> = HashMap::new();
+    // Keyed on sorted interned constraint ids (structural equality is id
+    // equality since the arena).
+    let mut canon: HashMap<Vec<u32>, u32> = HashMap::new();
     for (var, def) in problem.defs() {
         let v = var.index() as u32;
-        let mut key: Vec<String> = def.constraints.iter().map(|c| c.to_string()).collect();
-        key.sort();
+        let mut key: Vec<u32> = def.constraints.iter().map(|c| c.cid().raw()).collect();
+        key.sort_unstable();
         match canon.get(&key) {
             Some(&earlier) => {
                 report.push(Diagnostic::new(
@@ -313,6 +324,184 @@ fn check_static_atoms(problem: &AbProblem, map: &SourceMap, report: &mut Report)
     }
 }
 
+/// AB013 (constraint repeated across definitions), AB014 (dominated
+/// conjunct), AB015 (contradictory conjuncts), AB016 (subsumed clause).
+/// Returns the number of constraints/clauses a subsumption-aware
+/// preprocessor would drop, for the structure block.
+fn check_subsumption(problem: &AbProblem, map: &SourceMap, report: &mut Report) -> usize {
+    let site_of = |var: u32, constraint: usize| {
+        map.def_sites
+            .iter()
+            .find(|s| s.var == var && s.constraint == constraint)
+            .map(|s| s.span)
+            .unwrap_or(Span::new(1, 1))
+    };
+    let mut subsumed = 0usize;
+
+    // AB013: the same interned constraint attached to two different
+    // variables. Not redundant (both atoms genuinely need it) but almost
+    // always a generator slip; wholly identical definitions are AB005.
+    for d in cross_def_duplicates(problem) {
+        let constraint = problem
+            .defs()
+            .find(|(var, _)| var.index() as u32 == d.var)
+            .map(|(_, def)| &def.constraints[d.constraint])
+            .expect("cross-def duplicate indexes a real definition");
+        report.push(Diagnostic::new(
+            Code::AB013,
+            site_of(d.var, d.constraint),
+            format!(
+                "definition of variable {} repeats the constraint `{}` already \
+                 attached to variable {}",
+                d.var + 1,
+                pretty(problem, constraint),
+                d.earlier_var + 1
+            ),
+        ));
+    }
+
+    // AB014/AB015: affine dominance inside one definition's conjunction.
+    for (var, def) in problem.defs() {
+        let v = var.index() as u32;
+        let pruning = prune_conjunction(&def.constraints);
+        subsumed += pruning.dropped();
+        for &(dominated, dominating) in &pruning.dominated {
+            report.push(Diagnostic::new(
+                Code::AB014,
+                site_of(v, dominated),
+                format!(
+                    "constraint `{}` of variable {} is redundant: `{}` dominates it",
+                    pretty(problem, &def.constraints[dominated]),
+                    v + 1,
+                    pretty(problem, &def.constraints[dominating])
+                ),
+            ));
+        }
+        if let Some((a, b)) = pruning.contradiction {
+            report.push(Diagnostic::new(
+                Code::AB015,
+                site_of(v, b),
+                format!(
+                    "constraints `{}` and `{}` of variable {} contradict each \
+                     other (the atom can never hold)",
+                    pretty(problem, &def.constraints[a]),
+                    pretty(problem, &def.constraints[b]),
+                    v + 1
+                ),
+            ));
+        }
+    }
+
+    // AB016: clause subsumed by a strictly shorter clause. Equal clauses
+    // are AB009's business; tautologies are skipped (AB006).
+    let span_of = |i: usize| map.clause_spans.get(i).copied().unwrap_or(Span::new(1, 1));
+    let entries: Vec<(usize, Vec<Lit>)> = problem
+        .cnf()
+        .clauses()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty() && !c.is_tautology())
+        .map(|(i, c)| {
+            let mut lits = c.lits().to_vec();
+            lits.sort_by_key(|l| l.code());
+            lits.dedup();
+            (i, lits)
+        })
+        .collect();
+    for (sub, by) in subsumed_clauses(&entries) {
+        subsumed += 1;
+        report.push(Diagnostic::new(
+            Code::AB016,
+            span_of(sub),
+            format!("clause {} is subsumed by clause {}", sub + 1, by + 1),
+        ));
+    }
+    subsumed
+}
+
+/// AB017 (statically unsatisfiable by the interval-dataflow fixpoint or
+/// by Boolean unit propagation), AB018 (derived hull misses a declared
+/// range). Returns the dataflow result for the structure block.
+fn check_dataflow(problem: &AbProblem, map: &SourceMap, report: &mut Report) -> Dataflow {
+    let df = dataflow(problem, 16);
+    match &df.verdict {
+        DataflowVerdict::Converged => {
+            // AB018: every model's value of a variable lies outside the
+            // box the nonlinear engine will search. Declared ranges do
+            // not bind the other engines, so this is suspicious input,
+            // not a refutation.
+            let mut range_span: HashMap<usize, Span> = HashMap::new();
+            for site in &map.range_sites {
+                range_span.insert(site.var, site.span);
+            }
+            for (v, var) in problem.arith_vars().iter().enumerate() {
+                if var.range == Interval::ENTIRE || var.range.is_empty() {
+                    continue; // nothing declared, or AB004's business
+                }
+                let derived = df.derived[v];
+                if !derived.is_empty() && derived.intersect(var.range).is_empty() {
+                    report.push(Diagnostic::new(
+                        Code::AB018,
+                        range_span.get(&v).copied().unwrap_or(Span::new(1, 1)),
+                        format!(
+                            "the declared range of `{}` misses every derivable \
+                             value (derived {} vs declared {})",
+                            var.name, derived, var.range
+                        ),
+                    ));
+                }
+            }
+        }
+        DataflowVerdict::BoolConflict => {
+            // Complementary *unit* pairs and empty clauses already carry
+            // an AB007; only deeper propagation conflicts are news.
+            if !report.diagnostics.iter().any(|d| d.code == Code::AB007) {
+                report.push(Diagnostic::new(
+                    Code::AB017,
+                    Span::new(1, 1),
+                    "Boolean unit propagation derives a contradiction \
+                     (the formula is unsatisfiable)",
+                ));
+            }
+        }
+        DataflowVerdict::EmptyDomain(ci) => {
+            report.push(Diagnostic::new(
+                Code::AB017,
+                Span::new(1, 1),
+                format!(
+                    "constraints forced in every model empty an arithmetic \
+                     domain while revising `{}`: the problem is statically \
+                     unsatisfiable",
+                    pretty(problem, &df.asserted[*ci])
+                ),
+            ));
+        }
+    }
+    df
+}
+
+/// Builds the report's structure block: incidence-graph components,
+/// subsumption count, and the dataflow-derived ranges.
+fn structure_summary(problem: &AbProblem, subsumed: usize, df: &Dataflow) -> StructureSummary {
+    let partition = Partition::of(problem);
+    let derived_ranges = match df.verdict {
+        DataflowVerdict::Converged => problem
+            .arith_vars()
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| df.derived[v] != Interval::ENTIRE && !df.derived[v].is_empty())
+            .map(|(v, var)| (var.name.clone(), df.derived[v].to_string()))
+            .collect(),
+        _ => Vec::new(),
+    };
+    StructureSummary {
+        components: partition.len(),
+        component_sizes: partition.sizes(),
+        subsumed,
+        derived_ranges,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,7 +593,11 @@ mod tests {
 
     #[test]
     fn undeclared_clause_variable_is_ab008() {
-        assert_eq!(codes("p cnf 1 2\n1 0\n1 2 0\n"), vec![Code::AB008]);
+        // The unit `1` also subsumes the clause `1 2` (AB016).
+        assert_eq!(
+            codes("p cnf 1 2\n1 0\n1 2 0\n"),
+            vec![Code::AB008, Code::AB016]
+        );
     }
 
     #[test]
@@ -422,8 +615,10 @@ mod tests {
     #[test]
     fn range_emptied_atom_is_ab011() {
         // Within x ∈ [0, 1], x ≥ 5 can never hold.
+        // The forced atom also makes the dataflow hull `[5, ∞)` miss the
+        // declared range entirely (AB018).
         let text = "p cnf 1 1\n1 0\nc def real 1 x >= 5\nc range x 0 1\n";
-        assert_eq!(codes(text), vec![Code::AB011]);
+        assert_eq!(codes(text), vec![Code::AB011, Code::AB018]);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Interval dataflow: an abstract-interpretation fixpoint over the
+//! arithmetic domains, with provenance.
+//!
+//! The analysis mirrors the soundness discipline of the simplifier's
+//! range-tightening pass ([`crate::Simplifier`]): only constraints that
+//! hold in *every* model may narrow a domain, and narrowing starts from
+//! the **entire** real line, never from the declared `range` box —
+//! declared ranges only seed the nonlinear engine's search and do not
+//! bind the other engines. The forced-constraint set is computed by a
+//! read-only Boolean unit propagation of the CNF skeleton: a unit-forced
+//! `tt` atom asserts all its conjuncts, a unit-forced `ff` atom with a
+//! single-constraint definition asserts the (single-constraint) negation.
+//!
+//! Each [`hc4_revise`] call that narrows a variable appends a
+//! [`ProvenanceStep`], so every derived bound carries the chain of
+//! constraints that produced it. An emptied domain is a rigorous
+//! refutation — the problem is statically unsatisfiable before the
+//! solver runs (surfaced as AB017 by the linter and as an immediate
+//! `Unsat` by the preprocessor path).
+
+use absolver_core::AbProblem;
+use absolver_logic::Lit;
+use absolver_nonlinear::hc4::{hc4_revise, Contraction};
+use absolver_nonlinear::NlConstraint;
+use absolver_num::Interval;
+
+/// One narrowing step of the fixpoint: revising `constraint` shrank
+/// variable `var` from `before` to `after`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceStep {
+    /// Index into [`Dataflow::asserted`] of the revised constraint.
+    pub constraint: usize,
+    /// The narrowed arithmetic variable.
+    pub var: usize,
+    /// The variable's domain before the revision.
+    pub before: Interval,
+    /// The domain after (empty when the revision refuted the problem).
+    pub after: Interval,
+}
+
+/// How the fixpoint ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowVerdict {
+    /// The fixpoint converged (or hit the round bound) with every domain
+    /// non-empty: no static refutation.
+    Converged,
+    /// Boolean unit propagation alone derived a conflict (an empty
+    /// clause, or complementary forced literals): no model exists.
+    BoolConflict,
+    /// Revising the constraint at this index of [`Dataflow::asserted`]
+    /// emptied a domain: no real point satisfies the forced conjunction,
+    /// so the problem is statically unsatisfiable.
+    EmptyDomain(usize),
+}
+
+/// Result of the interval-dataflow analysis of one problem.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// How the fixpoint ended.
+    pub verdict: DataflowVerdict,
+    /// The derived hull per arithmetic variable (entire when nothing
+    /// narrowed it). Meaningful only for a [`DataflowVerdict::Converged`]
+    /// run — a refuted run stops mid-sweep.
+    pub derived: Vec<Interval>,
+    /// The constraints that hold in every model (the narrowing set).
+    pub asserted: Vec<NlConstraint>,
+    /// Every narrowing step, in application order. The chain for one
+    /// variable is the subsequence with that `var`.
+    pub provenance: Vec<ProvenanceStep>,
+    /// Literals forced by the Boolean unit-propagation prepass.
+    pub forced: Vec<Lit>,
+    /// Fixpoint sweeps actually run.
+    pub rounds: u64,
+}
+
+impl Dataflow {
+    /// The provenance chain that produced variable `var`'s derived
+    /// bound, oldest step first.
+    pub fn chain_for(&self, var: usize) -> Vec<&ProvenanceStep> {
+        self.provenance.iter().filter(|s| s.var == var).collect()
+    }
+}
+
+/// Read-only Boolean unit propagation over the CNF skeleton. Returns the
+/// forced value per variable, or `None` on conflict.
+fn unit_fixpoint(problem: &AbProblem) -> Option<Vec<Option<bool>>> {
+    let mut fixed: Vec<Option<bool>> = vec![None; problem.cnf().num_vars()];
+    loop {
+        let mut changed = false;
+        for clause in problem.cnf().clauses() {
+            let mut unassigned: Option<Lit> = None;
+            let mut live = 0usize;
+            let mut satisfied = false;
+            for &lit in clause.lits() {
+                match fixed[lit.var().index()] {
+                    Some(v) if v == lit.is_positive() => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        live += 1;
+                        unassigned = Some(lit);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match (live, unassigned) {
+                (0, _) => return None, // falsified clause
+                (1, Some(lit)) => {
+                    fixed[lit.var().index()] = Some(lit.is_positive());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return Some(fixed);
+        }
+    }
+}
+
+/// Runs the interval-dataflow fixpoint over `problem`, bounded by
+/// `max_rounds` sweeps of the forced-constraint set.
+pub fn dataflow(problem: &AbProblem, max_rounds: usize) -> Dataflow {
+    let num_arith = problem.arith_vars().len();
+    let Some(fixed) = unit_fixpoint(problem) else {
+        return Dataflow {
+            verdict: DataflowVerdict::BoolConflict,
+            derived: vec![Interval::ENTIRE; num_arith],
+            asserted: Vec::new(),
+            provenance: Vec::new(),
+            forced: Vec::new(),
+            rounds: 0,
+        };
+    };
+    let forced: Vec<Lit> = fixed
+        .iter()
+        .enumerate()
+        .filter_map(|(v, value)| {
+            value.map(|value| {
+                let var = absolver_logic::Var::new(v as u32);
+                if value {
+                    var.positive()
+                } else {
+                    var.negative()
+                }
+            })
+        })
+        .collect();
+
+    let mut asserted: Vec<NlConstraint> = Vec::new();
+    for (var, def) in problem.defs() {
+        match fixed[var.index()] {
+            Some(true) => asserted.extend(def.constraints.iter().cloned()),
+            Some(false) if def.constraints.len() == 1 => {
+                // ¬(single constraint) is assertable only when the
+                // negation is again a single constraint (`=` splits into
+                // a disjunction HC4 cannot assert).
+                if let [only] = def.constraints[0].negate().as_slice() {
+                    asserted.push(only.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut hull = vec![Interval::ENTIRE; num_arith];
+    let mut provenance: Vec<ProvenanceStep> = Vec::new();
+    let mut rounds = 0u64;
+    let mut verdict = DataflowVerdict::Converged;
+    'sweeps: for _ in 0..max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        for (ci, c) in asserted.iter().enumerate() {
+            let before: Vec<Interval> = c.variables().iter().map(|&v| hull[v]).collect();
+            let contraction = hc4_revise(c, &mut hull);
+            if contraction != Contraction::Unchanged {
+                for (&v, &b) in c.variables().iter().zip(&before) {
+                    if hull[v] != b {
+                        provenance.push(ProvenanceStep {
+                            constraint: ci,
+                            var: v,
+                            before: b,
+                            after: hull[v],
+                        });
+                    }
+                }
+            }
+            match contraction {
+                Contraction::Empty => {
+                    verdict = DataflowVerdict::EmptyDomain(ci);
+                    break 'sweeps;
+                }
+                Contraction::Changed => changed = true,
+                Contraction::Unchanged => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Dataflow {
+        verdict,
+        derived: hull,
+        asserted,
+        provenance,
+        forced,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> AbProblem {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn forced_constraints_derive_bounds_with_provenance() {
+        let p = parse("p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 2\nc def real 2 x <= 7\n");
+        let df = dataflow(&p, 8);
+        assert_eq!(df.verdict, DataflowVerdict::Converged);
+        let x = p.arith_var("x").unwrap();
+        assert!(df.derived[x].lo() >= 2.0 && df.derived[x].hi() <= 7.0);
+        let chain = df.chain_for(x);
+        assert!(chain.len() >= 2, "both bounds leave a step: {chain:?}");
+    }
+
+    #[test]
+    fn contradictory_forced_constraints_are_statically_unsat() {
+        let p = parse("p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 1\nc def real 2 x <= 0\n");
+        let df = dataflow(&p, 8);
+        assert_eq!(df.verdict, DataflowVerdict::EmptyDomain(1));
+        // The chain that led to the refutation is recorded (hc4's forward
+        // pass may detect emptiness without writing an empty interval
+        // back, so the *last* step need not itself be empty).
+        assert!(!df.provenance.is_empty());
+    }
+
+    #[test]
+    fn unforced_atoms_do_not_narrow() {
+        // Variable 1 appears in a non-unit clause only: nothing is
+        // forced, nothing narrows.
+        let p = parse("p cnf 2 1\n1 2 0\nc def real 1 x >= 5\n");
+        let df = dataflow(&p, 8);
+        assert_eq!(df.verdict, DataflowVerdict::Converged);
+        let x = p.arith_var("x").unwrap();
+        assert_eq!(df.derived[x], Interval::ENTIRE);
+        assert!(df.asserted.is_empty());
+    }
+
+    #[test]
+    fn negated_single_constraint_defs_assert_their_negation() {
+        let p = parse("p cnf 1 1\n-1 0\nc def real 1 x <= 0\n");
+        let df = dataflow(&p, 8);
+        let x = p.arith_var("x").unwrap();
+        assert!(df.derived[x].lo() >= 0.0, "¬(x ≤ 0) narrows to x > 0");
+    }
+
+    #[test]
+    fn boolean_conflict_is_detected() {
+        let p = parse("p cnf 2 3\n1 0\n-1 2 0\n-2 0\n");
+        let df = dataflow(&p, 8);
+        assert_eq!(df.verdict, DataflowVerdict::BoolConflict);
+    }
+
+    #[test]
+    fn propagation_crosses_constraints() {
+        // x ≥ 3 and x − y = 0 force y ≥ 3 through the equality.
+        let p = parse("p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 3\nc def real 2 x - y = 0\n");
+        let df = dataflow(&p, 8);
+        let y = p.arith_var("y").unwrap();
+        // Outward interval rounding may leave the bound one ulp shy of 3.
+        assert!(df.derived[y].lo() >= 2.999, "got {:?}", df.derived[y]);
+        assert_eq!(df.derived[y].hi(), f64::INFINITY);
+    }
+}

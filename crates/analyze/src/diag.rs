@@ -52,13 +52,35 @@ pub enum Code {
     AB011,
     /// An arithmetic variable is declared but used in no definition.
     AB012,
+    /// A constraint is repeated verbatim (same interned id) in the
+    /// definitions of two different variables (not wholly identical
+    /// definitions — that is [`Code::AB005`]).
+    AB013,
+    /// A conjunct of a definition is affine-dominated by a sibling
+    /// conjunct (`a·x ≤ b` makes `a·x ≤ b'` redundant for `b ≤ b'`).
+    AB014,
+    /// Two affine conjuncts of one definition contradict each other
+    /// (`a·x ≥ l ∧ a·x ≤ u` with `l > u`): the atom can never hold.
+    AB015,
+    /// A clause is subsumed by a strictly shorter clause (equal clauses
+    /// are [`Code::AB009`]).
+    AB016,
+    /// The interval-dataflow fixpoint refuted the problem: constraints
+    /// forced in every model empty an arithmetic domain (or Boolean unit
+    /// propagation alone conflicts). The problem is unsatisfiable
+    /// without solving.
+    AB017,
+    /// The dataflow-derived hull of a variable misses its declared
+    /// `range` entirely: every possible model lies outside the box the
+    /// nonlinear engine will search.
+    AB018,
 }
 
 impl Code {
     /// The default severity this code is reported with.
     pub fn severity(self) -> Severity {
         match self {
-            Code::AB001 | Code::AB004 | Code::AB007 => Severity::Error,
+            Code::AB001 | Code::AB004 | Code::AB007 | Code::AB017 => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -96,11 +118,62 @@ impl Diagnostic {
     }
 }
 
+/// The structure block of a report: what the semantic analysis derived
+/// about a well-formed problem, independent of any finding. Intervals
+/// are pre-rendered strings so the report stays `Eq`-comparable and the
+/// JSON stays byte-stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructureSummary {
+    /// Independent connected components of the variable–constraint
+    /// incidence graph.
+    pub components: usize,
+    /// Component sizes (clauses + definitions), in partition order.
+    pub component_sizes: Vec<usize>,
+    /// Constraints and clauses a subsumption-aware preprocessor would
+    /// drop (duplicate conjuncts, dominated conjuncts, subsumed clauses).
+    pub subsumed: usize,
+    /// `(variable name, interval)` pairs for every arithmetic variable
+    /// the dataflow fixpoint bounded more tightly than the entire line.
+    pub derived_ranges: Vec<(String, String)>,
+}
+
+impl StructureSummary {
+    /// Renders the stable JSON object for the report's `structure` key.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"components\":{}", self.components));
+        out.push_str(",\"component_sizes\":[");
+        for (i, s) in self.component_sizes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str(&format!("],\"subsumed\":{}", self.subsumed));
+        out.push_str(",\"derived_ranges\":[");
+        for (i, (name, range)) in self.derived_ranges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"var\":\"{}\",\"range\":\"{}\"}}",
+                escape_json(name),
+                escape_json(range)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// The full report of one `check` run, ordered by (line, column, code).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// The findings.
     pub diagnostics: Vec<Diagnostic>,
+    /// The structure block, present when the input parsed (the semantic
+    /// analysis needs a problem to analyze).
+    pub structure: Option<StructureSummary>,
 }
 
 impl Report {
@@ -152,6 +225,21 @@ impl Report {
             self.errors(),
             self.warnings()
         ));
+        if let Some(s) = &self.structure {
+            let sizes = s
+                .component_sizes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{file}: structure: components={} sizes=[{sizes}] subsumed={}\n",
+                s.components, s.subsumed
+            ));
+            for (name, range) in &s.derived_ranges {
+                out.push_str(&format!("{file}: derived: {name} in {range}\n"));
+            }
+        }
         out
     }
 
@@ -177,7 +265,12 @@ impl Report {
                 escape_json(&d.message)
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(structure) = &self.structure {
+            out.push_str(",\"structure\":");
+            out.push_str(&structure.render_json());
+        }
+        out.push('}');
         out
     }
 }

@@ -12,6 +12,16 @@
 //!    deliberate: declared `range` directives only seed the nonlinear
 //!    engine's initial search box, they do not bind the linear engine, so
 //!    only entire-box certainty is sound for rewriting.
+//!
+//! 1b. **Subsumption and dominance pruning** — inside each surviving
+//!    conjunction, duplicate conjuncts (same interned id) and
+//!    affine-dominated conjuncts (`a·x ≤ b` makes `a·x ≤ b'` redundant
+//!    for `b ≤ b'`) are dropped — both equivalence-preserving on the
+//!    conjunction — and a contradictory affine pair (`row ≥ l ∧ row ≤ u`,
+//!    `l > u`) forces the defined variable to `ff` exactly like a
+//!    certainly-false conjunct. Clauses subsumed by a strictly shorter
+//!    clause are dropped from the CNF (the classic subsumption rule,
+//!    model-set preserving).
 //! 2. **Unit propagation and redundant-clause removal** — unit clauses
 //!    propagate to a fixpoint; satisfied clauses, tautologies, and
 //!    duplicate clauses are dropped; falsified literals are stripped. An
@@ -33,6 +43,7 @@
 //! Variable numbering is never changed, so model reconstruction is just
 //! re-asserting the recorded polarities ([`Reconstruction::lift`]).
 
+use crate::structure::{prune_conjunction, subsumed_clauses};
 use absolver_core::preprocess::{
     PreprocessSummary, Preprocessed, ProblemPreprocessor, Reconstruction,
 };
@@ -117,6 +128,34 @@ impl Simplifier {
             }
         }
 
+        // Pass 1b: subsumption/dominance pruning inside each surviving
+        // conjunction. Dropping a duplicate or dominated conjunct leaves
+        // the conjunction equivalent; a contradictory affine pair means
+        // the atom can never hold, which forces its variable to `ff`
+        // exactly like a certainly-false conjunct.
+        let mut contradicted: Vec<u32> = Vec::new();
+        for (&v, constraints) in defs.iter_mut() {
+            let pruning = prune_conjunction(constraints);
+            if pruning.contradiction.is_some() {
+                contradicted.push(v);
+                continue;
+            }
+            if pruning.dropped() > 0 {
+                summary.constraints_subsumed += pruning.dropped() as u64;
+                let kept: Vec<NlConstraint> = pruning
+                    .kept
+                    .iter()
+                    .map(|&i| constraints[i].clone())
+                    .collect();
+                *constraints = kept;
+            }
+        }
+        for v in contradicted {
+            let removed = defs.remove(&v).expect("contradicted def exists");
+            summary.atoms_eliminated += removed.len() as u64;
+            static_units.push(Var::new(v).negative());
+        }
+
         // Pass 2/3: unit propagation, clause cleanup, pure literals.
         let mut fixed: Vec<Option<bool>> = vec![None; num_bool];
         let mut clauses: Vec<Option<Vec<Lit>>> = Vec::with_capacity(problem.cnf().len());
@@ -136,6 +175,18 @@ impl Simplifier {
             } else {
                 clauses.push(Some(lits));
             }
+        }
+        // Clause subsumption: a clause containing every literal of a
+        // strictly shorter clause is implied by it, so dropping it
+        // preserves the model set exactly.
+        let entries: Vec<(usize, Vec<Lit>)> = clauses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|lits| (i, lits.clone())))
+            .collect();
+        for (sub, _) in subsumed_clauses(&entries) {
+            clauses[sub] = None;
+            summary.constraints_subsumed += 1;
         }
         let fix = |fixed: &mut Vec<Option<bool>>, lit: Lit| -> Result<bool, ()> {
             let value = lit.is_positive();

@@ -1,0 +1,337 @@
+//! Structural analysis over the interned term arena: subsumption and
+//! dominance between constraints and clauses.
+//!
+//! PR 9's hash-consing makes structural equality an id comparison, so
+//! these passes are cheap: duplicate constraints are found by hashing
+//! [`ConstraintId`]s, affine dominance by hashing the *normalized* affine
+//! row ([`NlConstraint::normalized_affine`]), and clause subsumption by
+//! literal occurrence lists with per-clause hit counting. The same
+//! machinery backs two consumers with different contracts:
+//!
+//! * the **linter** ([`crate::check_problem`]) reports findings as
+//!   AB013–AB016 diagnostics without touching the problem;
+//! * the **simplifier** ([`crate::Simplifier`]) drops what the analysis
+//!   proves redundant — all rewrites here are equivalence-preserving on
+//!   the conjunction/CNF, so model reconstruction needs no extra entries.
+
+use absolver_core::AbProblem;
+use absolver_linear::CmpOp;
+use absolver_logic::Lit;
+use absolver_nonlinear::NlConstraint;
+use absolver_num::Rational;
+use std::collections::HashMap;
+
+/// What pruning a single definition's conjunction found. Indexes refer
+/// to positions in the constraint slice handed to
+/// [`prune_conjunction`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConjunctionPruning {
+    /// Indexes of the constraints that survive, in original order.
+    pub kept: Vec<usize>,
+    /// `(duplicate, first)` pairs: the constraint at `duplicate` has the
+    /// same interned id as the earlier one at `first`.
+    pub duplicates: Vec<(usize, usize)>,
+    /// `(dominated, dominating)` pairs: both constraints are affine over
+    /// the same normalized row and the one at `dominating` implies the
+    /// one at `dominated` pointwise (e.g. `a·x ≤ b` implies `a·x ≤ b'`
+    /// for every `b ≤ b'`).
+    pub dominated: Vec<(usize, usize)>,
+    /// Two affine constraints on the same row that no real point
+    /// satisfies together (`row ≥ l ∧ row ≤ u` with `l > u`, or `l = u`
+    /// with a strict side): the conjunction — and therefore the defined
+    /// atom — can never hold.
+    pub contradiction: Option<(usize, usize)>,
+}
+
+impl ConjunctionPruning {
+    /// Number of conjuncts the pass would drop (duplicates + dominated).
+    pub fn dropped(&self) -> usize {
+        self.duplicates.len() + self.dominated.len()
+    }
+}
+
+/// The strongest lower/upper threshold seen so far for one normalized
+/// affine row, with the index of the constraint that set it.
+#[derive(Debug, Clone)]
+struct RowBounds {
+    /// `(threshold, strict, index)` of the strongest `≥`/`>` constraint.
+    lower: Option<(Rational, bool, usize)>,
+    /// `(threshold, strict, index)` of the strongest `≤`/`<` constraint.
+    upper: Option<(Rational, bool, usize)>,
+}
+
+/// Whether `(a, a_strict)` is a strictly stronger *upper* bound than
+/// `(b, b_strict)` — i.e. `row ⋖ a` implies `row ⋖ b` but not vice
+/// versa. A smaller threshold always wins; on equal thresholds the
+/// strict comparison wins.
+fn stronger_upper(a: &(Rational, bool), b: &(Rational, bool)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 && !b.1)
+}
+
+/// Analyzes one definition's conjunction for duplicate, dominated, and
+/// contradictory conjuncts. Only affine constraints participate in
+/// dominance (a nonlinear LHS has no normalized row); `=` constraints
+/// participate in duplicate detection only.
+pub fn prune_conjunction(constraints: &[NlConstraint]) -> ConjunctionPruning {
+    let mut out = ConjunctionPruning::default();
+    let mut first_by_cid: HashMap<u32, usize> = HashMap::new();
+    let mut rows: HashMap<absolver_linear::LinExpr, RowBounds> = HashMap::new();
+    let mut dropped = vec![false; constraints.len()];
+
+    for (i, c) in constraints.iter().enumerate() {
+        if let Some(&first) = first_by_cid.get(&c.cid().raw()) {
+            out.duplicates.push((i, first));
+            dropped[i] = true;
+            continue;
+        }
+        first_by_cid.insert(c.cid().raw(), i);
+
+        let Some((row, op, threshold)) = c.normalized_affine() else {
+            continue;
+        };
+        if op == CmpOp::Eq {
+            continue;
+        }
+        let bounds = rows.entry(row).or_insert(RowBounds {
+            lower: None,
+            upper: None,
+        });
+        let strict = op.is_strict();
+        match op {
+            CmpOp::Le | CmpOp::Lt => match &bounds.upper {
+                Some((t, s, j)) => {
+                    if stronger_upper(&(threshold.clone(), strict), &(t.clone(), *s)) {
+                        out.dominated.push((*j, i));
+                        dropped[*j] = true;
+                        bounds.upper = Some((threshold, strict, i));
+                    } else {
+                        out.dominated.push((i, *j));
+                        dropped[i] = true;
+                    }
+                }
+                None => bounds.upper = Some((threshold, strict, i)),
+            },
+            CmpOp::Ge | CmpOp::Gt => match &bounds.lower {
+                // A lower bound `row ⋗ t` is the upper bound `−row ⋖ −t`;
+                // larger thresholds are stronger.
+                Some((t, s, j)) => {
+                    if stronger_upper(&(-threshold.clone(), strict), &(-t.clone(), *s)) {
+                        out.dominated.push((*j, i));
+                        dropped[*j] = true;
+                        bounds.lower = Some((threshold, strict, i));
+                    } else {
+                        out.dominated.push((i, *j));
+                        dropped[i] = true;
+                    }
+                }
+                None => bounds.lower = Some((threshold, strict, i)),
+            },
+            CmpOp::Eq => unreachable!("Eq filtered above"),
+        }
+        if out.contradiction.is_none() {
+            if let (Some((l, ls, li)), Some((u, us, ui))) = (&bounds.lower, &bounds.upper) {
+                if l > u || (l == u && (*ls || *us)) {
+                    out.contradiction = Some((*li.min(ui), *li.max(ui)));
+                }
+            }
+        }
+    }
+
+    out.kept = (0..constraints.len()).filter(|&i| !dropped[i]).collect();
+    out.duplicates.sort_unstable();
+    out.dominated.sort_unstable();
+    out
+}
+
+/// `(subsumed, by)` pairs over a clause set: clause `subsumed` contains
+/// every literal of the strictly shorter clause `by`, so the CNF is
+/// unchanged by dropping `subsumed`. Input clauses are `(original
+/// index, sorted deduplicated literals)`; tautologies should be
+/// filtered by the caller. Each subsumed clause is reported once, with
+/// the shortest (then lowest-slot) subsumer; pairs come back sorted by
+/// the subsumed index.
+pub fn subsumed_clauses(clauses: &[(usize, Vec<Lit>)]) -> Vec<(usize, usize)> {
+    let mut occurrences: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (slot, (_, lits)) in clauses.iter().enumerate() {
+        for l in lits {
+            occurrences.entry(l.code()).or_default().push(slot);
+        }
+    }
+    // Shortest subsumers first: a subsumed clause is only ever subsumed
+    // by a strictly shorter one, so by the time a clause's turn comes,
+    // its own subsumption status is final.
+    let mut order: Vec<usize> = (0..clauses.len()).collect();
+    order.sort_by_key(|&s| (clauses[s].1.len(), s));
+    let mut subsumed_by: Vec<Option<usize>> = vec![None; clauses.len()];
+    let mut hits = vec![0usize; clauses.len()];
+    for slot in order {
+        let lits = &clauses[slot].1;
+        if subsumed_by[slot].is_some() || lits.is_empty() {
+            // A clause that is itself redundant still subsumes whatever
+            // its subsumer does, so skipping it loses nothing.
+            continue;
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        for l in lits {
+            for &other in &occurrences[&l.code()] {
+                if hits[other] == 0 {
+                    touched.push(other);
+                }
+                hits[other] += 1;
+            }
+        }
+        for &other in &touched {
+            if other != slot
+                && hits[other] == lits.len()
+                && clauses[other].1.len() > lits.len()
+                && subsumed_by[other].is_none()
+            {
+                subsumed_by[other] = Some(slot);
+            }
+            hits[other] = 0;
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = subsumed_by
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, by)| by.map(|b| (clauses[slot].0, clauses[b].0)))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// One constraint repeated verbatim (same interned id) in the
+/// definitions of two different Boolean variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossDefDuplicate {
+    /// The later variable whose definition repeats the constraint.
+    pub var: u32,
+    /// Index of the repeated constraint inside `var`'s conjunction.
+    pub constraint: usize,
+    /// The earlier variable that already carries the constraint.
+    pub earlier_var: u32,
+}
+
+/// Cross-definition duplicate constraints (AB013 material). A pair of
+/// *wholly identical* definitions is excluded — that is a shadowed def,
+/// which AB005 already reports.
+pub fn cross_def_duplicates(problem: &AbProblem) -> Vec<CrossDefDuplicate> {
+    // Identical-definition keys (sorted constraint-id multisets).
+    let mut def_keys: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (var, def) in problem.defs() {
+        let mut key: Vec<u32> = def.constraints.iter().map(|c| c.cid().raw()).collect();
+        key.sort_unstable();
+        def_keys.insert(var.index() as u32, key);
+    }
+    let mut first_owner: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for (var, def) in problem.defs() {
+        let v = var.index() as u32;
+        for (i, c) in def.constraints.iter().enumerate() {
+            match first_owner.get(&c.cid().raw()) {
+                Some(&earlier) if earlier != v => {
+                    if def_keys[&v] != def_keys[&earlier] {
+                        out.push(CrossDefDuplicate {
+                            var: v,
+                            constraint: i,
+                            earlier_var: earlier,
+                        });
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    first_owner.insert(c.cid().raw(), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absolver_linear::CmpOp;
+    use absolver_nonlinear::Expr;
+    use absolver_num::Rational;
+
+    fn le(k: i64, b: i64) -> NlConstraint {
+        // k·x ≤ b
+        NlConstraint::new(
+            Expr::constant(Rational::from_int(k)) * Expr::var(0),
+            CmpOp::Le,
+            Rational::from_int(b),
+        )
+    }
+
+    fn ge(k: i64, b: i64) -> NlConstraint {
+        NlConstraint::new(
+            Expr::constant(Rational::from_int(k)) * Expr::var(0),
+            CmpOp::Ge,
+            Rational::from_int(b),
+        )
+    }
+
+    #[test]
+    fn duplicate_conjuncts_are_found_by_id() {
+        let p = prune_conjunction(&[le(1, 5), ge(1, 0), le(1, 5)]);
+        assert_eq!(p.duplicates, vec![(2, 0)]);
+        assert_eq!(p.kept, vec![0, 1]);
+        assert!(p.contradiction.is_none());
+    }
+
+    #[test]
+    fn weaker_upper_bound_is_dominated() {
+        // x ≤ 3 implies x ≤ 5.
+        let p = prune_conjunction(&[le(1, 5), le(1, 3)]);
+        assert_eq!(p.dominated, vec![(0, 1)]);
+        assert_eq!(p.kept, vec![1]);
+    }
+
+    #[test]
+    fn negative_scale_normalizes_to_the_same_row() {
+        // −2·x ≥ −10 is x ≤ 5, dominated by x ≤ 3.
+        let p = prune_conjunction(&[ge(-2, -10), le(1, 3)]);
+        assert_eq!(p.dominated, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_reported() {
+        // x ≥ 4 ∧ x ≤ 1.
+        let p = prune_conjunction(&[ge(1, 4), le(1, 1)]);
+        assert_eq!(p.contradiction, Some((0, 1)));
+    }
+
+    #[test]
+    fn equal_bounds_without_strictness_are_no_contradiction() {
+        // x ≥ 2 ∧ x ≤ 2 pins x = 2: satisfiable.
+        let p = prune_conjunction(&[ge(1, 2), le(1, 2)]);
+        assert!(p.contradiction.is_none());
+        assert_eq!(p.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn strict_beats_nonstrict_on_equal_threshold() {
+        // x < 3 implies x ≤ 3.
+        let lt = NlConstraint::new(Expr::var(0), CmpOp::Lt, Rational::from_int(3));
+        let p = prune_conjunction(&[le(1, 3), lt]);
+        assert_eq!(p.dominated, vec![(0, 1)]);
+        assert_eq!(p.kept, vec![1]);
+    }
+
+    #[test]
+    fn clause_subsumption_needs_a_strict_subset() {
+        use absolver_logic::Var;
+        let a = Var::new(0).positive();
+        let b = Var::new(1).positive();
+        let c = Var::new(2).positive();
+        let clauses = vec![
+            (0usize, vec![a, b, c]), // subsumed by 2
+            (1, vec![b, c]),         // subsumed by 2? {b} ⊄ {b,c}... by {b}: yes
+            (2, vec![b]),
+            (3, vec![a, c]), // no subset present
+        ];
+        let pairs = subsumed_clauses(&clauses);
+        assert_eq!(pairs, vec![(0, 2), (1, 2)]);
+    }
+}

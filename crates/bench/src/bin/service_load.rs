@@ -136,6 +136,9 @@ fn run_phase(
         match server.submit(frame, tx.clone()) {
             Submission::Enqueued { .. } => {}
             Submission::Rejected { .. } => panic!("queue sized for the load; must not reject"),
+            // Statically-unsat bodies are answered at submission; the
+            // response is already on `rx`, so just collect it below.
+            Submission::Answered => {}
         }
         if !burst {
             // One at a time: wait for this response before the next.

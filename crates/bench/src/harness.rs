@@ -134,6 +134,8 @@ pub fn run_absolver_report(
         .field_u64("term_tree_nodes", term_tree_nodes)
         .field_u64("term_distinct_nodes", term_distinct_nodes)
         .field_f64("term_dedup_rate", term_dedup_rate)
+        .field_u64("components", stats.components)
+        .field_u64("subsumed_constraints", stats.subsumed_constraints)
         .field_str("raw_verdict", &raw_verdict)
         .field_u64("raw_elapsed_us", saturating_micros(raw_elapsed))
         .field_raw("stats", &stats.to_json());

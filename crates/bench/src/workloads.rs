@@ -47,6 +47,34 @@ pub fn threshold_problem(m: usize) -> AbProblem {
     b.build()
 }
 
+/// A deliberately decomposable workload: `instances` independent copies
+/// of the threshold problem over pairwise-disjoint variables. No clause
+/// or definition ever links two copies, so the variable–constraint
+/// incidence graph has exactly `instances` connected components and the
+/// structural partitioner can solve each copy in isolation (the
+/// `components` bench binary measures exactly that).
+pub fn decomposable_problem(instances: usize, m: usize) -> AbProblem {
+    let mut b = AbProblem::builder();
+    for inst in 0..instances {
+        let vars: Vec<usize> = (0..m)
+            .map(|i| b.arith_var(&format!("c{inst}x{i}"), VarKind::Int))
+            .collect();
+        for &v in &vars {
+            let a = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(1));
+            let _ = a; // free atom: the Boolean search decides its polarity
+            let lo = b.atom(Expr::var(v), CmpOp::Ge, Rational::from_int(-1));
+            b.require(lo.positive());
+            let hi = b.atom(Expr::var(v), CmpOp::Le, Rational::from_int(1));
+            b.require(hi.positive());
+        }
+        let sum = vars.iter().fold(Expr::int(0), |acc, &v| acc + Expr::var(v));
+        let target = (m * 55).div_ceil(100) as i64;
+        let u = b.atom(sum, CmpOp::Ge, Rational::from_int(target));
+        b.require(u.positive());
+    }
+    b.build()
+}
+
 /// The four `BENCH_*.json` workloads, in report order. Each entry is
 /// `(workload key, problem)`; the key is what `bench_json` embeds in the
 /// file name.

@@ -61,6 +61,7 @@ pub mod preprocess;
 mod problem;
 pub mod script;
 mod session;
+pub mod structure;
 pub mod theory;
 
 pub use backends::{
@@ -78,3 +79,4 @@ pub use parser::{
 pub use preprocess::{PreprocessSummary, Preprocessed, ProblemPreprocessor, Reconstruction};
 pub use problem::{AbModel, AbProblem, AbProblemBuilder, ArithModel, ArithVar, AtomDef, VarKind};
 pub use session::{Session, SessionError};
+pub use structure::{Component, Partition};

@@ -20,6 +20,7 @@ use crate::backends::{
 };
 use crate::preprocess::{PreprocessSummary, Preprocessed, ProblemPreprocessor};
 use crate::problem::{AbModel, AbProblem, ArithModel, VarKind};
+use crate::structure::Partition;
 use crate::theory::{
     check, IncrementalLinear, LinActivity, TheoryBudget, TheoryContext, TheoryItem, TheoryTiming,
     TheoryVerdict,
@@ -163,6 +164,18 @@ pub struct OrchestratorStats {
     pub pre_atoms_eliminated: u64,
     /// Arithmetic-variable ranges tightened by preprocessing.
     pub pre_ranges_tightened: u64,
+    /// Constraints eliminated by the subsumption/dominance pass
+    /// (duplicate conjuncts, affine-dominated conjuncts, subsumed
+    /// clauses).
+    pub subsumed_constraints: u64,
+    /// Independent connected components the incidence-graph partition
+    /// found (0 when no partitioning ran, 1 when the problem is one
+    /// component, ≥ 2 when the solve was decomposed).
+    pub components: u64,
+    /// Solves decided statically unsatisfiable by analysis before the
+    /// control loop ran (0 or 1 for a single call; sums under
+    /// accumulation).
+    pub static_unsat: u64,
     /// Wall-clock time of the last `solve`/`solve_all` call.
     pub elapsed: Duration,
 }
@@ -174,7 +187,8 @@ impl fmt::Display for OrchestratorStats {
             "iterations={} theory_checks={} conflicts={} avg_conflict_len={:.1} unknown={} \
              timed_out={} cancelled={} shared={} imported={} pivots={} warm_starts={} \
              cache_hits={} cache_misses={} contractions={}/{}/{} contraction_cache={}/{} \
-             terms_interned={} term_dedup={} pre_vars={} pre_clauses={} pre_atoms={} pre_ranges={} preprocess={:?} \
+             terms_interned={} term_dedup={} pre_vars={} pre_clauses={} pre_atoms={} pre_ranges={} \
+             subsumed={} components={} static_unsat={} preprocess={:?} \
              boolean={:?} linear={:?} nonlinear={:?} conflict_min={:?} elapsed={:?}",
             self.boolean_iterations,
             self.theory_checks,
@@ -204,6 +218,9 @@ impl fmt::Display for OrchestratorStats {
             self.pre_clauses_eliminated,
             self.pre_atoms_eliminated,
             self.pre_ranges_tightened,
+            self.subsumed_constraints,
+            self.components,
+            self.static_unsat,
             self.preprocess_time,
             self.boolean_time,
             self.linear_time,
@@ -251,6 +268,9 @@ impl OrchestratorStats {
         self.pre_clauses_eliminated += other.pre_clauses_eliminated;
         self.pre_atoms_eliminated += other.pre_atoms_eliminated;
         self.pre_ranges_tightened += other.pre_ranges_tightened;
+        self.subsumed_constraints += other.subsumed_constraints;
+        self.components += other.components;
+        self.static_unsat += other.static_unsat;
         self.elapsed += other.elapsed;
     }
 
@@ -338,6 +358,9 @@ impl OrchestratorStats {
                     .field_u64("time_us", saturating_micros(self.preprocess_time));
                 pre.finish()
             })
+            .field_u64("subsumed_constraints", self.subsumed_constraints)
+            .field_u64("components", self.components)
+            .field_u64("static_unsat", self.static_unsat)
             .field_raw("phase", &phase.finish())
             .field_u64("elapsed_us", saturating_micros(self.elapsed));
         obj.finish()
@@ -937,6 +960,12 @@ impl Orchestrator {
             Preprocessed::TriviallyUnsat { summary } => {
                 self.stats = OrchestratorStats::default();
                 self.record_preprocess(&summary, pre_elapsed, pre_terms);
+                self.stats.static_unsat = 1;
+                self.trace(|| {
+                    TraceEvent::new("analyze.static_unsat")
+                        .field("pass", "preprocess")
+                        .duration(pre_elapsed)
+                });
                 Ok(Outcome::Unsat)
             }
             Preprocessed::Shrunk {
@@ -944,10 +973,27 @@ impl Orchestrator {
                 reconstruction,
                 summary,
             } => {
-                let outcome = self.solve_under(&shrunk, &[]);
+                let partition = Partition::of(&shrunk);
+                self.trace(|| {
+                    let sizes = partition
+                        .sizes()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    TraceEvent::new("analyze.partition")
+                        .field_u64("components", partition.len() as u64)
+                        .field("sizes", sizes)
+                });
+                let outcome = if partition.is_trivial() {
+                    self.solve_under(&shrunk, &[])
+                } else {
+                    self.solve_components(&shrunk, &partition)
+                };
                 // `solve_under` resets the stats at entry, so the pass
                 // accounting must be written back afterwards.
                 self.record_preprocess(&summary, pre_elapsed, pre_terms);
+                self.stats.components = partition.len() as u64;
                 match outcome {
                     Ok(Outcome::Sat(mut model)) => {
                         reconstruction.lift(&mut model);
@@ -957,6 +1003,62 @@ impl Orchestrator {
                 }
             }
         }
+    }
+
+    /// Solves the connected components of an already-partitioned problem
+    /// one after another, accumulating stats across the sub-solves.
+    /// Unsatisfiability of any component refutes the conjunction, so the
+    /// loop exits early on the first Unsat; an Unknown component poisons a
+    /// SAT answer down to Unknown; when every component is SAT the
+    /// per-component witnesses are stitched back into one model.
+    fn solve_components(
+        &mut self,
+        problem: &AbProblem,
+        partition: &Partition,
+    ) -> Result<Outcome, SolveError> {
+        let started = Instant::now();
+        let mut total = OrchestratorStats::default();
+        let mut models: Vec<AbModel> = Vec::with_capacity(partition.len());
+        let mut unknown = false;
+        for idx in 0..partition.len() {
+            let sub = partition.extract(problem, idx);
+            let comp_started = Instant::now();
+            let outcome = self.solve_under(&sub, &[]);
+            total.accumulate(&self.stats);
+            self.trace(|| {
+                let label = match &outcome {
+                    Ok(Outcome::Sat(_)) => "sat",
+                    Ok(Outcome::Unsat) => "unsat",
+                    Ok(Outcome::Unknown) => "unknown",
+                    Err(_) => "iteration-limit",
+                };
+                TraceEvent::new("analyze.component")
+                    .field_u64("component", idx as u64)
+                    .field_u64("size", partition.components()[idx].size() as u64)
+                    .field("outcome", label)
+                    .duration(comp_started.elapsed())
+            });
+            match outcome {
+                Ok(Outcome::Sat(model)) => models.push(*model),
+                Ok(Outcome::Unsat) => {
+                    total.elapsed = started.elapsed();
+                    self.stats = total;
+                    return Ok(Outcome::Unsat);
+                }
+                Ok(Outcome::Unknown) => unknown = true,
+                Err(err) => {
+                    total.elapsed = started.elapsed();
+                    self.stats = total;
+                    return Err(err);
+                }
+            }
+        }
+        total.elapsed = started.elapsed();
+        self.stats = total;
+        if unknown {
+            return Ok(Outcome::Unknown);
+        }
+        Ok(Outcome::Sat(Box::new(partition.stitch(&models))))
     }
 
     /// Folds a preprocessing pass's effect into the current stats.
@@ -973,6 +1075,7 @@ impl Orchestrator {
         self.stats.pre_clauses_eliminated = summary.clauses_eliminated;
         self.stats.pre_atoms_eliminated = summary.atoms_eliminated;
         self.stats.pre_ranges_tightened = summary.ranges_tightened;
+        self.stats.subsumed_constraints = summary.constraints_subsumed;
         self.stats.elapsed += elapsed;
     }
 

@@ -30,7 +30,8 @@ use crate::backends::{
     SimplexLinear,
 };
 use crate::orchestrator::{Orchestrator, OrchestratorOptions, Outcome, SolveError, TimedLemma};
-use crate::problem::AbProblem;
+use crate::problem::{AbModel, AbProblem};
+use crate::structure::Partition;
 use absolver_logic::{Lit, Var};
 use absolver_sat::Solver;
 use absolver_trace::{ShardSink, TraceEvent, TraceSink};
@@ -145,6 +146,9 @@ pub struct ParallelStats {
     pub jobs: usize,
     /// Cubes generated (0 for portfolio).
     pub cubes: usize,
+    /// Independent connected components solved on separate shards
+    /// (0 when the run used a cube or portfolio split instead).
+    pub components: usize,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStats>,
     /// Index of the shard that produced the winning verdict, if any
@@ -182,6 +186,9 @@ impl fmt::Display for ParallelStats {
             },
             self.elapsed,
         )?;
+        if self.components > 0 {
+            write!(f, " components={}", self.components)?;
+        }
         if let Some(latency) = self.cancel_latency {
             write!(f, " cancel_latency={latency:?}")?;
         }
@@ -658,6 +665,221 @@ fn solve_cubes(
     (outcome, stats)
 }
 
+/// What one component shard brought home: the usual shard accounting
+/// plus the SAT witnesses of the components it solved.
+struct ComponentShardOutcome {
+    shard: usize,
+    stats: ShardStats,
+    latency: Option<Duration>,
+    error: Option<SolveError>,
+    /// The shard refuted one of its components (whole problem Unsat).
+    unsat: bool,
+    /// A component came back undecided (budget or incompleteness).
+    unknown: bool,
+    models: Vec<(usize, AbModel)>,
+}
+
+/// Solves each connected component of a decomposable problem on its own
+/// shard. Components are distributed round-robin by index in
+/// deterministic mode and through a shared work queue otherwise. The
+/// conjunction is Unsat as soon as *any* component is, so an Unsat
+/// verdict claims the win and cancels the siblings; Sat requires every
+/// component's witness, which are stitched back into one model at the
+/// end.
+fn solve_component_shards(
+    problem: &AbProblem,
+    partition: &Partition,
+    options: &ParallelOptions,
+    sink: &Arc<dyn TraceSink>,
+) -> (Result<Outcome, SolveError>, ParallelStats) {
+    let started = Instant::now();
+    let num_components = partition.len();
+    let jobs = options.jobs.max(1).min(num_components);
+    let board = WinnerBoard::new();
+    let deadline = options.base.time_limit.map(|limit| started + limit);
+    // Like cubes: one absolute deadline for the whole call, so the budget
+    // cannot restart on every component.
+    let mut shard_base = options.base.clone();
+    shard_base.time_limit = None;
+    let next_component = AtomicUsize::new(0);
+
+    let mut outcomes: Vec<ComponentShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|shard| {
+                let board = &board;
+                let next_component = &next_component;
+                let shard_base = &shard_base;
+                let deterministic = options.deterministic;
+                let sink = Arc::clone(sink);
+                scope.spawn(move || {
+                    let shard_sink: Arc<dyn TraceSink> =
+                        Arc::new(ShardSink::new(Arc::clone(&sink), shard));
+                    if shard_sink.enabled() {
+                        shard_sink
+                            .emit(&TraceEvent::new("shard.start").field("strategy", "components"));
+                    }
+                    let shard_started = Instant::now();
+                    let mut orc = build_cube_shard(shard, shard_base);
+                    orc.set_cancel_token(Some(board.cancel.clone()));
+                    orc.set_deadline(deadline);
+                    orc.set_trace_sink(Arc::clone(&shard_sink));
+                    let mut stats = ShardStats::default();
+                    let mut latency = None;
+                    let mut error = None;
+                    let mut unsat = false;
+                    let mut unknown = false;
+                    let mut models: Vec<(usize, AbModel)> = Vec::new();
+                    let mut comp_index = if deterministic { shard } else { usize::MAX };
+                    loop {
+                        let idx = if deterministic {
+                            if comp_index >= num_components {
+                                break;
+                            }
+                            let id = comp_index;
+                            comp_index += jobs;
+                            id
+                        } else {
+                            let c = next_component.fetch_add(1, Ordering::Relaxed);
+                            if c >= num_components {
+                                break;
+                            }
+                            c
+                        };
+                        if board.cancel.load(Ordering::Relaxed) {
+                            stats.cancelled = true;
+                            latency = board.raised_at().map(|at| at.elapsed());
+                            break;
+                        }
+                        let sub = partition.extract(problem, idx);
+                        if shard_sink.enabled() {
+                            shard_sink.emit(
+                                &TraceEvent::new("component.start")
+                                    .field_u64("component", idx as u64)
+                                    .field_u64("size", partition.components()[idx].size() as u64),
+                            );
+                        }
+                        let comp_started = Instant::now();
+                        let comp_result = orc.solve_under(&sub, &[]);
+                        let run = orc.stats();
+                        if shard_sink.enabled() {
+                            let label = match &comp_result {
+                                Ok(Outcome::Sat(_)) => "sat",
+                                Ok(Outcome::Unsat) => "unsat",
+                                Ok(Outcome::Unknown) => "unknown",
+                                Err(_) => "iteration-limit",
+                            };
+                            shard_sink.emit(
+                                &TraceEvent::new("component.end")
+                                    .field_u64("component", idx as u64)
+                                    .field("outcome", label)
+                                    .duration(comp_started.elapsed()),
+                            );
+                        }
+                        stats.cubes_solved += 1;
+                        stats.boolean_iterations += run.boolean_iterations;
+                        stats.theory_checks += run.theory_checks;
+                        stats.theory_cache_hits += run.theory_cache_hits;
+                        stats.theory_cache_misses += run.theory_cache_misses;
+                        stats.simplex_warm_starts += run.simplex_warm_starts;
+                        stats.conflicts_fed_back += run.conflicts_fed_back;
+                        stats.clauses_shared += run.clauses_shared;
+                        stats.clauses_imported += run.clauses_imported;
+                        stats.share_latency += run.share_latency;
+                        match comp_result {
+                            Ok(Outcome::Sat(m)) => models.push((idx, *m)),
+                            Ok(Outcome::Unsat) => {
+                                board.claim(shard);
+                                unsat = true;
+                                break;
+                            }
+                            Ok(Outcome::Unknown) => {
+                                if run.cancelled {
+                                    stats.cancelled = true;
+                                    latency = board.raised_at().map(|at| at.elapsed());
+                                    break;
+                                }
+                                if run.timed_out {
+                                    stats.timed_out = true;
+                                    unknown = true;
+                                    break;
+                                }
+                                unknown = true;
+                            }
+                            Err(e) => {
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if shard_sink.enabled() {
+                        shard_sink.emit(
+                            &TraceEvent::new("shard.end")
+                                .field_u64("components_solved", stats.cubes_solved as u64)
+                                .duration(shard_started.elapsed()),
+                        );
+                    }
+                    ComponentShardOutcome {
+                        shard,
+                        stats,
+                        latency,
+                        error,
+                        unsat,
+                        unknown,
+                        models,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("component shard panicked"))
+            .collect()
+    });
+    outcomes.sort_by_key(|o| o.shard);
+
+    let stats = ParallelStats {
+        jobs,
+        cubes: 0,
+        components: num_components,
+        shards: outcomes.iter().map(|o| o.stats).collect(),
+        winner: board.winner(),
+        clauses_shared: outcomes.iter().map(|o| o.stats.clauses_shared).sum(),
+        clauses_imported: outcomes.iter().map(|o| o.stats.clauses_imported).sum(),
+        share_latency: outcomes.iter().map(|o| o.stats.share_latency).sum(),
+        cancel_latency: outcomes.iter().filter_map(|o| o.latency).max(),
+        timed_out: outcomes.iter().any(|o| o.stats.timed_out),
+        elapsed: started.elapsed(),
+    };
+
+    // Reduction: one refuted component refutes the conjunction; then
+    // errors; then anything undecided; Sat only with a witness for every
+    // component.
+    let any_unknown = outcomes.iter().any(|o| o.unknown);
+    let outcome: Result<Outcome, SolveError> = if outcomes.iter().any(|o| o.unsat) {
+        Ok(Outcome::Unsat)
+    } else if let Some(e) = outcomes.iter().find_map(|o| o.error.clone()) {
+        Err(e)
+    } else {
+        let mut slots: Vec<Option<AbModel>> = (0..num_components).map(|_| None).collect();
+        for o in outcomes {
+            for (idx, model) in o.models {
+                slots[idx] = Some(model);
+            }
+        }
+        if any_unknown
+            || stats.timed_out
+            || stats.shards.iter().any(|s| s.cancelled)
+            || slots.iter().any(Option::is_none)
+        {
+            Ok(Outcome::Unknown)
+        } else {
+            let models: Vec<AbModel> = slots.into_iter().map(Option::unwrap).collect();
+            Ok(Outcome::Sat(Box::new(partition.stitch(&models))))
+        }
+    };
+    (outcome, stats)
+}
+
 /// Folds shard reports into [`ParallelStats`], in shard order.
 fn aggregate(
     reports: &[ShardReport],
@@ -669,6 +891,7 @@ fn aggregate(
     ParallelStats {
         jobs,
         cubes,
+        components: 0,
         shards: reports.iter().map(|r| r.stats).collect(),
         winner,
         clauses_shared: reports.iter().map(|r| r.stats.clauses_shared).sum(),
@@ -698,6 +921,30 @@ impl Orchestrator {
         options: &ParallelOptions,
     ) -> Result<(Outcome, ParallelStats), SolveError> {
         let sink = self.trace_sink();
+        // A decomposable problem splits into independent subproblems
+        // before any strategy-level split: each component gets its own
+        // shard. Gated on jobs >= 2 so a 1-job run stays byte-for-byte
+        // the sequential control loop.
+        if options.jobs >= 2 {
+            let partition = Partition::of(problem);
+            if partition.len() >= 2 {
+                if sink.enabled() {
+                    let sizes = partition
+                        .sizes()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    sink.emit(
+                        &TraceEvent::new("analyze.partition")
+                            .field_u64("components", partition.len() as u64)
+                            .field("sizes", sizes),
+                    );
+                }
+                let (outcome, stats) = solve_component_shards(problem, &partition, options, &sink);
+                return outcome.map(|o| (o, stats));
+            }
+        }
         let (outcome, stats) = match options.strategy {
             ParallelStrategy::Portfolio => solve_portfolio(problem, options, &sink),
             ParallelStrategy::Cubes => solve_cubes(problem, options, &sink),

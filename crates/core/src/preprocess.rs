@@ -29,6 +29,11 @@ pub struct PreprocessSummary {
     /// Arithmetic variables whose search range was tightened by the
     /// root interval pass.
     pub ranges_tightened: u64,
+    /// Constraints and clauses removed by the subsumption/dominance pass:
+    /// duplicate conjuncts (same interned id twice in one definition),
+    /// affine-dominated conjuncts, and clauses subsumed by a strict
+    /// sub-clause.
+    pub constraints_subsumed: u64,
 }
 
 impl PreprocessSummary {

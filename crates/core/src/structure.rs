@@ -1,0 +1,457 @@
+//! Connected-component partitioning of AB-problems.
+//!
+//! The variable–constraint incidence graph of an AB-problem has one node
+//! per Boolean variable and one per arithmetic variable; a clause joins
+//! the variables of its literals, and a definition joins its Boolean
+//! variable with every arithmetic variable of its constraints. Two
+//! clauses (or definitions) in different connected components share no
+//! variable at all, so the problem is satisfiable **iff every component
+//! is satisfiable on its own**, and a model of the whole is the union of
+//! per-component models — the conjunction simply factors.
+//!
+//! [`Partition::of`] computes the components with a union–find over the
+//! node set, [`Partition::extract`] materialises one component as a
+//! standalone *dense* [`AbProblem`] — only the component's variables are
+//! declared, renumbered compactly, so the subproblem is exactly
+//! isomorphic to the component written down on its own (a subproblem
+//! carrying the whole problem's variable table measurably derails the
+//! CDCL decision heuristic on the dead variables) — and
+//! [`Partition::stitch`] translates per-component models back through
+//! the component's variable lists into one model of the whole problem.
+//! Variables in no component are unconstrained; stitching gives them
+//! arbitrary total values (`false` / `0`).
+
+use crate::problem::{AbModel, AbProblem, ArithModel};
+use absolver_logic::{Assignment, Tri, Var};
+use absolver_nonlinear::{Expr, NlConstraint};
+use absolver_num::Rational;
+use std::collections::HashMap;
+
+/// One connected component of a problem's incidence graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Component {
+    /// Boolean variable indices belonging to this component.
+    pub bools: Vec<u32>,
+    /// Arithmetic variable ids belonging to this component.
+    pub arith: Vec<usize>,
+    /// Indices (into `problem.cnf().clauses()`) of the clauses here.
+    pub clauses: Vec<usize>,
+    /// Boolean variables whose definitions belong to this component.
+    pub defs: Vec<u32>,
+}
+
+impl Component {
+    /// Number of clauses plus definitions — the component's "size" as
+    /// reported in structure summaries.
+    pub fn size(&self) -> usize {
+        self.clauses.len() + self.defs.len()
+    }
+}
+
+/// The connected components of a problem, in deterministic order (by the
+/// smallest node they contain, Boolean variables first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    components: Vec<Component>,
+    num_bool: usize,
+    num_arith: usize,
+}
+
+/// Array-based union–find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+impl Partition {
+    /// Computes the connected components of `problem`'s incidence graph.
+    ///
+    /// Boolean variables that occur in no clause and carry no definition
+    /// (and arithmetic variables no constraint mentions) belong to no
+    /// component: they are unconstrained and any value works for them.
+    /// Empty clauses have no variables to anchor them; they are attached
+    /// to the first component (creating one if needed) so that their
+    /// unsatisfiability is still observed by whoever solves it.
+    pub fn of(problem: &AbProblem) -> Partition {
+        let num_bool = problem.cnf().num_vars();
+        let num_arith = problem.arith_vars().len();
+        let node_of_bool = |v: usize| v;
+        let node_of_arith = |v: usize| num_bool + v;
+        let mut uf = UnionFind::new(num_bool + num_arith);
+        let mut empty_clauses: Vec<usize> = Vec::new();
+
+        for (i, clause) in problem.cnf().clauses().iter().enumerate() {
+            let lits = clause.lits();
+            match lits.first() {
+                None => empty_clauses.push(i),
+                Some(first) => {
+                    for l in &lits[1..] {
+                        uf.union(
+                            node_of_bool(first.var().index()),
+                            node_of_bool(l.var().index()),
+                        );
+                    }
+                }
+            }
+        }
+        for (var, def) in problem.defs() {
+            for c in &def.constraints {
+                for &v in c.variables() {
+                    uf.union(node_of_bool(var.index()), node_of_arith(v));
+                }
+            }
+        }
+
+        // A node is *live* when some clause or definition mentions it.
+        let mut live = vec![false; num_bool + num_arith];
+        for clause in problem.cnf().clauses() {
+            for l in clause.iter() {
+                live[node_of_bool(l.var().index())] = true;
+            }
+        }
+        for (var, def) in problem.defs() {
+            live[node_of_bool(var.index())] = true;
+            for c in &def.constraints {
+                for &v in c.variables() {
+                    live[node_of_arith(v)] = true;
+                }
+            }
+        }
+
+        // Number components by first-encountered root, scanning nodes in
+        // order — a deterministic, input-defined component order.
+        let mut comp_of_root: Vec<Option<usize>> = vec![None; num_bool + num_arith];
+        let mut components: Vec<Component> = Vec::new();
+        for (node, &is_live) in live.iter().enumerate() {
+            if !is_live {
+                continue;
+            }
+            let root = uf.find(node);
+            let idx = *comp_of_root[root].get_or_insert_with(|| {
+                components.push(Component::default());
+                components.len() - 1
+            });
+            if node < num_bool {
+                components[idx].bools.push(node as u32);
+            } else {
+                components[idx].arith.push(node - num_bool);
+            }
+        }
+        for (i, clause) in problem.cnf().clauses().iter().enumerate() {
+            if let Some(l) = clause.lits().first() {
+                let root = uf.find(node_of_bool(l.var().index()));
+                let idx = comp_of_root[root].expect("live clause var has a component");
+                components[idx].clauses.push(i);
+            }
+        }
+        for (var, _) in problem.defs() {
+            let root = uf.find(node_of_bool(var.index()));
+            let idx = comp_of_root[root].expect("defined var has a component");
+            components[idx].defs.push(var.index() as u32);
+        }
+        if !empty_clauses.is_empty() {
+            if components.is_empty() {
+                components.push(Component::default());
+            }
+            components[0].clauses.extend(empty_clauses);
+            components[0].clauses.sort_unstable();
+        }
+        Partition {
+            components,
+            num_bool,
+            num_arith,
+        }
+    }
+
+    /// The components, in deterministic order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when there is nothing to solve at all.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// `true` when partitioning cannot split the work (fewer than two
+    /// components).
+    pub fn is_trivial(&self) -> bool {
+        self.components.len() < 2
+    }
+
+    /// Sizes (clauses + definitions) of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.components.iter().map(Component::size).collect()
+    }
+
+    /// Materialises component `idx` as a standalone *dense* problem:
+    /// only the component's Boolean and arithmetic variables are
+    /// declared, renumbered compactly in ascending original order (the
+    /// order of [`Component::bools`] / [`Component::arith`]), with their
+    /// kinds and ranges preserved and every constraint's variable ids
+    /// rewritten accordingly. The subproblem is satisfiable iff the
+    /// component's conjunction of clauses and definitions is, and is
+    /// exactly the problem one would have written for the component
+    /// alone — no dead variables for the solver's heuristics to trip on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn extract(&self, problem: &AbProblem, idx: usize) -> AbProblem {
+        let comp = &self.components[idx];
+        let mut b = AbProblem::builder();
+        let mut arith_new: HashMap<usize, usize> = HashMap::new();
+        for &av in &comp.arith {
+            let v = &problem.arith_vars()[av];
+            let id = b.arith_var(&v.name, v.kind);
+            b.set_range(id, v.range);
+            arith_new.insert(av, id);
+        }
+        let mut bool_new: HashMap<u32, Var> = HashMap::new();
+        for &bv in &comp.bools {
+            bool_new.insert(bv, b.bool_var());
+        }
+        for &dv in &comp.defs {
+            let def = problem.def(Var::new(dv)).expect("component def exists");
+            let nv = bool_new[&dv];
+            for c in &def.constraints {
+                b.define(nv, remap_constraint(c, &arith_new));
+            }
+        }
+        let clauses = problem.cnf().clauses();
+        for &ci in &comp.clauses {
+            b.add_clause(clauses[ci].lits().iter().map(|l| {
+                let nv = bool_new[&(l.var().index() as u32)];
+                if l.is_positive() {
+                    nv.positive()
+                } else {
+                    nv.negative()
+                }
+            }));
+        }
+        b.build()
+    }
+
+    /// Merges per-component models (aligned with [`Partition::components`],
+    /// each over its component's *dense* variable space as produced by
+    /// [`Partition::extract`]) into one model of the whole problem: each
+    /// component's values are written back through its variable lists to
+    /// the original numbering. Variables in no component are
+    /// unconstrained, so they receive arbitrary total values (`false`,
+    /// `0`). Exactness is preserved when every part is exact; otherwise
+    /// the stitched arithmetic model is numeric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` does not have one entry per component.
+    pub fn stitch(&self, models: &[AbModel]) -> AbModel {
+        assert_eq!(
+            models.len(),
+            self.components.len(),
+            "one model per component"
+        );
+        let all_exact = models
+            .iter()
+            .all(|m| matches!(m.arith, ArithModel::Exact(_)));
+        let mut boolean = Assignment::new(self.num_bool);
+        for v in 0..self.num_bool {
+            boolean.set(Var::new(v as u32), Tri::False);
+        }
+        let mut exact: Vec<Rational> = if all_exact {
+            vec![Rational::zero(); self.num_arith]
+        } else {
+            Vec::new()
+        };
+        let mut numeric: Vec<f64> = if all_exact {
+            Vec::new()
+        } else {
+            vec![0.0; self.num_arith]
+        };
+        for (comp, model) in self.components.iter().zip(models) {
+            for (dense, &bv) in comp.bools.iter().enumerate() {
+                boolean.set(Var::new(bv), model.boolean.value(Var::new(dense as u32)));
+            }
+            for (dense, &av) in comp.arith.iter().enumerate() {
+                if all_exact {
+                    if let Some(value) = model.arith.value_exact(dense) {
+                        exact[av] = value.clone();
+                    }
+                } else if let Some(value) = model.arith.value_f64(dense) {
+                    numeric[av] = value;
+                }
+            }
+        }
+        AbModel {
+            boolean,
+            arith: if all_exact {
+                ArithModel::Exact(exact)
+            } else {
+                ArithModel::Numeric(numeric)
+            },
+        }
+    }
+}
+
+/// Rewrites a constraint's arithmetic variable ids through `map`,
+/// re-interning the rewritten term. Extraction-time only — solving the
+/// component reuses the interned result throughout.
+fn remap_constraint(c: &NlConstraint, map: &HashMap<usize, usize>) -> NlConstraint {
+    let expr = remap_expr(&absolver_nonlinear::term::rebuild(c.term()), map);
+    NlConstraint::new(expr, c.op, c.rhs.clone())
+}
+
+fn remap_expr(e: &Expr, map: &HashMap<usize, usize>) -> Expr {
+    let go = |e: &Expr| Box::new(remap_expr(e, map));
+    match e {
+        Expr::Const(k) => Expr::Const(k.clone()),
+        Expr::Var(v) => Expr::Var(*map.get(v).expect("component constraint var is mapped")),
+        Expr::Neg(a) => Expr::Neg(go(a)),
+        Expr::Add(a, b) => Expr::Add(go(a), go(b)),
+        Expr::Sub(a, b) => Expr::Sub(go(a), go(b)),
+        Expr::Mul(a, b) => Expr::Mul(go(a), go(b)),
+        Expr::Div(a, b) => Expr::Div(go(a), go(b)),
+        Expr::Pow(a, k) => Expr::Pow(go(a), *k),
+        Expr::Sin(a) => Expr::Sin(go(a)),
+        Expr::Cos(a) => Expr::Cos(go(a)),
+        Expr::Exp(a) => Expr::Exp(go(a)),
+        Expr::Ln(a) => Expr::Ln(go(a)),
+        Expr::Sqrt(a) => Expr::Sqrt(go(a)),
+        Expr::Abs(a) => Expr::Abs(go(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::VarKind;
+    use absolver_linear::CmpOp;
+    use absolver_nonlinear::Expr;
+
+    /// Two independent blocks: (v1, x) and (v2, v3, y).
+    fn two_block_problem() -> AbProblem {
+        let mut b = AbProblem::builder();
+        let x = b.arith_var("x", VarKind::Real);
+        let y = b.arith_var("y", VarKind::Real);
+        let a1 = b.atom(Expr::var(x), CmpOp::Ge, Rational::zero());
+        b.add_clause([a1.positive()]);
+        let a2 = b.atom(Expr::var(y), CmpOp::Le, Rational::from_int(5));
+        let free = b.bool_var();
+        b.add_clause([a2.positive(), free.positive()]);
+        b.build()
+    }
+
+    #[test]
+    fn disconnected_blocks_are_separated() {
+        let p = two_block_problem();
+        let part = Partition::of(&p);
+        assert_eq!(part.len(), 2);
+        assert!(!part.is_trivial());
+        let total_clauses: usize = part.components().iter().map(|c| c.clauses.len()).sum();
+        assert_eq!(total_clauses, p.cnf().len());
+        let total_defs: usize = part.components().iter().map(|c| c.defs.len()).sum();
+        assert_eq!(total_defs, p.num_defs());
+        // Components never share a variable.
+        for (i, a) in part.components().iter().enumerate() {
+            for b in &part.components()[i + 1..] {
+                assert!(a.bools.iter().all(|v| !b.bools.contains(v)));
+                assert!(a.arith.iter().all(|v| !b.arith.contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn chained_clauses_stay_connected() {
+        let p: AbProblem = "p cnf 3 2\n1 2 0\n-2 3 0\n".parse().unwrap();
+        assert_eq!(Partition::of(&p).len(), 1);
+    }
+
+    #[test]
+    fn extraction_is_dense() {
+        let p = two_block_problem();
+        let part = Partition::of(&p);
+        for (i, comp) in part.components().iter().enumerate() {
+            let sub = part.extract(&p, i);
+            assert_eq!(sub.cnf().num_vars(), comp.bools.len());
+            assert_eq!(sub.arith_vars().len(), comp.arith.len());
+            assert_eq!(sub.cnf().len(), comp.clauses.len());
+            assert_eq!(sub.num_defs(), comp.defs.len());
+            // Kinds, names, and ranges survive the renumbering.
+            for (dense, &av) in comp.arith.iter().enumerate() {
+                assert_eq!(sub.arith_vars()[dense].name, p.arith_vars()[av].name);
+                assert_eq!(sub.arith_vars()[dense].kind, p.arith_vars()[av].kind);
+                assert_eq!(sub.arith_vars()[dense].range, p.arith_vars()[av].range);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_clause_lands_in_a_component() {
+        let mut p = two_block_problem();
+        p = p.with_clause(Vec::<absolver_logic::Lit>::new());
+        let part = Partition::of(&p);
+        let placed: usize = part.components().iter().map(|c| c.clauses.len()).sum();
+        assert_eq!(placed, p.cnf().len(), "the empty clause must be placed");
+    }
+
+    #[test]
+    fn stitching_merges_per_component_values() {
+        let p = two_block_problem();
+        let part = Partition::of(&p);
+        // Hand-build per-component models over each component's *dense*
+        // variable space (what solving an extract produces).
+        let model = |arith: Vec<f64>, bools: &[Tri]| AbModel {
+            boolean: {
+                let mut a = absolver_logic::Assignment::new(bools.len());
+                for (i, &t) in bools.iter().enumerate() {
+                    a.set(Var::new(i as u32), t);
+                }
+                a
+            },
+            arith: ArithModel::Numeric(arith),
+        };
+        // Component 0 owns (v1, x); component 1 owns (v2, v3, y).
+        let m0 = model(vec![1.0], &[Tri::True]);
+        let m1 = model(vec![2.0], &[Tri::True, Tri::False]);
+        let whole = part.stitch(&[m0, m1]);
+        assert_eq!(whole.arith.value_f64(0), Some(1.0), "x from component 0");
+        assert_eq!(whole.arith.value_f64(1), Some(2.0), "y from component 1");
+        assert_eq!(whole.boolean.value(Var::new(0)), Tri::True);
+        assert_eq!(whole.boolean.value(Var::new(1)), Tri::True);
+        assert_eq!(whole.boolean.value(Var::new(2)), Tri::False);
+        assert!(whole.satisfies(&p, 1e-9));
+    }
+}

@@ -273,6 +273,30 @@ impl NlConstraint {
         self.tape.affine.as_ref()
     }
 
+    /// The *normalized* affine inequality view: `Σ aᵢ·xᵢ ⋈ t` with the
+    /// LHS constant folded into the threshold (`t = (rhs − c) / |lead|`)
+    /// and the whole row scaled so the leading coefficient (the lowest
+    /// variable id) is `+1` — scaling by a negative flips the comparison
+    /// direction. Two affine constraints dominate one another exactly
+    /// when their normalized rows are equal and the threshold/direction
+    /// pairs compare, so the analyzer's dominance pass keys on the
+    /// returned [`LinExpr`]. `None` for a nonlinear LHS or an affine LHS
+    /// without variables.
+    pub fn normalized_affine(&self) -> Option<(LinExpr, CmpOp, Rational)> {
+        let (lin, constant) = self.to_affine()?;
+        let lead = lin.terms().first()?.1.clone();
+        let inv = lead.recip();
+        let mut expr = lin.clone();
+        expr.scale(&inv);
+        let threshold = (self.rhs.clone() - constant.clone()) * inv;
+        let op = if lead.is_negative() {
+            self.op.flip()
+        } else {
+            self.op
+        };
+        Some((expr, op, threshold))
+    }
+
     /// The negated constraint as a disjunction (Sec. 1: `¬(= c)` splits
     /// into `< c ∨ > c`). Reuses the interned term — no tree rebuilding.
     pub fn negate(&self) -> Vec<NlConstraint> {

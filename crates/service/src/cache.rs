@@ -153,6 +153,63 @@ impl VerdictCache {
     }
 }
 
+/// Bounded map from [`ProblemKey`] to the static-analysis verdict: `true`
+/// when the interval-dataflow fixpoint refuted the problem (statically
+/// unsatisfiable), `false` when the analysis passed it through to the
+/// solver. Both polarities are cached so a resubmission skips the
+/// analysis entirely; a `true` hit is answered at submission without
+/// occupying a worker. Eviction is FIFO, like [`VerdictCache`].
+#[derive(Debug)]
+pub struct AnalysisCache {
+    map: HashMap<ProblemKey, bool>,
+    order: VecDeque<ProblemKey>,
+    capacity: usize,
+}
+
+impl AnalysisCache {
+    /// Creates a cache holding at most `capacity` analysis results
+    /// (min 1).
+    pub fn new(capacity: usize) -> AnalysisCache {
+        AnalysisCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The cached analysis verdict for a problem key, if any.
+    pub fn get(&self, key: &ProblemKey) -> Option<bool> {
+        self.map.get(key).copied()
+    }
+
+    /// Records the analysis verdict for a problem key.
+    pub fn insert(&mut self, key: ProblemKey, statically_unsat: bool) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, statically_unsat);
+    }
+
+    /// Number of cached analysis verdicts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Cap on lemmas kept per declaration key in the [`LemmaStore`].
 const MAX_LEMMAS_PER_KEY: usize = 256;
 
@@ -356,6 +413,25 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&a).is_none());
         assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn analysis_cache_stores_both_polarities_and_evicts_fifo() {
+        let (a, b, c) = (
+            problem_key(&keyed(1)),
+            problem_key(&keyed(2)),
+            problem_key(&keyed(3)),
+        );
+        let mut cache = AnalysisCache::new(2);
+        assert_eq!(cache.get(&a), None);
+        cache.insert(a.clone(), true);
+        cache.insert(b.clone(), false);
+        assert_eq!(cache.get(&a), Some(true));
+        assert_eq!(cache.get(&b), Some(false));
+        cache.insert(c.clone(), true);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&a), None, "FIFO evicts the oldest entry");
+        assert_eq!(cache.get(&c), Some(true));
     }
 
     #[test]

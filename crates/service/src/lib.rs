@@ -13,11 +13,17 @@
 //!                                          worker pool
 //!                                       (catch_unwind each)
 //!                                                │
-//!                              ┌─────────────────┼──────────────────┐
-//!                        VerdictCache      SessionPool         LemmaStore
-//!                      (same problem ⇒   (same decls ⇒       (same decls ⇒
-//!                       cached answer)    warm Session)       seeded lemmas)
+//!                    ┌──────────────┬──────────────┼──────────────────┐
+//!              VerdictCache   AnalysisCache   SessionPool         LemmaStore
+//!            (same problem ⇒ (static-unsat ⇒ (same decls ⇒       (same decls ⇒
+//!             cached answer)  no solve/worker) warm Session)      seeded lemmas)
 //! ```
+//!
+//! Statically unsatisfiable bodies — refuted by the interval-dataflow
+//! analysis of `absolver-analyze` — are answered with the distinct
+//! `static-unsat` verdict before any session is built; on resubmission
+//! the cached analysis answers at submission, without occupying a
+//! worker.
 //!
 //! * [`protocol`] — the wire format: request decoding and response
 //!   rendering, total over arbitrary input.
@@ -31,7 +37,7 @@
 //!   counter tick; the daemon lives on).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod protocol;
@@ -39,7 +45,8 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{
-    decl_key, problem_key, DeclKey, LemmaStore, ProblemKey, SessionPool, VerdictCache,
+    decl_key, problem_key, AnalysisCache, DeclKey, LemmaStore, ProblemKey, SessionPool,
+    VerdictCache,
 };
 pub use protocol::{
     CacheTier, ClientFrame, ErrCode, Priority, ProtoError, RequestDecoder, Response, SolveFrame,

@@ -20,7 +20,7 @@
 //! # Server → client
 //!
 //! ```text
-//! ok id=<N> verdict=sat|unsat|unknown cache=problem|session|cold wait_us=<N> solve_us=<N> [model x=1/2 y=3]
+//! ok id=<N> verdict=sat|unsat|unknown|static-unsat cache=problem|analysis|session|cold wait_us=<N> solve_us=<N> [model x=1/2 y=3]
 //! err id=<N> code=<code> [retry_after_ms=<N>] msg=<text>
 //! stats <json>
 //! pong
@@ -33,6 +33,14 @@
 //! full — retry after the hinted delay), `limit` (problem exceeds the
 //! configured size caps, or the solve hit its iteration limit),
 //! `internal` (worker panic — the request is lost but the daemon lives).
+//!
+//! The `static-unsat` verdict is an `unsat` answer produced by static
+//! analysis alone (the interval-dataflow fixpoint refuted the problem
+//! before any solving): clients may treat it exactly like `unsat`, the
+//! distinct code only attributes the answer. On a resubmission the
+//! cached analysis answers at submission (`cache=analysis`); a first
+//! encounter computes it on a worker (`cache=cold`) without building a
+//! session.
 //!
 //! The decoder is **total**: arbitrary bytes produce frames or
 //! [`ProtoError`]s, never a panic — enforced by the panic-freedom fuzz
@@ -87,6 +95,9 @@ impl std::str::FromStr for Priority {
 pub enum CacheTier {
     /// Byte-identical problem seen before: cached verdict + model.
     Problem,
+    /// The cached static analysis answered at submission (statically
+    /// unsatisfiable body seen before — no worker involved).
+    Analysis,
     /// A pooled warm session over the same declarations solved it.
     Session,
     /// Solved from scratch (and warmed the pool for successors).
@@ -98,6 +109,7 @@ impl CacheTier {
     pub fn as_str(self) -> &'static str {
         match self {
             CacheTier::Problem => "problem",
+            CacheTier::Analysis => "analysis",
             CacheTier::Session => "session",
             CacheTier::Cold => "cold",
         }
@@ -370,7 +382,8 @@ pub enum Response {
     Ok {
         /// Echoed request id.
         id: u64,
-        /// `sat`, `unsat`, or `unknown`.
+        /// `sat`, `unsat`, `unknown`, or `static-unsat` (an unsat answer
+        /// produced by static analysis alone).
         verdict: &'static str,
         /// Which warm-state layer answered.
         cache: CacheTier,

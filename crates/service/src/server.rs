@@ -7,9 +7,10 @@
 //! an `aborts` counter tick (and the possibly-poisoned session is simply
 //! not returned to the pool).
 
-use crate::cache::{decl_key, problem_key, LemmaStore, SessionPool, VerdictCache};
+use crate::cache::{decl_key, problem_key, AnalysisCache, LemmaStore, SessionPool, VerdictCache};
 use crate::protocol::{CacheTier, ErrCode, Response, SolveFrame};
 use crate::queue::JobQueue;
+use absolver_analyze::{dataflow, DataflowVerdict};
 use absolver_core::{AbProblem, Outcome, Session, SolveError};
 use absolver_num::Interval;
 use absolver_trace::{saturating_micros, JsonObject, NullSink, TraceEvent, TraceSink};
@@ -59,7 +60,8 @@ impl Default for ServerOptions {
 /// submission path.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Solve requests accepted into the queue.
+    /// Solve requests accepted (queued, or answered at submission from
+    /// the static-analysis cache).
     pub received: AtomicU64,
     /// Requests answered with a verdict.
     pub completed: AtomicU64,
@@ -77,6 +79,10 @@ pub struct ServerStats {
     pub problem_hits: AtomicU64,
     /// Problem-cache misses.
     pub problem_misses: AtomicU64,
+    /// Requests answered `static-unsat` by the interval-dataflow
+    /// analysis — computed fresh on a worker or replayed from the
+    /// analysis cache at submission — without ever building a session.
+    pub static_unsat: AtomicU64,
     /// Warm-session pool hits.
     pub session_hits: AtomicU64,
     /// Warm-session pool misses (fresh session built).
@@ -135,6 +141,7 @@ impl ServerStats {
             .field_u64("aborts", get(&self.aborts))
             .field_u64("problem_hits", get(&self.problem_hits))
             .field_u64("problem_misses", get(&self.problem_misses))
+            .field_u64("static_unsat", get(&self.static_unsat))
             .field_u64("session_hits", get(&self.session_hits))
             .field_u64("session_misses", get(&self.session_misses))
             .field_u64("lemmas_seeded", get(&self.lemmas_seeded))
@@ -150,10 +157,17 @@ impl ServerStats {
     }
 }
 
-/// One queued solve job.
+/// One queued solve job. The body is parsed on the submission path (the
+/// parse result is needed there for the static-analysis fast path), so
+/// the job carries the parsed problem — or the parse error the worker
+/// turns into a `parse` response — rather than the raw text.
 struct Job {
     id: u64,
-    text: String,
+    problem: Result<Box<AbProblem>, String>,
+    /// Term-intern dedup hits observed while parsing on the submission
+    /// thread (the intern counters are thread-local, so the worker
+    /// cannot read them after the fact).
+    parse_dedup: u64,
     deadline: Option<Instant>,
     cancel: Arc<AtomicBool>,
     reply: mpsc::Sender<Response>,
@@ -164,6 +178,7 @@ struct Job {
 /// before and after a solve, never across one).
 struct Caches {
     problems: VerdictCache,
+    analysis: AnalysisCache,
     sessions: SessionPool,
     lemmas: LemmaStore,
 }
@@ -194,6 +209,10 @@ pub enum Submission {
         /// Cooperative cancellation token for this request.
         cancel: Arc<AtomicBool>,
     },
+    /// Answered at submission from the static-analysis cache: the
+    /// `static-unsat` response was already sent on the reply channel and
+    /// no worker was occupied.
+    Answered,
     /// Rejected by backpressure; the `overload` response (with this
     /// retry hint) was already sent on the reply channel.
     Rejected {
@@ -228,6 +247,7 @@ impl Server {
             queue: JobQueue::new(options.queue_capacity),
             caches: Mutex::new(Caches {
                 problems: VerdictCache::new(options.problem_cache),
+                analysis: AnalysisCache::new(options.problem_cache),
                 sessions: SessionPool::new(options.session_pool),
                 lemmas: LemmaStore::new(options.session_pool.max(8) * 4),
             }),
@@ -269,6 +289,49 @@ impl Server {
                 .field("priority", frame.priority.as_str())
                 .field_u64("bytes", frame.text.len() as u64)
         });
+        // Parse here rather than on a worker: the static-analysis fast
+        // path below needs the problem key, and a cache hit then answers
+        // without occupying a worker at all. A failed parse still rides
+        // the queue so the `parse` error response stays asynchronous.
+        let term0 = absolver_nonlinear::term::local_counters();
+        let problem: Result<Box<AbProblem>, String> = frame
+            .text
+            .parse::<AbProblem>()
+            .map(Box::new)
+            .map_err(|e| e.to_string());
+        let (_, dedup1) = absolver_nonlinear::term::local_counters();
+        let parse_dedup = dedup1.saturating_sub(term0.1);
+        if let Ok(problem) = &problem {
+            let key = problem_key(problem);
+            if lock_caches(shared).analysis.get(&key) == Some(true) {
+                stats.bump(&stats.received);
+                stats.bump(&stats.completed);
+                stats.bump(&stats.static_unsat);
+                stats
+                    .term_dedup_hits
+                    .fetch_add(parse_dedup, Ordering::Relaxed);
+                trace(shared, || {
+                    TraceEvent::new("cache.analysis_hit").field_u64("id", frame.id)
+                });
+                trace(shared, || {
+                    TraceEvent::new("request.done")
+                        .field_u64("id", frame.id)
+                        .field("verdict", "static-unsat")
+                        .field("cache", CacheTier::Analysis.as_str())
+                        .field_u64("wait_us", 0)
+                        .duration_us(0)
+                });
+                let _ = reply.send(Response::Ok {
+                    id: frame.id,
+                    verdict: "static-unsat",
+                    cache: CacheTier::Analysis,
+                    wait_us: 0,
+                    solve_us: 0,
+                    model: Vec::new(),
+                });
+                return Submission::Answered;
+            }
+        }
         let cancel = Arc::new(AtomicBool::new(false));
         let deadline = frame
             .timeout_ms
@@ -277,7 +340,8 @@ impl Server {
             .map(|d| Instant::now() + d);
         let job = Job {
             id: frame.id,
-            text: frame.text,
+            problem,
+            parse_dedup,
             deadline,
             cancel: cancel.clone(),
             reply,
@@ -455,21 +519,24 @@ fn respond_failed(shared: &Shared, job: &Job, code: ErrCode, message: &str) {
 /// timing fields left at zero (the worker loop stamps them).
 fn handle_request(shared: &Shared, job: &Job) -> Response {
     let stats = &shared.stats;
-    // Term-intern window for the whole request: parsing is where repeat
-    // requests re-intern the family's terms, so the dedup delta below
-    // must open before the parse, not at the solve.
-    let term0 = absolver_nonlinear::term::local_counters();
-    let problem: AbProblem = match job.text.parse() {
+    let problem: &AbProblem = match &job.problem {
         Ok(p) => p,
-        Err(e) => {
+        Err(message) => {
             return Response::Err {
                 id: Some(job.id),
                 code: ErrCode::Parse,
                 retry_after_ms: None,
-                message: e.to_string(),
+                message: message.clone(),
             };
         }
     };
+    // The parse happened on the submission thread; its term-dedup hits
+    // ride along in the job (the intern counters are thread-local). The
+    // window opened here covers only this worker's solve.
+    stats
+        .term_dedup_hits
+        .fetch_add(job.parse_dedup, Ordering::Relaxed);
+    let term0 = absolver_nonlinear::term::local_counters();
     let opts = &shared.options;
     if problem.cnf().num_vars() > opts.max_bool_vars
         || problem.cnf().len() > opts.max_clauses
@@ -489,23 +556,63 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
     // Layer 1: structurally identical problem already answered. The key
     // is built from interned constraint ids — O(1) per constraint, no
     // expression rendering.
-    let canonical = problem_key(&problem);
+    let canonical = problem_key(problem);
     if let Some(outcome) = lock_caches(shared).problems.get(&canonical).cloned() {
         stats.bump(&stats.problem_hits);
         trace(shared, || {
             TraceEvent::new("cache.problem_hit").field_u64("id", job.id)
         });
-        return ok_response(job.id, &problem, &outcome, CacheTier::Problem);
+        return ok_response(job.id, problem, &outcome, CacheTier::Problem);
     }
     stats.bump(&stats.problem_misses);
     trace(shared, || {
         TraceEvent::new("cache.problem_miss").field_u64("id", job.id)
     });
 
+    // Static analysis: the interval-dataflow fixpoint refutes statically
+    // unsatisfiable bodies without building a session or entering the
+    // solve loop. The verdict is cached per problem key (both
+    // polarities, so resubmissions skip the analysis; a cached `true`
+    // answers at submission without reaching a worker at all).
+    // (Bind the cache lookup first: a guard inside the match scrutinee
+    // would live across the arms and deadlock against the insert below.)
+    let cached_analysis = lock_caches(shared).analysis.get(&canonical);
+    let statically_unsat = match cached_analysis {
+        Some(cached) => cached,
+        None => {
+            let df = dataflow(problem, ANALYSIS_ROUNDS);
+            let unsat = !matches!(df.verdict, DataflowVerdict::Converged);
+            lock_caches(shared)
+                .analysis
+                .insert(canonical.clone(), unsat);
+            trace(shared, || {
+                TraceEvent::new("cache.analysis_computed")
+                    .field_u64("id", job.id)
+                    .field_u64("rounds", df.rounds)
+                    .field("static_unsat", if unsat { "true" } else { "false" })
+            });
+            unsat
+        }
+    };
+    if statically_unsat {
+        stats.bump(&stats.static_unsat);
+        trace(shared, || {
+            TraceEvent::new("request.static_unsat").field_u64("id", job.id)
+        });
+        return Response::Ok {
+            id: job.id,
+            verdict: "static-unsat",
+            cache: CacheTier::Cold,
+            wait_us: 0,
+            solve_us: 0,
+            model: Vec::new(),
+        };
+    }
+
     // Layer 2: a warm session over the same declarations. (Bind the
     // pool lookup first: a guard inside the match scrutinee would live
     // across the arms and deadlock against the lemma-store lock below.)
-    let key = decl_key(&problem);
+    let key = decl_key(problem);
     let pooled = lock_caches(shared).sessions.take(&key);
     let (mut session, tier) = match pooled {
         Some(session) => {
@@ -520,7 +627,7 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
             trace(shared, || {
                 TraceEvent::new("cache.session_miss").field_u64("id", job.id)
             });
-            let mut session = match session_for(&problem) {
+            let mut session = match session_for(problem) {
                 Ok(s) => s,
                 Err(e) => {
                     return Response::Err {
@@ -552,7 +659,7 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
         }
     };
 
-    let result = solve_on(&mut session, &problem, job.deadline, job.cancel.clone());
+    let result = solve_on(&mut session, problem, job.deadline, job.cancel.clone());
 
     let response = match &result {
         Ok(outcome) => {
@@ -568,9 +675,10 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
                     .contraction_resumes
                     .fetch_add(check_stats.contraction_cache_resumes, Ordering::Relaxed);
             }
-            // Whole-request dedup delta (parse + solve on this worker
-            // thread); the per-check counter inside `check_stats` covers
-            // only the solve sub-window, so it is not added separately.
+            // Solve-window dedup delta on this worker thread (the parse
+            // delta was added from `job.parse_dedup` above); the
+            // per-check counter inside `check_stats` covers the same
+            // sub-window, so it is not added separately.
             let (_, dedup1) = absolver_nonlinear::term::local_counters();
             stats
                 .term_dedup_hits
@@ -594,7 +702,7 @@ fn handle_request(shared: &Shared, job: &Job) -> Response {
                 lock_caches(shared)
                     .problems
                     .insert(canonical, outcome.clone());
-                ok_response(job.id, &problem, outcome, tier)
+                ok_response(job.id, problem, outcome, tier)
             }
         }
         Err(SolveError::IterationLimit(n)) => Response::Err {
@@ -664,6 +772,11 @@ fn solve_on(
     result
 }
 
+/// Sweep bound for the interval-dataflow analysis of a request body —
+/// the same bound `absolver check` uses, so the daemon and the linter
+/// agree on what is statically unsatisfiable.
+const ANALYSIS_ROUNDS: usize = 16;
+
 /// Cap on `model` pairs inlined into an `ok` line.
 const MAX_MODEL_VARS: usize = 64;
 
@@ -709,7 +822,9 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         match server.submit(frame, tx) {
             Submission::Enqueued { .. } => {}
-            Submission::Rejected { .. } => return vec![rx.recv().expect("rejection response")],
+            Submission::Rejected { .. } | Submission::Answered => {
+                return vec![rx.recv().expect("immediate response")];
+            }
         }
         vec![rx.recv().expect("response")]
     }
@@ -756,6 +871,67 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(server.stats().problem_hits.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    const STATIC_UNSAT: &str = "p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 1\nc def real 2 x <= 0\n";
+
+    #[test]
+    fn statically_unsat_bodies_skip_sessions_and_cache_the_analysis() {
+        let server = Server::new(ServerOptions {
+            workers: 1,
+            ..Default::default()
+        });
+        let first = serve_one(
+            &server,
+            SolveFrame {
+                id: 1,
+                timeout_ms: None,
+                priority: Priority::Normal,
+                text: STATIC_UNSAT.to_string(),
+            },
+        );
+        match &first[0] {
+            Response::Ok { verdict, cache, .. } => {
+                assert_eq!(*verdict, "static-unsat");
+                assert_eq!(
+                    *cache,
+                    CacheTier::Cold,
+                    "first encounter computes on a worker"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.static_unsat.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            stats.session_misses.load(Ordering::Relaxed)
+                + stats.session_hits.load(Ordering::Relaxed),
+            0,
+            "no session is built for a statically-unsat body"
+        );
+        // A resubmission answers at submission from the analysis cache,
+        // without occupying a worker.
+        let (tx, rx) = mpsc::channel();
+        let submission = server.submit(
+            SolveFrame {
+                id: 2,
+                timeout_ms: None,
+                priority: Priority::Normal,
+                text: STATIC_UNSAT.to_string(),
+            },
+            tx,
+        );
+        assert!(matches!(submission, Submission::Answered));
+        match rx.recv().expect("immediate response") {
+            Response::Ok { verdict, cache, .. } => {
+                assert_eq!(verdict, "static-unsat");
+                assert_eq!(cache, CacheTier::Analysis);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stats.static_unsat.load(Ordering::Relaxed), 2);
+        assert!(server.stats_json().contains("\"static_unsat\":2"));
         server.shutdown();
     }
 

@@ -48,7 +48,7 @@
 //! | `cache.lemma_seed` | service            | `id`, `literals`              |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 use std::fs::File;

@@ -17,6 +17,21 @@ cargo fmt --check
 # the arbitrary-precision kernel is where silent wrapping would hurt most.
 cargo test -q --offline --profile ci -p absolver-num
 
+echo "== repo self-lint (unsafe-code and missing-docs gates) =="
+# Every library root must forbid unsafe code — the workspace's
+# panic-freedom and soundness arguments assume safe Rust throughout.
+for lib in src/lib.rs crates/*/src/lib.rs; do
+    grep -q '#!\[forbid(unsafe_code)\]' "$lib" \
+        || { echo "$lib must declare #![forbid(unsafe_code)]"; exit 1; }
+done
+# The crates whose rustdoc is a load-bearing interface contract (the
+# analyzer's diagnostic codes, the trace schema, the daemon's wire
+# protocol) must keep missing_docs at deny.
+for lib in crates/analyze/src/lib.rs crates/trace/src/lib.rs crates/service/src/lib.rs; do
+    grep -q '#!\[deny(missing_docs)\]' "$lib" \
+        || { echo "$lib must declare #![deny(missing_docs)]"; exit 1; }
+done
+
 echo "== build (release, all targets incl. benches) =="
 cargo build --release --offline --workspace --all-targets
 
@@ -25,6 +40,12 @@ cargo test -q --offline --workspace
 
 echo "== parallel differential suite (portfolio + cubes at jobs 1/2/4) =="
 cargo test -q --offline --test parallel_agreement
+
+echo "== partition differential suite (component solving vs whole-problem) =="
+# Verdict identity of whole-problem vs sequential-component vs parallel
+# component-shard solving on a salted disconnected corpus, stitched-model
+# validity, and the static-unsat fast path (no solve loop entered).
+cargo test -q --offline --test partition_agreement
 
 echo "== incremental theory-engine differential suite (stack vs scratch, cache on/off) =="
 cargo test -q --offline --test incremental_agreement
@@ -74,6 +95,16 @@ grep '^{' "$OBS_TMP/fig2.out" > "$OBS_TMP/fig2.stats.json"
 # cache on steering fails the gate.
 ABS_BENCH_DIR="$OBS_TMP" ABS_BENCH_BASELINE_DIR=. ABS_TIMEOUT_SECS=60 \
     ./target/release/bench_json --check-regress fischer sudoku steering threshold-reach
+# The reports must carry the structural-analysis columns.
+for key in '"components":' '"subsumed_constraints":'; do
+    grep -q "$key" "$OBS_TMP/BENCH_fischer.json" \
+        || { echo "BENCH reports missing $key"; exit 1; }
+done
+# Decomposition experiment: a 2x20 decomposable workload solved whole,
+# partitioned, and in parallel — the binary itself fails on any verdict
+# disagreement between the three modes.
+ABS_BENCH_DIR="$OBS_TMP" ABS_COMPONENTS_INSTANCES=2 ABS_COMPONENTS_SIZE=20 \
+    ABS_TIMEOUT_SECS=60 ./target/release/components
 # Streaming-session BMC gate: the persistent-session Fischer run must
 # stay within the baseline limit, beat the from-scratch loop outright,
 # and score at least one theory-verdict cache hit.
@@ -119,6 +150,38 @@ set -e
 [ "$code" -eq 4 ] || { echo "expected check exit 4 (errors), got $code"; exit 1; }
 grep -q '"code":"AB001"' "$OBS_TMP/malformed.json" \
     || { echo "malformed fixture must report AB001"; exit 1; }
+# The structural-analysis fixtures: subsumption lints are warnings
+# (exit 3), a statically-unsat input is an error (exit 4), and each
+# must report its dedicated codes.
+set +e
+./target/release/absolver check --json tests/analyze/subsume.dimacs \
+    > "$OBS_TMP/subsume.json"
+code=$?
+set -e
+[ "$code" -eq 3 ] || { echo "expected check exit 3 (warnings), got $code"; exit 1; }
+for ab in AB013 AB014 AB015 AB016; do
+    grep -q "\"code\":\"$ab\"" "$OBS_TMP/subsume.json" \
+        || { echo "subsume fixture must report $ab"; exit 1; }
+done
+set +e
+./target/release/absolver check --json tests/analyze/staticunsat.dimacs \
+    > "$OBS_TMP/staticunsat.json"
+code=$?
+set -e
+[ "$code" -eq 4 ] || { echo "expected check exit 4 (static unsat), got $code"; exit 1; }
+grep -q '"code":"AB017"' "$OBS_TMP/staticunsat.json" \
+    || { echo "staticunsat fixture must report AB017"; exit 1; }
+set +e
+./target/release/absolver check --json tests/analyze/declared_miss.dimacs \
+    > "$OBS_TMP/declared_miss.json"
+code=$?
+set -e
+[ "$code" -eq 3 ] || { echo "expected check exit 3 (warnings), got $code"; exit 1; }
+grep -q '"code":"AB018"' "$OBS_TMP/declared_miss.json" \
+    || { echo "declared_miss fixture must report AB018"; exit 1; }
+# Structure block: check reports the component decomposition.
+grep -q '"structure":{"components":' "$OBS_TMP/subsume.json" \
+    || { echo "check --json must carry the structure block"; exit 1; }
 # Golden diagnostics + verdict identity of --preprocess vs --no-preprocess.
 cargo test -q --offline --test analyze_check --test preprocess_agreement
 

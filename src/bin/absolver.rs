@@ -674,6 +674,7 @@ fn parallel_stats_json(stats: &ParallelStats) -> String {
     let mut obj = JsonObject::new();
     obj.field_u64("jobs", stats.jobs as u64)
         .field_u64("cubes", stats.cubes as u64)
+        .field_u64("components", stats.components as u64)
         .field_u64("boolean_iterations", iterations)
         .field_u64("theory_checks", theory_checks)
         .field_u64("clauses_shared", stats.clauses_shared)

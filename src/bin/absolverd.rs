@@ -224,7 +224,9 @@ fn serve_connection(
                         }
                         map.insert(id, cancel);
                     }
-                    Submission::Rejected { .. } => {}
+                    // Rejected and statically-unsat requests were already
+                    // answered on the reply channel; nothing to track.
+                    Submission::Rejected { .. } | Submission::Answered => {}
                 }
             }
             Ok(ClientFrame::Cancel { id }) => {

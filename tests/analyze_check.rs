@@ -3,7 +3,7 @@
 //! `*.expected.json` sibling, so diagnostic codes, spans, and messages
 //! are a stable machine-readable interface.
 
-use absolver::analyze::{check_source, Severity};
+use absolver::analyze::{check_source, Code, Severity};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/analyze/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -56,4 +56,44 @@ fn paper_example_is_clean() {
         "fig2 must lint clean, got:\n{}",
         report.render_human("fig2")
     );
+}
+
+#[test]
+fn subsumption_fixture_matches_golden_json() {
+    golden("subsume");
+    let report = check_source(&fixture("subsume.dimacs"));
+    for code in [Code::AB013, Code::AB014, Code::AB015, Code::AB016] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == code),
+            "subsume.dimacs must trigger {code:?}"
+        );
+    }
+    assert_eq!(report.errors(), 0, "subsumption lints are warnings");
+}
+
+#[test]
+fn static_unsat_fixture_matches_golden_json() {
+    golden("staticunsat");
+    let report = check_source(&fixture("staticunsat.dimacs"));
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::AB017)
+        .expect("staticunsat.dimacs must trigger AB017");
+    assert_eq!(
+        d.severity,
+        Severity::Error,
+        "AB017 is an error: the input is unsatisfiable"
+    );
+}
+
+#[test]
+fn declared_range_miss_fixture_matches_golden_json() {
+    golden("declared_miss");
+    let report = check_source(&fixture("declared_miss.dimacs"));
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == Code::AB018),
+        "declared_miss.dimacs must trigger AB018"
+    );
+    assert_eq!(report.errors(), 0, "AB018 is suspicion, not refutation");
 }

@@ -39,6 +39,7 @@ fn submit_ok(server: &Server, frame: SolveFrame, tx: &mpsc::Sender<Response>) {
     match server.submit(frame, tx.clone()) {
         Submission::Enqueued { .. } => {}
         Submission::Rejected { .. } => panic!("unexpected rejection"),
+        Submission::Answered => {}
     }
 }
 
@@ -50,6 +51,7 @@ fn cancellation_lands_mid_solve() {
     let cancel = match server.submit(frame(1, &slow), tx) {
         Submission::Enqueued { cancel } => cancel,
         Submission::Rejected { .. } => panic!("queue empty, must enqueue"),
+        Submission::Answered => panic!("not statically unsat, must enqueue"),
     };
     // Let the solve get going, then pull the plug.
     std::thread::sleep(Duration::from_millis(50));
@@ -97,6 +99,7 @@ fn deadline_expires_while_queued() {
     let cancel_a = match server.submit(frame(1, &slow), tx.clone()) {
         Submission::Enqueued { cancel } => cancel,
         Submission::Rejected { .. } => panic!("must enqueue"),
+        Submission::Answered => panic!("not statically unsat, must enqueue"),
     };
     std::thread::sleep(Duration::from_millis(50));
     // ...queue a request whose deadline lapses while it waits...
@@ -152,6 +155,7 @@ fn backpressure_rejects_with_retry_hint() {
     let cancel_a = match server.submit(frame(1, &slow), tx.clone()) {
         Submission::Enqueued { cancel } => cancel,
         Submission::Rejected { .. } => panic!("must enqueue"),
+        Submission::Answered => panic!("not statically unsat, must enqueue"),
     };
     std::thread::sleep(Duration::from_millis(100));
     // ...the second fills the queue...
@@ -160,6 +164,7 @@ fn backpressure_rejects_with_retry_hint() {
     match server.submit(frame(3, EASY_SAT), tx.clone()) {
         Submission::Rejected { retry_after_ms } => assert!(retry_after_ms >= 10),
         Submission::Enqueued { .. } => panic!("queue must be full"),
+        Submission::Answered => panic!("queue must be full"),
     }
     // The rejection response was delivered on the reply channel too.
     let mut saw_overload = false;
@@ -196,6 +201,7 @@ fn high_priority_overtakes_queued_low() {
     let cancel_a = match server.submit(frame(1, &slow), tx.clone()) {
         Submission::Enqueued { cancel } => cancel,
         Submission::Rejected { .. } => panic!("must enqueue"),
+        Submission::Answered => panic!("not statically unsat, must enqueue"),
     };
     std::thread::sleep(Duration::from_millis(50));
     submit_ok(
@@ -294,11 +300,15 @@ fn cache_tiers_preserve_verdicts_and_models() {
     }
     fresh.shutdown();
 
-    // An unsatisfiable variant over the same declarations (¬(x ≥ 1) ∧
-    // ¬(x ≤ 3) has no witness): the warm session must answer unsat —
-    // i.e. not leak any previous request's clauses or a stale verdict.
-    let unsat =
-        "p cnf 2 2\n-1 0\n-2 0\nc def real 1 x >= 1\nc def real 2 x <= 3\nc range x -10 10\n";
+    // An unsatisfiable variant over the same declarations: the warm
+    // session must answer unsat — i.e. not leak any previous request's
+    // clauses or a stale verdict. The contradiction is the classic
+    // width-2 Boolean square, which unit propagation and the interval
+    // dataflow cannot refute (no forced units), so it reaches the
+    // session pool instead of the static-analysis fast path (that path
+    // has its own test below).
+    let unsat = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n\
+                 c def real 1 x >= 1\nc def real 2 x <= 3\nc range x -10 10\n";
     match &solve(4, unsat) {
         Response::Ok { verdict, cache, .. } => {
             assert_eq!(*cache, CacheTier::Session);
@@ -362,5 +372,61 @@ fn size_limits_reject_instead_of_solving() {
         Response::Err { code, .. } => assert_eq!(code, ErrCode::Limit),
         other => panic!("unexpected {other:?}"),
     }
+    server.shutdown();
+}
+
+/// Statically-unsatisfiable bodies are answered with the distinct
+/// `static-unsat` verdict: computed once on a worker (cold), then
+/// answered at submission from the analysis cache — without ever
+/// building or touching a session.
+#[test]
+fn statically_unsat_bodies_bypass_the_session_pool() {
+    let server = Server::new(one_worker());
+    let (tx, rx) = mpsc::channel();
+    let unsat = "p cnf 2 2\n1 0\n2 0\nc def real 1 x >= 1\nc def real 2 x <= 0\n";
+
+    submit_ok(&server, frame(1, unsat), &tx);
+    match rx.recv().expect("response") {
+        Response::Ok {
+            verdict,
+            cache,
+            model,
+            ..
+        } => {
+            assert_eq!(verdict, "static-unsat");
+            assert_eq!(cache, CacheTier::Cold);
+            assert!(model.is_empty(), "unsat answers carry no model");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Resubmission is answered at submission time from the analysis
+    // cache — `Submission::Answered`, no worker involved.
+    match server.submit(frame(2, unsat), tx.clone()) {
+        Submission::Answered => {}
+        other => panic!("expected an at-submission answer, got {other:?}"),
+    }
+    match rx.recv().expect("response") {
+        Response::Ok {
+            verdict,
+            cache,
+            solve_us,
+            ..
+        } => {
+            assert_eq!(verdict, "static-unsat");
+            assert_eq!(cache, CacheTier::Analysis);
+            assert_eq!(solve_us, 0, "no solve happened");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let stats = server.stats_json();
+    assert!(
+        stats.contains("\"static_unsat\":2"),
+        "both answers must be counted: {stats}"
+    );
+    // The session pool was never consulted for either request.
+    assert!(stats.contains("\"session_hits\":0"), "{stats}");
+    assert!(stats.contains("\"session_misses\":0"), "{stats}");
     server.shutdown();
 }
